@@ -1,0 +1,112 @@
+//! E5 — cost of the four coupling modes (§4.2, §5.5).
+//!
+//! The same trigger (fires on every `after Buy`) is attached with each
+//! coupling mode; the measured unit is one complete transaction containing
+//! one Buy, *including* any system transactions the mode requires — so
+//! `dependent`/`!dependent` pay for an extra transaction, and `end` pays
+//! for commit-time list processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::CredCard;
+use ode_core::{ClassBuilder, CouplingMode, Database, Perpetual};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn db_with_coupling(coupling: CouplingMode) -> (Database, ode_core::PersistentPtr<CredCard>) {
+    let db = Database::volatile();
+    let td = ClassBuilder::new("CredCard")
+        .after_event("Buy")
+        .trigger("OnBuy", "after Buy", coupling, Perpetual::Yes, |_| Ok(()))
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(
+                txn,
+                &CredCard {
+                    cred_lim: 1.0,
+                    curr_bal: 0.0,
+                },
+            )?;
+            db.activate(txn, card, "OnBuy", &())?;
+            Ok(card)
+        })
+        .unwrap();
+    (db, card)
+}
+
+fn bench_coupling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_modes");
+
+    // Baseline: the same transaction with no trigger at all.
+    {
+        let db = Database::volatile();
+        let td = ClassBuilder::new("CredCard")
+            .after_event("Buy")
+            .build(db.registry())
+            .unwrap();
+        db.register_class(&td).unwrap();
+        let card = db
+            .with_txn(|txn| {
+                db.pnew(
+                    txn,
+                    &CredCard {
+                        cred_lim: 1.0,
+                        curr_bal: 0.0,
+                    },
+                )
+            })
+            .unwrap();
+        group.bench_function("no_trigger", |b| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+                        c.curr_bal += 1.0;
+                        Ok(())
+                    })
+                })
+                .unwrap()
+            })
+        });
+    }
+
+    for (label, coupling) in [
+        ("immediate", CouplingMode::Immediate),
+        ("end", CouplingMode::End),
+        ("dependent", CouplingMode::Dependent),
+        ("independent", CouplingMode::Independent),
+    ] {
+        let (db, card) = db_with_coupling(coupling);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                db.with_txn(|txn| {
+                    db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+                        c.curr_bal += 1.0;
+                        Ok(())
+                    })
+                })
+                .unwrap()
+            })
+        });
+        let stats = db.trigger_stats();
+        println!(
+            "  [{label}] immediate_firings={} deferred_firings={}",
+            stats.immediate_firings, stats.deferred_firings
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_coupling
+}
+criterion_main!(benches);

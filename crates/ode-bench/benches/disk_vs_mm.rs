@@ -1,0 +1,138 @@
+//! E8 — Ode vs MM-Ode (§5.6): the same trigger workload on the EOS-like
+//! disk engine and the Dali-like main-memory engine, sharing the identical
+//! object-manager run-time.
+//!
+//! Workload: one transaction = Buy (arming AutoRaiseLimit's mask path) +
+//! PayBill on a rotating set of cards, triggers active. Expected shape:
+//! memory ≥ disk, with the gap set by buffer-pool and WAL overheads (the
+//! engines share locking and trigger processing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::{new_card, register_cred_card, CardSetup, CredCard};
+use ode_core::{Database, EngineKind, PersistentPtr, StorageOptions};
+use ode_testutil::TempDir;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+const CARDS: usize = 32;
+
+struct World {
+    _dir: Option<TempDir>,
+    db: Database,
+    cards: Vec<PersistentPtr<CredCard>>,
+}
+
+fn world(engine: Option<EngineKind>) -> World {
+    world_with_pool(engine, 256)
+}
+
+fn world_with_pool(engine: Option<EngineKind>, buffer_pages: usize) -> World {
+    let (dir, db) = match engine {
+        None => (None, Database::volatile()),
+        Some(engine) => {
+            let dir = TempDir::new("bench-engine");
+            let db = Database::create(
+                dir.path(),
+                StorageOptions {
+                    engine,
+                    buffer_pages,
+                    ..StorageOptions::default()
+                },
+            )
+            .unwrap();
+            (Some(dir), db)
+        }
+    };
+    register_cred_card(&db, CardSetup::WithTrigger);
+    let cards = (0..CARDS).map(|_| new_card(&db, 1)).collect();
+    World {
+        _dir: dir,
+        db,
+        cards,
+    }
+}
+
+fn one_txn(w: &World, i: usize) {
+    let card = w.cards[i % CARDS];
+    w.db
+        .with_txn(|txn| {
+            w.db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+                c.curr_bal += 5.0;
+                Ok(())
+            })?;
+            w.db.invoke(txn, card, "PayBill", |c: &mut CredCard| {
+                c.curr_bal -= 5.0;
+                Ok(())
+            })
+        })
+        .unwrap();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_vs_mm");
+    for (label, engine) in [
+        ("disk_eos_like", Some(EngineKind::Disk)),
+        ("memory_dali_like", Some(EngineKind::Memory)),
+        ("memory_volatile", None),
+    ] {
+        let w = world(engine);
+        let mut i = 0usize;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                one_txn(&w, i);
+                i += 1;
+            })
+        });
+    }
+
+    // A warm buffer pool with lazy checkpoints hides the disk entirely;
+    // force frequent checkpoints (write-back of every dirty page every 16
+    // commits) to expose the I/O the disk engine pays and MM-Ode avoids.
+    {
+        let dir = TempDir::new("bench-engine");
+        let db = Database::create(
+            dir.path(),
+            StorageOptions {
+                engine: EngineKind::Disk,
+                buffer_pages: 4,
+                checkpoint_every: 16,
+                ..StorageOptions::default()
+            },
+        )
+        .unwrap();
+        ode_bench::register_cred_card(&db, CardSetup::WithTrigger);
+        let cards: Vec<_> = (0..CARDS).map(|_| ode_bench::new_card(&db, 1)).collect();
+        let w = World {
+            _dir: Some(dir),
+            db,
+            cards,
+        };
+        let mut i = 0usize;
+        group.bench_function("disk_eos_like_checkpoint_pressure", |b| {
+            b.iter(|| {
+                one_txn(&w, i);
+                i += 1;
+            })
+        });
+        if let Some(stats) = w.db.storage().pool_stats() {
+            println!(
+                "  [disk_checkpoint_pressure] pool hits={} misses={} resident={}",
+                stats.hits, stats.misses, stats.resident
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E2 — §7's comparison with Sentinel: "Ode's mapping of basic events to
+//! globally unique integers is likely to have significantly lower event
+//! posting overhead than Sentinel's method of representing an event as a
+//! triple of strings: the class name, the member function prototype, and
+//! the string 'begin' (before) or 'end' (after)."
+//!
+//! The measured operation is the hot inner step of event posting: matching
+//! a posted event against a transition list / handler table. Series:
+//!   int_scan     — sparse transition scan comparing u32 event ids
+//!   triple_scan  — the same scan comparing (String, String, String)
+//!   int_hash     — HashMap keyed by u32
+//!   triple_hash  — HashMap keyed by the string triple (hashing three
+//!                  strings per lookup)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_events::event::EventId;
+use ode_events::registry::StringTripleEvent;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(40)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+const TABLE: usize = 24; // transitions/handlers per table
+
+fn triples() -> Vec<StringTripleEvent> {
+    (0..TABLE)
+        .map(|i| {
+            StringTripleEvent::new(
+                "CredCard",
+                &format!("void MemberFunction{i}(float amount, Date when)"),
+                i % 2 == 0,
+            )
+        })
+        .collect()
+}
+
+fn bench_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_representation");
+
+    // --- scan over a sparse transition list ---------------------------
+    let int_table: Vec<(EventId, u32)> =
+        (0..TABLE as u32).map(|i| (EventId(i), i + 1)).collect();
+    let probe_ints: Vec<EventId> = (0..TABLE as u32).map(EventId).collect();
+    group.bench_function("int_scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let probe = probe_ints[i % TABLE];
+            i += 1;
+            black_box(
+                int_table
+                    .iter()
+                    .find(|(e, _)| *e == probe)
+                    .map(|(_, to)| *to),
+            )
+        })
+    });
+
+    let triple_table: Vec<(StringTripleEvent, u32)> = triples()
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, i as u32 + 1))
+        .collect();
+    let probe_triples = triples();
+    group.bench_function("triple_scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let probe = &probe_triples[i % TABLE];
+            i += 1;
+            black_box(
+                triple_table
+                    .iter()
+                    .find(|(e, _)| e == probe)
+                    .map(|(_, to)| *to),
+            )
+        })
+    });
+
+    // --- hash-table lookup --------------------------------------------
+    let int_map: HashMap<EventId, u32> = int_table.iter().copied().collect();
+    group.bench_function("int_hash", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let probe = probe_ints[i % TABLE];
+            i += 1;
+            black_box(int_map.get(&probe).copied())
+        })
+    });
+
+    let triple_map: HashMap<StringTripleEvent, u32> = triple_table.iter().cloned().collect();
+    group.bench_function("triple_hash", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let probe = &probe_triples[i % TABLE];
+            i += 1;
+            black_box(triple_map.get(probe).copied())
+        })
+    });
+
+    // --- the cost of *constructing* the posted event key ---------------
+    // Ode posts a pre-assigned integer; Sentinel materialises a triple.
+    group.bench_function("int_key_construction", |b| {
+        b.iter(|| black_box(EventId(17)))
+    });
+    group.bench_function("triple_key_construction", |b| {
+        b.iter(|| {
+            black_box(StringTripleEvent::new(
+                "CredCard",
+                "void MemberFunction17(float amount, Date when)",
+                false,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_representation
+}
+criterion_main!(benches);

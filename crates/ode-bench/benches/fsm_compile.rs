@@ -1,0 +1,70 @@
+//! F1 — Figure 1 reproduction + FSM compilation cost.
+//!
+//! Prints the compiled AutoRaiseLimit machine (compare with the paper's
+//! Figure 1) and measures what the paper's chosen strategy pays: "we can
+//! therefore compile the state machines every time we compile an O++
+//! program … we chose to compile an FSM every time" (§5.1.3). Compilation
+//! must therefore be cheap; this bench quantifies it for the paper's two
+//! triggers and for growing synthetic expressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::{chain_expression, cred_card_alphabet, synthetic_alphabet};
+use ode_events::dfa::Dfa;
+use ode_events::parser::parse;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let al = cred_card_alphabet();
+    let src = "relative((after Buy & MoreCred()), after PayBill)";
+    let te = parse(src, &al).unwrap();
+    let fsm = Dfa::compile(&te, &al);
+    println!("\n=== Figure 1: FSM for {src} ===");
+    println!("{}", fsm.render(&al));
+    assert_eq!(fsm.len(), 4, "must be the paper's 4-state machine");
+
+    let mut group = c.benchmark_group("fsm_compile");
+    group.bench_function("AutoRaiseLimit(Figure1)", |b| {
+        b.iter(|| {
+            let te = parse(src, &al).unwrap();
+            Dfa::compile(&te, &al)
+        })
+    });
+    group.bench_function("DenyCredit", |b| {
+        let mut al = cred_card_alphabet();
+        al.add_mask("OverLimit");
+        b.iter(|| {
+            let te = parse("after Buy & OverLimit()", &al).unwrap();
+            Dfa::compile(&te, &al)
+        })
+    });
+    group.finish();
+}
+
+fn bench_compile_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fsm_compile_scaling");
+    for k in [2u32, 4, 8, 16] {
+        let al = synthetic_alphabet(k, 0);
+        let src = chain_expression(k);
+        group.bench_with_input(BenchmarkId::new("chain", k), &k, |b, _| {
+            b.iter(|| {
+                let te = parse(&src, &al).unwrap();
+                Dfa::compile(&te, &al)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figure1, bench_compile_scaling
+}
+criterion_main!(benches);

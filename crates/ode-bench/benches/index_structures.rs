@@ -1,0 +1,87 @@
+//! Substrate ablation: the persistent hash index (§5.1.3's structure for
+//! the object→triggers map) vs the B+-tree (disk-Ode's ordered index,
+//! §5.6) on the operations the trigger run-time and applications perform.
+//!
+//! Expected shape: point operations favour the hash index (it is why the
+//! paper hashes the trigger map); only the B+-tree can answer range
+//! queries at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_storage::btree::{u64_key, BTree};
+use ode_storage::hashindex::HashIndex;
+use ode_storage::{Oid, Storage};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+const KEYS: u64 = 2_000;
+
+fn bench_index_structures(c: &mut Criterion) {
+    let storage = Storage::volatile();
+    let txn = storage.begin().unwrap();
+    let cluster = storage.create_cluster(txn).unwrap();
+    let hash = HashIndex::create(&storage, txn, cluster).unwrap();
+    let tree = BTree::create(&storage, txn, cluster).unwrap();
+    for k in 0..KEYS {
+        hash.insert(&storage, txn, k, Oid::from_u64(k)).unwrap();
+        tree.insert(&storage, txn, &u64_key(k), Oid::from_u64(k))
+            .unwrap();
+    }
+
+    let mut group = c.benchmark_group("index_structures");
+    let mut i = 0u64;
+    group.bench_function("hash_point_lookup", |b| {
+        b.iter(|| {
+            i = (i + 7) % KEYS;
+            black_box(hash.get(&storage, txn, i).unwrap())
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("btree_point_lookup", |b| {
+        b.iter(|| {
+            i = (i + 7) % KEYS;
+            black_box(tree.get(&storage, txn, &u64_key(i)).unwrap())
+        })
+    });
+    let mut i = KEYS;
+    group.bench_function("hash_insert", |b| {
+        b.iter(|| {
+            i += 1;
+            hash.insert(&storage, txn, i, Oid::from_u64(i)).unwrap()
+        })
+    });
+    let mut i = 10 * KEYS;
+    group.bench_function("btree_insert", |b| {
+        b.iter(|| {
+            i += 1;
+            tree.insert(&storage, txn, &u64_key(i), Oid::from_u64(i))
+                .unwrap()
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("btree_range_100", |b| {
+        b.iter(|| {
+            i = (i + 13) % (KEYS - 100);
+            black_box(
+                tree.range(&storage, txn, Some(&u64_key(i)), Some(&u64_key(i + 100)))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+    storage.commit(txn).unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_index_structures
+}
+criterion_main!(benches);

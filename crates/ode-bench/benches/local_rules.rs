@@ -1,0 +1,113 @@
+//! E9 — §8's local rules: "they are low cost … no persistent storage is
+//! required for such triggers … such triggers never require obtaining
+//! write locks for the purpose of processing trigger events."
+//!
+//! The same trigger pattern is driven as (a) a persistent trigger and (b)
+//! a local rule; the measured unit is one event posting inside an open
+//! transaction. The printed lock counters confirm the no-write-lock claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::CredCard;
+use ode_core::{ClassBuilder, CouplingMode, Database, Perpetual};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn setup() -> (Database, ode_core::PersistentPtr<CredCard>) {
+    let db = Database::volatile();
+    let td = ClassBuilder::new("CredCard")
+        .after_event("Buy")
+        .user_event("BigBuy")
+        .trigger(
+            // Toggles on each posting (arm on Buy, complete on BigBuy) so
+            // the persistent variant really writes its state every time.
+            "Watch",
+            "after Buy, BigBuy",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |_| Ok(()),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    let card = db
+        .with_txn(|txn| {
+            db.pnew(
+                txn,
+                &CredCard {
+                    cred_lim: 1.0,
+                    curr_bal: 0.0,
+                },
+            )
+        })
+        .unwrap();
+    (db, card)
+}
+
+fn bench_local_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_rules");
+
+    // (a) Persistent trigger.
+    {
+        let (db, card) = setup();
+        db.with_txn(|txn| {
+            db.activate(txn, card, "Watch", &())?;
+            Ok(())
+        })
+        .unwrap();
+        let txn = db.begin().unwrap();
+        db.storage().reset_lock_stats();
+        group.bench_function("persistent_trigger", |b| {
+            b.iter(|| {
+                db.invoke(txn, card, "Buy", |_c: &mut CredCard| Ok(()))
+                    .unwrap();
+                db.post_user_event(txn, card, "BigBuy").unwrap();
+            })
+        });
+        let stats = db.storage().lock_stats();
+        println!(
+            "  [persistent] lock upgrades={} immediate_grants={}",
+            stats.upgrades, stats.immediate_grants
+        );
+        db.abort(txn).unwrap();
+    }
+
+    // (b) Local rule: transient state, no locks for trigger processing.
+    {
+        let (db, card) = setup();
+        let txn = db.begin().unwrap();
+        db.activate_local(txn, card, "Watch", &()).unwrap();
+        db.storage().reset_lock_stats();
+        group.bench_function("local_rule", |b| {
+            b.iter(|| {
+                db.invoke(txn, card, "Buy", |_c: &mut CredCard| Ok(()))
+                    .unwrap();
+                db.post_user_event(txn, card, "BigBuy").unwrap();
+            })
+        });
+        let stats = db.storage().lock_stats();
+        println!(
+            "  [local] lock upgrades={} immediate_grants={}",
+            stats.upgrades, stats.immediate_grants
+        );
+        assert_eq!(
+            stats.upgrades, 0,
+            "local rules must not take write locks for trigger processing"
+        );
+        db.abort(txn).unwrap();
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_local_rules
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! E4 — §6: "triggers turn read access into write access, increasing both
+//! the amount of time the transactions spend waiting for locks and the
+//! likelihood of deadlock."
+//!
+//! Workload: 4 threads repeatedly run a read-only transaction against a
+//! shared object (a member-function call that does not modify the
+//! object). Without a trigger this is all shared locks — full parallelism.
+//! With an active trigger whose FSM toggles on each posting, every
+//! "read" writes the persistent trigger state; the bench reports
+//! throughput and the lock manager's wait/deadlock counters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::{new_card, register_cred_card, CardSetup, CredCard};
+use ode_core::Database;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+const THREADS: usize = 4;
+const TXNS_PER_THREAD: usize = 50;
+
+/// One measured round: every thread runs TXNS_PER_THREAD transactions.
+fn round(db: &Arc<Database>, card: ode_core::PersistentPtr<CredCard>, with_trigger: bool) -> u32 {
+    let aborts = Arc::new(AtomicU32::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let db = Arc::clone(db);
+            let aborts = Arc::clone(&aborts);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..TXNS_PER_THREAD {
+                    let r = db.with_txn(|txn| {
+                        // A read-only member invocation.
+                        db.invoke(txn, card, "Buy", |_c: &mut CredCard| Ok(()))?;
+                        if with_trigger {
+                            // Completes the armed pattern so the FSM state
+                            // toggles (stays write-heavy, like real arming
+                            // patterns).
+                            db.post_user_event(txn, card, "BigBuy")?;
+                        }
+                        Ok(())
+                    });
+                    if let Err(e) = r {
+                        assert!(e.is_abort(), "{e}");
+                        aborts.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    aborts.load(Ordering::SeqCst)
+}
+
+fn setup(with_trigger: bool) -> (Arc<Database>, ode_core::PersistentPtr<CredCard>) {
+    let db = Arc::new(Database::volatile());
+    if with_trigger {
+        // Pattern that toggles on Buy/BigBuy alternation.
+        let td = ode_core::ClassBuilder::new("CredCard")
+            .after_event("Buy")
+            .user_event("BigBuy")
+            .trigger(
+                "Watch",
+                "after Buy, BigBuy",
+                ode_core::CouplingMode::Immediate,
+                ode_core::Perpetual::Yes,
+                |_| Ok(()),
+            )
+            .build(db.registry())
+            .unwrap();
+        db.register_class(&td).unwrap();
+        let card = db
+            .with_txn(|txn| {
+                let card = db.pnew(
+                    txn,
+                    &CredCard {
+                        cred_lim: 1.0,
+                        curr_bal: 0.0,
+                    },
+                )?;
+                db.activate(txn, card, "Watch", &())?;
+                Ok(card)
+            })
+            .unwrap();
+        (db, card)
+    } else {
+        register_cred_card(&db, CardSetup::EventsOnly);
+        let card = new_card(&db, 0);
+        (db, card)
+    }
+}
+
+fn bench_lock_amplification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_amplification");
+    group.throughput(criterion::Throughput::Elements(
+        (THREADS * TXNS_PER_THREAD) as u64,
+    ));
+
+    for (label, with_trigger) in [("readers_no_trigger", false), ("readers_with_trigger", true)] {
+        let (db, card) = setup(with_trigger);
+        db.storage().reset_lock_stats();
+        let mut total_aborts = 0u32;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                total_aborts += round(&db, card, with_trigger);
+            })
+        });
+        let stats = db.storage().lock_stats();
+        println!(
+            "  [{label}] waits={} deadlocks={} upgrades={} wait_ms={} victim_aborts={}",
+            stats.waits,
+            stats.deadlocks,
+            stats.upgrades,
+            stats.wait_micros / 1000,
+            total_aborts
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lock_amplification
+}
+criterion_main!(benches);

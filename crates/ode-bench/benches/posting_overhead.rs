@@ -1,0 +1,68 @@
+//! E1 — design goals 3 & 4: "the overhead associated with triggers should
+//! be paid only by objects of classes with triggers" and "the trigger
+//! facilities should not add any overhead to volatile object accesses".
+//!
+//! Series (per member-function call):
+//!   volatile            — a plain Rust method call on the same struct
+//!   no_events           — invoke on a class with no declared events
+//!   events_no_trigger   — events declared, object has no active triggers
+//!                         (the header-flag short circuit, §5.4.5 fn 3)
+//!   one_trigger         — one active trigger advances per event
+//!   four_triggers       — four active triggers advance per event
+//!
+//! Expected shape: volatile ≪ everything; no_events ≈ events_no_trigger;
+//! cost grows with active-trigger count only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::{buy, new_card, register_cred_card, CardSetup, CredCard};
+use ode_core::Database;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn bench_posting_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posting_overhead");
+
+    // Volatile: the same "member function", no database in sight.
+    group.bench_function("volatile", |b| {
+        let mut card = CredCard {
+            cred_lim: 1_000_000.0,
+            curr_bal: 0.0,
+        };
+        b.iter(|| {
+            card.curr_bal += 1.0;
+            black_box(card.curr_bal);
+        })
+    });
+
+    // Helper: one invoke per iteration inside a long-lived transaction.
+    let run = |setup: CardSetup, n_triggers: usize| {
+        let db = Database::volatile();
+        register_cred_card(&db, setup);
+        let card = new_card(&db, n_triggers);
+        move |b: &mut criterion::Bencher| {
+            let txn = db.begin().unwrap();
+            b.iter(|| buy(&db, txn, card, 1.0));
+            db.abort(txn).unwrap();
+        }
+    };
+
+    group.bench_function("no_events", run(CardSetup::NoEvents, 0));
+    group.bench_function("events_no_trigger", run(CardSetup::WithTrigger, 0));
+    group.bench_function("one_trigger", run(CardSetup::WithTrigger, 1));
+    group.bench_function("four_triggers", run(CardSetup::WithTrigger, 4));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_posting_overhead
+}
+criterion_main!(benches);

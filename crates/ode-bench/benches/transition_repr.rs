@@ -1,0 +1,100 @@
+//! E3 — the §6 transition-representation lesson: dense 2-D tables over the
+//! global event-id space vs the sparse per-state transition lists the
+//! paper settled on.
+//!
+//! Two quantities:
+//! * **memory** (printed, not timed): bytes for the AutoRaiseLimit machine
+//!   under both representations as the global registry grows — the dense
+//!   table scales with the registry, the sparse one does not;
+//! * **advance speed**: events/step on sparse binary-search lists vs dense
+//!   direct indexing (the dense table's only advantage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_bench::{cred_card_alphabet, event_stream};
+use ode_events::dfa::Dfa;
+use ode_events::event::Symbol;
+use ode_events::fsm::{sparse_table_bytes, DenseFsm};
+use ode_events::parser::parse;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+fn bench_transition_repr(c: &mut Criterion) {
+    let al = cred_card_alphabet();
+    let te = parse("relative((after Buy & MoreCred()), after PayBill)", &al).unwrap();
+    let dfa = Dfa::compile(&te, &al);
+
+    println!("\n=== E3: transition-table memory (AutoRaiseLimit, 4 states) ===");
+    println!("{:>24}  {:>12}", "representation", "bytes");
+    println!("{:>24}  {:>12}", "sparse lists", sparse_table_bytes(&dfa));
+    for registry_events in [3u32, 64, 1024, 16384] {
+        let dense = DenseFsm::from_dfa(&dfa, registry_events, 1);
+        println!(
+            "{:>24}  {:>12}",
+            format!("dense ({registry_events}-event registry)"),
+            dense.table_bytes()
+        );
+    }
+
+    let stream = event_stream(1024, 3, 7);
+    let mut group = c.benchmark_group("transition_repr_advance");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("sparse", |b| {
+        b.iter(|| {
+            let mut state = dfa.start();
+            for &e in &stream {
+                if let Some(next) = dfa.states()[state as usize].next(Symbol::Event(e)) {
+                    state = next;
+                }
+                // Skip masks: this isolates the transition lookup.
+                if let Some(&m) = dfa.states()[state as usize].masks.first() {
+                    if let Some(next) =
+                        dfa.states()[state as usize].next(Symbol::False(m))
+                    {
+                        state = next;
+                    }
+                }
+            }
+            black_box(state)
+        })
+    });
+
+    for registry_events in [3u32, 16384] {
+        let dense = DenseFsm::from_dfa(&dfa, registry_events, 1);
+        group.bench_with_input(
+            BenchmarkId::new("dense", registry_events),
+            &registry_events,
+            |b, _| {
+                b.iter(|| {
+                    let mut state = dense.start();
+                    for &e in &stream {
+                        if let Some(next) = dense.next(state, Symbol::Event(e)) {
+                            state = next;
+                        }
+                        if let Some(&m) = dense.masks(state).first() {
+                            if let Some(next) = dense.next(state, Symbol::False(m)) {
+                                state = next;
+                            }
+                        }
+                    }
+                    black_box(state)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_transition_repr
+}
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Shared fixtures and workloads for the Ode benchmark suite.
+//!
+//! Every bench target under `benches/` regenerates one experiment from
+//! EXPERIMENTS.md (F1, E1–E9). The fixtures here mirror the paper's §4
+//! credit-card example so the measured code paths are the ones the paper
+//! talks about.
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+    TxnId,
+};
+use ode_events::ast::Alphabet;
+use ode_events::event::EventId;
+
+/// The paper's CredCard, reduced to the fields the triggers consult.
+#[derive(Debug, Clone)]
+pub struct CredCard {
+    /// Credit limit.
+    pub cred_lim: f32,
+    /// Current balance.
+    pub curr_bal: f32,
+}
+
+impl Encode for CredCard {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cred_lim.encode(buf);
+        self.curr_bal.encode(buf);
+    }
+}
+impl Decode for CredCard {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(CredCard {
+            cred_lim: f32::decode(buf)?,
+            curr_bal: f32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for CredCard {
+    const CLASS: &'static str = "CredCard";
+}
+
+/// How much trigger machinery the registered CredCard class carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardSetup {
+    /// No events declared at all (a plain persistent class).
+    NoEvents,
+    /// Events declared, but no trigger will be activated.
+    EventsOnly,
+    /// Events + the paper's AutoRaiseLimit-style trigger defined.
+    WithTrigger,
+}
+
+/// Register the CredCard class in `db` with the requested amount of
+/// machinery.
+pub fn register_cred_card(db: &Database, setup: CardSetup) {
+    let builder = ClassBuilder::new("CredCard");
+    let builder = match setup {
+        CardSetup::NoEvents => builder,
+        CardSetup::EventsOnly => builder
+            .after_event("Buy")
+            .after_event("PayBill")
+            .user_event("BigBuy"),
+        CardSetup::WithTrigger => builder
+            .after_event("Buy")
+            .after_event("PayBill")
+            .user_event("BigBuy")
+            .mask("MoreCred", |ctx| {
+                let c: CredCard = ctx.object()?;
+                Ok(c.curr_bal > 0.8 * c.cred_lim)
+            })
+            .trigger(
+                "AutoRaiseLimit",
+                "relative((after Buy & MoreCred()), after PayBill)",
+                CouplingMode::Immediate,
+                Perpetual::Yes,
+                |_| Ok(()),
+            ),
+    };
+    let td = builder.build(db.registry()).expect("class builds");
+    db.register_class(&td).expect("class registers");
+}
+
+/// Create a card; optionally activate `n_triggers` AutoRaiseLimit
+/// instances on it.
+pub fn new_card(db: &Database, n_triggers: usize) -> PersistentPtr<CredCard> {
+    db.with_txn(|txn| {
+        let card = db.pnew(
+            txn,
+            &CredCard {
+                cred_lim: 1_000_000.0,
+                curr_bal: 0.0,
+            },
+        )?;
+        for _ in 0..n_triggers {
+            db.activate(txn, card, "AutoRaiseLimit", &100.0f32)?;
+        }
+        Ok(card)
+    })
+    .expect("card created")
+}
+
+/// One Buy through the wrapper-function path.
+pub fn buy(db: &Database, txn: TxnId, card: PersistentPtr<CredCard>, amount: f32) {
+    db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+        c.curr_bal += amount;
+        Ok(())
+    })
+    .expect("buy succeeds");
+}
+
+/// The CredCard alphabet in eventRep order (§5.2), for pure-FSM benches.
+pub fn cred_card_alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.add_event(EventId(0), "BigBuy");
+    al.add_event(EventId(1), "after PayBill");
+    al.add_event(EventId(2), "after Buy");
+    al.add_mask("MoreCred");
+    al
+}
+
+/// A synthetic alphabet of `n` events named `e0..e{n-1}` plus `m` masks.
+pub fn synthetic_alphabet(n: u32, masks: u16) -> Alphabet {
+    let mut al = Alphabet::new();
+    for i in 0..n {
+        al.add_event(EventId(i), &format!("e{i}"));
+    }
+    for i in 0..masks {
+        al.add_mask(&format!("m{i}"));
+    }
+    al
+}
+
+/// A chain expression `e0, e1, …, e{k-1}` (sequence of length k) over the
+/// synthetic alphabet — detection cost scales with its machine size.
+pub fn chain_expression(k: u32) -> String {
+    (0..k).map(|i| format!("e{i}")).collect::<Vec<_>>().join(", ")
+}
+
+/// A deterministic pseudo-random event stream over ids `0..n`.
+pub fn event_stream(len: usize, n: u32, seed: u64) -> Vec<EventId> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            EventId((state % n as u64) as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let db = Database::volatile();
+        register_cred_card(&db, CardSetup::WithTrigger);
+        let card = new_card(&db, 1);
+        db.with_txn(|txn| {
+            buy(&db, txn, card, 10.0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.trigger_stats().fsm_advances, 1);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(event_stream(16, 3, 42), event_stream(16, 3, 42));
+        assert_ne!(event_stream(16, 3, 42), event_stream(16, 3, 43));
+        assert!(event_stream(100, 3, 1).iter().all(|e| e.0 < 3));
+    }
+
+    #[test]
+    fn chain_expression_parses() {
+        let al = synthetic_alphabet(8, 0);
+        let te = ode_events::parser::parse(&chain_expression(8), &al).unwrap();
+        let dfa = ode_events::dfa::Dfa::compile(&te, &al);
+        assert!(dfa.len() >= 8);
+    }
+}

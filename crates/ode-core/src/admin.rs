@@ -1,0 +1,170 @@
+//! Administrative checks: verify the invariants that tie the trigger
+//! run-time's persistent structures together.
+//!
+//! The §5 design spreads trigger machinery across three places — the
+//! object header flag (§5.4.5 footnote 3), the object→triggers hash index
+//! (§5.1.3), and the `TriggerState` records (§5.4.1) — and correctness
+//! depends on them agreeing. [`Database::verify_integrity`] walks all
+//! three and reports every violation; tests run it after torture
+//! scenarios, and operators can run it any time.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::trigger::TriggerStateRec;
+use ode_storage::codec::decode_all;
+use ode_storage::{Oid, StorageError, TxnId};
+
+/// One integrity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityIssue {
+    /// An index entry points at a missing or undecodable TriggerState.
+    DanglingIndexEntry {
+        /// Packed anchor key.
+        anchor: Oid,
+        /// The missing state record.
+        state: Oid,
+    },
+    /// A TriggerState is not indexed under one of its anchors.
+    MissingIndexEntry {
+        /// The anchor lacking the entry.
+        anchor: Oid,
+        /// The state record.
+        state: Oid,
+    },
+    /// An object has active triggers but its header flag is clear.
+    FlagShouldBeSet {
+        /// The object.
+        anchor: Oid,
+    },
+    /// An object's header flag is set but it has no active triggers.
+    FlagShouldBeClear {
+        /// The object.
+        anchor: Oid,
+    },
+    /// A TriggerState names a trigger its (registered) class lacks.
+    UnknownTrigger {
+        /// The state record.
+        state: Oid,
+        /// Defining class named by the record.
+        class: String,
+        /// Trigger name that failed to resolve.
+        trigger: String,
+    },
+    /// A TriggerState's FSM state number is out of range for the compiled
+    /// machine.
+    StaleStateNumber {
+        /// The state record.
+        state: Oid,
+        /// The stored state number.
+        statenum: u32,
+        /// The machine's state count.
+        fsm_len: usize,
+    },
+}
+
+/// Report from [`Database::verify_integrity`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// All violations found (empty = healthy).
+    pub issues: Vec<IntegrityIssue>,
+    /// TriggerState records inspected.
+    pub states_checked: usize,
+    /// Distinct anchors appearing in the index.
+    pub anchors_checked: usize,
+}
+
+impl IntegrityReport {
+    /// No violations?
+    pub fn is_healthy(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl Database {
+    /// Cross-check the trigger index, state records, and object header
+    /// flags. Read-only. Classes must be registered for trigger-name and
+    /// FSM checks to apply (unregistered classes are skipped).
+    pub fn verify_integrity(&self, txn: TxnId) -> Result<IntegrityReport> {
+        let mut report = IntegrityReport::default();
+        let entries = self.trigger_index.entries(&self.storage, txn)?;
+        report.anchors_checked = entries.len();
+
+        for (key, states) in &entries {
+            let anchor = Oid::from_u64(*key);
+            // Flag consistency.
+            match self.read_raw(txn, anchor) {
+                Ok((header, _)) => {
+                    if !states.is_empty() && !header.has_triggers() {
+                        report
+                            .issues
+                            .push(IntegrityIssue::FlagShouldBeSet { anchor });
+                    }
+                    if states.is_empty() && header.has_triggers() {
+                        report
+                            .issues
+                            .push(IntegrityIssue::FlagShouldBeClear { anchor });
+                    }
+                }
+                Err(_) => { /* anchor deleted with dangling entries handled below */ }
+            }
+            for &state in states {
+                report.states_checked += 1;
+                let record = match self.storage.read(txn, state) {
+                    Ok(r) => r,
+                    Err(StorageError::NoSuchObject(_)) => {
+                        report
+                            .issues
+                            .push(IntegrityIssue::DanglingIndexEntry { anchor, state });
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let Ok(rec) = decode_all::<TriggerStateRec>(&record) else {
+                    report
+                        .issues
+                        .push(IntegrityIssue::DanglingIndexEntry { anchor, state });
+                    continue;
+                };
+                // Every anchor of the record must hold an index entry.
+                let mut anchors = vec![rec.anchor];
+                anchors.extend(rec.anchors.iter().map(|(_, o)| *o));
+                anchors.dedup();
+                for a in anchors {
+                    let indexed = self
+                        .trigger_index
+                        .get(&self.storage, txn, a.to_u64())?
+                        .contains(&state);
+                    if !indexed {
+                        report
+                            .issues
+                            .push(IntegrityIssue::MissingIndexEntry { anchor: a, state });
+                    }
+                }
+                // Descriptor checks, when the class is registered.
+                if let Some(td) = self.descriptor(&rec.class_name) {
+                    let resolved = td
+                        .trigger_by_num(rec.triggernum as usize)
+                        .filter(|i| i.name == rec.trigger_name)
+                        .or_else(|| td.trigger(&rec.trigger_name).map(|(_, i)| i));
+                    match resolved {
+                        None => report.issues.push(IntegrityIssue::UnknownTrigger {
+                            state,
+                            class: rec.class_name.clone(),
+                            trigger: rec.trigger_name.clone(),
+                        }),
+                        Some(info) => {
+                            if rec.statenum as usize >= info.fsm.len() {
+                                report.issues.push(IntegrityIssue::StaleStateNumber {
+                                    state,
+                                    statenum: rec.statenum,
+                                    fsm_len: info.fsm.len(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,359 @@
+//! Defining classes with events and triggers — the O++ compiler's job,
+//! exposed as a builder.
+//!
+//! The paper's running example (§4):
+//!
+//! ```text
+//! persistent class CredCard {
+//!     ...
+//!     event after Buy, after PayBill, BigBuy;
+//!     trigger DenyCredit() : perpetual after Buy & (currBal > credLim)
+//!         ==> { BlackMark("Over Limit", today()); tabort; }
+//!     trigger AutoRaiseLimit(float amount) :
+//!         relative((after Buy & MoreCred()), after PayBill)
+//!         ==> RaiseLimit(amount);
+//! };
+//! ```
+//!
+//! becomes:
+//!
+//! ```ignore
+//! let cred_card = ClassBuilder::new("CredCard")
+//!     .after_event("Buy")
+//!     .after_event("PayBill")
+//!     .user_event("BigBuy")
+//!     .mask("OverLimit", |ctx| { let c: CredCard = ctx.object()?; Ok(c.curr_bal > c.cred_lim) })
+//!     .mask("MoreCred",  |ctx| { ... })
+//!     .trigger("DenyCredit", "after Buy & OverLimit()",
+//!              CouplingMode::Immediate, Perpetual::Yes,
+//!              |ctx| { ...; Err(ctx.tabort("Over Limit")) })
+//!     .trigger("AutoRaiseLimit", "relative((after Buy & MoreCred()), after PayBill)",
+//!              CouplingMode::Immediate, Perpetual::No,
+//!              |ctx| { let amount: f32 = ctx.params()?; ... })
+//!     .build(db.registry())?;
+//! ```
+//!
+//! `build` does what the O++ compiler did every time it compiled a program
+//! (§5.1.3): intern the declared events in the run-time registry (§5.2)
+//! and compile each trigger's event expression into an FSM.
+
+use crate::context::TriggerCtx;
+use crate::error::{OdeError, Result};
+use crate::metatype::{ActionFn, CouplingMode, MaskFn, TriggerInfo, TypeDescriptor};
+use ode_events::ast::Alphabet;
+use ode_events::dfa::Dfa;
+use ode_events::event::{BasicEvent, EventId};
+use ode_events::parser::parse;
+use ode_events::registry::EventRegistry;
+use std::sync::Arc;
+
+/// Whether a trigger stays active after firing (§4: "because the trigger
+/// is marked perpetual, it remains in force after activation until
+/// explicitly deactivated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perpetual {
+    /// Once-only: deactivated after its first firing.
+    No,
+    /// Perpetual: keeps firing until explicitly deactivated.
+    Yes,
+}
+
+struct PendingTrigger {
+    name: String,
+    expr: String,
+    coupling: CouplingMode,
+    perpetual: Perpetual,
+    action: ActionFn,
+}
+
+/// Builds a [`TypeDescriptor`].
+pub struct ClassBuilder {
+    name: String,
+    bases: Vec<Arc<TypeDescriptor>>,
+    events: Vec<BasicEvent>,
+    masks: Vec<(String, MaskFn)>,
+    triggers: Vec<PendingTrigger>,
+    txn_events: bool,
+}
+
+impl ClassBuilder {
+    /// Start defining a class.
+    pub fn new(name: &str) -> ClassBuilder {
+        ClassBuilder {
+            name: name.to_string(),
+            bases: Vec::new(),
+            events: Vec::new(),
+            masks: Vec::new(),
+            triggers: Vec::new(),
+            txn_events: false,
+        }
+    }
+
+    /// Inherit from a base class: its declared events keep their ids (the
+    /// §6 numbering lesson) and its triggers remain activatable on objects
+    /// of this class.
+    pub fn base(mut self, base: &Arc<TypeDescriptor>) -> Self {
+        self.bases.push(Arc::clone(base));
+        self
+    }
+
+    /// Declare an arbitrary basic event.
+    pub fn event(mut self, event: BasicEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Declare `after <method>`.
+    pub fn after_event(self, method: &str) -> Self {
+        self.event(BasicEvent::after(method))
+    }
+
+    /// Declare `before <method>`.
+    pub fn before_event(self, method: &str) -> Self {
+        self.event(BasicEvent::before(method))
+    }
+
+    /// Declare a user-defined event.
+    pub fn user_event(self, name: &str) -> Self {
+        self.event(BasicEvent::user(name))
+    }
+
+    /// Declare a timer event (timed-trigger extension, §8).
+    pub fn timer_event(self, name: &str) -> Self {
+        self.event(BasicEvent::Timer {
+            name: name.to_string(),
+        })
+    }
+
+    /// Declare interest in `before tcomplete` and `before tabort` (§5.5).
+    pub fn txn_events(mut self) -> Self {
+        self.txn_events = true;
+        self
+    }
+
+    /// Define a mask predicate, usable in trigger expressions as
+    /// `& <name>()`.
+    pub fn mask(
+        mut self,
+        name: &str,
+        f: impl for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<bool> + Send + Sync + 'static,
+    ) -> Self {
+        self.masks.push((name.to_string(), Arc::new(f)));
+        self
+    }
+
+    /// Define a trigger: name, event expression (concrete syntax of
+    /// [`ode_events::parser`]), coupling mode, perpetuity, and action.
+    pub fn trigger(
+        mut self,
+        name: &str,
+        expr: &str,
+        coupling: CouplingMode,
+        perpetual: Perpetual,
+        action: impl for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        self.triggers.push(PendingTrigger {
+            name: name.to_string(),
+            expr: expr.to_string(),
+            coupling,
+            perpetual,
+            action: Arc::new(action),
+        });
+        self
+    }
+
+    /// Resolve events, compile trigger FSMs, and produce the descriptor.
+    pub fn build(self, registry: &EventRegistry) -> Result<Arc<TypeDescriptor>> {
+        let mut alphabet = Alphabet::new();
+        let mut all_events: Vec<(BasicEvent, EventId, String)> = Vec::new();
+
+        // Inherited events first, keeping their defining class and id.
+        for base in &self.bases {
+            for (event, id, defining) in base.events() {
+                match all_events.iter().find(|(e, _, _)| e == event) {
+                    None => {
+                        alphabet.add_event(*id, &event.key());
+                        all_events.push((event.clone(), *id, defining.clone()));
+                    }
+                    Some((_, existing, _)) if existing == id => {} // diamond
+                    Some((_, _, other)) => {
+                        return Err(OdeError::Schema(format!(
+                            "class {:?}: event {:?} inherited from both {:?} and {:?}",
+                            self.name,
+                            event.key(),
+                            other,
+                            defining
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Own declarations.
+        let mut own = self.events;
+        if self.txn_events {
+            own.push(BasicEvent::TxnComplete);
+            own.push(BasicEvent::TxnAbort);
+        }
+        for event in own {
+            if all_events.iter().any(|(e, _, _)| *e == event) {
+                // Redeclaring an inherited event is a no-op (same id).
+                continue;
+            }
+            let id = registry.intern(&self.name, &event);
+            alphabet.add_event(id, &event.key());
+            all_events.push((event, id, self.name.clone()));
+        }
+
+        // Masks (own only: inherited triggers run through their own
+        // descriptor, so base masks never need re-resolution here).
+        for (name, _) in &self.masks {
+            alphabet.add_mask(name);
+        }
+
+        // Compile the triggers — "we chose to compile an FSM every time"
+        // (§5.1.3).
+        let mut triggers = Vec::with_capacity(self.triggers.len());
+        for pending in self.triggers {
+            let te = parse(&pending.expr, &alphabet)?;
+            let fsm = Dfa::compile(&te, &alphabet);
+            triggers.push(TriggerInfo {
+                name: pending.name,
+                fsm,
+                action: pending.action,
+                perpetual: pending.perpetual == Perpetual::Yes,
+                coupling: pending.coupling,
+                event_source: pending.expr,
+            });
+        }
+
+        Ok(Arc::new(TypeDescriptor::new(
+            self.name,
+            self.bases,
+            alphabet,
+            all_events,
+            self.masks,
+            triggers,
+            self.txn_events,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_events::event::EventTime;
+
+    #[test]
+    fn cred_card_descriptor_shape() {
+        let reg = EventRegistry::new();
+        let td = ClassBuilder::new("CredCard")
+            .user_event("BigBuy")
+            .after_event("PayBill")
+            .after_event("Buy")
+            .mask("MoreCred", |_| Ok(true))
+            .trigger(
+                "AutoRaiseLimit",
+                "relative((after Buy & MoreCred()), after PayBill)",
+                CouplingMode::Immediate,
+                Perpetual::No,
+                |_| Ok(()),
+            )
+            .build(&reg)
+            .unwrap();
+        assert_eq!(td.name(), "CredCard");
+        assert_eq!(td.events().len(), 3);
+        let (num, info) = td.trigger("AutoRaiseLimit").unwrap();
+        assert_eq!(num, 0);
+        assert_eq!(info.fsm.len(), 4, "Figure 1 reproduced in the descriptor");
+        assert!(!info.perpetual);
+        assert!(td.member_event("Buy", EventTime::After).is_some());
+        assert!(td.member_event("Buy", EventTime::Before).is_none());
+    }
+
+    #[test]
+    fn bad_expression_fails_build() {
+        let reg = EventRegistry::new();
+        let result = ClassBuilder::new("C")
+            .after_event("f")
+            .trigger("T", "after g", CouplingMode::Immediate, Perpetual::No, |_| Ok(()))
+            .build(&reg);
+        assert!(matches!(result, Err(OdeError::Parse(_))));
+    }
+
+    #[test]
+    fn inherited_events_keep_base_ids() {
+        let reg = EventRegistry::new();
+        let base = ClassBuilder::new("Base").after_event("f").build(&reg).unwrap();
+        let derived = ClassBuilder::new("Derived")
+            .base(&base)
+            .after_event("g")
+            .build(&reg)
+            .unwrap();
+        assert_eq!(
+            base.member_event("f", EventTime::After),
+            derived.member_event("f", EventTime::After)
+        );
+        assert!(derived.member_event("g", EventTime::After).is_some());
+        assert!(base.member_event("g", EventTime::After).is_none());
+    }
+
+    #[test]
+    fn diamond_inheritance_is_fine_conflicts_are_not() {
+        let reg = EventRegistry::new();
+        let root = ClassBuilder::new("Root").after_event("f").build(&reg).unwrap();
+        let left = ClassBuilder::new("Left").base(&root).build(&reg).unwrap();
+        let right = ClassBuilder::new("Right").base(&root).build(&reg).unwrap();
+        // Diamond: Root's `after f` reaches Bottom twice with the same id.
+        let bottom = ClassBuilder::new("Bottom")
+            .base(&left)
+            .base(&right)
+            .build(&reg)
+            .unwrap();
+        assert_eq!(
+            bottom.member_event("f", EventTime::After),
+            root.member_event("f", EventTime::After)
+        );
+        // Conflict: two unrelated bases declare `after f` (distinct ids) —
+        // exactly the multiple-inheritance ambiguity §6 describes.
+        let a = ClassBuilder::new("A").after_event("f").build(&reg).unwrap();
+        let b = ClassBuilder::new("B").after_event("f").build(&reg).unwrap();
+        let result = ClassBuilder::new("AB").base(&a).base(&b).build(&reg);
+        assert!(matches!(result, Err(OdeError::Schema(_))));
+    }
+
+    #[test]
+    fn txn_events_declared_once_across_hierarchy() {
+        let reg = EventRegistry::new();
+        let base = ClassBuilder::new("Base").txn_events().build(&reg).unwrap();
+        let derived = ClassBuilder::new("Derived")
+            .base(&base)
+            .txn_events()
+            .build(&reg)
+            .unwrap();
+        assert!(derived.wants_txn_events());
+        // The derived class reuses the inherited event id.
+        assert_eq!(derived.txn_event_ids(true).len(), 1);
+        assert_eq!(derived.txn_event_ids(false).len(), 1);
+        assert_eq!(derived.txn_event_ids(true), base.txn_event_ids(true));
+    }
+
+    #[test]
+    fn triggers_can_use_inherited_events() {
+        let reg = EventRegistry::new();
+        let base = ClassBuilder::new("Base").after_event("f").build(&reg).unwrap();
+        let derived = ClassBuilder::new("Derived")
+            .base(&base)
+            .user_event("Ping")
+            .trigger(
+                "T",
+                "after f, Ping",
+                CouplingMode::Immediate,
+                Perpetual::No,
+                |_| Ok(()),
+            )
+            .build(&reg)
+            .unwrap();
+        assert!(derived.trigger("T").is_some());
+    }
+}

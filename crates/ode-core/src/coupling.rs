@@ -1,0 +1,220 @@
+//! Transaction boundaries and coupling modes (§4.2, §5.5).
+//!
+//! Commit processing follows the paper:
+//!
+//! 1. "Immediately before posting `before tcomplete` events, commit
+//!    processing scans the end list and executes the relevant actions."
+//! 2. `before tcomplete` is posted to every object on the transaction
+//!    event object list (populated when such objects were first accessed).
+//! 3. The storage transaction commits.
+//! 4. "The routine for committing a transaction scans the dependent list
+//!    in one transaction and the !dependent list in another" — system
+//!    transactions, with the dependent one carrying a commit dependency on
+//!    the detecting transaction.
+//!
+//! Abort processing posts `before tabort`, rolls everything back (trigger
+//! state updates ride the ordinary undo, so "actions of aborted
+//! transactions are rolled back, \[and\] so are their associated events"),
+//! and then runs the `!dependent` list in a system transaction — the one
+//! channel through which an aborted transaction can leave permanent
+//! traces, exactly as §5.5 describes.
+//!
+//! `after tcommit` and `after tabort` are *not* offered; §6 explains why
+//! they were dropped (serialization-order and crash-atomicity problems
+//! that would require phoenix transactions).
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::post::Firing;
+use ode_storage::{StorageError, TxnId, TxnState};
+
+/// Bound on end-trigger cascades (end actions scheduling more end
+/// triggers).
+const MAX_END_ROUNDS: usize = 32;
+
+impl Database {
+    /// Begin a transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        Ok(self.storage.begin()?)
+    }
+
+    /// Run `f` inside a transaction: commit on `Ok`, abort on `Err` (this
+    /// is how a trigger action's `tabort` actually takes the transaction
+    /// down).
+    pub fn with_txn<R>(&self, f: impl FnOnce(TxnId) -> Result<R>) -> Result<R> {
+        let txn = self.begin()?;
+        match f(txn) {
+            Ok(value) => {
+                self.commit(txn)?;
+                Ok(value)
+            }
+            Err(e) => {
+                let _ = self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`Database::with_txn`], but transparently retries when the
+    /// transaction is chosen as a deadlock victim (or hits the lock
+    /// timeout) — the §6 observation that triggers raise "the likelihood
+    /// of deadlock" makes such victims a normal operating condition, and
+    /// the standard response is to rerun the transaction. `tabort` and
+    /// other application errors are *not* retried.
+    pub fn with_txn_retry<R>(
+        &self,
+        max_attempts: usize,
+        f: impl Fn(TxnId) -> Result<R>,
+    ) -> Result<R> {
+        let mut last = None;
+        for _ in 0..max_attempts.max(1) {
+            match self.with_txn(&f) {
+                Err(e)
+                    if matches!(
+                        e,
+                        crate::error::OdeError::Storage(StorageError::Deadlock(_))
+                            | crate::error::OdeError::Storage(StorageError::LockTimeout(_))
+                    ) =>
+                {
+                    last = Some(e);
+                }
+                other => return other,
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Commit: end actions, `before tcomplete`, storage commit, then the
+    /// dependent/!dependent lists in system transactions.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        if let Err(e) = self.pre_commit(txn) {
+            // An end action or tcomplete trigger aborted the transaction
+            // (e.g. tabort, or a constraint check). Take the full abort
+            // path, which still honours !dependent firings.
+            let _ = self.abort(txn);
+            return Err(e);
+        }
+        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        match self.storage.commit(txn) {
+            Ok(()) => {
+                self.run_detached(local.dep_list, Some(txn));
+                self.run_detached(local.indep_list, None);
+                Ok(())
+            }
+            Err(e) => {
+                // storage.commit aborts the transaction itself on a failed
+                // commit dependency. !dependent actions still run — they
+                // are independent of the detecting transaction's fate.
+                self.run_detached(local.indep_list, None);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Abort: post `before tabort`, roll back, then run the `!dependent`
+    /// list in a system transaction.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let active = matches!(
+            self.storage.txn_manager().state(txn),
+            Some(TxnState::Active)
+        );
+        if active {
+            // Best effort: the event postings and any immediate actions
+            // they fire are about to be rolled back anyway; their only
+            // durable consequence is scheduling !dependent firings.
+            let _ = self.post_txn_events(txn, false);
+        }
+        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        let result = if active {
+            self.storage.abort(txn).map_err(Into::into)
+        } else {
+            Err(crate::error::OdeError::Storage(
+                StorageError::TxnNotActive(txn),
+            ))
+        };
+        self.run_detached(local.indep_list, None);
+        result
+    }
+
+    fn pre_commit(&self, txn: TxnId) -> Result<()> {
+        self.drain_end_list(txn)?;
+        self.post_txn_events(txn, true)?;
+        // tcomplete triggers may themselves schedule end actions.
+        self.drain_end_list(txn)?;
+        Ok(())
+    }
+
+    fn drain_end_list(&self, txn: TxnId) -> Result<()> {
+        for _ in 0..MAX_END_ROUNDS {
+            let batch: Vec<Firing> = {
+                let mut locals = self.txn_local.lock();
+                match locals.get_mut(&txn) {
+                    Some(local) => std::mem::take(&mut local.end_list),
+                    None => Vec::new(),
+                }
+            };
+            if batch.is_empty() {
+                return Ok(());
+            }
+            for firing in batch {
+                self.fire(txn, &firing, false)?;
+            }
+        }
+        Err(crate::error::OdeError::Action(
+            "end-coupled trigger cascade did not quiesce".into(),
+        ))
+    }
+
+    /// Post `before tcomplete` / `before tabort` to every object on the
+    /// transaction event object list.
+    fn post_txn_events(&self, txn: TxnId, complete: bool) -> Result<()> {
+        let oids: Vec<ode_storage::Oid> = {
+            let locals = self.txn_local.lock();
+            locals
+                .get(&txn)
+                .map(|l| l.txn_event_objects.clone())
+                .unwrap_or_default()
+        };
+        for oid in oids {
+            let header = match self.read_raw(txn, oid) {
+                Ok((h, _)) => h,
+                // Deleted within the transaction: nothing to notify.
+                Err(_) => continue,
+            };
+            let Ok(entry) = self.entry_by_id(header.class_id) else {
+                continue;
+            };
+            for event in entry.td.txn_event_ids(complete) {
+                self.post_event(txn, oid, event)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run detached firings in a fresh system transaction (§5.5: "it
+    /// starts a new system transaction … and executes the relevant
+    /// actions"). Failures abort only the system transaction and are
+    /// counted, not propagated — the user transaction has already
+    /// committed or aborted.
+    fn run_detached(&self, firings: Vec<Firing>, depends_on: Option<TxnId>) {
+        if firings.is_empty() {
+            return;
+        }
+        let run = || -> Result<()> {
+            let stxn = self.storage.begin_system()?;
+            if let Some(on) = depends_on {
+                self.storage.add_commit_dependency(stxn, on)?;
+            }
+            for firing in &firings {
+                if let Err(e) = self.fire(stxn, firing, false) {
+                    let _ = self.abort(stxn);
+                    return Err(e);
+                }
+            }
+            self.commit(stxn)
+        };
+        if run().is_err() {
+            self.stats.lock().detached_failures += 1;
+        }
+    }
+}

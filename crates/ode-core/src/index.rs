@@ -1,0 +1,211 @@
+//! Secondary (attribute) indexes over persistent classes.
+//!
+//! Disk-based Ode shipped B-trees (§5.6); this module puts them to their
+//! natural use: ordered indexes over class attributes, maintained
+//! automatically by the object manager on every `pnew` / `update_with` /
+//! `invoke` write-back / `pdelete`. Like class descriptors and trigger
+//! FSMs (§5.1.3), the *key extractor* is runtime code registered each
+//! session; only the B-tree itself persists.
+//!
+//! Keys need not be unique: entries are stored as `key ‖ oid`, and
+//! lookups scan the key's prefix range.
+
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::object::{OdeObject, PersistentPtr};
+use ode_storage::btree::BTree;
+use ode_storage::codec::encode_to_vec;
+use ode_storage::{Oid, TxnId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Extracts the index key bytes from a (decoded) object payload. Works on
+/// the raw payload so the object manager can call it without knowing `T`.
+pub(crate) type KeyExtractor = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// An index definition registered for the session.
+#[derive(Clone)]
+pub(crate) struct IndexDef {
+    pub name: String,
+    pub tree: BTree,
+    pub extract: KeyExtractor,
+}
+
+/// Per-class registered indexes (lives in the Database).
+#[derive(Default)]
+pub(crate) struct IndexRegistry {
+    by_class: HashMap<String, Vec<IndexDef>>,
+}
+
+impl IndexRegistry {
+    pub fn for_class(&self, class: &str) -> &[IndexDef] {
+        self.by_class
+            .get(class)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn add(&mut self, class: &str, def: IndexDef) {
+        let defs = self.by_class.entry(class.to_string()).or_default();
+        defs.retain(|d| d.name != def.name);
+        defs.push(def);
+    }
+}
+
+fn entry_key(key: &[u8], oid: Oid) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 6);
+    out.extend_from_slice(key);
+    out.extend_from_slice(&encode_to_vec(&oid));
+    out
+}
+
+fn prefix_end(key: &[u8]) -> Vec<u8> {
+    // Oid entries append exactly 6 bytes, so key ‖ 0xFF×7 upper-bounds
+    // every entry with this exact key prefix.
+    let mut out = Vec::with_capacity(key.len() + 7);
+    out.extend_from_slice(key);
+    out.extend_from_slice(&[0xFF; 7]);
+    out
+}
+
+impl Database {
+    /// Create (or re-attach to) an attribute index over class `T`. The
+    /// extractor maps an object to its key bytes (return `None` to leave
+    /// the object unindexed). Existing objects of the class are indexed
+    /// immediately; subsequent writes maintain the index automatically.
+    ///
+    /// Key order is byte-lexicographic: use
+    /// [`ode_storage::btree::u64_key`]/[`ode_storage::btree::i64_key`] for
+    /// numeric attributes.
+    pub fn create_attribute_index<T: OdeObject>(
+        &self,
+        txn: TxnId,
+        name: &str,
+        extract: impl Fn(&T) -> Option<Vec<u8>> + Send + Sync + 'static,
+    ) -> Result<()> {
+        // Index nodes live in the system (trigger) cluster so class
+        // cluster scans see only the class's own objects.
+        let _ = self.entry(T::CLASS)?; // class must be registered
+        let root_name = format!("ode.index.{}.{name}", T::CLASS);
+        let tree = match self.storage.get_root(txn, &root_name) {
+            Ok(oid) => BTree::open(oid),
+            Err(ode_storage::StorageError::NoSuchRoot(_)) => {
+                let tree = BTree::create(&self.storage, txn, self.trigger_cluster)?;
+                self.storage.set_root(txn, &root_name, tree.oid())?;
+                // Backfill existing objects.
+                for ptr in self.scan::<T>(txn)? {
+                    let value = self.read(txn, ptr)?;
+                    if let Some(key) = extract(&value) {
+                        tree.insert(
+                            &self.storage,
+                            txn,
+                            &entry_key(&key, ptr.oid()),
+                            ptr.oid(),
+                        )?;
+                    }
+                }
+                tree
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let extractor: KeyExtractor = Arc::new(move |payload: &[u8]| {
+            let mut slice = payload;
+            let value = T::decode(&mut slice).ok()?;
+            extract(&value)
+        });
+        self.indexes.write().add(
+            T::CLASS,
+            IndexDef {
+                name: name.to_string(),
+                tree,
+                extract: extractor,
+            },
+        );
+        Ok(())
+    }
+
+    /// Maintain every registered index of `class` for a payload change.
+    /// Either side may be `None` (insert / delete).
+    pub(crate) fn maintain_indexes(
+        &self,
+        txn: TxnId,
+        class: &str,
+        oid: Oid,
+        old_payload: Option<&[u8]>,
+        new_payload: Option<&[u8]>,
+    ) -> Result<()> {
+        let defs: Vec<IndexDef> = self.indexes.read().for_class(class).to_vec();
+        for def in defs {
+            let old_key = old_payload.and_then(|p| (def.extract)(p));
+            let new_key = new_payload.and_then(|p| (def.extract)(p));
+            if old_key == new_key {
+                continue;
+            }
+            if let Some(k) = old_key {
+                def.tree.remove(&self.storage, txn, &entry_key(&k, oid))?;
+            }
+            if let Some(k) = new_key {
+                def.tree
+                    .insert(&self.storage, txn, &entry_key(&k, oid), oid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn index_def(&self, class: &str, name: &str) -> Result<IndexDef> {
+        self.indexes
+            .read()
+            .for_class(class)
+            .iter()
+            .find(|d| d.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                OdeError::Schema(format!("class {class:?} has no index {name:?}"))
+            })
+    }
+
+    /// All objects whose index key equals `key`, in Oid order.
+    pub fn lookup_by_index<T: OdeObject>(
+        &self,
+        txn: TxnId,
+        name: &str,
+        key: &[u8],
+    ) -> Result<Vec<PersistentPtr<T>>> {
+        let def = self.index_def(T::CLASS, name)?;
+        let hits = def
+            .tree
+            .range(&self.storage, txn, Some(key), Some(&prefix_end(key)))?;
+        Ok(hits
+            .into_iter()
+            .filter(|(k, _)| k.len() == key.len() + 6 && k.starts_with(key))
+            .map(|(_, oid)| PersistentPtr::from_oid(oid))
+            .collect())
+    }
+
+    /// All objects with `start <= key < end` (byte order), with their keys.
+    pub fn range_by_index<T: OdeObject>(
+        &self,
+        txn: TxnId,
+        name: &str,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, PersistentPtr<T>)>> {
+        let def = self.index_def(T::CLASS, name)?;
+        let end_owned = end.map(|e| e.to_vec());
+        let hits = def.tree.range(
+            &self.storage,
+            txn,
+            start,
+            end_owned.as_deref(),
+        )?;
+        Ok(hits
+            .into_iter()
+            .map(|(mut k, oid)| {
+                // Strip the oid suffix back off the stored key.
+                let klen = k.len().saturating_sub(6);
+                k.truncate(klen);
+                (k, PersistentPtr::from_oid(oid))
+            })
+            .collect())
+    }
+}

@@ -1,0 +1,192 @@
+//! Inter-object triggers — the §8 extension: "we need to extend this to
+//! inter-object triggers where there are several anchoring events so that
+//! triggers like 'if AT&T goes below 60 and the price of gold stabilizes,
+//! buy 1000 shares of AT&T' can be expressed."
+//!
+//! An inter-object trigger is defined against a set of *named anchors*,
+//! each of an ordinary class. The events of each anchor's class are
+//! re-interned under an anchor-qualified key (`Class@anchor`), so the same
+//! member event on different anchors is a *different* symbol in the
+//! trigger's FSM — "AT&T drops" and "gold drops" stay distinguishable even
+//! when both anchors are `Stock`s. In expressions, anchor-qualified events
+//! are written with a dot: `after att.SetPrice`, `gold.Stabilized`.
+//!
+//! At run time the shared `TriggerState` carries the anchor list; the
+//! state record is indexed under *every* anchor, and `post_event`
+//! translates an incoming event id to its anchor-qualified form before
+//! advancing the FSM (see `Database::qualify_event`).
+
+use crate::context::TriggerCtx;
+use crate::error::{OdeError, Result};
+use crate::metatype::{ActionFn, CouplingMode, MaskFn, TriggerInfo, TypeDescriptor};
+use crate::trigger::TriggerId;
+use crate::Database;
+use ode_events::ast::Alphabet;
+use ode_events::dfa::Dfa;
+use ode_events::event::{BasicEvent, EventId};
+use ode_events::parser::parse;
+use ode_events::registry::EventRegistry;
+use ode_storage::codec::{encode_to_vec, Encode};
+use ode_storage::{Oid, TxnId};
+use std::sync::Arc;
+
+/// Registry key under which anchor-qualified events are interned.
+pub(crate) fn qualified_class(defining_class: &str, anchor: &str) -> String {
+    format!("{defining_class}@{anchor}")
+}
+
+/// Display name of an anchor-qualified event (parseable: the tokenizer
+/// treats `.` as an identifier character).
+fn qualified_display(anchor: &str, event: &BasicEvent) -> String {
+    match event {
+        BasicEvent::Member { name, time } => format!("{time} {anchor}.{name}"),
+        BasicEvent::User { name } => format!("{anchor}.{name}"),
+        BasicEvent::Timer { name } => format!("timer {anchor}.{name}"),
+        BasicEvent::TxnComplete => "before tcomplete".to_string(),
+        BasicEvent::TxnAbort => "before tabort".to_string(),
+    }
+}
+
+struct PendingTrigger {
+    name: String,
+    expr: String,
+    coupling: CouplingMode,
+    perpetual: crate::class::Perpetual,
+    action: ActionFn,
+}
+
+/// Builds the descriptor of an inter-object trigger set.
+pub struct InterClassBuilder {
+    name: String,
+    anchors: Vec<(String, Arc<TypeDescriptor>)>,
+    masks: Vec<(String, MaskFn)>,
+    triggers: Vec<PendingTrigger>,
+}
+
+impl InterClassBuilder {
+    /// Start defining an inter-object trigger set.
+    pub fn new(name: &str) -> InterClassBuilder {
+        InterClassBuilder {
+            name: name.to_string(),
+            anchors: Vec::new(),
+            masks: Vec::new(),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Declare a named anchor of the given class.
+    pub fn anchor(mut self, name: &str, class: &Arc<TypeDescriptor>) -> Self {
+        self.anchors.push((name.to_string(), Arc::clone(class)));
+        self
+    }
+
+    /// Declare a mask predicate (sees the posting anchor via
+    /// [`TriggerCtx::anchor_oid`] and the full anchor list via
+    /// [`TriggerCtx::named_anchor`]).
+    pub fn mask(
+        mut self,
+        name: &str,
+        f: impl for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<bool> + Send + Sync + 'static,
+    ) -> Self {
+        self.masks.push((name.to_string(), Arc::new(f)));
+        self
+    }
+
+    /// Declare a trigger over the anchors' qualified events.
+    pub fn trigger(
+        mut self,
+        name: &str,
+        expr: &str,
+        coupling: CouplingMode,
+        perpetual: crate::class::Perpetual,
+        action: impl for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<()> + Send + Sync + 'static,
+    ) -> Self {
+        self.triggers.push(PendingTrigger {
+            name: name.to_string(),
+            expr: expr.to_string(),
+            coupling,
+            perpetual,
+            action: Arc::new(action),
+        });
+        self
+    }
+
+    /// Intern the qualified events and compile the trigger FSMs.
+    pub fn build(self, registry: &EventRegistry) -> Result<Arc<TypeDescriptor>> {
+        if self.anchors.is_empty() {
+            return Err(OdeError::Schema(format!(
+                "inter-object trigger set {:?} needs at least one anchor",
+                self.name
+            )));
+        }
+        let mut alphabet = Alphabet::new();
+        let mut all_events: Vec<(BasicEvent, EventId, String)> = Vec::new();
+        for (anchor_name, class) in &self.anchors {
+            for (event, _, defining) in class.events() {
+                let key = qualified_class(defining, anchor_name);
+                let id = registry.intern(&key, event);
+                let display = qualified_display(anchor_name, event);
+                alphabet.add_event(id, &display);
+                // Store the *qualified* display as a user-style event so
+                // `event_id` lookups on the descriptor keep working.
+                all_events.push((event.clone(), id, key));
+            }
+        }
+        for (name, _) in &self.masks {
+            alphabet.add_mask(name);
+        }
+        let mut triggers = Vec::with_capacity(self.triggers.len());
+        for pending in self.triggers {
+            let te = parse(&pending.expr, &alphabet)?;
+            let fsm = Dfa::compile(&te, &alphabet);
+            triggers.push(TriggerInfo {
+                name: pending.name,
+                fsm,
+                action: pending.action,
+                perpetual: pending.perpetual == crate::class::Perpetual::Yes,
+                coupling: pending.coupling,
+                event_source: pending.expr,
+            });
+        }
+        Ok(Arc::new(TypeDescriptor::new(
+            self.name,
+            Vec::new(),
+            alphabet,
+            all_events,
+            self.masks,
+            triggers,
+            false,
+        )))
+    }
+}
+
+impl Database {
+    /// Activate an inter-object trigger, binding each declared anchor name
+    /// to a concrete object.
+    pub fn activate_inter<P: Encode>(
+        &self,
+        txn: TxnId,
+        class: &str,
+        trigger: &str,
+        anchors: &[(&str, Oid)],
+        params: &P,
+    ) -> Result<TriggerId> {
+        if anchors.is_empty() {
+            return Err(OdeError::Schema(
+                "inter-object activation needs at least one anchor".into(),
+            ));
+        }
+        let named: Vec<(String, Oid)> = anchors
+            .iter()
+            .map(|(n, o)| (n.to_string(), *o))
+            .collect();
+        self.activate_raw(
+            txn,
+            class,
+            trigger,
+            anchors[0].1,
+            encode_to_vec(params),
+            named,
+        )
+    }
+}

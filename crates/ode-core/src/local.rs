@@ -1,0 +1,243 @@
+//! Local rules — the §8 "future work" the paper sketches, implemented.
+//!
+//! "Including local rules would be useful, since they are low cost and
+//! useful for a variety of tasks. No persistent storage is required for
+//! such triggers, only data structures that can be deallocated at
+//! end-of-transaction. Also, such triggers never require obtaining write
+//! locks for the purpose of processing trigger events. They can be used
+//! internally to efficiently implement constraints."
+//!
+//! A local trigger is activated for the current transaction only: its FSM
+//! state lives in the per-transaction per-transaction scratchpad
+//! scratchpad, advancing it takes no locks and writes nothing, and the
+//! instance evaporates when the transaction ends (commit or abort).
+//! Coupling is restricted to `immediate` and `end` — a local rule cannot
+//! outlive its transaction, so the detached modes make no sense for it.
+
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::metatype::CouplingMode;
+use crate::object::{OdeObject, PersistentPtr};
+use crate::post::Firing;
+use ode_events::event::EventId;
+use ode_events::machine::Advance;
+use ode_storage::codec::{encode_to_vec, Encode};
+use ode_storage::{Oid, TxnId};
+
+/// A volatile trigger instance (never stored).
+#[derive(Debug, Clone)]
+pub struct LocalInstance {
+    pub(crate) class_name: String,
+    pub(crate) triggernum: usize,
+    pub(crate) trigger_name: String,
+    pub(crate) anchor: Oid,
+    pub(crate) params: Vec<u8>,
+    pub(crate) statenum: u32,
+}
+
+impl Database {
+    /// Activate a trigger as a *local rule*: it monitors events for the
+    /// remainder of this transaction only. The trigger definition is an
+    /// ordinary class trigger; only its activation is transient.
+    pub fn activate_local<T: OdeObject, P: Encode>(
+        &self,
+        txn: TxnId,
+        ptr: PersistentPtr<T>,
+        trigger: &str,
+        params: &P,
+    ) -> Result<()> {
+        let entry = self.entry(T::CLASS)?;
+        let (triggernum, info) = entry.td.trigger(trigger).ok_or_else(|| {
+            OdeError::Schema(format!("class {:?} has no trigger {trigger:?}", T::CLASS))
+        })?;
+        if !matches!(info.coupling, CouplingMode::Immediate | CouplingMode::End) {
+            return Err(OdeError::Schema(format!(
+                "local rule {trigger:?} must use immediate or end coupling, not {}",
+                info.coupling
+            )));
+        }
+        let params = encode_to_vec(params);
+        let anchor = ptr.oid();
+
+        let mut mask_err: Option<OdeError> = None;
+        let outcome = info.fsm.activate(|m| {
+            self.eval_local_mask(
+                txn, &entry.td, m, anchor, &params, &info.name, None, &mut mask_err,
+            )
+        });
+        if let Some(e) = mask_err {
+            return Err(e);
+        }
+        self.stats.lock().activations += 1;
+
+        if outcome.accepted {
+            let firing = Firing {
+                class_name: T::CLASS.to_string(),
+                triggernum,
+                trigger_name: trigger.to_string(),
+                anchor,
+                params: params.clone(),
+                anchors: Vec::new(),
+                coupling: info.coupling,
+                event_args: None,
+            };
+            if let Some(f) = self.schedule(txn, firing) {
+                self.fire(txn, &f, true)?;
+            }
+            if !info.perpetual {
+                return Ok(());
+            }
+        }
+        if outcome.status == Advance::Dead {
+            return Ok(());
+        }
+        let instance = LocalInstance {
+            class_name: T::CLASS.to_string(),
+            triggernum,
+            trigger_name: trigger.to_string(),
+            anchor,
+            params,
+            statenum: outcome.state,
+        };
+        self.txn_local
+            .lock()
+            .entry(txn)
+            .or_default()
+            .local_triggers
+            .push(instance);
+        Ok(())
+    }
+
+    /// Number of live local rules in this transaction (introspection).
+    pub fn local_trigger_count(&self, txn: TxnId) -> usize {
+        self.txn_local
+            .lock()
+            .get(&txn)
+            .map(|l| l.local_triggers.len())
+            .unwrap_or(0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_local_mask(
+        &self,
+        txn: TxnId,
+        td: &crate::metatype::TypeDescriptor,
+        mask: ode_events::event::MaskId,
+        anchor: Oid,
+        params: &[u8],
+        trigger_name: &str,
+        event_args: Option<&[u8]>,
+        slot: &mut Option<OdeError>,
+    ) -> bool {
+        let Some(f) = td.mask_fn(mask) else {
+            *slot = Some(OdeError::Schema(format!(
+                "class {:?} has no mask {mask}",
+                td.name()
+            )));
+            return false;
+        };
+        let mut ctx = crate::context::TriggerCtx {
+            db: self,
+            txn,
+            anchor,
+            params,
+            trigger_name,
+            anchors: &[],
+            event_args,
+        };
+        match f(&mut ctx) {
+            Ok(b) => b,
+            Err(e) => {
+                *slot = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Advance the local rules anchored at `anchor` on `event`; called by
+    /// `post_event`. Instances are taken out of the scratchpad while mask
+    /// code runs (which may re-enter the database) and merged back after.
+    pub(crate) fn advance_local_triggers(
+        &self,
+        txn: TxnId,
+        anchor: Oid,
+        event: EventId,
+        event_args: Option<&[u8]>,
+    ) -> Result<Vec<Firing>> {
+        let mut instances = {
+            let mut locals = self.txn_local.lock();
+            match locals.get_mut(&txn) {
+                Some(local) if !local.local_triggers.is_empty() => {
+                    std::mem::take(&mut local.local_triggers)
+                }
+                _ => return Ok(Vec::new()),
+            }
+        };
+
+        let mut firings = Vec::new();
+        let mut error = None;
+        instances.retain_mut(|inst| {
+            if error.is_some() || inst.anchor != anchor {
+                return true;
+            }
+            let Ok(entry) = self.entry(&inst.class_name) else {
+                return false;
+            };
+            let Some(info) = entry.td.trigger_by_num(inst.triggernum) else {
+                return false;
+            };
+            let mut mask_err: Option<OdeError> = None;
+            let outcome = info.fsm.post(inst.statenum, event, |m| {
+                self.eval_local_mask(
+                    txn,
+                    &entry.td,
+                    m,
+                    inst.anchor,
+                    &inst.params,
+                    &info.name,
+                    event_args,
+                    &mut mask_err,
+                )
+            });
+            self.stats.lock().fsm_advances += 1;
+            if let Some(e) = mask_err {
+                error = Some(e);
+                return true;
+            }
+            match outcome.status {
+                Advance::Ignored => true,
+                Advance::Dead => false,
+                Advance::Moved => {
+                    inst.statenum = outcome.state;
+                    if outcome.accepted {
+                        firings.push(Firing {
+                            class_name: inst.class_name.clone(),
+                            triggernum: inst.triggernum,
+                            trigger_name: inst.trigger_name.clone(),
+                            anchor: inst.anchor,
+                            params: inst.params.clone(),
+                            anchors: Vec::new(),
+                            coupling: info.coupling,
+                            event_args: event_args.map(<[u8]>::to_vec),
+                        });
+                        info.perpetual
+                    } else {
+                        true
+                    }
+                }
+            }
+        });
+
+        // Merge back (mask code may have activated more local rules).
+        {
+            let mut locals = self.txn_local.lock();
+            let local = locals.entry(txn).or_default();
+            instances.append(&mut local.local_triggers);
+            local.local_triggers = instances;
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(firings),
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Type descriptors — the compiler-generated `type_CredCard` machinery of
+//! §5.4.
+//!
+//! In Ode, the O++ compiler emits a *type descriptor* per class holding
+//! "the machinery for a trigger (e.g. its FSM, its action code, etc.)"
+//! (§5.4.1): the class's declared events, its mask functions (§5.4.2), and
+//! an array of [`TriggerInfo`]s — "a pointer to a finite state machine, a
+//! pointer to a trigger function, an indication as to whether or not the
+//! trigger is perpetual, and a coupling mode" (§5.4.4). This module is the
+//! run-time shape of that descriptor; [`crate::class::ClassBuilder`] plays
+//! the compiler's role and constructs it.
+
+use crate::context::TriggerCtx;
+use crate::error::Result;
+use ode_events::ast::Alphabet;
+use ode_events::dfa::Dfa;
+use ode_events::event::{BasicEvent, EventId, EventTime, MaskId};
+use std::sync::Arc;
+
+/// A mask predicate (§5.4.2: "a static member function is generated to
+/// evaluate each mask").
+pub type MaskFn = Arc<dyn for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<bool> + Send + Sync>;
+
+/// A trigger action (§5.4.2: "trigger actions are similarly encapsulated
+/// in member functions").
+pub type ActionFn = Arc<dyn for<'a, 'b> Fn(&'a mut TriggerCtx<'b>) -> Result<()> + Send + Sync>;
+
+/// ECA coupling modes supported by Ode (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CouplingMode {
+    /// Fire "immediately after its composite event has been detected".
+    Immediate,
+    /// `end` (deferred): fire "right before the transaction attempts to
+    /// commit".
+    End,
+    /// `dependent` (separate dependent): fire in a separate transaction
+    /// with a commit dependency on the detecting transaction.
+    Dependent,
+    /// `!dependent` (separate independent): fire in a separate transaction
+    /// with **no** commit dependency — it runs "even if the event
+    /// detecting transaction aborts".
+    Independent,
+}
+
+impl std::fmt::Display for CouplingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CouplingMode::Immediate => write!(f, "immediate"),
+            CouplingMode::End => write!(f, "end"),
+            CouplingMode::Dependent => write!(f, "dependent"),
+            CouplingMode::Independent => write!(f, "!dependent"),
+        }
+    }
+}
+
+/// Everything the run-time needs to process one trigger (§5.4.4's
+/// `TriggerInfo`).
+pub struct TriggerInfo {
+    /// Trigger name (e.g. `DenyCredit`).
+    pub name: String,
+    /// The compiled event-recognition FSM, shared by all activations.
+    pub fsm: Dfa,
+    /// The action run when the trigger fires.
+    pub action: ActionFn,
+    /// Perpetual triggers stay active after firing; others are
+    /// deactivated after their first firing (§4).
+    pub perpetual: bool,
+    /// When/where the action executes relative to the detecting
+    /// transaction.
+    pub coupling: CouplingMode,
+    /// The original event expression text (for display/debugging).
+    pub event_source: String,
+}
+
+impl std::fmt::Debug for TriggerInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TriggerInfo")
+            .field("name", &self.name)
+            .field("event", &self.event_source)
+            .field("perpetual", &self.perpetual)
+            .field("coupling", &self.coupling)
+            .field("fsm_states", &self.fsm.len())
+            .finish()
+    }
+}
+
+/// The run-time type descriptor of a class.
+pub struct TypeDescriptor {
+    name: String,
+    bases: Vec<Arc<TypeDescriptor>>,
+    /// Resolution context for this class's trigger expressions: all
+    /// declared events (own + inherited) and this class's masks.
+    alphabet: Alphabet,
+    /// Every declared event with its globally unique id and defining class
+    /// (inherited events keep their base-class ids — the §6 lesson).
+    all_events: Vec<(BasicEvent, EventId, String)>,
+    /// Mask functions, indexed by [`MaskId`].
+    masks: Vec<(String, MaskFn)>,
+    /// Triggers declared *in this class* (inherited triggers are processed
+    /// through their defining class's descriptor, as `trigobjtype`
+    /// dictates — §5.4.1).
+    triggers: Vec<TriggerInfo>,
+    /// Whether this class (or a base) declared interest in transaction
+    /// events.
+    txn_events: bool,
+}
+
+impl TypeDescriptor {
+    pub(crate) fn new(
+        name: String,
+        bases: Vec<Arc<TypeDescriptor>>,
+        alphabet: Alphabet,
+        all_events: Vec<(BasicEvent, EventId, String)>,
+        masks: Vec<(String, MaskFn)>,
+        triggers: Vec<TriggerInfo>,
+        txn_events: bool,
+    ) -> TypeDescriptor {
+        TypeDescriptor {
+            name,
+            bases,
+            alphabet,
+            all_events,
+            masks,
+            triggers,
+            txn_events,
+        }
+    }
+
+    /// Class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct base classes.
+    pub fn bases(&self) -> &[Arc<TypeDescriptor>] {
+        &self.bases
+    }
+
+    /// Is this class `other` or derived (transitively) from `other`?
+    pub fn is_subclass_of(&self, other: &str) -> bool {
+        self.name == other || self.bases.iter().any(|b| b.is_subclass_of(other))
+    }
+
+    /// The expression-resolution alphabet of this class.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// All declared events (own + inherited) with ids and defining class.
+    pub fn events(&self) -> &[(BasicEvent, EventId, String)] {
+        &self.all_events
+    }
+
+    /// The id of a declared event, if any.
+    pub fn event_id(&self, event: &BasicEvent) -> Option<EventId> {
+        self.all_events
+            .iter()
+            .find(|(e, _, _)| e == event)
+            .map(|(_, id, _)| *id)
+    }
+
+    /// The id of `before f`/`after f` for member `f`, if declared.
+    pub fn member_event(&self, method: &str, time: EventTime) -> Option<EventId> {
+        self.event_id(&BasicEvent::Member {
+            name: method.to_string(),
+            time,
+        })
+    }
+
+    /// Triggers declared in this class.
+    pub fn triggers(&self) -> &[TriggerInfo] {
+        &self.triggers
+    }
+
+    /// Find a trigger by name; returns its `triggernum` and info.
+    pub fn trigger(&self, name: &str) -> Option<(usize, &TriggerInfo)> {
+        self.triggers
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == name)
+    }
+
+    /// A trigger by its number (the paper's `triggernum`).
+    pub fn trigger_by_num(&self, num: usize) -> Option<&TriggerInfo> {
+        self.triggers.get(num)
+    }
+
+    /// The mask function behind a [`MaskId`].
+    pub fn mask_fn(&self, id: MaskId) -> Option<&MaskFn> {
+        self.masks.get(id.0 as usize).map(|(_, f)| f)
+    }
+
+    /// Whether objects of this class must be put on the transaction-event
+    /// object list when first accessed (§5.5).
+    pub fn wants_txn_events(&self) -> bool {
+        self.txn_events || self.bases.iter().any(|b| b.wants_txn_events())
+    }
+
+    /// Every declared transaction-event id in this class's hierarchy.
+    /// `complete` selects `before tcomplete` (true) vs `before tabort`.
+    pub fn txn_event_ids(&self, complete: bool) -> Vec<EventId> {
+        let wanted = if complete {
+            BasicEvent::TxnComplete
+        } else {
+            BasicEvent::TxnAbort
+        };
+        let mut ids: Vec<EventId> = self
+            .all_events
+            .iter()
+            .filter(|(e, _, _)| *e == wanted)
+            .map(|(_, id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+impl std::fmt::Debug for TypeDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypeDescriptor")
+            .field("name", &self.name)
+            .field(
+                "bases",
+                &self.bases.iter().map(|b| b.name()).collect::<Vec<_>>(),
+            )
+            .field("events", &self.all_events.len())
+            .field("triggers", &self.triggers)
+            .field("txn_events", &self.txn_events)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassBuilder;
+    use ode_events::registry::EventRegistry;
+
+    #[test]
+    fn subclass_relation_is_transitive() {
+        let reg = EventRegistry::new();
+        let a = ClassBuilder::new("A").build(&reg).unwrap();
+        let b = ClassBuilder::new("B").base(&a).build(&reg).unwrap();
+        let c = ClassBuilder::new("C").base(&b).build(&reg).unwrap();
+        assert!(c.is_subclass_of("A"));
+        assert!(c.is_subclass_of("B"));
+        assert!(c.is_subclass_of("C"));
+        assert!(!a.is_subclass_of("B"));
+    }
+
+    #[test]
+    fn coupling_mode_display() {
+        assert_eq!(CouplingMode::Immediate.to_string(), "immediate");
+        assert_eq!(CouplingMode::Independent.to_string(), "!dependent");
+    }
+}

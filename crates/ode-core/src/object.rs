@@ -1,0 +1,178 @@
+//! Persistent objects and typed persistent pointers.
+//!
+//! O++ splits memory into volatile and persistent halves (§2): persistent
+//! objects are created with `pnew`, addressed through *persistent
+//! pointers*, and only invocations through persistent pointers post
+//! trigger events. [`PersistentPtr<T>`] is the Rust spelling of
+//! `persistent T*`; plain `&T`/`&mut T` references are the volatile side
+//! and never touch the trigger machinery (design goal 4: "the trigger
+//! facilities should not add any overhead to volatile object accesses").
+//!
+//! On disk every object record is `[class_id u32][flags u8][payload]`.
+//! The class id names the object's *dynamic* class (needed for event
+//! posting with inheritance), and the flag byte carries the "this object
+//! has active triggers" bit the paper uses to skip the trigger-index
+//! lookup entirely for trigger-free objects (§5.4.5, footnote 3). The
+//! payload layout is whatever the class's [`OdeObject`] codec writes — and
+//! because trigger state lives *outside* the object, attaching or removing
+//! triggers never changes it (design goal 5).
+
+use crate::error::{OdeError, Result};
+use bytes::{BufMut, BytesMut};
+use ode_storage::codec::{Decode, Encode};
+use ode_storage::Oid;
+use std::marker::PhantomData;
+
+/// A persistent class: a codec plus a class name that must match the name
+/// the class was registered under.
+pub trait OdeObject: Encode + Decode {
+    /// The class name, linking values to their [`crate::metatype::TypeDescriptor`].
+    const CLASS: &'static str;
+}
+
+/// Flag bit: the object has at least one active trigger.
+pub(crate) const FLAG_HAS_TRIGGERS: u8 = 0b0000_0001;
+
+/// Decoded object record header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ObjectHeader {
+    pub class_id: u32,
+    pub flags: u8,
+}
+
+impl ObjectHeader {
+    pub fn has_triggers(&self) -> bool {
+        self.flags & FLAG_HAS_TRIGGERS != 0
+    }
+
+    pub fn write(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.class_id);
+        buf.put_u8(self.flags);
+    }
+
+    /// Split a stored record into (header, payload).
+    pub fn split(record: &[u8]) -> Result<(ObjectHeader, &[u8])> {
+        if record.len() < 5 {
+            return Err(OdeError::Schema("object record too short".into()));
+        }
+        let class_id = u32::from_le_bytes(record[0..4].try_into().expect("checked"));
+        Ok((
+            ObjectHeader {
+                class_id,
+                flags: record[4],
+            },
+            &record[5..],
+        ))
+    }
+}
+
+/// A typed persistent pointer (`persistent T*`). `Copy`, cheap, and
+/// storable inside other persistent objects.
+pub struct PersistentPtr<T> {
+    oid: Oid,
+    _type: PhantomData<fn() -> T>,
+}
+
+impl<T> PersistentPtr<T> {
+    /// Wrap a raw Oid. The type is asserted, not checked — checks happen
+    /// at dereference time against the stored class id.
+    pub fn from_oid(oid: Oid) -> PersistentPtr<T> {
+        PersistentPtr {
+            oid,
+            _type: PhantomData,
+        }
+    }
+
+    /// The underlying object identifier.
+    pub fn oid(&self) -> Oid {
+        self.oid
+    }
+
+    /// Reinterpret as a pointer to another class (e.g. derived → base).
+    /// Like the raw constructor, validity is checked at dereference.
+    pub fn cast<U>(&self) -> PersistentPtr<U> {
+        PersistentPtr::from_oid(self.oid)
+    }
+}
+
+// Manual impls: derive would bound T unnecessarily.
+impl<T> Clone for PersistentPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PersistentPtr<T> {}
+
+impl<T> PartialEq for PersistentPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid
+    }
+}
+impl<T> Eq for PersistentPtr<T> {}
+
+impl<T> std::hash::Hash for PersistentPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.oid.hash(state);
+    }
+}
+
+impl<T> std::fmt::Debug for PersistentPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PersistentPtr({})", self.oid)
+    }
+}
+
+impl<T> Encode for PersistentPtr<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.oid.encode(buf);
+    }
+}
+
+impl<T> Decode for PersistentPtr<T> {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(PersistentPtr::from_oid(Oid::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::codec::{decode_all, encode_to_vec};
+
+    struct Dummy;
+
+    #[test]
+    fn ptr_roundtrips_through_codec() {
+        let p: PersistentPtr<Dummy> = PersistentPtr::from_oid(Oid::new(7, 3));
+        let bytes = encode_to_vec(&p);
+        let q: PersistentPtr<Dummy> = decode_all(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn cast_preserves_oid() {
+        let p: PersistentPtr<Dummy> = PersistentPtr::from_oid(Oid::new(1, 2));
+        let q: PersistentPtr<u8> = p.cast();
+        assert_eq!(p.oid(), q.oid());
+    }
+
+    #[test]
+    fn header_roundtrip_and_flags() {
+        let mut buf = BytesMut::new();
+        ObjectHeader {
+            class_id: 9,
+            flags: FLAG_HAS_TRIGGERS,
+        }
+        .write(&mut buf);
+        buf.put_slice(b"payload");
+        let (h, payload) = ObjectHeader::split(&buf).unwrap();
+        assert_eq!(h.class_id, 9);
+        assert!(h.has_triggers());
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn short_record_rejected() {
+        assert!(ObjectHeader::split(&[1, 2]).is_err());
+    }
+}

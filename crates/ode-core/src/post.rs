@@ -1,0 +1,534 @@
+//! Posting basic events and firing triggers (§5.4.5).
+//!
+//! The algorithm is the paper's, step for step:
+//!
+//! 1. If the object's control information says it has no active triggers,
+//!    stop — "no lookup is required" (footnote 3; our control info is the
+//!    flag byte in the object header).
+//! 2. Otherwise look up the object's active triggers in the persistent
+//!    index (§5.1.3).
+//! 3. For each `TriggerState`, find the `TriggerInfo` in the *defining*
+//!    class's type descriptor (`trigobjtype`, footnote 4), advance its FSM
+//!    on the event, evaluate masks until quiescence, and update the stored
+//!    `statenum` — the update that "requires acquisition of a write lock"
+//!    (§6).
+//! 4. "No triggers are fired until all triggers have had the basic event
+//!    posted. This is to prevent the action of one trigger from affecting
+//!    the mask of another trigger." Immediate actions then run
+//!    sequentially (Ode lacks nested transactions, so does this
+//!    reproduction; the paper says the same); non-immediate firings go on
+//!    the per-transaction lists processed at commit/abort (§5.5).
+//! 5. Once-only triggers are deactivated after firing; perpetual ones
+//!    stay. A trigger fires "at most once in response to the posting of a
+//!    single basic event".
+
+use crate::context::TriggerCtx;
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::metatype::{CouplingMode, TriggerInfo};
+use crate::object::{OdeObject, PersistentPtr, FLAG_HAS_TRIGGERS};
+use crate::trigger::{TriggerId, TriggerStateRec};
+use ode_events::event::EventId;
+use ode_events::machine::Advance;
+use ode_storage::codec::{decode_all, encode_to_vec, Encode};
+use ode_storage::{Oid, StorageError, TxnId};
+
+/// A trigger firing captured at detection time. Parameters and anchors are
+/// copied out so the action can run even after the state record has been
+/// deactivated (once-only) or the detecting transaction has committed
+/// (dependent/!dependent).
+#[derive(Debug, Clone)]
+pub(crate) struct Firing {
+    pub class_name: String,
+    pub triggernum: usize,
+    pub trigger_name: String,
+    pub anchor: Oid,
+    pub params: Vec<u8>,
+    pub anchors: Vec<(String, Oid)>,
+    pub coupling: CouplingMode,
+    /// Encoded arguments of the detecting member-function event (§8
+    /// event attributes), copied so deferred firings still see them.
+    pub event_args: Option<Vec<u8>>,
+}
+
+impl Database {
+    // ------------------------------------------------------------------
+    // Activation / deactivation (§4.1, §5.4.1)
+    // ------------------------------------------------------------------
+
+    /// Activate a trigger of `class` (which may be a base class of the
+    /// object's dynamic class) on the object behind `ptr`, with encoded
+    /// parameters. This is the run-time half of
+    /// `credcard->AutoRaiseLimit(1000.0)`.
+    pub fn activate<T: OdeObject, P: Encode>(
+        &self,
+        txn: TxnId,
+        ptr: PersistentPtr<T>,
+        trigger: &str,
+        params: &P,
+    ) -> Result<TriggerId> {
+        self.activate_raw(
+            txn,
+            T::CLASS,
+            trigger,
+            ptr.oid(),
+            encode_to_vec(params),
+            Vec::new(),
+        )
+    }
+
+    /// Untyped activation; `anchors` is used by inter-object triggers.
+    pub fn activate_raw(
+        &self,
+        txn: TxnId,
+        class: &str,
+        trigger: &str,
+        anchor: Oid,
+        params: Vec<u8>,
+        anchors: Vec<(String, Oid)>,
+    ) -> Result<TriggerId> {
+        let entry = self.entry(class)?;
+        let (triggernum, _) = entry
+            .td
+            .trigger(trigger)
+            .ok_or_else(|| {
+                OdeError::Schema(format!("class {class:?} has no trigger {trigger:?}"))
+            })?;
+        if anchors.is_empty() {
+            // Ordinary trigger: the anchor's dynamic class must derive
+            // from the defining class.
+            let (header, _) = self.read_raw(txn, anchor)?;
+            let dynamic = self.entry_by_id(header.class_id)?;
+            if !dynamic.td.is_subclass_of(class) {
+                return Err(OdeError::TypeMismatch {
+                    expected: class.to_string(),
+                    actual: dynamic.td.name().to_string(),
+                });
+            }
+        }
+
+        // Evaluate masks pending in the FSM's start state.
+        let info = entry.td.trigger_by_num(triggernum).expect("found above");
+        let mut mask_err: Option<OdeError> = None;
+        let mut mask_evals = 0u64;
+        let outcome = info.fsm.activate(|m| {
+            mask_evals += 1;
+            self.eval_mask(
+                txn,
+                &entry.td,
+                m,
+                anchor,
+                &params,
+                &info.name,
+                &anchors,
+                None,
+                &mut mask_err,
+            )
+        });
+        if let Some(e) = mask_err {
+            return Err(e);
+        }
+
+        let rec = TriggerStateRec {
+            triggernum: triggernum as u32,
+            trigger_name: trigger.to_string(),
+            statenum: outcome.state,
+            class_name: class.to_string(),
+            anchor,
+            params,
+            anchors: anchors.clone(),
+        };
+        let state_oid = self
+            .storage
+            .allocate(txn, self.trigger_cluster, &encode_to_vec(&rec))?;
+        let id = TriggerId(state_oid);
+
+        // Index the state under every anchor and raise the has-triggers
+        // flag so posting can short-circuit for trigger-free objects.
+        let mut anchor_oids = vec![anchor];
+        anchor_oids.extend(anchors.iter().map(|(_, o)| *o));
+        anchor_oids.dedup();
+        for a in &anchor_oids {
+            self.trigger_index
+                .insert(&self.storage, txn, a.to_u64(), state_oid)?;
+            self.set_trigger_flag(txn, *a, true)?;
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.activations += 1;
+            stats.mask_evaluations += mask_evals;
+        }
+
+        // An expression matching the empty stream fires at activation.
+        if outcome.accepted {
+            let firing = Firing {
+                class_name: class.to_string(),
+                triggernum,
+                trigger_name: trigger.to_string(),
+                anchor,
+                params: rec.params.clone(),
+                anchors,
+                coupling: info.coupling,
+                event_args: None,
+            };
+            let perpetual = info.perpetual;
+            if !perpetual {
+                self.deactivate(txn, id)?;
+            }
+            if let Some(f) = self.schedule(txn, firing) {
+                self.fire(txn, &f, true)?;
+            }
+        } else if outcome.status == Advance::Dead {
+            // The instance can never fire (anchored mask failed at
+            // activation): don't leave garbage behind.
+            self.deactivate(txn, id)?;
+        }
+        Ok(id)
+    }
+
+    /// Deactivate a trigger (§4.1's `deactivate(AutoRaise)`): remove its
+    /// state record and index entries. Returns false when the trigger was
+    /// already gone (e.g. a once-only trigger that fired).
+    pub fn deactivate(&self, txn: TxnId, id: TriggerId) -> Result<bool> {
+        let record = match self.storage.read(txn, id.0) {
+            Ok(r) => r,
+            Err(StorageError::NoSuchObject(_)) => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        let rec: TriggerStateRec = decode_all(&record)?;
+        self.storage.free(txn, id.0)?;
+        let mut anchor_oids = vec![rec.anchor];
+        anchor_oids.extend(rec.anchors.iter().map(|(_, o)| *o));
+        anchor_oids.dedup();
+        for a in anchor_oids {
+            self.trigger_index
+                .remove(&self.storage, txn, a.to_u64(), id.0)?;
+            if self
+                .trigger_index
+                .get(&self.storage, txn, a.to_u64())?
+                .is_empty()
+            {
+                self.set_trigger_flag(txn, a, false)?;
+            }
+        }
+        self.stats.lock().deactivations += 1;
+        Ok(true)
+    }
+
+    /// Deactivate every trigger anchored at `oid` (used by `pdelete`).
+    pub fn deactivate_all(&self, txn: TxnId, oid: Oid) -> Result<usize> {
+        let states = self
+            .trigger_index
+            .get(&self.storage, txn, oid.to_u64())?;
+        let mut n = 0;
+        for state_oid in states {
+            if self.deactivate(txn, TriggerId(state_oid))? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// The TriggerIds currently active on an object.
+    pub fn active_triggers(&self, txn: TxnId, oid: Oid) -> Result<Vec<TriggerId>> {
+        Ok(self
+            .trigger_index
+            .get(&self.storage, txn, oid.to_u64())?
+            .into_iter()
+            .map(TriggerId)
+            .collect())
+    }
+
+    fn set_trigger_flag(&self, txn: TxnId, oid: Oid, set: bool) -> Result<()> {
+        let (mut header, payload) = match self.read_raw(txn, oid) {
+            Ok(x) => x,
+            // The anchor may already be deleted (pdelete path).
+            Err(OdeError::Storage(StorageError::NoSuchObject(_))) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let new_flags = if set {
+            header.flags | FLAG_HAS_TRIGGERS
+        } else {
+            header.flags & !FLAG_HAS_TRIGGERS
+        };
+        if new_flags != header.flags {
+            header.flags = new_flags;
+            self.write_raw(txn, oid, header, &payload)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Posting
+    // ------------------------------------------------------------------
+
+    /// Run one mask predicate, capturing any error into `slot` (the FSM's
+    /// eval callback cannot return a Result).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_mask(
+        &self,
+        txn: TxnId,
+        td: &crate::metatype::TypeDescriptor,
+        mask: ode_events::event::MaskId,
+        anchor: Oid,
+        params: &[u8],
+        trigger_name: &str,
+        anchors: &[(String, Oid)],
+        event_args: Option<&[u8]>,
+        slot: &mut Option<OdeError>,
+    ) -> bool {
+        let Some(f) = td.mask_fn(mask) else {
+            *slot = Some(OdeError::Schema(format!(
+                "class {:?} has no mask {mask}",
+                td.name()
+            )));
+            return false;
+        };
+        let mut ctx = TriggerCtx {
+            db: self,
+            txn,
+            anchor,
+            params,
+            trigger_name,
+            anchors,
+            event_args,
+        };
+        match f(&mut ctx) {
+            Ok(b) => b,
+            Err(e) => {
+                *slot = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Post a basic event to an object (`PostEvent` of §5.4.5). Immediate
+    /// firings run inside this call, after every trigger has seen the
+    /// event.
+    pub(crate) fn post_event(&self, txn: TxnId, anchor: Oid, event: EventId) -> Result<()> {
+        self.post_event_with_args(txn, anchor, event, None)
+    }
+
+    /// [`Database::post_event`] with optional encoded member-function
+    /// arguments attached (§8 event attributes).
+    pub(crate) fn post_event_with_args(
+        &self,
+        txn: TxnId,
+        anchor: Oid,
+        event: EventId,
+        event_args: Option<&[u8]>,
+    ) -> Result<()> {
+        self.stats.lock().events_posted += 1;
+        let (header, _) = self.read_raw(txn, anchor)?;
+
+        let mut immediate: Vec<Firing> = Vec::new();
+        if header.has_triggers() {
+            let states = self
+                .trigger_index
+                .get(&self.storage, txn, anchor.to_u64())?;
+            for state_oid in states {
+                if let Some(firing) =
+                    self.advance_one(txn, anchor, event, state_oid, event_args)?
+                {
+                    if let Some(f) = self.schedule(txn, firing) {
+                        immediate.push(f);
+                    }
+                }
+            }
+        } else {
+            self.stats.lock().index_skips += 1;
+        }
+
+        // Volatile local rules (§8) advance too — their state never
+        // touches storage.
+        for firing in self.advance_local_triggers(txn, anchor, event, event_args)? {
+            if let Some(f) = self.schedule(txn, firing) {
+                immediate.push(f);
+            }
+        }
+
+        // Fire after all posting (paper: conceptually parallel nested
+        // transactions; actually sequential, order unspecified).
+        for firing in immediate {
+            self.fire(txn, &firing, true)?;
+        }
+        Ok(())
+    }
+
+    /// Advance a single persistent trigger instance; returns a Firing when
+    /// it accepted.
+    fn advance_one(
+        &self,
+        txn: TxnId,
+        anchor: Oid,
+        event: EventId,
+        state_oid: Oid,
+        event_args: Option<&[u8]>,
+    ) -> Result<Option<Firing>> {
+        let record = match self.storage.read(txn, state_oid) {
+            Ok(r) => r,
+            // A concurrent deactivation in this transaction's view.
+            Err(StorageError::NoSuchObject(_)) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut rec: TriggerStateRec = decode_all(&record)?;
+        let entry = self.entry(&rec.class_name)?;
+
+        // Resolve the TriggerInfo, tolerating reordered definitions.
+        let resolved = match entry.td.trigger_by_num(rec.triggernum as usize) {
+            Some(info) if info.name == rec.trigger_name => Some(rec.triggernum as usize),
+            _ => entry.td.trigger(&rec.trigger_name).map(|(n, _)| n),
+        };
+        let Some(triggernum) = resolved else {
+            // The class no longer defines this trigger: drop the state.
+            self.deactivate(txn, TriggerId(state_oid))?;
+            return Ok(None);
+        };
+        rec.triggernum = triggernum as u32;
+        let info: &TriggerInfo = entry.td.trigger_by_num(triggernum).expect("resolved");
+        if rec.statenum as usize >= info.fsm.len() {
+            // Stale state from an older definition of the trigger.
+            self.deactivate(txn, TriggerId(state_oid))?;
+            return Ok(None);
+        }
+
+        // Inter-object triggers see anchor-qualified event ids.
+        let fsm_event = if rec.anchors.is_empty() {
+            event
+        } else {
+            self.qualify_event(event, anchor, &rec.anchors)
+        };
+
+        let mut mask_err: Option<OdeError> = None;
+        let mut mask_evals = 0u64;
+        let outcome = info.fsm.post(rec.statenum, fsm_event, |m| {
+            mask_evals += 1;
+            self.eval_mask(
+                txn,
+                &entry.td,
+                m,
+                rec.anchor,
+                &rec.params,
+                &info.name,
+                &rec.anchors,
+                event_args,
+                &mut mask_err,
+            )
+        });
+        {
+            let mut stats = self.stats.lock();
+            stats.fsm_advances += 1;
+            stats.mask_evaluations += mask_evals;
+        }
+        if let Some(e) = mask_err {
+            return Err(e);
+        }
+
+        match outcome.status {
+            Advance::Ignored => Ok(None),
+            Advance::Dead => {
+                // The instance can never fire again.
+                self.deactivate(txn, TriggerId(state_oid))?;
+                Ok(None)
+            }
+            Advance::Moved => {
+                let firing = outcome.accepted.then(|| Firing {
+                    class_name: rec.class_name.clone(),
+                    triggernum,
+                    trigger_name: rec.trigger_name.clone(),
+                    anchor: rec.anchor,
+                    params: rec.params.clone(),
+                    anchors: rec.anchors.clone(),
+                    coupling: info.coupling,
+                    event_args: event_args.map(<[u8]>::to_vec),
+                });
+                if outcome.accepted && !info.perpetual {
+                    // Once-only: deactivate now, fire from the copy.
+                    self.deactivate(txn, TriggerId(state_oid))?;
+                } else if outcome.state != rec.statenum {
+                    // Advancing the FSM updates the trigger descriptor —
+                    // the read-becomes-write effect of §6.
+                    rec.statenum = outcome.state;
+                    self.storage
+                        .update(txn, state_oid, &encode_to_vec(&rec))?;
+                }
+                Ok(firing)
+            }
+        }
+    }
+
+    /// Translate an event id to its anchor-qualified form for inter-object
+    /// FSMs (see [`crate::interobject`]).
+    fn qualify_event(
+        &self,
+        event: EventId,
+        anchor: Oid,
+        anchors: &[(String, Oid)],
+    ) -> EventId {
+        let Some((class, basic)) = self.registry().describe(event) else {
+            return event;
+        };
+        let Some((name, _)) = anchors.iter().find(|(_, o)| *o == anchor) else {
+            return event;
+        };
+        self.registry()
+            .lookup(&crate::interobject::qualified_class(&class, name), &basic)
+            .unwrap_or(event)
+    }
+
+    /// Route a firing by coupling mode; returns it back for `Immediate`.
+    pub(crate) fn schedule(&self, txn: TxnId, firing: Firing) -> Option<Firing> {
+        match firing.coupling {
+            CouplingMode::Immediate => Some(firing),
+            CouplingMode::End => {
+                let mut locals = self.txn_local.lock();
+                locals.entry(txn).or_default().end_list.push(firing);
+                None
+            }
+            CouplingMode::Dependent => {
+                let mut locals = self.txn_local.lock();
+                locals.entry(txn).or_default().dep_list.push(firing);
+                None
+            }
+            CouplingMode::Independent => {
+                let mut locals = self.txn_local.lock();
+                locals.entry(txn).or_default().indep_list.push(firing);
+                None
+            }
+        }
+    }
+
+    /// Execute a trigger action.
+    pub(crate) fn fire(&self, txn: TxnId, firing: &Firing, immediate: bool) -> Result<()> {
+        let entry = self.entry(&firing.class_name)?;
+        let info = entry
+            .td
+            .trigger_by_num(firing.triggernum)
+            .filter(|i| i.name == firing.trigger_name)
+            .or_else(|| entry.td.trigger(&firing.trigger_name).map(|(_, i)| i))
+            .ok_or_else(|| {
+                OdeError::Schema(format!(
+                    "trigger {:?} of class {:?} vanished before firing",
+                    firing.trigger_name, firing.class_name
+                ))
+            })?;
+        {
+            let mut stats = self.stats.lock();
+            if immediate {
+                stats.immediate_firings += 1;
+            } else {
+                stats.deferred_firings += 1;
+            }
+        }
+        let mut ctx = TriggerCtx {
+            db: self,
+            txn,
+            anchor: firing.anchor,
+            params: &firing.params,
+            trigger_name: &firing.trigger_name,
+            anchors: &firing.anchors,
+            event_args: firing.event_args.as_deref(),
+        };
+        (info.action)(&mut ctx)
+    }
+}

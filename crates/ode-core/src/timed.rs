@@ -1,0 +1,46 @@
+//! Timed triggers — the §8 extension: "timed triggers, where the passage
+//! of time can be used to produce events, are also of interest".
+//!
+//! The database keeps no wall clock; instead the application (or an
+//! external scheduler) drives named logical timers with
+//! [`Database::tick`]. A tick posts the corresponding `timer <name>` event
+//! to every object that currently has active triggers and whose class
+//! declares that timer event — so expressions like
+//! `after Buy, timer month_end` ("a purchase with no event until month
+//! end") work with the ordinary FSM machinery.
+
+use crate::database::Database;
+use crate::error::Result;
+use ode_events::event::BasicEvent;
+use ode_storage::{Oid, TxnId};
+
+impl Database {
+    /// Advance the named logical timer by one tick. Returns the number of
+    /// objects the tick event was posted to.
+    pub fn tick(&self, txn: TxnId, timer: &str) -> Result<usize> {
+        let wanted = BasicEvent::Timer {
+            name: timer.to_string(),
+        };
+        // Only objects with active triggers can care; enumerate the
+        // trigger index rather than every object in the database.
+        let entries = self.trigger_index.entries(&self.storage, txn)?;
+        let mut posted = 0;
+        for (key, states) in entries {
+            if states.is_empty() {
+                continue;
+            }
+            let oid = Oid::from_u64(key);
+            let Ok((header, _)) = self.read_raw(txn, oid) else {
+                continue;
+            };
+            let Ok(entry) = self.entry_by_id(header.class_id) else {
+                continue;
+            };
+            if let Some(event) = entry.td.event_id(&wanted) {
+                self.post_event(txn, oid, event)?;
+                posted += 1;
+            }
+        }
+        Ok(posted)
+    }
+}

@@ -1,0 +1,128 @@
+//! Persistent trigger state (§5.4.1).
+//!
+//! "The trigger state is stored in a persistent data structure, since it
+//! must persist across transactions":
+//!
+//! ```text
+//! persistent struct TriggerState {
+//!     unsigned int triggernum;
+//!     persistent void *trigobj;
+//!     int statenum;
+//!     persistent metatype *trigobjtype;
+//! };
+//! typedef persistent TriggerState *TriggerId;
+//! ```
+//!
+//! Our record carries the same fields — `triggernum`, the anchor object
+//! (`trigobj`), the FSM state (`statenum`), and the defining class
+//! (`trigobjtype`, needed "because of inheritance since an object can have
+//! active triggers from several base classes") — plus the activation
+//! parameters (the paper subclasses `TriggerState` per trigger to hold
+//! them, e.g. `CredCardAutoRaiseLimitStruct`; we store them as an encoded
+//! blob) and, for the inter-object extension, the named anchor list.
+//!
+//! [`TriggerId`] is, as in the paper, simply the persistent pointer to the
+//! state record.
+
+use bytes::BytesMut;
+use ode_storage::codec::{Blob, Decode, Encode};
+use ode_storage::Oid;
+
+/// Handle for deactivating a trigger — "trigger activation returns a
+/// TriggerId which can be used to deactivate the trigger" (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriggerId(pub(crate) Oid);
+
+impl TriggerId {
+    /// The underlying persistent state record's Oid.
+    pub fn oid(&self) -> Oid {
+        self.0
+    }
+
+    /// Rebuild a TriggerId from a stored Oid (e.g. kept in an application
+    /// object across transactions, as `AutoRaise` is in §4.1).
+    pub fn from_oid(oid: Oid) -> TriggerId {
+        TriggerId(oid)
+    }
+}
+
+impl std::fmt::Display for TriggerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trigger@{}", self.0)
+    }
+}
+
+/// The persistent trigger state record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TriggerStateRec {
+    /// Index into the defining class's trigger table.
+    pub triggernum: u32,
+    /// Trigger name (redundant with `triggernum`; used to re-resolve if a
+    /// class definition reorders its triggers between sessions).
+    pub trigger_name: String,
+    /// Current FSM state.
+    pub statenum: u32,
+    /// Defining class (`trigobjtype`).
+    pub class_name: String,
+    /// Anchor object (`trigobj`).
+    pub anchor: Oid,
+    /// Encoded activation parameters.
+    pub params: Vec<u8>,
+    /// Named anchors (inter-object triggers only; empty otherwise).
+    pub anchors: Vec<(String, Oid)>,
+}
+
+impl Encode for TriggerStateRec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.triggernum.encode(buf);
+        self.trigger_name.encode(buf);
+        self.statenum.encode(buf);
+        self.class_name.encode(buf);
+        self.anchor.encode(buf);
+        Blob(self.params.clone()).encode(buf);
+        self.anchors.encode(buf);
+    }
+}
+
+impl Decode for TriggerStateRec {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(TriggerStateRec {
+            triggernum: u32::decode(buf)?,
+            trigger_name: String::decode(buf)?,
+            statenum: u32::decode(buf)?,
+            class_name: String::decode(buf)?,
+            anchor: Oid::decode(buf)?,
+            params: Blob::decode(buf)?.0,
+            anchors: Vec::<(String, Oid)>::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::codec::{decode_all, encode_to_vec};
+
+    #[test]
+    fn state_record_roundtrips() {
+        let rec = TriggerStateRec {
+            triggernum: 1,
+            trigger_name: "AutoRaiseLimit".into(),
+            statenum: 2,
+            class_name: "CredCard".into(),
+            anchor: Oid::new(3, 4),
+            params: vec![0, 0, 122, 68], // 1000.0f32
+            anchors: vec![("stock".into(), Oid::new(5, 6))],
+        };
+        let bytes = encode_to_vec(&rec);
+        let back: TriggerStateRec = decode_all(&bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn trigger_id_roundtrips_via_oid() {
+        let id = TriggerId::from_oid(Oid::new(9, 9));
+        assert_eq!(TriggerId::from_oid(id.oid()), id);
+        assert!(id.to_string().contains("9:9"));
+    }
+}

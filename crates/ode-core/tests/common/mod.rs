@@ -1,0 +1,128 @@
+//! Shared test fixture: the paper's §4 `CredCard` class, translated.
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+    TypeDescriptor,
+};
+use std::sync::Arc;
+
+/// The paper's CredCard (§4): credit limit, balance, black marks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CredCard {
+    pub cred_lim: f32,
+    pub curr_bal: f32,
+    pub good_hist: bool,
+    pub black_marks: Vec<String>,
+}
+
+impl CredCard {
+    pub fn new(cred_lim: f32) -> CredCard {
+        CredCard {
+            cred_lim,
+            curr_bal: 0.0,
+            good_hist: true,
+            black_marks: Vec::new(),
+        }
+    }
+
+    /// The paper's MoreCred(): balance above 80% of the limit and a good
+    /// credit history.
+    pub fn more_cred(&self) -> bool {
+        self.curr_bal > 0.8 * self.cred_lim && self.good_hist
+    }
+}
+
+impl Encode for CredCard {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cred_lim.encode(buf);
+        self.curr_bal.encode(buf);
+        self.good_hist.encode(buf);
+        self.black_marks.encode(buf);
+    }
+}
+
+impl Decode for CredCard {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(CredCard {
+            cred_lim: f32::decode(buf)?,
+            curr_bal: f32::decode(buf)?,
+            good_hist: bool::decode(buf)?,
+            black_marks: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+
+impl OdeObject for CredCard {
+    const CLASS: &'static str = "CredCard";
+}
+
+/// Build the CredCard descriptor with the paper's two triggers.
+pub fn cred_card_class(db: &Database) -> Arc<TypeDescriptor> {
+    let td = ClassBuilder::new("CredCard")
+        .user_event("BigBuy")
+        .after_event("PayBill")
+        .after_event("Buy")
+        .mask("OverLimit", |ctx| {
+            let card: CredCard = ctx.object()?;
+            Ok(card.curr_bal > card.cred_lim)
+        })
+        .mask("MoreCred", |ctx| {
+            let card: CredCard = ctx.object()?;
+            Ok(card.more_cred())
+        })
+        // trigger DenyCredit() : perpetual after Buy & (currBal > credLim)
+        //   ==> { BlackMark("Over Limit", today()); tabort; }
+        .trigger(
+            "DenyCredit",
+            "after Buy & OverLimit()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                ctx.update_object(|card: &mut CredCard| {
+                    card.black_marks.push("Over Limit".to_string());
+                })?;
+                Err(ctx.tabort("Over Limit"))
+            },
+        )
+        // trigger AutoRaiseLimit(float amount) :
+        //   relative((after Buy & MoreCred()), after PayBill)
+        //   ==> RaiseLimit(amount);
+        .trigger(
+            "AutoRaiseLimit",
+            "relative((after Buy & MoreCred()), after PayBill)",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            |ctx| {
+                let amount: f32 = ctx.params()?;
+                ctx.update_object(|card: &mut CredCard| {
+                    card.cred_lim += amount;
+                })
+            },
+        )
+        .build(db.registry())
+        .expect("CredCard class builds");
+    db.register_class(&td).expect("CredCard registers");
+    td
+}
+
+/// `Buy` through a persistent pointer (posts `after Buy`).
+pub fn buy(db: &Database, txn: ode_core::TxnId, card: PersistentPtr<CredCard>, amount: f32) -> ode_core::Result<()> {
+    db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+        c.curr_bal += amount;
+        Ok(())
+    })
+}
+
+/// `PayBill` through a persistent pointer (posts `after PayBill`).
+pub fn pay_bill(
+    db: &Database,
+    txn: ode_core::TxnId,
+    card: PersistentPtr<CredCard>,
+    amount: f32,
+) -> ode_core::Result<()> {
+    db.invoke(txn, card, "PayBill", |c: &mut CredCard| {
+        c.curr_bal -= amount;
+        Ok(())
+    })
+}

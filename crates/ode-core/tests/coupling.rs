@@ -1,0 +1,328 @@
+//! Coupling modes and transaction events (§4.2, §5.5).
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+};
+
+/// An audit log object that trigger actions append to.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Audit {
+    lines: Vec<String>,
+}
+
+impl Encode for Audit {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.lines.encode(buf);
+    }
+}
+impl Decode for Audit {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Audit {
+            lines: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Audit {
+    const CLASS: &'static str = "Audit";
+}
+
+/// A simple account whose triggers log under various coupling modes.
+#[derive(Debug, Clone, PartialEq)]
+struct Account {
+    balance: i64,
+}
+
+impl Encode for Account {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.balance.encode(buf);
+    }
+}
+impl Decode for Account {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Account {
+            balance: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Account {
+    const CLASS: &'static str = "Account";
+}
+
+fn log_action(tag: &'static str) -> impl for<'a, 'b> Fn(&'a mut ode_core::TriggerCtx<'b>) -> ode_core::Result<()>
+       + Send
+       + Sync
+       + 'static {
+    move |ctx| {
+        let audit: PersistentPtr<Audit> = ctx.params()?;
+        ctx.db()
+            .update_with(ctx.txn(), audit, |a| a.lines.push(tag.to_string()))
+    }
+}
+
+fn setup(db: &Database) {
+    let audit = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit).unwrap();
+    let account = ClassBuilder::new("Account")
+        .after_event("Deposit")
+        .txn_events()
+        .trigger(
+            "LogNow",
+            "after Deposit",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            log_action("immediate"),
+        )
+        .trigger(
+            "LogAtEnd",
+            "after Deposit",
+            CouplingMode::End,
+            Perpetual::Yes,
+            log_action("end"),
+        )
+        .trigger(
+            "LogDependent",
+            "after Deposit",
+            CouplingMode::Dependent,
+            Perpetual::Yes,
+            log_action("dependent"),
+        )
+        .trigger(
+            "LogIndependent",
+            "after Deposit",
+            CouplingMode::Independent,
+            Perpetual::Yes,
+            log_action("independent"),
+        )
+        .trigger(
+            "LogCommit",
+            "before tcomplete",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            log_action("tcomplete"),
+        )
+        .trigger(
+            "LogAbortWitness",
+            "before tabort",
+            CouplingMode::Independent,
+            Perpetual::Yes,
+            log_action("tabort-witness"),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&account).unwrap();
+}
+
+fn new_world(
+    db: &Database,
+    triggers: &[&str],
+) -> (PersistentPtr<Account>, PersistentPtr<Audit>) {
+    db.with_txn(|txn| {
+        let audit = db.pnew(txn, &Audit::default())?;
+        let account = db.pnew(txn, &Account { balance: 0 })?;
+        for t in triggers {
+            db.activate(txn, account, t, &audit)?;
+        }
+        Ok((account, audit))
+    })
+    .unwrap()
+}
+
+fn deposit(db: &Database, txn: ode_core::TxnId, acc: PersistentPtr<Account>, n: i64) -> ode_core::Result<()> {
+    db.invoke(txn, acc, "Deposit", |a: &mut Account| {
+        a.balance += n;
+        Ok(())
+    })
+}
+
+fn audit_lines(db: &Database, audit: PersistentPtr<Audit>) -> Vec<String> {
+    db.with_txn(|txn| Ok(db.read(txn, audit)?.lines)).unwrap()
+}
+
+#[test]
+fn all_four_couplings_fire_on_commit() {
+    let db = Database::volatile();
+    setup(&db);
+    let (account, audit) = new_world(
+        &db,
+        &["LogNow", "LogAtEnd", "LogDependent", "LogIndependent"],
+    );
+    db.with_txn(|txn| deposit(&db, txn, account, 10)).unwrap();
+    let mut lines = audit_lines(&db, audit);
+    // Immediate ran during the deposit; end before commit; the detached
+    // pair after commit (dependent first — one system txn each).
+    assert_eq!(lines.remove(0), "immediate");
+    assert_eq!(lines.remove(0), "end");
+    lines.sort();
+    assert_eq!(lines, vec!["dependent", "independent"]);
+}
+
+#[test]
+fn abort_drops_all_but_independent() {
+    let db = Database::volatile();
+    setup(&db);
+    let (account, audit) = new_world(
+        &db,
+        &["LogNow", "LogAtEnd", "LogDependent", "LogIndependent"],
+    );
+    let err = db
+        .with_txn(|txn| {
+            deposit(&db, txn, account, 10)?;
+            Err::<(), _>(ode_core::OdeError::tabort("user abort"))
+        })
+        .unwrap_err();
+    assert!(err.is_abort());
+    // The immediate action's write was rolled back with the transaction;
+    // end and dependent were discarded; only !dependent survives (§5.5:
+    // "the separate transaction can commit even if the event detecting
+    // transaction aborts").
+    assert_eq!(audit_lines(&db, audit), vec!["independent"]);
+    // The balance change itself was rolled back.
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, account)?.balance, 0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn before_tcomplete_fires_during_commit() {
+    let db = Database::volatile();
+    setup(&db);
+    let (account, audit) = new_world(&db, &["LogCommit"]);
+    // The activation transaction itself accessed the account, so it was on
+    // that transaction's event-object list and the trigger already fired
+    // once at its commit.
+    assert_eq!(audit_lines(&db, audit), vec!["tcomplete"]);
+    db.with_txn(|txn| deposit(&db, txn, account, 1)).unwrap();
+    assert_eq!(audit_lines(&db, audit), vec!["tcomplete"; 2]);
+    // Even a pure read puts the object on the event object list.
+    db.with_txn(|txn| {
+        let _ = db.read(txn, account)?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(audit_lines(&db, audit), vec!["tcomplete"; 3]);
+}
+
+#[test]
+fn before_tabort_fires_on_abort_only() {
+    let db = Database::volatile();
+    setup(&db);
+    let (account, audit) = new_world(&db, &["LogAbortWitness"]);
+    // Commit path: no tabort event.
+    db.with_txn(|txn| deposit(&db, txn, account, 1)).unwrap();
+    assert!(audit_lines(&db, audit).is_empty());
+    // Abort path: the trigger fires; because it is !dependent its log
+    // line survives the rollback.
+    let _ = db
+        .with_txn(|txn| {
+            deposit(&db, txn, account, 1)?;
+            Err::<(), _>(ode_core::OdeError::tabort("boom"))
+        })
+        .unwrap_err();
+    assert_eq!(audit_lines(&db, audit), vec!["tabort-witness"]);
+}
+
+#[test]
+fn end_actions_see_the_full_transaction() {
+    // An end trigger observes the cumulative effect of the transaction,
+    // not the state at detection time.
+    let db = Database::volatile();
+    let audit_td = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit_td).unwrap();
+    let account = ClassBuilder::new("Account")
+        .after_event("Deposit")
+        .trigger(
+            "SnapshotAtEnd",
+            "after Deposit",
+            CouplingMode::End,
+            Perpetual::No,
+            |ctx| {
+                let audit: PersistentPtr<Audit> = ctx.params()?;
+                let account: Account = ctx.object()?;
+                ctx.db().update_with(ctx.txn(), audit, |a| {
+                    a.lines.push(format!("balance={}", account.balance))
+                })
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&account).unwrap();
+    let (account, audit) = new_world(&db, &["SnapshotAtEnd"]);
+    db.with_txn(|txn| {
+        deposit(&db, txn, account, 10)?; // trigger detected here
+        deposit(&db, txn, account, 20)?; // further work before commit
+        deposit(&db, txn, account, 30)?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(audit_lines(&db, audit), vec!["balance=60"]);
+}
+
+#[test]
+fn dependent_actions_run_in_system_transactions() {
+    let db = Database::volatile();
+    setup(&db);
+    let (account, audit) = new_world(&db, &["LogDependent"]);
+    db.reset_trigger_stats();
+    db.with_txn(|txn| deposit(&db, txn, account, 10)).unwrap();
+    assert_eq!(audit_lines(&db, audit).len(), 1);
+    let stats = db.trigger_stats();
+    assert_eq!(stats.deferred_firings, 1);
+    assert_eq!(stats.immediate_firings, 0);
+}
+
+#[test]
+fn end_trigger_tabort_aborts_the_whole_transaction() {
+    // A constraint checked at end-of-transaction (deferred) that fails
+    // must abort the transaction — and the !dependent witness still runs.
+    let db = Database::volatile();
+    let audit_td = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit_td).unwrap();
+    let account = ClassBuilder::new("Account")
+        .after_event("Deposit")
+        .trigger(
+            "NonNegativeAtEnd",
+            "after Deposit",
+            CouplingMode::End,
+            Perpetual::Yes,
+            |ctx| {
+                let account: Account = ctx.object()?;
+                if account.balance < 0 {
+                    Err(ctx.tabort("negative balance"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .trigger(
+            "Witness",
+            "after Deposit",
+            CouplingMode::Independent,
+            Perpetual::Yes,
+            log_action("witness"),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&account).unwrap();
+    let (acc, audit) = new_world(&db, &["NonNegativeAtEnd", "Witness"]);
+
+    // Positive total: commits.
+    db.with_txn(|txn| deposit(&db, txn, acc, 5)).unwrap();
+    // Negative total at commit time: aborts even though each step ran.
+    let err = db
+        .with_txn(|txn| deposit(&db, txn, acc, -100))
+        .unwrap_err();
+    assert!(err.is_abort(), "{err}");
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, acc)?.balance, 5);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(
+        audit_lines(&db, audit),
+        vec!["witness", "witness"],
+        "!dependent witness survives both outcomes"
+    );
+}

@@ -1,0 +1,235 @@
+//! The paper's §4 credit-card scenario, end to end.
+
+mod common;
+
+use common::{buy, cred_card_class, pay_bill, CredCard};
+use ode_core::Database;
+
+#[test]
+fn deny_credit_blocks_over_limit_purchases() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+
+    // Set up the card in one committed transaction.
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, card, "DenyCredit", &())?;
+            Ok(card)
+        })
+        .unwrap();
+
+    // A purchase within the limit goes through.
+    db.with_txn(|txn| buy(&db, txn, card, 400.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.curr_bal, 400.0);
+        Ok(())
+    })
+    .unwrap();
+
+    // A purchase that would exceed the limit fires DenyCredit: the whole
+    // transaction aborts, so the purchase never happens.
+    let err = db
+        .with_txn(|txn| buy(&db, txn, card, 700.0))
+        .unwrap_err();
+    assert!(err.is_abort(), "DenyCredit must tabort: {err}");
+
+    db.with_txn(|txn| {
+        let c = db.read(txn, card)?;
+        assert_eq!(c.curr_bal, 400.0, "aborted purchase rolled back");
+        // The black mark was written inside the aborted transaction, so it
+        // is rolled back too — §5.5: "actions of aborted transactions are
+        // rolled back". (The paper's application would use a !dependent
+        // trigger to make the mark stick; see coupling tests.)
+        assert!(c.black_marks.is_empty());
+        Ok(())
+    })
+    .unwrap();
+
+    // DenyCredit is perpetual: it fires again on the next violation.
+    let err = db
+        .with_txn(|txn| buy(&db, txn, card, 2000.0))
+        .unwrap_err();
+    assert!(err.is_abort());
+}
+
+#[test]
+fn auto_raise_limit_full_walkthrough() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            // credcard->AutoRaiseLimit(1000.0);
+            db.activate(txn, card, "AutoRaiseLimit", &1000.0f32)?;
+            Ok(card)
+        })
+        .unwrap();
+
+    // Buy 900: MoreCred() is true (900 > 0.8*1000), trigger armed.
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    // PayBill 100: the relative event completes, limit raised by 1000.
+    db.with_txn(|txn| pay_bill(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| {
+        let c = db.read(txn, card)?;
+        assert_eq!(c.cred_lim, 2000.0, "AutoRaiseLimit fired once");
+        assert_eq!(c.curr_bal, 800.0);
+        Ok(())
+    })
+    .unwrap();
+
+    // The trigger was once-only: another qualifying pattern does nothing.
+    db.with_txn(|txn| buy(&db, txn, card, 1100.0)).unwrap(); // 1900 > 0.8*2000
+    db.with_txn(|txn| pay_bill(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 2000.0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn auto_raise_limit_mask_false_resets() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, card, "AutoRaiseLimit", &500.0f32)?;
+            Ok(card)
+        })
+        .unwrap();
+
+    // Small buy: MoreCred() false, machine returns to start (Figure 1's
+    // False edge). PayBill alone must not fire.
+    db.with_txn(|txn| buy(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| pay_bill(&db, txn, card, 50.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 1000.0);
+        Ok(())
+    })
+    .unwrap();
+
+    // Now a qualifying Buy arms it; any later PayBill fires (relative
+    // allows intervening events).
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    db.with_txn(|txn| buy(&db, txn, card, 10.0)).unwrap(); // still armed
+    db.with_txn(|txn| pay_bill(&db, txn, card, 5.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 1500.0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn trigger_state_spans_transactions_and_deactivation_works() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let (card, auto_raise) = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            let id = db.activate(txn, card, "AutoRaiseLimit", &1000.0f32)?;
+            Ok((card, id))
+        })
+        .unwrap();
+
+    // Arm it in one transaction…
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    // …then deactivate before the completing event: nothing fires.
+    db.with_txn(|txn| {
+        assert!(db.deactivate(txn, auto_raise)?);
+        Ok(())
+    })
+    .unwrap();
+    db.with_txn(|txn| pay_bill(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 1000.0);
+        // Deactivating again reports false.
+        assert!(!db.deactivate(txn, auto_raise)?);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn unactivated_triggers_never_fire() {
+    // "Unless an explicit activation is performed, the trigger will never
+    // fire for credcard" (§4.1).
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let card = db
+        .with_txn(|txn| db.pnew(txn, &CredCard::new(100.0)))
+        .unwrap();
+    // Way over limit, but DenyCredit was never activated.
+    db.with_txn(|txn| buy(&db, txn, card, 5000.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.curr_bal, 5000.0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn activation_is_per_object() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let (a, b) = db
+        .with_txn(|txn| {
+            let a = db.pnew(txn, &CredCard::new(1000.0))?;
+            let b = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, a, "DenyCredit", &())?;
+            Ok((a, b))
+        })
+        .unwrap();
+    // Card a is protected…
+    assert!(db.with_txn(|txn| buy(&db, txn, a, 2000.0)).is_err());
+    // …card b is not.
+    db.with_txn(|txn| buy(&db, txn, b, 2000.0)).unwrap();
+}
+
+#[test]
+fn both_triggers_coexist() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, card, "DenyCredit", &())?;
+            db.activate(txn, card, "AutoRaiseLimit", &1000.0f32)?;
+            Ok(card)
+        })
+        .unwrap();
+    // 900 is within the limit (no DenyCredit) and arms AutoRaiseLimit.
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    db.with_txn(|txn| pay_bill(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 2000.0);
+        Ok(())
+    })
+    .unwrap();
+    // DenyCredit still guards the (new) limit.
+    let err = db.with_txn(|txn| buy(&db, txn, card, 1500.0)).unwrap_err();
+    assert!(err.is_abort());
+}
+
+#[test]
+fn stats_reflect_processing() {
+    let db = Database::volatile();
+    cred_card_class(&db);
+    let card = db
+        .with_txn(|txn| {
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, card, "AutoRaiseLimit", &1.0f32)?;
+            Ok(card)
+        })
+        .unwrap();
+    db.reset_trigger_stats();
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    let stats = db.trigger_stats();
+    assert_eq!(stats.events_posted, 1, "after Buy");
+    assert_eq!(stats.fsm_advances, 1);
+    assert_eq!(stats.mask_evaluations, 1, "MoreCred evaluated once");
+    assert_eq!(stats.immediate_firings, 0);
+}

@@ -1,0 +1,114 @@
+//! The `#[derive(OdeClass)]` macro: generated codec + class wiring.
+
+use ode_core::{ClassBuilder, CouplingMode, Database, OdeClass, OdeObject, Perpetual};
+use ode_storage::codec::{decode_all, encode_to_vec};
+
+#[derive(Debug, Clone, PartialEq, OdeClass)]
+struct Invoice {
+    number: u64,
+    customer: String,
+    total_cents: i64,
+    paid: bool,
+    line_items: Vec<String>,
+    discount: Option<f32>,
+}
+
+#[derive(Debug, Clone, PartialEq, OdeClass)]
+#[ode(class = "RenamedWidget")]
+struct Widget {
+    id: u32,
+}
+
+fn sample() -> Invoice {
+    Invoice {
+        number: 42,
+        customer: "Gehani".into(),
+        total_cents: 99_95,
+        paid: false,
+        line_items: vec!["triggers".into(), "events".into()],
+        discount: Some(0.1),
+    }
+}
+
+#[test]
+fn derived_codec_roundtrips() {
+    let inv = sample();
+    let bytes = encode_to_vec(&inv);
+    let back: Invoice = decode_all(&bytes).unwrap();
+    assert_eq!(back, inv);
+}
+
+#[test]
+fn derived_layout_is_field_order() {
+    // The first field is a u64: its little-endian bytes lead the payload.
+    let bytes = encode_to_vec(&sample());
+    assert_eq!(&bytes[0..8], &42u64.to_le_bytes());
+}
+
+#[test]
+fn class_name_defaults_and_overrides() {
+    assert_eq!(Invoice::CLASS, "Invoice");
+    assert_eq!(Widget::CLASS, "RenamedWidget");
+}
+
+#[test]
+fn derived_classes_work_end_to_end_with_triggers() {
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Invoice")
+        .after_event("Pay")
+        .mask("Paid", |ctx| {
+            let inv: Invoice = ctx.object()?;
+            Ok(inv.paid)
+        })
+        .trigger(
+            "GuardDoublePay",
+            "(after Pay & Paid()), (after Pay & Paid())",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| Err(ctx.tabort("already paid")),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    let inv = db
+        .with_txn(|txn| {
+            let inv = db.pnew(txn, &sample())?;
+            db.activate(txn, inv, "GuardDoublePay", &())?;
+            Ok(inv)
+        })
+        .unwrap();
+    let pay = || {
+        db.with_txn(|txn| {
+            db.invoke(txn, inv, "Pay", |i: &mut Invoice| {
+                i.paid = true;
+                Ok(())
+            })
+        })
+    };
+    pay().unwrap();
+    let err = pay().unwrap_err();
+    assert!(err.is_abort(), "double pay must abort: {err}");
+    db.with_txn(|txn| {
+        assert!(db.read(txn, inv)?.paid);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn derived_structs_nest() {
+    #[derive(Debug, Clone, PartialEq, OdeClass)]
+    struct Outer {
+        tag: String,
+        inner: Widget,
+        more: Vec<Widget>,
+    }
+    let outer = Outer {
+        tag: "nested".into(),
+        inner: Widget { id: 1 },
+        more: vec![Widget { id: 2 }, Widget { id: 3 }],
+    };
+    let back: Outer = decode_all(&encode_to_vec(&outer)).unwrap();
+    assert_eq!(back, outer);
+}

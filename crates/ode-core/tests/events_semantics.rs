@@ -1,0 +1,456 @@
+//! Event-posting semantics: user events, before events, anchored
+//! expressions, the fire-after-all-posted rule, and design-goal checks.
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Counter {
+    n: u32,
+}
+impl Encode for Counter {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n.encode(buf);
+    }
+}
+impl Decode for Counter {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Counter {
+            n: u32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Counter {
+    const CLASS: &'static str = "Counter";
+}
+
+#[test]
+fn before_and_after_events_bracket_the_body() {
+    let db = Database::volatile();
+    let order: Arc<parking_lot::Mutex<Vec<&'static str>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o1 = Arc::clone(&order);
+    let o2 = Arc::clone(&order);
+    let td = ClassBuilder::new("Counter")
+        .before_event("Bump")
+        .after_event("Bump")
+        .trigger(
+            "Before",
+            "before Bump",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                o1.lock().push("before");
+                Ok(())
+            },
+        )
+        .trigger(
+            "After",
+            "after Bump",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |ctx| {
+                // The after-trigger must observe the body's effect —
+                // "posts the event after PayBill" *after* the call (§5.3).
+                let c: Counter = ctx.object()?;
+                assert_eq!(c.n, 1, "after event sees the updated object");
+                o2.lock().push("after");
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "Before", &())?;
+        db.activate(txn, c, "After", &())?;
+        db.invoke(txn, c, "Bump", |c: &mut Counter| {
+            order.lock().push("body");
+            c.n += 1;
+            Ok(())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(*order.lock(), vec!["before", "body", "after"]);
+}
+
+#[test]
+fn user_events_must_be_declared_and_posted_explicitly() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    let f = Arc::clone(&fired);
+    let td = ClassBuilder::new("Counter")
+        .user_event("BigBuy")
+        .trigger(
+            "OnBigBuy",
+            "BigBuy",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "OnBigBuy", &())?;
+        db.post_user_event(txn, c, "BigBuy")?;
+        db.post_user_event(txn, c, "BigBuy")?;
+        // Undeclared events are rejected.
+        let err = db.post_user_event(txn, c, "Nonsense").unwrap_err();
+        assert!(matches!(err, ode_core::OdeError::Schema(_)));
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn undeclared_member_functions_post_nothing() {
+    // Design goal 3: classes pay for triggers only on declared events.
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.reset_trigger_stats();
+        // "Silent" is not in the event declaration: no posting happens.
+        db.invoke(txn, c, "Silent", |c: &mut Counter| {
+            c.n += 1;
+            Ok(())
+        })?;
+        assert_eq!(db.trigger_stats().events_posted, 0);
+        // "Bump" is declared: posting happens (even with no triggers).
+        db.invoke(txn, c, "Bump", |c: &mut Counter| {
+            c.n += 1;
+            Ok(())
+        })?;
+        assert_eq!(db.trigger_stats().events_posted, 1);
+        // …but the per-object flag short-circuits the index lookup
+        // (§5.4.5 footnote 3).
+        assert_eq!(db.trigger_stats().index_skips, 1);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn volatile_objects_pay_nothing() {
+    // Design goal 4: plain Rust values of the same type never touch the
+    // trigger machinery. (This is true by construction — there is no code
+    // path — so the test simply demonstrates the idiom.)
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.reset_trigger_stats();
+    let mut volatile_counter = Counter { n: 0 };
+    volatile_counter.n += 1; // a "member function" on a volatile object
+    assert_eq!(volatile_counter.n, 1);
+    assert_eq!(db.trigger_stats().events_posted, 0);
+}
+
+#[test]
+fn anchored_triggers_die_on_mismatch() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    let f = Arc::clone(&fired);
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .user_event("Ping")
+        .trigger(
+            "Anchored",
+            "^after Bump, after Bump",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    // Case 1: the exact prefix matches → fires.
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "Anchored", &())?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+    // Case 2: a different declared event arrives first → the instance is
+    // dead and auto-deactivated; later Bumps cannot revive it.
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "Anchored", &())?;
+        assert_eq!(db.active_triggers(txn, c.oid())?.len(), 1);
+        db.post_user_event(txn, c, "Ping")?;
+        assert!(
+            db.active_triggers(txn, c.oid())?.is_empty(),
+            "dead anchored instance is deactivated"
+        );
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn actions_fire_only_after_all_triggers_saw_the_event() {
+    // §5.4.5: "no triggers are fired until all triggers have had the
+    // basic event posted. This is to prevent the action of one trigger
+    // from affecting the mask of another trigger."
+    let db = Database::volatile();
+    let masked_fired = Arc::new(AtomicU32::new(0));
+    let mf = Arc::clone(&masked_fired);
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .mask("IsZero", |ctx| {
+            let c: Counter = ctx.object()?;
+            Ok(c.n == 0)
+        })
+        .trigger(
+            // Sabotage: sets n to 99 when Bump happens.
+            "Sabotage",
+            "after Bump",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| ctx.update_object(|c: &mut Counter| c.n = 99),
+        )
+        .trigger(
+            // Guard: fires only if n was 0 when Bump happened. If Sabotage
+            // ran before Guard's mask was evaluated, the mask would see 99.
+            "Guard",
+            "after Bump & IsZero()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                mf.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        // Activation order puts Sabotage first in the index.
+        db.activate(txn, c, "Sabotage", &())?;
+        db.activate(txn, c, "Guard", &())?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(
+        masked_fired.load(Ordering::SeqCst),
+        1,
+        "Guard's mask ran before any action"
+    );
+}
+
+#[test]
+fn cascading_triggers_fire_transitively() {
+    // "A trigger's action can cause another trigger to fire" (§5.4.5).
+    let db = Database::volatile();
+    let chain_done = Arc::new(AtomicU32::new(0));
+    let cd = Arc::clone(&chain_done);
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .user_event("Escalate")
+        .trigger(
+            "Escalator",
+            "after Bump",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                let ptr = ctx.anchor::<Counter>();
+                ctx.db().post_user_event(ctx.txn(), ptr, "Escalate")
+            },
+        )
+        .trigger(
+            "Final",
+            "Escalate",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                cd.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "Escalator", &())?;
+        db.activate(txn, c, "Final", &())?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(chain_done.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn star_and_union_expressions_work_end_to_end() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    let f = Arc::clone(&fired);
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .user_event("Ping")
+        .user_event("Pong")
+        .trigger(
+            // A Bump, then any (possibly empty) run of Pings, then a Pong.
+            "Pattern",
+            "after Bump, *Ping, Pong",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    let c = db
+        .with_txn(|txn| {
+            let c = db.pnew(txn, &Counter { n: 0 })?;
+            db.activate(txn, c, "Pattern", &())?;
+            Ok(c)
+        })
+        .unwrap();
+    db.with_txn(|txn| {
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        db.post_user_event(txn, c, "Ping")?;
+        db.post_user_event(txn, c, "Ping")?;
+        db.post_user_event(txn, c, "Pong")?; // fires (Bump, Ping, Ping, Pong)
+        db.post_user_event(txn, c, "Pong")?; // no new Bump-anchored window
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+    db.with_txn(|txn| {
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        db.post_user_event(txn, c, "Pong")?; // zero Pings also matches
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn read_write_lock_amplification_is_observable() {
+    // §6: "triggers turn read access into write access". A method that
+    // does not modify the object still advances the FSM, which updates the
+    // persistent trigger state — a write.
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Counter")
+        .after_event("Peek")
+        .user_event("Other")
+        .trigger(
+            "TwoStep",
+            "after Peek, Other",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |_| Ok(()),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    let c = db
+        .with_txn(|txn| {
+            let c = db.pnew(txn, &Counter { n: 0 })?;
+            db.activate(txn, c, "TwoStep", &())?;
+            Ok(c)
+        })
+        .unwrap();
+    db.with_txn(|txn| {
+        db.storage().reset_lock_stats();
+        // A pure read via invoke: no object write, but the FSM moves
+        // start → armed, forcing a write on the trigger state record.
+        db.invoke(txn, c, "Peek", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    // We can't easily isolate one lock, but the semantic effect is
+    // checkable: the trigger state advanced (persistent write happened).
+    db.with_txn(|txn| {
+        db.post_user_event(txn, c, "Other")?; // completes the sequence
+        Ok(())
+    })
+    .unwrap();
+    let stats = db.trigger_stats();
+    assert_eq!(stats.immediate_firings, 1);
+}
+
+#[test]
+fn conjunction_triggers_work_through_the_database() {
+    // §8's motivating shape as an intra-object trigger: both a Bump and a
+    // Ping must have happened, in either order.
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    let f = Arc::clone(&fired);
+    let td = ClassBuilder::new("Counter")
+        .after_event("Bump")
+        .user_event("Ping")
+        .trigger(
+            "BothWays",
+            "after Bump && Ping",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    // Order 1: Ping then Bump.
+    db.with_txn(|txn| {
+        let c = db.pnew(txn, &Counter { n: 0 })?;
+        db.activate(txn, c, "BothWays", &())?;
+        db.post_user_event(txn, c, "Ping")?;
+        db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+    // Order 2: Bump then (later transaction) Ping.
+    let c2 = db
+        .with_txn(|txn| {
+            let c = db.pnew(txn, &Counter { n: 0 })?;
+            db.activate(txn, c, "BothWays", &())?;
+            db.invoke(txn, c, "Bump", |_: &mut Counter| Ok(()))?;
+            Ok(c)
+        })
+        .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "one side is not enough");
+    db.with_txn(|txn| db.post_user_event(txn, c2, "Ping")).unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 2);
+}

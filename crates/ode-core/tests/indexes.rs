@@ -1,0 +1,253 @@
+//! Secondary attribute indexes: automatic maintenance across every write
+//! path, duplicates, ranges, persistence, and rollback.
+
+use bytes::BytesMut;
+use ode_core::{ClassBuilder, Database, Decode, Encode, OdeObject, PersistentPtr};
+use ode_storage::btree::i64_key;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Employee {
+    name: String,
+    salary: i64,
+}
+impl Encode for Employee {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.salary.encode(buf);
+    }
+}
+impl Decode for Employee {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Employee {
+            name: String::decode(buf)?,
+            salary: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Employee {
+    const CLASS: &'static str = "Employee";
+}
+
+fn setup() -> Database {
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Employee")
+        .after_event("Raise")
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    db
+}
+
+fn hire(db: &Database, txn: ode_core::TxnId, name: &str, salary: i64) -> PersistentPtr<Employee> {
+    db.pnew(
+        txn,
+        &Employee {
+            name: name.into(),
+            salary,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn index_maintained_across_all_write_paths() {
+    let db = setup();
+    db.with_txn(|txn| {
+        db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+            Some(i64_key(e.salary).to_vec())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+
+    let (alice, bob, carol) = db
+        .with_txn(|txn| {
+            Ok((
+                hire(&db, txn, "alice", 120),
+                hire(&db, txn, "bob", 90),
+                hire(&db, txn, "carol", 120),
+            ))
+        })
+        .unwrap();
+
+    // Duplicate keys: both 120-earners come back, in Oid order.
+    db.with_txn(|txn| {
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(120))?;
+        assert_eq!(hits, vec![alice, carol]);
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(90))?;
+        assert_eq!(hits, vec![bob]);
+        Ok(())
+    })
+    .unwrap();
+
+    // update_with moves the entry.
+    db.with_txn(|txn| {
+        db.update_with(txn, bob, |e| e.salary = 120)?;
+        Ok(())
+    })
+    .unwrap();
+    db.with_txn(|txn| {
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(120))?;
+        assert_eq!(hits.len(), 3);
+        assert!(db
+            .lookup_by_index::<Employee>(txn, "by_salary", &i64_key(90))?
+            .is_empty());
+        Ok(())
+    })
+    .unwrap();
+
+    // invoke write-back moves the entry too.
+    db.with_txn(|txn| {
+        db.invoke(txn, alice, "Raise", |e: &mut Employee| {
+            e.salary = 200;
+            Ok(())
+        })
+    })
+    .unwrap();
+    db.with_txn(|txn| {
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(200))?;
+        assert_eq!(hits, vec![alice]);
+        Ok(())
+    })
+    .unwrap();
+
+    // pdelete unindexes.
+    db.with_txn(|txn| db.pdelete(txn, carol)).unwrap();
+    db.with_txn(|txn| {
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(120))?;
+        assert_eq!(hits, vec![bob]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn range_queries_come_back_ordered() {
+    let db = setup();
+    db.with_txn(|txn| {
+        db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+            Some(i64_key(e.salary).to_vec())
+        })?;
+        for (name, salary) in [("a", 50), ("b", 150), ("c", 100), ("d", -20), ("e", 250)] {
+            hire(&db, txn, name, salary);
+        }
+        Ok(())
+    })
+    .unwrap();
+    db.with_txn(|txn| {
+        let hits = db.range_by_index::<Employee>(
+            txn,
+            "by_salary",
+            Some(&i64_key(0)),
+            Some(&i64_key(200)),
+        )?;
+        let names: Vec<String> = hits
+            .iter()
+            .map(|(_, ptr)| db.read(txn, *ptr).map(|e| e.name))
+            .collect::<ode_core::Result<_>>()?;
+        assert_eq!(names, vec!["a", "c", "b"], "ordered by salary");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn backfill_indexes_existing_objects() {
+    let db = setup();
+    let early = db
+        .with_txn(|txn| Ok(hire(&db, txn, "early", 77)))
+        .unwrap();
+    db.with_txn(|txn| {
+        db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+            Some(i64_key(e.salary).to_vec())
+        })?;
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(77))?;
+        assert_eq!(hits, vec![early]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn aborted_writes_leave_the_index_untouched() {
+    let db = setup();
+    let alice = db
+        .with_txn(|txn| {
+            db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+                Some(i64_key(e.salary).to_vec())
+            })?;
+            Ok(hire(&db, txn, "alice", 100))
+        })
+        .unwrap();
+    let _ = db
+        .with_txn(|txn| {
+            db.update_with(txn, alice, |e| e.salary = 999)?;
+            hire(&db, txn, "ghost", 999);
+            Err::<(), _>(ode_core::OdeError::tabort("rollback"))
+        })
+        .unwrap_err();
+    db.with_txn(|txn| {
+        assert!(db
+            .lookup_by_index::<Employee>(txn, "by_salary", &i64_key(999))?
+            .is_empty());
+        let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(100))?;
+        assert_eq!(hits, vec![alice]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn partial_indexes_skip_none_keys() {
+    let db = setup();
+    db.with_txn(|txn| {
+        // Index only six-figure salaries.
+        db.create_attribute_index::<Employee>(txn, "big_earners", |e| {
+            (e.salary >= 100).then(|| i64_key(e.salary).to_vec())
+        })?;
+        hire(&db, txn, "small", 50);
+        let big = hire(&db, txn, "big", 150);
+        let all = db.range_by_index::<Employee>(txn, "big_earners", None, None)?;
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, big);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn index_persists_and_reattaches() {
+    use ode_testutil::TempDir;
+    let dir = TempDir::new("attridx");
+    let alice_oid;
+    {
+        let db = Database::create(dir.path(), ode_core::StorageOptions::default()).unwrap();
+        let td = ClassBuilder::new("Employee").build(db.registry()).unwrap();
+        db.register_class(&td).unwrap();
+        alice_oid = db
+            .with_txn(|txn| {
+                db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+                    Some(i64_key(e.salary).to_vec())
+                })?;
+                Ok(hire(&db, txn, "alice", 123).oid())
+            })
+            .unwrap();
+        db.close().unwrap();
+    }
+    {
+        let db = Database::open(dir.path(), ode_core::StorageOptions::default()).unwrap();
+        let td = ClassBuilder::new("Employee").build(db.registry()).unwrap();
+        db.register_class(&td).unwrap();
+        db.with_txn(|txn| {
+            // Re-attach (same name): no re-backfill duplication.
+            db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
+                Some(i64_key(e.salary).to_vec())
+            })?;
+            let hits = db.lookup_by_index::<Employee>(txn, "by_salary", &i64_key(123))?;
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].oid(), alice_oid);
+            Ok(())
+        })
+        .unwrap();
+    }
+}

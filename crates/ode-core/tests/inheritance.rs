@@ -1,0 +1,243 @@
+//! Inheritance: derived classes, base-class triggers on derived objects,
+//! and the event-numbering discipline of §5.2/§6.
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Base: Person { name }.
+#[derive(Debug, Clone, PartialEq)]
+struct Person {
+    name: String,
+}
+impl Encode for Person {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+    }
+}
+impl Decode for Person {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Person {
+            name: String::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Person {
+    const CLASS: &'static str = "Person";
+}
+
+/// Derived: Customer { name, visits } — layout extends Person's, like a
+/// C++ derived object.
+#[derive(Debug, Clone, PartialEq)]
+struct Customer {
+    name: String,
+    visits: u32,
+}
+impl Encode for Customer {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.visits.encode(buf);
+    }
+}
+impl Decode for Customer {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Customer {
+            name: String::decode(buf)?,
+            visits: u32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Customer {
+    const CLASS: &'static str = "Customer";
+}
+
+fn setup(db: &Database, fired: &Arc<AtomicU32>) {
+    let fired_base = Arc::clone(fired);
+    let person = ClassBuilder::new("Person")
+        .after_event("Rename")
+        .trigger(
+            "OnRename",
+            "after Rename",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                fired_base.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&person).unwrap();
+    let customer = ClassBuilder::new("Customer")
+        .base(&person)
+        .after_event("Visit")
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&customer).unwrap();
+}
+
+#[test]
+fn base_trigger_fires_on_derived_object() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    setup(&db, &fired);
+
+    let cust = db
+        .with_txn(|txn| {
+            let cust = db.pnew(
+                txn,
+                &Customer {
+                    name: "Robert".into(),
+                    visits: 0,
+                },
+            )?;
+            // Activate the *base class* trigger on the derived object.
+            db.activate(txn, cust.cast::<Person>(), "OnRename", &())?;
+            Ok(cust)
+        })
+        .unwrap();
+
+    // Invoking the inherited member on the derived object posts the
+    // base-declared event (same globally unique integer) and the base
+    // trigger fires.
+    db.with_txn(|txn| {
+        db.invoke(txn, cust, "Rename", |c: &mut Customer| {
+            c.name = "Narain".into();
+            Ok(())
+        })
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+    // A derived-only event is invisible to the base trigger ("a base
+    // class trigger should not see the events of a derived class",
+    // §5.4.3).
+    db.with_txn(|txn| {
+        db.invoke(txn, cust, "Visit", |c: &mut Customer| {
+            c.visits += 1;
+            Ok(())
+        })
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn derived_object_readable_as_base() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    setup(&db, &fired);
+    let cust = db
+        .with_txn(|txn| {
+            db.pnew(
+                txn,
+                &Customer {
+                    name: "Daniel".into(),
+                    visits: 3,
+                },
+            )
+        })
+        .unwrap();
+    // Read through a base-typed pointer: prefix decode (C++-style layout).
+    db.with_txn(|txn| {
+        let p: Person = db.read(txn, cust.cast::<Person>())?;
+        assert_eq!(p.name, "Daniel");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn base_trigger_rejected_on_unrelated_object() {
+    let db = Database::volatile();
+    let fired = Arc::new(AtomicU32::new(0));
+    setup(&db, &fired);
+    let other = ClassBuilder::new("Unrelated").build(db.registry()).unwrap();
+    db.register_class(&other).unwrap();
+
+    #[derive(Debug)]
+    struct Unrelated;
+    impl Encode for Unrelated {
+        fn encode(&self, _: &mut BytesMut) {}
+    }
+    impl Decode for Unrelated {
+        fn decode(_: &mut &[u8]) -> ode_storage::Result<Self> {
+            Ok(Unrelated)
+        }
+    }
+    impl OdeObject for Unrelated {
+        const CLASS: &'static str = "Unrelated";
+    }
+
+    db.with_txn(|txn| {
+        let u = db.pnew(txn, &Unrelated)?;
+        let as_person: PersistentPtr<Person> = u.cast();
+        let err = db.activate(txn, as_person, "OnRename", &()).unwrap_err();
+        assert!(matches!(err, ode_core::OdeError::TypeMismatch { .. }));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn same_method_name_in_two_classes_stays_distinct() {
+    // Two unrelated classes both declare `after Ping`; their globally
+    // unique integers differ, so a trigger on one never reacts to the
+    // other (§5.2).
+    let db = Database::volatile();
+    let hits = Arc::new(AtomicU32::new(0));
+    let hits2 = Arc::clone(&hits);
+    let a = ClassBuilder::new("Person")
+        .after_event("Rename")
+        .trigger(
+            "OnRename",
+            "after Rename",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&a).unwrap();
+
+    #[derive(Debug)]
+    struct Widget;
+    impl Encode for Widget {
+        fn encode(&self, _: &mut BytesMut) {}
+    }
+    impl Decode for Widget {
+        fn decode(_: &mut &[u8]) -> ode_storage::Result<Self> {
+            Ok(Widget)
+        }
+    }
+    impl OdeObject for Widget {
+        const CLASS: &'static str = "Widget";
+    }
+    let b = ClassBuilder::new("Widget")
+        .after_event("Rename")
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&b).unwrap();
+
+    db.with_txn(|txn| {
+        let p = db.pnew(
+            txn,
+            &Person {
+                name: "x".into(),
+            },
+        )?;
+        db.activate(txn, p, "OnRename", &())?;
+        let w = db.pnew(txn, &Widget)?;
+        // Rename the widget: Person's trigger must not fire.
+        db.invoke(txn, w, "Rename", |_w: &mut Widget| Ok(()))?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 0);
+}

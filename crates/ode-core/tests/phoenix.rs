@@ -1,0 +1,244 @@
+//! Phoenix transactions (§6): durable after-commit work that survives
+//! crashes and retries until done.
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+    StorageOptions,
+};
+use ode_testutil::TempDir;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Default)]
+struct Outbox {
+    sent: Vec<String>,
+}
+impl Encode for Outbox {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.sent.encode(buf);
+    }
+}
+impl Decode for Outbox {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Outbox {
+            sent: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Outbox {
+    const CLASS: &'static str = "Outbox";
+}
+
+fn outbox_class(db: &Database) {
+    let td = ClassBuilder::new("Outbox").build(db.registry()).unwrap();
+    db.register_class(&td).unwrap();
+}
+
+fn send_mail_handler(db: &Database, outbox: PersistentPtr<Outbox>) {
+    db.register_phoenix_handler("send_mail", move |db, txn, payload| {
+        let message: String = ode_storage::codec::decode_all(payload)?;
+        db.update_with(txn, outbox, |o| o.sent.push(message))
+    });
+}
+
+#[test]
+fn enqueue_is_transactional() {
+    let db = Database::volatile();
+    outbox_class(&db);
+    let outbox = db
+        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
+        .unwrap();
+    send_mail_handler(&db, outbox);
+
+    // Aborted enqueue vanishes.
+    let _ = db
+        .with_txn(|txn| {
+            db.enqueue_phoenix(txn, "send_mail", &"never".to_string())?;
+            Err::<(), _>(ode_core::OdeError::tabort("rollback"))
+        })
+        .unwrap_err();
+    db.with_txn(|txn| {
+        assert_eq!(db.pending_phoenix(txn)?, 0);
+        Ok(())
+    })
+    .unwrap();
+
+    // Committed enqueue runs.
+    db.with_txn(|txn| {
+        db.enqueue_phoenix(txn, "send_mail", &"hello".to_string())?;
+        Ok(())
+    })
+    .unwrap();
+    let report = db.run_phoenix().unwrap();
+    assert_eq!(report.executed, 1);
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, outbox)?.sent, vec!["hello"]);
+        assert_eq!(db.pending_phoenix(txn)?, 0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn phoenix_survives_crash_and_runs_after_reopen() {
+    let dir = TempDir::new("phoenix");
+    let outbox_oid;
+    {
+        let db = Database::create(dir.path(), StorageOptions::default()).unwrap();
+        outbox_class(&db);
+        let outbox = db
+            .with_txn(|txn| db.pnew(txn, &Outbox::default()))
+            .unwrap();
+        outbox_oid = outbox.oid();
+        db.with_txn(|txn| {
+            db.enqueue_phoenix(txn, "send_mail", &"survives".to_string())?;
+            Ok(())
+        })
+        .unwrap();
+        // Crash before anyone ran the queue.
+        std::mem::forget(db);
+    }
+    {
+        let db = Database::open(dir.path(), StorageOptions::default()).unwrap();
+        outbox_class(&db);
+        let outbox = PersistentPtr::<Outbox>::from_oid(outbox_oid);
+        send_mail_handler(&db, outbox);
+        let report = db.run_phoenix().unwrap();
+        assert_eq!(report.executed, 1);
+        db.with_txn(|txn| {
+            assert_eq!(db.read(txn, outbox)?.sent, vec!["survives"]);
+            Ok(())
+        })
+        .unwrap();
+        // Idempotent: a second sweep finds nothing.
+        assert_eq!(db.run_phoenix().unwrap().executed, 0);
+    }
+}
+
+#[test]
+fn failing_handlers_retry_until_success() {
+    let db = Database::volatile();
+    outbox_class(&db);
+    let outbox = db
+        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
+        .unwrap();
+    let failures_left = Arc::new(AtomicU32::new(2));
+    let fl = Arc::clone(&failures_left);
+    db.register_phoenix_handler("flaky", move |db, txn, payload| {
+        if fl.load(Ordering::SeqCst) > 0 {
+            fl.fetch_sub(1, Ordering::SeqCst);
+            return Err(ode_core::OdeError::Action("transient".into()));
+        }
+        let message: String = ode_storage::codec::decode_all(payload)?;
+        db.update_with(txn, outbox, |o| o.sent.push(message))
+    });
+
+    let item = db
+        .with_txn(|txn| db.enqueue_phoenix(txn, "flaky", &"eventually".to_string()))
+        .unwrap();
+
+    assert_eq!(db.run_phoenix().unwrap().failed, 1);
+    db.with_txn(|txn| {
+        assert_eq!(db.phoenix_attempts(txn, item)?, 1);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.run_phoenix().unwrap().failed, 1);
+    let report = db.run_phoenix().unwrap();
+    assert_eq!((report.executed, report.failed), (1, 0));
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, outbox)?.sent, vec!["eventually"]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn unresolved_handlers_stay_queued() {
+    let db = Database::volatile();
+    db.with_txn(|txn| {
+        db.enqueue_phoenix(txn, "not_registered", &1u32)?;
+        Ok(())
+    })
+    .unwrap();
+    let report = db.run_phoenix().unwrap();
+    assert_eq!(report.unresolved, 1);
+    db.with_txn(|txn| {
+        assert_eq!(db.pending_phoenix(txn)?, 1);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn after_commit_trigger_pattern() {
+    // The recommended way to get the `after tcommit` the paper dropped: a
+    // dependent trigger that enqueues a phoenix item. The item becomes
+    // durable with the detecting transaction's commit and is executed
+    // reliably afterwards.
+    let db = Database::volatile();
+    outbox_class(&db);
+    let td = ClassBuilder::new("Doc")
+        .after_event("Publish")
+        .trigger(
+            "NotifyAfterCommit",
+            "after Publish",
+            CouplingMode::End, // durable iff the transaction commits
+            Perpetual::Yes,
+            |ctx| {
+                ctx.db()
+                    .enqueue_phoenix(ctx.txn(), "send_mail", &"published!".to_string())?;
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    #[derive(Debug)]
+    struct Doc;
+    impl Encode for Doc {
+        fn encode(&self, _: &mut BytesMut) {}
+    }
+    impl Decode for Doc {
+        fn decode(_: &mut &[u8]) -> ode_storage::Result<Self> {
+            Ok(Doc)
+        }
+    }
+    impl OdeObject for Doc {
+        const CLASS: &'static str = "Doc";
+    }
+
+    let outbox = db
+        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
+        .unwrap();
+    send_mail_handler(&db, outbox);
+
+    let doc = db
+        .with_txn(|txn| {
+            let doc = db.pnew(txn, &Doc)?;
+            db.activate(txn, doc, "NotifyAfterCommit", &())?;
+            Ok(doc)
+        })
+        .unwrap();
+
+    // Aborted publish: no phoenix item.
+    let _ = db
+        .with_txn(|txn| {
+            db.invoke(txn, doc, "Publish", |_: &mut Doc| Ok(()))?;
+            Err::<(), _>(ode_core::OdeError::tabort("no"))
+        })
+        .unwrap_err();
+    assert_eq!(db.run_phoenix().unwrap().executed, 0);
+
+    // Committed publish: exactly one notification, after commit.
+    db.with_txn(|txn| db.invoke(txn, doc, "Publish", |_: &mut Doc| Ok(())))
+        .unwrap();
+    assert_eq!(db.run_phoenix().unwrap().executed, 1);
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, outbox)?.sent, vec!["published!"]);
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,113 @@
+//! `with_txn_retry`: deadlock victims rerun, application aborts do not.
+
+use bytes::BytesMut;
+use ode_core::{ClassBuilder, Database, Decode, Encode, OdeObject};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+
+#[derive(Debug, Clone)]
+struct Cell {
+    v: i64,
+}
+impl Encode for Cell {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.v.encode(buf);
+    }
+}
+impl Decode for Cell {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Cell {
+            v: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Cell {
+    const CLASS: &'static str = "Cell";
+}
+
+fn setup() -> (Arc<Database>, ode_core::PersistentPtr<Cell>, ode_core::PersistentPtr<Cell>) {
+    let db = Arc::new(Database::volatile());
+    let td = ClassBuilder::new("Cell").build(db.registry()).unwrap();
+    db.register_class(&td).unwrap();
+    let (a, b) = db
+        .with_txn(|txn| {
+            Ok((
+                db.pnew(txn, &Cell { v: 0 })?,
+                db.pnew(txn, &Cell { v: 0 })?,
+            ))
+        })
+        .unwrap();
+    (db, a, b)
+}
+
+#[test]
+fn success_passes_through() {
+    let (db, a, _) = setup();
+    let v = db
+        .with_txn_retry(3, |txn| {
+            db.update_with(txn, a, |c| c.v += 1)?;
+            Ok(7)
+        })
+        .unwrap();
+    assert_eq!(v, 7);
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, a)?.v, 1, "exactly one attempt ran");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn application_aborts_are_not_retried() {
+    let (db, a, _) = setup();
+    let attempts = AtomicU32::new(0);
+    let err = db
+        .with_txn_retry(5, |txn| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            db.update_with(txn, a, |c| c.v += 1)?;
+            Err::<(), _>(ode_core::OdeError::tabort("no"))
+        })
+        .unwrap_err();
+    assert!(err.is_abort());
+    assert_eq!(attempts.load(Ordering::SeqCst), 1, "tabort must not retry");
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, a)?.v, 0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn deadlock_victims_retry_to_completion() {
+    // Two threads update (a, b) in opposite orders, guaranteeing deadlock
+    // cycles; with retry both eventually complete all rounds.
+    let (db, a, b) = setup();
+    const ROUNDS: i64 = 40;
+    let barrier = Arc::new(Barrier::new(2));
+    let mut handles = Vec::new();
+    for order_ab in [true, false] {
+        let db = Arc::clone(&db);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..ROUNDS {
+                db.with_txn_retry(1000, |txn| {
+                    let (first, second) = if order_ab { (a, b) } else { (b, a) };
+                    db.update_with(txn, first, |c| c.v += 1)?;
+                    db.update_with(txn, second, |c| c.v += 1)?;
+                    Ok(())
+                })
+                .expect("retry loop must eventually succeed");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, a)?.v, 2 * ROUNDS);
+        assert_eq!(db.read(txn, b)?.v, 2 * ROUNDS);
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,109 @@
+//! `#[derive(OdeClass)]` — persistent-class boilerplate, generated.
+//!
+//! O++ classes became persistent just by being used with `pnew`; the
+//! compiler generated everything else. This derive is the Rust analogue:
+//! it implements the byte codec (`Encode`/`Decode`, field by field in
+//! declaration order — the explicit, stable layout §3's design goal 5
+//! cares about) and `OdeObject` (with `CLASS` defaulting to the struct
+//! name) for a plain struct:
+//!
+//! ```ignore
+//! #[derive(OdeClass)]
+//! struct CredCard {
+//!     cred_lim: f32,
+//!     curr_bal: f32,
+//! }
+//! ```
+//!
+//! Attributes:
+//! * `#[ode(class = "Name")]` on the struct — override the class name
+//!   (e.g. to match a base-class registration).
+//! * `#[ode(crate = path)]` on the struct — path to the `ode-core` crate
+//!   (defaults to `::ode_core`; pass `ode::core` when only the facade
+//!   crate is a dependency).
+//!
+//! Field types must themselves implement `Encode`/`Decode` (all numeric
+//! primitives, `bool`, `String`, `Vec<T>`, `Option<T>`, tuples,
+//! `PersistentPtr<T>`, and nested derived classes do).
+
+use proc_macro::TokenStream;
+use quote::quote;
+use syn::{parse_macro_input, Data, DeriveInput, Fields};
+
+/// Derive `Encode`, `Decode`, and `OdeObject` for a named-field struct.
+#[proc_macro_derive(OdeClass, attributes(ode))]
+pub fn derive_ode_class(input: TokenStream) -> TokenStream {
+    let input = parse_macro_input!(input as DeriveInput);
+    match expand(input) {
+        Ok(ts) => ts.into(),
+        Err(e) => e.to_compile_error().into(),
+    }
+}
+
+fn expand(input: DeriveInput) -> syn::Result<proc_macro2::TokenStream> {
+    let ident = input.ident.clone();
+    let mut class_name = ident.to_string();
+    let mut krate: syn::Path = syn::parse_quote!(::ode_core);
+
+    for attr in &input.attrs {
+        if !attr.path().is_ident("ode") {
+            continue;
+        }
+        attr.parse_nested_meta(|meta| {
+            if meta.path.is_ident("class") {
+                let lit: syn::LitStr = meta.value()?.parse()?;
+                class_name = lit.value();
+                Ok(())
+            } else if meta.path.is_ident("crate") {
+                krate = meta.value()?.parse()?;
+                Ok(())
+            } else {
+                Err(meta.error("expected `class = \"…\"` or `crate = path`"))
+            }
+        })?;
+    }
+
+    let Data::Struct(data) = &input.data else {
+        return Err(syn::Error::new_spanned(
+            &input.ident,
+            "OdeClass can only be derived for structs",
+        ));
+    };
+    let Fields::Named(fields) = &data.fields else {
+        return Err(syn::Error::new_spanned(
+            &input.ident,
+            "OdeClass requires named fields (the field order is the stored layout)",
+        ));
+    };
+
+    let names: Vec<&syn::Ident> = fields
+        .named
+        .iter()
+        .map(|f| f.ident.as_ref().expect("named field"))
+        .collect();
+    let types: Vec<&syn::Type> = fields.named.iter().map(|f| &f.ty).collect();
+
+    let (impl_generics, ty_generics, where_clause) = input.generics.split_for_impl();
+
+    Ok(quote! {
+        impl #impl_generics #krate::Encode for #ident #ty_generics #where_clause {
+            fn encode(&self, buf: &mut #krate::bytes::BytesMut) {
+                #( #krate::Encode::encode(&self.#names, buf); )*
+            }
+        }
+
+        impl #impl_generics #krate::Decode for #ident #ty_generics #where_clause {
+            fn decode(
+                buf: &mut &[u8],
+            ) -> ::std::result::Result<Self, #krate::StorageError> {
+                ::std::result::Result::Ok(#ident {
+                    #( #names: <#types as #krate::Decode>::decode(buf)?, )*
+                })
+            }
+        }
+
+        impl #impl_generics #krate::OdeObject for #ident #ty_generics #where_clause {
+            const CLASS: &'static str = #class_name;
+        }
+    })
+}

@@ -1,0 +1,392 @@
+//! The composite-event expression language (abstract syntax).
+//!
+//! Ode's event language (§5.1) is a regular-expression algebra over the
+//! basic events declared by a class:
+//!
+//! * sequence `a , b` (spelled `,` "to make event expressions as
+//!   syntactically similar to C++ expressions as possible"),
+//! * union `a || b`,
+//! * repetition `*a`,
+//! * `relative(a, b)` — "once `a` has been satisfied, any future
+//!   occurrence of `b` satisfies the trigger's composite event",
+//! * masks `a & pred()` — a predicate evaluated when `a` is recognised,
+//! * `any` — any declared event,
+//! * the `^` qualifier — anchor at the activation point; without it the
+//!   system prepends `(*any)` so the expression matches anywhere in the
+//!   event stream (§5.1.1).
+//!
+//! Expressions here are already *resolved*: event names have become
+//! [`EventId`]s and mask names [`MaskId`]s via an [`Alphabet`] (see
+//! [`crate::parser`] for the concrete syntax).
+
+use crate::event::{EventId, MaskId};
+
+/// A class's declared event alphabet plus its mask predicates; the
+/// resolution context for parsing and the naming context for display.
+///
+/// "The basic events included in the event declaration for a class
+/// constitute the alphabet for the regular expression language of that
+/// class" (§5.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    events: Vec<(EventId, String)>,
+    masks: Vec<String>,
+}
+
+impl Alphabet {
+    /// Empty alphabet.
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Declare an event under its display name (e.g. `"after Buy"`).
+    /// Duplicate names are rejected at the class-definition layer; here the
+    /// first registration wins.
+    pub fn add_event(&mut self, id: EventId, name: &str) {
+        if self.event_id(name).is_none() {
+            self.events.push((id, name.to_string()));
+        }
+    }
+
+    /// Declare a mask predicate; returns its [`MaskId`].
+    pub fn add_mask(&mut self, name: &str) -> MaskId {
+        if let Some(id) = self.mask_id(name) {
+            return id;
+        }
+        let id = MaskId(self.masks.len() as u16);
+        self.masks.push(name.to_string());
+        id
+    }
+
+    /// Resolve an event display name.
+    pub fn event_id(&self, name: &str) -> Option<EventId> {
+        self.events
+            .iter()
+            .find(|(_, n)| n == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Resolve a mask name.
+    pub fn mask_id(&self, name: &str) -> Option<MaskId> {
+        self.masks
+            .iter()
+            .position(|n| n == name)
+            .map(|i| MaskId(i as u16))
+    }
+
+    /// Declared events in declaration order.
+    pub fn events(&self) -> &[(EventId, String)] {
+        &self.events
+    }
+
+    /// Declared event ids in declaration order.
+    pub fn event_ids(&self) -> Vec<EventId> {
+        self.events.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Number of declared masks.
+    pub fn mask_count(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Display name for an event id (falls back to the raw id).
+    pub fn event_name(&self, id: EventId) -> String {
+        self.events
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// Display name for a mask id.
+    pub fn mask_name(&self, id: MaskId) -> String {
+        self.masks
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// Does the alphabet contain this event?
+    pub fn contains(&self, id: EventId) -> bool {
+        self.events.iter().any(|(i, _)| *i == id)
+    }
+}
+
+/// A resolved composite-event expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventExpr {
+    /// A single declared basic event.
+    Basic(EventId),
+    /// Any declared event of the class.
+    Any,
+    /// `a , b` — `a` immediately followed by `b`.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// `a || b`.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// `a && b` — conjunction: fires when both composite events have
+    /// occurred (in either order, windows may interleave or coincide).
+    /// Only supported at the top level of a trigger expression (possibly
+    /// chained); it compiles via a latch-product of the two machines.
+    Both(Box<EventExpr>, Box<EventExpr>),
+    /// `*a` — zero or more repetitions.
+    Star(Box<EventExpr>),
+    /// `relative(a, b)` — `a`, then `b` any time later. Equivalent to
+    /// `a , *any , b`; kept as a node for faithful display.
+    Relative(Box<EventExpr>, Box<EventExpr>),
+    /// `a & m()` — recognise `a`, then require mask `m` to evaluate true.
+    Mask(Box<EventExpr>, MaskId),
+}
+
+impl EventExpr {
+    /// `a , b`
+    pub fn seq(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`
+    pub fn or(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a && b`
+    pub fn both(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Both(Box::new(a), Box::new(b))
+    }
+
+    /// `*a`
+    pub fn star(a: EventExpr) -> EventExpr {
+        EventExpr::Star(Box::new(a))
+    }
+
+    /// `relative(a, b)`
+    pub fn relative(a: EventExpr, b: EventExpr) -> EventExpr {
+        EventExpr::Relative(Box::new(a), Box::new(b))
+    }
+
+    /// `a & m()`
+    pub fn mask(a: EventExpr, m: MaskId) -> EventExpr {
+        EventExpr::Mask(Box::new(a), m)
+    }
+
+    /// All mask ids referenced by the expression.
+    pub fn masks(&self) -> Vec<MaskId> {
+        let mut out = Vec::new();
+        self.collect_masks(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_masks(&self, out: &mut Vec<MaskId>) {
+        match self {
+            EventExpr::Basic(_) | EventExpr::Any => {}
+            EventExpr::Seq(a, b)
+            | EventExpr::Or(a, b)
+            | EventExpr::Both(a, b)
+            | EventExpr::Relative(a, b) => {
+                a.collect_masks(out);
+                b.collect_masks(out);
+            }
+            EventExpr::Star(a) => a.collect_masks(out),
+            EventExpr::Mask(a, m) => {
+                a.collect_masks(out);
+                out.push(*m);
+            }
+        }
+    }
+
+    /// All event ids referenced by the expression (not counting `any`).
+    pub fn events(&self) -> Vec<EventId> {
+        let mut out = Vec::new();
+        self.collect_events(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_events(&self, out: &mut Vec<EventId>) {
+        match self {
+            EventExpr::Basic(e) => out.push(*e),
+            EventExpr::Any => {}
+            EventExpr::Seq(a, b)
+            | EventExpr::Or(a, b)
+            | EventExpr::Both(a, b)
+            | EventExpr::Relative(a, b) => {
+                a.collect_events(out);
+                b.collect_events(out);
+            }
+            EventExpr::Star(a) => a.collect_events(out),
+            EventExpr::Mask(a, _) => a.collect_events(out),
+        }
+    }
+
+    /// Render with names from `alphabet` (round-trips through the parser).
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        self.fmt_prec(alphabet, 0)
+    }
+
+    // Precedence levels: 0 = or, 1 = both (&&), 2 = seq, 3 = mask,
+    // 4 = unary/primary.
+    fn fmt_prec(&self, al: &Alphabet, prec: u8) -> String {
+        let (s, my_prec) = match self {
+            EventExpr::Basic(e) => (al.event_name(*e), 4),
+            EventExpr::Any => ("any".to_string(), 4),
+            EventExpr::Or(a, b) => (
+                format!("{} || {}", a.fmt_prec(al, 0), b.fmt_prec(al, 1)),
+                0,
+            ),
+            EventExpr::Both(a, b) => (
+                format!("{} && {}", a.fmt_prec(al, 1), b.fmt_prec(al, 2)),
+                1,
+            ),
+            EventExpr::Seq(a, b) => (
+                format!("{}, {}", a.fmt_prec(al, 2), b.fmt_prec(al, 3)),
+                2,
+            ),
+            EventExpr::Mask(a, m) => (
+                format!("{} & {}()", a.fmt_prec(al, 3), al.mask_name(*m)),
+                3,
+            ),
+            EventExpr::Star(a) => (format!("*{}", a.fmt_prec(al, 4)), 4),
+            // Relative args print at mask precedence: a top-level ',' would
+            // be read as the argument separator, so sequences (and, for
+            // clarity, unions/conjunctions) get parenthesised.
+            EventExpr::Relative(a, b) => (
+                format!(
+                    "relative({}, {})",
+                    a.fmt_prec(al, 3),
+                    b.fmt_prec(al, 3)
+                ),
+                4,
+            ),
+        };
+        if my_prec < prec {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+}
+
+/// A trigger's full event specification: the expression plus whether it is
+/// anchored (`^`) at the activation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerEvent {
+    /// When true, `(*any)` is *not* prepended (§5.1.1).
+    pub anchored: bool,
+    /// The composite event expression.
+    pub expr: EventExpr,
+}
+
+impl TriggerEvent {
+    /// An unanchored trigger event (the default).
+    pub fn new(expr: EventExpr) -> TriggerEvent {
+        TriggerEvent {
+            anchored: false,
+            expr,
+        }
+    }
+
+    /// An anchored (`^`) trigger event.
+    pub fn anchored(expr: EventExpr) -> TriggerEvent {
+        TriggerEvent {
+            anchored: true,
+            expr,
+        }
+    }
+
+    /// Render with names from `alphabet`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let body = self.expr.display(alphabet);
+        if self.anchored {
+            format!("^{body}")
+        } else {
+            body
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet() -> Alphabet {
+        let mut al = Alphabet::new();
+        al.add_event(EventId(0), "BigBuy");
+        al.add_event(EventId(1), "after PayBill");
+        al.add_event(EventId(2), "after Buy");
+        al.add_mask("MoreCred");
+        al
+    }
+
+    #[test]
+    fn alphabet_resolution() {
+        let al = alphabet();
+        assert_eq!(al.event_id("after Buy"), Some(EventId(2)));
+        assert_eq!(al.event_id("nope"), None);
+        assert_eq!(al.mask_id("MoreCred"), Some(MaskId(0)));
+        assert_eq!(al.event_name(EventId(1)), "after PayBill");
+        assert!(al.contains(EventId(0)));
+        assert!(!al.contains(EventId(9)));
+    }
+
+    #[test]
+    fn alphabet_dedupes() {
+        let mut al = alphabet();
+        al.add_event(EventId(7), "after Buy"); // ignored duplicate name
+        assert_eq!(al.event_id("after Buy"), Some(EventId(2)));
+        let m1 = al.add_mask("MoreCred");
+        assert_eq!(m1, MaskId(0));
+        assert_eq!(al.mask_count(), 1);
+    }
+
+    #[test]
+    fn display_auto_raise_limit() {
+        let al = alphabet();
+        // relative((after Buy & MoreCred()), after PayBill)
+        let expr = EventExpr::relative(
+            EventExpr::mask(EventExpr::Basic(EventId(2)), MaskId(0)),
+            EventExpr::Basic(EventId(1)),
+        );
+        assert_eq!(
+            expr.display(&al),
+            "relative(after Buy & MoreCred(), after PayBill)"
+        );
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let al = alphabet();
+        let a = || EventExpr::Basic(EventId(0));
+        let b = || EventExpr::Basic(EventId(1));
+        // (a || b), a  needs parens around the union.
+        let expr = EventExpr::seq(EventExpr::or(a(), b()), a());
+        assert_eq!(expr.display(&al), "(BigBuy || after PayBill), BigBuy");
+        // a || (b, a) keeps seq unparenthesised on the right of ||.
+        let expr = EventExpr::or(a(), EventExpr::seq(b(), a()));
+        assert_eq!(expr.display(&al), "BigBuy || after PayBill, BigBuy");
+        // *(a, b) parenthesises the sequence under star.
+        let expr = EventExpr::star(EventExpr::seq(a(), b()));
+        assert_eq!(expr.display(&al), "*(BigBuy, after PayBill)");
+        // Mask over a sequence.
+        let expr = EventExpr::mask(EventExpr::seq(a(), b()), MaskId(0));
+        assert_eq!(expr.display(&al), "(BigBuy, after PayBill) & MoreCred()");
+    }
+
+    #[test]
+    fn anchored_display() {
+        let al = alphabet();
+        let te = TriggerEvent::anchored(EventExpr::Basic(EventId(0)));
+        assert_eq!(te.display(&al), "^BigBuy");
+    }
+
+    #[test]
+    fn masks_and_events_collection() {
+        let expr = EventExpr::relative(
+            EventExpr::mask(EventExpr::Basic(EventId(2)), MaskId(0)),
+            EventExpr::mask(EventExpr::Basic(EventId(1)), MaskId(1)),
+        );
+        assert_eq!(expr.masks(), vec![MaskId(0), MaskId(1)]);
+        assert_eq!(expr.events(), vec![EventId(1), EventId(2)]);
+    }
+}

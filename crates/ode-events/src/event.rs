@@ -1,0 +1,199 @@
+//! Basic events and the symbols trigger FSMs run on.
+//!
+//! Ode's basic events (§5.2, §5.5) are:
+//! * *member function events* — `before f` / `after f`, posted automatically
+//!   around invocations through persistent pointers;
+//! * *user-defined events* — posted explicitly by the application;
+//! * *transaction events* — `before tcomplete` and `before tabort`, posted
+//!   by the system during commit/abort processing. (`after tcommit` and
+//!   `after tabort` were dropped by the paper — §6 explains why — and are
+//!   deliberately not representable here.)
+//!
+//! Every basic event is mapped to a globally unique integer, an
+//! [`EventId`], by the [`crate::registry::EventRegistry`]. FSMs additionally
+//! consume the mask pseudo-events `True`/`False` (§5.1.2); [`Symbol`] is
+//! the union the automata actually transition on.
+
+/// Whether a member-function event fires before or after the invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventTime {
+    /// Posted just before the member function body runs.
+    Before,
+    /// Posted right after the member function body returns.
+    After,
+}
+
+impl std::fmt::Display for EventTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventTime::Before => write!(f, "before"),
+            EventTime::After => write!(f, "after"),
+        }
+    }
+}
+
+/// A basic event as declared in a class's `event` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BasicEvent {
+    /// `before f` / `after f` for member function `f`.
+    Member {
+        /// Member function name.
+        name: String,
+        /// Before or after the invocation.
+        time: EventTime,
+    },
+    /// An application-defined event, posted explicitly.
+    User {
+        /// The event's declared name.
+        name: String,
+    },
+    /// `before tcomplete` — posted just before the transaction enters its
+    /// prepare-to-commit phase.
+    TxnComplete,
+    /// `before tabort` — posted just before the system rolls back in
+    /// response to an abort request.
+    TxnAbort,
+    /// A timer tick event (the paper's "timed triggers" future work, §8).
+    Timer {
+        /// The named timer this event belongs to.
+        name: String,
+    },
+}
+
+impl BasicEvent {
+    /// Convenience constructor for `after f`.
+    pub fn after(name: &str) -> BasicEvent {
+        BasicEvent::Member {
+            name: name.to_string(),
+            time: EventTime::After,
+        }
+    }
+
+    /// Convenience constructor for `before f`.
+    pub fn before(name: &str) -> BasicEvent {
+        BasicEvent::Member {
+            name: name.to_string(),
+            time: EventTime::Before,
+        }
+    }
+
+    /// Convenience constructor for a user-defined event.
+    pub fn user(name: &str) -> BasicEvent {
+        BasicEvent::User {
+            name: name.to_string(),
+        }
+    }
+
+    /// A stable textual key for registry lookups and display.
+    pub fn key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for BasicEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BasicEvent::Member { name, time } => write!(f, "{time} {name}"),
+            BasicEvent::User { name } => write!(f, "{name}"),
+            BasicEvent::TxnComplete => write!(f, "before tcomplete"),
+            BasicEvent::TxnAbort => write!(f, "before tabort"),
+            BasicEvent::Timer { name } => write!(f, "timer {name}"),
+        }
+    }
+}
+
+/// The globally unique integer representation of a basic event (§5.2:
+/// "this assignment of unique integers ensures that each underlying event
+/// is mapped to exactly one integer and no two distinct events map to the
+/// same integer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a mask predicate, local to the class that declared it
+/// (index into the class's mask-function table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MaskId(pub u16);
+
+impl std::fmt::Display for MaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// What an FSM transitions on: a real basic event, or a mask pseudo-event
+/// (§5.1.2: mask states "evaluate predicates to produce the pseudo-events
+/// True and False and make transitions on these events").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// A posted basic event.
+    Event(EventId),
+    /// Mask `m` evaluated to true.
+    True(MaskId),
+    /// Mask `m` evaluated to false.
+    False(MaskId),
+}
+
+impl Symbol {
+    /// Is this a mask pseudo-event rather than a real event?
+    pub fn is_pseudo(&self) -> bool {
+        !matches!(self, Symbol::Event(_))
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Symbol::Event(e) => write!(f, "{e}"),
+            Symbol::True(m) => write!(f, "True({m})"),
+            Symbol::False(m) => write!(f, "False({m})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BasicEvent::after("Buy").to_string(), "after Buy");
+        assert_eq!(BasicEvent::before("Buy").to_string(), "before Buy");
+        assert_eq!(BasicEvent::user("BigBuy").to_string(), "BigBuy");
+        assert_eq!(BasicEvent::TxnComplete.to_string(), "before tcomplete");
+        assert_eq!(BasicEvent::TxnAbort.to_string(), "before tabort");
+        assert_eq!(
+            BasicEvent::Timer {
+                name: "daily".into()
+            }
+            .to_string(),
+            "timer daily"
+        );
+    }
+
+    #[test]
+    fn before_and_after_are_distinct_events() {
+        assert_ne!(BasicEvent::after("Buy"), BasicEvent::before("Buy"));
+        assert_ne!(BasicEvent::after("Buy"), BasicEvent::user("Buy"));
+    }
+
+    #[test]
+    fn symbol_pseudo_classification() {
+        assert!(!Symbol::Event(EventId(1)).is_pseudo());
+        assert!(Symbol::True(MaskId(0)).is_pseudo());
+        assert!(Symbol::False(MaskId(0)).is_pseudo());
+    }
+
+    #[test]
+    fn symbol_ordering_is_stable() {
+        // Events sort before pseudo symbols: the DFA builder relies on this
+        // for deterministic state numbering.
+        assert!(Symbol::Event(EventId(999)) < Symbol::True(MaskId(0)));
+        assert!(Symbol::True(MaskId(0)) < Symbol::False(MaskId(0)));
+    }
+}

@@ -1,0 +1,287 @@
+//! Alternative FSM representations — the §6 transition-table ablation.
+//!
+//! "We originally planned to represent each FSM's transition function as a
+//! normal two-dimensional array using the current state and an integer
+//! representing the posted event to index into an array of (next) states.
+//! However, this representation is very space inefficient for sparse
+//! arrays […] It was found to be much cleaner to map each event to a
+//! unique integer and use a sparse array representation of the transition
+//! function."
+//!
+//! [`DenseFsm`] is the rejected design: a `states × symbols` matrix over
+//! the **global** event-id space (the space that globally unique integers
+//! force). It answers transitions with one array index — fast — but its
+//! memory grows with the registry size rather than with the trigger.
+//! Experiment E3 measures both sides of that trade-off against the sparse
+//! [`Dfa`].
+
+use crate::dfa::Dfa;
+use crate::event::{EventId, MaskId, Symbol};
+
+/// Sentinel for "no transition" in the dense table.
+const NONE: u32 = u32::MAX;
+
+/// Dense 2-D transition-table representation of a compiled trigger FSM.
+#[derive(Debug, Clone)]
+pub struct DenseFsm {
+    n_states: usize,
+    /// Size of the global event-id space (columns 0..event_space).
+    event_space: u32,
+    /// Number of mask ids provided for (two columns each, after events).
+    mask_space: u16,
+    table: Vec<u32>,
+    accept: Vec<bool>,
+    masks: Vec<Vec<MaskId>>,
+    start: u32,
+}
+
+impl DenseFsm {
+    /// Materialise a dense table from a sparse machine. `event_space` must
+    /// cover every event id the registry has assigned (that is the point:
+    /// with globally unique integers the table is as wide as the whole
+    /// registry, not just this class's alphabet).
+    pub fn from_dfa(dfa: &Dfa, event_space: u32, mask_space: u16) -> DenseFsm {
+        let cols = event_space as usize + 2 * mask_space as usize;
+        let n_states = dfa.len();
+        let mut table = vec![NONE; n_states * cols];
+        let mut accept = Vec::with_capacity(n_states);
+        let mut masks = Vec::with_capacity(n_states);
+        for (i, state) in dfa.states().iter().enumerate() {
+            accept.push(state.accept);
+            masks.push(state.masks.clone());
+            for t in &state.transitions {
+                let col = Self::column(event_space, t.on);
+                table[i * cols + col] = t.to;
+            }
+        }
+        DenseFsm {
+            n_states,
+            event_space,
+            mask_space,
+            table,
+            accept,
+            masks,
+            start: dfa.start(),
+        }
+    }
+
+    fn column(event_space: u32, symbol: Symbol) -> usize {
+        match symbol {
+            Symbol::Event(e) => e.0 as usize,
+            Symbol::True(m) => event_space as usize + 2 * m.0 as usize,
+            Symbol::False(m) => event_space as usize + 2 * m.0 as usize + 1,
+        }
+    }
+
+    fn cols(&self) -> usize {
+        self.event_space as usize + 2 * self.mask_space as usize
+    }
+
+    /// Follow a symbol by direct table indexing.
+    pub fn next(&self, state: u32, symbol: Symbol) -> Option<u32> {
+        let col = Self::column(self.event_space, symbol);
+        debug_assert!(col < self.cols());
+        let to = self.table[state as usize * self.cols() + col];
+        (to != NONE).then_some(to)
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n_states
+    }
+
+    /// True when the machine has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n_states == 0
+    }
+
+    /// Accept flag of a state.
+    pub fn accept(&self, state: u32) -> bool {
+        self.accept[state as usize]
+    }
+
+    /// Pending masks of a state.
+    pub fn masks(&self, state: u32) -> &[MaskId] {
+        &self.masks[state as usize]
+    }
+
+    /// Bytes used by the transition table alone (the quantity §6 worries
+    /// about).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Bytes used by a sparse machine's transition lists (comparison value for
+/// [`DenseFsm::table_bytes`]).
+pub fn sparse_table_bytes(dfa: &Dfa) -> usize {
+    dfa.transition_count() * std::mem::size_of::<crate::dfa::Transition>()
+}
+
+/// Walk a whole stream on a dense machine the way `Dfa::post`/`quiesce`
+/// would, counting accepts. Used by equivalence tests and benches.
+pub fn dense_run_stream(
+    dense: &DenseFsm,
+    stream: &[EventId],
+    mask_answers: &[bool],
+    declared: &[EventId],
+) -> usize {
+    let mut answers = mask_answers.iter().copied();
+    dense_run_stream_with(dense, stream, |_, _| answers.next().unwrap_or(false), declared)
+}
+
+/// Like [`dense_run_stream`], but with a (posting index, mask) oracle —
+/// the form used for equivalence checks against `Dfa::run_stream_with`.
+pub fn dense_run_stream_with(
+    dense: &DenseFsm,
+    stream: &[EventId],
+    mut eval: impl FnMut(usize, MaskId) -> bool,
+    declared: &[EventId],
+) -> usize {
+    let mut fired = 0;
+    let mut state = dense.start();
+    // Quiesce helper: evaluates pending masks, ORs accept visits into
+    // `accepted`, returns false when the instance dies. Mirrors
+    // `Dfa::quiesce`, including fixpoint-rest for nullable mask operands.
+    let quiesce = |posting: usize,
+                   state: &mut u32,
+                   accepted: &mut bool,
+                   eval: &mut dyn FnMut(usize, MaskId) -> bool| {
+        'rounds: for _ in 0..crate::machine::QUIESCE_LIMIT {
+            let pending = dense.masks(*state).to_vec();
+            if pending.is_empty() {
+                return true;
+            }
+            for m in pending {
+                let symbol = if eval(posting, m) {
+                    Symbol::True(m)
+                } else {
+                    Symbol::False(m)
+                };
+                match dense.next(*state, symbol) {
+                    Some(next) if next != *state => {
+                        *state = next;
+                        *accepted |= dense.accept(*state);
+                        continue 'rounds;
+                    }
+                    Some(_) => {}
+                    None => return false,
+                }
+            }
+            // Fixpoint: rest with masks pending.
+            return true;
+        }
+        false
+    };
+    // Activation: a fresh instance may accept or have masks pending.
+    let mut accepted = dense.accept(state);
+    let alive = quiesce(0, &mut state, &mut accepted, &mut eval);
+    if accepted {
+        fired += 1;
+    }
+    if !alive {
+        return fired;
+    }
+    for (i, &event) in stream.iter().enumerate() {
+        if !declared.contains(&event) {
+            continue;
+        }
+        let Some(next) = dense.next(state, Symbol::Event(event)) else {
+            return fired;
+        };
+        state = next;
+        // At most one fire per posting (§5.4.5 footnote), like Dfa::post.
+        let mut accepted = dense.accept(state);
+        let alive = quiesce(i + 1, &mut state, &mut accepted, &mut eval);
+        if accepted {
+            fired += 1;
+        }
+        if !alive {
+            return fired;
+        }
+    }
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Alphabet;
+    use crate::parser::parse;
+
+    fn alphabet() -> Alphabet {
+        let mut al = Alphabet::new();
+        al.add_event(EventId(0), "BigBuy");
+        al.add_event(EventId(1), "after PayBill");
+        al.add_event(EventId(2), "after Buy");
+        al.add_mask("MoreCred");
+        al
+    }
+
+    fn compile(src: &str) -> Dfa {
+        let al = alphabet();
+        Dfa::compile(&parse(src, &al).unwrap(), &al)
+    }
+
+    #[test]
+    fn dense_matches_sparse_transitions() {
+        let dfa = compile("relative((after Buy & MoreCred()), after PayBill)");
+        let dense = DenseFsm::from_dfa(&dfa, 3, 1);
+        for (i, state) in dfa.states().iter().enumerate() {
+            for e in 0..3u32 {
+                assert_eq!(
+                    dense.next(i as u32, Symbol::Event(EventId(e))),
+                    state.next(Symbol::Event(EventId(e)))
+                );
+            }
+            let m = MaskId(0);
+            assert_eq!(dense.next(i as u32, Symbol::True(m)), state.next(Symbol::True(m)));
+            assert_eq!(
+                dense.next(i as u32, Symbol::False(m)),
+                state.next(Symbol::False(m))
+            );
+            assert_eq!(dense.accept(i as u32), state.accept);
+            assert_eq!(dense.masks(i as u32), &state.masks[..]);
+        }
+    }
+
+    #[test]
+    fn dense_table_grows_with_event_space() {
+        // The §6 lesson in numbers: the same 4-state machine needs a table
+        // proportional to the global registry size.
+        let dfa = compile("relative((after Buy & MoreCred()), after PayBill)");
+        let small = DenseFsm::from_dfa(&dfa, 3, 1);
+        let large = DenseFsm::from_dfa(&dfa, 10_000, 1);
+        assert!(large.table_bytes() > 1000 * small.table_bytes() / 2);
+        // Sparse size is independent of the registry.
+        assert!(sparse_table_bytes(&dfa) < small.table_bytes() * 4);
+        assert!(sparse_table_bytes(&dfa) < large.table_bytes() / 100);
+    }
+
+    #[test]
+    fn dense_run_matches_sparse_run() {
+        let dfa = compile("relative((after Buy & MoreCred()), after PayBill)");
+        let dense = DenseFsm::from_dfa(&dfa, 3, 1);
+        let declared: Vec<EventId> = dfa.alphabet_events().to_vec();
+        let streams: &[(&[u32], &[bool])] = &[
+            (&[2, 0, 1], &[true]),
+            (&[2, 0, 1], &[false]),
+            (&[2, 2, 1, 1], &[false, true]),
+            (&[0, 1, 0, 1], &[]),
+            (&[2, 1, 2, 1], &[true, true]),
+        ];
+        for (stream, masks) in streams {
+            let ids: Vec<EventId> = stream.iter().map(|&e| EventId(e)).collect();
+            assert_eq!(
+                dense_run_stream(&dense, &ids, masks, &declared),
+                dfa.run_stream(&ids, masks),
+                "stream {stream:?} masks {masks:?}"
+            );
+        }
+    }
+}

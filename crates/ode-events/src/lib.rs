@@ -1,0 +1,57 @@
+//! # ode-events — composite events and their finite state machines
+//!
+//! The event side of the Ode trigger system (§5.1–§5.2 of *The Ode Active
+//! Database: Trigger Semantics and Implementation*, ICDE 1996):
+//!
+//! * [`event`] — basic events (member-function, user-defined, transaction,
+//!   timer) and the [`event::Symbol`]s automata run on.
+//! * [`registry`] — the run-time `eventRep` table assigning globally
+//!   unique integers to basic events, plus Sentinel's string-triple
+//!   representation for the §7 comparison.
+//! * [`ast`] / [`parser`] — the composite-event expression language:
+//!   sequence `,`, union `||`, repetition `*`, `relative(a, b)`, masks
+//!   `& pred()`, `any`, and the `^` anchor.
+//! * [`nfa`] / [`dfa`] — Thompson construction and subset construction
+//!   with mask states, pruning, redundant-mask elimination, and
+//!   minimisation. Compiling the paper's `AutoRaiseLimit` expression
+//!   reproduces Figure 1 exactly.
+//! * [`machine`] — run-time posting: advance, mask quiescence, at-most-one
+//!   fire per posting, ignore-vs-dead semantics.
+//! * [`fsm`] — the rejected dense 2-D transition table (§6 ablation).
+//!
+//! ## Compiling the paper's Figure 1
+//!
+//! ```
+//! use ode_events::ast::Alphabet;
+//! use ode_events::event::EventId;
+//! use ode_events::dfa::Dfa;
+//! use ode_events::parser::parse;
+//!
+//! let mut al = Alphabet::new();
+//! al.add_event(EventId(0), "BigBuy");
+//! al.add_event(EventId(1), "after PayBill");
+//! al.add_event(EventId(2), "after Buy");
+//! al.add_mask("MoreCred");
+//!
+//! let te = parse("relative((after Buy & MoreCred()), after PayBill)", &al).unwrap();
+//! let fsm = Dfa::compile(&te, &al);
+//! assert_eq!(fsm.len(), 4); // states 0..3 of Figure 1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod dfa;
+pub mod event;
+pub mod fsm;
+pub mod machine;
+pub mod nfa;
+pub mod parser;
+pub mod registry;
+
+pub use ast::{Alphabet, EventExpr, TriggerEvent};
+pub use dfa::Dfa;
+pub use event::{BasicEvent, EventId, EventTime, MaskId, Symbol};
+pub use machine::{Advance, PostOutcome};
+pub use parser::{parse, ParseError};
+pub use registry::EventRegistry;

@@ -1,0 +1,448 @@
+//! Thompson construction of NFAs from event expressions.
+//!
+//! §5.1 of the paper: "Regular expressions can be recognized by FSMs using
+//! the well known, regular expression to FSM construction". Masks extend
+//! the construction (§5.1.2): recognising `a & m()` means recognising `a`,
+//! then passing through a *mask state* that consumes the pseudo-event
+//! `True(m)` (and dies on `False(m)`).
+//!
+//! Two non-textbook details make composite triggers behave correctly:
+//!
+//! 1. **Unanchored search** — unless the trigger is `^`-anchored, the
+//!    expression is wrapped as `(*any), expr` so matching can start at any
+//!    point of the event stream (§5.1.1).
+//! 2. **Pseudo-event transparency** — mask pseudo-events are internal to
+//!    one mask evaluation, so every NFA state self-loops on the pseudo
+//!    events of *other* masks (and non-mask states on all of them). Without
+//!    this, evaluating one trigger component's mask would kill concurrently
+//!    active components (e.g. the `*any` survivor loop, or the "waiting for
+//!    `b`" component of `relative(a & m(), b)`).
+
+use crate::ast::{Alphabet, EventExpr, TriggerEvent};
+use crate::event::{EventId, MaskId, Symbol};
+
+/// A non-deterministic finite automaton over [`Symbol`]s with ε-moves.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Per-state symbol transitions.
+    trans: Vec<Vec<(Symbol, usize)>>,
+    /// Per-state ε transitions.
+    eps: Vec<Vec<usize>>,
+    /// Mask states: `mask_of[s] = Some(m)` when `s` awaits mask `m`.
+    mask_of: Vec<Option<MaskId>>,
+    start: usize,
+    accept: usize,
+    /// Declared events (the `any` expansion set).
+    alphabet_events: Vec<EventId>,
+    /// All masks appearing in the expression.
+    masks: Vec<MaskId>,
+}
+
+struct Builder {
+    trans: Vec<Vec<(Symbol, usize)>>,
+    eps: Vec<Vec<usize>>,
+    mask_of: Vec<Option<MaskId>>,
+    events: Vec<EventId>,
+}
+
+impl Builder {
+    fn state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.mask_of.push(None);
+        self.trans.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, on: Symbol, to: usize) {
+        self.trans[from].push((on, to));
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.eps[from].push(to);
+    }
+
+    /// Compile `expr`, returning (entry, exit).
+    fn compile(&mut self, expr: &EventExpr) -> (usize, usize) {
+        match expr {
+            EventExpr::Basic(e) => {
+                let s = self.state();
+                let t = self.state();
+                self.edge(s, Symbol::Event(*e), t);
+                (s, t)
+            }
+            EventExpr::Any => {
+                let s = self.state();
+                let t = self.state();
+                for e in self.events.clone() {
+                    self.edge(s, Symbol::Event(e), t);
+                }
+                (s, t)
+            }
+            EventExpr::Seq(a, b) => {
+                let (sa, ta) = self.compile(a);
+                let (sb, tb) = self.compile(b);
+                self.eps(ta, sb);
+                (sa, tb)
+            }
+            EventExpr::Or(a, b) => {
+                let s = self.state();
+                let t = self.state();
+                let (sa, ta) = self.compile(a);
+                let (sb, tb) = self.compile(b);
+                self.eps(s, sa);
+                self.eps(s, sb);
+                self.eps(ta, t);
+                self.eps(tb, t);
+                (s, t)
+            }
+            EventExpr::Star(a) => {
+                let s = self.state();
+                let t = self.state();
+                let (sa, ta) = self.compile(a);
+                self.eps(s, sa);
+                self.eps(s, t);
+                self.eps(ta, sa);
+                self.eps(ta, t);
+                (s, t)
+            }
+            EventExpr::Both(..) => {
+                // Guarded by the parser / Dfa::compile; reaching here means
+                // an AST was built by hand with && below the top level.
+                panic!(
+                    "conjunction (&&) is only supported at the top level of a \
+                     trigger expression"
+                );
+            }
+            EventExpr::Relative(a, b) => {
+                // relative(a, b) ≡ a, (*any), b  (§4: "once the composite
+                // event a has been satisfied, any future occurrence of b
+                // will satisfy the trigger's composite event").
+                let desugared = EventExpr::seq(
+                    (**a).clone(),
+                    EventExpr::seq(EventExpr::star(EventExpr::Any), (**b).clone()),
+                );
+                self.compile(&desugared)
+            }
+            EventExpr::Mask(a, m) => {
+                let (sa, ta) = self.compile(a);
+                let t = self.state();
+                // Mark `a`'s exit itself as the mask state. It must NOT be
+                // a fresh ε-successor: ε-closure would re-enter it after a
+                // False, leaving the mask pending forever. Every compile
+                // arm returns a fresh exit with no prior marking, so the
+                // debug assertion documents the invariant.
+                debug_assert!(self.mask_of[ta].is_none(), "exit already a mask state");
+                self.mask_of[ta] = Some(*m);
+                self.edge(ta, Symbol::True(*m), t);
+                // False(m) has no edge: that branch of the match dies
+                // (survivors, if any, come from other NFA components).
+                (sa, t)
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Build the NFA for a trigger event over a class alphabet.
+    pub fn build(trigger: &TriggerEvent, alphabet: &Alphabet) -> Nfa {
+        let mut b = Builder {
+            trans: Vec::new(),
+            eps: Vec::new(),
+            mask_of: Vec::new(),
+            events: alphabet.event_ids(),
+        };
+        let expr = if trigger.anchored {
+            trigger.expr.clone()
+        } else {
+            // Prepend (*any) — §5.1.1.
+            EventExpr::seq(EventExpr::star(EventExpr::Any), trigger.expr.clone())
+        };
+        let (start, accept) = b.compile(&expr);
+        let masks = trigger.expr.masks();
+        // Pseudo-event transparency pass (see module docs).
+        for s in 0..b.trans.len() {
+            for &m in &masks {
+                let skip_own = b.mask_of[s] == Some(m);
+                if !skip_own {
+                    b.edge(s, Symbol::True(m), s);
+                    b.edge(s, Symbol::False(m), s);
+                }
+            }
+        }
+        Nfa {
+            trans: b.trans,
+            eps: b.eps,
+            mask_of: b.mask_of,
+            start,
+            accept,
+            alphabet_events: alphabet.event_ids(),
+            masks,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// True when the automaton has no states (never happens for built NFAs).
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The accepting state.
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// Masks used by the expression.
+    pub fn masks(&self) -> &[MaskId] {
+        &self.masks
+    }
+
+    /// Declared events of the class.
+    pub fn alphabet_events(&self) -> &[EventId] {
+        &self.alphabet_events
+    }
+
+    /// The mask a state is waiting on, if it is a mask state.
+    pub fn mask_of(&self, state: usize) -> Option<MaskId> {
+        self.mask_of[state]
+    }
+
+    /// ε-closure of a set of states (result sorted, deduplicated).
+    pub fn closure(&self, states: &[usize]) -> Vec<usize> {
+        let mut seen: Vec<bool> = vec![false; self.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for &s in states {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (0..self.len()).filter(|&s| seen[s]).collect()
+    }
+
+    /// States reachable from `states` on `symbol` (no closure applied).
+    pub fn step(&self, states: &[usize], symbol: Symbol) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for &s in states {
+            for &(on, to) in &self.trans[s] {
+                if on == symbol {
+                    out.push(to);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Reference simulation used by tests and property checks: posts the
+    /// real-event stream, quiescing masks after every step with `eval`.
+    /// Returns true when the accept state was visited at any point.
+    pub fn simulate(
+        &self,
+        stream: &[EventId],
+        mut eval: impl FnMut(MaskId) -> bool,
+    ) -> bool {
+        self.simulate_with(stream, |_, m| eval(m))
+    }
+
+    /// Like [`Nfa::simulate`], but the mask oracle is a pure function of
+    /// the posting index (0 = activation, i+1 = stream element i) and the
+    /// mask — matching how real masks are predicates over database state
+    /// at the moment of posting.
+    pub fn simulate_with(
+        &self,
+        stream: &[EventId],
+        mut eval: impl FnMut(usize, MaskId) -> bool,
+    ) -> bool {
+        let mut current = self.closure(&[self.start]);
+        let mut fired = current.contains(&self.accept);
+        // Quiesce at activation (a mask may be pending immediately).
+        fired |= self.quiesce(&mut current, &mut |m| eval(0, m));
+        for (i, &event) in stream.iter().enumerate() {
+            if !self.alphabet_events.contains(&event) {
+                continue; // undeclared events are never posted
+            }
+            current = self.closure(&self.step(&current, Symbol::Event(event)));
+            fired |= current.contains(&self.accept);
+            fired |= self.quiesce(&mut current, &mut |m| eval(i + 1, m));
+        }
+        fired
+    }
+
+    /// Evaluate pending masks until none remain or a fixpoint is reached
+    /// (nullable mask operands can loop `False` straight back into the
+    /// pending state; the machine rests there and re-evaluates at the
+    /// next posting). Returns whether accept was visited.
+    fn quiesce(
+        &self,
+        current: &mut Vec<usize>,
+        eval: &mut impl FnMut(MaskId) -> bool,
+    ) -> bool {
+        let mut fired = false;
+        'rounds: for _ in 0..crate::machine::QUIESCE_LIMIT {
+            let mut pending: Vec<MaskId> =
+                current.iter().filter_map(|&s| self.mask_of[s]).collect();
+            if pending.is_empty() {
+                return fired;
+            }
+            pending.sort_unstable();
+            pending.dedup();
+            for m in pending {
+                let sym = if eval(m) {
+                    Symbol::True(m)
+                } else {
+                    Symbol::False(m)
+                };
+                let next = self.closure(&self.step(current, sym));
+                if next != *current {
+                    *current = next;
+                    fired |= current.contains(&self.accept);
+                    continue 'rounds;
+                }
+            }
+            // Fixpoint: no pending mask makes progress — rest.
+            return fired;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn alphabet() -> Alphabet {
+        let mut al = Alphabet::new();
+        al.add_event(EventId(0), "BigBuy");
+        al.add_event(EventId(1), "after PayBill");
+        al.add_event(EventId(2), "after Buy");
+        al.add_mask("MoreCred");
+        al
+    }
+
+    fn simulate(src: &str, stream: &[u32], masks: &[bool]) -> bool {
+        let al = alphabet();
+        let te = parse(src, &al).unwrap();
+        let nfa = Nfa::build(&te, &al);
+        let mut answers = masks.iter().copied();
+        let stream: Vec<EventId> = stream.iter().map(|&e| EventId(e)).collect();
+        nfa.simulate(&stream, |_| answers.next().unwrap_or(false))
+    }
+
+    #[test]
+    fn single_event_matches_anywhere() {
+        assert!(simulate("after Buy", &[2], &[]));
+        assert!(simulate("after Buy", &[0, 1, 2], &[]));
+        assert!(!simulate("after Buy", &[0, 1], &[]));
+        assert!(!simulate("after Buy", &[], &[]));
+    }
+
+    #[test]
+    fn sequence_requires_adjacency() {
+        assert!(simulate("after Buy, after PayBill", &[2, 1], &[]));
+        assert!(simulate("after Buy, after PayBill", &[0, 2, 1], &[]));
+        // Interleaved event breaks a bare sequence…
+        assert!(!simulate("after Buy, after PayBill", &[2, 0, 1], &[]));
+        // …unless bridged by *any.
+        assert!(simulate("after Buy, *any, after PayBill", &[2, 0, 1], &[]));
+    }
+
+    #[test]
+    fn relative_allows_gaps() {
+        assert!(simulate(
+            "relative(after Buy, after PayBill)",
+            &[2, 0, 0, 1],
+            &[]
+        ));
+        assert!(!simulate("relative(after Buy, after PayBill)", &[1, 0], &[]));
+    }
+
+    #[test]
+    fn union_matches_either() {
+        assert!(simulate("BigBuy || after PayBill", &[0], &[]));
+        assert!(simulate("BigBuy || after PayBill", &[1], &[]));
+        assert!(!simulate("BigBuy || after PayBill", &[2], &[]));
+    }
+
+    #[test]
+    fn star_matches_repetitions() {
+        // (BigBuy, *BigBuy, after PayBill): one or more BigBuys then PayBill.
+        let src = "BigBuy, *BigBuy, after PayBill";
+        assert!(simulate(src, &[0, 1], &[]));
+        assert!(simulate(src, &[0, 0, 0, 1], &[]));
+        assert!(!simulate(src, &[1], &[]));
+    }
+
+    #[test]
+    fn anchored_matches_only_from_start() {
+        assert!(simulate("^after Buy", &[2], &[]));
+        assert!(!simulate("^after Buy", &[0, 2], &[]));
+        assert!(simulate("^after Buy, after PayBill", &[2, 1], &[]));
+        assert!(!simulate("^after Buy, after PayBill", &[2, 0, 1], &[]));
+    }
+
+    #[test]
+    fn mask_gates_the_match() {
+        let src = "after Buy & MoreCred()";
+        assert!(simulate(src, &[2], &[true]));
+        assert!(!simulate(src, &[2], &[false]));
+        // Mask false once, true on a later occurrence.
+        assert!(simulate(src, &[2, 2], &[false, true]));
+    }
+
+    #[test]
+    fn auto_raise_limit_semantics() {
+        let src = "relative((after Buy & MoreCred()), after PayBill)";
+        // Buy (mask true) then later PayBill fires.
+        assert!(simulate(src, &[2, 0, 1], &[true]));
+        // Mask false: PayBill alone never fires.
+        assert!(!simulate(src, &[2, 0, 1], &[false]));
+        // Mask false on first Buy, true on second.
+        assert!(simulate(src, &[2, 2, 1], &[false, true]));
+        // PayBill before any Buy does not fire.
+        assert!(!simulate(src, &[1, 2], &[true]));
+        // A Buy with a false mask must not clobber an armed state.
+        assert!(simulate(src, &[2, 2, 1], &[true, false]));
+    }
+
+    #[test]
+    fn undeclared_events_are_invisible() {
+        // Event 9 is not in the alphabet: it neither matches nor breaks
+        // adjacency (it is simply never posted to this class).
+        assert!(simulate("after Buy, after PayBill", &[2, 9, 1], &[]));
+    }
+
+    #[test]
+    fn nfa_size_is_linear_in_expression() {
+        let al = alphabet();
+        let small = Nfa::build(&parse("after Buy", &al).unwrap(), &al);
+        let large = Nfa::build(
+            &parse(
+                "relative((after Buy & MoreCred()), (after PayBill, BigBuy || after Buy))",
+                &al,
+            )
+            .unwrap(),
+            &al,
+        );
+        assert!(small.len() < large.len());
+        assert!(large.len() < 64, "Thompson NFA should stay small");
+    }
+}

@@ -1,0 +1,487 @@
+//! Concrete syntax for composite-event expressions.
+//!
+//! The grammar follows §4/§5.1 of the paper:
+//!
+//! ```text
+//! trigger  := '^'? or
+//! or       := both ('||' both)*
+//! both     := seq ('&&' seq)*        -- top level only (see below)
+//! seq      := mask (',' mask)*
+//! mask     := unary ('&' ident '(' ')'? )*
+//! unary    := '*' unary | primary
+//! primary  := '(' or ')'
+//!           | 'relative' '(' arg ',' arg ')'
+//!           | 'any'
+//!           | ('before' | 'after') ident        -- member/txn events
+//!           | ident                             -- user-defined events
+//! ```
+//!
+//! Inside `relative(...)` the argument expressions must parenthesise any
+//! top-level sequence, because `,` separates the two arguments — the
+//! paper's own example writes `relative((after Buy & MoreCred()), after
+//! PayBill)` for exactly this reason.
+//!
+//! Conjunction (`&&`) is only accepted as the outermost operator (possibly
+//! chained): it compiles via a machine product rather than the Thompson
+//! construction, so it cannot nest under other operators.
+//!
+//! Event and mask names are resolved against an [`Alphabet`]; unknown names
+//! are errors, mirroring Ode's rule that "only these \[declared\] events will
+//! be posted" (§4).
+
+use crate::ast::{Alphabet, EventExpr, TriggerEvent};
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was noticed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Comma,
+    OrOr,
+    AmpAmp,
+    Amp,
+    Star,
+    Caret,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push((i, Tok::AmpAmp));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Amp));
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '^' => {
+                out.push((i, Tok::Caret));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push((i, Tok::OrOr));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "single '|' (union is spelled '||')".into(),
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    // '.' continues an identifier: anchor-qualified events
+                    // of inter-object triggers are written `att.SetPrice`.
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push((start, Tok::Ident(input[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(at, _)| *at)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            at: self.at(),
+            message,
+        }
+    }
+
+    fn parse_or(&mut self, allow_seq: bool) -> Result<EventExpr, ParseError> {
+        let mut left = self.parse_both(allow_seq)?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let right = self.parse_both(allow_seq)?;
+            left = EventExpr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_both(&mut self, allow_seq: bool) -> Result<EventExpr, ParseError> {
+        let mut left = self.parse_seq(allow_seq)?;
+        while self.peek() == Some(&Tok::AmpAmp) {
+            self.pos += 1;
+            let right = self.parse_seq(allow_seq)?;
+            left = EventExpr::both(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_seq(&mut self, allow_seq: bool) -> Result<EventExpr, ParseError> {
+        let mut left = self.parse_mask()?;
+        while allow_seq && self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            let right = self.parse_mask()?;
+            left = EventExpr::seq(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_mask(&mut self) -> Result<EventExpr, ParseError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            let name = match self.bump() {
+                Some(Tok::Ident(n)) => n,
+                _ => return Err(self.error("expected mask name after '&'".into())),
+            };
+            // Optional call parentheses: `MoreCred()` or `MoreCred`.
+            if self.peek() == Some(&Tok::LParen) {
+                self.pos += 1;
+                self.expect(Tok::RParen, "')' after mask name".to_string().as_str())?;
+            }
+            let mask = self
+                .alphabet
+                .mask_id(&name)
+                .ok_or_else(|| self.error(format!("unknown mask {name:?}")))?;
+            left = EventExpr::mask(left, mask);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<EventExpr, ParseError> {
+        if self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            return Ok(EventExpr::star(inner));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<EventExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let inner = self.parse_or(true)?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "any" => Ok(EventExpr::Any),
+                "relative" => {
+                    self.expect(Tok::LParen, "'(' after relative")?;
+                    let a = self.parse_or(false)?;
+                    self.expect(Tok::Comma, "',' between relative arguments")?;
+                    let b = self.parse_or(false)?;
+                    self.expect(Tok::RParen, "')' closing relative")?;
+                    Ok(EventExpr::relative(a, b))
+                }
+                "before" | "after" | "timer" => {
+                    let member = match self.bump() {
+                        Some(Tok::Ident(m)) => m,
+                        _ => {
+                            return Err(
+                                self.error(format!("expected an event name after {name:?}"))
+                            )
+                        }
+                    };
+                    let full = format!("{name} {member}");
+                    self.alphabet
+                        .event_id(&full)
+                        .map(EventExpr::Basic)
+                        .ok_or_else(|| self.error(format!("undeclared event {full:?}")))
+                }
+                _ => self
+                    .alphabet
+                    .event_id(&name)
+                    .map(EventExpr::Basic)
+                    .ok_or_else(|| self.error(format!("undeclared event {name:?}"))),
+            },
+            _ => Err(self.error("expected an event expression".into())),
+        }
+    }
+}
+
+/// Parse a trigger event expression against a class alphabet.
+pub fn parse(input: &str, alphabet: &Alphabet) -> Result<TriggerEvent, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        alphabet,
+        input_len: input.len(),
+    };
+    let anchored = if p.peek() == Some(&Tok::Caret) {
+        p.pos += 1;
+        true
+    } else {
+        false
+    };
+    let expr = p.parse_or(true)?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing input after expression".into()));
+    }
+    validate_both_placement(&expr, true).map_err(|msg| ParseError {
+        at: 0,
+        message: msg,
+    })?;
+    Ok(TriggerEvent { anchored, expr })
+}
+
+/// `&&` compiles via a machine product, which only composes at the top
+/// level of the expression (a chain of `&&` is fine). Reject anything
+/// deeper with a clear message.
+fn validate_both_placement(expr: &EventExpr, top_spine: bool) -> Result<(), String> {
+    match expr {
+        EventExpr::Both(a, b) => {
+            if !top_spine {
+                return Err(
+                    "conjunction (&&) is only supported at the top level of a trigger \
+                     expression"
+                        .into(),
+                );
+            }
+            validate_both_placement(a, true)?;
+            validate_both_placement(b, true)
+        }
+        EventExpr::Seq(a, b) | EventExpr::Or(a, b) | EventExpr::Relative(a, b) => {
+            validate_both_placement(a, false)?;
+            validate_both_placement(b, false)
+        }
+        EventExpr::Star(a) | EventExpr::Mask(a, _) => validate_both_placement(a, false),
+        EventExpr::Basic(_) | EventExpr::Any => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventId, MaskId};
+
+    fn alphabet() -> Alphabet {
+        let mut al = Alphabet::new();
+        al.add_event(EventId(0), "BigBuy");
+        al.add_event(EventId(1), "after PayBill");
+        al.add_event(EventId(2), "after Buy");
+        al.add_event(EventId(3), "before tcomplete");
+        al.add_mask("MoreCred");
+        al.add_mask("OverLimit");
+        al
+    }
+
+    fn p(s: &str) -> TriggerEvent {
+        parse(s, &alphabet()).unwrap()
+    }
+
+    #[test]
+    fn parses_basic_events() {
+        assert_eq!(p("BigBuy").expr, EventExpr::Basic(EventId(0)));
+        assert_eq!(p("after Buy").expr, EventExpr::Basic(EventId(2)));
+        assert_eq!(p("before tcomplete").expr, EventExpr::Basic(EventId(3)));
+        assert_eq!(p("any").expr, EventExpr::Any);
+    }
+
+    #[test]
+    fn parses_deny_credit_expression() {
+        // after Buy & (currBal > credLim) becomes a named mask here.
+        let te = p("after Buy & OverLimit()");
+        assert_eq!(
+            te.expr,
+            EventExpr::mask(EventExpr::Basic(EventId(2)), MaskId(1))
+        );
+        assert!(!te.anchored);
+    }
+
+    #[test]
+    fn parses_auto_raise_limit_expression() {
+        let te = p("relative((after Buy & MoreCred()), after PayBill)");
+        assert_eq!(
+            te.expr,
+            EventExpr::relative(
+                EventExpr::mask(EventExpr::Basic(EventId(2)), MaskId(0)),
+                EventExpr::Basic(EventId(1)),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_operators_with_precedence() {
+        // '&' > ',' > '||'
+        let te = p("after Buy & MoreCred, BigBuy || after PayBill");
+        assert_eq!(
+            te.expr,
+            EventExpr::or(
+                EventExpr::seq(
+                    EventExpr::mask(EventExpr::Basic(EventId(2)), MaskId(0)),
+                    EventExpr::Basic(EventId(0)),
+                ),
+                EventExpr::Basic(EventId(1)),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_star_and_parens() {
+        let te = p("*(BigBuy, after Buy)");
+        assert_eq!(
+            te.expr,
+            EventExpr::star(EventExpr::seq(
+                EventExpr::Basic(EventId(0)),
+                EventExpr::Basic(EventId(2))
+            ))
+        );
+        let te = p("*any, after Buy");
+        assert_eq!(
+            te.expr,
+            EventExpr::seq(EventExpr::star(EventExpr::Any), EventExpr::Basic(EventId(2)))
+        );
+    }
+
+    #[test]
+    fn parses_anchor() {
+        let te = p("^after Buy, after PayBill");
+        assert!(te.anchored);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let al = alphabet();
+        for src in [
+            "after Buy & OverLimit()",
+            "relative(after Buy & MoreCred(), after PayBill)",
+            "(BigBuy || after PayBill), BigBuy",
+            "*(BigBuy, after PayBill)",
+            "^after Buy, *BigBuy",
+            "after Buy & MoreCred() & OverLimit()",
+        ] {
+            let te = parse(src, &al).unwrap();
+            let shown = te.display(&al);
+            let reparsed = parse(&shown, &al).unwrap();
+            assert_eq!(reparsed, te, "{src} -> {shown}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let e = parse("after Steal", &alphabet()).unwrap_err();
+        assert!(e.message.contains("after Steal"));
+        let e = parse("after Buy & NotAMask()", &alphabet()).unwrap_err();
+        assert!(e.message.contains("NotAMask"));
+        let e = parse("Unknown", &alphabet()).unwrap_err();
+        assert!(e.message.contains("Unknown"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "after",
+            "after Buy,",
+            "after Buy ||",
+            "(after Buy",
+            "after Buy)",
+            "relative(after Buy)",
+            "after Buy & ",
+            "after Buy | BigBuy",
+            "after Buy $",
+            "relative(after Buy, BigBuy, BigBuy)",
+        ] {
+            assert!(parse(bad, &alphabet()).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn relative_args_reject_bare_sequences() {
+        // Top-level ',' inside relative() separates the arguments, so a
+        // sequence must be parenthesised (as in the paper's own example).
+        assert!(parse("relative(after Buy, BigBuy, after PayBill)", &alphabet()).is_err());
+        assert!(parse(
+            "relative((after Buy, BigBuy), after PayBill)",
+            &alphabet()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let e = parse("after Buy & !", &alphabet()).unwrap_err();
+        assert_eq!(e.at, 12);
+    }
+}

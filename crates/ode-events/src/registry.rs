@@ -1,0 +1,198 @@
+//! The run-time event registry — the paper's `eventRep` mechanism (§5.2).
+//!
+//! "Because of separate compilation, unique integers cannot be assigned at
+//! compile time. […] As a result, the assignment of unique integers to
+//! represent events is made at run-time. The eventRep constructor examines
+//! a table to see if another eventRep with the same parameters has been
+//! constructed. If not, it increments a counter and stores its pair of
+//! parameters in the table along with the value of the counter."
+//!
+//! [`EventRegistry::intern`] is exactly that constructor: keyed by
+//! *(defining class, basic event)*, idempotent, monotonic counter. Because
+//! the key uses the **defining** class, a derived class that inherits
+//! `after Buy` from `CredCard` sees the same integer as `CredCard` itself —
+//! the fix the paper adopted after per-class small integers broke under
+//! multiple inheritance (§6).
+//!
+//! For experiment E2, [`StringTripleEvent`] reproduces Sentinel's event
+//! representation — "a triple of strings: the class name, the member
+//! function prototype, and the string 'begin' (before) or 'end' (after)" —
+//! which the paper argues has "significantly higher event posting overhead"
+//! than integer comparison.
+
+use crate::event::{BasicEvent, EventId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Run-time assignment of globally unique integers to basic events.
+#[derive(Debug, Default)]
+pub struct EventRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    map: HashMap<(String, String), EventId>,
+    names: Vec<(String, BasicEvent)>,
+}
+
+impl EventRegistry {
+    /// An empty registry.
+    pub fn new() -> EventRegistry {
+        EventRegistry::default()
+    }
+
+    /// Get-or-assign the unique integer for `event` as declared by
+    /// `defining_class`. Calling twice with the same parameters returns the
+    /// same id; distinct parameters never collide.
+    pub fn intern(&self, defining_class: &str, event: &BasicEvent) -> EventId {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let key = (defining_class.to_string(), event.key());
+        if let Some(&id) = inner.map.get(&key) {
+            return id;
+        }
+        let id = EventId(inner.names.len() as u32);
+        inner.map.insert(key, id);
+        inner
+            .names
+            .push((defining_class.to_string(), event.clone()));
+        id
+    }
+
+    /// Look up without assigning.
+    pub fn lookup(&self, defining_class: &str, event: &BasicEvent) -> Option<EventId> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .map
+            .get(&(defining_class.to_string(), event.key()))
+            .copied()
+    }
+
+    /// Reverse lookup: which (class, event) does an id denote?
+    pub fn describe(&self, id: EventId) -> Option<(String, BasicEvent)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner.names.get(id.0 as usize).cloned()
+    }
+
+    /// Number of interned events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").names.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sentinel's event representation (§7), used by the comparison benchmark:
+/// equality requires three string comparisons instead of one integer
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StringTripleEvent {
+    /// Class name.
+    pub class_name: String,
+    /// Full member-function prototype.
+    pub prototype: String,
+    /// `"begin"` for before-events, `"end"` for after-events.
+    pub position: String,
+}
+
+impl StringTripleEvent {
+    /// Build the Sentinel-style triple for a member-function event.
+    pub fn new(class_name: &str, prototype: &str, before: bool) -> StringTripleEvent {
+        StringTripleEvent {
+            class_name: class_name.to_string(),
+            prototype: prototype.to_string(),
+            position: if before { "begin" } else { "end" }.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventTime;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let reg = EventRegistry::new();
+        let a = reg.intern("CredCard", &BasicEvent::after("Buy"));
+        let b = reg.intern("CredCard", &BasicEvent::after("Buy"));
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_events_get_distinct_ids() {
+        let reg = EventRegistry::new();
+        let ids = [
+            reg.intern("CredCard", &BasicEvent::user("BigBuy")),
+            reg.intern("CredCard", &BasicEvent::after("PayBill")),
+            reg.intern("CredCard", &BasicEvent::after("Buy")),
+            reg.intern("CredCard", &BasicEvent::before("Buy")),
+            reg.intern("Account", &BasicEvent::after("Buy")), // other class!
+            reg.intern("CredCard", &BasicEvent::TxnComplete),
+            reg.intern("CredCard", &BasicEvent::TxnAbort),
+        ];
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn inherited_event_shares_the_base_id() {
+        // The §6 multiple-inheritance lesson: the defining class is the key,
+        // so a derived class never re-numbers an inherited event.
+        let reg = EventRegistry::new();
+        let base = reg.intern("CredCard", &BasicEvent::after("Buy"));
+        // A derived GoldCard posting the inherited event interns with the
+        // *defining* class name and must get the same integer.
+        let seen_by_derived = reg.intern("CredCard", &BasicEvent::after("Buy"));
+        assert_eq!(base, seen_by_derived);
+        // Two base classes declaring same-named events stay distinct.
+        let other = reg.intern("Account", &BasicEvent::after("Buy"));
+        assert_ne!(base, other);
+    }
+
+    #[test]
+    fn describe_reverses_intern() {
+        let reg = EventRegistry::new();
+        let id = reg.intern("CredCard", &BasicEvent::after("PayBill"));
+        let (class, event) = reg.describe(id).unwrap();
+        assert_eq!(class, "CredCard");
+        assert_eq!(
+            event,
+            BasicEvent::Member {
+                name: "PayBill".into(),
+                time: EventTime::After
+            }
+        );
+        assert!(reg.describe(EventId(999)).is_none());
+    }
+
+    #[test]
+    fn string_triple_equality() {
+        let a = StringTripleEvent::new("CredCard", "void PayBill(float)", false);
+        let b = StringTripleEvent::new("CredCard", "void PayBill(float)", false);
+        let c = StringTripleEvent::new("CredCard", "void PayBill(float)", true);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.position, "end");
+        assert_eq!(c.position, "begin");
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        use std::sync::Arc;
+        let reg = Arc::new(EventRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || reg.intern("C", &BasicEvent::after("f")))
+            })
+            .collect();
+        let ids: Vec<EventId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(reg.len(), 1);
+    }
+}

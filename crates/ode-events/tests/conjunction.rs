@@ -1,0 +1,211 @@
+//! The `&&` conjunction operator: latch-product semantics, §8's
+//! "if AT&T goes below 60 and the price of gold stabilizes" shape.
+
+use ode_events::ast::{Alphabet, EventExpr, TriggerEvent};
+use ode_events::dfa::Dfa;
+use ode_events::event::EventId;
+use ode_events::parser::parse;
+use proptest::prelude::*;
+
+const N_EVENTS: u32 = 3;
+
+fn alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.add_event(EventId(0), "Drop");
+    al.add_event(EventId(1), "Stable");
+    al.add_event(EventId(2), "Tick");
+    al.add_mask("M0");
+    al
+}
+
+fn compile(src: &str) -> Dfa {
+    let al = alphabet();
+    Dfa::compile(&parse(src, &al).unwrap(), &al)
+}
+
+fn ids(stream: &[u32]) -> Vec<EventId> {
+    stream.iter().map(|&e| EventId(e)).collect()
+}
+
+#[test]
+fn parses_with_correct_precedence() {
+    let al = alphabet();
+    // ',' binds tighter than '&&' (and '||' within a conjunct binds via
+    // parentheses): the conjunction is the outermost operator.
+    let te = parse("Drop, Tick && Stable", &al).unwrap();
+    assert_eq!(
+        te.expr,
+        EventExpr::both(
+            EventExpr::seq(EventExpr::Basic(EventId(0)), EventExpr::Basic(EventId(2))),
+            EventExpr::Basic(EventId(1)),
+        )
+    );
+    // Parenthesised unions are fine inside a conjunct.
+    let te2 = parse("(Drop || Tick) && Stable", &al).unwrap();
+    assert!(matches!(te2.expr, EventExpr::Both(..)));
+    // Display round-trips.
+    let shown = te.display(&al);
+    assert_eq!(parse(&shown, &al).unwrap(), te);
+    let shown2 = te2.display(&al);
+    assert_eq!(parse(&shown2, &al).unwrap(), te2);
+}
+
+#[test]
+fn nested_conjunction_is_rejected() {
+    let al = alphabet();
+    let e = parse("(Drop && Stable), Tick", &al).unwrap_err();
+    assert!(e.message.contains("top level"), "{e}");
+    assert!(parse("*(Drop && Stable)", &al).is_err());
+    assert!(parse("relative((Drop && Stable), Tick)", &al).is_err());
+    // A conjunction under a union is also below the top level.
+    assert!(parse("Drop && Stable || Tick", &al).is_err());
+    // Chains are fine.
+    assert!(parse("Drop && Stable && Tick", &al).is_ok());
+}
+
+#[test]
+fn fires_when_both_occurred_regardless_of_order() {
+    let dfa = compile("Drop && Stable");
+    // Drop then Stable: fires at the Stable.
+    assert_eq!(dfa.run_stream(&ids(&[0, 1]), &[]), 1);
+    // Stable then Drop: fires at the Drop.
+    assert_eq!(dfa.run_stream(&ids(&[1, 0]), &[]), 1);
+    // Only one side: never.
+    assert_eq!(dfa.run_stream(&ids(&[0, 0, 2]), &[]), 0);
+    assert_eq!(dfa.run_stream(&ids(&[1, 2, 1]), &[]), 0);
+    // Unrelated events in between are fine.
+    assert_eq!(dfa.run_stream(&ids(&[0, 2, 2, 1]), &[]), 1);
+}
+
+#[test]
+fn same_event_satisfies_both_sides_at_once() {
+    let dfa = compile("Drop && Drop");
+    assert_eq!(dfa.run_stream(&ids(&[0]), &[]), 1);
+    assert_eq!(dfa.run_stream(&ids(&[2]), &[]), 0);
+}
+
+#[test]
+fn perpetual_refiring_needs_a_new_occurrence() {
+    let dfa = compile("Drop && Stable");
+    // After both occurred, each *new* occurrence of either side fires
+    // again; inert events do not.
+    assert_eq!(dfa.run_stream(&ids(&[0, 1, 2, 2]), &[]), 1);
+    assert_eq!(dfa.run_stream(&ids(&[0, 1, 0]), &[]), 2);
+    assert_eq!(dfa.run_stream(&ids(&[0, 1, 1, 0]), &[]), 3);
+}
+
+#[test]
+fn conjunction_of_composites() {
+    // (Drop, Drop) && Stable — two consecutive drops and a stabilisation,
+    // in any interleaving.
+    let dfa = compile("(Drop, Drop) && Stable");
+    assert_eq!(dfa.run_stream(&ids(&[0, 0, 1]), &[]), 1);
+    assert_eq!(dfa.run_stream(&ids(&[1, 0, 0]), &[]), 1);
+    // The Stable may even sit between the two Drops — then the Drop pair
+    // completes later... but the pair must be *consecutive*, which Stable
+    // breaks, so a fresh pair is needed.
+    assert_eq!(dfa.run_stream(&ids(&[0, 1, 0]), &[]), 0);
+    assert_eq!(dfa.run_stream(&ids(&[0, 1, 0, 0]), &[]), 1);
+}
+
+#[test]
+fn conjunction_with_masks() {
+    let al = alphabet();
+    let te = parse("(Drop & M0()) && Stable", &al).unwrap();
+    let dfa = Dfa::compile(&te, &al);
+    // Mask false on the drop: left side never occurs.
+    assert_eq!(dfa.run_stream_with(&ids(&[0, 1]), |_, _| false), 0);
+    // Mask true: fires once both sides are in.
+    assert_eq!(dfa.run_stream_with(&ids(&[0, 1]), |_, _| true), 1);
+    assert_eq!(dfa.run_stream_with(&ids(&[1, 0]), |_, _| true), 1);
+}
+
+#[test]
+fn chained_conjunction() {
+    let dfa = compile("Drop && Stable && Tick");
+    assert_eq!(dfa.run_stream(&ids(&[2, 0, 1]), &[]), 1);
+    assert_eq!(dfa.run_stream(&ids(&[0, 1]), &[]), 0);
+    assert_eq!(dfa.run_stream(&ids(&[1, 2, 0]), &[]), 1);
+}
+
+// ---------------------------------------------------------------------
+// Property: the machine equals the latch oracle for mask-free conjuncts.
+// ---------------------------------------------------------------------
+
+fn leaf_expr() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        (0..N_EVENTS).prop_map(|e| EventExpr::Basic(EventId(e))),
+        Just(EventExpr::Any),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::or(a, b)),
+            inner.clone().prop_map(EventExpr::star),
+            (inner.clone(), inner).prop_map(|(a, b)| EventExpr::relative(a, b)),
+        ]
+    })
+}
+
+/// Does `expr` match `s` exactly?
+fn matches_exact(expr: &EventExpr, s: &[EventId], declared: &[EventId]) -> bool {
+    match expr {
+        EventExpr::Basic(e) => s.len() == 1 && s[0] == *e,
+        EventExpr::Any => s.len() == 1 && declared.contains(&s[0]),
+        EventExpr::Seq(a, b) => (0..=s.len())
+            .any(|i| matches_exact(a, &s[..i], declared) && matches_exact(b, &s[i..], declared)),
+        EventExpr::Or(a, b) => matches_exact(a, s, declared) || matches_exact(b, s, declared),
+        EventExpr::Star(a) => {
+            s.is_empty()
+                || (1..=s.len()).any(|i| {
+                    matches_exact(a, &s[..i], declared)
+                        && matches_exact(&EventExpr::Star(a.clone()), &s[i..], declared)
+                })
+        }
+        EventExpr::Relative(a, b) => (0..=s.len()).any(|i| {
+            matches_exact(a, &s[..i], declared)
+                && (i..=s.len()).any(|j| matches_exact(b, &s[j..], declared))
+        }),
+        EventExpr::Both(..) | EventExpr::Mask(..) => unreachable!("leaves are simple"),
+    }
+}
+
+/// occurs-now(t): some window ending exactly at prefix length t matches.
+fn occurs_now(expr: &EventExpr, s: &[EventId], t: usize, declared: &[EventId]) -> bool {
+    (0..=t).any(|i| matches_exact(expr, &s[i..t], declared))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn conjunction_matches_latch_oracle(
+        a in leaf_expr(),
+        b in leaf_expr(),
+        s in prop::collection::vec((0..N_EVENTS).prop_map(EventId), 0..7),
+    ) {
+        let al = alphabet();
+        let declared = al.event_ids();
+        let te = TriggerEvent {
+            anchored: false,
+            expr: EventExpr::both(a.clone(), b.clone()),
+        };
+        let dfa = Dfa::compile(&te, &al);
+        let got = dfa.run_stream(&s, &[]);
+
+        // Latch oracle over prefixes 0..=len.
+        let mut want = 0usize;
+        let mut occurred_a = false;
+        let mut occurred_b = false;
+        for t in 0..=s.len() {
+            let a_now = occurs_now(&a, &s, t, &declared);
+            let b_now = occurs_now(&b, &s, t, &declared);
+            occurred_a |= a_now;
+            occurred_b |= b_now;
+            if (a_now || b_now) && occurred_a && occurred_b {
+                want += 1;
+            }
+        }
+        prop_assert_eq!(got, want, "a: {} / b: {}", a.display(&al), b.display(&al));
+    }
+}

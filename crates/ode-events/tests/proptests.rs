@@ -1,0 +1,270 @@
+//! Property-based tests for the event algebra and its FSM compiler.
+//!
+//! The central property: for any expression and any event stream, the
+//! optimised DFA, the unoptimised DFA, the NFA simulation, and (for
+//! mask-free expressions) a direct denotational oracle all agree on when
+//! the trigger fires.
+
+use ode_events::ast::{Alphabet, EventExpr, TriggerEvent};
+use ode_events::dfa::Dfa;
+use ode_events::event::{EventId, MaskId};
+use ode_events::fsm::{dense_run_stream_with, DenseFsm};
+use ode_events::nfa::Nfa;
+use ode_events::parser::parse;
+use proptest::prelude::*;
+
+const N_EVENTS: u32 = 3;
+
+fn alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.add_event(EventId(0), "BigBuy");
+    al.add_event(EventId(1), "after PayBill");
+    al.add_event(EventId(2), "after Buy");
+    al.add_mask("M0");
+    al.add_mask("M1");
+    al
+}
+
+/// Random mask-free expressions.
+fn maskfree_expr() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        (0..N_EVENTS).prop_map(|e| EventExpr::Basic(EventId(e))),
+        Just(EventExpr::Any),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::or(a, b)),
+            inner.clone().prop_map(EventExpr::star),
+            (inner.clone(), inner).prop_map(|(a, b)| EventExpr::relative(a, b)),
+        ]
+    })
+}
+
+/// Random expressions that may contain masks.
+fn masked_expr() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        (0..N_EVENTS).prop_map(|e| EventExpr::Basic(EventId(e))),
+        Just(EventExpr::Any),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::or(a, b)),
+            inner.clone().prop_map(EventExpr::star),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::relative(a, b)),
+            (inner, 0..2u16).prop_map(|(a, m)| EventExpr::mask(a, MaskId(m))),
+        ]
+    })
+}
+
+fn stream() -> impl Strategy<Value = Vec<EventId>> {
+    prop::collection::vec((0..N_EVENTS).prop_map(EventId), 0..8)
+}
+
+// ---------------------------------------------------------------------
+// Denotational oracle for mask-free expressions.
+// ---------------------------------------------------------------------
+
+/// Does `expr` match `s` exactly (whole slice)?
+fn matches_exact(expr: &EventExpr, s: &[EventId], declared: &[EventId]) -> bool {
+    match expr {
+        EventExpr::Basic(e) => s.len() == 1 && s[0] == *e,
+        EventExpr::Any => s.len() == 1 && declared.contains(&s[0]),
+        EventExpr::Seq(a, b) => (0..=s.len()).any(|i| {
+            matches_exact(a, &s[..i], declared) && matches_exact(b, &s[i..], declared)
+        }),
+        EventExpr::Or(a, b) => {
+            matches_exact(a, s, declared) || matches_exact(b, s, declared)
+        }
+        EventExpr::Star(a) => {
+            s.is_empty()
+                || (1..=s.len()).any(|i| {
+                    matches_exact(a, &s[..i], declared)
+                        && matches_exact(&EventExpr::Star(a.clone()), &s[i..], declared)
+                })
+        }
+        EventExpr::Relative(a, b) => (0..=s.len()).any(|i| {
+            matches_exact(a, &s[..i], declared)
+                && (i..=s.len()).any(|j| matches_exact(b, &s[j..], declared))
+        }),
+        EventExpr::Mask(..) | EventExpr::Both(..) => {
+            unreachable!("oracle handles neither masks nor conjunction")
+        }
+    }
+}
+
+/// Number of postings at which an (un)anchored trigger fires at least once:
+/// the oracle counts, for each prefix length t, whether a (suffix of the)
+/// prefix exactly matches.
+fn oracle_fire_count(te: &TriggerEvent, s: &[EventId], declared: &[EventId]) -> usize {
+    let mut fires = 0;
+    for t in 0..=s.len() {
+        let fired_now = if te.anchored {
+            // Anchored: the whole prefix must match ending exactly at t.
+            matches_exact(&te.expr, &s[..t], declared)
+        } else {
+            // Unanchored: some window ending at t matches.
+            (0..=t).any(|i| matches_exact(&te.expr, &s[i..t], declared))
+        };
+        if fired_now && t > 0 {
+            // A fire at prefix length t corresponds to posting event t-1…
+            fires += 1;
+        } else if fired_now && t == 0 {
+            // …except the empty match, which fires at activation.
+            fires += 1;
+        }
+    }
+    fires
+}
+
+/// Run the DFA like the trigger run-time would, but keep running after
+/// accepts (perpetual-style), counting postings that accepted. Mirrors
+/// `oracle_fire_count`'s prefix semantics.
+fn dfa_fire_count(dfa: &Dfa, s: &[EventId], masks: &[bool]) -> usize {
+    dfa.run_stream(s, masks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn dfa_agrees_with_oracle_maskfree(expr in maskfree_expr(), s in stream(), anchored in any::<bool>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let declared: Vec<EventId> = al.event_ids();
+        let dfa = Dfa::compile(&te, &al);
+        let got = dfa_fire_count(&dfa, &s, &[]);
+        let want = oracle_fire_count(&te, &s, &declared);
+        prop_assert_eq!(got, want, "expr: {}", te.display(&al));
+    }
+
+    #[test]
+    fn optimized_equals_unoptimized(expr in masked_expr(), s in stream(), seed in any::<u64>(), anchored in any::<bool>()) {
+        // Masks are pure predicates over database state at posting time,
+        // so the oracle is a pure function of (posting index, mask id) —
+        // this is exactly what lets the compiler eliminate redundant mask
+        // evaluations without changing behaviour.
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let opt = Dfa::compile(&te, &al);
+        let raw = Dfa::compile_unoptimized(&te, &al);
+        let oracle = |i: usize, m: ode_events::event::MaskId|
+            (seed >> ((i * 2 + m.0 as usize) % 64)) & 1 == 1;
+        prop_assert_eq!(
+            opt.run_stream_with(&s, oracle),
+            raw.run_stream_with(&s, oracle),
+            "expr: {}", te.display(&al)
+        );
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_simulation(expr in masked_expr(), s in stream(), seed in any::<u64>(), anchored in any::<bool>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let dfa = Dfa::compile(&te, &al);
+        let nfa = Nfa::build(&te, &al);
+        let oracle = |i: usize, m: ode_events::event::MaskId|
+            (seed >> ((i * 2 + m.0 as usize) % 64)) & 1 == 1;
+        let nfa_fired = nfa.simulate_with(&s, oracle);
+        let dfa_fired = dfa.run_stream_with(&s, oracle) > 0;
+        prop_assert_eq!(dfa_fired, nfa_fired, "expr: {}", te.display(&al));
+    }
+
+    #[test]
+    fn dense_equals_sparse(expr in masked_expr(), s in stream(), seed in any::<u64>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored: false, expr };
+        let dfa = Dfa::compile(&te, &al);
+        let dense = DenseFsm::from_dfa(&dfa, N_EVENTS, 2);
+        let declared: Vec<EventId> = al.event_ids();
+        let oracle = |i: usize, m: ode_events::event::MaskId|
+            (seed >> ((i * 2 + m.0 as usize) % 64)) & 1 == 1;
+        prop_assert_eq!(
+            dense_run_stream_with(&dense, &s, oracle, &declared),
+            dfa.run_stream_with(&s, oracle),
+            "expr: {}", te.display(&al)
+        );
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast(expr in masked_expr(), anchored in any::<bool>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let shown = te.display(&al);
+        let reparsed = parse(&shown, &al).unwrap();
+        prop_assert_eq!(reparsed, te, "display: {}", shown);
+    }
+
+    #[test]
+    fn undeclared_events_never_change_outcome(expr in masked_expr(), s in stream(), seed in any::<u64>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored: false, expr };
+        let dfa = Dfa::compile(&te, &al);
+        // Interleave undeclared events (id 99) everywhere; oracle keyed by
+        // *declared* posting count so both runs see identical answers.
+        let mut noisy = Vec::new();
+        for &e in &s {
+            noisy.push(EventId(99));
+            noisy.push(e);
+        }
+        noisy.push(EventId(99));
+        let mut declared_seen = 0usize;
+        let mut last_i = usize::MAX;
+        let noisy_oracle = |i: usize, m: ode_events::event::MaskId| {
+            if i != last_i {
+                last_i = i;
+                declared_seen += 1;
+            }
+            (seed >> ((declared_seen * 2 + m.0 as usize) % 64)) & 1 == 1
+        };
+        let mut declared_seen2 = 0usize;
+        let mut last_i2 = usize::MAX;
+        let plain_oracle = |i: usize, m: ode_events::event::MaskId| {
+            if i != last_i2 {
+                last_i2 = i;
+                declared_seen2 += 1;
+            }
+            (seed >> ((declared_seen2 * 2 + m.0 as usize) % 64)) & 1 == 1
+        };
+        prop_assert_eq!(
+            dfa.run_stream_with(&noisy, noisy_oracle),
+            dfa.run_stream_with(&s, plain_oracle)
+        );
+    }
+
+    #[test]
+    fn compiled_machines_are_wellformed(expr in masked_expr(), anchored in any::<bool>()) {
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let dfa = Dfa::compile(&te, &al);
+        prop_assert!(!dfa.is_empty());
+        prop_assert_eq!(dfa.start(), 0);
+        for (i, state) in dfa.states().iter().enumerate() {
+            // Prune contract: states without pending masks carry no
+            // pseudo edges; mask states carry real edges only when they
+            // can rest (a pending mask's pseudo edge self-loops).
+            let can_rest = state.masks.iter().any(|&m| {
+                state.next(ode_events::event::Symbol::True(m)) == Some(i as u32)
+                    || state.next(ode_events::event::Symbol::False(m)) == Some(i as u32)
+            });
+            for t in &state.transitions {
+                prop_assert!((t.to as usize) < dfa.len(), "state {i} dangling edge");
+                if state.masks.is_empty() {
+                    prop_assert!(!t.on.is_pseudo(), "rest state with pseudo edge");
+                } else if !t.on.is_pseudo() {
+                    prop_assert!(can_rest, "non-resting mask state with real edge");
+                }
+            }
+            // Transitions sorted and unique per symbol.
+            for w in state.transitions.windows(2) {
+                prop_assert!(w[0].on < w[1].on);
+            }
+        }
+    }
+}

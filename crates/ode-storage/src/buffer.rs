@@ -1,0 +1,317 @@
+//! Buffer pool for the disk engine.
+//!
+//! A clock-replacement cache of page frames over a [`DiskFile`]. The pool
+//! enforces a **no-steal** policy: dirty frames are only written back to the
+//! data file at checkpoint time (see [`crate::storage::Storage`]), never by
+//! eviction. This keeps recovery redo-only — the data file always reflects
+//! exactly the last checkpoint, and the write-ahead log replays everything
+//! after it. When every frame is dirty the pool grows past its configured
+//! capacity rather than violating no-steal.
+
+use crate::disk::DiskFile;
+use crate::error::Result;
+use crate::oid::PageId;
+use crate::page::Page;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, Frame>,
+    /// Clock hand order (page ids, may contain stale entries lazily pruned).
+    clock: Vec<PageId>,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Clock-replacement buffer pool with a no-steal write-back policy.
+pub struct BufferPool {
+    disk: DiskFile,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+/// Cache statistics, exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Page requests that had to read the data file.
+    pub misses: u64,
+    /// Frames currently resident.
+    pub resident: usize,
+    /// Resident frames that are dirty.
+    pub dirty: usize,
+}
+
+impl BufferPool {
+    /// Wrap a disk file with a pool of at most `capacity` frames
+    /// (soft limit; see module docs).
+    pub fn new(disk: DiskFile, capacity: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::new(),
+                clock: Vec::new(),
+                hand: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The underlying disk file.
+    pub fn disk(&self) -> &DiskFile {
+        &self.disk
+    }
+
+    fn load_locked(&self, inner: &mut PoolInner, id: PageId) -> Result<()> {
+        if inner.frames.contains_key(&id) {
+            inner.hits += 1;
+            return Ok(());
+        }
+        inner.misses += 1;
+        if inner.frames.len() >= self.capacity {
+            self.evict_one(inner);
+        }
+        let page = self.disk.read_page(id)?;
+        inner.frames.insert(
+            id,
+            Frame {
+                page,
+                dirty: false,
+                referenced: true,
+            },
+        );
+        inner.clock.push(id);
+        Ok(())
+    }
+
+    /// Evict one clean, unreferenced frame if possible. Dirty frames are
+    /// never evicted (no-steal); if only dirty frames remain, the pool grows.
+    fn evict_one(&self, inner: &mut PoolInner) {
+        let mut sweeps = 0;
+        // Two full sweeps: the first clears reference bits, the second can
+        // then find a victim. Dirty frames are skipped entirely.
+        let max_steps = inner.clock.len().saturating_mul(2).max(1);
+        while sweeps < max_steps {
+            if inner.clock.is_empty() {
+                return;
+            }
+            let idx = inner.hand % inner.clock.len();
+            let id = inner.clock[idx];
+            match inner.frames.get_mut(&id) {
+                None => {
+                    // Stale clock entry; prune without advancing the hand.
+                    inner.clock.swap_remove(idx);
+                    continue;
+                }
+                Some(frame) => {
+                    if !frame.dirty && !frame.referenced {
+                        inner.frames.remove(&id);
+                        inner.clock.swap_remove(idx);
+                        return;
+                    }
+                    frame.referenced = false;
+                    inner.hand = (idx + 1) % inner.clock.len().max(1);
+                    sweeps += 1;
+                }
+            }
+        }
+        // All frames dirty or hot: grow instead of stealing.
+    }
+
+    /// Read access to a page.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.load_locked(&mut inner, id)?;
+        let frame = inner.frames.get_mut(&id).expect("just loaded");
+        frame.referenced = true;
+        Ok(f(&frame.page))
+    }
+
+    /// Write access to a page; marks the frame dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        self.load_locked(&mut inner, id)?;
+        let frame = inner.frames.get_mut(&id).expect("just loaded");
+        frame.referenced = true;
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Allocate a fresh page on disk and cache it.
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let id = self.disk.allocate_page()?;
+        let mut inner = self.inner.lock();
+        if inner.frames.len() >= self.capacity {
+            self.evict_one(&mut inner);
+        }
+        inner.frames.insert(
+            id,
+            Frame {
+                page: Page::new(),
+                dirty: false,
+                referenced: true,
+            },
+        );
+        inner.clock.push(id);
+        Ok(id)
+    }
+
+    /// Number of pages (including the header page).
+    pub fn page_count(&self) -> u32 {
+        self.disk.page_count()
+    }
+
+    /// Write every dirty frame back to the data file (checkpoint helper).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut ids: Vec<PageId> = inner
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let frame = inner.frames.get_mut(&id).expect("listed above");
+            self.disk.write_page(id, &frame.page)?;
+            frame.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Flush OS buffers for the data file.
+    pub fn sync(&self) -> Result<()> {
+        self.disk.sync()
+    }
+
+    /// Cache statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            resident: inner.frames.len(),
+            dirty: inner.frames.values().filter(|f| f.dirty).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_testutil::TempDir;
+
+    fn pool(capacity: usize) -> (TempDir, BufferPool) {
+        let dir = TempDir::new("pool");
+        let disk = DiskFile::create(&dir.file("db")).unwrap();
+        (dir, BufferPool::new(disk, capacity))
+    }
+
+    #[test]
+    fn read_through_and_cache_hit() {
+        let (_d, pool) = pool(4);
+        let id = pool.allocate_page().unwrap();
+        pool.with_page_mut(id, |p| {
+            p.insert(b"cached").unwrap();
+        })
+        .unwrap();
+        let data = pool
+            .with_page(id, |p| p.read(0).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(data, b"cached");
+        let s = pool.stats();
+        assert!(s.hits >= 1);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction_pressure() {
+        let (_d, pool) = pool(2);
+        let mut ids = Vec::new();
+        for i in 0..10u8 {
+            let id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| {
+                p.insert(&[i; 8]).unwrap();
+            })
+            .unwrap();
+            ids.push(id);
+        }
+        // All ten frames are dirty; no-steal means all stay resident even
+        // though capacity is 2, and none were written to disk.
+        assert_eq!(pool.stats().resident, 10);
+        assert_eq!(pool.stats().dirty, 10);
+        for (i, id) in ids.iter().enumerate() {
+            let v = pool
+                .with_page(*id, |p| p.read(0).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(v, vec![i as u8; 8]);
+        }
+        // Disk still has the pristine pages (never stolen).
+        let on_disk = pool.disk().read_page(ids[0]).unwrap();
+        assert!(on_disk.read(0).is_none());
+    }
+
+    #[test]
+    fn clean_pages_get_evicted() {
+        let (_d, pool) = pool(2);
+        let mut ids = Vec::new();
+        for i in 0..6u8 {
+            let id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| {
+                p.insert(&[i; 8]).unwrap();
+            })
+            .unwrap();
+            ids.push(id);
+        }
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().dirty, 0);
+        // New allocations now find clean victims, keeping residency bounded.
+        for _ in 0..6 {
+            pool.allocate_page().unwrap();
+        }
+        assert!(
+            pool.stats().resident <= 7,
+            "resident={}",
+            pool.stats().resident
+        );
+        // Evicted pages are still readable (reloaded from disk).
+        for (i, id) in ids.iter().enumerate() {
+            let v = pool
+                .with_page(*id, |p| p.read(0).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(v, vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn flush_all_persists() {
+        let dir = TempDir::new("pool");
+        let path = dir.file("db");
+        let id;
+        {
+            let disk = DiskFile::create(&path).unwrap();
+            let pool = BufferPool::new(disk, 4);
+            id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| {
+                p.insert(b"durable").unwrap();
+            })
+            .unwrap();
+            pool.flush_all().unwrap();
+            let mut h = pool.disk().read_header().unwrap();
+            h.page_count = pool.page_count();
+            pool.disk().write_header(h).unwrap();
+        }
+        let disk = DiskFile::open(&path).unwrap();
+        let page = disk.read_page(id).unwrap();
+        assert_eq!(page.read(0).unwrap(), b"durable");
+    }
+}

@@ -1,0 +1,258 @@
+//! File-backed page storage — the EOS stand-in's lowest layer.
+//!
+//! A database file is a flat array of [`PAGE_SIZE`] pages. Page 0 is the
+//! database header (magic, format version, checkpoint counter); data pages
+//! start at 1. All access goes through the buffer pool; this module only
+//! knows how to read, write, and extend the file.
+
+use crate::error::{Result, StorageError};
+use crate::oid::PageId;
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ODEDB\0\x01\x00";
+
+/// The on-disk database header living in page 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbHeader {
+    /// Number of pages in the file, including the header page.
+    pub page_count: u32,
+    /// Monotonic checkpoint counter; bumped on every checkpoint.
+    pub checkpoint_seq: u64,
+    /// Whether the database was closed cleanly (checkpointed, log empty).
+    pub clean_shutdown: bool,
+}
+
+impl DbHeader {
+    fn to_page(self) -> Page {
+        let mut bytes = [0u8; PAGE_SIZE];
+        bytes[0..8].copy_from_slice(MAGIC);
+        bytes[8..12].copy_from_slice(&self.page_count.to_le_bytes());
+        bytes[12..20].copy_from_slice(&self.checkpoint_seq.to_le_bytes());
+        bytes[20] = u8::from(self.clean_shutdown);
+        Page::from_bytes(&bytes)
+    }
+
+    fn from_page(page: &Page) -> Result<DbHeader> {
+        let bytes = page.as_bytes();
+        if &bytes[0..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad magic in header page".into()));
+        }
+        Ok(DbHeader {
+            page_count: u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            checkpoint_seq: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+            clean_shutdown: bytes[20] == 1,
+        })
+    }
+}
+
+/// A page file on disk.
+pub struct DiskFile {
+    file: Mutex<File>,
+    /// Cached page count (authoritative: kept in sync with the header).
+    page_count: Mutex<u32>,
+}
+
+impl DiskFile {
+    /// Create a brand-new database file (fails if it exists with content).
+    pub fn create(path: &Path) -> Result<DiskFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let disk = DiskFile {
+            file: Mutex::new(file),
+            page_count: Mutex::new(1),
+        };
+        disk.write_header(DbHeader {
+            page_count: 1,
+            checkpoint_seq: 0,
+            clean_shutdown: true,
+        })?;
+        Ok(disk)
+    }
+
+    /// Open an existing database file.
+    pub fn open(path: &Path) -> Result<DiskFile> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a whole number of pages"
+            )));
+        }
+        let disk = DiskFile {
+            file: Mutex::new(file),
+            page_count: Mutex::new(0),
+        };
+        let header = disk.read_header_raw()?;
+        let physical = (len / PAGE_SIZE as u64) as u32;
+        // A crash can leave pages allocated after the last checkpoint, so
+        // the file may legitimately be longer than the header records; the
+        // physical length is the truth. Shorter than the header is real
+        // corruption (truncated file).
+        if header.page_count > physical {
+            return Err(StorageError::Corrupt(format!(
+                "header page_count {} exceeds file length {len}",
+                header.page_count
+            )));
+        }
+        *disk.page_count.lock() = physical;
+        Ok(disk)
+    }
+
+    fn read_header_raw(&self) -> Result<DbHeader> {
+        let page = self.read_page_internal(0)?;
+        DbHeader::from_page(&page)
+    }
+
+    /// Read the database header.
+    pub fn read_header(&self) -> Result<DbHeader> {
+        self.read_header_raw()
+    }
+
+    /// Overwrite the database header.
+    pub fn write_header(&self, header: DbHeader) -> Result<()> {
+        *self.page_count.lock() = header.page_count;
+        self.write_page(0, &header.to_page())
+    }
+
+    fn read_page_internal(&self, id: PageId) -> Result<Page> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.read_exact(&mut buf)?;
+        Ok(Page::from_bytes(&buf))
+    }
+
+    /// Read a data page.
+    pub fn read_page(&self, id: PageId) -> Result<Page> {
+        if id >= *self.page_count.lock() {
+            return Err(StorageError::NoSuchPage(id));
+        }
+        self.read_page_internal(id)
+    }
+
+    /// Write a page image at its position (extends the file if needed).
+    pub fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    /// Append a fresh page and return its id. The header's page_count is
+    /// updated lazily (at checkpoint), so the in-memory counter is the
+    /// authority while running.
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let mut count = self.page_count.lock();
+        let id = *count;
+        *count += 1;
+        // Materialise the page so the file length always covers page_count.
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(Page::new().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Ensure the file contains at least `count` pages (used by recovery).
+    pub fn ensure_pages(&self, count: u32) -> Result<()> {
+        while *self.page_count.lock() < count {
+            self.allocate_page()?;
+        }
+        Ok(())
+    }
+
+    /// Current page count including the header page.
+    pub fn page_count(&self) -> u32 {
+        *self.page_count.lock()
+    }
+
+    /// Flush OS buffers to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_testutil::TempDir;
+
+    #[test]
+    fn create_open_roundtrip() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("db");
+        {
+            let d = DiskFile::create(&path).unwrap();
+            let p1 = d.allocate_page().unwrap();
+            assert_eq!(p1, 1);
+            let mut page = Page::new();
+            page.insert(b"on disk").unwrap();
+            d.write_page(p1, &page).unwrap();
+            let mut h = d.read_header().unwrap();
+            h.page_count = d.page_count();
+            d.write_header(h).unwrap();
+        }
+        {
+            let d = DiskFile::open(&path).unwrap();
+            assert_eq!(d.page_count(), 2);
+            let page = d.read_page(1).unwrap();
+            assert_eq!(page.read(0).unwrap(), b"on disk");
+        }
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let dir = TempDir::new("disk");
+        assert!(DiskFile::open(&dir.file("nope")).is_err());
+    }
+
+    #[test]
+    fn open_garbage_fails() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("garbage");
+        std::fs::write(&path, vec![0xAB; PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            DiskFile::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_fails() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("short");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(matches!(
+            DiskFile::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let dir = TempDir::new("disk");
+        let d = DiskFile::create(&dir.file("db")).unwrap();
+        assert!(matches!(d.read_page(5), Err(StorageError::NoSuchPage(5))));
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let dir = TempDir::new("disk");
+        let d = DiskFile::create(&dir.file("db")).unwrap();
+        let h = DbHeader {
+            page_count: 1,
+            checkpoint_seq: 9,
+            clean_shutdown: false,
+        };
+        d.write_header(h).unwrap();
+        assert_eq!(d.read_header().unwrap(), h);
+    }
+}

@@ -1,0 +1,377 @@
+//! Lock manager: strict two-phase shared/exclusive locking with deadlock
+//! detection.
+//!
+//! The paper's §6 observes that "triggers turn read access into write
+//! access, increasing both the amount of time the transactions spend
+//! waiting for locks and the likelihood of deadlock": advancing a trigger's
+//! FSM updates a trigger descriptor, which needs a write lock even when the
+//! triggering operation was a read. This lock manager exposes wait and
+//! deadlock counters so that effect can be measured (experiment E4).
+//!
+//! Design: a single table guarded by one mutex, one condvar for wake-ups,
+//! and a waits-for graph walked on every blocking iteration. A requester
+//! that finds itself on a cycle is chosen as the victim and gets
+//! [`StorageError::Deadlock`]; the caller is expected to abort.
+
+use crate::error::{Result, StorageError};
+use crate::txn::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// What a lock protects. Objects are locked by their Oid; a few named
+/// resources (e.g. the roots directory) get their own keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKey {
+    /// A persistent object (packed Oid).
+    Object(u64),
+    /// The named-roots directory.
+    Roots,
+    /// A whole cluster (used by cluster scans).
+    Cluster(u32),
+}
+
+/// Lock modes. Shared is compatible with shared; exclusive with nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Read lock.
+    Shared,
+    /// Write lock.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    holders: HashMap<TxnId, LockMode>,
+}
+
+impl LockState {
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders.iter().all(|(&h, &hm)| {
+            h == txn || (mode == LockMode::Shared && hm == LockMode::Shared)
+        })
+    }
+
+    fn blockers(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.holders
+            .iter()
+            .filter(|&(&h, &hm)| {
+                h != txn && !(mode == LockMode::Shared && hm == LockMode::Shared)
+            })
+            .map(|(&h, _)| h)
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    locks: HashMap<LockKey, LockState>,
+    /// Keys held per transaction, for O(held) release.
+    held: HashMap<TxnId, HashSet<LockKey>>,
+    /// What each blocked transaction is currently waiting on.
+    waiting: HashMap<TxnId, (LockKey, LockMode)>,
+}
+
+impl Tables {
+    /// Does a waits-for cycle pass through `start`?
+    fn deadlocked(&self, start: TxnId) -> bool {
+        // DFS over the waits-for graph: waiter -> holders blocking it.
+        let mut stack = vec![start];
+        let mut seen = HashSet::new();
+        while let Some(txn) = stack.pop() {
+            let Some(&(key, mode)) = self.waiting.get(&txn) else {
+                continue;
+            };
+            let Some(state) = self.locks.get(&key) else {
+                continue;
+            };
+            for blocker in state.blockers(txn, mode) {
+                if blocker == start {
+                    return true;
+                }
+                if seen.insert(blocker) {
+                    stack.push(blocker);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Counters exposed for experiments and monitoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Lock requests granted immediately.
+    pub immediate_grants: u64,
+    /// Lock requests that had to wait at least once.
+    pub waits: u64,
+    /// Requests aborted as deadlock victims.
+    pub deadlocks: u64,
+    /// Shared locks upgraded to exclusive.
+    pub upgrades: u64,
+    /// Total time spent blocked, in microseconds.
+    pub wait_micros: u64,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    tables: Mutex<Tables>,
+    cv: Condvar,
+    stats: Mutex<LockStats>,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_secs(10))
+    }
+}
+
+impl LockManager {
+    /// Create a lock manager whose blocking requests give up after
+    /// `timeout` (a safety net; deadlocks are normally detected, not
+    /// timed out).
+    pub fn new(timeout: Duration) -> LockManager {
+        LockManager {
+            tables: Mutex::new(Tables::default()),
+            cv: Condvar::new(),
+            stats: Mutex::new(LockStats::default()),
+            timeout,
+        }
+    }
+
+    /// Acquire `key` in `mode` for `txn`, blocking if necessary.
+    /// Re-acquiring an already-held lock is a no-op; holding Shared and
+    /// requesting Exclusive upgrades.
+    pub fn lock(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
+        let mut tables = self.tables.lock();
+        if let Some(&held) = tables.locks.get(&key).and_then(|s| s.holders.get(&txn)) {
+            if held >= mode {
+                return Ok(());
+            }
+            self.stats.lock().upgrades += 1;
+        }
+        if tables
+            .locks
+            .get(&key)
+            .is_none_or(|s| s.compatible(txn, mode))
+        {
+            Self::grant(&mut tables, txn, key, mode);
+            self.stats.lock().immediate_grants += 1;
+            return Ok(());
+        }
+
+        // Must wait.
+        self.stats.lock().waits += 1;
+        let started = Instant::now();
+        tables.waiting.insert(txn, (key, mode));
+        let result = loop {
+            if tables.deadlocked(txn) {
+                self.stats.lock().deadlocks += 1;
+                break Err(StorageError::Deadlock(txn));
+            }
+            let timed_out = self
+                .cv
+                .wait_for(&mut tables, Duration::from_millis(20))
+                .timed_out();
+            if tables
+                .locks
+                .get(&key)
+                .is_none_or(|s| s.compatible(txn, mode))
+            {
+                Self::grant(&mut tables, txn, key, mode);
+                break Ok(());
+            }
+            if timed_out && started.elapsed() >= self.timeout {
+                break Err(StorageError::LockTimeout(txn));
+            }
+        };
+        tables.waiting.remove(&txn);
+        self.stats.lock().wait_micros += started.elapsed().as_micros() as u64;
+        result
+    }
+
+    fn grant(tables: &mut Tables, txn: TxnId, key: LockKey, mode: LockMode) {
+        let state = tables.locks.entry(key).or_default();
+        state.holders.insert(txn, mode);
+        tables.held.entry(txn).or_default().insert(key);
+    }
+
+    /// The mode `txn` holds on `key`, if any.
+    pub fn held(&self, txn: TxnId, key: LockKey) -> Option<LockMode> {
+        self.tables
+            .lock()
+            .locks
+            .get(&key)
+            .and_then(|s| s.holders.get(&txn))
+            .copied()
+    }
+
+    /// Release every lock `txn` holds (end of transaction — strict 2PL).
+    pub fn unlock_all(&self, txn: TxnId) {
+        let mut tables = self.tables.lock();
+        if let Some(keys) = tables.held.remove(&txn) {
+            for key in keys {
+                if let Some(state) = tables.locks.get_mut(&key) {
+                    state.holders.remove(&txn);
+                    if state.holders.is_empty() {
+                        tables.locks.remove(&key);
+                    }
+                }
+            }
+        }
+        drop(tables);
+        self.cv.notify_all();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> LockStats {
+        *self.stats.lock()
+    }
+
+    /// Reset counters (benchmarks call this between phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = LockStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+
+    fn key(n: u64) -> LockKey {
+        LockKey::Object(n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.lock(T1, key(1), LockMode::Shared).unwrap();
+        lm.lock(T2, key(1), LockMode::Shared).unwrap();
+        assert_eq!(lm.held(T1, key(1)), Some(LockMode::Shared));
+        assert_eq!(lm.held(T2, key(1)), Some(LockMode::Shared));
+        assert_eq!(lm.stats().waits, 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_and_releases() {
+        let lm = Arc::new(LockManager::default());
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let handle = std::thread::spawn(move || lm2.lock(T2, key(1), LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished(), "T2 should be blocked");
+        lm.unlock_all(T1);
+        handle.join().unwrap().unwrap();
+        assert_eq!(lm.held(T2, key(1)), Some(LockMode::Exclusive));
+        assert_eq!(lm.stats().waits, 1);
+    }
+
+    #[test]
+    fn reacquire_is_noop() {
+        let lm = LockManager::default();
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        lm.lock(T1, key(1), LockMode::Shared).unwrap(); // weaker: still fine
+        assert_eq!(lm.held(T1, key(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let lm = LockManager::default();
+        lm.lock(T1, key(1), LockMode::Shared).unwrap();
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held(T1, key(1)), Some(LockMode::Exclusive));
+        assert_eq!(lm.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        lm.lock(T2, key(2), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        // T2 waits for key 1 (held by T1).
+        let handle = std::thread::spawn(move || {
+            let r = lm2.lock(T2, key(1), LockMode::Exclusive);
+            if r.is_ok() {
+                lm2.unlock_all(T2);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // T1 now waits for key 2 (held by T2) -> cycle.
+        let r1 = lm.lock(T1, key(2), LockMode::Exclusive);
+        let r2 = handle.join().unwrap();
+        let d1 = matches!(r1, Err(StorageError::Deadlock(_)));
+        let d2 = matches!(r2, Err(StorageError::Deadlock(_)));
+        assert!(d1 || d2, "at least one victim: {r1:?} {r2:?}");
+        assert!(lm.stats().deadlocks >= 1);
+        // Clean up so nothing dangles.
+        lm.unlock_all(T1);
+        lm.unlock_all(T2);
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        // Classic S+S then both upgrade: a cycle through the same key.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock(T1, key(1), LockMode::Shared).unwrap();
+        lm.lock(T2, key(1), LockMode::Shared).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let handle = std::thread::spawn(move || {
+            let r = lm2.lock(T2, key(1), LockMode::Exclusive);
+            if r.is_err() {
+                lm2.unlock_all(T2);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let r1 = lm.lock(T1, key(1), LockMode::Exclusive);
+        if r1.is_err() {
+            lm.unlock_all(T1);
+        }
+        let r2 = handle.join().unwrap();
+        assert!(
+            matches!(r1, Err(StorageError::Deadlock(_)))
+                || matches!(r2, Err(StorageError::Deadlock(_))),
+            "upgrade deadlock must pick a victim: {r1:?} {r2:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_fires_without_deadlock() {
+        let lm = Arc::new(LockManager::new(Duration::from_millis(100)));
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        let r = lm.lock(T2, key(1), LockMode::Shared);
+        assert!(matches!(r, Err(StorageError::LockTimeout(_))));
+    }
+
+    #[test]
+    fn unlock_all_releases_everything() {
+        let lm = LockManager::default();
+        lm.lock(T1, key(1), LockMode::Shared).unwrap();
+        lm.lock(T1, key(2), LockMode::Exclusive).unwrap();
+        lm.lock(T1, LockKey::Roots, LockMode::Exclusive).unwrap();
+        lm.unlock_all(T1);
+        assert_eq!(lm.held(T1, key(1)), None);
+        assert_eq!(lm.held(T1, key(2)), None);
+        assert_eq!(lm.held(T1, LockKey::Roots), None);
+    }
+
+    #[test]
+    fn wait_time_is_recorded() {
+        let lm = Arc::new(LockManager::default());
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let handle = std::thread::spawn(move || lm2.lock(T2, key(1), LockMode::Shared));
+        std::thread::sleep(Duration::from_millis(60));
+        lm.unlock_all(T1);
+        handle.join().unwrap().unwrap();
+        assert!(lm.stats().wait_micros >= 40_000);
+    }
+}

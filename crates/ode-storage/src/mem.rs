@@ -1,0 +1,181 @@
+//! Main-memory page store — the Dali stand-in backing MM-Ode.
+//!
+//! Pages live in RAM; there is no buffer pool and no per-operation I/O,
+//! which is exactly the performance profile the paper's MM-Ode sought.
+//! Durability is optional: a checkpoint writes the full page image to a
+//! file, and `load` restores it. (Dali offered checkpoint-based persistence
+//! for main-memory databases; we reproduce the same shape.) The transaction
+//! layer above provides rollback via in-memory undo, shared with the disk
+//! engine just as Ode and MM-Ode share their run-time system (§5.6).
+
+use crate::error::{Result, StorageError};
+use crate::oid::PageId;
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::RwLock;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ODEMM\0\x01\x00";
+
+/// An in-memory page store.
+pub struct MemStore {
+    pages: RwLock<Vec<Page>>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore::new()
+    }
+}
+
+impl MemStore {
+    /// An empty store. Page 0 is reserved (parity with the disk layout) so
+    /// data pages start at 1.
+    pub fn new() -> MemStore {
+        MemStore {
+            pages: RwLock::new(vec![Page::new()]),
+        }
+    }
+
+    /// Read access to a page.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let pages = self.pages.read();
+        let page = pages
+            .get(id as usize)
+            .ok_or(StorageError::NoSuchPage(id))?;
+        Ok(f(page))
+    }
+
+    /// Write access to a page.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut pages = self.pages.write();
+        let page = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::NoSuchPage(id))?;
+        Ok(f(page))
+    }
+
+    /// Append a fresh page.
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let mut pages = self.pages.write();
+        let id = pages.len() as PageId;
+        pages.push(Page::new());
+        Ok(id)
+    }
+
+    /// Ensure at least `count` pages exist (recovery/checkpoint load).
+    pub fn ensure_pages(&self, count: u32) -> Result<()> {
+        let mut pages = self.pages.write();
+        while (pages.len() as u32) < count {
+            pages.push(Page::new());
+        }
+        Ok(())
+    }
+
+    /// Number of pages including the reserved page 0.
+    pub fn page_count(&self) -> u32 {
+        self.pages.read().len() as u32
+    }
+
+    /// Write a full checkpoint image of the store to `path` (atomically via
+    /// a temp file + rename).
+    pub fn checkpoint_to(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("ckpt-tmp");
+        {
+            let pages = self.pages.read();
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            f.write_all(MAGIC)?;
+            f.write_all(&(pages.len() as u32).to_le_bytes())?;
+            for page in pages.iter() {
+                f.write_all(page.as_bytes())?;
+            }
+            f.flush()?;
+            f.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a checkpoint image written by [`MemStore::checkpoint_to`].
+    pub fn load_from(path: &Path) -> Result<MemStore> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::Corrupt("bad magic in mem checkpoint".into()));
+        }
+        let mut nbuf = [0u8; 4];
+        f.read_exact(&mut nbuf)?;
+        let n = u32::from_le_bytes(nbuf) as usize;
+        let mut pages = Vec::with_capacity(n);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for _ in 0..n {
+            f.read_exact(&mut buf)?;
+            pages.push(Page::from_bytes(&buf));
+        }
+        Ok(MemStore {
+            pages: RwLock::new(pages),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_testutil::TempDir;
+
+    #[test]
+    fn allocate_and_access() {
+        let m = MemStore::new();
+        let id = m.allocate_page().unwrap();
+        assert_eq!(id, 1);
+        m.with_page_mut(id, |p| {
+            p.insert(b"in ram").unwrap();
+        })
+        .unwrap();
+        let v = m.with_page(id, |p| p.read(0).unwrap().to_vec()).unwrap();
+        assert_eq!(v, b"in ram");
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let m = MemStore::new();
+        assert!(matches!(
+            m.with_page(9, |_| ()),
+            Err(StorageError::NoSuchPage(9))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = TempDir::new("mem");
+        let path = dir.file("ckpt");
+        let m = MemStore::new();
+        let id = m.allocate_page().unwrap();
+        m.with_page_mut(id, |p| {
+            p.insert(b"survives").unwrap();
+        })
+        .unwrap();
+        m.checkpoint_to(&path).unwrap();
+        let m2 = MemStore::load_from(&path).unwrap();
+        assert_eq!(m2.page_count(), 2);
+        let v = m2.with_page(id, |p| p.read(0).unwrap().to_vec()).unwrap();
+        assert_eq!(v, b"survives");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = TempDir::new("mem");
+        let path = dir.file("bad");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(MemStore::load_from(&path).is_err());
+    }
+
+    #[test]
+    fn ensure_pages_extends() {
+        let m = MemStore::new();
+        m.ensure_pages(5).unwrap();
+        assert_eq!(m.page_count(), 5);
+        m.with_page(4, |p| assert!(p.is_empty())).unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Object and page identifiers.
+//!
+//! Ode identifies every persistent object by a unique identifier — "a pointer
+//! to a persistent object" (§2 of the paper). We realise that as an [`Oid`]:
+//! the page the object lives on plus its slot within the page. Oids are
+//! stable for the lifetime of the object: if an update grows a record past
+//! its page's free space the heap leaves a forwarding stub behind, so the
+//! original Oid keeps working.
+
+use crate::codec::{Decode, Encode};
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Identifier of a fixed-size page within a database file.
+pub type PageId = u32;
+
+/// Identifier of a cluster (Ode groups persistent objects of one class into
+/// a cluster; iteration happens per cluster).
+pub type ClusterId = u32;
+
+/// Cluster tag of a page that has not been assigned to any cluster yet.
+pub const UNASSIGNED_CLUSTER: ClusterId = 0;
+
+/// The cluster reserved for storage-internal bookkeeping (named roots,
+/// index pages). User clusters start at [`FIRST_USER_CLUSTER`].
+pub const SYSTEM_CLUSTER: ClusterId = 1;
+
+/// First cluster id handed out to user classes.
+pub const FIRST_USER_CLUSTER: ClusterId = 2;
+
+/// A persistent object identifier: (page, slot).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    page: PageId,
+    slot: u16,
+}
+
+impl Oid {
+    /// Construct an Oid from its parts.
+    pub const fn new(page: PageId, slot: u16) -> Oid {
+        Oid { page, slot }
+    }
+
+    /// The page holding (the head of) the object.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// The slot within the page.
+    pub fn slot(&self) -> u16 {
+        self.slot
+    }
+
+    /// Pack into a u64 (useful as a hash/index key).
+    pub fn to_u64(&self) -> u64 {
+        ((self.page as u64) << 16) | self.slot as u64
+    }
+
+    /// Unpack from [`Oid::to_u64`] form.
+    pub fn from_u64(v: u64) -> Oid {
+        Oid {
+            page: (v >> 16) as PageId,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl std::fmt::Debug for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Oid({}:{})", self.page, self.slot)
+    }
+}
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+impl Encode for Oid {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.page);
+        buf.put_u16_le(self.slot);
+    }
+}
+
+impl Decode for Oid {
+    fn decode(buf: &mut &[u8]) -> Result<Oid> {
+        if buf.len() < 6 {
+            return Err(StorageError::Codec("short Oid".into()));
+        }
+        let page = buf.get_u32_le();
+        let slot = buf.get_u16_le();
+        Ok(Oid { page, slot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_all, encode_to_vec};
+
+    #[test]
+    fn u64_roundtrip() {
+        let oid = Oid::new(123_456, 789);
+        assert_eq!(Oid::from_u64(oid.to_u64()), oid);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let oid = Oid::new(42, 7);
+        let bytes = encode_to_vec(&oid);
+        let back: Oid = decode_all(&bytes).unwrap();
+        assert_eq!(back, oid);
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(Oid::new(1, 9) < Oid::new(2, 0));
+        assert!(Oid::new(1, 1) < Oid::new(1, 2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Oid::new(3, 4).to_string(), "3:4");
+        assert_eq!(format!("{:?}", Oid::new(3, 4)), "Oid(3:4)");
+    }
+}

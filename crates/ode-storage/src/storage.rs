@@ -1,0 +1,1385 @@
+//! The transactional object heap — the facade of the storage substrate.
+//!
+//! [`Storage`] plays the role of the paper's *storage manager* layer: "the
+//! object manager is built on top of a storage manager which provides much
+//! of the required database functionality such as locking, logging,
+//! transactions" (§2). One implementation serves both the EOS-like
+//! disk-backed engine and the Dali-like main-memory engine; they differ
+//! only in the page store behind the same run-time, exactly as Ode and
+//! MM-Ode "share a great deal of run-time system code" (§5.6).
+//!
+//! Capabilities:
+//! * `pnew`/`pdelete`-style allocation of byte records identified by stable
+//!   [`Oid`]s, grouped into clusters (one cluster per class, like O++).
+//! * Strict 2PL via the [`LockManager`]; shared locks for reads, exclusive
+//!   for writes, with deadlock detection.
+//! * Rollback via in-memory undo; durability via the WAL with redo-only
+//!   recovery (no-steal buffer pool, quiesced checkpoints).
+//! * Named roots and a persistent cluster counter for bootstrapping.
+//! * Commit dependencies and system transactions for trigger coupling
+//!   modes (§5.5).
+//!
+//! Record representation inside pages (first byte of every cell):
+//!
+//! | tag | meaning                                    |
+//! |-----|--------------------------------------------|
+//! | 0   | primary inline data                        |
+//! | 1   | forward stub → Oid of the moved record     |
+//! | 2   | primary overflow head (len, chunk Oids)    |
+//! | 3   | moved inline data (forward target)         |
+//! | 4   | overflow chunk                             |
+//! | 5   | moved overflow head                        |
+//!
+//! Cluster scans enumerate primaries (tags 0, 1, 2) so an object is always
+//! reported under its original, stable Oid.
+
+use crate::buffer::{BufferPool, PoolStats};
+use crate::codec::{decode_all, encode_to_vec, Decode, Encode};
+use crate::disk::DiskFile;
+use crate::error::{Result, StorageError};
+use crate::lock::{LockKey, LockManager, LockMode, LockStats};
+use crate::mem::MemStore;
+use crate::oid::{ClusterId, Oid, PageId, FIRST_USER_CLUSTER, SYSTEM_CLUSTER, UNASSIGNED_CLUSTER};
+use crate::page::{Page, PageOpError, MAX_RECORD};
+use crate::txn::{TxnId, TxnManager, TxnState, UndoOp};
+use crate::wal::{LogRecord, Wal};
+use bytes::{BufMut, BytesMut};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const TAG_DATA: u8 = 0;
+const TAG_FORWARD: u8 = 1;
+const TAG_OVF_HEAD: u8 = 2;
+const TAG_MOVED_DATA: u8 = 3;
+const TAG_OVF_CHUNK: u8 = 4;
+const TAG_MOVED_OVF_HEAD: u8 = 5;
+
+/// Max payload bytes in one inline cell (tag byte subtracted).
+const MAX_INLINE: usize = MAX_RECORD - 1;
+
+/// A page is considered to "have space" while this many bytes are free.
+const SPACE_THRESHOLD: usize = 32;
+
+/// The roots directory is always the very first object allocated.
+pub const ROOTS_OID: Oid = Oid::new(1, 0);
+
+/// Which page store backs the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// EOS-like: disk pages behind a buffer pool, WAL durability.
+    Disk,
+    /// Dali-like: main-memory pages; durable via checkpoint + WAL when
+    /// opened with a directory, fully volatile otherwise.
+    Memory,
+}
+
+/// Tuning and policy knobs.
+#[derive(Debug, Clone)]
+pub struct StorageOptions {
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Buffer pool capacity in frames (disk engine only).
+    pub buffer_pages: usize,
+    /// Whether commits fsync the WAL.
+    pub fsync: bool,
+    /// Lock-wait safety-net timeout.
+    pub lock_timeout: Duration,
+    /// Auto-checkpoint after this many commits (0 = only at close).
+    pub checkpoint_every: u64,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        StorageOptions {
+            engine: EngineKind::Disk,
+            buffer_pages: 256,
+            fsync: false,
+            lock_timeout: Duration::from_secs(10),
+            checkpoint_every: 0,
+        }
+    }
+}
+
+impl StorageOptions {
+    /// Defaults with the main-memory engine selected.
+    pub fn memory() -> StorageOptions {
+        StorageOptions {
+            engine: EngineKind::Memory,
+            ..StorageOptions::default()
+        }
+    }
+}
+
+enum Store {
+    Disk(BufferPool),
+    Mem(MemStore),
+}
+
+impl Store {
+    fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        match self {
+            Store::Disk(pool) => pool.with_page(id, f),
+            Store::Mem(mem) => mem.with_page(id, f),
+        }
+    }
+
+    fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        match self {
+            Store::Disk(pool) => pool.with_page_mut(id, f),
+            Store::Mem(mem) => mem.with_page_mut(id, f),
+        }
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        match self {
+            Store::Disk(pool) => pool.allocate_page(),
+            Store::Mem(mem) => mem.allocate_page(),
+        }
+    }
+
+    fn ensure_pages(&self, count: u32) -> Result<()> {
+        match self {
+            Store::Disk(pool) => pool.disk().ensure_pages(count),
+            Store::Mem(mem) => mem.ensure_pages(count),
+        }
+    }
+
+    fn page_count(&self) -> u32 {
+        match self {
+            Store::Disk(pool) => pool.page_count(),
+            Store::Mem(mem) => mem.page_count(),
+        }
+    }
+}
+
+/// In-memory allocation directory, rebuilt from page tags at open.
+#[derive(Default)]
+struct AllocState {
+    /// All pages belonging to each cluster.
+    cluster_pages: HashMap<ClusterId, BTreeSet<PageId>>,
+    /// Pages per cluster believed to have usable space.
+    with_space: HashMap<ClusterId, BTreeSet<PageId>>,
+    /// Pages not yet assigned to any cluster.
+    unassigned: BTreeSet<PageId>,
+}
+
+/// Serialized contents of the roots directory object.
+struct RootsRecord {
+    next_cluster: ClusterId,
+    roots: Vec<(String, Oid)>,
+}
+
+impl Encode for RootsRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.next_cluster);
+        self.roots.encode(buf);
+    }
+}
+
+impl Decode for RootsRecord {
+    fn decode(buf: &mut &[u8]) -> Result<RootsRecord> {
+        Ok(RootsRecord {
+            next_cluster: ClusterId::decode(buf)?,
+            roots: Vec::<(String, Oid)>::decode(buf)?,
+        })
+    }
+}
+
+/// The transactional object heap. See module docs.
+pub struct Storage {
+    store: Store,
+    wal: Option<Wal>,
+    locks: LockManager,
+    txns: TxnManager,
+    alloc: Mutex<AllocState>,
+    options: StorageOptions,
+    /// Directory holding data + log files; None for volatile stores.
+    dir: Option<std::path::PathBuf>,
+    commits_since_checkpoint: AtomicU64,
+    next_lsn: AtomicU64,
+}
+
+impl Storage {
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create a new database in `dir` (which must exist and be empty of
+    /// database files).
+    pub fn create(dir: &Path, options: StorageOptions) -> Result<Storage> {
+        std::fs::create_dir_all(dir)?;
+        let store = match options.engine {
+            EngineKind::Disk => {
+                let disk = DiskFile::create(&dir.join("data.odb"))?;
+                Store::Disk(BufferPool::new(disk, options.buffer_pages))
+            }
+            EngineKind::Memory => Store::Mem(MemStore::new()),
+        };
+        let wal = Wal::open(&dir.join("wal.log"), options.fsync)?;
+        wal.reset()?;
+        let storage = Storage::assemble(store, Some(wal), options, Some(dir.to_path_buf()));
+        storage.bootstrap_roots()?;
+        storage.checkpoint()?;
+        Ok(storage)
+    }
+
+    /// Open an existing database in `dir`, running recovery if the last
+    /// shutdown was not clean.
+    pub fn open(dir: &Path, options: StorageOptions) -> Result<Storage> {
+        let store = match options.engine {
+            EngineKind::Disk => {
+                let disk = DiskFile::open(&dir.join("data.odb"))?;
+                Store::Disk(BufferPool::new(disk, options.buffer_pages))
+            }
+            EngineKind::Memory => {
+                let ckpt = dir.join("mem.ckpt");
+                if ckpt.exists() {
+                    Store::Mem(MemStore::load_from(&ckpt)?)
+                } else {
+                    Store::Mem(MemStore::new())
+                }
+            }
+        };
+        let wal_path = dir.join("wal.log");
+        let records = Wal::read_all(&wal_path)?;
+        let wal = Wal::open(&wal_path, options.fsync)?;
+        let storage = Storage::assemble(store, Some(wal), options, Some(dir.to_path_buf()));
+        storage.replay(&records)?;
+        storage.rebuild_alloc()?;
+        storage.checkpoint()?;
+        Ok(storage)
+    }
+
+    /// A fully volatile main-memory database: no files, no WAL, rollback
+    /// still works. The closest thing to "just give me a database" for
+    /// tests and examples.
+    pub fn volatile() -> Storage {
+        let storage = Storage::assemble(
+            Store::Mem(MemStore::new()),
+            None,
+            StorageOptions::memory(),
+            None,
+        );
+        storage
+            .bootstrap_roots()
+            .expect("bootstrap of a volatile store cannot fail");
+        storage
+    }
+
+    fn assemble(
+        store: Store,
+        wal: Option<Wal>,
+        options: StorageOptions,
+        dir: Option<std::path::PathBuf>,
+    ) -> Storage {
+        Storage {
+            store,
+            wal,
+            locks: LockManager::new(options.lock_timeout),
+            txns: TxnManager::new(options.lock_timeout),
+            alloc: Mutex::new(AllocState::default()),
+            options,
+            dir,
+            commits_since_checkpoint: AtomicU64::new(0),
+            next_lsn: AtomicU64::new(1),
+        }
+    }
+
+    fn bootstrap_roots(&self) -> Result<()> {
+        let txn = self.begin()?;
+        let record = RootsRecord {
+            next_cluster: FIRST_USER_CLUSTER,
+            roots: Vec::new(),
+        };
+        let bytes = encode_to_vec(&record);
+        let oid = self.allocate(txn, SYSTEM_CLUSTER, &bytes)?;
+        debug_assert_eq!(oid, ROOTS_OID, "roots record must land at the fixed Oid");
+        self.commit(txn)
+    }
+
+    /// Replay committed WAL records onto the page store (recovery).
+    fn replay(&self, records: &[LogRecord]) -> Result<()> {
+        use std::collections::HashSet;
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        for record in records {
+            if !committed.contains(&record.txn()) {
+                continue;
+            }
+            match record {
+                LogRecord::PageAlloc { page, cluster, .. } => {
+                    self.store.ensure_pages(page + 1)?;
+                    self.store
+                        .with_page_mut(*page, |p| p.set_cluster(*cluster))?;
+                }
+                LogRecord::CellInsert {
+                    page, slot, data, ..
+                } => {
+                    self.store.ensure_pages(page + 1)?;
+                    self.store
+                        .with_page_mut(*page, |p| p.insert_at(*slot, data))?
+                        .map_err(|e| {
+                            StorageError::Corrupt(format!("replay insert failed: {e:?}"))
+                        })?;
+                }
+                LogRecord::CellUpdate {
+                    page, slot, data, ..
+                } => {
+                    self.store
+                        .with_page_mut(*page, |p| p.update(*slot, data))?
+                        .map_err(|e| {
+                            StorageError::Corrupt(format!("replay update failed: {e:?}"))
+                        })?;
+                }
+                LogRecord::CellDelete { page, slot, .. } => {
+                    self.store
+                        .with_page_mut(*page, |p| p.delete(*slot))?
+                        .map_err(|e| {
+                            StorageError::Corrupt(format!("replay delete failed: {e:?}"))
+                        })?;
+                }
+                LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the allocation directory by scanning page tags.
+    fn rebuild_alloc(&self) -> Result<()> {
+        let mut alloc = AllocState::default();
+        for id in 1..self.store.page_count() {
+            let (cluster, free) = self
+                .store
+                .with_page(id, |p| (p.cluster(), p.usable_free()))?;
+            if cluster == UNASSIGNED_CLUSTER {
+                alloc.unassigned.insert(id);
+            } else {
+                alloc.cluster_pages.entry(cluster).or_default().insert(id);
+                if free >= SPACE_THRESHOLD {
+                    alloc.with_space.entry(cluster).or_default().insert(id);
+                }
+            }
+        }
+        *self.alloc.lock() = alloc;
+        Ok(())
+    }
+
+    /// Flush everything and truncate the log. Requires quiescence (no
+    /// active transactions); returns without effect when busy.
+    pub fn checkpoint(&self) -> Result<()> {
+        if !self.txns.active().is_empty() {
+            return Ok(());
+        }
+        match (&self.store, &self.wal) {
+            (Store::Disk(pool), Some(wal)) => {
+                wal.flush()?;
+                pool.flush_all()?;
+                let mut header = pool.disk().read_header()?;
+                header.page_count = pool.page_count();
+                header.checkpoint_seq += 1;
+                header.clean_shutdown = true;
+                pool.disk().write_header(header)?;
+                if self.options.fsync {
+                    pool.sync()?;
+                }
+                wal.reset()?;
+            }
+            (Store::Mem(mem), Some(wal)) => {
+                wal.flush()?;
+                if let Some(dir) = &self.dir {
+                    mem.checkpoint_to(&dir.join("mem.ckpt"))?;
+                }
+                wal.reset()?;
+            }
+            _ => {}
+        }
+        self.commits_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoint and drop the handle. (Dropping without `close` is safe —
+    /// recovery replays the log — just slower on next open.)
+    pub fn close(self) -> Result<()> {
+        self.checkpoint()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a user transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        let txn = self.txns.begin(false);
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Begin { txn: txn.0 });
+        }
+        Ok(txn)
+    }
+
+    /// Begin a system transaction (trigger processing, §5.5).
+    pub fn begin_system(&self) -> Result<TxnId> {
+        let txn = self.txns.begin(true);
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Begin { txn: txn.0 });
+        }
+        Ok(txn)
+    }
+
+    /// Declare that `txn` may only commit if `on` commits (the `dependent`
+    /// coupling mode's commit dependency).
+    pub fn add_commit_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
+        self.txns.add_dependency(txn, on)
+    }
+
+    /// Commit: wait for dependencies, make the log durable, release locks.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.txns.require_active(txn)?;
+        if let Err(e) = self.txns.await_dependencies(txn) {
+            // Dependency failed: this transaction must abort instead.
+            self.abort(txn)?;
+            return Err(e);
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Commit { txn: txn.0 });
+            wal.flush()?;
+        }
+        self.txns.finish(txn, TxnState::Committed)?;
+        self.locks.unlock_all(txn);
+        let n = self.commits_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.options.checkpoint_every > 0 && n >= self.options.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Abort: apply undo in reverse, release locks.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.txns.require_active(txn)?;
+        let undo = self.txns.take_undo(txn);
+        for op in undo.into_iter().rev() {
+            self.apply_undo(op)?;
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Abort { txn: txn.0 });
+        }
+        self.txns.finish(txn, TxnState::Aborted)?;
+        self.locks.unlock_all(txn);
+        Ok(())
+    }
+
+    fn apply_undo(&self, op: UndoOp) -> Result<()> {
+        match op {
+            UndoOp::UndoInsert { page, slot } => {
+                self.store
+                    .with_page_mut(page, |p| p.delete(slot))?
+                    .map_err(|e| StorageError::Corrupt(format!("undo insert failed: {e:?}")))?;
+                self.note_space(page)?;
+            }
+            UndoOp::UndoUpdate { page, slot, before } => {
+                self.store
+                    .with_page_mut(page, |p| p.update(slot, &before))?
+                    .map_err(|e| StorageError::Corrupt(format!("undo update failed: {e:?}")))?;
+                self.note_space(page)?;
+            }
+            UndoOp::UndoDelete { page, slot, before } => {
+                self.store
+                    .with_page_mut(page, |p| p.insert_at(slot, &before))?
+                    .map_err(|e| StorageError::Corrupt(format!("undo delete failed: {e:?}")))?;
+                self.note_space(page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Refresh a page's entry in the with-space directory.
+    fn note_space(&self, page: PageId) -> Result<()> {
+        let (cluster, free) = self
+            .store
+            .with_page(page, |p| (p.cluster(), p.usable_free()))?;
+        if cluster == UNASSIGNED_CLUSTER {
+            return Ok(());
+        }
+        let mut alloc = self.alloc.lock();
+        let set = alloc.with_space.entry(cluster).or_default();
+        if free >= SPACE_THRESHOLD {
+            set.insert(page);
+        } else {
+            set.remove(&page);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw cell operations (logged + undoable)
+    // ------------------------------------------------------------------
+
+    fn bump_lsn(&self) -> u64 {
+        self.next_lsn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pick (or create) a page of `cluster` that can hold `len` bytes.
+    fn pick_page(&self, txn: TxnId, cluster: ClusterId, len: usize) -> Result<PageId> {
+        {
+            let alloc = self.alloc.lock();
+            if let Some(set) = alloc.with_space.get(&cluster) {
+                // Newest pages first: they are most likely to fit.
+                for &candidate in set.iter().rev() {
+                    let fits = self.store.with_page(candidate, |p| p.can_insert(len))?;
+                    if fits {
+                        return Ok(candidate);
+                    }
+                }
+            }
+        }
+        // Assign an unassigned page or grow the store.
+        let page = {
+            let mut alloc = self.alloc.lock();
+            alloc.unassigned.pop_first()
+        };
+        let page = match page {
+            Some(p) => p,
+            None => self.store.allocate_page()?,
+        };
+        self.store.with_page_mut(page, |p| p.set_cluster(cluster))?;
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::PageAlloc {
+                txn: txn.0,
+                page,
+                cluster,
+            });
+        }
+        let mut alloc = self.alloc.lock();
+        alloc.cluster_pages.entry(cluster).or_default().insert(page);
+        alloc.with_space.entry(cluster).or_default().insert(page);
+        Ok(page)
+    }
+
+    fn raw_insert(&self, txn: TxnId, cluster: ClusterId, cell: &[u8]) -> Result<Oid> {
+        if cell.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(cell.len()));
+        }
+        loop {
+            let page = self.pick_page(txn, cluster, cell.len())?;
+            let lsn = self.bump_lsn();
+            let outcome = self.store.with_page_mut(page, |p| {
+                let r = p.insert(cell);
+                if r.is_ok() {
+                    p.set_lsn(lsn);
+                }
+                r
+            })?;
+            match outcome {
+                Ok(slot) => {
+                    let oid = Oid::new(page, slot);
+                    if let Some(wal) = &self.wal {
+                        wal.append(&LogRecord::CellInsert {
+                            txn: txn.0,
+                            page,
+                            slot,
+                            data: cell.to_vec(),
+                        });
+                    }
+                    self.txns
+                        .push_undo(txn, UndoOp::UndoInsert { page, slot })?;
+                    self.note_space(page)?;
+                    return Ok(oid);
+                }
+                Err(PageOpError::Full) => {
+                    // Raced with a concurrent insert; demote and retry.
+                    self.note_space(page)?;
+                    continue;
+                }
+                Err(e) => {
+                    return Err(StorageError::Corrupt(format!("insert failed: {e:?}")));
+                }
+            }
+        }
+    }
+
+    /// Try to overwrite the cell at `oid`; Ok(false) when it does not fit.
+    fn raw_update(&self, txn: TxnId, oid: Oid, cell: &[u8]) -> Result<bool> {
+        if cell.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(cell.len()));
+        }
+        let lsn = self.bump_lsn();
+        let outcome = self.store.with_page_mut(oid.page(), |p| {
+            let before = p.read(oid.slot()).map(<[u8]>::to_vec);
+            let Some(before) = before else {
+                return Err(StorageError::NoSuchObject(oid));
+            };
+            match p.update(oid.slot(), cell) {
+                Ok(()) => {
+                    p.set_lsn(lsn);
+                    Ok(Some(before))
+                }
+                Err(PageOpError::Full) => Ok(None),
+                Err(e) => Err(StorageError::Corrupt(format!("update failed: {e:?}"))),
+            }
+        })??;
+        match outcome {
+            Some(before) => {
+                if let Some(wal) = &self.wal {
+                    wal.append(&LogRecord::CellUpdate {
+                        txn: txn.0,
+                        page: oid.page(),
+                        slot: oid.slot(),
+                        data: cell.to_vec(),
+                    });
+                }
+                self.txns.push_undo(
+                    txn,
+                    UndoOp::UndoUpdate {
+                        page: oid.page(),
+                        slot: oid.slot(),
+                        before,
+                    },
+                )?;
+                self.note_space(oid.page())?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn raw_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        let lsn = self.bump_lsn();
+        let before = self.store.with_page_mut(oid.page(), |p| {
+            let before = p.read(oid.slot()).map(<[u8]>::to_vec);
+            let Some(before) = before else {
+                return Err(StorageError::NoSuchObject(oid));
+            };
+            p.delete(oid.slot())
+                .map_err(|e| StorageError::Corrupt(format!("delete failed: {e:?}")))?;
+            p.set_lsn(lsn);
+            Ok(before)
+        })??;
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::CellDelete {
+                txn: txn.0,
+                page: oid.page(),
+                slot: oid.slot(),
+            });
+        }
+        self.txns.push_undo(
+            txn,
+            UndoOp::UndoDelete {
+                page: oid.page(),
+                slot: oid.slot(),
+                before,
+            },
+        )?;
+        self.note_space(oid.page())?;
+        Ok(())
+    }
+
+    fn raw_read(&self, oid: Oid) -> Result<Vec<u8>> {
+        self.store.with_page(oid.page(), |p| {
+            p.read(oid.slot())
+                .map(<[u8]>::to_vec)
+                .ok_or(StorageError::NoSuchObject(oid))
+        })?
+    }
+
+    // ------------------------------------------------------------------
+    // Record representation helpers
+    // ------------------------------------------------------------------
+
+    fn cluster_of(&self, page: PageId) -> Result<ClusterId> {
+        self.store.with_page(page, |p| p.cluster())
+    }
+
+    /// Build the primary cell for `data`, allocating overflow chunks when
+    /// needed. `moved` selects the forward-target tag variants.
+    fn build_cell(
+        &self,
+        txn: TxnId,
+        cluster: ClusterId,
+        data: &[u8],
+        moved: bool,
+    ) -> Result<Vec<u8>> {
+        if data.len() <= MAX_INLINE {
+            let mut cell = Vec::with_capacity(1 + data.len());
+            cell.push(if moved { TAG_MOVED_DATA } else { TAG_DATA });
+            cell.extend_from_slice(data);
+            return Ok(cell);
+        }
+        // Overflow: slice into chunks of MAX_INLINE bytes.
+        let mut chunk_oids = Vec::new();
+        for chunk in data.chunks(MAX_INLINE) {
+            let mut cell = Vec::with_capacity(1 + chunk.len());
+            cell.push(TAG_OVF_CHUNK);
+            cell.extend_from_slice(chunk);
+            chunk_oids.push(self.raw_insert(txn, cluster, &cell)?);
+        }
+        let mut head = BytesMut::new();
+        head.put_u8(if moved { TAG_MOVED_OVF_HEAD } else { TAG_OVF_HEAD });
+        head.put_u32_le(data.len() as u32);
+        chunk_oids.encode(&mut head);
+        let head = head.to_vec();
+        if head.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        Ok(head)
+    }
+
+    /// Decode an overflow head cell into (total_len, chunk oids).
+    fn decode_ovf_head(cell: &[u8]) -> Result<(usize, Vec<Oid>)> {
+        let mut buf = &cell[1..];
+        let total = u32::decode(&mut buf)? as usize;
+        let chunks = Vec::<Oid>::decode(&mut buf)?;
+        Ok((total, chunks))
+    }
+
+    /// Free any secondary storage referenced by a primary/moved cell.
+    fn free_secondary(&self, txn: TxnId, cell: &[u8]) -> Result<()> {
+        match cell.first() {
+            Some(&TAG_OVF_HEAD) | Some(&TAG_MOVED_OVF_HEAD) => {
+                let (_, chunks) = Self::decode_ovf_head(cell)?;
+                for chunk in chunks {
+                    self.raw_delete(txn, chunk)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Resolve `oid` to the physical location of its current data cell and
+    /// return that cell's bytes.
+    fn resolve(&self, oid: Oid) -> Result<(Oid, Vec<u8>)> {
+        let cell = self.raw_read(oid)?;
+        match cell.first() {
+            Some(&TAG_FORWARD) => {
+                let target: Oid = decode_all(&cell[1..])?;
+                let cell = self.raw_read(target)?;
+                match cell.first() {
+                    Some(&TAG_MOVED_DATA) | Some(&TAG_MOVED_OVF_HEAD) => Ok((target, cell)),
+                    _ => Err(StorageError::Corrupt(format!(
+                        "forward stub at {oid} points at a non-moved cell"
+                    ))),
+                }
+            }
+            Some(&TAG_DATA) | Some(&TAG_OVF_HEAD) => Ok((oid, cell)),
+            Some(&TAG_MOVED_DATA) | Some(&TAG_MOVED_OVF_HEAD) | Some(&TAG_OVF_CHUNK) => Err(
+                StorageError::Corrupt(format!("oid {oid} addresses a secondary cell")),
+            ),
+            _ => Err(StorageError::Corrupt(format!("empty cell at {oid}"))),
+        }
+    }
+
+    fn assemble_data(&self, cell: &[u8]) -> Result<Vec<u8>> {
+        match cell.first() {
+            Some(&TAG_DATA) | Some(&TAG_MOVED_DATA) => Ok(cell[1..].to_vec()),
+            Some(&TAG_OVF_HEAD) | Some(&TAG_MOVED_OVF_HEAD) => {
+                let (total, chunks) = Self::decode_ovf_head(cell)?;
+                let mut out = Vec::with_capacity(total);
+                for chunk_oid in chunks {
+                    let chunk = self.raw_read(chunk_oid)?;
+                    if chunk.first() != Some(&TAG_OVF_CHUNK) {
+                        return Err(StorageError::Corrupt(format!(
+                            "expected overflow chunk at {chunk_oid}"
+                        )));
+                    }
+                    out.extend_from_slice(&chunk[1..]);
+                }
+                if out.len() != total {
+                    return Err(StorageError::Corrupt(
+                        "overflow chain length mismatch".into(),
+                    ));
+                }
+                Ok(out)
+            }
+            _ => Err(StorageError::Corrupt("unexpected cell tag".into())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public object operations
+    // ------------------------------------------------------------------
+
+    /// Allocate a new persistent object (`pnew`). Returns its stable Oid.
+    pub fn allocate(&self, txn: TxnId, cluster: ClusterId, data: &[u8]) -> Result<Oid> {
+        self.txns.require_active(txn)?;
+        let cell = self.build_cell(txn, cluster, data, false)?;
+        let oid = self.raw_insert(txn, cluster, &cell)?;
+        self.locks
+            .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
+        Ok(oid)
+    }
+
+    /// Read an object's bytes (shared lock).
+    pub fn read(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
+        self.txns.require_active(txn)?;
+        self.locks
+            .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Shared)?;
+        let (_, cell) = self.resolve(oid)?;
+        self.assemble_data(&cell)
+    }
+
+    /// Overwrite an object's bytes (exclusive lock). The Oid stays valid
+    /// even when the record has to move to another page.
+    pub fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
+        self.txns.require_active(txn)?;
+        self.locks
+            .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
+        self.update_unlocked(txn, oid, data)
+    }
+
+    /// The update machinery without object locking (roots updates hold the
+    /// dedicated Roots lock instead).
+    fn update_unlocked(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
+        let (phys, old_cell) = self.resolve(oid)?;
+        let cluster = self.cluster_of(oid.page())?;
+        // Free old overflow chunks first so their space is reusable.
+        self.free_secondary(txn, &old_cell)?;
+        let moved = phys != oid;
+        let new_cell = self.build_cell(txn, cluster, data, moved)?;
+        if self.raw_update(txn, phys, &new_cell)? {
+            return Ok(());
+        }
+        // Did not fit where it was: place elsewhere and (re)point the stub.
+        let target_cell = self.build_cell(txn, cluster, data, true)?;
+        let target = self.raw_insert(txn, cluster, &target_cell)?;
+        let mut stub = Vec::with_capacity(7);
+        stub.push(TAG_FORWARD);
+        stub.extend_from_slice(&encode_to_vec(&target));
+        if !self.raw_update(txn, oid, &stub)? {
+            // A 7-byte stub always fits where a data cell lived.
+            return Err(StorageError::Corrupt(format!(
+                "forward stub did not fit at {oid}"
+            )));
+        }
+        if moved {
+            // The record had already been moved once; free the old copy.
+            self.raw_delete(txn, phys)?;
+        }
+        Ok(())
+    }
+
+    /// Delete an object (`pdelete`).
+    pub fn free(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        self.txns.require_active(txn)?;
+        self.locks
+            .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
+        let (phys, cell) = self.resolve(oid)?;
+        self.free_secondary(txn, &cell)?;
+        self.raw_delete(txn, phys)?;
+        if phys != oid {
+            self.raw_delete(txn, oid)?;
+        }
+        Ok(())
+    }
+
+    /// Does the object exist? (Takes a shared lock.)
+    pub fn exists(&self, txn: TxnId, oid: Oid) -> Result<bool> {
+        self.txns.require_active(txn)?;
+        self.locks
+            .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Shared)?;
+        match self.resolve(oid) {
+            Ok(_) => Ok(true),
+            Err(StorageError::NoSuchObject(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// All object Oids in a cluster (O++'s `for x in cluster` iteration).
+    /// Objects are reported under their stable primary Oids.
+    pub fn scan_cluster(&self, txn: TxnId, cluster: ClusterId) -> Result<Vec<Oid>> {
+        self.txns.require_active(txn)?;
+        self.locks
+            .lock(txn, LockKey::Cluster(cluster), LockMode::Shared)?;
+        let pages: Vec<PageId> = {
+            let alloc = self.alloc.lock();
+            alloc
+                .cluster_pages
+                .get(&cluster)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        };
+        let mut oids = Vec::new();
+        for page in pages {
+            self.store.with_page(page, |p| {
+                for slot in p.occupied_slots() {
+                    if let Some(cell) = p.read(slot) {
+                        match cell.first() {
+                            Some(&TAG_DATA) | Some(&TAG_FORWARD) | Some(&TAG_OVF_HEAD) => {
+                                oids.push(Oid::new(page, slot));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            })?;
+        }
+        Ok(oids)
+    }
+
+    // ------------------------------------------------------------------
+    // Roots and clusters
+    // ------------------------------------------------------------------
+
+    fn read_roots(&self) -> Result<RootsRecord> {
+        let (_, cell) = self.resolve(ROOTS_OID)?;
+        decode_all(&self.assemble_data(&cell)?)
+    }
+
+    fn write_roots(&self, txn: TxnId, record: &RootsRecord) -> Result<()> {
+        self.update_unlocked(txn, ROOTS_OID, &encode_to_vec(record))
+    }
+
+    /// Allocate a fresh cluster id (persisted in the roots record).
+    pub fn create_cluster(&self, txn: TxnId) -> Result<ClusterId> {
+        self.txns.require_active(txn)?;
+        self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
+        let mut record = self.read_roots()?;
+        let id = record.next_cluster;
+        record.next_cluster += 1;
+        self.write_roots(txn, &record)?;
+        Ok(id)
+    }
+
+    /// Look up a named root.
+    pub fn get_root(&self, txn: TxnId, name: &str) -> Result<Oid> {
+        self.txns.require_active(txn)?;
+        self.locks.lock(txn, LockKey::Roots, LockMode::Shared)?;
+        let record = self.read_roots()?;
+        record
+            .roots
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, oid)| *oid)
+            .ok_or_else(|| StorageError::NoSuchRoot(name.to_string()))
+    }
+
+    /// Create or replace a named root.
+    pub fn set_root(&self, txn: TxnId, name: &str, oid: Oid) -> Result<()> {
+        self.txns.require_active(txn)?;
+        self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
+        let mut record = self.read_roots()?;
+        match record.roots.iter_mut().find(|(n, _)| n == name) {
+            Some(entry) => entry.1 = oid,
+            None => record.roots.push((name.to_string(), oid)),
+        }
+        self.write_roots(txn, &record)
+    }
+
+    /// Remove a named root (missing names are fine).
+    pub fn del_root(&self, txn: TxnId, name: &str) -> Result<()> {
+        self.txns.require_active(txn)?;
+        self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
+        let mut record = self.read_roots()?;
+        record.roots.retain(|(n, _)| n != name);
+        self.write_roots(txn, &record)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Lock-manager counters (experiment E4).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Reset lock counters.
+    pub fn reset_lock_stats(&self) {
+        self.locks.reset_stats()
+    }
+
+    /// Buffer pool statistics (disk engine; None for memory).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        match &self.store {
+            Store::Disk(pool) => Some(pool.stats()),
+            Store::Mem(_) => None,
+        }
+    }
+
+    /// Engine kind in use.
+    pub fn engine(&self) -> EngineKind {
+        self.options.engine
+    }
+
+    /// Total pages (including header/reserved page 0).
+    pub fn page_count(&self) -> u32 {
+        self.store.page_count()
+    }
+
+    /// Direct access to the lock manager (the object layer adds its own
+    /// lock protocols for trigger descriptors).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Direct access to the transaction registry.
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.txns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_testutil::TempDir;
+
+    fn disk_storage(dir: &TempDir) -> Storage {
+        Storage::create(dir.path(), StorageOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn allocate_read_roundtrip_volatile() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"payload").unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"payload");
+        s.commit(t).unwrap();
+        let t2 = s.begin().unwrap();
+        assert_eq!(s.read(t2, oid).unwrap(), b"payload");
+        s.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn update_and_free() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"v1").unwrap();
+        s.update(t, oid, b"v2 is longer").unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"v2 is longer");
+        s.free(t, oid).unwrap();
+        assert!(matches!(
+            s.read(t, oid),
+            Err(StorageError::NoSuchObject(_))
+        ));
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let keep = s.allocate(t, c, b"keep").unwrap();
+        s.commit(t).unwrap();
+
+        let t = s.begin().unwrap();
+        let gone = s.allocate(t, c, b"gone").unwrap();
+        s.update(t, keep, b"dirty").unwrap();
+        s.abort(t).unwrap();
+
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, keep).unwrap(), b"keep");
+        assert!(matches!(
+            s.read(t, gone),
+            Err(StorageError::NoSuchObject(_))
+        ));
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn forwarding_keeps_oid_stable() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        // Fill a page almost completely so growth forces relocation.
+        let oid = s.allocate(t, c, &[1u8; 100]).unwrap();
+        let mut fillers = Vec::new();
+        for _ in 0..38 {
+            fillers.push(s.allocate(t, c, &[2u8; 90]).unwrap());
+        }
+        // Grow the first record far past the remaining space on its page.
+        let big = vec![3u8; 2000];
+        s.update(t, oid, &big).unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), big);
+        // Grow it again (already forwarded): stub must be re-pointed.
+        let bigger = vec![4u8; 3000];
+        s.update(t, oid, &bigger).unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), bigger);
+        // Shrink it back; still readable through the same Oid.
+        s.update(t, oid, b"small again").unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"small again");
+        for f in fillers {
+            assert_eq!(s.read(t, f).unwrap(), vec![2u8; 90]);
+        }
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn large_objects_overflow() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let oid = s.allocate(t, c, &data).unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), data);
+        // Update large -> larger.
+        let data2: Vec<u8> = (0..30_000u32).map(|i| (i % 13) as u8).collect();
+        s.update(t, oid, &data2).unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), data2);
+        // Update large -> small inline.
+        s.update(t, oid, b"tiny").unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"tiny");
+        s.free(t, oid).unwrap();
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn scan_cluster_lists_primaries_once() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..50u32 {
+            expected.push(s.allocate(t, c, &i.to_le_bytes()).unwrap());
+        }
+        // Force one object to move (forwarding) and one to overflow.
+        s.update(t, expected[0], &vec![9u8; 3000]).unwrap();
+        s.update(t, expected[1], &vec![8u8; 9000]).unwrap();
+        let mut scanned = s.scan_cluster(t, c).unwrap();
+        scanned.sort();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort();
+        assert_eq!(scanned, expected_sorted);
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn scan_does_not_cross_clusters() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c1 = s.create_cluster(t).unwrap();
+        let c2 = s.create_cluster(t).unwrap();
+        s.allocate(t, c1, b"one").unwrap();
+        s.allocate(t, c2, b"two").unwrap();
+        assert_eq!(s.scan_cluster(t, c1).unwrap().len(), 1);
+        assert_eq!(s.scan_cluster(t, c2).unwrap().len(), 1);
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn roots_roundtrip() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"rooted").unwrap();
+        s.set_root(t, "main", oid).unwrap();
+        assert_eq!(s.get_root(t, "main").unwrap(), oid);
+        s.set_root(t, "main", ROOTS_OID).unwrap();
+        assert_eq!(s.get_root(t, "main").unwrap(), ROOTS_OID);
+        s.del_root(t, "main").unwrap();
+        assert!(matches!(
+            s.get_root(t, "main"),
+            Err(StorageError::NoSuchRoot(_))
+        ));
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn disk_persistence_across_reopen() {
+        let dir = TempDir::new("store");
+        let oid;
+        let cluster;
+        {
+            let s = disk_storage(&dir);
+            let t = s.begin().unwrap();
+            cluster = s.create_cluster(t).unwrap();
+            oid = s.allocate(t, cluster, b"persistent").unwrap();
+            s.set_root(t, "obj", oid).unwrap();
+            s.commit(t).unwrap();
+            s.close().unwrap();
+        }
+        {
+            let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+            let t = s.begin().unwrap();
+            assert_eq!(s.get_root(t, "obj").unwrap(), oid);
+            assert_eq!(s.read(t, oid).unwrap(), b"persistent");
+            assert_eq!(s.scan_cluster(t, cluster).unwrap(), vec![oid]);
+            // Cluster counter continues, does not collide.
+            let c2 = s.create_cluster(t).unwrap();
+            assert!(c2 > cluster);
+            s.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_only() {
+        let dir = TempDir::new("store");
+        let committed;
+        let uncommitted;
+        {
+            let s = disk_storage(&dir);
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            committed = s.allocate(t, c, b"committed").unwrap();
+            s.set_root(t, "c", committed).unwrap();
+            s.commit(t).unwrap();
+            let t2 = s.begin().unwrap();
+            uncommitted = s.allocate(t2, c, b"uncommitted").unwrap();
+            // Simulate a crash: drop without commit, abort, or checkpoint.
+            let _ = uncommitted;
+            std::mem::forget(s);
+        }
+        {
+            let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+            let t = s.begin().unwrap();
+            assert_eq!(s.read(t, committed).unwrap(), b"committed");
+            assert!(matches!(
+                s.read(t, uncommitted),
+                Err(StorageError::NoSuchObject(_))
+            ));
+            s.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_engine_checkpoint_persistence() {
+        let dir = TempDir::new("store");
+        let oid;
+        {
+            let s = Storage::create(dir.path(), StorageOptions::memory()).unwrap();
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            oid = s.allocate(t, c, b"mm-ode").unwrap();
+            s.set_root(t, "x", oid).unwrap();
+            s.commit(t).unwrap();
+            s.close().unwrap();
+        }
+        {
+            let s = Storage::open(dir.path(), StorageOptions::memory()).unwrap();
+            let t = s.begin().unwrap();
+            assert_eq!(s.read(t, oid).unwrap(), b"mm-ode");
+            s.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn memory_engine_crash_recovery_via_wal() {
+        let dir = TempDir::new("store");
+        let oid;
+        {
+            let s = Storage::create(dir.path(), StorageOptions::memory()).unwrap();
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            oid = s.allocate(t, c, b"logged").unwrap();
+            s.set_root(t, "x", oid).unwrap();
+            s.commit(t).unwrap();
+            std::mem::forget(s); // crash: no checkpoint taken
+        }
+        {
+            let s = Storage::open(dir.path(), StorageOptions::memory()).unwrap();
+            let t = s.begin().unwrap();
+            assert_eq!(s.read(t, oid).unwrap(), b"logged");
+            s.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn operations_require_active_txn() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"x").unwrap();
+        s.commit(t).unwrap();
+        assert!(matches!(
+            s.read(t, oid),
+            Err(StorageError::TxnNotActive(_))
+        ));
+        assert!(matches!(s.commit(t), Err(StorageError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn two_phase_locking_blocks_writers() {
+        use std::sync::Arc;
+        let s = Arc::new(Storage::volatile());
+        let t1 = s.begin().unwrap();
+        let c = s.create_cluster(t1).unwrap();
+        let oid = s.allocate(t1, c, b"shared").unwrap();
+        s.commit(t1).unwrap();
+
+        let reader = s.begin().unwrap();
+        s.read(reader, oid).unwrap();
+        let s2 = Arc::clone(&s);
+        let writer = std::thread::spawn(move || {
+            let w = s2.begin().unwrap();
+            s2.update(w, oid, b"written").unwrap();
+            s2.commit(w).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!writer.is_finished(), "writer must wait for reader's S lock");
+        s.commit(reader).unwrap();
+        writer.join().unwrap();
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"written");
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn commit_dependency_aborts_dependent() {
+        let s = Storage::volatile();
+        let a = s.begin().unwrap();
+        let b = s.begin_system().unwrap();
+        s.add_commit_dependency(b, a).unwrap();
+        s.abort(a).unwrap();
+        assert!(matches!(
+            s.commit(b),
+            Err(StorageError::DependencyAborted { .. })
+        ));
+        // b was auto-aborted by the failed commit.
+        assert_eq!(s.txn_manager().state(b), Some(TxnState::Aborted));
+    }
+
+    #[test]
+    fn auto_checkpoint_truncates_log() {
+        let dir = TempDir::new("store");
+        let opts = StorageOptions {
+            checkpoint_every: 2,
+            ..StorageOptions::default()
+        };
+        let s = Storage::create(dir.path(), opts).unwrap();
+        for i in 0..5u32 {
+            let t = s.begin().unwrap();
+            let c = if i == 0 {
+                s.create_cluster(t).unwrap()
+            } else {
+                FIRST_USER_CLUSTER
+            };
+            s.allocate(t, c, b"row").unwrap();
+            s.commit(t).unwrap();
+        }
+        // After ≥2 commits a checkpoint ran; log holds at most 2 commits'
+        // worth of records.
+        let records = Wal::read_all(&dir.path().join("wal.log")).unwrap();
+        let commits = records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Commit { .. }))
+            .count();
+        assert!(commits < 5, "log should have been truncated, got {commits}");
+    }
+
+    #[test]
+    fn many_objects_spread_over_pages() {
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let mut oids = Vec::new();
+        for i in 0..2000u32 {
+            oids.push(s.allocate(t, c, &encode_to_vec(&i)).unwrap());
+        }
+        s.commit(t).unwrap();
+        let t = s.begin().unwrap();
+        for (i, oid) in oids.iter().enumerate() {
+            let v: u32 = decode_all(&s.read(t, *oid).unwrap()).unwrap();
+            assert_eq!(v as usize, i);
+        }
+        assert!(s.page_count() > 2, "objects must span multiple pages");
+        s.commit(t).unwrap();
+    }
+}

@@ -1,0 +1,355 @@
+//! Transaction bookkeeping shared by both storage engines.
+//!
+//! Transactions here are the substrate for everything §5.5 of the paper
+//! needs: ordinary user transactions, *system transactions* ("a transaction
+//! not explicitly requested by the user, but required for trigger
+//! processing" — how `dependent` and `!dependent` actions run), and commit
+//! dependencies (a `dependent` trigger's transaction "can commit only if
+//! the event detecting transaction does").
+//!
+//! Rollback is implemented with in-memory undo records captured at
+//! operation time; because the buffer pool never steals dirty pages, undo
+//! never needs to touch the log.
+
+use crate::error::{Result, StorageError};
+use crate::oid::PageId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running; may still read and write.
+    Active,
+    /// Durably finished; effects visible.
+    Committed,
+    /// Rolled back; effects undone.
+    Aborted,
+}
+
+/// One cell-level undo action, applied in reverse order on abort.
+#[allow(missing_docs)] // fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoOp {
+    /// Undo an insert: delete the cell again.
+    UndoInsert { page: PageId, slot: u16 },
+    /// Undo an update: restore the previous cell bytes.
+    UndoUpdate {
+        page: PageId,
+        slot: u16,
+        before: Vec<u8>,
+    },
+    /// Undo a delete: re-insert the previous cell bytes at the same slot.
+    UndoDelete {
+        page: PageId,
+        slot: u16,
+        before: Vec<u8>,
+    },
+}
+
+struct TxnRecord {
+    state: TxnState,
+    system: bool,
+    undo: Vec<UndoOp>,
+    /// Transactions this one may only commit after (commit dependencies).
+    depends_on: Vec<TxnId>,
+}
+
+/// Registry of transactions and their states.
+pub struct TxnManager {
+    next: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnRecord>>,
+    cv: Condvar,
+    dep_timeout: Duration,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager::new(Duration::from_secs(10))
+    }
+}
+
+impl TxnManager {
+    /// Create a manager; `dep_timeout` bounds waits on commit dependencies.
+    pub fn new(dep_timeout: Duration) -> TxnManager {
+        TxnManager {
+            next: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            dep_timeout,
+        }
+    }
+
+    /// Start a transaction. `system` marks trigger-processing transactions.
+    pub fn begin(&self, system: bool) -> TxnId {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.txns.lock().insert(
+            id,
+            TxnRecord {
+                state: TxnState::Active,
+                system,
+                undo: Vec::new(),
+                depends_on: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Current state, if the transaction is known.
+    pub fn state(&self, txn: TxnId) -> Option<TxnState> {
+        self.txns.lock().get(&txn).map(|r| r.state)
+    }
+
+    /// Whether the transaction was started as a system transaction.
+    pub fn is_system(&self, txn: TxnId) -> bool {
+        self.txns.lock().get(&txn).is_some_and(|r| r.system)
+    }
+
+    /// Fail unless `txn` is active.
+    pub fn require_active(&self, txn: TxnId) -> Result<()> {
+        match self.state(txn) {
+            Some(TxnState::Active) => Ok(()),
+            _ => Err(StorageError::TxnNotActive(txn)),
+        }
+    }
+
+    /// Record an undo action for `txn`.
+    pub fn push_undo(&self, txn: TxnId, op: UndoOp) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let rec = txns
+            .get_mut(&txn)
+            .ok_or(StorageError::TxnNotActive(txn))?;
+        if rec.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        rec.undo.push(op);
+        Ok(())
+    }
+
+    /// Take the undo list (newest last) for rollback.
+    pub fn take_undo(&self, txn: TxnId) -> Vec<UndoOp> {
+        self.txns
+            .lock()
+            .get_mut(&txn)
+            .map(|r| std::mem::take(&mut r.undo))
+            .unwrap_or_default()
+    }
+
+    /// Declare that `txn` may only commit if `on` commits.
+    pub fn add_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let rec = txns
+            .get_mut(&txn)
+            .ok_or(StorageError::TxnNotActive(txn))?;
+        rec.depends_on.push(on);
+        Ok(())
+    }
+
+    /// Block until every dependency of `txn` has resolved; error if any
+    /// aborted.
+    pub fn await_dependencies(&self, txn: TxnId) -> Result<()> {
+        let deps: Vec<TxnId> = self
+            .txns
+            .lock()
+            .get(&txn)
+            .map(|r| r.depends_on.clone())
+            .unwrap_or_default();
+        let mut txns = self.txns.lock();
+        for dep in deps {
+            let start = std::time::Instant::now();
+            loop {
+                match txns.get(&dep).map(|r| r.state) {
+                    Some(TxnState::Committed) => break,
+                    Some(TxnState::Aborted) | None => {
+                        return Err(StorageError::DependencyAborted { txn, on: dep });
+                    }
+                    Some(TxnState::Active) => {
+                        if self
+                            .cv
+                            .wait_for(&mut txns, Duration::from_millis(20))
+                            .timed_out()
+                            && start.elapsed() >= self.dep_timeout
+                        {
+                            return Err(StorageError::LockTimeout(txn));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transition to a final state and wake dependency waiters. The undo
+    /// list is dropped (commit) — callers take it before aborting.
+    pub fn finish(&self, txn: TxnId, state: TxnState) -> Result<()> {
+        debug_assert_ne!(state, TxnState::Active);
+        {
+            let mut txns = self.txns.lock();
+            let rec = txns
+                .get_mut(&txn)
+                .ok_or(StorageError::TxnNotActive(txn))?;
+            if rec.state != TxnState::Active {
+                return Err(StorageError::TxnNotActive(txn));
+            }
+            rec.state = state;
+            rec.undo.clear();
+        }
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Ids of all currently active transactions.
+    pub fn active(&self) -> Vec<TxnId> {
+        self.txns
+            .lock()
+            .iter()
+            .filter(|(_, r)| r.state == TxnState::Active)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Drop finished-transaction records older than the newest `keep`
+    /// (dependency checks only ever look back a short window).
+    pub fn prune(&self, keep: usize) {
+        let mut txns = self.txns.lock();
+        if txns.len() <= keep {
+            return;
+        }
+        let mut finished: Vec<TxnId> = txns
+            .iter()
+            .filter(|(_, r)| r.state != TxnState::Active)
+            .map(|(&id, _)| id)
+            .collect();
+        finished.sort_unstable();
+        let excess = txns.len().saturating_sub(keep);
+        for id in finished.into_iter().take(excess) {
+            txns.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn begin_assigns_unique_ids() {
+        let tm = TxnManager::default();
+        let a = tm.begin(false);
+        let b = tm.begin(true);
+        assert_ne!(a, b);
+        assert!(!tm.is_system(a));
+        assert!(tm.is_system(b));
+        assert_eq!(tm.state(a), Some(TxnState::Active));
+    }
+
+    #[test]
+    fn finish_transitions_once() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        tm.finish(t, TxnState::Committed).unwrap();
+        assert_eq!(tm.state(t), Some(TxnState::Committed));
+        assert!(tm.finish(t, TxnState::Aborted).is_err());
+    }
+
+    #[test]
+    fn undo_list_roundtrip() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        tm.push_undo(t, UndoOp::UndoInsert { page: 1, slot: 2 })
+            .unwrap();
+        tm.push_undo(
+            t,
+            UndoOp::UndoUpdate {
+                page: 1,
+                slot: 2,
+                before: vec![9],
+            },
+        )
+        .unwrap();
+        let undo = tm.take_undo(t);
+        assert_eq!(undo.len(), 2);
+        assert!(tm.take_undo(t).is_empty());
+    }
+
+    #[test]
+    fn push_undo_rejects_finished_txn() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        tm.finish(t, TxnState::Committed).unwrap();
+        assert!(tm
+            .push_undo(t, UndoOp::UndoInsert { page: 1, slot: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn dependency_on_committed_passes() {
+        let tm = TxnManager::default();
+        let a = tm.begin(false);
+        tm.finish(a, TxnState::Committed).unwrap();
+        let b = tm.begin(true);
+        tm.add_dependency(b, a).unwrap();
+        tm.await_dependencies(b).unwrap();
+    }
+
+    #[test]
+    fn dependency_on_aborted_fails() {
+        let tm = TxnManager::default();
+        let a = tm.begin(false);
+        tm.finish(a, TxnState::Aborted).unwrap();
+        let b = tm.begin(true);
+        tm.add_dependency(b, a).unwrap();
+        assert!(matches!(
+            tm.await_dependencies(b),
+            Err(StorageError::DependencyAborted { .. })
+        ));
+    }
+
+    #[test]
+    fn dependency_waits_for_resolution() {
+        let tm = Arc::new(TxnManager::default());
+        let a = tm.begin(false);
+        let b = tm.begin(true);
+        tm.add_dependency(b, a).unwrap();
+        let tm2 = Arc::clone(&tm);
+        let handle = std::thread::spawn(move || tm2.await_dependencies(b));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished());
+        tm.finish(a, TxnState::Committed).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn active_lists_only_active() {
+        let tm = TxnManager::default();
+        let a = tm.begin(false);
+        let b = tm.begin(false);
+        tm.finish(a, TxnState::Committed).unwrap();
+        assert_eq!(tm.active(), vec![b]);
+    }
+
+    #[test]
+    fn prune_keeps_active() {
+        let tm = TxnManager::default();
+        let keep_me = tm.begin(false);
+        for _ in 0..100 {
+            let t = tm.begin(false);
+            tm.finish(t, TxnState::Committed).unwrap();
+        }
+        tm.prune(10);
+        assert_eq!(tm.state(keep_me), Some(TxnState::Active));
+    }
+}

@@ -1,0 +1,334 @@
+//! Property-based tests for the storage substrate: the page, index, and
+//! recovery layers are compared against in-memory reference models under
+//! random operation sequences.
+
+use ode_storage::btree::{u64_key, BTree};
+use ode_storage::hashindex::HashIndex;
+use ode_storage::oid::Oid;
+use ode_storage::page::{Page, PAGE_SIZE};
+use ode_storage::storage::{Storage, StorageOptions};
+use ode_testutil::TempDir;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+// ---------------------------------------------------------------------
+// Slotted pages vs a HashMap model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Update(u8, Vec<u8>),
+    Delete(u8),
+}
+
+fn page_ops() -> impl Strategy<Value = Vec<PageOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..300).prop_map(PageOp::Insert),
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..300))
+                .prop_map(|(s, d)| PageOp::Update(s, d)),
+            any::<u8>().prop_map(PageOp::Delete),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn page_matches_model(ops in page_ops()) {
+        let mut page = Page::new();
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(data) => {
+                    match page.insert(&data) {
+                        Ok(slot) => {
+                            prop_assert!(!model.contains_key(&slot), "slot reuse while occupied");
+                            model.insert(slot, data);
+                        }
+                        Err(_) => {
+                            // Full is only acceptable when the page really
+                            // can't hold the record.
+                            prop_assert!(!page.can_insert(data.len()));
+                        }
+                    }
+                }
+                PageOp::Update(slot, data) => {
+                    let slot = slot as u16 % 40;
+                    let r = page.update(slot, &data);
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(slot) {
+                        if r.is_ok() {
+                            e.insert(data);
+                        }
+                        // Err(Full) acceptable; contents must be unchanged.
+                    } else {
+                        prop_assert!(r.is_err(), "update of free slot must fail");
+                    }
+                }
+                PageOp::Delete(slot) => {
+                    let slot = slot as u16 % 40;
+                    let r = page.delete(slot);
+                    prop_assert_eq!(r.is_ok(), model.remove(&slot).is_some());
+                }
+            }
+            // Full consistency check after every op.
+            for (slot, data) in &model {
+                prop_assert_eq!(page.read(*slot), Some(data.as_slice()));
+            }
+            let live: usize = model.len();
+            prop_assert_eq!(page.occupied_slots().len(), live);
+            prop_assert!(page.usable_free() <= PAGE_SIZE);
+        }
+        // Round-trip the final image through bytes.
+        let reloaded = Page::from_bytes(page.as_bytes());
+        for (slot, data) in &model {
+            prop_assert_eq!(reloaded.read(*slot), Some(data.as_slice()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transactional heap + recovery vs a model of committed effects
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TxnScriptOp {
+    Allocate(Vec<u8>),
+    Update(u8, Vec<u8>),
+    Free(u8),
+}
+
+fn txn_scripts() -> impl Strategy<Value = Vec<(bool, Vec<TxnScriptOp>)>> {
+    // Sizes up to 6000 bytes exercise in-page records, forwarding
+    // relocations, and multi-page overflow chains.
+    let op = prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..6000).prop_map(TxnScriptOp::Allocate),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..6000))
+            .prop_map(|(i, d)| TxnScriptOp::Update(i, d)),
+        any::<u8>().prop_map(TxnScriptOp::Free),
+    ];
+    prop::collection::vec((any::<bool>(), prop::collection::vec(op, 1..8)), 1..10)
+}
+
+/// Run the scripts against a storage; returns the surviving (oid -> bytes)
+/// model of committed state.
+fn run_scripts(
+    storage: &Storage,
+    scripts: &[(bool, Vec<TxnScriptOp>)],
+) -> HashMap<Oid, Vec<u8>> {
+    let mut committed: HashMap<Oid, Vec<u8>> = HashMap::new();
+    let cluster = {
+        let t = storage.begin().unwrap();
+        let c = storage.create_cluster(t).unwrap();
+        storage.commit(t).unwrap();
+        c
+    };
+    for (commit, ops) in scripts {
+        let txn = storage.begin().unwrap();
+        let mut view = committed.clone();
+        for op in ops {
+            match op {
+                TxnScriptOp::Allocate(data) => {
+                    let oid = storage.allocate(txn, cluster, data).unwrap();
+                    view.insert(oid, data.clone());
+                }
+                TxnScriptOp::Update(i, data) => {
+                    let mut oids: Vec<&Oid> = view.keys().collect();
+                    oids.sort();
+                    if oids.is_empty() {
+                        continue;
+                    }
+                    let oid = *oids[*i as usize % oids.len()];
+                    storage.update(txn, oid, data).unwrap();
+                    view.insert(oid, data.clone());
+                }
+                TxnScriptOp::Free(i) => {
+                    let mut oids: Vec<&Oid> = view.keys().collect();
+                    oids.sort();
+                    if oids.is_empty() {
+                        continue;
+                    }
+                    let oid = *oids[*i as usize % oids.len()];
+                    storage.free(txn, oid).unwrap();
+                    view.remove(&oid);
+                }
+            }
+        }
+        if *commit {
+            storage.commit(txn).unwrap();
+            committed = view;
+        } else {
+            storage.abort(txn).unwrap();
+        }
+    }
+    committed
+}
+
+fn check_state(storage: &Storage, model: &HashMap<Oid, Vec<u8>>) {
+    let txn = storage.begin().unwrap();
+    for (oid, data) in model {
+        assert_eq!(&storage.read(txn, *oid).unwrap(), data, "object {oid}");
+    }
+    storage.commit(txn).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aborts_roll_back_to_committed_state(scripts in txn_scripts()) {
+        let storage = Storage::volatile();
+        let model = run_scripts(&storage, &scripts);
+        check_state(&storage, &model);
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_committed_state(scripts in txn_scripts()) {
+        let dir = TempDir::new("prop-recovery");
+        let model;
+        {
+            let storage = Storage::create(dir.path(), StorageOptions::default()).unwrap();
+            model = run_scripts(&storage, &scripts);
+            // Crash: no checkpoint, no close.
+            std::mem::forget(storage);
+        }
+        {
+            let storage = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+            check_state(&storage, &model);
+        }
+    }
+
+    #[test]
+    fn clean_reopen_reproduces_committed_state(scripts in txn_scripts()) {
+        let dir = TempDir::new("prop-reopen");
+        let model;
+        {
+            let storage = Storage::create(dir.path(), StorageOptions::memory()).unwrap();
+            model = run_scripts(&storage, &scripts);
+            storage.close().unwrap();
+        }
+        {
+            let storage = Storage::open(dir.path(), StorageOptions::memory()).unwrap();
+            check_state(&storage, &model);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hash index and B-tree vs std collections
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum IndexOp {
+    Insert(u16, u32),
+    Remove(u16, u32),
+    RemoveAll(u16),
+}
+
+fn index_ops() -> impl Strategy<Value = Vec<IndexOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| IndexOp::Insert(k % 64, v % 16)),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| IndexOp::Remove(k % 64, v % 16)),
+            any::<u16>().prop_map(|k| IndexOp::RemoveAll(k % 64)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hash_index_matches_model(ops in index_ops()) {
+        let storage = Storage::volatile();
+        let txn = storage.begin().unwrap();
+        let cluster = storage.create_cluster(txn).unwrap();
+        let index = HashIndex::create(&storage, txn, cluster).unwrap();
+        let mut model: HashMap<u64, Vec<Oid>> = HashMap::new();
+        for op in ops {
+            match op {
+                IndexOp::Insert(k, v) => {
+                    let key = k as u64;
+                    let value = Oid::from_u64(v as u64);
+                    index.insert(&storage, txn, key, value).unwrap();
+                    let entry = model.entry(key).or_default();
+                    if !entry.contains(&value) {
+                        entry.push(value);
+                    }
+                }
+                IndexOp::Remove(k, v) => {
+                    let key = k as u64;
+                    let value = Oid::from_u64(v as u64);
+                    let removed = index.remove(&storage, txn, key, value).unwrap();
+                    let model_removed = match model.get_mut(&key) {
+                        Some(values) => match values.iter().position(|x| *x == value) {
+                            Some(i) => {
+                                values.remove(i);
+                                if values.is_empty() {
+                                    model.remove(&key);
+                                }
+                                true
+                            }
+                            None => false,
+                        },
+                        None => false,
+                    };
+                    prop_assert_eq!(removed, model_removed);
+                }
+                IndexOp::RemoveAll(k) => {
+                    let key = k as u64;
+                    let removed = index.remove_all(&storage, txn, key).unwrap();
+                    let expected = model.remove(&key).map(|v| v.len()).unwrap_or(0);
+                    prop_assert_eq!(removed, expected);
+                }
+            }
+        }
+        // Final state comparison.
+        prop_assert_eq!(index.key_count(&storage, txn).unwrap(), model.len() as u64);
+        for (key, values) in &model {
+            prop_assert_eq!(&index.get(&storage, txn, *key).unwrap(), values);
+        }
+        storage.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| (0u8, k % 256, v)),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| (1u8, k % 256, v)),
+        ],
+        0..200,
+    )) {
+        let storage = Storage::volatile();
+        let txn = storage.begin().unwrap();
+        let cluster = storage.create_cluster(txn).unwrap();
+        let tree = BTree::create(&storage, txn, cluster).unwrap();
+        let mut model: BTreeMap<u64, Oid> = BTreeMap::new();
+        for (kind, k, v) in ops {
+            let key = k as u64;
+            match kind {
+                0 => {
+                    let value = Oid::from_u64(v as u64);
+                    let prev = tree.insert(&storage, txn, &u64_key(key), value).unwrap();
+                    prop_assert_eq!(prev, model.insert(key, value));
+                }
+                _ => {
+                    let removed = tree.remove(&storage, txn, &u64_key(key)).unwrap();
+                    prop_assert_eq!(removed, model.remove(&key));
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(&storage, txn).unwrap(), model.len() as u64);
+        let scanned = tree.scan_all(&storage, txn).unwrap();
+        let expected: Vec<(Vec<u8>, Oid)> = model
+            .iter()
+            .map(|(k, v)| (u64_key(*k).to_vec(), *v))
+            .collect();
+        prop_assert_eq!(scanned, expected);
+        storage.commit(txn).unwrap();
+    }
+}

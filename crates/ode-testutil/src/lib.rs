@@ -1,0 +1,69 @@
+//! Minimal test support utilities (kept dependency-free).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory that is removed on drop.
+///
+/// Each instance gets a unique path under the system temp dir, namespaced by
+/// process id so parallel test binaries never collide.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh empty directory with `prefix` in its name.
+    pub fn new(prefix: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "ode-{}-{}-{}",
+            prefix,
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_creates_and_removes() {
+        let kept;
+        {
+            let d = TempDir::new("t");
+            kept = d.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(d.file("x"), b"y").unwrap();
+        }
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn tempdirs_are_distinct() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+    }
+}

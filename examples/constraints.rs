@@ -1,0 +1,243 @@
+//! Constraints as triggers — the paper's closing thought: "we need to
+//! support intra- and inter-object constraints as a special case of
+//! triggers" (§8), with the recommended machinery: local rules for cheap
+//! intra-transaction checks, timed triggers for deadlines, and monitored
+//! classes for volatile state.
+//!
+//! Run with: `cargo run --example constraints`
+
+use bytes::BytesMut;
+use ode::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Order {
+    item: String,
+    qty: i32,
+    paid: bool,
+    shipped: bool,
+}
+impl Encode for Order {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.item.encode(buf);
+        self.qty.encode(buf);
+        self.paid.encode(buf);
+        self.shipped.encode(buf);
+    }
+}
+impl Decode for Order {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Order {
+            item: String::decode(buf)?,
+            qty: i32::decode(buf)?,
+            paid: bool::decode(buf)?,
+            shipped: bool::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Order {
+    const CLASS: &'static str = "Order";
+}
+
+fn main() -> ode::core::Result<()> {
+    let db = Database::volatile();
+
+    let order_class = ClassBuilder::new("Order")
+        .after_event("Ship")
+        .after_event("Amend")
+        .timer_event("nightly")
+        .mask("Unpaid", |ctx| {
+            let o: Order = ctx.object()?;
+            Ok(!o.paid)
+        })
+        .mask("BadQty", |ctx| {
+            let o: Order = ctx.object()?;
+            Ok(o.qty <= 0)
+        })
+        // Intra-object constraint: never ship an unpaid order. End-coupled,
+        // so it judges the state the transaction tries to commit.
+        .trigger(
+            "NoShipUnpaid",
+            "after Ship & Unpaid()",
+            CouplingMode::End,
+            Perpetual::Yes,
+            |ctx| {
+                let o: Order = ctx.object()?;
+                if o.shipped && !o.paid {
+                    println!("  [constraint] {} shipped unpaid — abort", o.item);
+                    Err(ctx.tabort("ship-unpaid constraint"))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        // Cheap transient validation via a *local rule*: quantity sanity
+        // inside this transaction only (no storage, no write locks).
+        .trigger(
+            "QtySanity",
+            "after Amend & BadQty()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                let o: Order = ctx.object()?;
+                println!("  [local rule] bad quantity {} on {}", o.qty, o.item);
+                Err(ctx.tabort("qty must be positive"))
+            },
+        )
+        // Deadline: an order shipped but still unpaid when two nightly
+        // ticks pass gets escalated.
+        .trigger(
+            "Escalate",
+            "(after Ship & Unpaid()), timer nightly, timer nightly",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            |ctx| {
+                let o: Order = ctx.object()?;
+                println!("  [timed] escalating unpaid shipment of {}", o.item);
+                Ok(())
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&order_class)?;
+
+    // --- local rule demo -------------------------------------------------
+    let order = db.with_txn(|txn| {
+        db.pnew(
+            txn,
+            &Order {
+                item: "widget".into(),
+                qty: 3,
+                paid: true,
+                shipped: false,
+            },
+        )
+    })?;
+
+    println!("amending to qty=0 under a local rule (aborts):");
+    let err = db
+        .with_txn(|txn| {
+            db.activate_local(txn, order, "QtySanity", &())?;
+            db.invoke(txn, order, "Amend", |o: &mut Order| {
+                o.qty = 0;
+                Ok(())
+            })
+        })
+        .unwrap_err();
+    println!("  -> {err}");
+    // The rule evaporated with its transaction: the same amend in a fresh
+    // transaction (without activating the rule) is not checked.
+    db.with_txn(|txn| {
+        db.invoke(txn, order, "Amend", |o: &mut Order| {
+            o.qty = 5;
+            Ok(())
+        })
+    })?;
+
+    // --- persistent end-coupled constraint -------------------------------
+    db.with_txn(|txn| {
+        db.activate(txn, order, "NoShipUnpaid", &())?;
+        db.activate(txn, order, "Escalate", &())?;
+        Ok(())
+    })?;
+
+    println!("shipping a paid order (fine):");
+    db.with_txn(|txn| {
+        db.invoke(txn, order, "Ship", |o: &mut Order| {
+            o.shipped = true;
+            Ok(())
+        })
+    })?;
+
+    let order2 = db.with_txn(|txn| {
+        let o = db.pnew(
+            txn,
+            &Order {
+                item: "gadget".into(),
+                qty: 1,
+                paid: false,
+                shipped: false,
+            },
+        )?;
+        db.activate(txn, o, "NoShipUnpaid", &())?;
+        db.activate(txn, o, "Escalate", &())?;
+        Ok(o)
+    })?;
+    println!("shipping an unpaid order (constraint aborts at commit):");
+    let err = db
+        .with_txn(|txn| {
+            db.invoke(txn, order2, "Ship", |o: &mut Order| {
+                o.shipped = true;
+                Ok(())
+            })
+        })
+        .unwrap_err();
+    println!("  -> {err}");
+
+    println!("ship-unpaid in a transaction that also pays (heals; commits):");
+    db.with_txn(|txn| {
+        db.invoke(txn, order2, "Ship", |o: &mut Order| {
+            o.shipped = true;
+            Ok(())
+        })?;
+        db.update_with(txn, order2, |o| o.paid = true)?;
+        Ok(())
+    })?;
+
+    // --- timed escalation -------------------------------------------------
+    let order3 = db.with_txn(|txn| {
+        let o = db.pnew(
+            txn,
+            &Order {
+                item: "gizmo".into(),
+                qty: 2,
+                paid: false,
+                shipped: false,
+            },
+        )?;
+        db.activate(txn, o, "Escalate", &())?;
+        Ok(o)
+    })?;
+    db.with_txn(|txn| {
+        // Ship without the payment constraint on this one.
+        db.invoke(txn, order3, "Ship", |o: &mut Order| {
+            o.shipped = true;
+            Ok(())
+        })
+    })?;
+    println!("two nightly ticks pass:");
+    db.with_txn(|txn| {
+        db.tick(txn, "nightly")?;
+        Ok(())
+    })?;
+    db.with_txn(|txn| {
+        db.tick(txn, "nightly")?;
+        Ok(())
+    })?;
+
+    // --- monitored (volatile) classes for scratch state -------------------
+    println!("monitored class: rate-limiting a volatile API session:");
+    let session_class = MonitoredClassBuilder::<u32>::new("ApiSession")
+        .after_event("Call")
+        .mask("TooMany", |calls, _| *calls > 3)
+        .trigger(
+            "RateLimit",
+            "after Call & TooMany()",
+            Perpetual::Yes,
+            |calls, _| {
+                println!("  [monitored] rate limit hit at {calls} calls");
+                Ok(())
+            },
+        )
+        .build(db.registry())?;
+    let sessions = MonitoredSpace::new(session_class);
+    let s = sessions.create(0u32);
+    sessions.activate(s, "RateLimit", &())?;
+    for _ in 0..5 {
+        sessions.invoke(s, "Call", |calls| {
+            *calls += 1;
+            Ok(())
+        })?;
+    }
+
+    println!("done");
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! The paper's §4 credit-card monitoring example, complete: `CredCard`
+//! with the `DenyCredit` and `AutoRaiseLimit` triggers, plus a
+//! `!dependent` black-mark audit that survives the aborts `DenyCredit`
+//! causes — the coupling-mode interplay §5.5 describes.
+//!
+//! Run with: `cargo run --example credit_card`
+
+use bytes::BytesMut;
+use ode::prelude::*;
+
+#[derive(Debug, Clone)]
+struct CredCard {
+    holder: String,
+    cred_lim: f32,
+    curr_bal: f32,
+    good_hist: bool,
+}
+
+impl CredCard {
+    fn more_cred(&self) -> bool {
+        // int MoreCred() { return (currBal > 0.8*credLim) && GoodCredHist(); }
+        self.curr_bal > 0.8 * self.cred_lim && self.good_hist
+    }
+}
+
+impl Encode for CredCard {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.holder.encode(buf);
+        self.cred_lim.encode(buf);
+        self.curr_bal.encode(buf);
+        self.good_hist.encode(buf);
+    }
+}
+impl Decode for CredCard {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(CredCard {
+            holder: String::decode(buf)?,
+            cred_lim: f32::decode(buf)?,
+            curr_bal: f32::decode(buf)?,
+            good_hist: bool::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for CredCard {
+    const CLASS: &'static str = "CredCard";
+}
+
+/// Credit history lives in a separate object so black marks written by a
+/// `!dependent` trigger survive the abort that DenyCredit forces.
+#[derive(Debug, Clone, Default)]
+struct CreditHistory {
+    marks: Vec<String>,
+}
+impl Encode for CreditHistory {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.marks.encode(buf);
+    }
+}
+impl Decode for CreditHistory {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(CreditHistory {
+            marks: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for CreditHistory {
+    const CLASS: &'static str = "CreditHistory";
+}
+
+fn main() -> ode::core::Result<()> {
+    let db = Database::volatile();
+
+    let history_class = ClassBuilder::new("CreditHistory").build(db.registry())?;
+    db.register_class(&history_class)?;
+
+    // persistent class CredCard { ...
+    //   event after Buy, after PayBill, BigBuy;
+    let cred_card = ClassBuilder::new("CredCard")
+        .after_event("Buy")
+        .after_event("PayBill")
+        .user_event("BigBuy")
+        .mask("OverLimit", |ctx| {
+            let c: CredCard = ctx.object()?;
+            Ok(c.curr_bal > c.cred_lim)
+        })
+        .mask("MoreCred", |ctx| {
+            let c: CredCard = ctx.object()?;
+            Ok(c.more_cred())
+        })
+        // trigger DenyCredit() : perpetual after Buy & (currBal > credLim)
+        //     ==> { BlackMark("Over Limit", today()); tabort; }
+        .trigger(
+            "DenyCredit",
+            "after Buy & OverLimit()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                let c: CredCard = ctx.object()?;
+                println!("  [DenyCredit] {} over limit — purchase denied", c.holder);
+                Err(ctx.tabort("Over Limit"))
+            },
+        )
+        // The black mark itself: a !dependent companion so the mark
+        // persists even though DenyCredit aborts the transaction.
+        .trigger(
+            "BlackMark",
+            "after Buy & OverLimit()",
+            CouplingMode::Independent,
+            Perpetual::Yes,
+            |ctx| {
+                let history: PersistentPtr<CreditHistory> = ctx.params()?;
+                ctx.db().update_with(ctx.txn(), history, |h| {
+                    h.marks.push("Over Limit".to_string());
+                })
+            },
+        )
+        // trigger AutoRaiseLimit(float amount) :
+        //     relative((after Buy & MoreCred()), after PayBill)
+        //     ==> RaiseLimit(amount);
+        .trigger(
+            "AutoRaiseLimit",
+            "relative((after Buy & MoreCred()), after PayBill)",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            |ctx| {
+                let amount: f32 = ctx.params()?;
+                ctx.update_object(|c: &mut CredCard| {
+                    println!(
+                        "  [AutoRaiseLimit] {}: {} -> {}",
+                        c.holder,
+                        c.cred_lim,
+                        c.cred_lim + amount
+                    );
+                    c.cred_lim += amount;
+                })
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&cred_card)?;
+
+    // Print the AutoRaiseLimit FSM — this is the paper's Figure 1.
+    let (_, info) = cred_card.trigger("AutoRaiseLimit").unwrap();
+    println!("AutoRaiseLimit compiles to the Figure 1 machine:");
+    println!("{}", info.fsm.render(cred_card.alphabet()));
+
+    // Issue a card and activate the triggers.
+    let (card, history) = db.with_txn(|txn| {
+        let history = db.pnew(txn, &CreditHistory::default())?;
+        let card = db.pnew(
+            txn,
+            &CredCard {
+                holder: "Narain".into(),
+                cred_lim: 1000.0,
+                curr_bal: 0.0,
+                good_hist: true,
+            },
+        )?;
+        db.activate(txn, card, "DenyCredit", &())?;
+        db.activate(txn, card, "BlackMark", &history)?;
+        // TriggerId AutoRaise = pcred->AutoRaiseLimit(1000.0);
+        db.activate(txn, card, "AutoRaiseLimit", &1000.0f32)?;
+        Ok((card, history))
+    })?;
+
+    let buy = |amount: f32| {
+        db.with_txn(|txn| {
+            db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+                c.curr_bal += amount;
+                Ok(())
+            })
+        })
+    };
+    let pay_bill = |amount: f32| {
+        db.with_txn(|txn| {
+            db.invoke(txn, card, "PayBill", |c: &mut CredCard| {
+                c.curr_bal -= amount;
+                Ok(())
+            })
+        })
+    };
+    let show = || -> ode::core::Result<()> {
+        db.with_txn(|txn| {
+            let c = db.read(txn, card)?;
+            let h = db.read(txn, history)?;
+            println!(
+                "  state: balance={:.0} limit={:.0} marks={:?}",
+                c.curr_bal, c.cred_lim, h.marks
+            );
+            Ok(())
+        })
+    };
+
+    println!("Buy 900 (within the limit; arms AutoRaiseLimit):");
+    buy(900.0)?;
+    show()?;
+
+    println!("PayBill 100 (completes the relative event):");
+    pay_bill(100.0)?;
+    show()?;
+
+    println!("Buy 1500 (balance 2300 > limit 2000 — denied, black-marked):");
+    match buy(1500.0) {
+        Err(e) if e.is_abort() => println!("  purchase aborted: {e}"),
+        other => panic!("expected an abort, got {other:?}"),
+    }
+    show()?;
+
+    db.with_txn(|txn| {
+        let c = db.read(txn, card)?;
+        let h = db.read(txn, history)?;
+        assert_eq!(c.curr_bal, 800.0, "denied purchase rolled back");
+        assert_eq!(c.cred_lim, 2000.0, "limit was auto-raised once");
+        assert_eq!(h.marks, vec!["Over Limit"], "the black mark stuck");
+        Ok(())
+    })?;
+    println!("done — all invariants hold");
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Inventory management with deferred constraints and detached auditing —
+//! a tour of the four coupling modes (§4.2) and of transaction events
+//! (§5.5) on a durable on-disk database.
+//!
+//! * `immediate`: a low-stock warning printed the moment stock dips.
+//! * `end` (deferred): a stock-level constraint checked right before
+//!   commit — intermediate states inside a transaction may violate it.
+//! * `dependent`: a reorder is placed in a separate transaction, but only
+//!   if the triggering transaction actually commits.
+//! * `!dependent`: every attempted oversell is recorded for auditing even
+//!   when the transaction is rolled back.
+//!
+//! Run with: `cargo run --example inventory`
+
+use bytes::BytesMut;
+use ode::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Item {
+    sku: String,
+    stock: i32,
+    reorder_level: i32,
+}
+impl Encode for Item {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.sku.encode(buf);
+        self.stock.encode(buf);
+        self.reorder_level.encode(buf);
+    }
+}
+impl Decode for Item {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Item {
+            sku: String::decode(buf)?,
+            stock: i32::decode(buf)?,
+            reorder_level: i32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Item {
+    const CLASS: &'static str = "Item";
+}
+
+#[derive(Debug, Clone, Default)]
+struct Ledger {
+    reorders: Vec<String>,
+    audit: Vec<String>,
+}
+impl Encode for Ledger {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.reorders.encode(buf);
+        self.audit.encode(buf);
+    }
+}
+impl Decode for Ledger {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Ledger {
+            reorders: Vec::<String>::decode(buf)?,
+            audit: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Ledger {
+    const CLASS: &'static str = "Ledger";
+}
+
+fn define_classes(db: &Database) -> ode::core::Result<()> {
+    let ledger = ClassBuilder::new("Ledger").build(db.registry())?;
+    db.register_class(&ledger)?;
+    let item = ClassBuilder::new("Item")
+        .after_event("Ship")
+        .after_event("Receive")
+        .mask("BelowReorder", |ctx| {
+            let item: Item = ctx.object()?;
+            Ok(item.stock < item.reorder_level)
+        })
+        .mask("Negative", |ctx| {
+            let item: Item = ctx.object()?;
+            Ok(item.stock < 0)
+        })
+        .trigger(
+            "LowStockWarning",
+            "after Ship & BelowReorder()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                let item: Item = ctx.object()?;
+                println!("  [immediate] low stock on {}: {}", item.sku, item.stock);
+                Ok(())
+            },
+        )
+        .trigger(
+            // Constraint: stock must be non-negative *at commit time*.
+            "NonNegativeStock",
+            "after Ship & Negative()",
+            CouplingMode::End,
+            Perpetual::Yes,
+            |ctx| {
+                let item: Item = ctx.object()?;
+                if item.stock < 0 {
+                    println!("  [end] constraint violated for {} — aborting", item.sku);
+                    Err(ctx.tabort("negative stock at commit"))
+                } else {
+                    // The violation healed before commit (e.g. a Receive
+                    // later in the same transaction): fine.
+                    println!("  [end] {} healed before commit: {}", item.sku, item.stock);
+                    Ok(())
+                }
+            },
+        )
+        .trigger(
+            "Reorder",
+            "after Ship & BelowReorder()",
+            CouplingMode::Dependent,
+            Perpetual::Yes,
+            |ctx| {
+                let ledger: PersistentPtr<Ledger> = ctx.params()?;
+                let item: Item = ctx.object()?;
+                let line = format!("reorder {} (stock {})", item.sku, item.stock);
+                println!("  [dependent] {line}");
+                ctx.db()
+                    .update_with(ctx.txn(), ledger, |l| l.reorders.push(line))
+            },
+        )
+        .trigger(
+            "AuditOversell",
+            "after Ship & Negative()",
+            CouplingMode::Independent,
+            Perpetual::Yes,
+            |ctx| {
+                let ledger: PersistentPtr<Ledger> = ctx.params()?;
+                let item: Item = ctx.object()?;
+                let line = format!("oversell attempt on {}", item.sku);
+                println!("  [!dependent] {line}");
+                ctx.db()
+                    .update_with(ctx.txn(), ledger, |l| l.audit.push(line))
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&item)?;
+    Ok(())
+}
+
+fn main() -> ode::core::Result<()> {
+    // A durable on-disk database under a temp directory.
+    let dir = std::env::temp_dir().join(format!("ode-inventory-{}", std::process::id()));
+    let db = Database::create(&dir, StorageOptions::default())?;
+    define_classes(&db)?;
+
+    let (widget, ledger) = db.with_txn(|txn| {
+        let ledger = db.pnew(txn, &Ledger::default())?;
+        let widget = db.pnew(
+            txn,
+            &Item {
+                sku: "WIDGET".into(),
+                stock: 10,
+                reorder_level: 5,
+            },
+        )?;
+        for trigger in ["LowStockWarning", "NonNegativeStock", "Reorder", "AuditOversell"] {
+            db.activate(txn, widget, trigger, &ledger)?;
+        }
+        Ok((widget, ledger))
+    })?;
+
+    let ship = |txn: TxnId, n: i32| {
+        db.invoke(txn, widget, "Ship", |item: &mut Item| {
+            item.stock -= n;
+            Ok(())
+        })
+    };
+    let receive = |txn: TxnId, n: i32| {
+        db.invoke(txn, widget, "Receive", |item: &mut Item| {
+            item.stock += n;
+            Ok(())
+        })
+    };
+
+    println!("ship 7 (dips below the reorder level):");
+    db.with_txn(|txn| ship(txn, 7))?;
+
+    println!("ship 5 then receive 20 in one transaction (transient negative heals):");
+    db.with_txn(|txn| {
+        ship(txn, 5)?;
+        receive(txn, 20)
+    })?;
+
+    println!("ship 30 (oversell — the end constraint aborts at commit):");
+    let err = db.with_txn(|txn| ship(txn, 30)).unwrap_err();
+    println!("  transaction failed: {err}");
+
+    db.with_txn(|txn| {
+        let item = db.read(txn, widget)?;
+        let ledger = db.read(txn, ledger)?;
+        println!("final stock: {}", item.stock);
+        println!("reorders (dependent, committed only): {:#?}", ledger.reorders);
+        println!("audit (!dependent, survives aborts): {:#?}", ledger.audit);
+        assert_eq!(item.stock, 18, "3 + (-5+20) after the failed oversell");
+        // Both committed transactions dipped below the reorder level at
+        // detection time (the second only transiently), so the dependent
+        // Reorder fired twice; the aborted oversell never reordered.
+        assert_eq!(ledger.reorders.len(), 2, "committed dips reordered");
+        assert_eq!(ledger.audit.len(), 2, "healed + aborted oversells audited");
+        Ok(())
+    })?;
+
+    db.close()?;
+    std::fs::remove_dir_all(&dir).ok();
+    println!("done");
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Program trading — the paper's motivating application (§3: "applications
+//! such as program trading whose actions are triggered based on patterns
+//! of event occurrences as opposed to single basic events") including the
+//! §8 inter-object rule: "if AT&T goes below 60 and the price of gold
+//! stabilizes, buy 1000 shares of AT&T".
+//!
+//! Run with: `cargo run --example program_trading`
+
+use bytes::BytesMut;
+use ode::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Stock {
+    symbol: String,
+    price: f32,
+    prev: f32,
+}
+impl Encode for Stock {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.symbol.encode(buf);
+        self.price.encode(buf);
+        self.prev.encode(buf);
+    }
+}
+impl Decode for Stock {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Stock {
+            symbol: String::decode(buf)?,
+            price: f32::decode(buf)?,
+            prev: f32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Stock {
+    const CLASS: &'static str = "Stock";
+}
+
+#[derive(Debug, Clone, Default)]
+struct Portfolio {
+    orders: Vec<String>,
+}
+impl Encode for Portfolio {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.orders.encode(buf);
+    }
+}
+impl Decode for Portfolio {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Portfolio {
+            orders: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Portfolio {
+    const CLASS: &'static str = "Portfolio";
+}
+
+fn main() -> ode::core::Result<()> {
+    let db = Database::volatile();
+    let portfolio_class = ClassBuilder::new("Portfolio").build(db.registry())?;
+    db.register_class(&portfolio_class)?;
+
+    // Single-object pattern trigger: three consecutive drops ⇒ sell.
+    let stock_class = ClassBuilder::new("Stock")
+        .after_event("SetPrice")
+        .mask("Dropped", |ctx| {
+            let s: Stock = ctx.object()?;
+            Ok(s.price < s.prev)
+        })
+        .trigger(
+            "SellOnSlide",
+            // A pattern of event occurrences, not a single event: three
+            // consecutive dropping ticks.
+            "(after SetPrice & Dropped()), (after SetPrice & Dropped()), \
+             (after SetPrice & Dropped())",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            |ctx| {
+                let portfolio: PersistentPtr<Portfolio> = ctx.params()?;
+                let s: Stock = ctx.object()?;
+                let order = format!("SELL {} @ {:.2}", s.symbol, s.price);
+                println!("  [SellOnSlide] {order}");
+                ctx.db()
+                    .update_with(ctx.txn(), portfolio, |p| p.orders.push(order))
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&stock_class)?;
+
+    // The inter-object rule from §8.
+    let pair_watch = InterClassBuilder::new("AttGoldWatch")
+        .anchor("att", &stock_class)
+        .anchor("gold", &stock_class)
+        .mask("AttBelow60", |ctx| {
+            let att: Stock = ctx
+                .db()
+                .read(ctx.txn(), PersistentPtr::from_oid(ctx.named_anchor("att")?))?;
+            Ok(att.price < 60.0)
+        })
+        .mask("GoldStable", |ctx| {
+            let gold: Stock = ctx
+                .db()
+                .read(ctx.txn(), PersistentPtr::from_oid(ctx.named_anchor("gold")?))?;
+            Ok((gold.price - gold.prev).abs() < 0.5)
+        })
+        .trigger(
+            "BuyAtt",
+            "relative((after att.SetPrice & AttBelow60()), \
+                      (after gold.SetPrice & GoldStable()))",
+            CouplingMode::Immediate,
+            Perpetual::No,
+            |ctx| {
+                let portfolio: PersistentPtr<Portfolio> = ctx.params()?;
+                println!("  [BuyAtt] AT&T below 60 and gold stabilized: BUY 1000 T");
+                ctx.db().update_with(ctx.txn(), portfolio, |p| {
+                    p.orders.push("BUY 1000 T".to_string())
+                })
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&pair_watch)?;
+
+    let (att, gold, acme, portfolio) = db.with_txn(|txn| {
+        let portfolio = db.pnew(txn, &Portfolio::default())?;
+        let att = db.pnew(txn, &Stock { symbol: "T".into(), price: 63.0, prev: 63.0 })?;
+        let gold = db.pnew(txn, &Stock { symbol: "AU".into(), price: 2400.0, prev: 2380.0 })?;
+        let acme = db.pnew(txn, &Stock { symbol: "ACME".into(), price: 10.0, prev: 10.0 })?;
+        db.activate(txn, acme, "SellOnSlide", &portfolio)?;
+        db.activate_inter(
+            txn,
+            "AttGoldWatch",
+            "BuyAtt",
+            &[("att", att.oid()), ("gold", gold.oid())],
+            &portfolio,
+        )?;
+        Ok((att, gold, acme, portfolio))
+    })?;
+
+    let tick = |stock: PersistentPtr<Stock>, price: f32| {
+        db.with_txn(|txn| {
+            db.invoke(txn, stock, "SetPrice", |s: &mut Stock| {
+                s.prev = s.price;
+                s.price = price;
+                Ok(())
+            })
+        })
+    };
+
+    println!("feeding the tape:");
+    // ACME slides for three ticks -> SellOnSlide fires on the third.
+    for price in [9.5, 9.2, 8.8] {
+        println!("ACME -> {price}");
+        tick(acme, price)?;
+    }
+    // AT&T dips below 60 (arming BuyAtt)…
+    println!("T -> 59.5");
+    tick(att, 59.5)?;
+    // …gold jumps around (not stable)…
+    println!("AU -> 2500 (jumpy)");
+    tick(gold, 2500.0)?;
+    // …then stabilizes: BuyAtt fires.
+    println!("AU -> 2500.2 (stable)");
+    tick(gold, 2500.2)?;
+
+    let orders = db.with_txn(|txn| Ok(db.read(txn, portfolio)?.orders))?;
+    println!("orders executed: {orders:#?}");
+    assert_eq!(orders.len(), 2);
+    assert!(orders[0].starts_with("SELL ACME"));
+    assert_eq!(orders[1], "BUY 1000 T");
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Quickstart: define a class with a trigger, store an object, watch the
+//! trigger fire.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bytes::BytesMut;
+use ode::prelude::*;
+
+/// A persistent class: a bank account.
+#[derive(Debug, Clone)]
+struct Account {
+    owner: String,
+    balance: i64,
+}
+
+impl Encode for Account {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.owner.encode(buf);
+        self.balance.encode(buf);
+    }
+}
+
+impl Decode for Account {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Account {
+            owner: String::decode(buf)?,
+            balance: i64::decode(buf)?,
+        })
+    }
+}
+
+impl OdeObject for Account {
+    const CLASS: &'static str = "Account";
+}
+
+fn main() -> ode::core::Result<()> {
+    // A volatile in-memory database; Database::create(dir, …) gives a
+    // durable one (disk or main-memory engine).
+    let db = Database::volatile();
+
+    // The class declaration — in O++ this was:
+    //   event after Withdraw;
+    //   trigger Overdraft() : perpetual after Withdraw & (balance < 0)
+    //       ==> { ... tabort; }
+    let account_class = ClassBuilder::new("Account")
+        .after_event("Withdraw")
+        .mask("Overdrawn", |ctx| {
+            let acc: Account = ctx.object()?;
+            Ok(acc.balance < 0)
+        })
+        .trigger(
+            "Overdraft",
+            "after Withdraw & Overdrawn()",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                let acc: Account = ctx.object()?;
+                println!("  !! Overdraft trigger fired for {} — aborting", acc.owner);
+                Err(ctx.tabort("overdraft"))
+            },
+        )
+        .build(db.registry())?;
+    db.register_class(&account_class)?;
+
+    // Create a persistent object and activate the trigger on it.
+    let account = db.with_txn(|txn| {
+        let acc = db.pnew(
+            txn,
+            &Account {
+                owner: "Robert".into(),
+                balance: 100,
+            },
+        )?;
+        db.activate(txn, acc, "Overdraft", &())?;
+        Ok(acc)
+    })?;
+    println!("created {account:?} with the Overdraft trigger active");
+
+    // A legal withdrawal commits.
+    db.with_txn(|txn| {
+        db.invoke(txn, account, "Withdraw", |acc: &mut Account| {
+            acc.balance -= 60;
+            Ok(())
+        })
+    })?;
+    let balance = db.with_txn(|txn| Ok(db.read(txn, account)?.balance))?;
+    println!("withdrew 60 -> balance {balance}");
+
+    // An overdraft fires the trigger, which aborts the transaction.
+    let err = db
+        .with_txn(|txn| {
+            db.invoke(txn, account, "Withdraw", |acc: &mut Account| {
+                acc.balance -= 500;
+                Ok(())
+            })
+        })
+        .expect_err("the trigger must abort this");
+    println!("withdrawing 500 failed as expected: {err}");
+
+    let balance = db.with_txn(|txn| Ok(db.read(txn, account)?.balance))?;
+    println!("balance after the aborted withdrawal is still {balance}");
+    assert_eq!(balance, 40);
+    Ok(())
+}

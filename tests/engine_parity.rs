@@ -1,0 +1,143 @@
+//! Engine parity: "it is fully source code compatible with disk-based Ode
+//! — they even share the same compiler. The two systems also share a great
+//! deal of run-time system code" (§5.6). The same trigger scenario must
+//! behave identically on the EOS-like disk engine, the Dali-like
+//! main-memory engine, and the volatile store — and leave the trigger
+//! structures internally consistent.
+
+use bytes::BytesMut;
+use ode::core::ClassBuilder;
+use ode::prelude::*;
+use ode_testutil::TempDir;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Meter {
+    reading: i64,
+    alerts: Vec<String>,
+}
+impl Encode for Meter {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.reading.encode(buf);
+        self.alerts.encode(buf);
+    }
+}
+impl Decode for Meter {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Meter {
+            reading: i64::decode(buf)?,
+            alerts: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Meter {
+    const CLASS: &'static str = "Meter";
+}
+
+fn define(db: &Database) {
+    let td = ClassBuilder::new("Meter")
+        .after_event("Sample")
+        .user_event("Reset")
+        .mask("High", |ctx| {
+            let m: Meter = ctx.object()?;
+            Ok(m.reading > 100)
+        })
+        .trigger(
+            // Two consecutive high samples with no Reset between them.
+            "Spike",
+            "(after Sample & High()), (after Sample & High())",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |ctx| {
+                ctx.update_object(|m: &mut Meter| m.alerts.push("spike".to_string()))
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+}
+
+/// Run the scenario; return the final object state.
+fn scenario(db: &Database) -> Meter {
+    define(db);
+    let meter = db
+        .with_txn(|txn| {
+            let m = db.pnew(
+                txn,
+                &Meter {
+                    reading: 0,
+                    alerts: Vec::new(),
+                },
+            )?;
+            db.activate(txn, m, "Spike", &())?;
+            Ok(m)
+        })
+        .unwrap();
+    let sample = |r: i64| {
+        db.with_txn(|txn| {
+            db.invoke(txn, meter, "Sample", |m: &mut Meter| {
+                m.reading = r;
+                Ok(())
+            })
+        })
+        .unwrap();
+    };
+    sample(150); // high
+    sample(50); // breaks the pair
+    sample(150); // high
+    sample(200); // high -> spike #1
+    db.with_txn(|txn| db.post_user_event(txn, meter, "Reset")).unwrap();
+    sample(300); // high
+    sample(300); // high -> spike #2
+    // One aborted high pair that must not count.
+    let _ = db
+        .with_txn(|txn| {
+            db.invoke(txn, meter, "Sample", |m: &mut Meter| {
+                m.reading = 999;
+                Ok(())
+            })?;
+            Err::<(), _>(OdeError::tabort("rollback"))
+        })
+        .unwrap_err();
+    sample(10);
+
+    db.with_txn(|txn| {
+        let report = db.verify_integrity(txn)?;
+        assert!(report.is_healthy(), "integrity: {report:?}");
+        db.read(txn, meter)
+    })
+    .unwrap()
+}
+
+#[test]
+fn all_engines_agree() {
+    let volatile = scenario(&Database::volatile());
+
+    let disk_dir = TempDir::new("parity-disk");
+    let disk = scenario(
+        &Database::create(
+            disk_dir.path(),
+            StorageOptions {
+                engine: EngineKind::Disk,
+                ..StorageOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let mem_dir = TempDir::new("parity-mem");
+    let mem = scenario(
+        &Database::create(
+            mem_dir.path(),
+            StorageOptions {
+                engine: EngineKind::Memory,
+                ..StorageOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    assert_eq!(volatile, disk);
+    assert_eq!(volatile, mem);
+    assert_eq!(volatile.alerts, vec!["spike", "spike"]);
+    assert_eq!(volatile.reading, 10);
+}

@@ -1,0 +1,104 @@
+//! Experiment F1: reproduce the paper's **Figure 1** — the extended FSM
+//! for the `AutoRaiseLimit` trigger
+//! `relative((after Buy & MoreCred()), after PayBill)`.
+//!
+//! The paper's figure (states 0–3):
+//!
+//! ```text
+//! state 0 (start):  after Buy → 1;  BigBuy || after PayBill → 0
+//! state 1 (mask *): evaluates MoreCred(); False → 0; True → 2
+//! state 2:          after PayBill → 3;  BigBuy || after Buy → 2
+//! state 3 (accept)
+//! ```
+
+use ode::events::ast::Alphabet;
+use ode::events::dfa::Dfa;
+use ode::events::event::{EventId, MaskId, Symbol};
+use ode::events::parser::parse;
+
+/// The CredCard alphabet in the paper's eventRep order (§5.2):
+/// `CredCardEvents[] = { BigBuy, after PayBill, after Buy }`.
+fn cred_card_alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.add_event(EventId(0), "BigBuy");
+    al.add_event(EventId(1), "after PayBill");
+    al.add_event(EventId(2), "after Buy");
+    al.add_mask("MoreCred");
+    al
+}
+
+#[test]
+fn figure_1_machine_is_reproduced_exactly() {
+    let al = cred_card_alphabet();
+    let te = parse("relative((after Buy & MoreCred()), after PayBill)", &al).unwrap();
+    let fsm = Dfa::compile(&te, &al);
+
+    let bigbuy = Symbol::Event(EventId(0));
+    let paybill = Symbol::Event(EventId(1));
+    let buy = Symbol::Event(EventId(2));
+    let m = MaskId(0);
+
+    // Print the machine so the bench/test log shows the reproduction.
+    println!("{}", fsm.render(&al));
+
+    // Exactly the four states of Figure 1, numbered identically.
+    assert_eq!(fsm.len(), 4);
+    assert_eq!(fsm.start(), 0);
+
+    // State 0 — start.
+    let s0 = &fsm.states()[0];
+    assert!(!s0.accept && s0.masks.is_empty());
+    assert_eq!(s0.next(buy), Some(1));
+    assert_eq!(s0.next(bigbuy), Some(0));
+    assert_eq!(s0.next(paybill), Some(0));
+
+    // State 1 — the mask state ("marked with * to indicate that it must
+    // evaluate the MoreCred() mask to produce pseudo-events").
+    let s1 = &fsm.states()[1];
+    assert_eq!(s1.masks, vec![m]);
+    assert_eq!(s1.next(Symbol::False(m)), Some(0));
+    assert_eq!(s1.next(Symbol::True(m)), Some(2));
+
+    // State 2 — armed; "BigBuy || after Buy" self-loops.
+    let s2 = &fsm.states()[2];
+    assert!(!s2.accept && s2.masks.is_empty());
+    assert_eq!(s2.next(paybill), Some(3));
+    assert_eq!(s2.next(bigbuy), Some(2));
+    assert_eq!(s2.next(buy), Some(2));
+
+    // State 3 — accept.
+    assert!(fsm.states()[3].accept);
+}
+
+#[test]
+fn figure_1_walkthrough_matches_trigger_semantics() {
+    let al = cred_card_alphabet();
+    let te = parse("relative((after Buy & MoreCred()), after PayBill)", &al).unwrap();
+    let fsm = Dfa::compile(&te, &al);
+
+    // Buy with a failing mask returns to the start state.
+    let out = fsm.post(0, EventId(2), |_| false);
+    assert_eq!(out.state, 0);
+    // Buy with MoreCred() true arms the machine.
+    let out = fsm.post(0, EventId(2), |_| true);
+    assert_eq!(out.state, 2);
+    // Any number of other events keeps it armed…
+    let out = fsm.post(2, EventId(0), |_| unreachable!("no mask pending"));
+    assert_eq!(out.state, 2);
+    // …until PayBill accepts.
+    let out = fsm.post(2, EventId(1), |_| unreachable!("no mask pending"));
+    assert!(out.accepted);
+}
+
+#[test]
+fn deny_credit_machine_is_three_states() {
+    // The paper's other trigger, DenyCredit: after Buy & (currBal>credLim).
+    let mut al = cred_card_alphabet();
+    al.add_mask("OverLimit");
+    let te = parse("after Buy & OverLimit()", &al).unwrap();
+    let fsm = Dfa::compile(&te, &al);
+    assert_eq!(fsm.len(), 3);
+    let m = al.mask_id("OverLimit").unwrap();
+    assert_eq!(fsm.states()[1].masks, vec![m]);
+    assert!(fsm.states()[2].accept);
+}

@@ -1,0 +1,148 @@
+//! Concurrency stress: many threads mixing object writes, trigger
+//! activations/deactivations, event postings, and aborts — then a full
+//! integrity verification. Deadlock victims (which the §6 lock
+//! amplification makes routine) are retried.
+
+use bytes::BytesMut;
+use ode::core::ClassBuilder;
+use ode::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+
+#[derive(Debug, Clone)]
+struct Account {
+    balance: i64,
+    ops: u32,
+}
+impl Encode for Account {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.balance.encode(buf);
+        self.ops.encode(buf);
+    }
+}
+impl Decode for Account {
+    fn decode(buf: &mut &[u8]) -> ode::storage::Result<Self> {
+        Ok(Account {
+            balance: i64::decode(buf)?,
+            ops: u32::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Account {
+    const CLASS: &'static str = "Account";
+}
+
+const THREADS: usize = 4;
+const ROUNDS: usize = 60;
+const ACCOUNTS: usize = 6;
+
+#[test]
+fn concurrent_mixed_workload_stays_consistent() {
+    let db = Arc::new(Database::volatile());
+    let fired = Arc::new(AtomicU32::new(0));
+    let f = Arc::clone(&fired);
+    let td = ClassBuilder::new("Account")
+        .after_event("Touch")
+        .user_event("Mark")
+        .trigger(
+            "TouchThenMark",
+            "after Touch, Mark",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    let accounts: Vec<PersistentPtr<Account>> = db
+        .with_txn(|txn| {
+            (0..ACCOUNTS)
+                .map(|_| db.pnew(txn, &Account { balance: 0, ops: 0 }))
+                .collect()
+        })
+        .unwrap();
+    let accounts = Arc::new(accounts);
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let accounts = Arc::clone(&accounts);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Deterministic per-thread mix over the shared accounts.
+                for r in 0..ROUNDS {
+                    let acc = accounts[(t * 7 + r) % ACCOUNTS];
+                    let kind = (t + r) % 5;
+                    let result = db.with_txn_retry(10_000, |txn| match kind {
+                        0 => {
+                            // Plain money movement.
+                            db.update_with(txn, acc, |a| {
+                                a.balance += 1;
+                                a.ops += 1;
+                            })
+                        }
+                        1 => {
+                            // Activate a trigger (possibly many pile up).
+                            db.activate(txn, acc, "TouchThenMark", &())?;
+                            Ok(())
+                        }
+                        2 => {
+                            // Post the arming + completing events.
+                            db.invoke(txn, acc, "Touch", |a: &mut Account| {
+                                a.ops += 1;
+                                Ok(())
+                            })?;
+                            db.post_user_event(txn, acc, "Mark")
+                        }
+                        3 => {
+                            // Deactivate everything on the object.
+                            db.deactivate_all(txn, acc.oid())?;
+                            Ok(())
+                        }
+                        _ => {
+                            // Do work, then change our mind.
+                            db.update_with(txn, acc, |a| a.balance += 1_000_000)?;
+                            Err(OdeError::tabort("never mind"))
+                        }
+                    });
+                    match result {
+                        Ok(()) => {}
+                        Err(e) if e.is_abort() => {} // our own tabort branch
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    db.with_txn(|txn| {
+        // Structural invariants hold after the storm.
+        let report = db.verify_integrity(txn)?;
+        assert!(report.is_healthy(), "issues: {:#?}", report.issues);
+        // The tabort branch never leaked its million.
+        for &acc in accounts.iter() {
+            let a = db.read(txn, acc)?;
+            assert!(
+                a.balance < 1_000_000,
+                "aborted update leaked: {}",
+                a.balance
+            );
+            assert!(a.balance >= 0);
+        }
+        Ok(())
+    })
+    .unwrap();
+    // The lock manager saw real contention (sanity that the stress
+    // stressed something).
+    let stats = db.storage().lock_stats();
+    assert!(stats.immediate_grants > 0);
+}
