@@ -100,6 +100,7 @@ fn bench_coupling(c: &mut Criterion) {
             "  [{label}] immediate_firings={} deferred_firings={}",
             stats.immediate_firings, stats.deferred_firings
         );
+        ode_bench::dump_stats(&format!("coupling_modes/{label}"), &db);
     }
     group.finish();
 }

@@ -60,18 +60,17 @@ fn world_with_pool(engine: Option<EngineKind>, buffer_pages: usize) -> World {
 
 fn one_txn(w: &World, i: usize) {
     let card = w.cards[i % CARDS];
-    w.db
-        .with_txn(|txn| {
-            w.db.invoke(txn, card, "Buy", |c: &mut CredCard| {
-                c.curr_bal += 5.0;
-                Ok(())
-            })?;
-            w.db.invoke(txn, card, "PayBill", |c: &mut CredCard| {
-                c.curr_bal -= 5.0;
-                Ok(())
-            })
+    w.db.with_txn(|txn| {
+        w.db.invoke(txn, card, "Buy", |c: &mut CredCard| {
+            c.curr_bal += 5.0;
+            Ok(())
+        })?;
+        w.db.invoke(txn, card, "PayBill", |c: &mut CredCard| {
+            c.curr_bal -= 5.0;
+            Ok(())
         })
-        .unwrap();
+    })
+    .unwrap();
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -126,6 +125,7 @@ fn bench_engines(c: &mut Criterion) {
                 stats.hits, stats.misses, stats.resident
             );
         }
+        ode_bench::dump_stats("disk_vs_mm/disk_checkpoint_pressure", &w.db);
     }
     group.finish();
 }

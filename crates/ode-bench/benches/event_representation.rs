@@ -44,8 +44,7 @@ fn bench_representation(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_representation");
 
     // --- scan over a sparse transition list ---------------------------
-    let int_table: Vec<(EventId, u32)> =
-        (0..TABLE as u32).map(|i| (EventId(i), i + 1)).collect();
+    let int_table: Vec<(EventId, u32)> = (0..TABLE as u32).map(|i| (EventId(i), i + 1)).collect();
     let probe_ints: Vec<EventId> = (0..TABLE as u32).map(EventId).collect();
     group.bench_function("int_scan", |b| {
         let mut i = 0;

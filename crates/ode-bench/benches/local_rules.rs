@@ -75,6 +75,7 @@ fn bench_local_rules(c: &mut Criterion) {
             stats.upgrades, stats.immediate_grants
         );
         db.abort(txn).unwrap();
+        ode_bench::dump_stats("local_rules/persistent_trigger", &db);
     }
 
     // (b) Local rule: transient state, no locks for trigger processing.
@@ -100,6 +101,7 @@ fn bench_local_rules(c: &mut Criterion) {
             "local rules must not take write locks for trigger processing"
         );
         db.abort(txn).unwrap();
+        ode_bench::dump_stats("local_rules/local_rule", &db);
     }
 
     group.finish();

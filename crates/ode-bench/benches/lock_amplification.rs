@@ -107,7 +107,10 @@ fn bench_lock_amplification(c: &mut Criterion) {
         (THREADS * TXNS_PER_THREAD) as u64,
     ));
 
-    for (label, with_trigger) in [("readers_no_trigger", false), ("readers_with_trigger", true)] {
+    for (label, with_trigger) in [
+        ("readers_no_trigger", false),
+        ("readers_with_trigger", true),
+    ] {
         let (db, card) = setup(with_trigger);
         db.storage().reset_lock_stats();
         let mut total_aborts = 0u32;
@@ -125,6 +128,7 @@ fn bench_lock_amplification(c: &mut Criterion) {
             stats.wait_micros / 1000,
             total_aborts
         );
+        ode_bench::dump_stats(&format!("lock_amplification/{label}"), &db);
     }
     group.finish();
 }

@@ -14,7 +14,7 @@
 //! cost grows with active-trigger count only.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ode_bench::{buy, new_card, register_cred_card, CardSetup, CredCard};
+use ode_bench::{buy, dump_stats, new_card, register_cred_card, CardSetup, CredCard};
 use ode_core::Database;
 use std::hint::black_box;
 use std::time::Duration;
@@ -42,21 +42,30 @@ fn bench_posting_overhead(c: &mut Criterion) {
     });
 
     // Helper: one invoke per iteration inside a long-lived transaction.
-    let run = |setup: CardSetup, n_triggers: usize| {
+    // Each series dumps its metrics snapshot next to the timings.
+    let run = |label: &'static str, setup: CardSetup, n_triggers: usize| {
         let db = Database::volatile();
         register_cred_card(&db, setup);
         let card = new_card(&db, n_triggers);
         move |b: &mut criterion::Bencher| {
+            db.metrics().reset();
             let txn = db.begin().unwrap();
             b.iter(|| buy(&db, txn, card, 1.0));
             db.abort(txn).unwrap();
+            dump_stats(&format!("posting_overhead/{label}"), &db);
         }
     };
 
-    group.bench_function("no_events", run(CardSetup::NoEvents, 0));
-    group.bench_function("events_no_trigger", run(CardSetup::WithTrigger, 0));
-    group.bench_function("one_trigger", run(CardSetup::WithTrigger, 1));
-    group.bench_function("four_triggers", run(CardSetup::WithTrigger, 4));
+    group.bench_function("no_events", run("no_events", CardSetup::NoEvents, 0));
+    group.bench_function(
+        "events_no_trigger",
+        run("events_no_trigger", CardSetup::WithTrigger, 0),
+    );
+    group.bench_function("one_trigger", run("one_trigger", CardSetup::WithTrigger, 1));
+    group.bench_function(
+        "four_triggers",
+        run("four_triggers", CardSetup::WithTrigger, 4),
+    );
     group.finish();
 }
 

@@ -69,6 +69,7 @@ fn bench_state_placement(c: &mut Criterion) {
             b.iter(|| buy(&db, txn, card, 1.0));
             db.abort(txn).unwrap();
         });
+        ode_bench::dump_stats("state_placement/state_outside_object", &db);
     }
 
     // (b) The rejected design, simulated: object carries the statenum and

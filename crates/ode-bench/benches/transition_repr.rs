@@ -55,9 +55,7 @@ fn bench_transition_repr(c: &mut Criterion) {
                 }
                 // Skip masks: this isolates the transition lookup.
                 if let Some(&m) = dfa.states()[state as usize].masks.first() {
-                    if let Some(next) =
-                        dfa.states()[state as usize].next(Symbol::False(m))
-                    {
+                    if let Some(next) = dfa.states()[state as usize].next(Symbol::False(m)) {
                         state = next;
                     }
                 }

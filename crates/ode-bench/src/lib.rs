@@ -109,6 +109,30 @@ pub fn buy(db: &Database, txn: TxnId, card: PersistentPtr<CredCard>, amount: f32
     .expect("buy succeeds");
 }
 
+/// Dump the database's metrics snapshot to stderr alongside the bench
+/// timings — only the counters that actually moved, one `ode_*` line
+/// each (Prometheus exposition names). Set `ODE_BENCH_STATS=0` to
+/// silence, or `ODE_BENCH_STATS=full` for the complete exposition with
+/// HELP/TYPE headers.
+pub fn dump_stats(label: &str, db: &Database) {
+    let mode = std::env::var("ODE_BENCH_STATS").unwrap_or_default();
+    if mode == "0" {
+        return;
+    }
+    let rendered = db.stats().render_prometheus();
+    eprintln!("--- metrics: {label} ---");
+    if mode == "full" {
+        eprint!("{rendered}");
+        return;
+    }
+    for line in rendered.lines() {
+        if line.starts_with('#') || line.ends_with(" 0") {
+            continue;
+        }
+        eprintln!("{line}");
+    }
+}
+
 /// The CredCard alphabet in eventRep order (§5.2), for pure-FSM benches.
 pub fn cred_card_alphabet() -> Alphabet {
     let mut al = Alphabet::new();
@@ -134,7 +158,10 @@ pub fn synthetic_alphabet(n: u32, masks: u16) -> Alphabet {
 /// A chain expression `e0, e1, …, e{k-1}` (sequence of length k) over the
 /// synthetic alphabet — detection cost scales with its machine size.
 pub fn chain_expression(k: u32) -> String {
-    (0..k).map(|i| format!("e{i}")).collect::<Vec<_>>().join(", ")
+    (0..k)
+        .map(|i| format!("e{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// A deterministic pseudo-random event stream over ids `0..n`.

@@ -216,7 +216,7 @@ impl ClassBuilder {
         let mut triggers = Vec::with_capacity(self.triggers.len());
         for pending in self.triggers {
             let te = parse(&pending.expr, &alphabet)?;
-            let fsm = Dfa::compile(&te, &alphabet);
+            let fsm = Dfa::compile_observed(&te, &alphabet, &pending.name, registry.metrics());
             triggers.push(TriggerInfo {
                 name: pending.name,
                 fsm,
@@ -276,7 +276,13 @@ mod tests {
         let reg = EventRegistry::new();
         let result = ClassBuilder::new("C")
             .after_event("f")
-            .trigger("T", "after g", CouplingMode::Immediate, Perpetual::No, |_| Ok(()))
+            .trigger(
+                "T",
+                "after g",
+                CouplingMode::Immediate,
+                Perpetual::No,
+                |_| Ok(()),
+            )
             .build(&reg);
         assert!(matches!(result, Err(OdeError::Parse(_))));
     }
@@ -284,7 +290,10 @@ mod tests {
     #[test]
     fn inherited_events_keep_base_ids() {
         let reg = EventRegistry::new();
-        let base = ClassBuilder::new("Base").after_event("f").build(&reg).unwrap();
+        let base = ClassBuilder::new("Base")
+            .after_event("f")
+            .build(&reg)
+            .unwrap();
         let derived = ClassBuilder::new("Derived")
             .base(&base)
             .after_event("g")
@@ -301,7 +310,10 @@ mod tests {
     #[test]
     fn diamond_inheritance_is_fine_conflicts_are_not() {
         let reg = EventRegistry::new();
-        let root = ClassBuilder::new("Root").after_event("f").build(&reg).unwrap();
+        let root = ClassBuilder::new("Root")
+            .after_event("f")
+            .build(&reg)
+            .unwrap();
         let left = ClassBuilder::new("Left").base(&root).build(&reg).unwrap();
         let right = ClassBuilder::new("Right").base(&root).build(&reg).unwrap();
         // Diamond: Root's `after f` reaches Bottom twice with the same id.
@@ -341,7 +353,10 @@ mod tests {
     #[test]
     fn triggers_can_use_inherited_events() {
         let reg = EventRegistry::new();
-        let base = ClassBuilder::new("Base").after_event("f").build(&reg).unwrap();
+        let base = ClassBuilder::new("Base")
+            .after_event("f")
+            .build(&reg)
+            .unwrap();
         let derived = ClassBuilder::new("Derived")
             .base(&base)
             .user_event("Ping")

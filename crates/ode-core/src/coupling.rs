@@ -95,6 +95,9 @@ impl Database {
             return Err(e);
         }
         let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        self.metrics()
+            .commit_queue_depth
+            .add((local.dep_list.len() + local.indep_list.len()) as u64);
         match self.storage.commit(txn) {
             Ok(()) => {
                 self.run_detached(local.dep_list, Some(txn));
@@ -125,12 +128,15 @@ impl Database {
             let _ = self.post_txn_events(txn, false);
         }
         let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        self.metrics()
+            .abort_queue_depth
+            .add(local.indep_list.len() as u64);
         let result = if active {
             self.storage.abort(txn).map_err(Into::into)
         } else {
-            Err(crate::error::OdeError::Storage(
-                StorageError::TxnNotActive(txn),
-            ))
+            Err(crate::error::OdeError::Storage(StorageError::TxnNotActive(
+                txn,
+            )))
         };
         self.run_detached(local.indep_list, None);
         result
@@ -215,6 +221,7 @@ impl Database {
         };
         if run().is_err() {
             self.stats.lock().detached_failures += 1;
+            self.metrics().detached_failures.inc();
         }
     }
 }

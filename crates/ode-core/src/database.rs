@@ -95,8 +95,7 @@ pub struct Database {
     pub(crate) trigger_cluster: ClusterId,
     pub(crate) txn_local: Mutex<HashMap<TxnId, TxnLocal>>,
     pub(crate) stats: Mutex<TriggerStats>,
-    pub(crate) phoenix_handlers:
-        RwLock<HashMap<String, crate::phoenix::PhoenixHandler>>,
+    pub(crate) phoenix_handlers: RwLock<HashMap<String, crate::phoenix::PhoenixHandler>>,
     pub(crate) indexes: RwLock<crate::index::IndexRegistry>,
 }
 
@@ -142,9 +141,10 @@ impl Database {
         // fake Oid (page = cluster id). Small but explicit.
         storage.set_root(txn, ROOT_TRIGGER_CLUSTER, Oid::new(trigger_cluster, 0))?;
         storage.commit(txn)?;
+        let registry = Arc::new(EventRegistry::with_metrics(Arc::clone(storage.metrics())));
         Ok(Database {
             storage,
-            registry: Arc::new(EventRegistry::new()),
+            registry,
             schema: RwLock::new(Schema::default()),
             trigger_index: HashIndex::open(index.oid()),
             trigger_cluster,
@@ -160,9 +160,10 @@ impl Database {
         let index_oid = storage.get_root(txn, ROOT_TRIGGER_INDEX)?;
         let trigger_cluster = storage.get_root(txn, ROOT_TRIGGER_CLUSTER)?.page();
         storage.commit(txn)?;
+        let registry = Arc::new(EventRegistry::with_metrics(Arc::clone(storage.metrics())));
         Ok(Database {
             storage,
-            registry: Arc::new(EventRegistry::new()),
+            registry,
             schema: RwLock::new(Schema::default()),
             trigger_index: HashIndex::open(index_oid),
             trigger_cluster,
@@ -191,6 +192,27 @@ impl Database {
     /// The underlying storage engine (lock statistics, checkpoints…).
     pub fn storage(&self) -> &Arc<Storage> {
         &self.storage
+    }
+
+    /// Snapshot of every engine counter — locks, WAL, buffer pool, FSM
+    /// compilation/run-time, and trigger firings by coupling mode — as a
+    /// plain struct of `u64`s. See
+    /// [`MetricsSnapshot::render_prometheus`](ode_obs::MetricsSnapshot::render_prometheus)
+    /// for the text exposition format.
+    pub fn stats(&self) -> ode_obs::MetricsSnapshot {
+        self.storage.metrics().snapshot()
+    }
+
+    /// The live database-wide metrics registry (shared with the storage
+    /// and event layers).
+    pub fn metrics(&self) -> &Arc<ode_obs::Metrics> {
+        self.storage.metrics()
+    }
+
+    /// Attach (or with `None`, detach) a structured trace sink receiving
+    /// [`ode_obs::TraceEvent`]s from every engine layer.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn ode_obs::TraceSink>>) {
+        self.storage.metrics().set_sink(sink);
     }
 
     /// Snapshot of trigger-runtime statistics.
@@ -239,19 +261,14 @@ impl Database {
         let txn = self.storage.begin()?;
         let result = (|| {
             let (schema_oid, mut rec) = self.load_schema_record(txn)?;
-            let (id, cluster) = match rec
-                .classes
-                .iter()
-                .find(|(name, _, _)| name == td.name())
-            {
+            let (id, cluster) = match rec.classes.iter().find(|(name, _, _)| name == td.name()) {
                 Some(&(_, id, cluster)) => (id, cluster),
                 None => {
                     let id = rec.next_class_id;
                     rec.next_class_id += 1;
                     let cluster = self.storage.create_cluster(txn)?;
                     rec.classes.push((td.name().to_string(), id, cluster));
-                    self.storage
-                        .update(txn, schema_oid, &encode_to_vec(&rec))?;
+                    self.storage.update(txn, schema_oid, &encode_to_vec(&rec))?;
                     (id, cluster)
                 }
             };
@@ -299,10 +316,11 @@ impl Database {
 
     pub(crate) fn entry_by_id(&self, id: u32) -> Result<ClassEntry> {
         let schema = self.schema.read();
-        let name = schema
-            .by_id
-            .get(&id)
-            .ok_or_else(|| OdeError::Schema(format!("unknown class id {id} (class not registered this session?)")))?;
+        let name = schema.by_id.get(&id).ok_or_else(|| {
+            OdeError::Schema(format!(
+                "unknown class id {id} (class not registered this session?)"
+            ))
+        })?;
         schema
             .by_name
             .get(name)
@@ -645,7 +663,10 @@ mod tests {
             let td = ClassBuilder::new("Point").build(db.registry()).unwrap();
             db.register_class(&td).unwrap();
             db.register_class(&td).unwrap();
-            entry_before = (db.entry("Point").unwrap().id, db.entry("Point").unwrap().cluster);
+            entry_before = (
+                db.entry("Point").unwrap().id,
+                db.entry("Point").unwrap().cluster,
+            );
             let txn = db.begin().unwrap();
             db.pnew(txn, &Point { x: 5, y: 5 }).unwrap();
             db.commit(txn).unwrap();

@@ -96,12 +96,7 @@ impl Database {
                 for ptr in self.scan::<T>(txn)? {
                     let value = self.read(txn, ptr)?;
                     if let Some(key) = extract(&value) {
-                        tree.insert(
-                            &self.storage,
-                            txn,
-                            &entry_key(&key, ptr.oid()),
-                            ptr.oid(),
-                        )?;
+                        tree.insert(&self.storage, txn, &entry_key(&key, ptr.oid()), ptr.oid())?;
                     }
                 }
                 tree
@@ -159,9 +154,7 @@ impl Database {
             .iter()
             .find(|d| d.name == name)
             .cloned()
-            .ok_or_else(|| {
-                OdeError::Schema(format!("class {class:?} has no index {name:?}"))
-            })
+            .ok_or_else(|| OdeError::Schema(format!("class {class:?} has no index {name:?}")))
     }
 
     /// All objects whose index key equals `key`, in Oid order.
@@ -192,12 +185,9 @@ impl Database {
     ) -> Result<Vec<(Vec<u8>, PersistentPtr<T>)>> {
         let def = self.index_def(T::CLASS, name)?;
         let end_owned = end.map(|e| e.to_vec());
-        let hits = def.tree.range(
-            &self.storage,
-            txn,
-            start,
-            end_owned.as_deref(),
-        )?;
+        let hits = def
+            .tree
+            .range(&self.storage, txn, start, end_owned.as_deref())?;
         Ok(hits
             .into_iter()
             .map(|(mut k, oid)| {

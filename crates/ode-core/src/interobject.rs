@@ -176,10 +176,7 @@ impl Database {
                 "inter-object activation needs at least one anchor".into(),
             ));
         }
-        let named: Vec<(String, Oid)> = anchors
-            .iter()
-            .map(|(n, o)| (n.to_string(), *o))
-            .collect();
+        let named: Vec<(String, Oid)> = anchors.iter().map(|(n, o)| (n.to_string(), *o)).collect();
         self.activate_raw(
             txn,
             class,

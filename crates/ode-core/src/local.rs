@@ -62,7 +62,14 @@ impl Database {
         let mut mask_err: Option<OdeError> = None;
         let outcome = info.fsm.activate(|m| {
             self.eval_local_mask(
-                txn, &entry.td, m, anchor, &params, &info.name, None, &mut mask_err,
+                txn,
+                &entry.td,
+                m,
+                anchor,
+                &params,
+                &info.name,
+                None,
+                &mut mask_err,
             )
         });
         if let Some(e) = mask_err {

@@ -322,9 +322,7 @@ impl<T> MonitoredSpace<T> {
             let slot = slots
                 .get_mut(ptr.id)
                 .and_then(|s| s.as_mut())
-                .ok_or_else(|| {
-                    OdeError::Schema(format!("monitored object {} is gone", ptr.id))
-                })?;
+                .ok_or_else(|| OdeError::Schema(format!("monitored object {} is gone", ptr.id)))?;
             body(&mut slot.value)?
         };
         if let Some(e) = self.class.event_id(&BasicEvent::Member {
@@ -366,11 +364,9 @@ impl<T> MonitoredSpace<T> {
                 continue;
             }
             let info = &class.triggers[inst.triggernum];
-            let outcome = info
-                .fsm
-                .post(inst.statenum, event, |m| {
-                    Self::eval_mask(class, value_ptr, m, &inst.params)
-                });
+            let outcome = info.fsm.post(inst.statenum, event, |m| {
+                Self::eval_mask(class, value_ptr, m, &inst.params)
+            });
             match outcome.status {
                 Advance::Ignored => {}
                 Advance::Dead => inst.alive = false,

@@ -31,8 +31,7 @@ use std::sync::Arc;
 /// A phoenix work item handler. Runs inside a dedicated system
 /// transaction; returning `Err` aborts that transaction and leaves the
 /// item queued for a later retry.
-pub type PhoenixHandler =
-    Arc<dyn Fn(&Database, TxnId, &[u8]) -> Result<()> + Send + Sync>;
+pub type PhoenixHandler = Arc<dyn Fn(&Database, TxnId, &[u8]) -> Result<()> + Send + Sync>;
 
 const ROOT_PHOENIX_CLUSTER: &str = "ode.phoenix_cluster";
 
@@ -175,8 +174,7 @@ impl Database {
             };
             self.storage.commit(txn)?;
             let rec: PhoenixRecord = decode_all(&bytes)?;
-            let Some(handler) = self.phoenix_handlers.read().get(&rec.handler).cloned()
-            else {
+            let Some(handler) = self.phoenix_handlers.read().get(&rec.handler).cloned() else {
                 return Ok(ItemOutcome::Unresolved);
             };
             (rec, handler)
@@ -201,8 +199,7 @@ impl Database {
                 // Bump the attempt counter durably (best effort).
                 if let Ok(txn) = self.storage.begin() {
                     let bumped = (|| -> Result<()> {
-                        let mut rec: PhoenixRecord =
-                            decode_all(&self.storage.read(txn, oid)?)?;
+                        let mut rec: PhoenixRecord = decode_all(&self.storage.read(txn, oid)?)?;
                         rec.attempts += 1;
                         self.storage.update(txn, oid, &encode_to_vec(&rec))?;
                         Ok(())

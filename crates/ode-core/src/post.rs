@@ -88,12 +88,9 @@ impl Database {
         anchors: Vec<(String, Oid)>,
     ) -> Result<TriggerId> {
         let entry = self.entry(class)?;
-        let (triggernum, _) = entry
-            .td
-            .trigger(trigger)
-            .ok_or_else(|| {
-                OdeError::Schema(format!("class {class:?} has no trigger {trigger:?}"))
-            })?;
+        let (triggernum, _) = entry.td.trigger(trigger).ok_or_else(|| {
+            OdeError::Schema(format!("class {class:?} has no trigger {trigger:?}"))
+        })?;
         if anchors.is_empty() {
             // Ordinary trigger: the anchor's dynamic class must derive
             // from the defining class.
@@ -158,6 +155,7 @@ impl Database {
             stats.activations += 1;
             stats.mask_evaluations += mask_evals;
         }
+        self.metrics().trigger_activations.inc();
 
         // An expression matching the empty stream fires at activation.
         if outcome.accepted {
@@ -212,14 +210,13 @@ impl Database {
             }
         }
         self.stats.lock().deactivations += 1;
+        self.metrics().trigger_deactivations.inc();
         Ok(true)
     }
 
     /// Deactivate every trigger anchored at `oid` (used by `pdelete`).
     pub fn deactivate_all(&self, txn: TxnId, oid: Oid) -> Result<usize> {
-        let states = self
-            .trigger_index
-            .get(&self.storage, txn, oid.to_u64())?;
+        let states = self.trigger_index.get(&self.storage, txn, oid.to_u64())?;
         let mut n = 0;
         for state_oid in states {
             if self.deactivate(txn, TriggerId(state_oid))? {
@@ -319,6 +316,11 @@ impl Database {
         event_args: Option<&[u8]>,
     ) -> Result<()> {
         self.stats.lock().events_posted += 1;
+        self.metrics().events_posted.inc();
+        self.metrics().emit(|| ode_obs::TraceEvent::EventPosted {
+            event: event.0,
+            anchor: anchor.to_u64(),
+        });
         let (header, _) = self.read_raw(txn, anchor)?;
 
         let mut immediate: Vec<Firing> = Vec::new();
@@ -327,9 +329,7 @@ impl Database {
                 .trigger_index
                 .get(&self.storage, txn, anchor.to_u64())?;
             for state_oid in states {
-                if let Some(firing) =
-                    self.advance_one(txn, anchor, event, state_oid, event_args)?
-                {
+                if let Some(firing) = self.advance_one(txn, anchor, event, state_oid, event_args)? {
                     if let Some(f) = self.schedule(txn, firing) {
                         immediate.push(f);
                     }
@@ -337,6 +337,7 @@ impl Database {
             }
         } else {
             self.stats.lock().index_skips += 1;
+            self.metrics().index_skips.inc();
         }
 
         // Volatile local rules (§8) advance too — their state never
@@ -445,12 +446,12 @@ impl Database {
                 if outcome.accepted && !info.perpetual {
                     // Once-only: deactivate now, fire from the copy.
                     self.deactivate(txn, TriggerId(state_oid))?;
+                    self.metrics().once_only_deactivations.inc();
                 } else if outcome.state != rec.statenum {
                     // Advancing the FSM updates the trigger descriptor —
                     // the read-becomes-write effect of §6.
                     rec.statenum = outcome.state;
-                    self.storage
-                        .update(txn, state_oid, &encode_to_vec(&rec))?;
+                    self.storage.update(txn, state_oid, &encode_to_vec(&rec))?;
                 }
                 Ok(firing)
             }
@@ -459,12 +460,7 @@ impl Database {
 
     /// Translate an event id to its anchor-qualified form for inter-object
     /// FSMs (see [`crate::interobject`]).
-    fn qualify_event(
-        &self,
-        event: EventId,
-        anchor: Oid,
-        anchors: &[(String, Oid)],
-    ) -> EventId {
+    fn qualify_event(&self, event: EventId, anchor: Oid, anchors: &[(String, Oid)]) -> EventId {
         let Some((class, basic)) = self.registry().describe(event) else {
             return event;
         };
@@ -520,6 +516,29 @@ impl Database {
                 stats.deferred_firings += 1;
             }
         }
+        let metrics = self.metrics();
+        let coupling = match firing.coupling {
+            CouplingMode::Immediate => {
+                metrics.firings_immediate.inc();
+                ode_obs::coupling_label::IMMEDIATE
+            }
+            CouplingMode::End => {
+                metrics.firings_end.inc();
+                ode_obs::coupling_label::END
+            }
+            CouplingMode::Dependent => {
+                metrics.firings_dependent.inc();
+                ode_obs::coupling_label::DEPENDENT
+            }
+            CouplingMode::Independent => {
+                metrics.firings_independent.inc();
+                ode_obs::coupling_label::INDEPENDENT
+            }
+        };
+        metrics.emit(|| ode_obs::TraceEvent::TriggerFired {
+            trigger: &firing.trigger_name,
+            coupling,
+        });
         let mut ctx = TriggerCtx {
             db: self,
             txn,

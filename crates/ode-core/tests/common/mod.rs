@@ -107,7 +107,12 @@ pub fn cred_card_class(db: &Database) -> Arc<TypeDescriptor> {
 }
 
 /// `Buy` through a persistent pointer (posts `after Buy`).
-pub fn buy(db: &Database, txn: ode_core::TxnId, card: PersistentPtr<CredCard>, amount: f32) -> ode_core::Result<()> {
+pub fn buy(
+    db: &Database,
+    txn: ode_core::TxnId,
+    card: PersistentPtr<CredCard>,
+    amount: f32,
+) -> ode_core::Result<()> {
     db.invoke(txn, card, "Buy", |c: &mut CredCard| {
         c.curr_bal += amount;
         Ok(())

@@ -49,10 +49,10 @@ impl OdeObject for Account {
     const CLASS: &'static str = "Account";
 }
 
-fn log_action(tag: &'static str) -> impl for<'a, 'b> Fn(&'a mut ode_core::TriggerCtx<'b>) -> ode_core::Result<()>
-       + Send
-       + Sync
-       + 'static {
+fn log_action(
+    tag: &'static str,
+) -> impl for<'a, 'b> Fn(&'a mut ode_core::TriggerCtx<'b>) -> ode_core::Result<()> + Send + Sync + 'static
+{
     move |ctx| {
         let audit: PersistentPtr<Audit> = ctx.params()?;
         ctx.db()
@@ -113,10 +113,7 @@ fn setup(db: &Database) {
     db.register_class(&account).unwrap();
 }
 
-fn new_world(
-    db: &Database,
-    triggers: &[&str],
-) -> (PersistentPtr<Account>, PersistentPtr<Audit>) {
+fn new_world(db: &Database, triggers: &[&str]) -> (PersistentPtr<Account>, PersistentPtr<Audit>) {
     db.with_txn(|txn| {
         let audit = db.pnew(txn, &Audit::default())?;
         let account = db.pnew(txn, &Account { balance: 0 })?;
@@ -128,7 +125,12 @@ fn new_world(
     .unwrap()
 }
 
-fn deposit(db: &Database, txn: ode_core::TxnId, acc: PersistentPtr<Account>, n: i64) -> ode_core::Result<()> {
+fn deposit(
+    db: &Database,
+    txn: ode_core::TxnId,
+    acc: PersistentPtr<Account>,
+    n: i64,
+) -> ode_core::Result<()> {
     db.invoke(txn, acc, "Deposit", |a: &mut Account| {
         a.balance += n;
         Ok(())
@@ -311,9 +313,7 @@ fn end_trigger_tabort_aborts_the_whole_transaction() {
     // Positive total: commits.
     db.with_txn(|txn| deposit(&db, txn, acc, 5)).unwrap();
     // Negative total at commit time: aborts even though each step ran.
-    let err = db
-        .with_txn(|txn| deposit(&db, txn, acc, -100))
-        .unwrap_err();
+    let err = db.with_txn(|txn| deposit(&db, txn, acc, -100)).unwrap_err();
     assert!(err.is_abort(), "{err}");
     db.with_txn(|txn| {
         assert_eq!(db.read(txn, acc)?.balance, 5);

@@ -1,0 +1,262 @@
+//! The full coupling-mode × transaction-outcome matrix (§4.2, §5.5),
+//! cross-checked against the observability counters.
+//!
+//! For each coupling mode {immediate, deferred/end, dependent,
+//! !dependent} and each outcome {commit, abort}, one cell of the matrix
+//! asserts both the *semantic* result (did the action's write survive?)
+//! and the *metrics* result (which `firings_*` counter moved, and what
+//! the commit/abort queue depths were).
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+};
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Audit {
+    lines: Vec<String>,
+}
+
+impl Encode for Audit {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.lines.encode(buf);
+    }
+}
+impl Decode for Audit {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Audit {
+            lines: Vec::<String>::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Audit {
+    const CLASS: &'static str = "Audit";
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Account {
+    balance: i64,
+}
+
+impl Encode for Account {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.balance.encode(buf);
+    }
+}
+impl Decode for Account {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Account {
+            balance: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Account {
+    const CLASS: &'static str = "Account";
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Commit,
+    Abort,
+}
+
+/// One cell of the matrix: a fresh database with a single trigger of the
+/// given coupling mode, one Deposit inside a transaction that then
+/// commits or aborts. Returns (audit lines, metrics snapshot).
+fn run_cell(mode: CouplingMode, outcome: Outcome) -> (Vec<String>, ode_obs::MetricsSnapshot) {
+    let db = Database::volatile();
+    let audit_td = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit_td).unwrap();
+    let account_td = ClassBuilder::new("Account")
+        .after_event("Deposit")
+        .trigger("Log", "after Deposit", mode, Perpetual::Yes, |ctx| {
+            let audit: PersistentPtr<Audit> = ctx.params()?;
+            ctx.db()
+                .update_with(ctx.txn(), audit, |a| a.lines.push("fired".into()))
+        })
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&account_td).unwrap();
+
+    let (account, audit) = db
+        .with_txn(|txn| {
+            let audit = db.pnew(txn, &Audit::default())?;
+            let account = db.pnew(txn, &Account { balance: 0 })?;
+            db.activate(txn, account, "Log", &audit)?;
+            Ok((account, audit))
+        })
+        .unwrap();
+
+    // Count only the measured transaction.
+    db.metrics().reset();
+
+    let deposit = |txn| {
+        db.invoke(txn, account, "Deposit", |a: &mut Account| {
+            a.balance += 10;
+            Ok(())
+        })
+    };
+    match outcome {
+        Outcome::Commit => db.with_txn(deposit).unwrap(),
+        Outcome::Abort => {
+            let err = db
+                .with_txn(|txn| {
+                    deposit(txn)?;
+                    Err::<(), _>(ode_core::OdeError::tabort("matrix abort"))
+                })
+                .unwrap_err();
+            assert!(err.is_abort());
+        }
+    }
+
+    // Snapshot before the read-back transaction adds its own commit.
+    let snap = db.stats();
+    let lines = db.with_txn(|txn| Ok(db.read(txn, audit)?.lines)).unwrap();
+    (lines, snap)
+}
+
+/// Expected matrix, straight from §5.5:
+///
+/// | mode        | commit                  | abort                      |
+/// |-------------|-------------------------|----------------------------|
+/// | immediate   | fires inline            | ran, then rolled back      |
+/// | end         | fires pre-commit        | never runs                 |
+/// | dependent   | fires post-commit       | never runs                 |
+/// | !dependent  | fires post-commit       | fires post-abort           |
+#[test]
+fn coupling_outcome_matrix_with_metrics() {
+    let all = [
+        CouplingMode::Immediate,
+        CouplingMode::End,
+        CouplingMode::Dependent,
+        CouplingMode::Independent,
+    ];
+    for mode in all {
+        for outcome in [Outcome::Commit, Outcome::Abort] {
+            let (lines, snap) = run_cell(mode, outcome);
+            let cell = format!("{mode:?} x {outcome:?}");
+
+            // --- Semantic outcome: did the action's write survive? ---
+            let survives = match (mode, outcome) {
+                // Immediate runs inside the detecting transaction, so its
+                // write is rolled back with it.
+                (CouplingMode::Immediate, Outcome::Abort) => false,
+                // End and dependent actions are discarded on abort.
+                (CouplingMode::End, Outcome::Abort) => false,
+                (CouplingMode::Dependent, Outcome::Abort) => false,
+                // Everything fires (and persists) on commit; !dependent
+                // also survives abort.
+                _ => true,
+            };
+            assert_eq!(
+                lines,
+                if survives { vec!["fired"] } else { vec![] },
+                "{cell}: audit"
+            );
+
+            // --- Metrics: which firing counter moved? ---
+            // Counters are process-global atomics, not transactional
+            // state: an immediate action that later rolls back still
+            // *executed*, so its firing is still counted.
+            let executed = match (mode, outcome) {
+                (CouplingMode::End, Outcome::Abort) => 0,
+                (CouplingMode::Dependent, Outcome::Abort) => 0,
+                _ => 1,
+            };
+            let by_mode = [
+                (CouplingMode::Immediate, snap.firings_immediate),
+                (CouplingMode::End, snap.firings_end),
+                (CouplingMode::Dependent, snap.firings_dependent),
+                (CouplingMode::Independent, snap.firings_independent),
+            ];
+            for (m, count) in by_mode {
+                let want = if m == mode { executed } else { 0 };
+                assert_eq!(count, want, "{cell}: firings for {m:?}");
+            }
+
+            // --- Metrics: queue depths at transaction end (§5.5's
+            // per-transaction dep/indep lists). End actions run *inside*
+            // the detecting transaction and never sit on a detached
+            // queue. The user commit contributes the detached entries;
+            // run_detached's own system transactions drain empty queues.
+            let detached = matches!(mode, CouplingMode::Dependent | CouplingMode::Independent);
+            let want_commit_q = if detached && outcome == Outcome::Commit {
+                1
+            } else {
+                0
+            };
+            let want_abort_q = if mode == CouplingMode::Independent && outcome == Outcome::Abort {
+                1
+            } else {
+                0
+            };
+            assert_eq!(
+                snap.commit_queue_depth, want_commit_q,
+                "{cell}: commit queue"
+            );
+            assert_eq!(snap.abort_queue_depth, want_abort_q, "{cell}: abort queue");
+
+            // The event posting itself is always observed, whatever the
+            // coupling mode or outcome.
+            assert_eq!(snap.events_posted, 1, "{cell}: events_posted");
+            assert!(snap.detached_failures == 0, "{cell}: no detached failures");
+        }
+    }
+}
+
+/// The firings-by-mode counters partition total firings: a transaction
+/// with all four couplings active moves all four counters by exactly one.
+#[test]
+fn all_modes_counted_once_in_one_transaction() {
+    let db = Database::volatile();
+    let audit_td = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit_td).unwrap();
+    let mut builder = ClassBuilder::new("Account").after_event("Deposit");
+    for (name, mode) in [
+        ("LogNow", CouplingMode::Immediate),
+        ("LogAtEnd", CouplingMode::End),
+        ("LogDependent", CouplingMode::Dependent),
+        ("LogIndependent", CouplingMode::Independent),
+    ] {
+        builder = builder.trigger(name, "after Deposit", mode, Perpetual::Yes, |ctx| {
+            let audit: PersistentPtr<Audit> = ctx.params()?;
+            ctx.db()
+                .update_with(ctx.txn(), audit, |a| a.lines.push("fired".into()))
+        });
+    }
+    let account_td = builder.build(db.registry()).unwrap();
+    db.register_class(&account_td).unwrap();
+
+    let (account, audit) = db
+        .with_txn(|txn| {
+            let audit = db.pnew(txn, &Audit::default())?;
+            let account = db.pnew(txn, &Account { balance: 0 })?;
+            for t in ["LogNow", "LogAtEnd", "LogDependent", "LogIndependent"] {
+                db.activate(txn, account, t, &audit)?;
+            }
+            Ok((account, audit))
+        })
+        .unwrap();
+    db.metrics().reset();
+    db.with_txn(|txn| {
+        db.invoke(txn, account, "Deposit", |a: &mut Account| {
+            a.balance += 1;
+            Ok(())
+        })
+    })
+    .unwrap();
+    let snap = db.stats();
+    assert_eq!(snap.firings_immediate, 1);
+    assert_eq!(snap.firings_end, 1);
+    assert_eq!(snap.firings_dependent, 1);
+    assert_eq!(snap.firings_independent, 1);
+    // Both detached actions were queued on the committing transaction.
+    assert_eq!(snap.commit_queue_depth, 2);
+    assert_eq!(snap.abort_queue_depth, 0);
+    assert_eq!(
+        db.with_txn(|txn| Ok(db.read(txn, audit)?.lines))
+            .unwrap()
+            .len(),
+        4
+    );
+}

@@ -29,9 +29,7 @@ fn deny_credit_blocks_over_limit_purchases() {
 
     // A purchase that would exceed the limit fires DenyCredit: the whole
     // transaction aborts, so the purchase never happens.
-    let err = db
-        .with_txn(|txn| buy(&db, txn, card, 700.0))
-        .unwrap_err();
+    let err = db.with_txn(|txn| buy(&db, txn, card, 700.0)).unwrap_err();
     assert!(err.is_abort(), "DenyCredit must tabort: {err}");
 
     db.with_txn(|txn| {
@@ -47,9 +45,7 @@ fn deny_credit_blocks_over_limit_purchases() {
     .unwrap();
 
     // DenyCredit is perpetual: it fires again on the next violation.
-    let err = db
-        .with_txn(|txn| buy(&db, txn, card, 2000.0))
-        .unwrap_err();
+    let err = db.with_txn(|txn| buy(&db, txn, card, 2000.0)).unwrap_err();
     assert!(err.is_abort());
 }
 

@@ -3,9 +3,7 @@
 //! in masks."
 
 use bytes::BytesMut;
-use ode_core::{
-    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual,
-};
+use ode_core::{ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 

@@ -2,9 +2,7 @@
 //! expressions, the fire-after-all-posted rule, and design-goal checks.
 
 use bytes::BytesMut;
-use ode_core::{
-    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual,
-};
+use ode_core::{ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -451,6 +449,7 @@ fn conjunction_triggers_work_through_the_database() {
         })
         .unwrap();
     assert_eq!(fired.load(Ordering::SeqCst), 1, "one side is not enough");
-    db.with_txn(|txn| db.post_user_event(txn, c2, "Ping")).unwrap();
+    db.with_txn(|txn| db.post_user_event(txn, c2, "Ping"))
+        .unwrap();
     assert_eq!(fired.load(Ordering::SeqCst), 2);
 }

@@ -281,15 +281,17 @@ fn program_trading_inter_object_trigger() {
         .anchor("att", &stock_td)
         .anchor("gold", &stock_td)
         .mask("AttBelow60", |ctx| {
-            let att: Stock = ctx
-                .db()
-                .read(ctx.txn(), ode_core::PersistentPtr::from_oid(ctx.named_anchor("att")?))?;
+            let att: Stock = ctx.db().read(
+                ctx.txn(),
+                ode_core::PersistentPtr::from_oid(ctx.named_anchor("att")?),
+            )?;
             Ok(att.price < 60.0)
         })
         .mask("GoldStable", |ctx| {
-            let gold: Stock = ctx
-                .db()
-                .read(ctx.txn(), ode_core::PersistentPtr::from_oid(ctx.named_anchor("gold")?))?;
+            let gold: Stock = ctx.db().read(
+                ctx.txn(),
+                ode_core::PersistentPtr::from_oid(ctx.named_anchor("gold")?),
+            )?;
             Ok((gold.price - gold.prev).abs() < 0.5)
         })
         .trigger(
@@ -420,7 +422,13 @@ fn inter_object_distinguishes_same_class_anchors() {
                     prev: 1.0,
                 },
             )?;
-            db.activate_inter(txn, "PairWatch", "AThenB", &[("a", a.oid()), ("b", b.oid())], &())?;
+            db.activate_inter(
+                txn,
+                "PairWatch",
+                "AThenB",
+                &[("a", a.oid()), ("b", b.oid())],
+                &(),
+            )?;
             Ok((a, b))
         })
         .unwrap();

@@ -154,9 +154,7 @@ fn range_queries_come_back_ordered() {
 #[test]
 fn backfill_indexes_existing_objects() {
     let db = setup();
-    let early = db
-        .with_txn(|txn| Ok(hire(&db, txn, "early", 77)))
-        .unwrap();
+    let early = db.with_txn(|txn| Ok(hire(&db, txn, "early", 77))).unwrap();
     db.with_txn(|txn| {
         db.create_attribute_index::<Employee>(txn, "by_salary", |e| {
             Some(i64_key(e.salary).to_vec())

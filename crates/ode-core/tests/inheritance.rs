@@ -226,12 +226,7 @@ fn same_method_name_in_two_classes_stays_distinct() {
     db.register_class(&b).unwrap();
 
     db.with_txn(|txn| {
-        let p = db.pnew(
-            txn,
-            &Person {
-                name: "x".into(),
-            },
-        )?;
+        let p = db.pnew(txn, &Person { name: "x".into() })?;
         db.activate(txn, p, "OnRename", &())?;
         let w = db.pnew(txn, &Widget)?;
         // Rename the widget: Person's trigger must not fire.

@@ -6,9 +6,7 @@
 //! transactions roll back "their associated events" too.
 
 use bytes::BytesMut;
-use ode_core::{
-    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual,
-};
+use ode_core::{ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual};
 use ode_events::ast::{Alphabet, EventExpr, TriggerEvent};
 use ode_events::dfa::Dfa;
 use ode_events::event::EventId;
@@ -50,10 +48,7 @@ fn expr() -> impl Strategy<Value = EventExpr> {
 
 /// Transaction scripts: (commit?, events to post).
 fn scripts() -> impl Strategy<Value = Vec<(bool, Vec<u8>)>> {
-    prop::collection::vec(
-        (any::<bool>(), prop::collection::vec(0..3u8, 0..6)),
-        0..8,
-    )
+    prop::collection::vec((any::<bool>(), prop::collection::vec(0..3u8, 0..6)), 0..8)
 }
 
 /// Reference alphabet with ids 0..3 in declaration order — matching the

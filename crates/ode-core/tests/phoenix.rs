@@ -46,9 +46,7 @@ fn send_mail_handler(db: &Database, outbox: PersistentPtr<Outbox>) {
 fn enqueue_is_transactional() {
     let db = Database::volatile();
     outbox_class(&db);
-    let outbox = db
-        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
-        .unwrap();
+    let outbox = db.with_txn(|txn| db.pnew(txn, &Outbox::default())).unwrap();
     send_mail_handler(&db, outbox);
 
     // Aborted enqueue vanishes.
@@ -87,9 +85,7 @@ fn phoenix_survives_crash_and_runs_after_reopen() {
     {
         let db = Database::create(dir.path(), StorageOptions::default()).unwrap();
         outbox_class(&db);
-        let outbox = db
-            .with_txn(|txn| db.pnew(txn, &Outbox::default()))
-            .unwrap();
+        let outbox = db.with_txn(|txn| db.pnew(txn, &Outbox::default())).unwrap();
         outbox_oid = outbox.oid();
         db.with_txn(|txn| {
             db.enqueue_phoenix(txn, "send_mail", &"survives".to_string())?;
@@ -120,9 +116,7 @@ fn phoenix_survives_crash_and_runs_after_reopen() {
 fn failing_handlers_retry_until_success() {
     let db = Database::volatile();
     outbox_class(&db);
-    let outbox = db
-        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
-        .unwrap();
+    let outbox = db.with_txn(|txn| db.pnew(txn, &Outbox::default())).unwrap();
     let failures_left = Arc::new(AtomicU32::new(2));
     let fl = Arc::clone(&failures_left);
     db.register_phoenix_handler("flaky", move |db, txn, payload| {
@@ -210,9 +204,7 @@ fn after_commit_trigger_pattern() {
         const CLASS: &'static str = "Doc";
     }
 
-    let outbox = db
-        .with_txn(|txn| db.pnew(txn, &Outbox::default()))
-        .unwrap();
+    let outbox = db.with_txn(|txn| db.pnew(txn, &Outbox::default())).unwrap();
     send_mail_handler(&db, outbox);
 
     let doc = db

@@ -25,17 +25,16 @@ impl OdeObject for Cell {
     const CLASS: &'static str = "Cell";
 }
 
-fn setup() -> (Arc<Database>, ode_core::PersistentPtr<Cell>, ode_core::PersistentPtr<Cell>) {
+fn setup() -> (
+    Arc<Database>,
+    ode_core::PersistentPtr<Cell>,
+    ode_core::PersistentPtr<Cell>,
+) {
     let db = Arc::new(Database::volatile());
     let td = ClassBuilder::new("Cell").build(db.registry()).unwrap();
     db.register_class(&td).unwrap();
     let (a, b) = db
-        .with_txn(|txn| {
-            Ok((
-                db.pnew(txn, &Cell { v: 0 })?,
-                db.pnew(txn, &Cell { v: 0 })?,
-            ))
-        })
+        .with_txn(|txn| Ok((db.pnew(txn, &Cell { v: 0 })?, db.pnew(txn, &Cell { v: 0 })?)))
         .unwrap();
     (db, a, b)
 }

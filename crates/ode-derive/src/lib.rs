@@ -25,85 +25,256 @@
 //! Field types must themselves implement `Encode`/`Decode` (all numeric
 //! primitives, `bool`, `String`, `Vec<T>`, `Option<T>`, tuples,
 //! `PersistentPtr<T>`, and nested derived classes do).
+//!
+//! The build environment has no crates.io access, so this macro is
+//! written against the compiler's built-in `proc_macro` API alone — a
+//! small hand-rolled token walk instead of `syn`/`quote`. It supports
+//! exactly what the codec layout rules allow: non-generic structs with
+//! named fields.
 
-use proc_macro::TokenStream;
-use quote::quote;
-use syn::{parse_macro_input, Data, DeriveInput, Fields};
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Render a token preserving joint punctuation (`::`, `->`), so the
+/// captured source text reparses identically.
+fn push_token(out: &mut String, tt: &TokenTree) {
+    match tt {
+        TokenTree::Punct(p) => {
+            out.push(p.as_char());
+            if p.spacing() == Spacing::Alone {
+                out.push(' ');
+            }
+        }
+        other => {
+            out.push_str(&other.to_string());
+            out.push(' ');
+        }
+    }
+}
 
 /// Derive `Encode`, `Decode`, and `OdeObject` for a named-field struct.
 #[proc_macro_derive(OdeClass, attributes(ode))]
 pub fn derive_ode_class(input: TokenStream) -> TokenStream {
-    let input = parse_macro_input!(input as DeriveInput);
     match expand(input) {
-        Ok(ts) => ts.into(),
-        Err(e) => e.to_compile_error().into(),
+        Ok(src) => src.parse().expect("generated impls parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
     }
 }
 
-fn expand(input: DeriveInput) -> syn::Result<proc_macro2::TokenStream> {
-    let ident = input.ident.clone();
-    let mut class_name = ident.to_string();
-    let mut krate: syn::Path = syn::parse_quote!(::ode_core);
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
 
-    for attr in &input.attrs {
-        if !attr.path().is_ident("ode") {
-            continue;
+    let mut class_name: Option<String> = None;
+    let mut krate = "::ode_core".to_string();
+
+    // Outer attributes: `#[ode(...)]` is ours; skip everything else
+    // (doc comments, other derives' helpers).
+    while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(&attr.first(), Some(TokenTree::Ident(i)) if i.to_string() == "ode") {
+            let Some(TokenTree::Group(args)) = attr.get(1) else {
+                return Err("expected `#[ode(...)]`".into());
+            };
+            parse_ode_attr(args.stream(), &mut class_name, &mut krate)?;
         }
-        attr.parse_nested_meta(|meta| {
-            if meta.path.is_ident("class") {
-                let lit: syn::LitStr = meta.value()?.parse()?;
-                class_name = lit.value();
-                Ok(())
-            } else if meta.path.is_ident("crate") {
-                krate = meta.value()?.parse()?;
-                Ok(())
-            } else {
-                Err(meta.error("expected `class = \"…\"` or `crate = path`"))
-            }
-        })?;
+        pos += 2;
     }
 
-    let Data::Struct(data) = &input.data else {
-        return Err(syn::Error::new_spanned(
-            &input.ident,
-            "OdeClass can only be derived for structs",
-        ));
+    // Visibility, then the `struct` keyword.
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                pos += 1;
+                // `pub(crate)` and friends carry a parenthesised scope.
+                if matches!(&tokens.get(pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => {
+                pos += 1;
+                break;
+            }
+            _ => return Err("OdeClass can only be derived for structs".into()),
+        }
+    }
+
+    let Some(TokenTree::Ident(ident)) = tokens.get(pos) else {
+        return Err("expected struct name".into());
     };
-    let Fields::Named(fields) = &data.fields else {
-        return Err(syn::Error::new_spanned(
-            &input.ident,
-            "OdeClass requires named fields (the field order is the stored layout)",
-        ));
+    let ident = ident.to_string();
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("OdeClass does not support generic structs (the stored layout must be a single concrete field sequence)".into());
+    }
+
+    let Some(TokenTree::Group(body)) = tokens.get(pos) else {
+        return Err("OdeClass requires named fields (the field order is the stored layout)".into());
     };
+    if body.delimiter() != Delimiter::Brace {
+        return Err("OdeClass requires named fields (the field order is the stored layout)".into());
+    }
 
-    let names: Vec<&syn::Ident> = fields
-        .named
-        .iter()
-        .map(|f| f.ident.as_ref().expect("named field"))
-        .collect();
-    let types: Vec<&syn::Type> = fields.named.iter().map(|f| &f.ty).collect();
+    let fields = parse_named_fields(body.stream())?;
+    if fields.is_empty() {
+        return Err("OdeClass requires at least one field".into());
+    }
 
-    let (impl_generics, ty_generics, where_clause) = input.generics.split_for_impl();
+    let class_name = class_name.unwrap_or_else(|| ident.clone());
 
-    Ok(quote! {
-        impl #impl_generics #krate::Encode for #ident #ty_generics #where_clause {
-            fn encode(&self, buf: &mut #krate::bytes::BytesMut) {
-                #( #krate::Encode::encode(&self.#names, buf); )*
+    let mut encode_body = String::new();
+    let mut decode_body = String::new();
+    for (name, ty) in &fields {
+        encode_body.push_str(&format!("{krate}::Encode::encode(&self.{name}, buf);\n"));
+        decode_body.push_str(&format!(
+            "{name}: <{ty} as {krate}::Decode>::decode(buf)?,\n"
+        ));
+    }
+
+    Ok(format!(
+        "impl {krate}::Encode for {ident} {{\n\
+             fn encode(&self, buf: &mut {krate}::bytes::BytesMut) {{\n\
+                 {encode_body}\
+             }}\n\
+         }}\n\
+         impl {krate}::Decode for {ident} {{\n\
+             fn decode(\n\
+                 buf: &mut &[u8],\n\
+             ) -> ::std::result::Result<Self, {krate}::StorageError> {{\n\
+                 ::std::result::Result::Ok({ident} {{\n\
+                     {decode_body}\
+                 }})\n\
+             }}\n\
+         }}\n\
+         impl {krate}::OdeObject for {ident} {{\n\
+             const CLASS: &'static str = {class_name:?};\n\
+         }}\n"
+    ))
+}
+
+/// Parse `class = "Name"` / `crate = some::path` inside `#[ode(...)]`.
+fn parse_ode_attr(
+    stream: TokenStream,
+    class_name: &mut Option<String>,
+    krate: &mut String,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let Some(TokenTree::Ident(key)) = tokens.get(pos) else {
+            return Err("expected `class = \"…\"` or `crate = path`".into());
+        };
+        let key = key.to_string();
+        if !matches!(&tokens.get(pos + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("expected `class = \"…\"` or `crate = path`".into());
+        }
+        pos += 2;
+        match key.as_str() {
+            "class" => {
+                let Some(TokenTree::Literal(lit)) = tokens.get(pos) else {
+                    return Err("`class` expects a string literal".into());
+                };
+                let text = lit.to_string();
+                let stripped = text
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .ok_or_else(|| "`class` expects a plain string literal".to_string())?;
+                *class_name = Some(stripped.to_string());
+                pos += 1;
+            }
+            "crate" => {
+                // Consume path tokens up to the next top-level comma.
+                let mut path = String::new();
+                while pos < tokens.len() {
+                    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        break;
+                    }
+                    push_token(&mut path, &tokens[pos]);
+                    pos += 1;
+                }
+                let path = path.trim().to_string();
+                if path.is_empty() {
+                    return Err("`crate` expects a path".into());
+                }
+                *krate = path;
+            }
+            other => {
+                return Err(format!(
+                    "unknown ode attribute `{other}`: expected `class = \"…\"` or `crate = path`"
+                ));
             }
         }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(())
+}
 
-        impl #impl_generics #krate::Decode for #ident #ty_generics #where_clause {
-            fn decode(
-                buf: &mut &[u8],
-            ) -> ::std::result::Result<Self, #krate::StorageError> {
-                ::std::result::Result::Ok(#ident {
-                    #( #names: <#types as #krate::Decode>::decode(buf)?, )*
-                })
+/// Parse `name: Type, …` from a brace-delimited struct body, skipping
+/// field attributes and visibility. Types are captured as source text up
+/// to the next comma at bracket depth zero.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, String)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < tokens.len() {
+        // Field attributes (doc comments included).
+        while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            pos += 1;
+            if matches!(&tokens.get(pos), Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1;
             }
         }
-
-        impl #impl_generics #krate::OdeObject for #ident #ty_generics #where_clause {
-            const CLASS: &'static str = #class_name;
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            return Err(
+                "OdeClass requires named fields (the field order is the stored layout)".into(),
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        if !matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
         }
-    })
+        pos += 1;
+
+        // Type: tokens until a comma at angle-bracket depth zero. `<` /
+        // `>` as shift operators cannot appear in type position, so a
+        // simple depth counter is enough.
+        let mut depth: i32 = 0;
+        let mut ty = String::new();
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            push_token(&mut ty, &tokens[pos]);
+            pos += 1;
+        }
+        if ty.trim().is_empty() {
+            return Err(format!("field `{name}` has an empty type"));
+        }
+        fields.push((name, ty.trim().to_string()));
+        // The separating comma, if present.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
 }

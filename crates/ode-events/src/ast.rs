@@ -231,32 +231,16 @@ impl EventExpr {
         let (s, my_prec) = match self {
             EventExpr::Basic(e) => (al.event_name(*e), 4),
             EventExpr::Any => ("any".to_string(), 4),
-            EventExpr::Or(a, b) => (
-                format!("{} || {}", a.fmt_prec(al, 0), b.fmt_prec(al, 1)),
-                0,
-            ),
-            EventExpr::Both(a, b) => (
-                format!("{} && {}", a.fmt_prec(al, 1), b.fmt_prec(al, 2)),
-                1,
-            ),
-            EventExpr::Seq(a, b) => (
-                format!("{}, {}", a.fmt_prec(al, 2), b.fmt_prec(al, 3)),
-                2,
-            ),
-            EventExpr::Mask(a, m) => (
-                format!("{} & {}()", a.fmt_prec(al, 3), al.mask_name(*m)),
-                3,
-            ),
+            EventExpr::Or(a, b) => (format!("{} || {}", a.fmt_prec(al, 0), b.fmt_prec(al, 1)), 0),
+            EventExpr::Both(a, b) => (format!("{} && {}", a.fmt_prec(al, 1), b.fmt_prec(al, 2)), 1),
+            EventExpr::Seq(a, b) => (format!("{}, {}", a.fmt_prec(al, 2), b.fmt_prec(al, 3)), 2),
+            EventExpr::Mask(a, m) => (format!("{} & {}()", a.fmt_prec(al, 3), al.mask_name(*m)), 3),
             EventExpr::Star(a) => (format!("*{}", a.fmt_prec(al, 4)), 4),
             // Relative args print at mask precedence: a top-level ',' would
             // be read as the argument separator, so sequences (and, for
             // clarity, unions/conjunctions) get parenthesised.
             EventExpr::Relative(a, b) => (
-                format!(
-                    "relative({}, {})",
-                    a.fmt_prec(al, 3),
-                    b.fmt_prec(al, 3)
-                ),
+                format!("relative({}, {})", a.fmt_prec(al, 3), b.fmt_prec(al, 3)),
                 4,
             ),
         };

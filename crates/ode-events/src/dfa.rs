@@ -24,7 +24,10 @@
 use crate::ast::{Alphabet, TriggerEvent};
 use crate::event::{EventId, MaskId, Symbol};
 use crate::nfa::Nfa;
+use ode_obs::{Metrics, TraceEvent};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One sparse transition (§5.4.3's `struct Transition`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +65,7 @@ impl State {
 /// progress is just a state number kept in the trigger's persistent state
 /// (§5.1.3: "the only FSM-related information that needs to be stored with
 /// a trigger activation is … the state of the FSM").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Dfa {
     start: u32,
     states: Vec<State>,
@@ -73,7 +76,23 @@ pub struct Dfa {
     masks: Vec<MaskId>,
     /// Whether the source expression was `^`-anchored.
     anchored: bool,
+    /// Database-wide metrics registry counting run-time transitions and
+    /// mask evaluations; `None` for machines compiled outside a database.
+    pub(crate) metrics: Option<Arc<Metrics>>,
 }
+
+// Machine identity ignores the attached metrics registry.
+impl PartialEq for Dfa {
+    fn eq(&self, other: &Dfa) -> bool {
+        self.start == other.start
+            && self.states == other.states
+            && self.alphabet_events == other.alphabet_events
+            && self.masks == other.masks
+            && self.anchored == other.anchored
+    }
+}
+
+impl Eq for Dfa {}
 
 impl Dfa {
     /// Compile a trigger event expression into an optimised FSM.
@@ -105,6 +124,49 @@ impl Dfa {
         let mut dfa = Dfa::compile_unoptimized(trigger, alphabet);
         dfa.optimize();
         dfa
+    }
+
+    /// Like [`Dfa::compile`], but instrumented: records compile time and
+    /// NFA/DFA state counts in `metrics`, attaches the registry to the
+    /// returned machine (so its run-time transitions and mask evaluations
+    /// are counted too), and emits [`TraceEvent::FsmCompiled`] naming the
+    /// trigger.
+    pub fn compile_observed(
+        trigger: &TriggerEvent,
+        alphabet: &Alphabet,
+        name: &str,
+        metrics: &Arc<Metrics>,
+    ) -> Dfa {
+        let started = Instant::now();
+        let mut dfa = Dfa::compile(trigger, alphabet);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let nfa_states = Self::nfa_size(trigger, alphabet);
+        metrics.fsm_compiles.inc();
+        metrics.fsm_compile_nanos.add(nanos);
+        metrics.nfa_states.add(nfa_states);
+        metrics.fsm_states.add(dfa.len() as u64);
+        metrics.emit(|| TraceEvent::FsmCompiled {
+            trigger: name,
+            nfa_states,
+            dfa_states: dfa.len() as u64,
+            nanos,
+        });
+        dfa.metrics = Some(Arc::clone(metrics));
+        dfa
+    }
+
+    /// Total Thompson-construction NFA states for the expression.
+    /// Top-level conjunctions never reach [`Nfa::build`] directly (each
+    /// side compiles separately), so their sides are summed.
+    fn nfa_size(trigger: &TriggerEvent, alphabet: &Alphabet) -> u64 {
+        if let crate::ast::EventExpr::Both(a, b) = &trigger.expr {
+            let side = |expr: &crate::ast::EventExpr| TriggerEvent {
+                anchored: trigger.anchored,
+                expr: expr.clone(),
+            };
+            return Self::nfa_size(&side(a), alphabet) + Self::nfa_size(&side(b), alphabet);
+        }
+        Nfa::build(trigger, alphabet).len() as u64
     }
 
     /// The shared optimisation pipeline: prune, then iterate minimisation
@@ -271,6 +333,7 @@ impl Dfa {
             alphabet_events: left.alphabet_events.clone(),
             masks: all_masks,
             anchored: left.anchored,
+            metrics: None,
         }
     }
 
@@ -289,8 +352,7 @@ impl Dfa {
         while cursor < sets.len() {
             let set = sets[cursor].clone();
             let accept = set.contains(&nfa.accept());
-            let mut masks: Vec<MaskId> =
-                set.iter().filter_map(|&s| nfa.mask_of(s)).collect();
+            let mut masks: Vec<MaskId> = set.iter().filter_map(|&s| nfa.mask_of(s)).collect();
             masks.sort_unstable();
             masks.dedup();
             let mut transitions = Vec::new();
@@ -319,6 +381,7 @@ impl Dfa {
             alphabet_events: nfa.alphabet_events().to_vec(),
             masks: nfa.masks().to_vec(),
             anchored: trigger.anchored,
+            metrics: None,
         }
     }
 
@@ -404,9 +467,7 @@ impl Dfa {
             let mut keys: HashMap<(bool, Vec<MaskId>), u32> = HashMap::new();
             for (i, s) in self.states.iter().enumerate() {
                 let next = keys.len() as u32;
-                let id = *keys
-                    .entry((s.accept, s.masks.clone()))
-                    .or_insert(next);
+                let id = *keys.entry((s.accept, s.masks.clone())).or_insert(next);
                 class[i] = id;
             }
         }
@@ -585,11 +646,7 @@ impl Dfa {
                 by_target.entry(t.to).or_default().push(label);
             }
             for (to, labels) in by_target {
-                let _ = writeln!(
-                    out,
-                    "  s{i} -> s{to} [label=\"{}\"];",
-                    labels.join(" || ")
-                );
+                let _ = writeln!(out, "  s{i} -> s{to} [label=\"{}\"];", labels.join(" || "));
             }
         }
         let _ = writeln!(out, "}}");
@@ -683,8 +740,12 @@ mod tests {
         let bigbuy = Symbol::Event(EventId(0));
         let m = MaskId(0);
 
-        assert_eq!(dfa.len(), 4, "Figure 1 has exactly four states:\n{}",
-            dfa.render(&alphabet()));
+        assert_eq!(
+            dfa.len(),
+            4,
+            "Figure 1 has exactly four states:\n{}",
+            dfa.render(&alphabet())
+        );
         let s0 = &dfa.states()[0];
         let s1 = &dfa.states()[1];
         let s2 = &dfa.states()[2];
@@ -708,7 +769,11 @@ mod tests {
         assert!(!s2.accept && s2.masks.is_empty());
         assert_eq!(s2.next(paybill), Some(3));
         assert_eq!(s2.next(bigbuy), Some(2));
-        assert_eq!(s2.next(buy), Some(2), "redundant mask re-evaluation is eliminated");
+        assert_eq!(
+            s2.next(buy),
+            Some(2),
+            "redundant mask re-evaluation is eliminated"
+        );
 
         // State 3: accept.
         assert!(s3.accept);

@@ -132,7 +132,12 @@ pub fn dense_run_stream(
     declared: &[EventId],
 ) -> usize {
     let mut answers = mask_answers.iter().copied();
-    dense_run_stream_with(dense, stream, |_, _| answers.next().unwrap_or(false), declared)
+    dense_run_stream_with(
+        dense,
+        stream,
+        |_, _| answers.next().unwrap_or(false),
+        declared,
+    )
 }
 
 /// Like [`dense_run_stream`], but with a (posting index, mask) oracle —
@@ -240,7 +245,10 @@ mod tests {
                 );
             }
             let m = MaskId(0);
-            assert_eq!(dense.next(i as u32, Symbol::True(m)), state.next(Symbol::True(m)));
+            assert_eq!(
+                dense.next(i as u32, Symbol::True(m)),
+                state.next(Symbol::True(m))
+            );
             assert_eq!(
                 dense.next(i as u32, Symbol::False(m)),
                 state.next(Symbol::False(m))

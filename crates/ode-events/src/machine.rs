@@ -80,6 +80,9 @@ impl Dfa {
                 status: Advance::Dead,
             };
         };
+        if let Some(metrics) = &self.metrics {
+            metrics.fsm_transitions.inc();
+        }
         let accepted = self.states()[next as usize].accept;
         self.quiesce(next, accepted, &mut eval)
     }
@@ -117,7 +120,16 @@ impl Dfa {
                 };
             }
             for &mask in &s.masks {
-                let symbol = if eval(mask) {
+                let truth = eval(mask);
+                if let Some(metrics) = &self.metrics {
+                    metrics.fsm_mask_evals.inc();
+                    if truth {
+                        metrics.fsm_true_events.inc();
+                    } else {
+                        metrics.fsm_false_events.inc();
+                    }
+                }
+                let symbol = if truth {
                     Symbol::True(mask)
                 } else {
                     Symbol::False(mask)
@@ -292,11 +304,7 @@ mod tests {
     fn mask_cascade_evaluates_in_order() {
         let mut al = alphabet();
         al.add_mask("Second");
-        let te = parse(
-            "(after Buy & MoreCred()) || (after Buy & Second())",
-            &al,
-        )
-        .unwrap();
+        let te = parse("(after Buy & MoreCred()) || (after Buy & Second())", &al).unwrap();
         let dfa = Dfa::compile(&te, &al);
         // Both masks pending after Buy; firing requires either to be true.
         let mut evaluated = Vec::new();

@@ -254,11 +254,7 @@ impl Nfa {
     /// Reference simulation used by tests and property checks: posts the
     /// real-event stream, quiescing masks after every step with `eval`.
     /// Returns true when the accept state was visited at any point.
-    pub fn simulate(
-        &self,
-        stream: &[EventId],
-        mut eval: impl FnMut(MaskId) -> bool,
-    ) -> bool {
+    pub fn simulate(&self, stream: &[EventId], mut eval: impl FnMut(MaskId) -> bool) -> bool {
         self.simulate_with(stream, |_, m| eval(m))
     }
 
@@ -290,11 +286,7 @@ impl Nfa {
     /// (nullable mask operands can loop `False` straight back into the
     /// pending state; the machine rests there and re-evaluates at the
     /// next posting). Returns whether accept was visited.
-    fn quiesce(
-        &self,
-        current: &mut Vec<usize>,
-        eval: &mut impl FnMut(MaskId) -> bool,
-    ) -> bool {
+    fn quiesce(&self, current: &mut Vec<usize>, eval: &mut impl FnMut(MaskId) -> bool) -> bool {
         let mut fired = false;
         'rounds: for _ in 0..crate::machine::QUIESCE_LIMIT {
             let mut pending: Vec<MaskId> =
@@ -372,7 +364,11 @@ mod tests {
             &[2, 0, 0, 1],
             &[]
         ));
-        assert!(!simulate("relative(after Buy, after PayBill)", &[1, 0], &[]));
+        assert!(!simulate(
+            "relative(after Buy, after PayBill)",
+            &[1, 0],
+            &[]
+        ));
     }
 
     #[test]

@@ -257,9 +257,7 @@ impl<'a> Parser<'a> {
                     let member = match self.bump() {
                         Some(Tok::Ident(m)) => m,
                         _ => {
-                            return Err(
-                                self.error(format!("expected an event name after {name:?}"))
-                            )
+                            return Err(self.error(format!("expected an event name after {name:?}")))
                         }
                     };
                     let full = format!("{name} {member}");
@@ -410,7 +408,10 @@ mod tests {
         let te = p("*any, after Buy");
         assert_eq!(
             te.expr,
-            EventExpr::seq(EventExpr::star(EventExpr::Any), EventExpr::Basic(EventId(2)))
+            EventExpr::seq(
+                EventExpr::star(EventExpr::Any),
+                EventExpr::Basic(EventId(2))
+            )
         );
     }
 
@@ -472,11 +473,7 @@ mod tests {
         // Top-level ',' inside relative() separates the arguments, so a
         // sequence must be parenthesised (as in the paper's own example).
         assert!(parse("relative(after Buy, BigBuy, after PayBill)", &alphabet()).is_err());
-        assert!(parse(
-            "relative((after Buy, BigBuy), after PayBill)",
-            &alphabet()
-        )
-        .is_ok());
+        assert!(parse("relative((after Buy, BigBuy), after PayBill)", &alphabet()).is_ok());
     }
 
     #[test]

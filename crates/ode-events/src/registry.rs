@@ -21,13 +21,19 @@
 //! than integer comparison.
 
 use crate::event::{BasicEvent, EventId};
+use ode_obs::Metrics;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Run-time assignment of globally unique integers to basic events.
+///
+/// Also carries the database-wide [`Metrics`] registry so that trigger
+/// compilation (which only sees the registry and an alphabet) can record
+/// into the same instance as the storage layer below it.
 #[derive(Debug, Default)]
 pub struct EventRegistry {
     inner: Mutex<RegistryInner>,
+    metrics: Arc<Metrics>,
 }
 
 #[derive(Debug, Default)]
@@ -37,9 +43,22 @@ struct RegistryInner {
 }
 
 impl EventRegistry {
-    /// An empty registry.
+    /// An empty registry with its own private metrics instance.
     pub fn new() -> EventRegistry {
         EventRegistry::default()
+    }
+
+    /// An empty registry recording into an existing metrics instance.
+    pub fn with_metrics(metrics: Arc<Metrics>) -> EventRegistry {
+        EventRegistry {
+            inner: Mutex::default(),
+            metrics,
+        }
+    }
+
+    /// The metrics registry this event registry records into.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Get-or-assign the unique integer for `event` as declared by

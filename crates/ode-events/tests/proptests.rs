@@ -33,10 +33,8 @@ fn maskfree_expr() -> impl Strategy<Value = EventExpr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::seq(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::or(a, b)),
             inner.clone().prop_map(EventExpr::star),
             (inner.clone(), inner).prop_map(|(a, b)| EventExpr::relative(a, b)),
         ]
@@ -51,13 +49,10 @@ fn masked_expr() -> impl Strategy<Value = EventExpr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::seq(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::or(a, b)),
             inner.clone().prop_map(EventExpr::star),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| EventExpr::relative(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::relative(a, b)),
             (inner, 0..2u16).prop_map(|(a, m)| EventExpr::mask(a, MaskId(m))),
         ]
     })
@@ -76,12 +71,9 @@ fn matches_exact(expr: &EventExpr, s: &[EventId], declared: &[EventId]) -> bool 
     match expr {
         EventExpr::Basic(e) => s.len() == 1 && s[0] == *e,
         EventExpr::Any => s.len() == 1 && declared.contains(&s[0]),
-        EventExpr::Seq(a, b) => (0..=s.len()).any(|i| {
-            matches_exact(a, &s[..i], declared) && matches_exact(b, &s[i..], declared)
-        }),
-        EventExpr::Or(a, b) => {
-            matches_exact(a, s, declared) || matches_exact(b, s, declared)
-        }
+        EventExpr::Seq(a, b) => (0..=s.len())
+            .any(|i| matches_exact(a, &s[..i], declared) && matches_exact(b, &s[i..], declared)),
+        EventExpr::Or(a, b) => matches_exact(a, s, declared) || matches_exact(b, s, declared),
         EventExpr::Star(a) => {
             s.is_empty()
                 || (1..=s.len()).any(|i| {
@@ -236,6 +228,35 @@ proptest! {
             dfa.run_stream_with(&noisy, noisy_oracle),
             dfa.run_stream_with(&s, plain_oracle)
         );
+    }
+
+    #[test]
+    fn observed_machine_counts_and_behaviour(expr in masked_expr(), s in stream(), seed in any::<u64>(), anchored in any::<bool>()) {
+        // Instrumented compilation (`compile_observed`) must produce the
+        // exact same machine as plain compilation, and its counters must
+        // be internally consistent with what the run actually did.
+        let al = alphabet();
+        let te = TriggerEvent { anchored, expr };
+        let plain = Dfa::compile(&te, &al);
+        let metrics = std::sync::Arc::new(ode_obs::Metrics::new());
+        let observed = Dfa::compile_observed(&te, &al, "prop", &metrics);
+        prop_assert_eq!(&observed, &plain, "instrumentation changed the machine");
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.fsm_compiles, 1);
+        prop_assert_eq!(snap.fsm_states, observed.len() as u64);
+        prop_assert!(snap.nfa_states >= 1, "NFA has at least a start state");
+
+        let oracle = |i: usize, m: MaskId| (seed >> ((i * 2 + m.0 as usize) % 64)) & 1 == 1;
+        let fired = observed.run_stream_with(&s, oracle);
+        prop_assert_eq!(fired, plain.run_stream_with(&s, oracle));
+        let snap = metrics.snapshot();
+        // Every mask evaluation consumes exactly one True/False pseudo-event.
+        prop_assert_eq!(
+            snap.fsm_mask_evals,
+            snap.fsm_true_events + snap.fsm_false_events
+        );
+        // At most one basic-event transition per posting.
+        prop_assert!(snap.fsm_transitions <= s.len() as u64);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! # ode-obs — engine-wide observability for the Ode reproduction
+//!
+//! One [`Metrics`] instance is shared (via `Arc`) by every layer of a
+//! database: the storage substrate (locks, WAL, buffer pool, B-tree), the
+//! event machinery (FSM compilation and run-time advances), and the
+//! trigger run-time (postings, firings by coupling mode, queue depths).
+//! All counters are relaxed atomics — incrementing one is lock-free and
+//! never blocks the engine — and [`Metrics::snapshot`] returns a plain
+//! [`MetricsSnapshot`] struct of `u64`s (no serde, no allocation beyond
+//! the struct itself) that can be diffed, asserted on in tests, or
+//! rendered in the Prometheus text exposition format.
+//!
+//! The paper's own evaluation (§6) leans on exactly these signals: lock
+//! waits and deadlock victims for the "triggers turn read access into
+//! write access" observation, per-machine state counts for the sparse-vs-
+//! dense transition-table decision, and mask/pseudo-event counts for the
+//! quiescence behaviour of Figure 1 machines.
+//!
+//! A [`TraceSink`] can additionally be attached to receive structured
+//! [`TraceEvent`]s at the moments the counters tick. The hot path pays a
+//! single relaxed boolean load when no sink is installed; event payloads
+//! are only constructed when one is.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A single monotonically increasing, lock-free counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (benchmarks between phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// A structured trace event, emitted to an attached [`TraceSink`] at the
+/// moment the corresponding counter ticks. Borrowed fields keep emission
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum TraceEvent<'a> {
+    /// A lock request had to wait for an incompatible holder.
+    LockWait { txn: u64, exclusive: bool },
+    /// A waiting lock request was chosen as a deadlock victim.
+    DeadlockVictim { txn: u64 },
+    /// The WAL was fsynced.
+    WalFsync { bytes_flushed: u64 },
+    /// The buffer pool evicted a clean frame.
+    BufferEviction { page: u32 },
+    /// A B-tree node split (the root split grows the tree by one level).
+    BtreeSplit { root: bool },
+    /// A transaction committed.
+    TxnCommit { txn: u64 },
+    /// A transaction aborted.
+    TxnAbort { txn: u64 },
+    /// A trigger event expression was compiled to an FSM.
+    FsmCompiled {
+        trigger: &'a str,
+        nfa_states: u64,
+        dfa_states: u64,
+        nanos: u64,
+    },
+    /// A basic event was posted to an object.
+    EventPosted { event: u32, anchor: u64 },
+    /// A trigger action ran.
+    TriggerFired { trigger: &'a str, coupling: &'a str },
+}
+
+/// Receiver for [`TraceEvent`]s. Implementations must be cheap and must
+/// not call back into the database (they run under engine-internal locks).
+pub trait TraceSink: Send + Sync {
+    /// Called once per traced occurrence.
+    fn on_event(&self, event: &TraceEvent<'_>);
+}
+
+/// Declares every counter once; expands to the `Metrics` registry, the
+/// plain [`MetricsSnapshot`] struct, and the Prometheus renderer so the
+/// three can never drift apart.
+macro_rules! counters {
+    ($( $(#[doc = $doc:expr])+ $name:ident, )+) => {
+        /// The engine-wide metrics registry. One instance per database,
+        /// shared by all layers; all counters are relaxed atomics.
+        pub struct Metrics {
+            $( $(#[doc = $doc])+ pub $name: Counter, )+
+            has_sink: AtomicBool,
+            sink: RwLock<Option<Arc<dyn TraceSink>>>,
+        }
+
+        /// Point-in-time copy of every counter — a serde-free plain
+        /// struct, cheap to copy and diff.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $( $(#[doc = $doc])+ pub $name: u64, )+
+        }
+
+        impl Metrics {
+            /// A fresh registry with all counters at zero and no sink.
+            pub fn new() -> Metrics {
+                Metrics {
+                    $( $name: Counter::new(), )+
+                    has_sink: AtomicBool::new(false),
+                    sink: RwLock::new(None),
+                }
+            }
+
+            /// Copy every counter.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $name: self.$name.get(), )+
+                }
+            }
+
+            /// Zero every counter (benchmarks between phases). The sink
+            /// stays attached.
+            pub fn reset(&self) {
+                $( self.$name.reset(); )+
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Render in the Prometheus text exposition format, one
+            /// `ode_`-prefixed counter per metric with HELP/TYPE headers.
+            pub fn render_prometheus(&self) -> String {
+                use std::fmt::Write as _;
+                let mut out = String::new();
+                $(
+                    let help: &str = concat!($($doc),+);
+                    let _ = writeln!(out, "# HELP ode_{} {}", stringify!($name), help.trim());
+                    let _ = writeln!(out, "# TYPE ode_{} counter", stringify!($name));
+                    let _ = writeln!(out, "ode_{} {}", stringify!($name), self.$name);
+                )+
+                out
+            }
+        }
+    };
+}
+
+counters! {
+    // ---------------------------------------------------------------
+    // ode-storage: lock manager
+    // ---------------------------------------------------------------
+    /// Shared-mode lock grants (immediate or after waiting).
+    lock_shared_acquisitions,
+    /// Exclusive-mode lock grants (immediate or after waiting).
+    lock_exclusive_acquisitions,
+    /// Shared-mode requests that had to wait at least once.
+    lock_shared_waits,
+    /// Exclusive-mode requests that had to wait at least once.
+    lock_exclusive_waits,
+    /// Shared-to-exclusive upgrades (§6: triggers turn reads into writes).
+    lock_upgrades,
+    /// Requests aborted as deadlock victims.
+    lock_deadlock_victims,
+    /// Total microseconds spent blocked on locks.
+    lock_wait_micros,
+    // ---------------------------------------------------------------
+    // ode-storage: WAL, buffer pool, B-tree, transactions
+    // ---------------------------------------------------------------
+    /// Log records appended to the WAL.
+    wal_appends,
+    /// Payload bytes appended to the WAL (including framing).
+    wal_bytes,
+    /// WAL fsync (sync_data) calls.
+    wal_fsyncs,
+    /// Buffer-pool page requests served from cache.
+    buf_hits,
+    /// Buffer-pool page requests that read the data file.
+    buf_misses,
+    /// Buffer-pool frames evicted (clean frames only; no-steal).
+    buf_evictions,
+    /// B-tree node splits (leaf, internal, and root).
+    btree_splits,
+    /// Transactions committed.
+    txn_commits,
+    /// Transactions aborted.
+    txn_aborts,
+    // ---------------------------------------------------------------
+    // ode-events: FSM compilation and run-time
+    // ---------------------------------------------------------------
+    /// Trigger event expressions compiled to FSMs.
+    fsm_compiles,
+    /// Nanoseconds spent compiling trigger FSMs.
+    fsm_compile_nanos,
+    /// NFA states built across all compilations (Thompson construction).
+    nfa_states,
+    /// Optimised DFA states across all compilations.
+    fsm_states,
+    /// Real-event transitions taken by trigger FSMs at run time.
+    fsm_transitions,
+    /// Mask predicate evaluations performed by trigger FSMs.
+    fsm_mask_evals,
+    /// True pseudo-events consumed during mask quiescence (§5.4.5).
+    fsm_true_events,
+    /// False pseudo-events consumed during mask quiescence (§5.4.5).
+    fsm_false_events,
+    // ---------------------------------------------------------------
+    // ode-core: trigger run-time
+    // ---------------------------------------------------------------
+    /// Basic events posted to objects.
+    events_posted,
+    /// Index lookups skipped via the header has-triggers flag byte.
+    index_skips,
+    /// Trigger activations.
+    trigger_activations,
+    /// Trigger deactivations (explicit, once-only, or dead instances).
+    trigger_deactivations,
+    /// Once-only triggers deactivated because they fired.
+    once_only_deactivations,
+    /// Immediate-coupled trigger actions executed.
+    firings_immediate,
+    /// End-coupled (deferred) trigger actions executed.
+    firings_end,
+    /// Dependent-coupled trigger actions executed.
+    firings_dependent,
+    /// !dependent-coupled trigger actions executed.
+    firings_independent,
+    /// Firings on the per-transaction lists when commit processing ran.
+    commit_queue_depth,
+    /// Firings on the per-transaction lists when abort processing ran.
+    abort_queue_depth,
+    /// Detached (dependent/!dependent) actions whose system transaction
+    /// failed.
+    detached_failures,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Metrics").field(&self.snapshot()).finish()
+    }
+}
+
+impl Metrics {
+    /// Attach (or with `None`, detach) a trace sink. Only one sink is
+    /// active at a time; the previous one is returned to the caller via
+    /// drop.
+    pub fn set_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        self.has_sink.store(sink.is_some(), Ordering::Relaxed);
+        *self.sink.write().unwrap_or_else(|e| e.into_inner()) = sink;
+    }
+
+    /// Emit a trace event to the attached sink, if any. The closure runs
+    /// only when a sink is installed, so callers can defer payload
+    /// construction.
+    pub fn emit<'a>(&self, event: impl FnOnce() -> TraceEvent<'a>) {
+        if !self.has_sink.load(Ordering::Relaxed) {
+            return;
+        }
+        let guard = self.sink.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = guard.as_ref() {
+            sink.on_event(&event());
+        }
+    }
+}
+
+/// Short label for a coupling mode, used in [`TraceEvent::TriggerFired`]
+/// so ode-core does not need its own string table.
+pub mod coupling_label {
+    /// `immediate`.
+    pub const IMMEDIATE: &str = "immediate";
+    /// `end` (deferred to just before commit).
+    pub const END: &str = "end";
+    /// `dependent` (separate transaction, commit dependency).
+    pub const DEPENDENT: &str = "dependent";
+    /// `!dependent` (separate transaction, unconditional).
+    pub const INDEPENDENT: &str = "!dependent";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.events_posted.inc();
+        m.events_posted.add(4);
+        m.wal_bytes.add(100);
+        let s = m.snapshot();
+        assert_eq!(s.events_posted, 5);
+        assert_eq!(s.wal_bytes, 100);
+        assert_eq!(s.fsm_compiles, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.lock_upgrades.add(7);
+        m.btree_splits.inc();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_is_a_plain_copyable_struct() {
+        let m = Metrics::new();
+        m.txn_commits.add(3);
+        let a = m.snapshot();
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_eq!(b.txn_commits, 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_help_type_and_value() {
+        let m = Metrics::new();
+        m.lock_upgrades.add(2);
+        m.firings_immediate.add(9);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("# HELP ode_lock_upgrades "));
+        assert!(text.contains("# TYPE ode_lock_upgrades counter"));
+        assert!(text.contains("\node_lock_upgrades 2\n"));
+        assert!(text.contains("\node_firings_immediate 9\n"));
+        // Every line group is well-formed: value lines parse as u64.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(name.starts_with("ode_"));
+            value.parse::<u64>().expect("counter value");
+        }
+    }
+
+    struct RecordingSink(Mutex<Vec<String>>);
+    impl TraceSink for RecordingSink {
+        fn on_event(&self, event: &TraceEvent<'_>) {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("{event:?}"));
+        }
+    }
+
+    #[test]
+    fn sink_receives_events_and_detaches() {
+        let m = Metrics::new();
+        let sink = Arc::new(RecordingSink(Mutex::new(Vec::new())));
+        // No sink: the closure must not run.
+        m.emit(|| panic!("no sink attached"));
+        m.set_sink(Some(sink.clone()));
+        m.emit(|| TraceEvent::TxnCommit { txn: 42 });
+        m.emit(|| TraceEvent::TriggerFired {
+            trigger: "DenyCredit",
+            coupling: coupling_label::IMMEDIATE,
+        });
+        m.set_sink(None);
+        m.emit(|| panic!("sink detached"));
+        let seen = sink.0.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert!(seen[0].contains("42"));
+        assert!(seen[1].contains("DenyCredit"));
+    }
+
+    #[test]
+    fn metrics_are_send_sync_and_thread_safe() {
+        let m = Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.events_posted.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.events_posted.get(), 8000);
+    }
+}

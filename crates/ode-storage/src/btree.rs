@@ -206,8 +206,15 @@ impl BTree {
     ) -> Result<Option<Oid>> {
         let mut holder = self.load_holder(storage, txn)?;
         let mut replaced = None;
-        let outcome =
-            self.insert_rec(storage, txn, &holder, holder.root, key, value, &mut replaced)?;
+        let outcome = self.insert_rec(
+            storage,
+            txn,
+            &holder,
+            holder.root,
+            key,
+            value,
+            &mut replaced,
+        )?;
         if let InsertOutcome::Split { sep, right } = outcome {
             // Root split: grow the tree by one level.
             let new_root = storage.allocate(
@@ -220,6 +227,10 @@ impl BTree {
             )?;
             holder.root = new_root;
             holder.height += 1;
+            storage.metrics().btree_splits.inc();
+            storage
+                .metrics()
+                .emit(|| ode_obs::TraceEvent::BtreeSplit { root: true });
         }
         if replaced.is_none() {
             holder.len += 1;
@@ -272,6 +283,10 @@ impl BTree {
                 )?;
                 *next = Some(right);
                 Self::store_node(storage, txn, node_oid, &node)?;
+                storage.metrics().btree_splits.inc();
+                storage
+                    .metrics()
+                    .emit(|| ode_obs::TraceEvent::BtreeSplit { root: false });
                 Ok(InsertOutcome::Split { sep, right })
             }
             Node::Internal { keys, children } => {
@@ -304,6 +319,10 @@ impl BTree {
                             }),
                         )?;
                         Self::store_node(storage, txn, node_oid, &node)?;
+                        storage.metrics().btree_splits.inc();
+                        storage
+                            .metrics()
+                            .emit(|| ode_obs::TraceEvent::BtreeSplit { root: false });
                         Ok(InsertOutcome::Split {
                             sep: up,
                             right: right_oid,
@@ -388,8 +407,7 @@ impl BTree {
             }
         };
         loop {
-            let Node::Leaf { keys, values, next } = Self::load_node(storage, txn, leaf)?
-            else {
+            let Node::Leaf { keys, values, next } = Self::load_node(storage, txn, leaf)? else {
                 unreachable!("leaf chain holds leaves")
             };
             for (k, v) in keys.into_iter().zip(values) {
@@ -448,7 +466,10 @@ mod tests {
         let (s, t, tree) = setup();
         assert!(tree.is_empty(&s, t).unwrap());
         for i in 0..100u64 {
-            assert!(tree.insert(&s, t, &u64_key(i), Oid::from_u64(i)).unwrap().is_none());
+            assert!(tree
+                .insert(&s, t, &u64_key(i), Oid::from_u64(i))
+                .unwrap()
+                .is_none());
         }
         assert_eq!(tree.len(&s, t).unwrap(), 100);
         for i in 0..100u64 {
@@ -491,7 +512,8 @@ mod tests {
     fn range_scans_respect_bounds() {
         let (s, t, tree) = setup();
         for i in 0..50u64 {
-            tree.insert(&s, t, &u64_key(i * 2), Oid::from_u64(i)).unwrap();
+            tree.insert(&s, t, &u64_key(i * 2), Oid::from_u64(i))
+                .unwrap();
         }
         // [10, 20): keys 10,12,14,16,18
         let hits = tree
@@ -568,8 +590,7 @@ mod tests {
         let dir = TempDir::new("btree");
         let tree_oid;
         {
-            let s = Storage::create(dir.path(), crate::storage::StorageOptions::default())
-                .unwrap();
+            let s = Storage::create(dir.path(), crate::storage::StorageOptions::default()).unwrap();
             let t = s.begin().unwrap();
             let c = s.create_cluster(t).unwrap();
             let tree = BTree::create(&s, t, c).unwrap();
@@ -582,8 +603,7 @@ mod tests {
             s.close().unwrap();
         }
         {
-            let s =
-                Storage::open(dir.path(), crate::storage::StorageOptions::default()).unwrap();
+            let s = Storage::open(dir.path(), crate::storage::StorageOptions::default()).unwrap();
             let t = s.begin().unwrap();
             assert_eq!(s.get_root(t, "tree").unwrap(), tree_oid);
             let tree = BTree::open(tree_oid);

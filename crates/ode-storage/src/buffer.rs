@@ -12,8 +12,10 @@ use crate::disk::DiskFile;
 use crate::error::Result;
 use crate::oid::PageId;
 use crate::page::Page;
+use ode_obs::{Metrics, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 struct Frame {
     page: Page,
@@ -35,6 +37,7 @@ pub struct BufferPool {
     disk: DiskFile,
     capacity: usize,
     inner: Mutex<PoolInner>,
+    metrics: Arc<Metrics>,
 }
 
 /// Cache statistics, exposed for benchmarks and tests.
@@ -64,7 +67,14 @@ impl BufferPool {
                 hits: 0,
                 misses: 0,
             }),
+            metrics: Arc::new(Metrics::new()),
         }
+    }
+
+    /// Replace the metrics registry (done once at storage assembly so the
+    /// pool shares the database-wide registry).
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = metrics;
     }
 
     /// The underlying disk file.
@@ -75,9 +85,11 @@ impl BufferPool {
     fn load_locked(&self, inner: &mut PoolInner, id: PageId) -> Result<()> {
         if inner.frames.contains_key(&id) {
             inner.hits += 1;
+            self.metrics.buf_hits.inc();
             return Ok(());
         }
         inner.misses += 1;
+        self.metrics.buf_misses.inc();
         if inner.frames.len() >= self.capacity {
             self.evict_one(inner);
         }
@@ -117,6 +129,9 @@ impl BufferPool {
                     if !frame.dirty && !frame.referenced {
                         inner.frames.remove(&id);
                         inner.clock.swap_remove(idx);
+                        self.metrics.buf_evictions.inc();
+                        self.metrics
+                            .emit(|| TraceEvent::BufferEviction { page: id });
                         return;
                     }
                     frame.referenced = false;
@@ -225,9 +240,7 @@ mod tests {
             p.insert(b"cached").unwrap();
         })
         .unwrap();
-        let data = pool
-            .with_page(id, |p| p.read(0).unwrap().to_vec())
-            .unwrap();
+        let data = pool.with_page(id, |p| p.read(0).unwrap().to_vec()).unwrap();
         assert_eq!(data, b"cached");
         let s = pool.stats();
         assert!(s.hits >= 1);

@@ -49,10 +49,15 @@ impl std::fmt::Display for StorageError {
             StorageError::NoSuchPage(p) => write!(f, "no such page: {p}"),
             StorageError::RecordTooLarge(n) => write!(f, "record too large: {n} bytes"),
             StorageError::Deadlock(t) => write!(f, "transaction {t} chosen as deadlock victim"),
-            StorageError::LockTimeout(t) => write!(f, "transaction {t} timed out waiting for a lock"),
+            StorageError::LockTimeout(t) => {
+                write!(f, "transaction {t} timed out waiting for a lock")
+            }
             StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             StorageError::DependencyAborted { txn, on } => {
-                write!(f, "transaction {txn} aborted: commit dependency on {on} failed")
+                write!(
+                    f,
+                    "transaction {txn} aborted: commit dependency on {on} failed"
+                )
             }
             StorageError::Corrupt(m) => write!(f, "database corrupt: {m}"),
             StorageError::Codec(m) => write!(f, "codec error: {m}"),

@@ -319,8 +319,7 @@ mod tests {
         let dir = TempDir::new("hashidx");
         let idx_oid;
         {
-            let s = Storage::create(dir.path(), crate::storage::StorageOptions::default())
-                .unwrap();
+            let s = Storage::create(dir.path(), crate::storage::StorageOptions::default()).unwrap();
             let t = s.begin().unwrap();
             let c = s.create_cluster(t).unwrap();
             let idx = HashIndex::create(&s, t, c).unwrap();
@@ -331,8 +330,7 @@ mod tests {
             s.close().unwrap();
         }
         {
-            let s =
-                Storage::open(dir.path(), crate::storage::StorageOptions::default()).unwrap();
+            let s = Storage::open(dir.path(), crate::storage::StorageOptions::default()).unwrap();
             let t = s.begin().unwrap();
             assert_eq!(s.get_root(t, "idx").unwrap(), idx_oid);
             let idx = HashIndex::open(idx_oid);

@@ -15,8 +15,10 @@
 
 use crate::error::{Result, StorageError};
 use crate::txn::TxnId;
+use ode_obs::{Metrics, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a lock protects. Objects are locked by their Oid; a few named
@@ -47,17 +49,15 @@ struct LockState {
 
 impl LockState {
     fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
-        self.holders.iter().all(|(&h, &hm)| {
-            h == txn || (mode == LockMode::Shared && hm == LockMode::Shared)
-        })
+        self.holders
+            .iter()
+            .all(|(&h, &hm)| h == txn || (mode == LockMode::Shared && hm == LockMode::Shared))
     }
 
     fn blockers(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
         self.holders
             .iter()
-            .filter(|&(&h, &hm)| {
-                h != txn && !(mode == LockMode::Shared && hm == LockMode::Shared)
-            })
+            .filter(|&(&h, &hm)| h != txn && !(mode == LockMode::Shared && hm == LockMode::Shared))
             .map(|(&h, _)| h)
             .collect()
     }
@@ -118,6 +118,7 @@ pub struct LockManager {
     tables: Mutex<Tables>,
     cv: Condvar,
     stats: Mutex<LockStats>,
+    metrics: Arc<Metrics>,
     timeout: Duration,
 }
 
@@ -132,10 +133,17 @@ impl LockManager {
     /// `timeout` (a safety net; deadlocks are normally detected, not
     /// timed out).
     pub fn new(timeout: Duration) -> LockManager {
+        LockManager::with_metrics(timeout, Arc::new(Metrics::new()))
+    }
+
+    /// Like [`LockManager::new`], but recording into a shared engine-wide
+    /// metrics registry instead of a private one.
+    pub fn with_metrics(timeout: Duration, metrics: Arc<Metrics>) -> LockManager {
         LockManager {
             tables: Mutex::new(Tables::default()),
             cv: Condvar::new(),
             stats: Mutex::new(LockStats::default()),
+            metrics,
             timeout,
         }
     }
@@ -144,12 +152,17 @@ impl LockManager {
     /// Re-acquiring an already-held lock is a no-op; holding Shared and
     /// requesting Exclusive upgrades.
     pub fn lock(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
+        let acquired = match mode {
+            LockMode::Shared => &self.metrics.lock_shared_acquisitions,
+            LockMode::Exclusive => &self.metrics.lock_exclusive_acquisitions,
+        };
         let mut tables = self.tables.lock();
         if let Some(&held) = tables.locks.get(&key).and_then(|s| s.holders.get(&txn)) {
             if held >= mode {
                 return Ok(());
             }
             self.stats.lock().upgrades += 1;
+            self.metrics.lock_upgrades.inc();
         }
         if tables
             .locks
@@ -158,16 +171,28 @@ impl LockManager {
         {
             Self::grant(&mut tables, txn, key, mode);
             self.stats.lock().immediate_grants += 1;
+            acquired.inc();
             return Ok(());
         }
 
         // Must wait.
         self.stats.lock().waits += 1;
+        match mode {
+            LockMode::Shared => self.metrics.lock_shared_waits.inc(),
+            LockMode::Exclusive => self.metrics.lock_exclusive_waits.inc(),
+        }
+        self.metrics.emit(|| TraceEvent::LockWait {
+            txn: txn.0,
+            exclusive: mode == LockMode::Exclusive,
+        });
         let started = Instant::now();
         tables.waiting.insert(txn, (key, mode));
         let result = loop {
             if tables.deadlocked(txn) {
                 self.stats.lock().deadlocks += 1;
+                self.metrics.lock_deadlock_victims.inc();
+                self.metrics
+                    .emit(|| TraceEvent::DeadlockVictim { txn: txn.0 });
                 break Err(StorageError::Deadlock(txn));
             }
             let timed_out = self
@@ -180,6 +205,7 @@ impl LockManager {
                 .is_none_or(|s| s.compatible(txn, mode))
             {
                 Self::grant(&mut tables, txn, key, mode);
+                acquired.inc();
                 break Ok(());
             }
             if timed_out && started.elapsed() >= self.timeout {
@@ -187,7 +213,9 @@ impl LockManager {
             }
         };
         tables.waiting.remove(&txn);
-        self.stats.lock().wait_micros += started.elapsed().as_micros() as u64;
+        let waited = started.elapsed().as_micros() as u64;
+        self.stats.lock().wait_micros += waited;
+        self.metrics.lock_wait_micros.add(waited);
         result
     }
 

@@ -40,9 +40,7 @@ impl MemStore {
     /// Read access to a page.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
         let pages = self.pages.read();
-        let page = pages
-            .get(id as usize)
-            .ok_or(StorageError::NoSuchPage(id))?;
+        let page = pages.get(id as usize).ok_or(StorageError::NoSuchPage(id))?;
         Ok(f(page))
     }
 

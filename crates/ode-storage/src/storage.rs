@@ -44,10 +44,12 @@ use crate::page::{Page, PageOpError, MAX_RECORD};
 use crate::txn::{TxnId, TxnManager, TxnState, UndoOp};
 use crate::wal::{LogRecord, Wal};
 use bytes::{BufMut, BytesMut};
+use ode_obs::{Metrics, TraceEvent};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const TAG_DATA: u8 = 0;
@@ -200,6 +202,7 @@ pub struct Storage {
     dir: Option<std::path::PathBuf>,
     commits_since_checkpoint: AtomicU64,
     next_lsn: AtomicU64,
+    metrics: Arc<Metrics>,
 }
 
 impl Storage {
@@ -275,17 +278,35 @@ impl Storage {
         options: StorageOptions,
         dir: Option<std::path::PathBuf>,
     ) -> Storage {
+        // One registry per database: the lock manager, WAL, and buffer pool
+        // all record into the same instance, which `Storage::metrics` then
+        // exposes to the event and trigger layers above.
+        let metrics = Arc::new(Metrics::new());
+        let mut store = store;
+        if let Store::Disk(pool) = &mut store {
+            pool.set_metrics(Arc::clone(&metrics));
+        }
+        let mut wal = wal;
+        if let Some(w) = &mut wal {
+            w.set_metrics(Arc::clone(&metrics));
+        }
         Storage {
             store,
             wal,
-            locks: LockManager::new(options.lock_timeout),
+            locks: LockManager::with_metrics(options.lock_timeout, Arc::clone(&metrics)),
             txns: TxnManager::new(options.lock_timeout),
             alloc: Mutex::new(AllocState::default()),
             options,
             dir,
             commits_since_checkpoint: AtomicU64::new(0),
             next_lsn: AtomicU64::new(1),
+            metrics,
         }
+    }
+
+    /// The database-wide metrics registry shared by every layer.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     fn bootstrap_roots(&self) -> Result<()> {
@@ -453,7 +474,12 @@ impl Storage {
         }
         self.txns.finish(txn, TxnState::Committed)?;
         self.locks.unlock_all(txn);
-        let n = self.commits_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.txn_commits.inc();
+        self.metrics.emit(|| TraceEvent::TxnCommit { txn: txn.0 });
+        let n = self
+            .commits_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
         if self.options.checkpoint_every > 0 && n >= self.options.checkpoint_every {
             self.checkpoint()?;
         }
@@ -472,6 +498,8 @@ impl Storage {
         }
         self.txns.finish(txn, TxnState::Aborted)?;
         self.locks.unlock_all(txn);
+        self.metrics.txn_aborts.inc();
+        self.metrics.emit(|| TraceEvent::TxnAbort { txn: txn.0 });
         Ok(())
     }
 
@@ -720,7 +748,11 @@ impl Storage {
             chunk_oids.push(self.raw_insert(txn, cluster, &cell)?);
         }
         let mut head = BytesMut::new();
-        head.put_u8(if moved { TAG_MOVED_OVF_HEAD } else { TAG_OVF_HEAD });
+        head.put_u8(if moved {
+            TAG_MOVED_OVF_HEAD
+        } else {
+            TAG_OVF_HEAD
+        });
         head.put_u32_le(data.len() as u32);
         chunk_oids.encode(&mut head);
         let head = head.to_vec();
@@ -1055,10 +1087,7 @@ mod tests {
         s.update(t, oid, b"v2 is longer").unwrap();
         assert_eq!(s.read(t, oid).unwrap(), b"v2 is longer");
         s.free(t, oid).unwrap();
-        assert!(matches!(
-            s.read(t, oid),
-            Err(StorageError::NoSuchObject(_))
-        ));
+        assert!(matches!(s.read(t, oid), Err(StorageError::NoSuchObject(_))));
         s.commit(t).unwrap();
     }
 
@@ -1288,10 +1317,7 @@ mod tests {
         let c = s.create_cluster(t).unwrap();
         let oid = s.allocate(t, c, b"x").unwrap();
         s.commit(t).unwrap();
-        assert!(matches!(
-            s.read(t, oid),
-            Err(StorageError::TxnNotActive(_))
-        ));
+        assert!(matches!(s.read(t, oid), Err(StorageError::TxnNotActive(_))));
         assert!(matches!(s.commit(t), Err(StorageError::TxnNotActive(_))));
     }
 
@@ -1313,7 +1339,10 @@ mod tests {
             s2.commit(w).unwrap();
         });
         std::thread::sleep(Duration::from_millis(50));
-        assert!(!writer.is_finished(), "writer must wait for reader's S lock");
+        assert!(
+            !writer.is_finished(),
+            "writer must wait for reader's S lock"
+        );
         s.commit(reader).unwrap();
         writer.join().unwrap();
         let t = s.begin().unwrap();

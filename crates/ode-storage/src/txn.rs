@@ -128,9 +128,7 @@ impl TxnManager {
     /// Record an undo action for `txn`.
     pub fn push_undo(&self, txn: TxnId, op: UndoOp) -> Result<()> {
         let mut txns = self.txns.lock();
-        let rec = txns
-            .get_mut(&txn)
-            .ok_or(StorageError::TxnNotActive(txn))?;
+        let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         if rec.state != TxnState::Active {
             return Err(StorageError::TxnNotActive(txn));
         }
@@ -150,9 +148,7 @@ impl TxnManager {
     /// Declare that `txn` may only commit if `on` commits.
     pub fn add_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
         let mut txns = self.txns.lock();
-        let rec = txns
-            .get_mut(&txn)
-            .ok_or(StorageError::TxnNotActive(txn))?;
+        let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         rec.depends_on.push(on);
         Ok(())
     }
@@ -197,9 +193,7 @@ impl TxnManager {
         debug_assert_ne!(state, TxnState::Active);
         {
             let mut txns = self.txns.lock();
-            let rec = txns
-                .get_mut(&txn)
-                .ok_or(StorageError::TxnNotActive(txn))?;
+            let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
             if rec.state != TxnState::Active {
                 return Err(StorageError::TxnNotActive(txn));
             }

@@ -18,9 +18,11 @@ use crate::codec::{Decode, Encode};
 use crate::error::{Result, StorageError};
 use crate::oid::{ClusterId, PageId};
 use bytes::{BufMut, BytesMut};
+use ode_obs::{Metrics, TraceEvent};
 use parking_lot::Mutex;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One log record.
 #[allow(missing_docs)] // fields are self-describing
@@ -199,6 +201,7 @@ pub struct Wal {
     /// Whether commit flushes call fsync. Off by default for tests/benches;
     /// on for durability-critical deployments.
     fsync: bool,
+    metrics: Arc<Metrics>,
 }
 
 impl Wal {
@@ -220,7 +223,14 @@ impl Wal {
                 next_lsn: len,
             }),
             fsync,
+            metrics: Arc::new(Metrics::new()),
         })
+    }
+
+    /// Replace the metrics registry (done once at storage assembly so the
+    /// WAL shares the database-wide registry).
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = metrics;
     }
 
     /// Append a record to the in-memory tail; returns its LSN. The record
@@ -238,12 +248,15 @@ impl Wal {
             .extend_from_slice(&fnv1a(&payload).to_le_bytes());
         inner.pending.extend_from_slice(&payload);
         inner.next_lsn += 8 + payload.len() as u64;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(8 + payload.len() as u64);
         lsn
     }
 
     /// Write the pending tail to the file (and fsync if configured).
     pub fn flush(&self) -> Result<()> {
         let mut inner = self.inner.lock();
+        let flushed = inner.pending.len() as u64;
         if !inner.pending.is_empty() {
             let pending = std::mem::take(&mut inner.pending);
             inner.file.seek(SeekFrom::End(0))?;
@@ -251,6 +264,10 @@ impl Wal {
         }
         if self.fsync {
             inner.file.sync_data()?;
+            self.metrics.wal_fsyncs.inc();
+            self.metrics.emit(|| TraceEvent::WalFsync {
+                bytes_flushed: flushed,
+            });
         }
         Ok(())
     }

@@ -115,10 +115,7 @@ fn txn_scripts() -> impl Strategy<Value = Vec<(bool, Vec<TxnScriptOp>)>> {
 
 /// Run the scripts against a storage; returns the surviving (oid -> bytes)
 /// model of committed state.
-fn run_scripts(
-    storage: &Storage,
-    scripts: &[(bool, Vec<TxnScriptOp>)],
-) -> HashMap<Oid, Vec<u8>> {
+fn run_scripts(storage: &Storage, scripts: &[(bool, Vec<TxnScriptOp>)]) -> HashMap<Oid, Vec<u8>> {
     let mut committed: HashMap<Oid, Vec<u8>> = HashMap::new();
     let cluster = {
         let t = storage.begin().unwrap();

@@ -17,12 +17,8 @@ impl TempDir {
     /// Create a fresh empty directory with `prefix` in its name.
     pub fn new(prefix: &str) -> TempDir {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "ode-{}-{}-{}",
-            prefix,
-            std::process::id(),
-            n
-        ));
+        let path =
+            std::env::temp_dir().join(format!("ode-{}-{}-{}", prefix, std::process::id(), n));
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

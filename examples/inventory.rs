@@ -157,7 +157,12 @@ fn main() -> ode::core::Result<()> {
                 reorder_level: 5,
             },
         )?;
-        for trigger in ["LowStockWarning", "NonNegativeStock", "Reorder", "AuditOversell"] {
+        for trigger in [
+            "LowStockWarning",
+            "NonNegativeStock",
+            "Reorder",
+            "AuditOversell",
+        ] {
             db.activate(txn, widget, trigger, &ledger)?;
         }
         Ok((widget, ledger))
@@ -193,7 +198,10 @@ fn main() -> ode::core::Result<()> {
         let item = db.read(txn, widget)?;
         let ledger = db.read(txn, ledger)?;
         println!("final stock: {}", item.stock);
-        println!("reorders (dependent, committed only): {:#?}", ledger.reorders);
+        println!(
+            "reorders (dependent, committed only): {:#?}",
+            ledger.reorders
+        );
         println!("audit (!dependent, survives aborts): {:#?}", ledger.audit);
         assert_eq!(item.stock, 18, "3 + (-5+20) after the failed oversell");
         // Both committed transactions dipped below the reorder level at

@@ -98,9 +98,10 @@ fn main() -> ode::core::Result<()> {
             Ok(att.price < 60.0)
         })
         .mask("GoldStable", |ctx| {
-            let gold: Stock = ctx
-                .db()
-                .read(ctx.txn(), PersistentPtr::from_oid(ctx.named_anchor("gold")?))?;
+            let gold: Stock = ctx.db().read(
+                ctx.txn(),
+                PersistentPtr::from_oid(ctx.named_anchor("gold")?),
+            )?;
             Ok((gold.price - gold.prev).abs() < 0.5)
         })
         .trigger(
@@ -122,9 +123,30 @@ fn main() -> ode::core::Result<()> {
 
     let (att, gold, acme, portfolio) = db.with_txn(|txn| {
         let portfolio = db.pnew(txn, &Portfolio::default())?;
-        let att = db.pnew(txn, &Stock { symbol: "T".into(), price: 63.0, prev: 63.0 })?;
-        let gold = db.pnew(txn, &Stock { symbol: "AU".into(), price: 2400.0, prev: 2380.0 })?;
-        let acme = db.pnew(txn, &Stock { symbol: "ACME".into(), price: 10.0, prev: 10.0 })?;
+        let att = db.pnew(
+            txn,
+            &Stock {
+                symbol: "T".into(),
+                price: 63.0,
+                prev: 63.0,
+            },
+        )?;
+        let gold = db.pnew(
+            txn,
+            &Stock {
+                symbol: "AU".into(),
+                price: 2400.0,
+                prev: 2380.0,
+            },
+        )?;
+        let acme = db.pnew(
+            txn,
+            &Stock {
+                symbol: "ACME".into(),
+                price: 10.0,
+                prev: 10.0,
+            },
+        )?;
         db.activate(txn, acme, "SellOnSlide", &portfolio)?;
         db.activate_inter(
             txn,

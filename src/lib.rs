@@ -22,6 +22,12 @@
 //!   transaction events, plus the paper's future-work extensions (local
 //!   rules, timed triggers, inter-object triggers).
 //!
+//! A fourth crate, [`obs`] (`ode-obs`), threads a lock-free metrics
+//! registry and optional tracing hooks through all three:
+//! `Database::stats()` snapshots every engine counter (lock waits, WAL
+//! fsyncs, FSM transitions, firings by coupling mode, …) and
+//! `MetricsSnapshot::render_prometheus()` formats them for scraping.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -74,6 +80,7 @@
 
 pub use ode_core as core;
 pub use ode_events as events;
+pub use ode_obs as obs;
 pub use ode_storage as storage;
 
 /// The commonly needed names in one import.
@@ -83,6 +90,7 @@ pub mod prelude {
         InterClassBuilder, MonitoredClassBuilder, MonitoredSpace, OdeClass, OdeError, OdeObject,
         Perpetual, PersistentPtr, StorageOptions, TriggerCtx, TriggerId, TxnId,
     };
+    pub use ode_obs::{Metrics, MetricsSnapshot, TraceEvent, TraceSink};
 }
 
 pub use prelude::*;

@@ -47,9 +47,7 @@ fn define(db: &Database) {
             "(after Sample & High()), (after Sample & High())",
             CouplingMode::Immediate,
             Perpetual::Yes,
-            |ctx| {
-                ctx.update_object(|m: &mut Meter| m.alerts.push("spike".to_string()))
-            },
+            |ctx| ctx.update_object(|m: &mut Meter| m.alerts.push("spike".to_string())),
         )
         .build(db.registry())
         .unwrap();
@@ -85,10 +83,11 @@ fn scenario(db: &Database) -> Meter {
     sample(50); // breaks the pair
     sample(150); // high
     sample(200); // high -> spike #1
-    db.with_txn(|txn| db.post_user_event(txn, meter, "Reset")).unwrap();
+    db.with_txn(|txn| db.post_user_event(txn, meter, "Reset"))
+        .unwrap();
     sample(300); // high
     sample(300); // high -> spike #2
-    // One aborted high pair that must not count.
+                 // One aborted high pair that must not count.
     let _ = db
         .with_txn(|txn| {
             db.invoke(txn, meter, "Sample", |m: &mut Meter| {

@@ -70,6 +70,24 @@ fn figure_1_machine_is_reproduced_exactly() {
     assert!(fsm.states()[3].accept);
 }
 
+/// Golden test: the full rendered machine, byte for byte, against a
+/// checked-in dump. Any change to the compilation pipeline (subset
+/// construction, pruning, mask elimination, minimisation, renumbering)
+/// that perturbs the Figure 1 machine shows up as a readable diff in
+/// `tests/golden/figure1_auto_raise_limit.txt`.
+#[test]
+fn figure_1_machine_dump_matches_golden_file() {
+    let al = cred_card_alphabet();
+    let te = parse("relative((after Buy & MoreCred()), after PayBill)", &al).unwrap();
+    let fsm = Dfa::compile(&te, &al);
+    let expected = include_str!("golden/figure1_auto_raise_limit.txt");
+    assert_eq!(
+        fsm.render(&al),
+        expected,
+        "compiled machine diverged from the checked-in Figure 1 dump"
+    );
+}
+
 #[test]
 fn figure_1_walkthrough_matches_trigger_semantics() {
     let al = cred_card_alphabet();

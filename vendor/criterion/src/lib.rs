@@ -1,0 +1,347 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the slice of the criterion API the bench suite uses:
+//! `Criterion` with builder knobs, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark it warms up for `warm_up_time`, then
+//! takes `sample_size` samples whose total wall time approximates
+//! `measurement_time`, and reports min / median / mean / max per
+//! iteration plus derived throughput. Statistical analysis, plotting,
+//! and baseline comparison are intentionally absent — the numbers are
+//! for before/after ledgers, not publication.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IdLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.label();
+        let cfg = (self.sample_size, self.warm_up_time, self.measurement_time);
+        run_bench(&label, cfg, None, &mut f);
+        self
+    }
+}
+
+/// Label source for `bench_function`: plain strings or [`BenchmarkId`]s.
+pub trait IdLabel {
+    /// Render the label.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// Function + parameter benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Per-iteration work volume, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Per-iteration work volume for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IdLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        let cfg = (
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        run_bench(&label, cfg, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    (sample_size, warm_up, measurement): (usize, Duration, Duration),
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up doubles as iteration-count calibration.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Split the measurement budget across samples.
+    let per_sample = measurement.div_f64(sample_size as f64);
+    let mut nanos_per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut sampled: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < per_sample {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            sampled += iters;
+            elapsed += b.elapsed;
+        }
+        nanos_per_iter.push(elapsed.as_nanos() as f64 / sampled.max(1) as f64);
+    }
+    nanos_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let min = nanos_per_iter.first().copied().unwrap_or(0.0);
+    let max = nanos_per_iter.last().copied().unwrap_or(0.0);
+    let median = nanos_per_iter[nanos_per_iter.len() / 2];
+    let mean = nanos_per_iter.iter().sum::<f64>() / nanos_per_iter.len().max(1) as f64;
+
+    print!(
+        "bench: {label:<52} [{} {} {}] (min {}, {} samples)",
+        fmt_nanos(median),
+        fmt_nanos(mean),
+        fmt_nanos(max),
+        fmt_nanos(min),
+        nanos_per_iter.len(),
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let per_sec = n as f64 * 1e9 / median;
+            print!("  {:.2} Melem/s", per_sec / 1e6);
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let per_sec = n as f64 * 1e9 / median;
+            print!("  {:.2} MiB/s", per_sec / (1024.0 * 1024.0));
+        }
+        _ => {}
+    }
+    println!();
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a bench group: plain form `criterion_group!(name, f1, f2)` or
+/// configured form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("chain", 4).0, "chain/4");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}
