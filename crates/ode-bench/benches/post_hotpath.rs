@@ -1,0 +1,153 @@
+//! The posting hot path (§5.4.5), isolated: `post_event` against an
+//! object with active triggers, steady state.
+//!
+//! Two workloads, each at 1 and 16 trigger instances per object:
+//!
+//!   perpetual/{1,16}  — a perpetual `relative(TickA, TickB)` trigger in a
+//!                       long-lived transaction; every iteration posts the
+//!                       A,B pair so each instance's FSM state toggles on
+//!                       every event and the trigger fires once per pair.
+//!                       This is the §6 read-becomes-write steady state.
+//!   once_only/{1,16}  — a once-only chain of 64 `TickA`s; every iteration
+//!                       is a fresh transaction posting 16 events and then
+//!                       aborting, so each instance advances 16 times and
+//!                       rolls back. This exercises per-transaction state
+//!                       handling (decode, advance, write-back, undo).
+//!
+//! Throughput is reported in events posted (elements/sec). Numbers before
+//! and after the hot-path overhaul live in BENCH_post_hotpath.json; see
+//! EXPERIMENTS.md for how to regenerate them.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ode_bench::dump_stats;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+};
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Probe {
+    n: i64,
+}
+impl Encode for Probe {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n.encode(buf);
+    }
+}
+impl Decode for Probe {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Probe {
+            n: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Probe {
+    const CLASS: &'static str = "Probe";
+}
+
+/// Length of the once-only chain expression — long enough that 16 posted
+/// events per transaction never complete it, so no firing/deactivation
+/// noise enters the once-only series.
+const CHAIN_LEN: usize = 64;
+
+/// Events posted per once-only iteration (one transaction).
+const ONCE_POSTS: usize = 16;
+
+fn setup(perpetual: bool, n_triggers: usize) -> (Database, PersistentPtr<Probe>, &'static str) {
+    let db = Database::volatile();
+    let builder = ClassBuilder::new("Probe")
+        .user_event("TickA")
+        .user_event("TickB");
+    let (builder, trigger) = if perpetual {
+        (
+            builder.trigger(
+                "Pulse",
+                "relative(TickA, TickB)",
+                CouplingMode::Immediate,
+                Perpetual::Yes,
+                |_| Ok(()),
+            ),
+            "Pulse",
+        )
+    } else {
+        let expr = vec!["TickA"; CHAIN_LEN].join(", ");
+        (
+            builder.trigger(
+                "Chain",
+                &expr,
+                CouplingMode::Immediate,
+                Perpetual::No,
+                |_| Ok(()),
+            ),
+            "Chain",
+        )
+    };
+    let td = builder.build(db.registry()).expect("class builds");
+    db.register_class(&td).expect("class registers");
+    let probe = db
+        .with_txn(|txn| {
+            let p = db.pnew(txn, &Probe { n: 0 })?;
+            for _ in 0..n_triggers {
+                db.activate(txn, p, trigger, &())?;
+            }
+            Ok(p)
+        })
+        .expect("probe created");
+    (db, probe, trigger)
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn bench_post_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("post_hotpath");
+
+    // Steady state: each iteration posts TickA then TickB inside one
+    // long-lived transaction; every instance's state toggles per event.
+    for n in [1usize, 16] {
+        group.throughput(Throughput::Elements(2));
+        let (db, probe, _) = setup(true, n);
+        group.bench_function(format!("perpetual/{n}"), |b| {
+            db.metrics().reset();
+            let txn = db.begin().unwrap();
+            b.iter(|| {
+                db.post_user_event(txn, probe, "TickA").unwrap();
+                db.post_user_event(txn, probe, "TickB").unwrap();
+            });
+            db.abort(txn).unwrap();
+            dump_stats(&format!("post_hotpath/perpetual/{n}"), &db);
+        });
+    }
+
+    // Once-only chains: a fresh transaction per iteration posts 16 events
+    // (the chain never completes) and aborts, rolling the advances back.
+    for n in [1usize, 16] {
+        group.throughput(Throughput::Elements(ONCE_POSTS as u64));
+        let (db, probe, _) = setup(false, n);
+        group.bench_function(format!("once_only/{n}"), |b| {
+            db.metrics().reset();
+            b.iter(|| {
+                let txn = db.begin().unwrap();
+                for _ in 0..ONCE_POSTS {
+                    db.post_user_event(txn, probe, "TickA").unwrap();
+                }
+                db.abort(txn).unwrap();
+            });
+            dump_stats(&format!("post_hotpath/once_only/{n}"), &db);
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_post_hotpath
+}
+criterion_main!(benches);

@@ -11,7 +11,6 @@
 use crate::database::Database;
 use crate::error::Result;
 use crate::trigger::TriggerStateRec;
-use ode_storage::codec::decode_all;
 use ode_storage::{Oid, StorageError, TxnId};
 
 /// One integrity violation.
@@ -119,7 +118,7 @@ impl Database {
                     }
                     Err(e) => return Err(e.into()),
                 };
-                let Ok(rec) = decode_all::<TriggerStateRec>(&record) else {
+                let Ok(rec) = TriggerStateRec::decode_with(&record, &self.interner) else {
                     report
                         .issues
                         .push(IntegrityIssue::DanglingIndexEntry { anchor, state });
@@ -128,6 +127,7 @@ impl Database {
                 // Every anchor of the record must hold an index entry.
                 let mut anchors = vec![rec.anchor];
                 anchors.extend(rec.anchors.iter().map(|(_, o)| *o));
+                anchors.sort_unstable();
                 anchors.dedup();
                 for a in anchors {
                     let indexed = self
@@ -141,16 +141,18 @@ impl Database {
                     }
                 }
                 // Descriptor checks, when the class is registered.
-                if let Some(td) = self.descriptor(&rec.class_name) {
+                let class_name = self.interner.resolve(rec.class_sym);
+                let trigger_name = self.interner.resolve(rec.trigger_sym);
+                if let Some(td) = self.descriptor(&class_name) {
                     let resolved = td
                         .trigger_by_num(rec.triggernum as usize)
-                        .filter(|i| i.name == rec.trigger_name)
-                        .or_else(|| td.trigger(&rec.trigger_name).map(|(_, i)| i));
+                        .filter(|i| *i.name == *trigger_name)
+                        .or_else(|| td.trigger(&trigger_name).map(|(_, i)| i));
                     match resolved {
                         None => report.issues.push(IntegrityIssue::UnknownTrigger {
                             state,
-                            class: rec.class_name.clone(),
-                            trigger: rec.trigger_name.clone(),
+                            class: class_name.to_string(),
+                            trigger: trigger_name.to_string(),
                         }),
                         Some(info) => {
                             if rec.statenum as usize >= info.fsm.len() {

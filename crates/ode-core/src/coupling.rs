@@ -94,7 +94,16 @@ impl Database {
             let _ = self.abort(txn);
             return Err(e);
         }
-        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        let mut local = self.drop_txn_local(txn);
+        // One write-back pass for every statenum advanced in this
+        // transaction — the deferred half of §6's read-becomes-write
+        // lock amplification (S locks from cache-miss reads upgrade to X
+        // here).
+        if let Err(e) = self.flush_trigger_states(txn, &mut local) {
+            let _ = self.storage.abort(txn);
+            self.run_detached(local.indep_list, None);
+            return Err(e);
+        }
         self.metrics()
             .commit_queue_depth
             .add((local.dep_list.len() + local.indep_list.len()) as u64);
@@ -127,7 +136,9 @@ impl Database {
             // durable consequence is scheduling !dependent firings.
             let _ = self.post_txn_events(txn, false);
         }
-        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        // Drop the scratchpad wholesale: cached trigger-state advances die
+        // here without ever having touched storage.
+        let local = self.drop_txn_local(txn);
         self.metrics()
             .abort_queue_depth
             .add(local.indep_list.len() as u64);
@@ -220,7 +231,6 @@ impl Database {
             self.commit(stxn)
         };
         if run().is_err() {
-            self.stats.lock().detached_failures += 1;
             self.metrics().detached_failures.inc();
         }
     }

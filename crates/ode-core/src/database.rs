@@ -18,9 +18,11 @@
 
 use crate::context::TriggerStats;
 use crate::error::{OdeError, Result};
+use crate::intern::{Interner, Sym};
 use crate::metatype::TypeDescriptor;
 use crate::object::{ObjectHeader, OdeObject, PersistentPtr};
 use crate::post::Firing;
+use crate::trigger::CachedTriggerState;
 use bytes::{BufMut, BytesMut};
 use ode_events::event::EventTime;
 use ode_events::registry::EventRegistry;
@@ -30,6 +32,7 @@ use ode_storage::{ClusterId, Oid, Storage, StorageOptions, TxnId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A registered class: persistent ids plus the session's descriptor.
@@ -37,6 +40,9 @@ use std::sync::Arc;
 pub(crate) struct ClassEntry {
     pub id: u32,
     pub cluster: ClusterId,
+    /// The class name's interned symbol (same interner as the trigger
+    /// records, so hot-path lookups never compare strings).
+    pub sym: Sym,
     pub td: Arc<TypeDescriptor>,
 }
 
@@ -44,6 +50,7 @@ pub(crate) struct ClassEntry {
 struct Schema {
     by_name: HashMap<String, ClassEntry>,
     by_id: HashMap<u32, String>,
+    by_sym: HashMap<Sym, ClassEntry>,
 }
 
 /// The persisted part of the schema.
@@ -83,6 +90,13 @@ pub(crate) struct TxnLocal {
     /// Volatile local-rule instances (§8 "local rules"), dropped at end of
     /// transaction.
     pub local_triggers: Vec<crate::local::LocalInstance>,
+    /// Trigger states touched by this transaction: decoded once on first
+    /// advance, dirty `statenum`s written back in one pass at commit (and
+    /// simply dropped on abort — storage was never written).
+    pub state_cache: HashMap<Oid, CachedTriggerState>,
+    /// Reusable buffer for trigger-index lookups during posting, so the
+    /// steady-state path allocates no fresh `Vec<Oid>` per event.
+    pub scratch: Vec<Oid>,
 }
 
 /// An Ode database: object manager + trigger run-time over a storage
@@ -94,7 +108,18 @@ pub struct Database {
     pub(crate) trigger_index: HashIndex,
     pub(crate) trigger_cluster: ClusterId,
     pub(crate) txn_local: Mutex<HashMap<TxnId, TxnLocal>>,
-    pub(crate) stats: Mutex<TriggerStats>,
+    /// Session-wide name interner backing every [`Sym`] in the trigger
+    /// run-time.
+    pub(crate) interner: Interner,
+    /// Metrics snapshot taken at the last [`Database::reset_trigger_stats`];
+    /// [`Database::trigger_stats`] is the difference between the live
+    /// registry and this baseline (off the hot path — posting itself only
+    /// ticks lock-free counters).
+    stats_baseline: Mutex<ode_obs::MetricsSnapshot>,
+    /// Number of live local-rule instances across all transactions; lets
+    /// posting skip the txn-local lock entirely when zero (the common
+    /// case).
+    pub(crate) live_local_rules: AtomicUsize,
     pub(crate) phoenix_handlers: RwLock<HashMap<String, crate::phoenix::PhoenixHandler>>,
     pub(crate) indexes: RwLock<crate::index::IndexRegistry>,
 }
@@ -149,7 +174,9 @@ impl Database {
             trigger_index: HashIndex::open(index.oid()),
             trigger_cluster,
             txn_local: Mutex::new(HashMap::new()),
-            stats: Mutex::new(TriggerStats::default()),
+            interner: Interner::default(),
+            stats_baseline: Mutex::new(ode_obs::MetricsSnapshot::default()),
+            live_local_rules: AtomicUsize::new(0),
             phoenix_handlers: RwLock::new(HashMap::new()),
             indexes: RwLock::new(crate::index::IndexRegistry::default()),
         })
@@ -168,7 +195,9 @@ impl Database {
             trigger_index: HashIndex::open(index_oid),
             trigger_cluster,
             txn_local: Mutex::new(HashMap::new()),
-            stats: Mutex::new(TriggerStats::default()),
+            interner: Interner::default(),
+            stats_baseline: Mutex::new(ode_obs::MetricsSnapshot::default()),
+            live_local_rules: AtomicUsize::new(0),
             phoenix_handlers: RwLock::new(HashMap::new()),
             indexes: RwLock::new(crate::index::IndexRegistry::default()),
         })
@@ -215,14 +244,34 @@ impl Database {
         self.storage.metrics().set_sink(sink);
     }
 
-    /// Snapshot of trigger-runtime statistics.
+    /// Snapshot of trigger-runtime statistics — a view derived from the
+    /// lock-free metrics registry (minus the [`Database::reset_trigger_stats`]
+    /// baseline), so the posting hot path never takes a statistics mutex.
     pub fn trigger_stats(&self) -> TriggerStats {
-        *self.stats.lock()
+        let snap = self.storage.metrics().snapshot();
+        let base = *self.stats_baseline.lock();
+        let d = |now: u64, then: u64| now.saturating_sub(then);
+        TriggerStats {
+            events_posted: d(snap.events_posted, base.events_posted),
+            fsm_advances: d(snap.fsm_advances, base.fsm_advances),
+            mask_evaluations: d(snap.mask_evaluations, base.mask_evaluations),
+            immediate_firings: d(snap.firings_immediate, base.firings_immediate),
+            deferred_firings: d(
+                snap.firings_end + snap.firings_dependent + snap.firings_independent,
+                base.firings_end + base.firings_dependent + base.firings_independent,
+            ),
+            activations: d(snap.trigger_activations, base.trigger_activations),
+            deactivations: d(snap.trigger_deactivations, base.trigger_deactivations),
+            detached_failures: d(snap.detached_failures, base.detached_failures),
+            index_skips: d(snap.index_skips, base.index_skips),
+        }
     }
 
-    /// Reset trigger-runtime statistics (benchmarks).
+    /// Reset trigger-runtime statistics (benchmarks). The engine-wide
+    /// metrics registry is left untouched; only the
+    /// [`Database::trigger_stats`] view rebases to the current counters.
     pub fn reset_trigger_stats(&self) {
-        *self.stats.lock() = TriggerStats::default();
+        *self.stats_baseline.lock() = self.storage.metrics().snapshot();
     }
 
     // ------------------------------------------------------------------
@@ -247,14 +296,12 @@ impl Database {
             if !Arc::ptr_eq(&entry.td, td) {
                 // Replace the descriptor (e.g. a rebuilt one); ids persist.
                 let mut schema = self.schema.write();
-                let entry = entry.clone();
-                schema.by_name.insert(
-                    td.name().to_string(),
-                    ClassEntry {
-                        td: Arc::clone(td),
-                        ..entry
-                    },
-                );
+                let entry = ClassEntry {
+                    td: Arc::clone(td),
+                    ..entry.clone()
+                };
+                schema.by_sym.insert(entry.sym, entry.clone());
+                schema.by_name.insert(td.name().to_string(), entry);
             }
             return Ok(());
         }
@@ -277,15 +324,16 @@ impl Database {
         match result {
             Ok((id, cluster)) => {
                 self.storage.commit(txn)?;
+                let sym = self.interner.intern(td.name());
+                let entry = ClassEntry {
+                    id,
+                    cluster,
+                    sym,
+                    td: Arc::clone(td),
+                };
                 let mut schema = self.schema.write();
-                schema.by_name.insert(
-                    td.name().to_string(),
-                    ClassEntry {
-                        id,
-                        cluster,
-                        td: Arc::clone(td),
-                    },
-                );
+                schema.by_name.insert(td.name().to_string(), entry.clone());
+                schema.by_sym.insert(sym, entry);
                 schema.by_id.insert(id, td.name().to_string());
                 Ok(())
             }
@@ -314,6 +362,18 @@ impl Database {
             .ok_or_else(|| OdeError::Schema(format!("class {class:?} is not registered")))
     }
 
+    /// Hot-path class lookup by interned symbol — one integer-keyed map
+    /// probe, no string hashing, no allocation beyond the `Arc` bumps in
+    /// the cloned entry.
+    pub(crate) fn entry_sym(&self, sym: Sym) -> Result<ClassEntry> {
+        self.schema.read().by_sym.get(&sym).cloned().ok_or_else(|| {
+            OdeError::Schema(format!(
+                "class {:?} is not registered",
+                &*self.interner.resolve(sym)
+            ))
+        })
+    }
+
     pub(crate) fn entry_by_id(&self, id: u32) -> Result<ClassEntry> {
         let schema = self.schema.read();
         let name = schema.by_id.get(&id).ok_or_else(|| {
@@ -336,6 +396,34 @@ impl Database {
         let record = self.storage.read(txn, oid)?;
         let (header, payload) = ObjectHeader::split(&record)?;
         Ok((header, payload.to_vec()))
+    }
+
+    /// Header-only read for paths that never look at the payload (event
+    /// posting, class resolution) — skips [`Database::read_raw`]'s payload
+    /// copy.
+    pub(crate) fn read_header(&self, txn: TxnId, oid: Oid) -> Result<ObjectHeader> {
+        let record = self.storage.read(txn, oid)?;
+        let (header, _) = ObjectHeader::split(&record)?;
+        Ok(header)
+    }
+
+    /// True when any transaction holds live local-rule instances — lets
+    /// the posting hot path skip the txn-local lock in the common
+    /// no-local-rules case.
+    pub(crate) fn has_local_rules(&self) -> bool {
+        self.live_local_rules.load(Ordering::Relaxed) > 0
+    }
+
+    /// Remove (and return) a transaction's local scratchpad, keeping the
+    /// live-local-rule count in step. Every commit/abort path funnels
+    /// through here.
+    pub(crate) fn drop_txn_local(&self, txn: TxnId) -> TxnLocal {
+        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        if !local.local_triggers.is_empty() {
+            self.live_local_rules
+                .fetch_sub(local.local_triggers.len(), Ordering::Relaxed);
+        }
+        local
     }
 
     pub(crate) fn write_raw(
@@ -489,7 +577,7 @@ impl Database {
     ) -> Result<R> {
         let oid = ptr.oid();
         // Resolve the dynamic class first (cheap header read).
-        let (header, _) = self.read_raw(txn, oid)?;
+        let header = self.read_header(txn, oid)?;
         let entry = self.entry_by_id(header.class_id)?;
         if !entry.td.is_subclass_of(T::CLASS) {
             return Err(OdeError::TypeMismatch {
@@ -536,7 +624,7 @@ impl Database {
         ptr: PersistentPtr<T>,
         event: &str,
     ) -> Result<()> {
-        let (header, _) = self.read_raw(txn, ptr.oid())?;
+        let header = self.read_header(txn, ptr.oid())?;
         let entry = self.entry_by_id(header.class_id)?;
         let id = entry
             .td

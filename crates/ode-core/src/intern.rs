@@ -1,0 +1,93 @@
+//! Symbol interning for class and trigger names.
+//!
+//! The posting hot path (§5.4.5) resolves the defining class and trigger
+//! of every `TriggerState` record it touches. Doing that with owned
+//! `String`s means an allocation and a string-keyed map probe per
+//! advance; the paper's cost model (§6–§7) has no room for either. Names
+//! are therefore interned once — at class registration, activation, or
+//! record decode — into dense `u32` [`Sym`]s, and everything in memory
+//! (state cache, firings, schema lookups) works with integer ids. The
+//! on-disk encodings keep spelling names out, so interning never leaks
+//! into persistent layout.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An interned name. Dense, copyable, and stable for the lifetime of the
+/// owning [`Interner`] (i.e. the `Database` session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Sym(pub u32);
+
+#[derive(Default)]
+struct Inner {
+    by_name: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// A session-scoped name interner. Interning an existing name takes a
+/// read lock and one hash probe; no allocation.
+#[derive(Default)]
+pub(crate) struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Intern `name`, returning its symbol (allocates only on first
+    /// sight).
+    pub fn intern(&self, name: &str) -> Sym {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return Sym(id);
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return Sym(id);
+        }
+        let id = inner.names.len() as u32;
+        let shared: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&shared));
+        inner.by_name.insert(shared, id);
+        Sym(id)
+    }
+
+    /// The name behind a symbol. Panics on a symbol from another interner
+    /// (impossible through the `Database` API).
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.inner.read().names[sym.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let i = Interner::default();
+        let a = i.intern("CredCard");
+        let b = i.intern("Stock");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("CredCard"), a);
+        assert_eq!(&*i.resolve(a), "CredCard");
+        assert_eq!(&*i.resolve(b), "Stock");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = Arc::new(Interner::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|n| i.intern(&format!("name{}", n % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &all {
+            assert_eq!(syms, &all[0], "every thread resolves the same ids");
+        }
+    }
+}

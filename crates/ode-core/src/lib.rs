@@ -38,6 +38,7 @@ pub mod coupling;
 pub mod database;
 pub mod error;
 pub mod index;
+mod intern;
 pub mod interobject;
 pub mod local;
 pub mod metatype;

@@ -16,6 +16,7 @@
 
 use crate::database::Database;
 use crate::error::{OdeError, Result};
+use crate::intern::Sym;
 use crate::metatype::CouplingMode;
 use crate::object::{OdeObject, PersistentPtr};
 use crate::post::Firing;
@@ -23,15 +24,17 @@ use ode_events::event::EventId;
 use ode_events::machine::Advance;
 use ode_storage::codec::{encode_to_vec, Encode};
 use ode_storage::{Oid, TxnId};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// A volatile trigger instance (never stored).
 #[derive(Debug, Clone)]
 pub struct LocalInstance {
-    pub(crate) class_name: String,
+    pub(crate) class_sym: Sym,
     pub(crate) triggernum: usize,
-    pub(crate) trigger_name: String,
+    pub(crate) trigger_name: Arc<str>,
     pub(crate) anchor: Oid,
-    pub(crate) params: Vec<u8>,
+    pub(crate) params: Arc<[u8]>,
     pub(crate) statenum: u32,
 }
 
@@ -56,7 +59,7 @@ impl Database {
                 info.coupling
             )));
         }
-        let params = encode_to_vec(params);
+        let params: Arc<[u8]> = encode_to_vec(params).into();
         let anchor = ptr.oid();
 
         let mut mask_err: Option<OdeError> = None;
@@ -75,16 +78,17 @@ impl Database {
         if let Some(e) = mask_err {
             return Err(e);
         }
-        self.stats.lock().activations += 1;
+        self.metrics().trigger_activations.inc();
+        let trigger_name = self.interner.resolve(self.interner.intern(trigger));
 
         if outcome.accepted {
             let firing = Firing {
-                class_name: T::CLASS.to_string(),
+                class_sym: entry.sym,
                 triggernum,
-                trigger_name: trigger.to_string(),
+                trigger_name: Arc::clone(&trigger_name),
                 anchor,
-                params: params.clone(),
-                anchors: Vec::new(),
+                params: Arc::clone(&params),
+                anchors: Vec::new().into(),
                 coupling: info.coupling,
                 event_args: None,
             };
@@ -99,9 +103,9 @@ impl Database {
             return Ok(());
         }
         let instance = LocalInstance {
-            class_name: T::CLASS.to_string(),
+            class_sym: entry.sym,
             triggernum,
-            trigger_name: trigger.to_string(),
+            trigger_name,
             anchor,
             params,
             statenum: outcome.state,
@@ -112,6 +116,7 @@ impl Database {
             .or_default()
             .local_triggers
             .push(instance);
+        self.live_local_rules.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -181,13 +186,14 @@ impl Database {
             }
         };
 
+        let taken = instances.len();
         let mut firings = Vec::new();
         let mut error = None;
         instances.retain_mut(|inst| {
             if error.is_some() || inst.anchor != anchor {
                 return true;
             }
-            let Ok(entry) = self.entry(&inst.class_name) else {
+            let Ok(entry) = self.entry_sym(inst.class_sym) else {
                 return false;
             };
             let Some(info) = entry.td.trigger_by_num(inst.triggernum) else {
@@ -206,7 +212,7 @@ impl Database {
                     &mut mask_err,
                 )
             });
-            self.stats.lock().fsm_advances += 1;
+            self.metrics().fsm_advances.inc();
             if let Some(e) = mask_err {
                 error = Some(e);
                 return true;
@@ -218,12 +224,12 @@ impl Database {
                     inst.statenum = outcome.state;
                     if outcome.accepted {
                         firings.push(Firing {
-                            class_name: inst.class_name.clone(),
+                            class_sym: inst.class_sym,
                             triggernum: inst.triggernum,
-                            trigger_name: inst.trigger_name.clone(),
+                            trigger_name: Arc::clone(&inst.trigger_name),
                             anchor: inst.anchor,
-                            params: inst.params.clone(),
-                            anchors: Vec::new(),
+                            params: Arc::clone(&inst.params),
+                            anchors: Vec::new().into(),
                             coupling: info.coupling,
                             event_args: event_args.map(<[u8]>::to_vec),
                         });
@@ -234,6 +240,10 @@ impl Database {
                 }
             }
         });
+        let dropped = taken - instances.len();
+        if dropped > 0 {
+            self.live_local_rules.fetch_sub(dropped, Ordering::Relaxed);
+        }
 
         // Merge back (mask code may have activated more local rules).
         {

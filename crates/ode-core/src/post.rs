@@ -21,30 +21,46 @@
 //! 5. Once-only triggers are deactivated after firing; perpetual ones
 //!    stay. A trigger fires "at most once in response to the posting of a
 //!    single basic event".
+//!
+//! ## The hot path
+//!
+//! Steady-state posting (the §6 cost model) goes through a
+//! per-transaction cache: the first advance of a trigger instance reads
+//! and decodes its state record once into [`CachedTriggerState`]; every
+//! later advance in the same transaction hits the decoded struct and
+//! never touches storage. Dirty `statenum`s are patched into the retained
+//! on-disk image ([`patch_u32_le`]) and written back in one pass at
+//! commit ([`Database::flush_trigger_states`]); aborts just drop the
+//! cache. Names travel as interned [`Sym`](crate::intern::Sym)s and
+//! `Arc`s, accounting goes through the lock-free `ode-obs` counters, and
+//! the index lookup fills a reusable per-transaction scratch buffer — a
+//! steady-state post acquires no mutex and allocates no `String`.
 
 use crate::context::TriggerCtx;
-use crate::database::Database;
+use crate::database::{Database, TxnLocal};
 use crate::error::{OdeError, Result};
 use crate::metatype::{CouplingMode, TriggerInfo};
 use crate::object::{OdeObject, PersistentPtr, FLAG_HAS_TRIGGERS};
-use crate::trigger::{TriggerId, TriggerStateRec};
+use crate::trigger::{CachedTriggerState, TriggerId, TriggerStateRec};
 use ode_events::event::EventId;
 use ode_events::machine::Advance;
-use ode_storage::codec::{decode_all, encode_to_vec, Encode};
+use ode_storage::codec::{encode_to_vec, patch_u32_le, Encode};
 use ode_storage::{Oid, StorageError, TxnId};
+use std::sync::Arc;
 
-/// A trigger firing captured at detection time. Parameters and anchors are
-/// copied out so the action can run even after the state record has been
-/// deactivated (once-only) or the detecting transaction has committed
-/// (dependent/!dependent).
+/// A trigger firing captured at detection time. Parameters and anchors
+/// are shared (`Arc`) with the state record they were cut from, so the
+/// action can run even after the record has been deactivated (once-only)
+/// or the detecting transaction has committed (dependent/!dependent) —
+/// without copying on the detection path.
 #[derive(Debug, Clone)]
 pub(crate) struct Firing {
-    pub class_name: String,
+    pub class_sym: crate::intern::Sym,
     pub triggernum: usize,
-    pub trigger_name: String,
+    pub trigger_name: Arc<str>,
     pub anchor: Oid,
-    pub params: Vec<u8>,
-    pub anchors: Vec<(String, Oid)>,
+    pub params: Arc<[u8]>,
+    pub anchors: Arc<[(String, Oid)]>,
     pub coupling: CouplingMode,
     /// Encoded arguments of the detecting member-function event (§8
     /// event attributes), copied so deferred firings still see them.
@@ -94,7 +110,7 @@ impl Database {
         if anchors.is_empty() {
             // Ordinary trigger: the anchor's dynamic class must derive
             // from the defining class.
-            let (header, _) = self.read_raw(txn, anchor)?;
+            let header = self.read_header(txn, anchor)?;
             let dynamic = self.entry_by_id(header.class_id)?;
             if !dynamic.td.is_subclass_of(class) {
                 return Err(OdeError::TypeMismatch {
@@ -126,46 +142,55 @@ impl Database {
             return Err(e);
         }
 
+        let trigger_sym = self.interner.intern(trigger);
         let rec = TriggerStateRec {
             triggernum: triggernum as u32,
-            trigger_name: trigger.to_string(),
+            trigger_sym,
             statenum: outcome.state,
-            class_name: class.to_string(),
+            class_sym: entry.sym,
             anchor,
-            params,
-            anchors: anchors.clone(),
+            params: params.into(),
+            anchors: anchors.into(),
         };
-        let state_oid = self
-            .storage
-            .allocate(txn, self.trigger_cluster, &encode_to_vec(&rec))?;
+        let raw = rec.encode_to_vec_with(&self.interner);
+        let state_oid = self.storage.allocate(txn, self.trigger_cluster, &raw)?;
         let id = TriggerId(state_oid);
 
         // Index the state under every anchor and raise the has-triggers
         // flag so posting can short-circuit for trigger-free objects.
         let mut anchor_oids = vec![anchor];
-        anchor_oids.extend(anchors.iter().map(|(_, o)| *o));
+        anchor_oids.extend(rec.anchors.iter().map(|(_, o)| *o));
+        anchor_oids.sort_unstable();
         anchor_oids.dedup();
         for a in &anchor_oids {
             self.trigger_index
                 .insert(&self.storage, txn, a.to_u64(), state_oid)?;
             self.set_trigger_flag(txn, *a, true)?;
         }
-        {
-            let mut stats = self.stats.lock();
-            stats.activations += 1;
-            stats.mask_evaluations += mask_evals;
-        }
-        self.metrics().trigger_activations.inc();
+        let metrics = self.metrics();
+        metrics.trigger_activations.inc();
+        metrics.mask_evaluations.add(mask_evals);
+
+        // Seed the cache so the first post in this transaction skips the
+        // storage read-back of a record we just wrote.
+        let cached = CachedTriggerState {
+            rec: rec.clone(),
+            trigger_name: self.interner.resolve(trigger_sym),
+            raw,
+            statenum_offset: TriggerStateRec::statenum_offset(trigger.len()),
+            dirty: false,
+        };
+        self.cache_put(txn, state_oid, cached);
 
         // An expression matching the empty stream fires at activation.
         if outcome.accepted {
             let firing = Firing {
-                class_name: class.to_string(),
+                class_sym: entry.sym,
                 triggernum,
-                trigger_name: trigger.to_string(),
+                trigger_name: self.interner.resolve(trigger_sym),
                 anchor,
-                params: rec.params.clone(),
-                anchors,
+                params: Arc::clone(&rec.params),
+                anchors: Arc::clone(&rec.anchors),
                 coupling: info.coupling,
                 event_args: None,
             };
@@ -188,15 +213,21 @@ impl Database {
     /// state record and index entries. Returns false when the trigger was
     /// already gone (e.g. a once-only trigger that fired).
     pub fn deactivate(&self, txn: TxnId, id: TriggerId) -> Result<bool> {
+        // Drop any cached copy first: the pending statenum dies with the
+        // instance, and commit must never resurrect a freed record.
+        if let Some(local) = self.txn_local.lock().get_mut(&txn) {
+            local.state_cache.remove(&id.0);
+        }
         let record = match self.storage.read(txn, id.0) {
             Ok(r) => r,
             Err(StorageError::NoSuchObject(_)) => return Ok(false),
             Err(e) => return Err(e.into()),
         };
-        let rec: TriggerStateRec = decode_all(&record)?;
+        let rec = TriggerStateRec::decode_with(&record, &self.interner)?;
         self.storage.free(txn, id.0)?;
         let mut anchor_oids = vec![rec.anchor];
         anchor_oids.extend(rec.anchors.iter().map(|(_, o)| *o));
+        anchor_oids.sort_unstable();
         anchor_oids.dedup();
         for a in anchor_oids {
             self.trigger_index
@@ -209,7 +240,6 @@ impl Database {
                 self.set_trigger_flag(txn, a, false)?;
             }
         }
-        self.stats.lock().deactivations += 1;
         self.metrics().trigger_deactivations.inc();
         Ok(true)
     }
@@ -251,6 +281,53 @@ impl Database {
         if new_flags != header.flags {
             header.flags = new_flags;
             self.write_raw(txn, oid, header, &payload)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The transaction-scoped state cache
+    // ------------------------------------------------------------------
+
+    /// (Re)insert a cached trigger state. Instances are *taken out* while
+    /// they advance (masks and actions may re-enter the database, and the
+    /// txn-local mutex is not reentrant), then put back here.
+    fn cache_put(&self, txn: TxnId, state_oid: Oid, cached: CachedTriggerState) {
+        self.txn_local
+            .lock()
+            .entry(txn)
+            .or_default()
+            .state_cache
+            .insert(state_oid, cached);
+    }
+
+    /// Write every dirty cached statenum back to storage — the single
+    /// commit-time pass that replaces the per-advance
+    /// `storage.update(..)` of the naive algorithm. The stored image is
+    /// patched in place ([`patch_u32_le`]); nothing is re-encoded. An
+    /// entry is dirty whenever its FSM *moved* this transaction, even if
+    /// the cycle returned to the stored state — the write lock is §6's
+    /// point, not the value.
+    ///
+    /// This is where the read-becomes-write lock amplification now
+    /// happens: the S lock taken by the first (cache-miss) read upgrades
+    /// to X here instead of inside `post_event`.
+    pub(crate) fn flush_trigger_states(&self, txn: TxnId, local: &mut TxnLocal) -> Result<()> {
+        for (oid, cached) in local.state_cache.iter_mut() {
+            if !cached.dirty {
+                continue;
+            }
+            patch_u32_le(&mut cached.raw, cached.statenum_offset, cached.rec.statenum)?;
+            match self.storage.update(txn, *oid, &cached.raw) {
+                Ok(()) => {
+                    cached.dirty = false;
+                    self.metrics().state_writebacks.inc();
+                }
+                // Freed behind the cache's back (defensive; deactivate
+                // invalidates eagerly).
+                Err(StorageError::NoSuchObject(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(())
     }
@@ -315,36 +392,55 @@ impl Database {
         event: EventId,
         event_args: Option<&[u8]>,
     ) -> Result<()> {
-        self.stats.lock().events_posted += 1;
-        self.metrics().events_posted.inc();
-        self.metrics().emit(|| ode_obs::TraceEvent::EventPosted {
+        let metrics = self.metrics();
+        metrics.events_posted.inc();
+        metrics.emit(|| ode_obs::TraceEvent::EventPosted {
             event: event.0,
             anchor: anchor.to_u64(),
         });
-        let (header, _) = self.read_raw(txn, anchor)?;
+        let header = self.read_header(txn, anchor)?;
 
         let mut immediate: Vec<Firing> = Vec::new();
         if header.has_triggers() {
-            let states = self
-                .trigger_index
-                .get(&self.storage, txn, anchor.to_u64())?;
-            for state_oid in states {
-                if let Some(firing) = self.advance_one(txn, anchor, event, state_oid, event_args)? {
-                    if let Some(f) = self.schedule(txn, firing) {
-                        immediate.push(f);
+            // Fill the transaction's scratch buffer instead of allocating
+            // a fresh Vec per post. Taken out while we iterate — masks
+            // and actions may post recursively, and a nested post simply
+            // starts from an empty scratch of its own.
+            let mut states = {
+                let mut locals = self.txn_local.lock();
+                std::mem::take(&mut locals.entry(txn).or_default().scratch)
+            };
+            self.trigger_index
+                .get_into(&self.storage, txn, anchor.to_u64(), &mut states)?;
+            let mut walk = || -> Result<()> {
+                for &state_oid in states.iter() {
+                    if let Some(firing) =
+                        self.advance_one(txn, anchor, event, state_oid, event_args)?
+                    {
+                        if let Some(f) = self.schedule(txn, firing) {
+                            immediate.push(f);
+                        }
                     }
                 }
+                Ok(())
+            };
+            let walked = walk();
+            states.clear();
+            if let Some(local) = self.txn_local.lock().get_mut(&txn) {
+                local.scratch = states;
             }
+            walked?;
         } else {
-            self.stats.lock().index_skips += 1;
-            self.metrics().index_skips.inc();
+            metrics.index_skips.inc();
         }
 
         // Volatile local rules (§8) advance too — their state never
-        // touches storage.
-        for firing in self.advance_local_triggers(txn, anchor, event, event_args)? {
-            if let Some(f) = self.schedule(txn, firing) {
-                immediate.push(f);
+        // touches storage. Skipped entirely while none are live.
+        if self.has_local_rules() {
+            for firing in self.advance_local_triggers(txn, anchor, event, event_args)? {
+                if let Some(f) = self.schedule(txn, firing) {
+                    immediate.push(f);
+                }
             }
         }
 
@@ -358,6 +454,11 @@ impl Database {
 
     /// Advance a single persistent trigger instance; returns a Firing when
     /// it accepted.
+    ///
+    /// The instance is checked out of the transaction's state cache (or
+    /// read and decoded on first touch), advanced without holding any
+    /// lock — the FSM callback may re-enter the database — and checked
+    /// back in unless it deactivated.
     fn advance_one(
         &self,
         txn: TxnId,
@@ -366,67 +467,106 @@ impl Database {
         state_oid: Oid,
         event_args: Option<&[u8]>,
     ) -> Result<Option<Firing>> {
-        let record = match self.storage.read(txn, state_oid) {
-            Ok(r) => r,
-            // A concurrent deactivation in this transaction's view.
-            Err(StorageError::NoSuchObject(_)) => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let metrics = self.metrics();
+        let taken = {
+            let mut locals = self.txn_local.lock();
+            locals
+                .entry(txn)
+                .or_default()
+                .state_cache
+                .remove(&state_oid)
         };
-        let mut rec: TriggerStateRec = decode_all(&record)?;
-        let entry = self.entry(&rec.class_name)?;
+        let mut cached = match taken {
+            Some(c) => {
+                metrics.state_cache_hits.inc();
+                c
+            }
+            None => {
+                metrics.state_cache_misses.inc();
+                let raw = match self.storage.read(txn, state_oid) {
+                    Ok(r) => r,
+                    // A concurrent deactivation in this transaction's view.
+                    Err(StorageError::NoSuchObject(_)) => return Ok(None),
+                    Err(e) => return Err(e.into()),
+                };
+                let mut rec = TriggerStateRec::decode_with(&raw, &self.interner)?;
+                let name = self.interner.resolve(rec.trigger_sym);
+                let entry = self.entry_sym(rec.class_sym)?;
+                // Resolve the TriggerInfo once per transaction, tolerating
+                // reordered definitions from older sessions.
+                let resolved = match entry.td.trigger_by_num(rec.triggernum as usize) {
+                    Some(info) if info.name == *name => Some(rec.triggernum as usize),
+                    _ => entry.td.trigger(&name).map(|(n, _)| n),
+                };
+                let Some(triggernum) = resolved else {
+                    // The class no longer defines this trigger: drop it.
+                    self.deactivate(txn, TriggerId(state_oid))?;
+                    return Ok(None);
+                };
+                rec.triggernum = triggernum as u32;
+                let statenum_offset = TriggerStateRec::statenum_offset(name.len());
+                CachedTriggerState {
+                    rec,
+                    trigger_name: name,
+                    raw,
+                    statenum_offset,
+                    dirty: false,
+                }
+            }
+        };
 
-        // Resolve the TriggerInfo, tolerating reordered definitions.
-        let resolved = match entry.td.trigger_by_num(rec.triggernum as usize) {
-            Some(info) if info.name == rec.trigger_name => Some(rec.triggernum as usize),
-            _ => entry.td.trigger(&rec.trigger_name).map(|(n, _)| n),
-        };
-        let Some(triggernum) = resolved else {
-            // The class no longer defines this trigger: drop the state.
+        let entry = self.entry_sym(cached.rec.class_sym)?;
+        let triggernum = cached.rec.triggernum as usize;
+        let Some(info) = entry.td.trigger_by_num(triggernum) else {
             self.deactivate(txn, TriggerId(state_oid))?;
             return Ok(None);
         };
-        rec.triggernum = triggernum as u32;
-        let info: &TriggerInfo = entry.td.trigger_by_num(triggernum).expect("resolved");
-        if rec.statenum as usize >= info.fsm.len() {
+        let info: &TriggerInfo = info;
+        if cached.rec.statenum as usize >= info.fsm.len() {
             // Stale state from an older definition of the trigger.
             self.deactivate(txn, TriggerId(state_oid))?;
             return Ok(None);
         }
 
         // Inter-object triggers see anchor-qualified event ids.
-        let fsm_event = if rec.anchors.is_empty() {
+        let fsm_event = if cached.rec.anchors.is_empty() {
             event
         } else {
-            self.qualify_event(event, anchor, &rec.anchors)
+            self.qualify_event(event, anchor, &cached.rec.anchors)
         };
 
         let mut mask_err: Option<OdeError> = None;
         let mut mask_evals = 0u64;
-        let outcome = info.fsm.post(rec.statenum, fsm_event, |m| {
+        let outcome = info.fsm.post(cached.rec.statenum, fsm_event, |m| {
             mask_evals += 1;
             self.eval_mask(
                 txn,
                 &entry.td,
                 m,
-                rec.anchor,
-                &rec.params,
+                cached.rec.anchor,
+                &cached.rec.params,
                 &info.name,
-                &rec.anchors,
+                &cached.rec.anchors,
                 event_args,
                 &mut mask_err,
             )
         });
-        {
-            let mut stats = self.stats.lock();
-            stats.fsm_advances += 1;
-            stats.mask_evaluations += mask_evals;
+        metrics.fsm_advances.inc();
+        if mask_evals > 0 {
+            metrics.mask_evaluations.add(mask_evals);
         }
         if let Some(e) = mask_err {
+            // Leave the instance checked in and untouched, exactly like
+            // the pre-cache code left storage untouched on a mask error.
+            self.cache_put(txn, state_oid, cached);
             return Err(e);
         }
 
         match outcome.status {
-            Advance::Ignored => Ok(None),
+            Advance::Ignored => {
+                self.cache_put(txn, state_oid, cached);
+                Ok(None)
+            }
             Advance::Dead => {
                 // The instance can never fire again.
                 self.deactivate(txn, TriggerId(state_oid))?;
@@ -434,12 +574,12 @@ impl Database {
             }
             Advance::Moved => {
                 let firing = outcome.accepted.then(|| Firing {
-                    class_name: rec.class_name.clone(),
+                    class_sym: cached.rec.class_sym,
                     triggernum,
-                    trigger_name: rec.trigger_name.clone(),
-                    anchor: rec.anchor,
-                    params: rec.params.clone(),
-                    anchors: rec.anchors.clone(),
+                    trigger_name: Arc::clone(&cached.trigger_name),
+                    anchor: cached.rec.anchor,
+                    params: Arc::clone(&cached.rec.params),
+                    anchors: Arc::clone(&cached.rec.anchors),
                     coupling: info.coupling,
                     event_args: event_args.map(<[u8]>::to_vec),
                 });
@@ -447,11 +587,13 @@ impl Database {
                     // Once-only: deactivate now, fire from the copy.
                     self.deactivate(txn, TriggerId(state_oid))?;
                     self.metrics().once_only_deactivations.inc();
-                } else if outcome.state != rec.statenum {
+                } else {
                     // Advancing the FSM updates the trigger descriptor —
-                    // the read-becomes-write effect of §6.
-                    rec.statenum = outcome.state;
-                    self.storage.update(txn, state_oid, &encode_to_vec(&rec))?;
+                    // but the write (§6's read-becomes-write effect) is
+                    // deferred to commit, batched per instance.
+                    cached.rec.statenum = outcome.state;
+                    cached.dirty = true;
+                    self.cache_put(txn, state_oid, cached);
                 }
                 Ok(firing)
             }
@@ -495,27 +637,20 @@ impl Database {
     }
 
     /// Execute a trigger action.
-    pub(crate) fn fire(&self, txn: TxnId, firing: &Firing, immediate: bool) -> Result<()> {
-        let entry = self.entry(&firing.class_name)?;
+    pub(crate) fn fire(&self, txn: TxnId, firing: &Firing, _immediate: bool) -> Result<()> {
+        let entry = self.entry_sym(firing.class_sym)?;
         let info = entry
             .td
             .trigger_by_num(firing.triggernum)
-            .filter(|i| i.name == firing.trigger_name)
+            .filter(|i| *i.name == *firing.trigger_name)
             .or_else(|| entry.td.trigger(&firing.trigger_name).map(|(_, i)| i))
             .ok_or_else(|| {
                 OdeError::Schema(format!(
                     "trigger {:?} of class {:?} vanished before firing",
-                    firing.trigger_name, firing.class_name
+                    firing.trigger_name,
+                    self.interner.resolve(firing.class_sym)
                 ))
             })?;
-        {
-            let mut stats = self.stats.lock();
-            if immediate {
-                stats.immediate_firings += 1;
-            } else {
-                stats.deferred_firings += 1;
-            }
-        }
         let metrics = self.metrics();
         let coupling = match firing.coupling {
             CouplingMode::Immediate => {

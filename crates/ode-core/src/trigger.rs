@@ -21,12 +21,21 @@
 //! them, e.g. `CredCardAutoRaiseLimitStruct`; we store them as an encoded
 //! blob) and, for the inter-object extension, the named anchor list.
 //!
+//! On disk the class and trigger are stored *by name* (robust against
+//! id reassignment between sessions); in memory they are interned
+//! [`Sym`]s so the posting hot path never touches a `String`. Shared
+//! fields (`params`, `anchors`) sit behind `Arc`s, making the
+//! record — and the [`Firing`](crate::post::Firing)s cut from it —
+//! cheap to clone.
+//!
 //! [`TriggerId`] is, as in the paper, simply the persistent pointer to the
 //! state record.
 
-use bytes::BytesMut;
+use crate::intern::{Interner, Sym};
+use bytes::{BufMut, BytesMut};
 use ode_storage::codec::{Blob, Decode, Encode};
-use ode_storage::Oid;
+use ode_storage::{Oid, StorageError};
+use std::sync::Arc;
 
 /// Handle for deactivating a trigger — "trigger activation returns a
 /// TriggerId which can be used to deactivate the trigger" (§4.1).
@@ -52,70 +61,148 @@ impl std::fmt::Display for TriggerId {
     }
 }
 
-/// The persistent trigger state record.
+/// The persistent trigger state record (in-memory, interned form).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct TriggerStateRec {
     /// Index into the defining class's trigger table.
     pub triggernum: u32,
     /// Trigger name (redundant with `triggernum`; used to re-resolve if a
     /// class definition reorders its triggers between sessions).
-    pub trigger_name: String,
+    pub trigger_sym: Sym,
     /// Current FSM state.
     pub statenum: u32,
     /// Defining class (`trigobjtype`).
-    pub class_name: String,
+    pub class_sym: Sym,
     /// Anchor object (`trigobj`).
     pub anchor: Oid,
     /// Encoded activation parameters.
-    pub params: Vec<u8>,
+    pub params: Arc<[u8]>,
     /// Named anchors (inter-object triggers only; empty otherwise).
-    pub anchors: Vec<(String, Oid)>,
+    pub anchors: Arc<[(String, Oid)]>,
 }
 
-impl Encode for TriggerStateRec {
-    fn encode(&self, buf: &mut BytesMut) {
+impl TriggerStateRec {
+    /// Encode in the on-disk (name-based) layout: `triggernum`,
+    /// `trigger_name`, `statenum`, `class_name`, `anchor`, params blob,
+    /// anchors.
+    pub fn encode_with(&self, interner: &Interner, buf: &mut BytesMut) {
         self.triggernum.encode(buf);
-        self.trigger_name.encode(buf);
+        interner.resolve(self.trigger_sym).encode(buf);
         self.statenum.encode(buf);
-        self.class_name.encode(buf);
+        interner.resolve(self.class_sym).encode(buf);
         self.anchor.encode(buf);
-        Blob(self.params.clone()).encode(buf);
-        self.anchors.encode(buf);
+        buf.put_u32_le(self.params.len() as u32);
+        buf.put_slice(&self.params);
+        buf.put_u32_le(self.anchors.len() as u32);
+        for a in self.anchors.iter() {
+            a.encode(buf);
+        }
+    }
+
+    /// Encode into a fresh `Vec` (activation path; not hot).
+    pub fn encode_to_vec_with(&self, interner: &Interner) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.encode_with(interner, &mut buf);
+        buf.to_vec()
+    }
+
+    /// Decode the full record, interning the names, and require every
+    /// byte consumed (like `decode_all`).
+    pub fn decode_with(mut bytes: &[u8], interner: &Interner) -> ode_storage::Result<Self> {
+        let buf = &mut bytes;
+        let rec = TriggerStateRec {
+            triggernum: u32::decode(buf)?,
+            trigger_sym: interner.intern(&String::decode(buf)?),
+            statenum: u32::decode(buf)?,
+            class_sym: interner.intern(&String::decode(buf)?),
+            anchor: Oid::decode(buf)?,
+            params: Blob::decode(buf)?.0.into(),
+            anchors: Vec::<(String, Oid)>::decode(buf)?.into(),
+        };
+        if !buf.is_empty() {
+            return Err(StorageError::Codec(format!(
+                "{} trailing bytes after TriggerState decode",
+                buf.len()
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// Byte offset of `statenum` within the encoded record: after the
+    /// `u32` triggernum and the length-prefixed trigger name.
+    pub fn statenum_offset(trigger_name_len: usize) -> usize {
+        4 + 4 + trigger_name_len
     }
 }
 
-impl Decode for TriggerStateRec {
-    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
-        Ok(TriggerStateRec {
-            triggernum: u32::decode(buf)?,
-            trigger_name: String::decode(buf)?,
-            statenum: u32::decode(buf)?,
-            class_name: String::decode(buf)?,
-            anchor: Oid::decode(buf)?,
-            params: Blob::decode(buf)?.0,
-            anchors: Vec::<(String, Oid)>::decode(buf)?,
-        })
-    }
+/// A trigger state checked into the per-transaction cache: the decoded
+/// record plus the on-disk image it came from. `statenum` advances in
+/// `rec` only; the image is patched (at [`statenum_offset`]) and written
+/// back in one pass at commit when `dirty`. Aborts simply drop the
+/// cache — storage was never touched.
+///
+/// `dirty` is raised by any advance that *moved* the FSM — even one
+/// whose cycle returns to the stored state (arm → fire → start). The
+/// write-back is then a no-op value-wise but still takes the write lock,
+/// preserving §6's read-becomes-write amplification (once per
+/// transaction instead of once per posting).
+///
+/// [`statenum_offset`]: TriggerStateRec::statenum_offset
+#[derive(Debug, Clone)]
+pub(crate) struct CachedTriggerState {
+    /// Decoded, interned record; `statenum` is the live (in-txn) state.
+    pub rec: TriggerStateRec,
+    /// Resolved trigger name, shared with the interner — firings clone the
+    /// `Arc`, never the characters.
+    pub trigger_name: Arc<str>,
+    /// The encoded record as read from (or first written to) storage.
+    pub raw: Vec<u8>,
+    /// Byte offset of `statenum` inside `raw`.
+    pub statenum_offset: usize,
+    /// The FSM moved this transaction: write the record back at commit.
+    pub dirty: bool,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ode_storage::codec::{decode_all, encode_to_vec};
+
+    fn sample(interner: &Interner) -> TriggerStateRec {
+        TriggerStateRec {
+            triggernum: 1,
+            trigger_sym: interner.intern("AutoRaiseLimit"),
+            statenum: 2,
+            class_sym: interner.intern("CredCard"),
+            anchor: Oid::new(3, 4),
+            params: vec![0, 0, 122, 68].into(), // 1000.0f32
+            anchors: vec![(String::from("stock"), Oid::new(5, 6))].into(),
+        }
+    }
 
     #[test]
     fn state_record_roundtrips() {
-        let rec = TriggerStateRec {
-            triggernum: 1,
-            trigger_name: "AutoRaiseLimit".into(),
-            statenum: 2,
-            class_name: "CredCard".into(),
-            anchor: Oid::new(3, 4),
-            params: vec![0, 0, 122, 68], // 1000.0f32
-            anchors: vec![("stock".into(), Oid::new(5, 6))],
-        };
-        let bytes = encode_to_vec(&rec);
-        let back: TriggerStateRec = decode_all(&bytes).unwrap();
+        let interner = Interner::default();
+        let rec = sample(&interner);
+        let bytes = rec.encode_to_vec_with(&interner);
+        let back = TriggerStateRec::decode_with(&bytes, &interner).unwrap();
+        assert_eq!(back, rec);
+        // Decoding with a *fresh* interner must also work (symbols are
+        // session-local, the wire format is not).
+        let other = Interner::default();
+        let again = TriggerStateRec::decode_with(&bytes, &other).unwrap();
+        assert_eq!(again.statenum, rec.statenum);
+        assert_eq!(&*other.resolve(again.class_sym), "CredCard");
+    }
+
+    #[test]
+    fn statenum_offset_points_at_statenum() {
+        let interner = Interner::default();
+        let mut rec = sample(&interner);
+        let mut bytes = rec.encode_to_vec_with(&interner);
+        let offset = TriggerStateRec::statenum_offset("AutoRaiseLimit".len());
+        ode_storage::codec::patch_u32_le(&mut bytes, offset, 77).unwrap();
+        let back = TriggerStateRec::decode_with(&bytes, &interner).unwrap();
+        rec.statenum = 77;
         assert_eq!(back, rec);
     }
 

@@ -1,7 +1,8 @@
-//! `with_txn_retry`: deadlock victims rerun, application aborts do not.
+//! `with_txn_retry`: deadlock victims rerun, application aborts do not —
+//! and aborts roll trigger-state advances back with everything else.
 
 use bytes::BytesMut;
-use ode_core::{ClassBuilder, Database, Decode, Encode, OdeObject};
+use ode_core::{ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -109,4 +110,97 @@ fn deadlock_victims_retry_to_completion() {
         Ok(())
     })
     .unwrap();
+}
+
+/// The write-back path under abort: FSM advances inside an aborted
+/// transaction must leave the *stored* statenums untouched. With the
+/// txn-scoped state cache the advances never reach storage at all (the
+/// cache is dropped, zero write-backs), so a rerun sees the trigger in
+/// its pre-abort state.
+#[test]
+fn aborted_advances_leave_stored_statenums_untouched() {
+    let fired = Arc::new(AtomicU32::new(0));
+    let fired2 = Arc::clone(&fired);
+    let db = Database::volatile();
+    let td = ClassBuilder::new("Meter")
+        .after_event("Inc")
+        .trigger(
+            "TwoIncs",
+            "after Inc, after Inc",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            move |_| {
+                fired2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+
+    #[derive(Debug, Clone)]
+    struct Meter {
+        n: i64,
+    }
+    impl Encode for Meter {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.n.encode(buf);
+        }
+    }
+    impl Decode for Meter {
+        fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+            Ok(Meter {
+                n: i64::decode(buf)?,
+            })
+        }
+    }
+    impl OdeObject for Meter {
+        const CLASS: &'static str = "Meter";
+    }
+
+    let m = db
+        .with_txn(|txn| {
+            let m = db.pnew(txn, &Meter { n: 0 })?;
+            db.activate(txn, m, "TwoIncs", &())?;
+            Ok(m)
+        })
+        .unwrap();
+
+    // Advance the FSM one step (of two), then abort.
+    db.metrics().reset();
+    let err = db
+        .with_txn(|txn| {
+            db.invoke(txn, m, "Inc", |mm: &mut Meter| {
+                mm.n += 1;
+                Ok(())
+            })?;
+            Err::<(), _>(ode_core::OdeError::tabort("roll it back"))
+        })
+        .unwrap_err();
+    assert!(err.is_abort());
+    let snap = db.stats();
+    assert_eq!(snap.fsm_advances, 1, "the advance did happen in-txn");
+    assert_eq!(snap.state_writebacks, 0, "…but never reached storage");
+    assert_eq!(fired.load(Ordering::SeqCst), 0);
+
+    // A fresh transaction starts from the *stored* state: it still takes
+    // two Incs to fire. Had the aborted advance leaked, one would do.
+    db.with_txn(|txn| {
+        db.invoke(txn, m, "Inc", |mm: &mut Meter| {
+            mm.n += 1;
+            Ok(())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 0, "one Inc is not enough");
+    db.with_txn(|txn| {
+        db.invoke(txn, m, "Inc", |mm: &mut Meter| {
+            mm.n += 1;
+            Ok(())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "two fresh Incs fire");
 }

@@ -230,6 +230,18 @@ counters! {
     events_posted,
     /// Index lookups skipped via the header has-triggers flag byte.
     index_skips,
+    /// Per-trigger-instance FSM advances performed (persistent and local).
+    fsm_advances,
+    /// Mask predicate evaluations requested by the trigger run-time.
+    mask_evaluations,
+    /// Posting advances served from the per-transaction trigger-state
+    /// cache (no storage read).
+    state_cache_hits,
+    /// Posting advances that read and decoded the stored TriggerState
+    /// (first touch in the transaction).
+    state_cache_misses,
+    /// Dirty trigger statenums written back to storage at commit.
+    state_writebacks,
     /// Trigger activations.
     trigger_activations,
     /// Trigger deactivations (explicit, once-only, or dead instances).

@@ -41,6 +41,24 @@ pub fn decode_all<T: Decode>(mut bytes: &[u8]) -> Result<T> {
     Ok(v)
 }
 
+/// Overwrite the little-endian `u32` at `offset` inside an already-encoded
+/// buffer. Used to patch a single fixed-offset field (e.g. a trigger
+/// record's `statenum`) without re-encoding the whole record.
+pub fn patch_u32_le(buf: &mut [u8], offset: usize, value: u32) -> Result<()> {
+    let len = buf.len();
+    let end = offset.saturating_add(4);
+    let slice = buf
+        .get_mut(offset..end)
+        .filter(|s| s.len() == 4)
+        .ok_or_else(|| {
+            StorageError::Codec(format!(
+                "patch_u32_le at {offset} out of bounds for {len}-byte buffer"
+            ))
+        })?;
+    slice.copy_from_slice(&value.to_le_bytes());
+    Ok(())
+}
+
 fn need(buf: &&[u8], n: usize, what: &str) -> Result<()> {
     if buf.len() < n {
         Err(StorageError::Codec(format!(
@@ -291,6 +309,25 @@ mod tests {
     fn invalid_tags_rejected() {
         assert!(decode_all::<bool>(&[2]).is_err());
         assert!(decode_all::<Option<u8>>(&[7]).is_err());
+    }
+
+    #[test]
+    fn patch_u32_le_rewrites_in_place() {
+        // (u32, String, u32): patch the trailing u32 at its fixed offset.
+        let mut bytes = encode_to_vec(&(7u32, String::from("abc"), 1u32));
+        let offset = 4 + 4 + 3;
+        patch_u32_le(&mut bytes, offset, 9).unwrap();
+        let back: (u32, String, u32) = decode_all(&bytes).unwrap();
+        assert_eq!(back, (7, String::from("abc"), 9));
+    }
+
+    #[test]
+    fn patch_u32_le_rejects_out_of_bounds() {
+        let mut bytes = vec![0u8; 6];
+        assert!(patch_u32_le(&mut bytes, 3, 1).is_err());
+        assert!(patch_u32_le(&mut bytes, usize::MAX - 2, 1).is_err());
+        patch_u32_le(&mut bytes, 2, 0xAABBCCDD).unwrap();
+        assert_eq!(&bytes[2..], &[0xDD, 0xCC, 0xBB, 0xAA]);
     }
 
     #[test]

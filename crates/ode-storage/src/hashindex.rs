@@ -163,13 +163,69 @@ impl HashIndex {
 
     /// All values stored under `key` (empty when absent).
     pub fn get(&self, storage: &Storage, txn: TxnId, key: u64) -> Result<Vec<Oid>> {
-        let dir = self.load_dir(storage, txn)?;
-        let bucket = Self::load_bucket(storage, txn, Self::bucket_of(&dir, key))?;
-        Ok(bucket
-            .into_iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| v)
-            .unwrap_or_default())
+        let mut out = Vec::new();
+        self.get_into(storage, txn, key, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fill `out` (cleared first) with the values stored under `key` — the
+    /// reuse-a-scratch-buffer sibling of [`HashIndex::get`] for hot paths
+    /// like event posting, where a fresh `Vec` per lookup would dominate
+    /// the §5.4.5 cost. Probes the encoded directory and bucket records at
+    /// fixed offsets instead of decoding them into nested vectors.
+    pub fn get_into(
+        &self,
+        storage: &Storage,
+        txn: TxnId,
+        key: u64,
+        out: &mut Vec<Oid>,
+    ) -> Result<()> {
+        out.clear();
+        let short = |what: &str| crate::error::StorageError::Codec(format!("short {what} record"));
+        // Directory wire format: u32 cluster, u32 len, len × 6-byte Oids.
+        let dir_raw = storage.read(txn, self.dir)?;
+        let nbuckets = u64::from(u32::from_le_bytes(
+            dir_raw
+                .get(4..8)
+                .ok_or_else(|| short("hash directory"))?
+                .try_into()
+                .expect("4-byte slice"),
+        ));
+        if nbuckets == 0 {
+            return Err(short("hash directory"));
+        }
+        let at = 8 + (hash(key) % nbuckets) as usize * 6;
+        let bucket_raw = dir_raw
+            .get(at..at + 6)
+            .ok_or_else(|| short("hash directory"))?;
+        let bucket_oid = Oid::new(
+            u32::from_le_bytes(bucket_raw[0..4].try_into().expect("4-byte slice")),
+            u16::from_le_bytes(bucket_raw[4..6].try_into().expect("2-byte slice")),
+        );
+        // Bucket wire format: u32 entries, each u64 key + u32 len + Oids.
+        let raw = storage.read(txn, bucket_oid)?;
+        let mut rest: &[u8] = raw.get(4..).ok_or_else(|| short("hash bucket"))?;
+        let entries = u32::from_le_bytes(raw[0..4].try_into().expect("4-byte slice"));
+        for _ in 0..entries {
+            let (head, tail) = rest
+                .split_at_checked(12)
+                .ok_or_else(|| short("hash bucket"))?;
+            let k = u64::from_le_bytes(head[0..8].try_into().expect("8-byte slice"));
+            let vlen = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice")) as usize;
+            let values = tail.get(..vlen * 6).ok_or_else(|| short("hash bucket"))?;
+            if k == key {
+                out.reserve(vlen);
+                for v in values.chunks_exact(6) {
+                    out.push(Oid::new(
+                        u32::from_le_bytes(v[0..4].try_into().expect("4-byte slice")),
+                        u16::from_le_bytes(v[4..6].try_into().expect("2-byte slice")),
+                    ));
+                }
+                return Ok(());
+            }
+            rest = &tail[vlen * 6..];
+        }
+        Ok(())
     }
 
     /// Remove one `(key, value)` pair; returns whether it was present.
@@ -284,6 +340,26 @@ mod tests {
         }
         let entries = idx.entries(&s, t).unwrap();
         assert_eq!(entries.len(), 200);
+    }
+
+    #[test]
+    fn get_into_matches_get_and_reuses_the_buffer() {
+        let (s, t, idx) = setup();
+        // Enough keys to force a table doubling, so the byte-walking probe
+        // is exercised against a grown directory too.
+        for key in 0..200u64 {
+            idx.insert(&s, t, key, Oid::from_u64(key)).unwrap();
+            idx.insert(&s, t, key, Oid::from_u64(key + 1000)).unwrap();
+        }
+        let mut scratch = Vec::new();
+        for key in 0..200u64 {
+            idx.get_into(&s, t, key, &mut scratch).unwrap();
+            assert_eq!(scratch, idx.get(&s, t, key).unwrap(), "key {key}");
+            assert_eq!(scratch.len(), 2);
+        }
+        // Missing keys leave the buffer empty, not stale.
+        idx.get_into(&s, t, 9_999, &mut scratch).unwrap();
+        assert!(scratch.is_empty());
     }
 
     #[test]
