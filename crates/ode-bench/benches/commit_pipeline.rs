@@ -1,0 +1,161 @@
+//! E13 — group-commit throughput (§5.6 durability costs).
+//!
+//! Concurrent committers on the disk engine with `fsync: true`, comparing
+//! the leader/follower group-commit protocol against the per-commit-flush
+//! baseline (`group_commit: false`, where every committer runs its own
+//! write+fsync cycle). Worker threads live for the whole benchmark and
+//! are released in lockstep by barriers; one measured iteration is one
+//! batch of `threads × BATCH` tiny update transactions, so the reported
+//! Melem/s *is* commits per second and per-commit time is the iteration
+//! time divided by the batch size.
+//!
+//! Expected shape: at 1 thread the two modes are equivalent (a leader
+//! with an empty queue *is* a solo flusher); as threads grow, group
+//! commit amortizes one fsync over the whole batch and pulls ahead —
+//! ≥ 2× at 16 threads is the acceptance bar recorded in
+//! `BENCH_commit_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_storage::{EngineKind, Oid, Storage, StorageOptions};
+use ode_testutil::TempDir;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Commits per thread per measured iteration.
+const BATCH: u64 = 32;
+
+fn commit_once(storage: &Storage, oid: Oid, i: u64) {
+    let txn = storage.begin().unwrap();
+    storage
+        .update(txn, oid, &i.to_le_bytes().repeat(8))
+        .unwrap();
+    storage.commit(txn).unwrap();
+}
+
+/// A pool of committer threads parked on a start barrier. Each
+/// released round runs `BATCH` commits per thread against the thread's
+/// own object, then parks on the done barrier.
+struct Rig {
+    _dir: TempDir,
+    storage: Arc<Storage>,
+    start: Arc<Barrier>,
+    done: Arc<Barrier>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Rig {
+    fn new(group_commit: bool, threads: usize) -> Rig {
+        let dir = TempDir::new("bench-commit-pipeline");
+        let storage = Arc::new(
+            Storage::create(
+                dir.path(),
+                StorageOptions {
+                    engine: EngineKind::Disk,
+                    fsync: true,
+                    group_commit,
+                    ..StorageOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let txn = storage.begin().unwrap();
+        let cluster = storage.create_cluster(txn).unwrap();
+        let oids: Vec<Oid> = (0..threads)
+            .map(|i| storage.allocate(txn, cluster, &[i as u8; 64]).unwrap())
+            .collect();
+        storage.commit(txn).unwrap();
+
+        let start = Arc::new(Barrier::new(threads + 1));
+        let done = Arc::new(Barrier::new(threads + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..threads)
+            .map(|t| {
+                let storage = Arc::clone(&storage);
+                let start = Arc::clone(&start);
+                let done = Arc::clone(&done);
+                let stop = Arc::clone(&stop);
+                let oid = oids[t];
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    loop {
+                        start.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        for _ in 0..BATCH {
+                            commit_once(&storage, oid, i);
+                            i += 1;
+                        }
+                        done.wait();
+                    }
+                })
+            })
+            .collect();
+        Rig {
+            _dir: dir,
+            storage,
+            start,
+            done,
+            stop,
+            handles,
+        }
+    }
+
+    /// Release one batch and wait for every thread to finish it.
+    fn round(&self) {
+        self.start.wait();
+        self.done.wait();
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.start.wait();
+        for h in self.handles.drain(..) {
+            h.join().unwrap();
+        }
+    }
+}
+
+fn bench_commit_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_pipeline");
+    for (mode, group_commit) in [("group_commit", true), ("solo_flush", false)] {
+        for threads in [1usize, 4, 16] {
+            let rig = Rig::new(group_commit, threads);
+            group.throughput(Throughput::Elements(threads as u64 * BATCH));
+            group.bench_function(BenchmarkId::new(mode, threads), |b| b.iter(|| rig.round()));
+            let snap = rig.storage.metrics().snapshot();
+            println!(
+                "  [{mode}/{threads}] commits={} fsyncs={} group_commits={} avg_batch={:.2} flush_wait_ms={}",
+                snap.txn_commits,
+                snap.wal_fsyncs,
+                snap.wal_group_commits,
+                if snap.wal_group_commits > 0 {
+                    snap.wal_group_size_sum as f64 / snap.wal_group_commits as f64
+                } else {
+                    0.0
+                },
+                snap.commit_flush_wait_micros / 1000,
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_commit_pipeline
+}
+criterion_main!(benches);

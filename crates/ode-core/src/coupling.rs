@@ -86,6 +86,15 @@ impl Database {
 
     /// Commit: end actions, `before tcomplete`, storage commit, then the
     /// dependent/!dependent lists in system transactions.
+    ///
+    /// The storage commit is split around the detached firings: the
+    /// detecting transaction's Commit record is appended and its locks
+    /// released with [`ode_storage::Storage::commit_deferred`], the
+    /// dependent/!dependent system transactions then run and append *their*
+    /// Commit records, and only afterwards does this transaction block on
+    /// the durability watermark. One group-commit flush therefore makes the
+    /// detecting transaction and its trigger firings durable together,
+    /// instead of paying one fsync per system transaction.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         if let Err(e) = self.pre_commit(txn) {
             // An end action or tcomplete trigger aborted the transaction
@@ -107,16 +116,21 @@ impl Database {
         self.metrics()
             .commit_queue_depth
             .add((local.dep_list.len() + local.indep_list.len()) as u64);
-        match self.storage.commit(txn) {
-            Ok(()) => {
+        match self.storage.commit_deferred(txn) {
+            Ok(ticket) => {
+                // The dependent list may run as soon as the detecting
+                // transaction is logically committed (its locks are free,
+                // its Commit record's WAL position fixed); each system
+                // transaction's own commit rides the shared flush batch.
                 self.run_detached(local.dep_list, Some(txn));
                 self.run_detached(local.indep_list, None);
-                Ok(())
+                self.storage.commit_wait(ticket).map_err(Into::into)
             }
             Err(e) => {
-                // storage.commit aborts the transaction itself on a failed
-                // commit dependency. !dependent actions still run — they
-                // are independent of the detecting transaction's fate.
+                // storage.commit_deferred aborts the transaction itself on
+                // a failed commit dependency. !dependent actions still run
+                // — they are independent of the detecting transaction's
+                // fate.
                 self.run_detached(local.indep_list, None);
                 Err(e.into())
             }

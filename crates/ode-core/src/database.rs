@@ -274,6 +274,16 @@ impl Database {
         *self.stats_baseline.lock() = self.storage.metrics().snapshot();
     }
 
+    /// The *stored* FSM state number of an active trigger — what is (or
+    /// will be, once committed) on disk, bypassing any in-transaction
+    /// cached advance. Crash-recovery tests use this to check that trigger
+    /// FSM positions roll back and survive with their transaction.
+    pub fn trigger_statenum(&self, txn: TxnId, id: crate::trigger::TriggerId) -> Result<u32> {
+        let raw = self.storage.read(txn, id.oid())?;
+        let rec = crate::trigger::TriggerStateRec::decode_with(&raw, &self.interner)?;
+        Ok(rec.statenum)
+    }
+
     // ------------------------------------------------------------------
     // Schema
     // ------------------------------------------------------------------

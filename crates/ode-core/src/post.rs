@@ -312,6 +312,12 @@ impl Database {
     /// This is where the read-becomes-write lock amplification now
     /// happens: the S lock taken by the first (cache-miss) read upgrades
     /// to X here instead of inside `post_event`.
+    ///
+    /// Runs strictly before `storage.commit_deferred`, so the patched
+    /// statenum cells sit in the WAL ahead of the transaction's Commit
+    /// record: one group-commit flush makes the data mutation and the FSM
+    /// position durable atomically, and recovery replays (or drops) them
+    /// together.
     pub(crate) fn flush_trigger_states(&self, txn: TxnId, local: &mut TxnLocal) -> Result<()> {
         for (oid, cached) in local.state_cache.iter_mut() {
             if !cached.dirty {

@@ -1,0 +1,394 @@
+//! Crash-fault-injected recovery (§5.5 durability, §7 persistent
+//! trigger state).
+//!
+//! The tentpole harness runs a trigger-heavy `CredCard` workload against
+//! a disk database whose WAL and data files are wrapped in a
+//! [`FaultInjector`], kills the "device" at a randomized byte offset (a
+//! torn write, after which all I/O fails), reopens the directory with a
+//! fresh un-injected engine, and asserts the recovered database equals
+//! the state after the last *acknowledged* commit — object payloads,
+//! persistent trigger-FSM statenums, and the object→trigger hash index
+//! (via `verify_integrity`) all included.
+//!
+//! Environment knobs (used by the CI crash matrix):
+//!
+//! * `ODE_CRASH_SEED`  — u64 seed for the crash-point PRNG (default 0).
+//! * `ODE_CRASH_FSYNC` — `1` to fsync commits (CI); default off so the
+//!   developer loop stays fast. Recovery correctness is identical either
+//!   way because the harness crashes the *process model*, not the OS
+//!   page cache.
+
+mod common;
+
+use common::{buy, cred_card_class, pay_bill, CredCard};
+use ode_core::{Database, EngineKind, PersistentPtr, StorageOptions, TriggerId};
+use ode_storage::FaultInjector;
+use ode_testutil::TempDir;
+use std::sync::Arc;
+
+const CARDS: usize = 3;
+const STEPS: usize = 20;
+const CRASH_POINTS: usize = 64;
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants) so the harness
+/// needs no external rand crate and every failure reproduces from
+/// `ODE_CRASH_SEED` alone.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // The low bits of an LCG are weak; mix the high half down.
+        self.0 >> 17
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn crash_seed() -> u64 {
+    std::env::var("ODE_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn crash_fsync() -> bool {
+    std::env::var("ODE_CRASH_FSYNC")
+        .map(|s| s == "1")
+        .unwrap_or(false)
+}
+
+fn disk_options(fsync: bool, fault: Option<Arc<FaultInjector>>) -> StorageOptions {
+    StorageOptions {
+        engine: EngineKind::Disk,
+        fsync,
+        fault,
+        ..StorageOptions::default()
+    }
+}
+
+/// Everything recovery must reproduce: each card's payload plus its
+/// trigger's stored statenum (`None` once the non-perpetual
+/// `AutoRaiseLimit` has fired and deactivated itself).
+type Snapshot = Vec<(CredCard, Option<u32>)>;
+
+fn take_snapshot(
+    db: &Database,
+    cards: &[PersistentPtr<CredCard>],
+    trigs: &[TriggerId],
+) -> Snapshot {
+    db.with_txn(|txn| {
+        cards
+            .iter()
+            .zip(trigs)
+            .map(|(&card, &trig)| {
+                let payload = db.read(txn, card)?;
+                let statenum = db.trigger_statenum(txn, trig).ok();
+                Ok((payload, statenum))
+            })
+            .collect()
+    })
+    .unwrap()
+}
+
+/// Create the database, register the §4 class, mint `CARDS` cards and
+/// activate `AutoRaiseLimit` on each — all *before* the fault is armed,
+/// mirroring an installation that was healthy until the crash window.
+fn setup(
+    dir: &TempDir,
+    fsync: bool,
+    fault: Option<Arc<FaultInjector>>,
+) -> (Database, Vec<PersistentPtr<CredCard>>, Vec<TriggerId>) {
+    let db = Database::create(dir.path(), disk_options(fsync, fault)).unwrap();
+    cred_card_class(&db);
+    let (cards, trigs) = db
+        .with_txn(|txn| {
+            let mut cards = Vec::new();
+            let mut trigs = Vec::new();
+            for i in 0..CARDS {
+                let card = db.pnew(txn, &CredCard::new(1000.0 + 100.0 * i as f32))?;
+                trigs.push(db.activate(txn, card, "AutoRaiseLimit", &250.0f32)?);
+                cards.push(card);
+            }
+            Ok((cards, trigs))
+        })
+        .unwrap();
+    (db, cards, trigs)
+}
+
+/// One workload transaction, chosen by the (deterministic) step PRNG.
+/// Arms `MoreCred` with big buys, fires `AutoRaiseLimit` with pay-bills,
+/// and sprinkles in `tabort`ed transactions so Abort records land in the
+/// log between the commits recovery must replay.
+fn apply_step(
+    db: &Database,
+    rng: &mut Lcg,
+    cards: &[PersistentPtr<CredCard>],
+) -> ode_core::Result<()> {
+    let card = cards[rng.below(cards.len() as u64) as usize];
+    match rng.below(5) {
+        0 => db.with_txn(|txn| buy(db, txn, card, 850.0)),
+        1 => db.with_txn(|txn| buy(db, txn, card, 120.0)),
+        2 | 3 => db.with_txn(|txn| pay_bill(db, txn, card, 400.0)),
+        _ => db.with_txn(|txn| {
+            buy(db, txn, card, 60.0)?;
+            Err(ode_core::OdeError::tabort("crash-harness abort"))
+        }),
+    }
+}
+
+/// Run the scripted workload with no fault armed and report how many WAL
+/// bytes it appends past the setup prefix — the byte window inside which
+/// the 64 crash points are then scattered.
+fn rehearse(seed: u64, fsync: bool) -> u64 {
+    let dir = TempDir::new("crash-rehearse");
+    let (db, cards, _trigs) = setup(&dir, fsync, None);
+    let after_setup = db.storage().wal_flushed_lsn().unwrap();
+    let mut rng = Lcg::new(seed);
+    for _ in 0..STEPS {
+        let _ = apply_step(&db, &mut rng, &cards);
+    }
+    let after_workload = db.storage().wal_flushed_lsn().unwrap();
+    db.close().unwrap();
+    after_workload - after_setup
+}
+
+/// One crash point: run the workload with the device set to die after
+/// `budget` more bytes, crash, recover, and check the committed prefix.
+fn run_crash_point(seed: u64, point: usize, budget: u64, fsync: bool) {
+    let dir = TempDir::new("crash-point");
+    let injector = Arc::new(FaultInjector::new());
+    let (db, cards, trigs) = setup(&dir, fsync, Some(Arc::clone(&injector)));
+
+    // State after the last acknowledged commit; starts at the setup state.
+    let mut committed = take_snapshot(&db, &cards, &trigs);
+
+    injector.arm_write_cap(budget);
+    let mut rng = Lcg::new(seed);
+    for _ in 0..STEPS {
+        let result = apply_step(&db, &mut rng, &cards);
+        if injector.tripped() {
+            // The device died somewhere inside this step: whatever the
+            // step's outcome, its transaction was never acknowledged as
+            // durable, so the committed prefix is unchanged.
+            break;
+        }
+        if result.is_ok() {
+            committed = take_snapshot(&db, &cards, &trigs);
+        }
+    }
+
+    // Crash: the process holding the poisoned engine vanishes without
+    // checkpoint or clean close (dropping would try to flush).
+    std::mem::forget(db);
+    injector.disarm();
+
+    // Recover on pristine hardware.
+    let db = Database::open(dir.path(), disk_options(fsync, None)).unwrap();
+    cred_card_class(&db);
+    let recovered = take_snapshot(&db, &cards, &trigs);
+    assert_eq!(
+        recovered, committed,
+        "crash point {point} (seed {seed}, budget {budget} bytes): \
+         recovered state is not the acknowledged-commit prefix"
+    );
+    // The object→trigger hash index, TriggerState records, and header
+    // flags must agree after replay, not just the payloads.
+    db.with_txn(|txn| {
+        let report = db.verify_integrity(txn)?;
+        assert!(
+            report.is_healthy(),
+            "crash point {point} (seed {seed}, budget {budget} bytes): {:?}",
+            report.issues
+        );
+        Ok(())
+    })
+    .unwrap();
+    db.close().unwrap();
+}
+
+/// The tentpole acceptance test: ≥64 randomized crash points over a
+/// trigger-heavy workload, every one recovering to a consistent
+/// committed prefix.
+#[test]
+fn randomized_crash_points_recover_to_a_committed_prefix() {
+    let seed = crash_seed();
+    let fsync = crash_fsync();
+    // Crash points are byte offsets into the workload's WAL window, plus
+    // a little slack so some runs survive the whole script un-faulted.
+    let span = rehearse(seed, fsync);
+    assert!(span > 0, "workload must append WAL bytes");
+    let mut rng = Lcg::new(seed ^ 0xC0FF_EE00);
+    for point in 0..CRASH_POINTS {
+        let budget = rng.below(span + 64);
+        run_crash_point(seed, point, budget, fsync);
+    }
+}
+
+/// A `dependent`-coupled firing runs in its own system transaction
+/// *between* the parent's Commit record and the parent's durability
+/// wait, so one group-commit flush covers both — with fsync on, the
+/// whole cascade costs a single fsync and a single flush batch holding
+/// both Commit records.
+#[test]
+fn dependent_firing_rides_the_parent_commit_flush() {
+    use bytes::BytesMut;
+    use ode_core::{ClassBuilder, CouplingMode, Decode, Encode, OdeObject, Perpetual};
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Audit {
+        lines: Vec<String>,
+    }
+    impl Encode for Audit {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.lines.encode(buf);
+        }
+    }
+    impl Decode for Audit {
+        fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+            Ok(Audit {
+                lines: Vec::<String>::decode(buf)?,
+            })
+        }
+    }
+    impl OdeObject for Audit {
+        const CLASS: &'static str = "Audit";
+    }
+
+    let dir = TempDir::new("crash-ride");
+    let db = Database::create(dir.path(), disk_options(true, None)).unwrap();
+    let audit_td = ClassBuilder::new("Audit").build(db.registry()).unwrap();
+    db.register_class(&audit_td).unwrap();
+    let card_td = ClassBuilder::new("CredCard")
+        .after_event("Buy")
+        .trigger(
+            "LogDependent",
+            "after Buy",
+            CouplingMode::Dependent,
+            Perpetual::Yes,
+            |ctx| {
+                let audit: PersistentPtr<Audit> = ctx.params()?;
+                ctx.db()
+                    .update_with(ctx.txn(), audit, |a| a.lines.push("fired".into()))
+            },
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&card_td).unwrap();
+
+    let (card, audit) = db
+        .with_txn(|txn| {
+            let audit = db.pnew(txn, &Audit::default())?;
+            let card = db.pnew(txn, &CredCard::new(1000.0))?;
+            db.activate(txn, card, "LogDependent", &audit)?;
+            Ok((card, audit))
+        })
+        .unwrap();
+
+    let before = db.stats();
+    db.with_txn(|txn| buy(&db, txn, card, 100.0)).unwrap();
+    let after = db.stats();
+
+    assert_eq!(
+        after.wal_fsyncs - before.wal_fsyncs,
+        1,
+        "parent commit and dependent system transaction share one fsync"
+    );
+    assert_eq!(after.wal_group_commits - before.wal_group_commits, 1);
+    assert_eq!(
+        after.wal_group_size_sum - before.wal_group_size_sum,
+        2,
+        "one flush batch carries both Commit records"
+    );
+    // And the firing really committed.
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, audit)?.lines, vec!["fired".to_string()]);
+        Ok(())
+    })
+    .unwrap();
+    db.close().unwrap();
+}
+
+/// Satellite: persistent trigger-FSM durability around a crash. Arming
+/// `AutoRaiseLimit` (Figure 1) advances its stored statenum; if the
+/// arming transaction never committed the advance must roll back, and if
+/// it did commit the armed state must survive the crash *and still be
+/// live* (a later PayBill fires the action).
+#[test]
+fn armed_trigger_statenum_rolls_back_uncommitted_and_survives_committed() {
+    let dir = TempDir::new("crash-statenum");
+    let injector = Arc::new(FaultInjector::new());
+    let (db, cards, trigs) = {
+        let db =
+            Database::create(dir.path(), disk_options(true, Some(Arc::clone(&injector)))).unwrap();
+        cred_card_class(&db);
+        let (card, trig) = db
+            .with_txn(|txn| {
+                let card = db.pnew(txn, &CredCard::new(1000.0))?;
+                let trig = db.activate(txn, card, "AutoRaiseLimit", &500.0f32)?;
+                Ok((card, trig))
+            })
+            .unwrap();
+        (db, vec![card], vec![trig])
+    };
+    let (card, trig) = (cards[0], trigs[0]);
+    let unarmed = db.with_txn(|txn| db.trigger_statenum(txn, trig)).unwrap();
+
+    // Crash *before* the arming Buy commits: the device dies at the first
+    // flushed byte, so the commit is never acknowledged.
+    injector.arm_write_cap(0);
+    assert!(db.with_txn(|txn| buy(&db, txn, card, 900.0)).is_err());
+    std::mem::forget(db);
+    injector.disarm();
+
+    let db = Database::open(dir.path(), disk_options(true, Some(Arc::clone(&injector)))).unwrap();
+    cred_card_class(&db);
+    db.with_txn(|txn| {
+        assert_eq!(
+            db.trigger_statenum(txn, trig)?,
+            unarmed,
+            "uncommitted statenum advance must roll back at recovery"
+        );
+        assert_eq!(db.read(txn, card)?.curr_bal, 0.0);
+        Ok(())
+    })
+    .unwrap();
+
+    // Commit the arming Buy for real, then crash.
+    db.with_txn(|txn| buy(&db, txn, card, 900.0)).unwrap();
+    let armed = db.with_txn(|txn| db.trigger_statenum(txn, trig)).unwrap();
+    assert_ne!(armed, unarmed, "the committed Buy must advance the FSM");
+    std::mem::forget(db);
+
+    let db = Database::open(dir.path(), disk_options(true, None)).unwrap();
+    cred_card_class(&db);
+    db.with_txn(|txn| {
+        assert_eq!(
+            db.trigger_statenum(txn, trig)?,
+            armed,
+            "committed statenum advance must survive the crash"
+        );
+        Ok(())
+    })
+    .unwrap();
+    // The recovered armed state is live, not just bytes: PayBill
+    // completes the relative event and the trigger raises the limit.
+    db.with_txn(|txn| pay_bill(&db, txn, card, 100.0)).unwrap();
+    db.with_txn(|txn| {
+        assert_eq!(db.read(txn, card)?.cred_lim, 1500.0);
+        Ok(())
+    })
+    .unwrap();
+    db.close().unwrap();
+}

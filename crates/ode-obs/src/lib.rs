@@ -192,6 +192,16 @@ counters! {
     wal_bytes,
     /// WAL fsync (sync_data) calls.
     wal_fsyncs,
+    /// Group-commit flushes that made at least one commit record durable.
+    wal_group_commits,
+    /// Commit records made durable across all group-commit flushes
+    /// (`wal_group_size_sum / wal_group_commits` = mean group size).
+    wal_group_size_sum,
+    /// Microseconds committers spent waiting for their commit LSN to
+    /// become durable (leader write+fsync time included).
+    commit_flush_wait_micros,
+    /// Faults injected by an armed fault-injection plan (tests only).
+    faults_injected,
     /// Buffer-pool page requests served from cache.
     buf_hits,
     /// Buffer-pool page requests that read the data file.
@@ -365,6 +375,39 @@ mod tests {
             let (name, value) = line.split_once(' ').expect("name value");
             assert!(name.starts_with("ode_"));
             value.parse::<u64>().expect("counter value");
+        }
+    }
+
+    #[test]
+    fn commit_pipeline_counters_round_trip() {
+        // The group-commit / fault-injection counters flow through the
+        // snapshot and the Prometheus renderer like every other counter —
+        // two snapshots taken around an idle period are equal, and a bump
+        // to any of the four shows up in both representations.
+        let m = Metrics::new();
+        m.wal_group_commits.add(3);
+        m.wal_group_size_sum.add(17);
+        m.commit_flush_wait_micros.add(420);
+        m.faults_injected.inc();
+        let a = m.snapshot();
+        let b = m.snapshot();
+        assert_eq!(a, b, "idle snapshots must be equal");
+        assert_eq!(a.wal_group_commits, 3);
+        assert_eq!(a.wal_group_size_sum, 17);
+        assert_eq!(a.commit_flush_wait_micros, 420);
+        assert_eq!(a.faults_injected, 1);
+        let text = a.render_prometheus();
+        for (name, value) in [
+            ("wal_group_commits", 3u64),
+            ("wal_group_size_sum", 17),
+            ("commit_flush_wait_micros", 420),
+            ("faults_injected", 1),
+        ] {
+            assert!(text.contains(&format!("# HELP ode_{name} ")), "{name} HELP");
+            assert!(
+                text.contains(&format!("\node_{name} {value}\n")),
+                "{name} value"
+            );
         }
     }
 

@@ -187,7 +187,8 @@ impl BufferPool {
     }
 
     /// Write every dirty frame back to the data file (checkpoint helper).
-    pub fn flush_all(&self) -> Result<()> {
+    /// Returns the number of pages written.
+    pub fn flush_all(&self) -> Result<usize> {
         let mut inner = self.inner.lock();
         let mut ids: Vec<PageId> = inner
             .frames
@@ -196,12 +197,13 @@ impl BufferPool {
             .map(|(id, _)| *id)
             .collect();
         ids.sort_unstable();
+        let written = ids.len();
         for id in ids {
             let frame = inner.frames.get_mut(&id).expect("listed above");
             self.disk.write_page(id, &frame.page)?;
             frame.dirty = false;
         }
-        Ok(())
+        Ok(written)
     }
 
     /// Flush OS buffers for the data file.

@@ -6,12 +6,14 @@
 //! knows how to read, write, and extend the file.
 
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultFile, FaultInjector};
 use crate::oid::PageId;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::OpenOptions;
+use std::io::SeekFrom;
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"ODEDB\0\x01\x00";
 
@@ -51,7 +53,7 @@ impl DbHeader {
 
 /// A page file on disk.
 pub struct DiskFile {
-    file: Mutex<File>,
+    file: Mutex<FaultFile>,
     /// Cached page count (authoritative: kept in sync with the header).
     page_count: Mutex<u32>,
 }
@@ -59,6 +61,11 @@ pub struct DiskFile {
 impl DiskFile {
     /// Create a brand-new database file (fails if it exists with content).
     pub fn create(path: &Path) -> Result<DiskFile> {
+        DiskFile::create_with(path, None)
+    }
+
+    /// Create, routing writes/fsyncs through an optional fault injector.
+    pub fn create_with(path: &Path, injector: Option<Arc<FaultInjector>>) -> Result<DiskFile> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -66,7 +73,7 @@ impl DiskFile {
             .truncate(true)
             .open(path)?;
         let disk = DiskFile {
-            file: Mutex::new(file),
+            file: Mutex::new(FaultFile::new(file, injector)),
             page_count: Mutex::new(1),
         };
         disk.write_header(DbHeader {
@@ -79,7 +86,13 @@ impl DiskFile {
 
     /// Open an existing database file.
     pub fn open(path: &Path) -> Result<DiskFile> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        DiskFile::open_with(path, None)
+    }
+
+    /// Open, routing writes/fsyncs through an optional fault injector.
+    pub fn open_with(path: &Path, injector: Option<Arc<FaultInjector>>) -> Result<DiskFile> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = FaultFile::new(file, injector);
         let len = file.seek(SeekFrom::End(0))?;
         if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt(format!(

@@ -39,6 +39,10 @@ pub enum StorageError {
     /// The transaction was explicitly aborted by user code (Ode's `tabort`).
     /// Carries an application-supplied reason.
     UserAbort(String),
+    /// A WAL write or fsync failed, so the on-disk tail state is unknowable
+    /// and no commit can be acknowledged until the log is reopened and
+    /// recovered (fail-stop fsync semantics).
+    WalPoisoned(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -63,6 +67,9 @@ impl std::fmt::Display for StorageError {
             StorageError::Codec(m) => write!(f, "codec error: {m}"),
             StorageError::NoSuchRoot(n) => write!(f, "no such named root: {n:?}"),
             StorageError::UserAbort(m) => write!(f, "transaction aborted by application: {m}"),
+            StorageError::WalPoisoned(m) => {
+                write!(f, "write-ahead log poisoned by an i/o failure: {m}")
+            }
         }
     }
 }

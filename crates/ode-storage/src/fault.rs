@@ -1,0 +1,322 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! A [`FaultInjector`] is an armable plan shared (via `Arc`) by every
+//! [`FaultFile`] of a database — the WAL file and the data file both wrap
+//! their handles in one. While disarmed it costs one atomic load per
+//! write/fsync. Armed plans model the three ways a commit pipeline dies:
+//!
+//! * **Write cap** — the device accepts N more bytes, writes a *prefix* of
+//!   the next overflowing write (tearing the frame mid-record), then fails
+//!   every subsequent write and fsync. This is the classic torn-tail crash.
+//! * **Fsync failure** — writes land in the OS cache but `sync_data`
+//!   reports an error, after which the file is dead (fsyncgate semantics:
+//!   a failed fsync is fail-stop, not retryable).
+//!
+//! After the first injected fault the injector is *tripped*: all further
+//! writes and fsyncs fail, modelling a machine that is simply gone. The
+//! crash-recovery harness then reopens the directory with a fresh,
+//! uninjected [`Storage`](crate::storage::Storage) and asserts the
+//! recovered state is a committed prefix.
+//!
+//! Every injected fault ticks the engine-wide `faults_injected` counter
+//! (when a registry has been attached) plus a local count readable via
+//! [`FaultInjector::injected`].
+
+use ode_obs::Metrics;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the armed plan does to the next matching operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    /// Nothing armed; all I/O passes through.
+    Disarmed,
+    /// Allow `remaining` more payload bytes, tear the write that crosses
+    /// the budget, then trip.
+    WriteCap { remaining: u64 },
+    /// The next fsync fails, then trip.
+    FailFsync,
+    /// A fault already fired: every write and fsync fails from now on.
+    Tripped,
+}
+
+/// Shared, armable fault plan. See module docs.
+pub struct FaultInjector {
+    armed: AtomicBool,
+    plan: Mutex<Plan>,
+    injected: AtomicU64,
+    metrics: Mutex<Option<Arc<Metrics>>>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &*self.plan.lock())
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new()
+    }
+}
+
+/// Outcome of consulting the plan before a write.
+enum WriteOutcome {
+    /// Perform the full write.
+    Full,
+    /// Write only the first `n` bytes, then report the device dead.
+    Torn(usize),
+    /// Perform no write at all; the device is dead.
+    Dead,
+}
+
+impl FaultInjector {
+    /// A disarmed injector (all I/O passes through until armed).
+    pub fn new() -> FaultInjector {
+        FaultInjector {
+            armed: AtomicBool::new(false),
+            plan: Mutex::new(Plan::Disarmed),
+            injected: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Tick injected faults into this registry too (done at storage
+    /// assembly, so harness assertions can use `MetricsSnapshot`).
+    pub fn attach_metrics(&self, metrics: Arc<Metrics>) {
+        *self.metrics.lock() = Some(metrics);
+    }
+
+    /// Allow `bytes` more written bytes across all wrapped files, then
+    /// tear the overflowing write and kill the device.
+    pub fn arm_write_cap(&self, bytes: u64) {
+        *self.plan.lock() = Plan::WriteCap { remaining: bytes };
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Fail the next fsync, then kill the device.
+    pub fn arm_fail_fsync(&self) {
+        *self.plan.lock() = Plan::FailFsync;
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Return to pass-through mode (also clears a tripped state).
+    pub fn disarm(&self) {
+        *self.plan.lock() = Plan::Disarmed;
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Has a fault fired (device considered dead)?
+    pub fn tripped(&self) -> bool {
+        self.armed.load(Ordering::Acquire) && *self.plan.lock() == Plan::Tripped
+    }
+
+    fn record_injection(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.faults_injected.inc();
+        }
+    }
+
+    fn on_write(&self, len: usize) -> WriteOutcome {
+        if !self.armed.load(Ordering::Acquire) {
+            return WriteOutcome::Full;
+        }
+        let mut plan = self.plan.lock();
+        match *plan {
+            Plan::Disarmed | Plan::FailFsync => WriteOutcome::Full,
+            Plan::WriteCap { remaining } => {
+                if (len as u64) <= remaining {
+                    *plan = Plan::WriteCap {
+                        remaining: remaining - len as u64,
+                    };
+                    WriteOutcome::Full
+                } else {
+                    *plan = Plan::Tripped;
+                    drop(plan);
+                    self.record_injection();
+                    WriteOutcome::Torn(remaining as usize)
+                }
+            }
+            Plan::Tripped => {
+                drop(plan);
+                self.record_injection();
+                WriteOutcome::Dead
+            }
+        }
+    }
+
+    fn on_fsync(&self) -> std::io::Result<()> {
+        if !self.armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut plan = self.plan.lock();
+        match *plan {
+            Plan::Disarmed | Plan::WriteCap { .. } => Ok(()),
+            Plan::FailFsync | Plan::Tripped => {
+                *plan = Plan::Tripped;
+                drop(plan);
+                self.record_injection();
+                Err(dead("fsync failed"))
+            }
+        }
+    }
+}
+
+fn dead(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("fault injected: {what}"))
+}
+
+/// A [`File`] wrapper that routes writes and fsyncs through an optional
+/// [`FaultInjector`]. Reads, seeks, and truncation pass through untouched
+/// (a crashed machine stops *writing*; recovery reads are real I/O).
+pub struct FaultFile {
+    file: File,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl FaultFile {
+    /// Wrap `file`; `injector: None` is zero-overhead pass-through.
+    pub fn new(file: File, injector: Option<Arc<FaultInjector>>) -> FaultFile {
+        FaultFile { file, injector }
+    }
+
+    /// Write all of `buf`, subject to the armed fault plan.
+    pub fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self.injector.as_ref().map(|i| i.on_write(buf.len())) {
+            None | Some(WriteOutcome::Full) => self.file.write_all(buf),
+            Some(WriteOutcome::Torn(n)) => {
+                // The device dies mid-write: a prefix reaches the file.
+                self.file.write_all(&buf[..n])?;
+                Err(dead("write killed by byte cap"))
+            }
+            Some(WriteOutcome::Dead) => Err(dead("write after device death")),
+        }
+    }
+
+    /// `sync_data`, subject to the armed fault plan.
+    pub fn sync_data(&self) -> std::io::Result<()> {
+        if let Some(injector) = &self.injector {
+            injector.on_fsync()?;
+        }
+        self.file.sync_data()
+    }
+
+    /// Seek (pass-through).
+    pub fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.file.seek(pos)
+    }
+
+    /// Exact read (pass-through).
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        self.file.read_exact(buf)
+    }
+
+    /// Read to end (pass-through).
+    pub fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        self.file.read_to_end(buf)
+    }
+
+    /// Truncate (pass-through; recovery repairs torn tails with this).
+    pub fn set_len(&self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_testutil::TempDir;
+
+    fn scratch(dir: &TempDir, injector: Option<Arc<FaultInjector>>) -> FaultFile {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.file("f"))
+            .unwrap();
+        FaultFile::new(file, injector)
+    }
+
+    #[test]
+    fn pass_through_without_injector() {
+        let dir = TempDir::new("fault");
+        let mut f = scratch(&dir, None);
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+    }
+
+    #[test]
+    fn write_cap_tears_and_trips() {
+        let dir = TempDir::new("fault");
+        let injector = Arc::new(FaultInjector::new());
+        let mut f = scratch(&dir, Some(Arc::clone(&injector)));
+        injector.arm_write_cap(6);
+        f.write_all(b"abcd").unwrap(); // 4 of 6 bytes used
+        let err = f.write_all(b"efgh").unwrap_err(); // tears after 2 bytes
+        assert!(err.to_string().contains("fault injected"));
+        assert!(injector.tripped());
+        // Device dead: further writes and fsyncs fail.
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.sync_data().is_err());
+        assert!(injector.injected() >= 3);
+        // The torn prefix reached the file.
+        f.seek(SeekFrom::Start(0)).unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"abcdef");
+    }
+
+    #[test]
+    fn fsync_failure_trips() {
+        let dir = TempDir::new("fault");
+        let injector = Arc::new(FaultInjector::new());
+        let mut f = scratch(&dir, Some(Arc::clone(&injector)));
+        injector.arm_fail_fsync();
+        f.write_all(b"written but never durable").unwrap();
+        assert!(f.sync_data().is_err());
+        assert!(injector.tripped());
+        assert!(f.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn disarm_restores_io() {
+        let dir = TempDir::new("fault");
+        let injector = Arc::new(FaultInjector::new());
+        let mut f = scratch(&dir, Some(Arc::clone(&injector)));
+        injector.arm_write_cap(0);
+        assert!(f.write_all(b"no").is_err());
+        injector.disarm();
+        f.write_all(b"yes").unwrap();
+        f.sync_data().unwrap();
+    }
+
+    #[test]
+    fn metrics_tick_on_injection() {
+        let dir = TempDir::new("fault");
+        let injector = Arc::new(FaultInjector::new());
+        let metrics = Arc::new(Metrics::new());
+        injector.attach_metrics(Arc::clone(&metrics));
+        let f = scratch(&dir, Some(Arc::clone(&injector)));
+        injector.arm_fail_fsync();
+        assert!(f.sync_data().is_err());
+        assert_eq!(metrics.snapshot().faults_injected, 1);
+        assert_eq!(injector.injected(), 1);
+    }
+}

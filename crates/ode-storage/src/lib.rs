@@ -42,6 +42,7 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod hashindex;
 pub mod lock;
 pub mod mem;
@@ -52,6 +53,7 @@ pub mod txn;
 pub mod wal;
 
 pub use error::{Result, StorageError};
+pub use fault::{FaultFile, FaultInjector};
 pub use oid::{ClusterId, Oid, PageId};
-pub use storage::{EngineKind, Storage, StorageOptions};
+pub use storage::{CommitTicket, EngineKind, Storage, StorageOptions};
 pub use txn::{TxnId, TxnState};

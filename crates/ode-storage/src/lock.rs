@@ -12,6 +12,18 @@
 //! and a waits-for graph walked on every blocking iteration. A requester
 //! that finds itself on a cycle is chosen as the victim and gets
 //! [`StorageError::Deadlock`]; the caller is expected to abort.
+//!
+//! ## Unlock ordering vs. durability
+//!
+//! Strict 2PL releases a transaction's locks at commit. With group commit
+//! the release happens in `Storage::commit_deferred` — *after* the Commit
+//! record is appended to the WAL but *before* it is durable. This early
+//! release is what lets a dependent system transaction acquire the parent's
+//! locks and append its own Commit record into the same flush batch. It
+//! cannot expose non-durable data to the outside: any transaction that
+//! reads the early-released writes commits at a strictly later LSN, and no
+//! commit is acknowledged until the durability watermark covers its LSN —
+//! so an acknowledged reader implies a durable writer.
 
 use crate::error::{Result, StorageError};
 use crate::txn::TxnId;
@@ -209,6 +221,17 @@ impl LockManager {
                 break Ok(());
             }
             if timed_out && started.elapsed() >= self.timeout {
+                if std::env::var_os("ODE_LOCK_DEBUG").is_some() {
+                    let holders: Vec<_> = tables
+                        .locks
+                        .get(&key)
+                        .map(|s| s.holders.iter().map(|(t, m)| (*t, *m)).collect())
+                        .unwrap_or_default();
+                    let waiting: Vec<_> = tables.waiting.iter().map(|(t, w)| (*t, *w)).collect();
+                    eprintln!(
+                        "LOCKTIMEOUT txn={txn:?} key={key:?} mode={mode:?} holders={holders:?} waiting={waiting:?}"
+                    );
+                }
                 break Err(StorageError::LockTimeout(txn));
             }
         };
@@ -236,12 +259,16 @@ impl LockManager {
     }
 
     /// Release every lock `txn` holds (end of transaction — strict 2PL).
-    pub fn unlock_all(&self, txn: TxnId) {
+    /// Returns the number of locks released. See the module docs for how
+    /// this ordering relates to commit durability.
+    pub fn unlock_all(&self, txn: TxnId) -> usize {
         let mut tables = self.tables.lock();
+        let mut released = 0;
         if let Some(keys) = tables.held.remove(&txn) {
             for key in keys {
                 if let Some(state) = tables.locks.get_mut(&key) {
                     state.holders.remove(&txn);
+                    released += 1;
                     if state.holders.is_empty() {
                         tables.locks.remove(&key);
                     }
@@ -250,6 +277,7 @@ impl LockManager {
         }
         drop(tables);
         self.cv.notify_all();
+        released
     }
 
     /// Snapshot of the counters.

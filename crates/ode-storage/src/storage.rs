@@ -37,6 +37,7 @@ use crate::buffer::{BufferPool, PoolStats};
 use crate::codec::{decode_all, encode_to_vec, Decode, Encode};
 use crate::disk::DiskFile;
 use crate::error::{Result, StorageError};
+use crate::fault::FaultInjector;
 use crate::lock::{LockKey, LockManager, LockMode, LockStats};
 use crate::mem::MemStore;
 use crate::oid::{ClusterId, Oid, PageId, FIRST_USER_CLUSTER, SYSTEM_CLUSTER, UNASSIGNED_CLUSTER};
@@ -58,6 +59,14 @@ const TAG_OVF_HEAD: u8 = 2;
 const TAG_MOVED_DATA: u8 = 3;
 const TAG_OVF_CHUNK: u8 = 4;
 const TAG_MOVED_OVF_HEAD: u8 = 5;
+/// A cell deleted by a still-active transaction. The slot and bytes stay
+/// reserved (invisible to reads, allocation, and scans) until the deleting
+/// transaction commits and physically removes the cell — or aborts and
+/// restores the original tag. Releasing them earlier would let a concurrent
+/// insert claim the slot, making the delete impossible to undo and handing
+/// the object's Oid to an unrelated record. Never written to WAL or
+/// checkpoints (checkpoints are quiesced).
+const TAG_TOMBSTONE: u8 = 6;
 
 /// Max payload bytes in one inline cell (tag byte subtracted).
 const MAX_INLINE: usize = MAX_RECORD - 1;
@@ -91,6 +100,11 @@ pub struct StorageOptions {
     pub lock_timeout: Duration,
     /// Auto-checkpoint after this many commits (0 = only at close).
     pub checkpoint_every: u64,
+    /// Batch concurrent commits into one WAL write+fsync (leader/follower).
+    /// Disable to get the per-commit-flush baseline for benchmarking.
+    pub group_commit: bool,
+    /// Fault injector routed through the WAL and data files (crash tests).
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for StorageOptions {
@@ -101,6 +115,8 @@ impl Default for StorageOptions {
             fsync: false,
             lock_timeout: Duration::from_secs(10),
             checkpoint_every: 0,
+            group_commit: true,
+            fault: None,
         }
     }
 }
@@ -190,6 +206,22 @@ impl Decode for RootsRecord {
     }
 }
 
+/// Receipt from [`Storage::commit_deferred`]: the durability target the
+/// commit must reach before it may be acknowledged. `lsn` is `None` for
+/// read-only transactions (nothing to flush) and WAL-less stores.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a deferred commit is not durable until commit_wait succeeds"]
+pub struct CommitTicket {
+    lsn: Option<u64>,
+}
+
+impl CommitTicket {
+    /// LSN of the Commit record, if one was written.
+    pub fn lsn(&self) -> Option<u64> {
+        self.lsn
+    }
+}
+
 /// The transactional object heap. See module docs.
 pub struct Storage {
     store: Store,
@@ -216,12 +248,17 @@ impl Storage {
         std::fs::create_dir_all(dir)?;
         let store = match options.engine {
             EngineKind::Disk => {
-                let disk = DiskFile::create(&dir.join("data.odb"))?;
+                let disk = DiskFile::create_with(&dir.join("data.odb"), options.fault.clone())?;
                 Store::Disk(BufferPool::new(disk, options.buffer_pages))
             }
             EngineKind::Memory => Store::Mem(MemStore::new()),
         };
-        let wal = Wal::open(&dir.join("wal.log"), options.fsync)?;
+        let wal = Wal::open_with(
+            &dir.join("wal.log"),
+            options.fsync,
+            options.fault.clone(),
+            options.group_commit,
+        )?;
         wal.reset()?;
         let storage = Storage::assemble(store, Some(wal), options, Some(dir.to_path_buf()));
         storage.bootstrap_roots()?;
@@ -248,7 +285,12 @@ impl Storage {
         };
         let wal_path = dir.join("wal.log");
         let records = Wal::read_all(&wal_path)?;
-        let wal = Wal::open(&wal_path, options.fsync)?;
+        let wal = Wal::open_with(
+            &wal_path,
+            options.fsync,
+            options.fault.clone(),
+            options.group_commit,
+        )?;
         let storage = Storage::assemble(store, Some(wal), options, Some(dir.to_path_buf()));
         storage.replay(&records)?;
         storage.rebuild_alloc()?;
@@ -289,6 +331,9 @@ impl Storage {
         let mut wal = wal;
         if let Some(w) = &mut wal {
             w.set_metrics(Arc::clone(&metrics));
+        }
+        if let Some(injector) = &options.fault {
+            injector.attach_metrics(Arc::clone(&metrics));
         }
         Storage {
             store,
@@ -403,6 +448,12 @@ impl Storage {
             (Store::Disk(pool), Some(wal)) => {
                 wal.flush()?;
                 pool.flush_all()?;
+                // Page images must be stable before the header declares the
+                // checkpoint, and the header must be stable before the log
+                // (the only redo source) is truncated.
+                if self.options.fsync {
+                    pool.sync()?;
+                }
                 let mut header = pool.disk().read_header()?;
                 header.page_count = pool.page_count();
                 header.checkpoint_seq += 1;
@@ -436,22 +487,28 @@ impl Storage {
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Begin a user transaction.
+    /// Begin a user transaction. No WAL record is written yet — the Begin
+    /// is logged lazily at the transaction's first write, so read-only
+    /// transactions never touch the log.
     pub fn begin(&self) -> Result<TxnId> {
-        let txn = self.txns.begin(false);
-        if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Begin { txn: txn.0 });
-        }
-        Ok(txn)
+        Ok(self.txns.begin(false))
     }
 
     /// Begin a system transaction (trigger processing, §5.5).
     pub fn begin_system(&self) -> Result<TxnId> {
-        let txn = self.txns.begin(true);
+        Ok(self.txns.begin(true))
+    }
+
+    /// Append a data record for `txn`, logging its Begin first if this is
+    /// the transaction's first write.
+    fn wal_log(&self, txn: TxnId, record: impl FnOnce() -> LogRecord) -> Result<()> {
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Begin { txn: txn.0 });
+            if self.txns.mark_logged(txn)? {
+                wal.append(&LogRecord::Begin { txn: txn.0 });
+            }
+            wal.append(&record());
         }
-        Ok(txn)
+        Ok(())
     }
 
     /// Declare that `txn` may only commit if `on` commits (the `dependent`
@@ -461,49 +518,126 @@ impl Storage {
     }
 
     /// Commit: wait for dependencies, make the log durable, release locks.
+    /// Equivalent to [`Storage::commit_deferred`] + [`Storage::commit_wait`];
+    /// returns once the commit is durable (group-commit batches concurrent
+    /// committers into one fsync).
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let ticket = self.commit_deferred(txn)?;
+        self.commit_wait(ticket)
+    }
+
+    /// First half of commit: wait for dependencies, append the Commit
+    /// record, mark the transaction committed, and release its locks —
+    /// WITHOUT waiting for durability. The returned ticket must be passed
+    /// to [`Storage::commit_wait`] before the commit is acknowledged to
+    /// anyone outside the database.
+    ///
+    /// The early lock release is safe because WAL order bounds visibility:
+    /// any transaction that reads this one's writes appends its own Commit
+    /// record at a later LSN, so it cannot become durable (and thus cannot
+    /// be acknowledged) before this one does. The trigger layer uses the
+    /// gap to let dependent system transactions append their Commit records
+    /// into the same flush batch as their parent.
+    pub fn commit_deferred(&self, txn: TxnId) -> Result<CommitTicket> {
         self.txns.require_active(txn)?;
         if let Err(e) = self.txns.await_dependencies(txn) {
             // Dependency failed: this transaction must abort instead.
             self.abort(txn)?;
             return Err(e);
         }
-        if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Commit { txn: txn.0 });
-            wal.flush()?;
-        }
+        // Read-only transactions never logged anything: skip the Commit
+        // record and the flush entirely.
+        let lsn = match &self.wal {
+            Some(wal) if self.txns.has_logged(txn) => {
+                let lsn = wal.append(&LogRecord::Commit { txn: txn.0 });
+                self.txns.set_commit_lsn(txn, lsn);
+                Some(lsn)
+            }
+            _ => None,
+        };
+        let pending = self.txns.take_pending_deletes(txn);
         self.txns.finish(txn, TxnState::Committed)?;
+        // Physically remove the cells this transaction tombstoned: past the
+        // commit point their slots and bytes are permanently free. Must
+        // happen before the locks release so no reader can observe a
+        // tombstone from a committed transaction. Best-effort by
+        // construction — the reservation guarantees the slot still holds
+        // our tombstone, and failing here must never skip the unlock below.
+        for oid in pending {
+            let lsn = self.bump_lsn();
+            let removed = self.store.with_page_mut(oid.page(), |p| {
+                let ok = p.delete(oid.slot()).is_ok();
+                if ok {
+                    p.set_lsn(lsn);
+                }
+                ok
+            });
+            debug_assert!(
+                matches!(removed, Ok(true)),
+                "commit-time delete of a tombstoned cell cannot fail"
+            );
+            let _ = self.note_space(oid.page());
+        }
         self.locks.unlock_all(txn);
         self.metrics.txn_commits.inc();
         self.metrics.emit(|| TraceEvent::TxnCommit { txn: txn.0 });
-        let n = self
-            .commits_since_checkpoint
-            .fetch_add(1, Ordering::Relaxed)
-            + 1;
-        if self.options.checkpoint_every > 0 && n >= self.options.checkpoint_every {
-            self.checkpoint()?;
+        Ok(CommitTicket { lsn })
+    }
+
+    /// Second half of commit: block until the ticket's Commit record is
+    /// durable (`flushed_lsn >= commit_lsn`). Read-only tickets return
+    /// immediately. Runs the auto-checkpoint policy.
+    pub fn commit_wait(&self, ticket: CommitTicket) -> Result<()> {
+        if let (Some(wal), Some(lsn)) = (&self.wal, ticket.lsn) {
+            wal.commit_wait(lsn)?;
+        }
+        if ticket.lsn.is_some() || self.wal.is_none() {
+            let n = self
+                .commits_since_checkpoint
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            if self.options.checkpoint_every > 0 && n >= self.options.checkpoint_every {
+                self.checkpoint()?;
+            }
         }
         Ok(())
     }
 
     /// Abort: apply undo in reverse, release locks.
+    ///
+    /// Undo runs to completion even when an individual restore fails —
+    /// bailing out early would leave the transaction `Active` with its
+    /// locks held and its undo list already drained, permanently starving
+    /// every later transaction that touches those keys (observed as a
+    /// livelock of lock-timeout/retry cycles under the concurrency stress
+    /// test). The first restore error is still reported, but the
+    /// transaction always finishes and always releases its locks.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         self.txns.require_active(txn)?;
         let undo = self.txns.take_undo(txn);
+        let mut first_err = None;
         for op in undo.into_iter().rev() {
-            self.apply_undo(op)?;
+            if let Err(e) = self.apply_undo(txn, op) {
+                first_err.get_or_insert(e);
+            }
         }
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Abort { txn: txn.0 });
+            // Informational only, so a read-only abort stays log-free.
+            if self.txns.has_logged(txn) {
+                wal.append(&LogRecord::Abort { txn: txn.0 });
+            }
         }
         self.txns.finish(txn, TxnState::Aborted)?;
         self.locks.unlock_all(txn);
         self.metrics.txn_aborts.inc();
         self.metrics.emit(|| TraceEvent::TxnAbort { txn: txn.0 });
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
-    fn apply_undo(&self, op: UndoOp) -> Result<()> {
+    fn apply_undo(&self, txn: TxnId, op: UndoOp) -> Result<()> {
         match op {
             UndoOp::UndoInsert { page, slot } => {
                 self.store
@@ -512,17 +646,92 @@ impl Storage {
                 self.note_space(page)?;
             }
             UndoOp::UndoUpdate { page, slot, before } => {
-                self.store
+                match self
+                    .store
                     .with_page_mut(page, |p| p.update(slot, &before))?
-                    .map_err(|e| StorageError::Corrupt(format!("undo update failed: {e:?}")))?;
+                {
+                    Ok(()) => {}
+                    Err(PageOpError::Full) => {
+                        self.undo_restore_moved(txn, Oid::new(page, slot), &before, true)?;
+                    }
+                    Err(e) => {
+                        return Err(StorageError::Corrupt(format!("undo update failed: {e:?}")));
+                    }
+                }
                 self.note_space(page)?;
             }
             UndoOp::UndoDelete { page, slot, before } => {
-                self.store
+                match self
+                    .store
                     .with_page_mut(page, |p| p.insert_at(slot, &before))?
-                    .map_err(|e| StorageError::Corrupt(format!("undo delete failed: {e:?}")))?;
+                {
+                    Ok(()) => {}
+                    Err(PageOpError::Full) => {
+                        self.undo_restore_moved(txn, Oid::new(page, slot), &before, false)?;
+                    }
+                    Err(e) => {
+                        return Err(StorageError::Corrupt(format!("undo delete failed: {e:?}")));
+                    }
+                }
                 self.note_space(page)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Undo fallback for when the before-image no longer fits at its
+    /// original location: pages are shared between transactions, so the
+    /// space an update or delete freed may have been claimed by a
+    /// concurrent insert before this transaction aborted. The image is
+    /// placed on another page of the same cluster and a forward stub left
+    /// at the original slot — the same relocation a growing update uses —
+    /// keeping the object's Oid and committed value intact.
+    ///
+    /// Only primary cells can relocate; secondary cells (overflow chunks,
+    /// already-moved targets) are anchored by pointers that cannot be
+    /// rewritten here, so those fail and surface through [`Storage::abort`]
+    /// as a corruption error after lock release.
+    fn undo_restore_moved(
+        &self,
+        txn: TxnId,
+        oid: Oid,
+        before: &[u8],
+        occupied: bool,
+    ) -> Result<()> {
+        let mut relocated = before.to_vec();
+        match before.first() {
+            Some(&TAG_DATA) => relocated[0] = TAG_MOVED_DATA,
+            Some(&TAG_OVF_HEAD) => relocated[0] = TAG_MOVED_OVF_HEAD,
+            tag => {
+                return Err(StorageError::Corrupt(format!(
+                    "undo restore at {oid} cannot relocate cell with tag {tag:?}"
+                )));
+            }
+        }
+        let cluster = self.cluster_of(oid.page())?;
+        let target = self.raw_insert(txn, cluster, &relocated)?;
+        let mut stub = Vec::with_capacity(7);
+        stub.push(TAG_FORWARD);
+        stub.extend_from_slice(&encode_to_vec(&target));
+        if occupied {
+            if !self.raw_update(txn, oid, &stub)? {
+                return Err(StorageError::Corrupt(format!(
+                    "undo forward stub did not fit at {oid}"
+                )));
+            }
+        } else {
+            let lsn = self.bump_lsn();
+            self.store
+                .with_page_mut(oid.page(), |p| {
+                    p.insert_at(oid.slot(), &stub).map(|()| p.set_lsn(lsn))
+                })?
+                .map_err(|e| StorageError::Corrupt(format!("undo stub insert failed: {e:?}")))?;
+            self.wal_log(txn, || LogRecord::CellInsert {
+                txn: txn.0,
+                page: oid.page(),
+                slot: oid.slot(),
+                data: stub.clone(),
+            })?;
         }
         Ok(())
     }
@@ -577,13 +786,11 @@ impl Storage {
             None => self.store.allocate_page()?,
         };
         self.store.with_page_mut(page, |p| p.set_cluster(cluster))?;
-        if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::PageAlloc {
-                txn: txn.0,
-                page,
-                cluster,
-            });
-        }
+        self.wal_log(txn, || LogRecord::PageAlloc {
+            txn: txn.0,
+            page,
+            cluster,
+        })?;
         let mut alloc = self.alloc.lock();
         alloc.cluster_pages.entry(cluster).or_default().insert(page);
         alloc.with_space.entry(cluster).or_default().insert(page);
@@ -607,14 +814,12 @@ impl Storage {
             match outcome {
                 Ok(slot) => {
                     let oid = Oid::new(page, slot);
-                    if let Some(wal) = &self.wal {
-                        wal.append(&LogRecord::CellInsert {
-                            txn: txn.0,
-                            page,
-                            slot,
-                            data: cell.to_vec(),
-                        });
-                    }
+                    self.wal_log(txn, || LogRecord::CellInsert {
+                        txn: txn.0,
+                        page,
+                        slot,
+                        data: cell.to_vec(),
+                    })?;
                     self.txns
                         .push_undo(txn, UndoOp::UndoInsert { page, slot })?;
                     self.note_space(page)?;
@@ -654,14 +859,12 @@ impl Storage {
         })??;
         match outcome {
             Some(before) => {
-                if let Some(wal) = &self.wal {
-                    wal.append(&LogRecord::CellUpdate {
-                        txn: txn.0,
-                        page: oid.page(),
-                        slot: oid.slot(),
-                        data: cell.to_vec(),
-                    });
-                }
+                self.wal_log(txn, || LogRecord::CellUpdate {
+                    txn: txn.0,
+                    page: oid.page(),
+                    slot: oid.slot(),
+                    data: cell.to_vec(),
+                })?;
                 self.txns.push_undo(
                     txn,
                     UndoOp::UndoUpdate {
@@ -677,6 +880,12 @@ impl Storage {
         }
     }
 
+    /// Delete a cell — in two phases. The cell is tombstoned in place here
+    /// (same slot, same length, so the undo is an in-place tag restore that
+    /// cannot fail) and physically removed only when the transaction
+    /// commits. The WAL still carries a plain CellDelete at this position:
+    /// replay applies it immediately, which is equivalent because replay
+    /// addresses slots explicitly and only ever sees committed operations.
     fn raw_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
         let lsn = self.bump_lsn();
         let before = self.store.with_page_mut(oid.page(), |p| {
@@ -684,27 +893,30 @@ impl Storage {
             let Some(before) = before else {
                 return Err(StorageError::NoSuchObject(oid));
             };
-            p.delete(oid.slot())
+            if before.first() == Some(&TAG_TOMBSTONE) {
+                return Err(StorageError::NoSuchObject(oid));
+            }
+            let mut tomb = before.clone();
+            tomb[0] = TAG_TOMBSTONE;
+            p.update(oid.slot(), &tomb)
                 .map_err(|e| StorageError::Corrupt(format!("delete failed: {e:?}")))?;
             p.set_lsn(lsn);
             Ok(before)
         })??;
-        if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::CellDelete {
-                txn: txn.0,
-                page: oid.page(),
-                slot: oid.slot(),
-            });
-        }
+        self.wal_log(txn, || LogRecord::CellDelete {
+            txn: txn.0,
+            page: oid.page(),
+            slot: oid.slot(),
+        })?;
         self.txns.push_undo(
             txn,
-            UndoOp::UndoDelete {
+            UndoOp::UndoUpdate {
                 page: oid.page(),
                 slot: oid.slot(),
                 before,
             },
         )?;
-        self.note_space(oid.page())?;
+        self.txns.note_pending_delete(txn, oid)?;
         Ok(())
     }
 
@@ -794,12 +1006,15 @@ impl Storage {
                 let cell = self.raw_read(target)?;
                 match cell.first() {
                     Some(&TAG_MOVED_DATA) | Some(&TAG_MOVED_OVF_HEAD) => Ok((target, cell)),
+                    Some(&TAG_TOMBSTONE) => Err(StorageError::NoSuchObject(oid)),
                     _ => Err(StorageError::Corrupt(format!(
                         "forward stub at {oid} points at a non-moved cell"
                     ))),
                 }
             }
             Some(&TAG_DATA) | Some(&TAG_OVF_HEAD) => Ok((oid, cell)),
+            // Deleted by a still-active transaction: logically gone.
+            Some(&TAG_TOMBSTONE) => Err(StorageError::NoSuchObject(oid)),
             Some(&TAG_MOVED_DATA) | Some(&TAG_MOVED_OVF_HEAD) | Some(&TAG_OVF_CHUNK) => Err(
                 StorageError::Corrupt(format!("oid {oid} addresses a secondary cell")),
             ),
@@ -1054,6 +1269,12 @@ impl Storage {
     pub fn txn_manager(&self) -> &TxnManager {
         &self.txns
     }
+
+    /// The WAL durability watermark, if a WAL is present. Every commit
+    /// whose ticket LSN is `<=` this value is durable.
+    pub fn wal_flushed_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.flushed_lsn())
+    }
 }
 
 #[cfg(test)]
@@ -1111,6 +1332,44 @@ mod tests {
             Err(StorageError::NoSuchObject(_))
         ));
         s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn abort_restores_when_freed_space_was_claimed() {
+        // Pages are shared between transactions: the space one
+        // transaction's shrinking update frees can be claimed by another
+        // transaction's insert before the first one aborts. The undo of
+        // the shrink then no longer fits in place and must relocate the
+        // before-image behind a forward stub — and, regression: it must
+        // never bail out of abort with the locks still held.
+        let s = Storage::volatile();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let big = vec![7u8; 3000];
+        let a = s.allocate(t, c, &big).unwrap();
+        s.commit(t).unwrap();
+
+        // Shrink `a`, freeing ~3KB on its page, but do not commit.
+        let t1 = s.begin().unwrap();
+        s.update(t1, a, b"tiny").unwrap();
+
+        // A concurrent transaction claims most of the freed space.
+        let t2 = s.begin().unwrap();
+        let b = s.allocate(t2, c, &vec![8u8; 2500]).unwrap();
+        s.commit(t2).unwrap();
+
+        // The in-place grow-back is now impossible; abort must still
+        // restore the committed value (relocated) and release all locks.
+        s.abort(t1).unwrap();
+
+        let t3 = s.begin().unwrap();
+        assert_eq!(s.read(t3, a).unwrap(), big);
+        assert_eq!(s.read(t3, b).unwrap(), vec![8u8; 2500]);
+        // The exclusive lock t1 held on `a` must be gone: this would
+        // otherwise block for the full lock timeout and fail.
+        s.update(t3, a, b"writable again").unwrap();
+        assert_eq!(s.read(t3, a).unwrap(), b"writable again");
+        s.commit(t3).unwrap();
     }
 
     #[test]
@@ -1391,6 +1650,148 @@ mod tests {
             .filter(|r| matches!(r, LogRecord::Commit { .. }))
             .count();
         assert!(commits < 5, "log should have been truncated, got {commits}");
+    }
+
+    #[test]
+    fn read_only_commit_skips_the_wal_entirely() {
+        let dir = TempDir::new("store");
+        let opts = StorageOptions {
+            fsync: true,
+            ..StorageOptions::default()
+        };
+        let s = Storage::create(dir.path(), opts).unwrap();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"data").unwrap();
+        s.commit(t).unwrap();
+
+        let before = s.metrics().snapshot();
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, oid).unwrap(), b"data");
+        assert!(s.exists(t, oid).unwrap());
+        s.commit(t).unwrap();
+        let after = s.metrics().snapshot();
+        assert_eq!(after.wal_appends, before.wal_appends, "no WAL appends");
+        assert_eq!(after.wal_fsyncs, before.wal_fsyncs, "no WAL fsyncs");
+        assert_eq!(after.wal_bytes, before.wal_bytes);
+        assert_eq!(after.txn_commits, before.txn_commits + 1);
+    }
+
+    #[test]
+    fn read_only_abort_skips_the_wal_entirely() {
+        let dir = TempDir::new("store");
+        let s = disk_storage(&dir);
+        let before = s.metrics().snapshot();
+        let t = s.begin().unwrap();
+        s.abort(t).unwrap();
+        let after = s.metrics().snapshot();
+        assert_eq!(after.wal_appends, before.wal_appends);
+    }
+
+    #[test]
+    fn concurrent_commits_group_into_fewer_fsyncs() {
+        use std::sync::Barrier;
+        let dir = TempDir::new("store");
+        let opts = StorageOptions {
+            fsync: true,
+            ..StorageOptions::default()
+        };
+        let s = Arc::new(Storage::create(dir.path(), opts).unwrap());
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        s.commit(t).unwrap();
+
+        const N: usize = 8;
+        let before = s.metrics().snapshot();
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let t = s.begin().unwrap();
+                    s.allocate(t, c, &[i as u8; 16]).unwrap();
+                    s.commit(t).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after = s.metrics().snapshot();
+        assert_eq!(
+            after.wal_group_size_sum - before.wal_group_size_sum,
+            N as u64,
+            "every commit rides in exactly one group"
+        );
+        // All writes landed and are visible.
+        let t = s.begin().unwrap();
+        assert_eq!(s.scan_cluster(t, c).unwrap().len(), N);
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn commit_deferred_then_wait_is_durable() {
+        let dir = TempDir::new("store");
+        let s = disk_storage(&dir);
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"deferred").unwrap();
+        let ticket = s.commit_deferred(t).unwrap();
+        assert!(ticket.lsn().is_some());
+        // Committed state is already visible (locks released)…
+        assert_eq!(s.txn_manager().state(t), Some(TxnState::Committed));
+        s.commit_wait(ticket).unwrap();
+        // …and after the wait the watermark covers the commit record.
+        assert!(s.wal_flushed_lsn().unwrap() >= ticket.lsn().unwrap());
+        let t2 = s.begin().unwrap();
+        assert_eq!(s.read(t2, oid).unwrap(), b"deferred");
+        s.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn write_fault_fails_commit_and_recovery_drops_it() {
+        let dir = TempDir::new("store");
+        let injector = Arc::new(FaultInjector::new());
+        let opts = StorageOptions {
+            fsync: true,
+            fault: Some(Arc::clone(&injector)),
+            ..StorageOptions::default()
+        };
+        let survivor;
+        let casualty;
+        let cluster;
+        {
+            let s = Storage::create(dir.path(), opts).unwrap();
+            let t = s.begin().unwrap();
+            cluster = s.create_cluster(t).unwrap();
+            survivor = s.allocate(t, cluster, b"before fault").unwrap();
+            s.commit(t).unwrap();
+
+            // Kill the device before any further bytes land: the next
+            // commit's batch never reaches the file at all.
+            injector.arm_write_cap(0);
+            let t = s.begin().unwrap();
+            casualty = s.allocate(t, cluster, b"never durable").unwrap();
+            assert!(matches!(s.commit(t), Err(StorageError::WalPoisoned(_))));
+            // The log stays poisoned even for later transactions.
+            let t = s.begin().unwrap();
+            s.allocate(t, cluster, b"also doomed").unwrap();
+            assert!(matches!(s.commit(t), Err(StorageError::WalPoisoned(_))));
+            assert!(injector.tripped());
+            std::mem::forget(s); // crash
+        }
+        injector.disarm();
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, survivor).unwrap(), b"before fault");
+        assert!(matches!(
+            s.read(t, casualty),
+            Err(StorageError::NoSuchObject(_))
+        ));
+        assert_eq!(s.scan_cluster(t, cluster).unwrap(), vec![survivor]);
+        s.commit(t).unwrap();
     }
 
     #[test]

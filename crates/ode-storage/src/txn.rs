@@ -12,7 +12,7 @@
 //! never needs to touch the log.
 
 use crate::error::{Result, StorageError};
-use crate::oid::PageId;
+use crate::oid::{Oid, PageId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,8 +63,20 @@ struct TxnRecord {
     state: TxnState,
     system: bool,
     undo: Vec<UndoOp>,
+    /// Cells tombstoned by this transaction's deletes, physically removed
+    /// at commit (their slots and bytes stay reserved until then so the
+    /// deletes remain undoable and no concurrent insert can take the Oid).
+    pending_deletes: Vec<Oid>,
     /// Transactions this one may only commit after (commit dependencies).
     depends_on: Vec<TxnId>,
+    /// Whether a WAL Begin record has been written for this transaction.
+    /// Stays false for read-only transactions, which therefore skip the
+    /// Commit record and flush entirely.
+    logged: bool,
+    /// LSN of this transaction's Commit record, recorded at commit time so
+    /// durability waits (`flushed_lsn >= commit_lsn`) can be ordered after
+    /// dependency release.
+    commit_lsn: Option<u64>,
 }
 
 /// Registry of transactions and their states.
@@ -101,7 +113,10 @@ impl TxnManager {
                 state: TxnState::Active,
                 system,
                 undo: Vec::new(),
+                pending_deletes: Vec::new(),
                 depends_on: Vec::new(),
+                logged: false,
+                commit_lsn: None,
             },
         );
         id
@@ -143,6 +158,52 @@ impl TxnManager {
             .get_mut(&txn)
             .map(|r| std::mem::take(&mut r.undo))
             .unwrap_or_default()
+    }
+
+    /// Record a cell tombstoned by `txn`, to be physically deleted at
+    /// commit.
+    pub fn note_pending_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        rec.pending_deletes.push(oid);
+        Ok(())
+    }
+
+    /// Drain the cells awaiting physical deletion at `txn`'s commit.
+    pub fn take_pending_deletes(&self, txn: TxnId) -> Vec<Oid> {
+        self.txns
+            .lock()
+            .get_mut(&txn)
+            .map(|r| std::mem::take(&mut r.pending_deletes))
+            .unwrap_or_default()
+    }
+
+    /// Mark that `txn` has written its WAL Begin record. Returns `true` the
+    /// first time (the caller must log Begin then), `false` afterwards.
+    pub fn mark_logged(&self, txn: TxnId) -> Result<bool> {
+        let mut txns = self.txns.lock();
+        let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        if rec.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        Ok(!std::mem::replace(&mut rec.logged, true))
+    }
+
+    /// Whether `txn` has written any WAL records (false ⇒ read-only so far).
+    pub fn has_logged(&self, txn: TxnId) -> bool {
+        self.txns.lock().get(&txn).is_some_and(|r| r.logged)
+    }
+
+    /// Record the LSN of `txn`'s Commit record.
+    pub fn set_commit_lsn(&self, txn: TxnId, lsn: u64) {
+        if let Some(rec) = self.txns.lock().get_mut(&txn) {
+            rec.commit_lsn = Some(lsn);
+        }
+    }
+
+    /// LSN of `txn`'s Commit record, if it has been appended.
+    pub fn commit_lsn(&self, txn: TxnId) -> Option<u64> {
+        self.txns.lock().get(&txn).and_then(|r| r.commit_lsn)
     }
 
     /// Declare that `txn` may only commit if `on` commits.
@@ -199,6 +260,7 @@ impl TxnManager {
             }
             rec.state = state;
             rec.undo.clear();
+            rec.pending_deletes.clear();
         }
         self.cv.notify_all();
         Ok(())
@@ -324,6 +386,19 @@ mod tests {
         assert!(!handle.is_finished());
         tm.finish(a, TxnState::Committed).unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mark_logged_fires_once() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        assert!(!tm.has_logged(t));
+        assert!(tm.mark_logged(t).unwrap());
+        assert!(!tm.mark_logged(t).unwrap());
+        assert!(tm.has_logged(t));
+        assert_eq!(tm.commit_lsn(t), None);
+        tm.set_commit_lsn(t, 42);
+        assert_eq!(tm.commit_lsn(t), Some(42));
     }
 
     #[test]

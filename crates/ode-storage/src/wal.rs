@@ -12,17 +12,40 @@
 //! its rollback rides the same mechanism.
 //!
 //! Frame format: `[len u32][fnv1a-checksum u32][payload]`. A torn tail
-//! (short frame or bad checksum) ends replay; everything before it is used.
+//! (short frame or bad checksum) ends replay; everything before it is used,
+//! and [`Wal::open`] *truncates* the tear so fresh appends can never land
+//! behind unreachable garbage.
+//!
+//! ## LSNs and group commit
+//!
+//! Every append is assigned a monotonically increasing LSN (the byte
+//! offset of the record's *end* in the logical log; the clock keeps
+//! running across [`Wal::reset`]). A record is durable once the
+//! `flushed_lsn` watermark reaches its LSN. Committers call
+//! [`Wal::commit_wait`] with their Commit record's LSN: the first one in
+//! becomes the *leader*, takes the whole pending tail, and makes it
+//! durable with a single write+fsync while followers block on the
+//! watermark via condvar — one fsync amortised over every commit in the
+//! batch. With group commit disabled (the pre-refactor baseline, kept for
+//! benchmarking) every committer runs its own flush cycle.
+//!
+//! A failed WAL write or fsync *poisons* the log: the batch may be torn on
+//! disk, so no later commit can be allowed to succeed (fsyncgate
+//! semantics). Every subsequent `commit_wait` returns
+//! [`StorageError::WalPoisoned`]; the only way forward is reopen +
+//! recovery, which truncates the tear.
 
 use crate::codec::{Decode, Encode};
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultFile, FaultInjector};
 use crate::oid::{ClusterId, PageId};
 use bytes::{BufMut, BytesMut};
 use ode_obs::{Metrics, TraceEvent};
-use parking_lot::Mutex;
-use std::io::{Read, Seek, SeekFrom, Write};
+use parking_lot::{Condvar, Mutex};
+use std::io::{Read, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One log record.
 #[allow(missing_docs)] // fields are self-describing
@@ -185,44 +208,94 @@ fn fnv1a(bytes: &[u8]) -> u32 {
     h
 }
 
-struct WalInner {
-    file: std::fs::File,
-    /// Bytes appended since the last flush, kept in memory so that commit
-    /// can batch-write them.
+/// In-memory tail of the log: bytes appended but not yet written out.
+struct WalTail {
     pending: Vec<u8>,
-    /// Next log sequence number (byte offset of the end of the log).
+    /// Next log sequence number. LSNs are globally monotonic — they do NOT
+    /// restart at [`Wal::reset`] — so a durability ticket taken before an
+    /// auto-checkpoint is still satisfiable after it.
     next_lsn: u64,
+    /// Commit records sitting in `pending` (feeds the group-size metric).
+    pending_commits: u64,
 }
 
-/// An append-only write-ahead log.
+/// Durability watermark + leader election for group commit.
+struct FlushState {
+    /// Every record with `lsn <= flushed_lsn` is durable (written, and
+    /// fsynced when fsync is configured).
+    flushed_lsn: u64,
+    /// A committer is currently writing a batch; others wait on the condvar.
+    leader_active: bool,
+    /// Set on the first failed WAL write/fsync; sticky until reopen.
+    poisoned: Option<String>,
+}
+
+/// An append-only write-ahead log with group commit.
 pub struct Wal {
     path: PathBuf,
-    inner: Mutex<WalInner>,
+    tail: Mutex<WalTail>,
+    file: Mutex<FaultFile>,
+    flush: Mutex<FlushState>,
+    durable: Condvar,
     /// Whether commit flushes call fsync. Off by default for tests/benches;
     /// on for durability-critical deployments.
     fsync: bool,
+    /// Leader/follower batching when true; per-committer flush cycles when
+    /// false (the pre-refactor baseline, kept for benchmarking).
+    group_commit: bool,
     metrics: Arc<Metrics>,
 }
 
 impl Wal {
     /// Open (creating if missing) the log at `path`.
     pub fn open(path: &Path, fsync: bool) -> Result<Wal> {
-        let mut file = std::fs::OpenOptions::new()
+        Wal::open_with(path, fsync, None, true)
+    }
+
+    /// Open with an optional fault injector and an explicit group-commit
+    /// mode. A torn or corrupt tail left by a crash is truncated here so
+    /// fresh appends can never land behind unreachable garbage.
+    pub fn open_with(
+        path: &Path,
+        fsync: bool,
+        injector: Option<Arc<FaultInjector>>,
+        group_commit: bool,
+    ) -> Result<Wal> {
+        let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             // Existing log contents are the recovery source: never clobber.
             .truncate(false)
             .open(path)?;
-        let len = file.seek(SeekFrom::End(0))?;
+        let mut file = FaultFile::new(file, injector);
+        file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let valid = scan_valid_len(&bytes);
+        if valid < bytes.len() {
+            file.set_len(valid as u64)?;
+            if fsync {
+                file.sync_data()?;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
         Ok(Wal {
             path: path.to_path_buf(),
-            inner: Mutex::new(WalInner {
-                file,
+            tail: Mutex::new(WalTail {
                 pending: Vec::new(),
-                next_lsn: len,
+                next_lsn: valid as u64,
+                pending_commits: 0,
             }),
+            file: Mutex::new(file),
+            flush: Mutex::new(FlushState {
+                flushed_lsn: valid as u64,
+                leader_active: false,
+                poisoned: None,
+            }),
+            durable: Condvar::new(),
             fsync,
+            group_commit,
             metrics: Arc::new(Metrics::new()),
         })
     }
@@ -233,56 +306,151 @@ impl Wal {
         self.metrics = metrics;
     }
 
-    /// Append a record to the in-memory tail; returns its LSN. The record
-    /// becomes durable at the next [`Wal::flush`].
+    /// Append a record to the in-memory tail; returns the LSN of the
+    /// record's *end*. The record is durable once [`Wal::flushed_lsn`]
+    /// reaches that value — see [`Wal::commit_wait`].
     pub fn append(&self, record: &LogRecord) -> u64 {
         let mut payload = BytesMut::new();
         record.encode(&mut payload);
-        let mut inner = self.inner.lock();
-        let lsn = inner.next_lsn;
-        inner
-            .pending
+        let mut tail = self.tail.lock();
+        tail.pending
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        inner
-            .pending
+        tail.pending
             .extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        inner.pending.extend_from_slice(&payload);
-        inner.next_lsn += 8 + payload.len() as u64;
+        tail.pending.extend_from_slice(&payload);
+        tail.next_lsn += 8 + payload.len() as u64;
+        if matches!(record, LogRecord::Commit { .. }) {
+            tail.pending_commits += 1;
+        }
         self.metrics.wal_appends.inc();
         self.metrics.wal_bytes.add(8 + payload.len() as u64);
-        lsn
+        tail.next_lsn
+    }
+
+    /// The durability watermark: every append whose returned LSN is `<=`
+    /// this value has been written (and fsynced when configured).
+    pub fn flushed_lsn(&self) -> u64 {
+        self.flush.lock().flushed_lsn
+    }
+
+    /// LSN of the current logical end of the log.
+    pub fn end_lsn(&self) -> u64 {
+        self.tail.lock().next_lsn
+    }
+
+    /// Block until the record ending at `target` is durable, recording the
+    /// wait in `commit_flush_wait_micros`. With group commit enabled the
+    /// first committer in becomes the leader and flushes the whole pending
+    /// tail (one write+fsync for every commit in it); the rest block on the
+    /// watermark. With group commit disabled every caller runs its own
+    /// flush cycle — the per-commit-fsync baseline.
+    pub fn commit_wait(&self, target: u64) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        let result = self.wait_durable(target);
+        self.metrics
+            .commit_flush_wait_micros
+            .add(t0.elapsed().as_micros() as u64);
+        result
     }
 
     /// Write the pending tail to the file (and fsync if configured).
+    /// Equivalent to `commit_wait(end_lsn)` without the wait metric.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let flushed = inner.pending.len() as u64;
-        if !inner.pending.is_empty() {
-            let pending = std::mem::take(&mut inner.pending);
-            inner.file.seek(SeekFrom::End(0))?;
-            inner.file.write_all(&pending)?;
+        let target = self.tail.lock().next_lsn;
+        self.wait_durable(target)
+    }
+
+    fn wait_durable(&self, target: u64) -> Result<()> {
+        let mut st = self.flush.lock();
+        // In baseline (non-group) mode each committer must pay its own
+        // fsync even if a concurrent flush already covered its LSN.
+        let mut flushed_myself = false;
+        loop {
+            if let Some(msg) = &st.poisoned {
+                return Err(StorageError::WalPoisoned(msg.clone()));
+            }
+            if st.flushed_lsn >= target && (self.group_commit || flushed_myself) {
+                return Ok(());
+            }
+            if st.leader_active {
+                let _ = self.durable.wait_for(&mut st, Duration::from_millis(50));
+                continue;
+            }
+            // Become the leader: snapshot the tail, release the flush lock
+            // while doing I/O so appenders and new waiters are not blocked
+            // behind the fsync.
+            st.leader_active = true;
+            drop(st);
+            let (batch, end, commits) = {
+                let mut tail = self.tail.lock();
+                (
+                    std::mem::take(&mut tail.pending),
+                    tail.next_lsn,
+                    std::mem::take(&mut tail.pending_commits),
+                )
+            };
+            let io = self.write_batch(&batch);
+            st = self.flush.lock();
+            st.leader_active = false;
+            match io {
+                Ok(()) => {
+                    st.flushed_lsn = st.flushed_lsn.max(end);
+                    if commits > 0 {
+                        self.metrics.wal_group_commits.inc();
+                        self.metrics.wal_group_size_sum.add(commits);
+                    }
+                    flushed_myself = true;
+                    self.durable.notify_all();
+                }
+                Err(e) => {
+                    // The batch may be torn on disk and the commits in it
+                    // were never acknowledged: fail them all, and every
+                    // later commit too (a retried fsync proves nothing).
+                    let msg = e.to_string();
+                    st.poisoned = Some(msg.clone());
+                    self.durable.notify_all();
+                    return Err(StorageError::WalPoisoned(msg));
+                }
+            }
+        }
+    }
+
+    fn write_batch(&self, batch: &[u8]) -> std::io::Result<()> {
+        let mut file = self.file.lock();
+        if !batch.is_empty() {
+            file.seek(SeekFrom::End(0))?;
+            file.write_all(batch)?;
         }
         if self.fsync {
-            inner.file.sync_data()?;
+            file.sync_data()?;
             self.metrics.wal_fsyncs.inc();
             self.metrics.emit(|| TraceEvent::WalFsync {
-                bytes_flushed: flushed,
+                bytes_flushed: batch.len() as u64,
             });
         }
         Ok(())
     }
 
-    /// Truncate the log to empty (done right after a checkpoint, when the
-    /// data file already reflects everything).
+    /// Truncate the log file to empty (done right after a checkpoint, when
+    /// the data file already reflects everything). The LSN clock keeps
+    /// running and the now-empty log is durable by definition, so
+    /// durability tickets taken before the reset remain satisfied.
     pub fn reset(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.pending.clear();
-        inner.file.set_len(0)?;
-        inner.file.seek(SeekFrom::Start(0))?;
-        if self.fsync {
-            inner.file.sync_data()?;
+        let mut st = self.flush.lock();
+        while st.leader_active {
+            let _ = self.durable.wait_for(&mut st, Duration::from_millis(50));
         }
-        inner.next_lsn = 0;
+        let mut tail = self.tail.lock();
+        let mut file = self.file.lock();
+        tail.pending.clear();
+        tail.pending_commits = 0;
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        if self.fsync {
+            file.sync_data()?;
+        }
+        st.flushed_lsn = tail.next_lsn;
+        self.durable.notify_all();
         Ok(())
     }
 
@@ -302,17 +470,11 @@ impl Wal {
         };
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let mut cursor = &bytes[..];
+        let valid = scan_valid_len(&bytes);
+        let mut cursor = &bytes[..valid];
         while cursor.len() >= 8 {
             let len = u32::from_le_bytes(cursor[0..4].try_into().unwrap()) as usize;
-            let sum = u32::from_le_bytes(cursor[4..8].try_into().unwrap());
-            if cursor.len() < 8 + len {
-                break; // torn tail
-            }
             let payload = &cursor[8..8 + len];
-            if fnv1a(payload) != sum {
-                break; // corrupt tail
-            }
             let mut p = payload;
             match LogRecord::decode(&mut p) {
                 Ok(rec) if p.is_empty() => out.push(rec),
@@ -322,6 +484,25 @@ impl Wal {
         }
         Ok(out)
     }
+}
+
+/// Length of the valid frame prefix of a log image: the scan stops at a
+/// short frame, a checksum mismatch, or trailing garbage.
+fn scan_valid_len(bytes: &[u8]) -> usize {
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let sum = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if bytes.len() - offset < 8 + len {
+            break; // torn tail
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if fnv1a(payload) != sum {
+            break; // corrupt tail
+        }
+        offset += 8 + len;
+    }
+    offset
 }
 
 #[cfg(test)]
@@ -418,17 +599,21 @@ mod tests {
     }
 
     #[test]
-    fn reset_truncates() {
+    fn reset_truncates_but_lsns_stay_monotonic() {
         let dir = TempDir::new("wal");
         let path = dir.file("log");
         let wal = Wal::open(&path, false).unwrap();
-        wal.append(&LogRecord::Begin { txn: 1 });
+        let before = wal.append(&LogRecord::Begin { txn: 1 });
         wal.flush().unwrap();
         wal.reset().unwrap();
         assert!(Wal::read_all(&path).unwrap().is_empty());
-        // LSNs restart after reset.
-        let lsn = wal.append(&LogRecord::Begin { txn: 2 });
-        assert_eq!(lsn, 0);
+        // The LSN clock keeps running across reset, and everything up to
+        // the reset point counts as durable (the log is empty).
+        assert!(wal.flushed_lsn() >= before);
+        let after = wal.append(&LogRecord::Begin { txn: 2 });
+        assert!(after > before);
+        // A ticket taken before the reset is immediately satisfiable.
+        wal.commit_wait(before).unwrap();
     }
 
     #[test]
@@ -444,5 +629,118 @@ mod tests {
         let a = wal.append(&LogRecord::Begin { txn: 1 });
         let b = wal.append(&LogRecord::Commit { txn: 1 });
         assert!(b > a);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail() {
+        // Satellite regression: garbage appended to wal.log (a torn final
+        // frame) must be truncated at open so later appends stay readable.
+        let dir = TempDir::new("wal");
+        let path = dir.file("log");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            for r in sample() {
+                wal.append(&r);
+            }
+            wal.flush().unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[200, 0, 0, 0, 9, 9, 9, 9, 1, 2, 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        let wal = Wal::open(&path, false).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // New appends land after the valid prefix and are all readable.
+        wal.append(&LogRecord::Begin { txn: 9 });
+        wal.append(&LogRecord::Commit { txn: 9 });
+        wal.flush().unwrap();
+        let back = Wal::read_all(&path).unwrap();
+        let mut expect = sample();
+        expect.push(LogRecord::Begin { txn: 9 });
+        expect.push(LogRecord::Commit { txn: 9 });
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn commit_wait_makes_record_durable() {
+        let dir = TempDir::new("wal");
+        let path = dir.file("log");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        let lsn = wal.append(&LogRecord::Commit { txn: 1 });
+        assert!(wal.flushed_lsn() < lsn);
+        wal.commit_wait(lsn).unwrap();
+        assert!(wal.flushed_lsn() >= lsn);
+        assert_eq!(Wal::read_all(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_committers() {
+        let dir = TempDir::new("wal");
+        let path = dir.file("log");
+        let mut wal = Wal::open_with(&path, true, None, true).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        wal.set_metrics(Arc::clone(&metrics));
+        let wal = Arc::new(wal);
+        const N: u64 = 16;
+        let barrier = Arc::new(std::sync::Barrier::new(N as usize));
+        let handles: Vec<_> = (0..N)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let lsn = wal.append(&LogRecord::Commit { txn: t });
+                    wal.commit_wait(lsn).unwrap();
+                    assert!(wal.flushed_lsn() >= lsn);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = metrics.snapshot();
+        // Every commit is accounted for in some group, and batching means
+        // strictly fewer flushes than commits (with 16 racing threads at
+        // least two must share a batch).
+        assert_eq!(snap.wal_group_size_sum, N);
+        assert!(snap.wal_group_commits <= N);
+        assert!(snap.wal_fsyncs < N || snap.wal_group_commits < N);
+        assert_eq!(Wal::read_all(&path).unwrap().len(), N as usize);
+    }
+
+    #[test]
+    fn solo_mode_fsyncs_every_commit() {
+        let dir = TempDir::new("wal");
+        let mut wal = Wal::open_with(&dir.file("log"), true, None, false).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        wal.set_metrics(Arc::clone(&metrics));
+        for t in 0..4 {
+            let lsn = wal.append(&LogRecord::Commit { txn: t });
+            wal.commit_wait(lsn).unwrap();
+        }
+        assert_eq!(metrics.snapshot().wal_fsyncs, 4);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_log() {
+        let dir = TempDir::new("wal");
+        let injector = Arc::new(crate::fault::FaultInjector::new());
+        let wal =
+            Wal::open_with(&dir.file("log"), true, Some(Arc::clone(&injector)), true).unwrap();
+        injector.arm_fail_fsync();
+        let lsn = wal.append(&LogRecord::Commit { txn: 1 });
+        assert!(matches!(
+            wal.commit_wait(lsn),
+            Err(StorageError::WalPoisoned(_))
+        ));
+        // Sticky: even after the device "recovers", commits keep failing
+        // until reopen (the on-disk tail state is unknowable).
+        injector.disarm();
+        let lsn2 = wal.append(&LogRecord::Commit { txn: 2 });
+        assert!(matches!(
+            wal.commit_wait(lsn2),
+            Err(StorageError::WalPoisoned(_))
+        ));
     }
 }
