@@ -20,10 +20,14 @@
 //! record is appended to the WAL but *before* it is durable. This early
 //! release is what lets a dependent system transaction acquire the parent's
 //! locks and append its own Commit record into the same flush batch. It
-//! cannot expose non-durable data to the outside: any transaction that
-//! reads the early-released writes commits at a strictly later LSN, and no
-//! commit is acknowledged until the durability watermark covers its LSN —
-//! so an acknowledged reader implies a durable writer.
+//! cannot expose non-durable data to the outside: a *writing* reader of
+//! the early-released writes appends its own Commit record at a strictly
+//! later LSN, and no commit is acknowledged until the durability watermark
+//! covers its LSN; a *read-only* reader appends nothing, so its commit
+//! ticket instead carries the log tail observed at commit (which bounds
+//! every writer it could have read) and `Storage::commit_wait` waits for
+//! that barrier. Either way an acknowledged reader implies durable
+//! writers.
 
 use crate::error::{Result, StorageError};
 use crate::txn::TxnId;

@@ -13,8 +13,10 @@
 //!   [`Oid`]s, grouped into clusters (one cluster per class, like O++).
 //! * Strict 2PL via the [`LockManager`]; shared locks for reads, exclusive
 //!   for writes, with deadlock detection.
-//! * Rollback via in-memory undo; durability via the WAL with redo-only
-//!   recovery (no-steal buffer pool, quiesced checkpoints).
+//! * Rollback via in-memory undo (each step also logged, compensation
+//!   style); durability via the WAL with repeat-history recovery — redo
+//!   everything in log order, then roll back in-flight losers from
+//!   before-images (no-steal buffer pool, quiesced checkpoints).
 //! * Named roots and a persistent cluster counter for bootstrapping.
 //! * Commit dependencies and system transactions for trigger coupling
 //!   modes (§5.5).
@@ -64,8 +66,11 @@ const TAG_MOVED_OVF_HEAD: u8 = 5;
 /// transaction commits and physically removes the cell — or aborts and
 /// restores the original tag. Releasing them earlier would let a concurrent
 /// insert claim the slot, making the delete impossible to undo and handing
-/// the object's Oid to an unrelated record. Never written to WAL or
-/// checkpoints (checkpoints are quiesced).
+/// the object's Oid to an unrelated record. Tombstones appear in the WAL
+/// (the tombstoning is logged like any cell update, and replay repeats it
+/// transiently) but never in checkpoints: the committing transaction
+/// physically purges its tombstones before it leaves the active set, and
+/// checkpoints require quiescence.
 const TAG_TOMBSTONE: u8 = 6;
 
 /// Max payload bytes in one inline cell (tag byte subtracted).
@@ -208,11 +213,16 @@ impl Decode for RootsRecord {
 
 /// Receipt from [`Storage::commit_deferred`]: the durability target the
 /// commit must reach before it may be acknowledged. `lsn` is `None` for
-/// read-only transactions (nothing to flush) and WAL-less stores.
+/// read-only transactions (nothing to flush) and WAL-less stores; a
+/// read-only transaction that overlapped not-yet-durable writers instead
+/// carries the log tail it observed in `read_barrier`, which
+/// [`Storage::commit_wait`] waits on so an acknowledged read never
+/// exposes state recovery could discard.
 #[derive(Debug, Clone, Copy)]
 #[must_use = "a deferred commit is not durable until commit_wait succeeds"]
 pub struct CommitTicket {
     lsn: Option<u64>,
+    read_barrier: Option<u64>,
 }
 
 impl CommitTicket {
@@ -366,20 +376,31 @@ impl Storage {
         self.commit(txn)
     }
 
-    /// Replay committed WAL records onto the page store (recovery).
+    /// Recovery: repeat history, then roll back the losers (ARIES-style).
+    ///
+    /// Every logged cell operation is reapplied in log order regardless of
+    /// its transaction's fate — the log includes abort-time rollback steps
+    /// (compensation-style), so a transaction with an Abort record is
+    /// self-neutralizing and committed operations that physically depend
+    /// on an aborted neighbour's page layout (e.g. an update addressed to
+    /// a cell an abort relocated, or an insert into space an uncommitted
+    /// shrink freed) replay against exactly the layout they saw live.
+    /// Transactions still in flight at the crash (neither Commit nor Abort
+    /// in the log) are then rolled back from the records' before-images,
+    /// newest first.
     fn replay(&self, records: &[LogRecord]) -> Result<()> {
         use std::collections::HashSet;
-        let committed: HashSet<u64> = records
+        let resolved: HashSet<u64> = records
             .iter()
             .filter_map(|r| match r {
-                LogRecord::Commit { txn } => Some(*txn),
+                LogRecord::Commit { txn } | LogRecord::Abort { txn } => Some(*txn),
                 _ => None,
             })
             .collect();
+        // Phase 1: repeat history. Collect undo work for in-flight losers.
+        let mut loser_undo: Vec<UndoOp> = Vec::new();
         for record in records {
-            if !committed.contains(&record.txn()) {
-                continue;
-            }
+            let loser = !resolved.contains(&record.txn());
             match record {
                 LogRecord::PageAlloc { page, cluster, .. } => {
                     self.store.ensure_pages(page + 1)?;
@@ -395,27 +416,169 @@ impl Storage {
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay insert failed: {e:?}"))
                         })?;
+                    if loser {
+                        loser_undo.push(UndoOp::UndoInsert {
+                            page: *page,
+                            slot: *slot,
+                        });
+                    }
                 }
                 LogRecord::CellUpdate {
-                    page, slot, data, ..
+                    page,
+                    slot,
+                    data,
+                    before,
+                    ..
                 } => {
                     self.store
                         .with_page_mut(*page, |p| p.update(*slot, data))?
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay update failed: {e:?}"))
                         })?;
+                    if loser {
+                        loser_undo.push(UndoOp::UndoUpdate {
+                            page: *page,
+                            slot: *slot,
+                            before: before.clone(),
+                        });
+                    }
                 }
-                LogRecord::CellDelete { page, slot, .. } => {
+                LogRecord::CellDelete {
+                    page, slot, before, ..
+                } => {
                     self.store
                         .with_page_mut(*page, |p| p.delete(*slot))?
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay delete failed: {e:?}"))
                         })?;
+                    if loser {
+                        loser_undo.push(UndoOp::UndoDelete {
+                            page: *page,
+                            slot: *slot,
+                            before: before.clone(),
+                        });
+                    }
                 }
                 LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
             }
         }
+        // Phase 2: roll back the losers in reverse global log order, so
+        // interleaved losers unwind their shared-page space interactions
+        // in the opposite order they were applied.
+        for op in loser_undo.into_iter().rev() {
+            match op {
+                UndoOp::UndoInsert { page, slot } => {
+                    self.store
+                        .with_page_mut(page, |p| p.delete(slot))?
+                        .map_err(|e| {
+                            StorageError::Corrupt(format!("recovery undo insert failed: {e:?}"))
+                        })?;
+                }
+                UndoOp::UndoUpdate { page, slot, before } => {
+                    match self
+                        .store
+                        .with_page_mut(page, |p| p.update(slot, &before))?
+                    {
+                        Ok(()) => {}
+                        Err(PageOpError::Full) => {
+                            self.replay_relocate(Oid::new(page, slot), &before, true)?;
+                        }
+                        Err(e) => {
+                            return Err(StorageError::Corrupt(format!(
+                                "recovery undo update failed: {e:?}"
+                            )));
+                        }
+                    }
+                }
+                UndoOp::UndoDelete { page, slot, before } => {
+                    match self
+                        .store
+                        .with_page_mut(page, |p| p.insert_at(slot, &before))?
+                    {
+                        Ok(()) => {}
+                        Err(PageOpError::Full) => {
+                            self.replay_relocate(Oid::new(page, slot), &before, false)?;
+                        }
+                        Err(e) => {
+                            return Err(StorageError::Corrupt(format!(
+                                "recovery undo delete failed: {e:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Recovery-time analogue of [`Storage::undo_restore_moved`]: rolling
+    /// back an in-flight loser can find its before-image no longer fits in
+    /// place, because a *committed* transaction claimed the bytes the
+    /// loser's uncommitted shrink or delete had freed. The image moves to
+    /// another page of the same cluster behind a forward stub, keeping the
+    /// object's Oid and committed value intact. Runs before
+    /// `rebuild_alloc`, so target pages are found by direct scan; nothing
+    /// is logged — `open` checkpoints immediately after replay.
+    fn replay_relocate(&self, oid: Oid, before: &[u8], occupied: bool) -> Result<()> {
+        let mut relocated = before.to_vec();
+        match before.first() {
+            Some(&TAG_DATA) => relocated[0] = TAG_MOVED_DATA,
+            Some(&TAG_OVF_HEAD) => relocated[0] = TAG_MOVED_OVF_HEAD,
+            tag => {
+                return Err(StorageError::Corrupt(format!(
+                    "recovery cannot relocate cell with tag {tag:?} at {oid}"
+                )));
+            }
+        }
+        let cluster = self.cluster_of(oid.page())?;
+        let mut target_page = None;
+        for id in 1..self.store.page_count() {
+            if id == oid.page() {
+                continue;
+            }
+            let fits = self.store.with_page(id, |p| {
+                p.cluster() == cluster && p.can_insert(relocated.len())
+            })?;
+            if fits {
+                target_page = Some(id);
+                break;
+            }
+        }
+        let target_page = match target_page {
+            Some(p) => p,
+            None => {
+                let p = self.store.allocate_page()?;
+                self.store.with_page_mut(p, |pg| pg.set_cluster(cluster))?;
+                p
+            }
+        };
+        let slot = self
+            .store
+            .with_page_mut(target_page, |p| p.insert(&relocated))?
+            .map_err(|e| {
+                StorageError::Corrupt(format!("recovery relocation insert failed: {e:?}"))
+            })?;
+        let target = Oid::new(target_page, slot);
+        let mut stub = Vec::with_capacity(7);
+        stub.push(TAG_FORWARD);
+        stub.extend_from_slice(&encode_to_vec(&target));
+        self.store
+            .with_page_mut(oid.page(), |p| {
+                if occupied {
+                    match p.update(oid.slot(), &stub) {
+                        // The slot's current cell is too small to grow into
+                        // a stub on a full page: free it first.
+                        Err(PageOpError::Full) => {
+                            p.delete(oid.slot()).ok();
+                            p.insert_at(oid.slot(), &stub)
+                        }
+                        r => r,
+                    }
+                } else {
+                    p.insert_at(oid.slot(), &stub)
+                }
+            })?
+            .map_err(|e| StorageError::Corrupt(format!("recovery stub at {oid} failed: {e:?}")))
     }
 
     /// Rebuild the allocation directory by scanning page tags.
@@ -511,6 +674,20 @@ impl Storage {
         Ok(())
     }
 
+    /// Ensure `txn`'s Begin record is in the WAL. Called before taking a
+    /// page latch whose closure will append a cell record: cell records
+    /// are appended *under* the latch so WAL order is identical to
+    /// page-mutation order — the invariant replay's repeat-history pass
+    /// depends on. (Begin order itself is immaterial.)
+    fn wal_begin(&self, txn: TxnId) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            if self.txns.mark_logged(txn)? {
+                wal.append(&LogRecord::Begin { txn: txn.0 });
+            }
+        }
+        Ok(())
+    }
+
     /// Declare that `txn` may only commit if `on` commits (the `dependent`
     /// coupling mode's commit dependency).
     pub fn add_commit_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
@@ -533,17 +710,40 @@ impl Storage {
     /// anyone outside the database.
     ///
     /// The early lock release is safe because WAL order bounds visibility:
-    /// any transaction that reads this one's writes appends its own Commit
-    /// record at a later LSN, so it cannot become durable (and thus cannot
-    /// be acknowledged) before this one does. The trigger layer uses the
-    /// gap to let dependent system transactions append their Commit records
-    /// into the same flush batch as their parent.
+    /// a writing transaction that reads this one's writes appends its own
+    /// Commit record at a later LSN, so it cannot become durable (and thus
+    /// cannot be acknowledged) before this one does, and a read-only
+    /// transaction's ticket carries the log tail it observed, which
+    /// `commit_wait` waits on. The trigger layer uses the gap to let
+    /// dependent system transactions append their Commit records into the
+    /// same flush batch as their parent.
     pub fn commit_deferred(&self, txn: TxnId) -> Result<CommitTicket> {
         self.txns.require_active(txn)?;
         if let Err(e) = self.txns.await_dependencies(txn) {
             // Dependency failed: this transaction must abort instead.
             self.abort(txn)?;
             return Err(e);
+        }
+        // Log the physical removal of every cell this transaction
+        // tombstoned *ahead of* the Commit record, so recovery repeats the
+        // purge exactly when it replays the commit. The slots stay
+        // reserved (tombstoned) until the physical pass below, so reading
+        // them here is race-free.
+        let pending = self.txns.take_pending_deletes(txn);
+        if let (Some(wal), false) = (&self.wal, pending.is_empty()) {
+            debug_assert!(self.txns.has_logged(txn), "a delete implies a logged txn");
+            for oid in &pending {
+                let before = self
+                    .store
+                    .with_page(oid.page(), |p| p.read(oid.slot()).map(<[u8]>::to_vec))?
+                    .unwrap_or_default();
+                wal.append(&LogRecord::CellDelete {
+                    txn: txn.0,
+                    page: oid.page(),
+                    slot: oid.slot(),
+                    before,
+                });
+            }
         }
         // Read-only transactions never logged anything: skip the Commit
         // record and the flush entirely.
@@ -555,14 +755,29 @@ impl Storage {
             }
             _ => None,
         };
-        let pending = self.txns.take_pending_deletes(txn);
-        self.txns.finish(txn, TxnState::Committed)?;
-        // Physically remove the cells this transaction tombstoned: past the
-        // commit point their slots and bytes are permanently free. Must
-        // happen before the locks release so no reader can observe a
-        // tombstone from a committed transaction. Best-effort by
-        // construction — the reservation guarantees the slot still holds
-        // our tombstone, and failing here must never skip the unlock below.
+        // A read-only transaction may have observed writes whose Commit
+        // records are appended but not yet durable (locks release before
+        // the flush). Acknowledging the read must imply those writers are
+        // durable, so remember the log tail observed now — every write
+        // this transaction read committed at or below it — for
+        // `commit_wait` to wait on. `None` when the tail is already
+        // durable, which keeps the common read-after-durable path free.
+        let read_barrier = match &self.wal {
+            Some(wal) if lsn.is_none() => {
+                let end = wal.end_lsn();
+                (end > wal.flushed_lsn()).then_some(end)
+            }
+            _ => None,
+        };
+        // Physically remove the tombstoned cells: past the commit point
+        // (Commit record appended — the transaction can no longer abort)
+        // their slots and bytes are permanently free. Must happen before
+        // `finish` so an auto-checkpoint passing the quiescence test can
+        // never flush a page still holding a committed tombstone, and
+        // before the locks release so no reader can observe one.
+        // Best-effort by construction — the reservation guarantees the
+        // slot still holds our tombstone, and failing here must never
+        // skip the unlock below.
         for oid in pending {
             let lsn = self.bump_lsn();
             let removed = self.store.with_page_mut(oid.page(), |p| {
@@ -578,18 +793,26 @@ impl Storage {
             );
             let _ = self.note_space(oid.page());
         }
+        self.txns.finish(txn, TxnState::Committed)?;
         self.locks.unlock_all(txn);
         self.metrics.txn_commits.inc();
         self.metrics.emit(|| TraceEvent::TxnCommit { txn: txn.0 });
-        Ok(CommitTicket { lsn })
+        Ok(CommitTicket { lsn, read_barrier })
     }
 
     /// Second half of commit: block until the ticket's Commit record is
     /// durable (`flushed_lsn >= commit_lsn`). Read-only tickets return
-    /// immediately. Runs the auto-checkpoint policy.
+    /// immediately unless they observed not-yet-durable writers, in which
+    /// case they wait for those writers' Commit records first (a read is
+    /// only acknowledged once everything it saw is durable). Runs the
+    /// auto-checkpoint policy.
     pub fn commit_wait(&self, ticket: CommitTicket) -> Result<()> {
-        if let (Some(wal), Some(lsn)) = (&self.wal, ticket.lsn) {
-            wal.commit_wait(lsn)?;
+        if let Some(wal) = &self.wal {
+            if let Some(lsn) = ticket.lsn {
+                wal.commit_wait(lsn)?;
+            } else if let Some(barrier) = ticket.read_barrier {
+                wal.commit_wait(barrier)?;
+            }
         }
         if ticket.lsn.is_some() || self.wal.is_none() {
             let n = self
@@ -637,19 +860,51 @@ impl Storage {
         }
     }
 
+    /// Apply one rollback step — and *log* it. Abort-time page repairs are
+    /// appended to the WAL as ordinary cell records (compensation-log
+    /// style, under the page latch like every cell record), so recovery's
+    /// repeat-history pass reproduces the rollback verbatim: a committed
+    /// neighbour whose operations physically depend on the repaired layout
+    /// (an update addressed to a relocated cell, an insert into freed
+    /// space) replays against exactly the state it saw live. The txn's
+    /// Begin record is guaranteed present — every undo op stems from a
+    /// logged forward op.
     fn apply_undo(&self, txn: TxnId, op: UndoOp) -> Result<()> {
         match op {
             UndoOp::UndoInsert { page, slot } => {
                 self.store
-                    .with_page_mut(page, |p| p.delete(slot))?
+                    .with_page_mut(page, |p| {
+                        let before = p.read(slot).map(<[u8]>::to_vec).unwrap_or_default();
+                        p.delete(slot).map(|()| {
+                            if let Some(wal) = &self.wal {
+                                wal.append(&LogRecord::CellDelete {
+                                    txn: txn.0,
+                                    page,
+                                    slot,
+                                    before,
+                                });
+                            }
+                        })
+                    })?
                     .map_err(|e| StorageError::Corrupt(format!("undo insert failed: {e:?}")))?;
                 self.note_space(page)?;
             }
             UndoOp::UndoUpdate { page, slot, before } => {
-                match self
-                    .store
-                    .with_page_mut(page, |p| p.update(slot, &before))?
-                {
+                let outcome = self.store.with_page_mut(page, |p| {
+                    let prior = p.read(slot).map(<[u8]>::to_vec).unwrap_or_default();
+                    p.update(slot, &before).map(|()| {
+                        if let Some(wal) = &self.wal {
+                            wal.append(&LogRecord::CellUpdate {
+                                txn: txn.0,
+                                page,
+                                slot,
+                                data: before.clone(),
+                                before: prior,
+                            });
+                        }
+                    })
+                })?;
+                match outcome {
                     Ok(()) => {}
                     Err(PageOpError::Full) => {
                         self.undo_restore_moved(txn, Oid::new(page, slot), &before, true)?;
@@ -661,10 +916,19 @@ impl Storage {
                 self.note_space(page)?;
             }
             UndoOp::UndoDelete { page, slot, before } => {
-                match self
-                    .store
-                    .with_page_mut(page, |p| p.insert_at(slot, &before))?
-                {
+                let outcome = self.store.with_page_mut(page, |p| {
+                    p.insert_at(slot, &before).map(|()| {
+                        if let Some(wal) = &self.wal {
+                            wal.append(&LogRecord::CellInsert {
+                                txn: txn.0,
+                                page,
+                                slot,
+                                data: before.clone(),
+                            });
+                        }
+                    })
+                })?;
+                match outcome {
                     Ok(()) => {}
                     Err(PageOpError::Full) => {
                         self.undo_restore_moved(txn, Oid::new(page, slot), &before, false)?;
@@ -723,15 +987,19 @@ impl Storage {
             let lsn = self.bump_lsn();
             self.store
                 .with_page_mut(oid.page(), |p| {
-                    p.insert_at(oid.slot(), &stub).map(|()| p.set_lsn(lsn))
+                    p.insert_at(oid.slot(), &stub).map(|()| {
+                        p.set_lsn(lsn);
+                        if let Some(wal) = &self.wal {
+                            wal.append(&LogRecord::CellInsert {
+                                txn: txn.0,
+                                page: oid.page(),
+                                slot: oid.slot(),
+                                data: stub.clone(),
+                            });
+                        }
+                    })
                 })?
                 .map_err(|e| StorageError::Corrupt(format!("undo stub insert failed: {e:?}")))?;
-            self.wal_log(txn, || LogRecord::CellInsert {
-                txn: txn.0,
-                page: oid.page(),
-                slot: oid.slot(),
-                data: stub.clone(),
-            })?;
         }
         Ok(())
     }
@@ -803,23 +1071,26 @@ impl Storage {
         }
         loop {
             let page = self.pick_page(txn, cluster, cell.len())?;
+            self.wal_begin(txn)?;
             let lsn = self.bump_lsn();
             let outcome = self.store.with_page_mut(page, |p| {
                 let r = p.insert(cell);
-                if r.is_ok() {
+                if let Ok(slot) = r {
                     p.set_lsn(lsn);
+                    if let Some(wal) = &self.wal {
+                        wal.append(&LogRecord::CellInsert {
+                            txn: txn.0,
+                            page,
+                            slot,
+                            data: cell.to_vec(),
+                        });
+                    }
                 }
                 r
             })?;
             match outcome {
                 Ok(slot) => {
                     let oid = Oid::new(page, slot);
-                    self.wal_log(txn, || LogRecord::CellInsert {
-                        txn: txn.0,
-                        page,
-                        slot,
-                        data: cell.to_vec(),
-                    })?;
                     self.txns
                         .push_undo(txn, UndoOp::UndoInsert { page, slot })?;
                     self.note_space(page)?;
@@ -842,6 +1113,7 @@ impl Storage {
         if cell.len() > MAX_RECORD {
             return Err(StorageError::RecordTooLarge(cell.len()));
         }
+        self.wal_begin(txn)?;
         let lsn = self.bump_lsn();
         let outcome = self.store.with_page_mut(oid.page(), |p| {
             let before = p.read(oid.slot()).map(<[u8]>::to_vec);
@@ -851,6 +1123,15 @@ impl Storage {
             match p.update(oid.slot(), cell) {
                 Ok(()) => {
                     p.set_lsn(lsn);
+                    if let Some(wal) = &self.wal {
+                        wal.append(&LogRecord::CellUpdate {
+                            txn: txn.0,
+                            page: oid.page(),
+                            slot: oid.slot(),
+                            data: cell.to_vec(),
+                            before: before.clone(),
+                        });
+                    }
                     Ok(Some(before))
                 }
                 Err(PageOpError::Full) => Ok(None),
@@ -859,12 +1140,6 @@ impl Storage {
         })??;
         match outcome {
             Some(before) => {
-                self.wal_log(txn, || LogRecord::CellUpdate {
-                    txn: txn.0,
-                    page: oid.page(),
-                    slot: oid.slot(),
-                    data: cell.to_vec(),
-                })?;
                 self.txns.push_undo(
                     txn,
                     UndoOp::UndoUpdate {
@@ -883,10 +1158,12 @@ impl Storage {
     /// Delete a cell — in two phases. The cell is tombstoned in place here
     /// (same slot, same length, so the undo is an in-place tag restore that
     /// cannot fail) and physically removed only when the transaction
-    /// commits. The WAL still carries a plain CellDelete at this position:
-    /// replay applies it immediately, which is equivalent because replay
-    /// addresses slots explicitly and only ever sees committed operations.
+    /// commits. The WAL mirrors both phases so recovery repeats history
+    /// exactly: the tombstoning is logged as a CellUpdate here, and
+    /// `commit_deferred` logs the physical CellDelete just ahead of the
+    /// Commit record.
     fn raw_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
+        self.wal_begin(txn)?;
         let lsn = self.bump_lsn();
         let before = self.store.with_page_mut(oid.page(), |p| {
             let before = p.read(oid.slot()).map(<[u8]>::to_vec);
@@ -901,13 +1178,17 @@ impl Storage {
             p.update(oid.slot(), &tomb)
                 .map_err(|e| StorageError::Corrupt(format!("delete failed: {e:?}")))?;
             p.set_lsn(lsn);
+            if let Some(wal) = &self.wal {
+                wal.append(&LogRecord::CellUpdate {
+                    txn: txn.0,
+                    page: oid.page(),
+                    slot: oid.slot(),
+                    data: tomb,
+                    before: before.clone(),
+                });
+            }
             Ok(before)
         })??;
-        self.wal_log(txn, || LogRecord::CellDelete {
-            txn: txn.0,
-            page: oid.page(),
-            slot: oid.slot(),
-        })?;
         self.txns.push_undo(
             txn,
             UndoOp::UndoUpdate {
@@ -1525,6 +1806,127 @@ mod tests {
             ));
             s.commit(t).unwrap();
         }
+    }
+
+    #[test]
+    fn crash_after_abort_relocation_then_committed_update_recovers() {
+        // Review regression (high): an abort that relocates a before-image
+        // physically rewrites pages under the *aborting* transaction's
+        // records. Recovery must repeat those repairs — a later committed
+        // update addresses the relocated page/slot, and skipping the
+        // abort's records would make that update unreplayable (page
+        // missing or slot empty ⇒ Corrupt ⇒ database unrecoverable).
+        let dir = TempDir::new("store");
+        let big = vec![7u8; 3000];
+        let a;
+        let b;
+        {
+            let s = disk_storage(&dir);
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            a = s.allocate(t, c, &big).unwrap();
+            s.commit(t).unwrap();
+
+            // Shrink `a` (freeing ~3KB), let a concurrent commit claim the
+            // space, then abort: the undo relocates the before-image to
+            // another page behind a forward stub.
+            let t1 = s.begin().unwrap();
+            s.update(t1, a, b"tiny").unwrap();
+            let t2 = s.begin().unwrap();
+            b = s.allocate(t2, c, &vec![8u8; 2500]).unwrap();
+            s.commit(t2).unwrap();
+            s.abort(t1).unwrap();
+
+            // A later committed transaction updates the moved object: its
+            // CellUpdate addresses the relocated location.
+            let t3 = s.begin().unwrap();
+            assert_eq!(s.read(t3, a).unwrap(), big);
+            s.update(t3, a, b"updated after relocation").unwrap();
+            s.commit(t3).unwrap();
+            std::mem::forget(s); // crash: no checkpoint
+        }
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, a).unwrap(), b"updated after relocation");
+        assert_eq!(s.read(t, b).unwrap(), vec![8u8; 2500]);
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn committed_insert_into_space_freed_by_uncommitted_shrink_recovers() {
+        // Review regression (same root cause, pre-existing): a committed
+        // insert that claimed space freed by an *in-flight* transaction's
+        // shrink must replay — repeat history applies the shrink first,
+        // then rolls the loser back (relocating its before-image when the
+        // committed insert is in the way).
+        let dir = TempDir::new("store");
+        let big = vec![5u8; 3000];
+        let a;
+        let b;
+        {
+            let s = disk_storage(&dir);
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            a = s.allocate(t, c, &big).unwrap();
+            s.commit(t).unwrap();
+
+            let t1 = s.begin().unwrap();
+            s.update(t1, a, b"tiny").unwrap();
+            let t2 = s.begin().unwrap();
+            b = s.allocate(t2, c, &vec![6u8; 2500]).unwrap();
+            s.commit(t2).unwrap();
+            // Crash with t1 still in flight.
+            std::mem::forget(s);
+        }
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        // The loser's shrink rolled back to the committed value…
+        assert_eq!(s.read(t, a).unwrap(), big);
+        // …and the committed insert survived.
+        assert_eq!(s.read(t, b).unwrap(), vec![6u8; 2500]);
+        // The rolled-back object is fully writable (stub chain intact).
+        s.update(t, a, b"writable").unwrap();
+        assert_eq!(s.read(t, a).unwrap(), b"writable");
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn read_only_commit_waits_for_observed_writers() {
+        // Review regression (medium): commit_deferred releases a writer's
+        // locks before its Commit record is durable. A read-only
+        // transaction that reads those writes must not be acknowledged
+        // until the writer is durable — otherwise a crash could discard
+        // state an acknowledged read already observed.
+        let dir = TempDir::new("store");
+        let s = disk_storage(&dir);
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let oid = s.allocate(t, c, b"v1").unwrap();
+        s.commit(t).unwrap();
+
+        // Writer commits logically (locks released) but is not durable.
+        let w = s.begin().unwrap();
+        s.update(w, oid, b"v2").unwrap();
+        let w_ticket = s.commit_deferred(w).unwrap();
+        let w_lsn = w_ticket.lsn().unwrap();
+        assert!(s.wal_flushed_lsn().unwrap() < w_lsn);
+
+        // The read-only transaction observes the write; its (append-free)
+        // commit must drag the watermark past the writer's Commit record
+        // before returning.
+        let before = s.metrics().snapshot();
+        let r = s.begin().unwrap();
+        assert_eq!(s.read(r, oid).unwrap(), b"v2");
+        let r_ticket = s.commit_deferred(r).unwrap();
+        assert!(r_ticket.lsn().is_none(), "read-only: no Commit record");
+        s.commit_wait(r_ticket).unwrap();
+        assert!(
+            s.wal_flushed_lsn().unwrap() >= w_lsn,
+            "acknowledged read-only commit implies durable writers"
+        );
+        let after = s.metrics().snapshot();
+        assert_eq!(after.wal_appends, before.wal_appends);
+        s.commit_wait(w_ticket).unwrap();
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!
 //! Rollback is implemented with in-memory undo records captured at
 //! operation time; because the buffer pool never steals dirty pages, undo
-//! never needs to touch the log.
+//! never needs to *read* the log. Each applied undo step is nevertheless
+//! *written* to the log as an ordinary cell record (compensation-log
+//! style), so crash recovery can repeat history through aborts — a
+//! committed transaction's operations may physically depend on page
+//! layout an abort produced (e.g. a relocated cell).
 
 use crate::error::{Result, StorageError};
 use crate::oid::{Oid, PageId};

@@ -2,14 +2,18 @@
 //!
 //! Logging is *physiological*: records describe cell-level operations
 //! (insert/update/delete of a slot on a page) tagged with the transaction
-//! that performed them. Combined with the buffer pool's no-steal policy and
-//! quiesced checkpoints, recovery is redo-only — the data file is exactly
-//! the last checkpoint image, and replaying the committed transactions'
-//! cell operations in log order reproduces the pre-crash committed state.
-//! Aborted and in-flight transactions are simply not replayed, which is how
-//! "actions of aborted transactions are rolled back, \[and\] so are their
-//! associated events" (§5.5) — trigger state lives in ordinary records, so
-//! its rollback rides the same mechanism.
+//! that performed them; updates and deletes also carry the cell's
+//! before-image. Combined with the buffer pool's no-steal policy and
+//! quiesced checkpoints, recovery *repeats history* (ARIES-style): the
+//! data file is exactly the last checkpoint image, every logged cell
+//! operation — including abort-time rollback steps, which are logged as
+//! ordinary records in compensation-log style — is reapplied in log
+//! order, and transactions that were still in flight at the crash are
+//! then rolled back from the before-images. Aborted transactions need no
+//! extra work: their rollback is itself in the log, which is how "actions
+//! of aborted transactions are rolled back, \[and\] so are their
+//! associated events" (§5.5) — trigger state lives in ordinary records,
+//! so its rollback rides the same mechanism.
 //!
 //! Frame format: `[len u32][fnv1a-checksum u32][payload]`. A torn tail
 //! (short frame or bad checksum) ends replay; everything before it is used,
@@ -60,15 +64,24 @@ pub enum LogRecord {
         slot: u16,
         data: Vec<u8>,
     },
-    /// The cell at (page, slot) was overwritten with the given bytes.
+    /// The cell at (page, slot) was overwritten with `data`; `before` is
+    /// the cell's previous bytes, used to roll back transactions that
+    /// were still in flight at a crash.
     CellUpdate {
         txn: u64,
         page: PageId,
         slot: u16,
         data: Vec<u8>,
+        before: Vec<u8>,
     },
-    /// The cell at (page, slot) was deleted.
-    CellDelete { txn: u64, page: PageId, slot: u16 },
+    /// The cell at (page, slot) was deleted; `before` is the deleted
+    /// cell's bytes, used to roll back in-flight transactions at a crash.
+    CellDelete {
+        txn: u64,
+        page: PageId,
+        slot: u16,
+        before: Vec<u8>,
+    },
     /// A fresh page was allocated and assigned to a cluster.
     PageAlloc {
         txn: u64,
@@ -77,7 +90,9 @@ pub enum LogRecord {
     },
     /// The transaction committed (durable once this record is on disk).
     Commit { txn: u64 },
-    /// The transaction aborted (informational; recovery ignores its ops).
+    /// The transaction aborted. Its rollback steps were logged as
+    /// ordinary cell records before this, so recovery just repeats them;
+    /// the Abort marks that no further rollback is needed for the txn.
     Abort { txn: u64 },
 }
 
@@ -128,18 +143,26 @@ impl Encode for LogRecord {
                 page,
                 slot,
                 data,
+                before,
             } => {
                 buf.put_u8(TAG_UPDATE);
                 txn.encode(buf);
                 page.encode(buf);
                 slot.encode(buf);
                 data.encode(buf);
+                before.encode(buf);
             }
-            LogRecord::CellDelete { txn, page, slot } => {
+            LogRecord::CellDelete {
+                txn,
+                page,
+                slot,
+                before,
+            } => {
                 buf.put_u8(TAG_DELETE);
                 txn.encode(buf);
                 page.encode(buf);
                 slot.encode(buf);
+                before.encode(buf);
             }
             LogRecord::PageAlloc { txn, page, cluster } => {
                 buf.put_u8(TAG_PAGE_ALLOC);
@@ -177,11 +200,13 @@ impl Decode for LogRecord {
                 page: PageId::decode(buf)?,
                 slot: u16::decode(buf)?,
                 data: Vec::<u8>::decode(buf)?,
+                before: Vec::<u8>::decode(buf)?,
             },
             TAG_DELETE => LogRecord::CellDelete {
                 txn: u64::decode(buf)?,
                 page: PageId::decode(buf)?,
                 slot: u16::decode(buf)?,
+                before: Vec::<u8>::decode(buf)?,
             },
             TAG_PAGE_ALLOC => LogRecord::PageAlloc {
                 txn: u64::decode(buf)?,
@@ -529,11 +554,13 @@ mod tests {
                 page: 1,
                 slot: 0,
                 data: b"world".to_vec(),
+                before: b"hello".to_vec(),
             },
             LogRecord::CellDelete {
                 txn: 1,
                 page: 1,
                 slot: 0,
+                before: b"world".to_vec(),
             },
             LogRecord::Commit { txn: 1 },
             LogRecord::Begin { txn: 2 },
@@ -700,12 +727,13 @@ mod tests {
             h.join().unwrap();
         }
         let snap = metrics.snapshot();
-        // Every commit is accounted for in some group, and batching means
-        // strictly fewer flushes than commits (with 16 racing threads at
-        // least two must share a batch).
+        // Every commit is accounted for in exactly one flush batch. How
+        // many commits actually share a batch is scheduling-dependent —
+        // a fully serialized interleaving (each thread leading its own
+        // record) is legal, so only the accounting is asserted, not a
+        // strict batching inequality.
         assert_eq!(snap.wal_group_size_sum, N);
-        assert!(snap.wal_group_commits <= N);
-        assert!(snap.wal_fsyncs < N || snap.wal_group_commits < N);
+        assert!((1..=N).contains(&snap.wal_group_commits));
         assert_eq!(Wal::read_all(&path).unwrap().len(), N as usize);
     }
 
