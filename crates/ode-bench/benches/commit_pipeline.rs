@@ -137,7 +137,8 @@ fn bench_commit_pipeline(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(mode, threads), |b| b.iter(|| rig.round()));
             let snap = rig.storage.metrics().snapshot();
             println!(
-                "  [{mode}/{threads}] commits={} fsyncs={} group_commits={} avg_batch={:.2} flush_wait_ms={}",
+                "  [{mode}/{threads}] commits={} fsyncs={} group_commits={} avg_batch={:.2} \
+                 flush_wait_ms={} flush_wait_p50={}us p99={}us max={}us",
                 snap.txn_commits,
                 snap.wal_fsyncs,
                 snap.wal_group_commits,
@@ -146,7 +147,10 @@ fn bench_commit_pipeline(c: &mut Criterion) {
                 } else {
                     0.0
                 },
-                snap.commit_flush_wait_micros / 1000,
+                snap.commit_flush_wait_micros.sum / 1000,
+                snap.commit_flush_wait_micros.p50(),
+                snap.commit_flush_wait_micros.p99(),
+                snap.commit_flush_wait_micros.max,
             );
         }
     }

@@ -109,19 +109,25 @@ fn bench_post_hotpath(c: &mut Criterion) {
 
     // Steady state: each iteration posts TickA then TickB inside one
     // long-lived transaction; every instance's state toggles per event.
+    // Measured twice: flight recorder on (the shipping default) and off,
+    // to keep the recorder's overhead honest (EXPERIMENTS.md E14 requires
+    // recorder-on within 5% of recorder-off).
     for n in [1usize, 16] {
-        group.throughput(Throughput::Elements(2));
-        let (db, probe, _) = setup(true, n);
-        group.bench_function(format!("perpetual/{n}"), |b| {
-            db.metrics().reset();
-            let txn = db.begin().unwrap();
-            b.iter(|| {
-                db.post_user_event(txn, probe, "TickA").unwrap();
-                db.post_user_event(txn, probe, "TickB").unwrap();
+        for (recorder, flight) in [("recorder_on", true), ("recorder_off", false)] {
+            group.throughput(Throughput::Elements(2));
+            let (db, probe, _) = setup(true, n);
+            db.metrics().set_flight_enabled(flight);
+            group.bench_function(format!("perpetual/{n}/{recorder}"), |b| {
+                db.metrics().reset();
+                let txn = db.begin().unwrap();
+                b.iter(|| {
+                    db.post_user_event(txn, probe, "TickA").unwrap();
+                    db.post_user_event(txn, probe, "TickB").unwrap();
+                });
+                db.abort(txn).unwrap();
+                dump_stats(&format!("post_hotpath/perpetual/{n}/{recorder}"), &db);
             });
-            db.abort(txn).unwrap();
-            dump_stats(&format!("post_hotpath/perpetual/{n}"), &db);
-        });
+        }
     }
 
     // Once-only chains: a fresh transaction per iteration posts 16 events

@@ -119,17 +119,38 @@ pub fn dump_stats(label: &str, db: &Database) {
     if mode == "0" {
         return;
     }
-    let rendered = db.stats().render_prometheus();
+    let stats = db.stats();
+    let rendered = stats.render_prometheus();
     eprintln!("--- metrics: {label} ---");
     if mode == "full" {
         eprint!("{rendered}");
-        return;
+    } else {
+        for line in rendered.lines() {
+            if line.starts_with('#') || line.ends_with(" 0") || line.contains("_bucket{") {
+                continue;
+            }
+            eprintln!("{line}");
+        }
     }
-    for line in rendered.lines() {
-        if line.starts_with('#') || line.ends_with(" 0") {
+    // Latency percentiles, so perf drift is visible straight from CI
+    // logs without parsing the bucket series.
+    for (name, h) in [
+        ("lock_wait_micros", stats.lock_wait_micros),
+        ("commit_flush_wait_micros", stats.commit_flush_wait_micros),
+        ("fsync_micros", stats.fsync_micros),
+        ("post_micros", stats.post_micros),
+        ("action_micros", stats.action_micros),
+    ] {
+        if h.count == 0 {
             continue;
         }
-        eprintln!("{line}");
+        eprintln!(
+            "ode_{name}: count={} p50={}us p99={}us max={}us",
+            h.count,
+            h.p50(),
+            h.p99(),
+            h.max
+        );
     }
 }
 

@@ -233,6 +233,16 @@ impl Database {
         }
         let run = || -> Result<()> {
             let stxn = self.storage.begin_system()?;
+            self.metrics()
+                .emit(|| ode_obs::TraceEvent::SystemTxnStarted {
+                    txn: stxn.0,
+                    parent: depends_on.map(|t| t.0),
+                    coupling: if depends_on.is_some() {
+                        ode_obs::coupling_label::DEPENDENT
+                    } else {
+                        ode_obs::coupling_label::INDEPENDENT
+                    },
+                });
             if let Some(on) = depends_on {
                 self.storage.add_commit_dependency(stxn, on)?;
             }

@@ -244,6 +244,22 @@ impl Database {
         self.storage.metrics().set_sink(sink);
     }
 
+    /// Snapshot the always-on flight recorder: the last
+    /// [`ode_obs::DEFAULT_FLIGHT_CAPACITY`] trace occurrences across every
+    /// engine layer, oldest-first, each with a monotonic timestamp and the
+    /// causal ids (txn, trigger, FSM states, LSN) needed to reconstruct
+    /// the chain *posted event → FSM advances → firing → system txn →
+    /// durable commit*.
+    pub fn flight_log(&self) -> Vec<ode_obs::FlightRecord> {
+        self.storage.metrics().flight_log()
+    }
+
+    /// Flight-log dumps preserved at anomalies (deadlock victim
+    /// selection, lock timeout, WAL poisoning), oldest-first.
+    pub fn flight_dumps(&self) -> Vec<ode_obs::FlightDump> {
+        self.storage.metrics().flight_dumps()
+    }
+
     /// Snapshot of trigger-runtime statistics — a view derived from the
     /// lock-free metrics registry (minus the [`Database::reset_trigger_stats`]
     /// baseline), so the posting hot path never takes a statistics mutex.

@@ -398,6 +398,7 @@ impl Database {
         event: EventId,
         event_args: Option<&[u8]>,
     ) -> Result<()> {
+        let post_started = std::time::Instant::now();
         let metrics = self.metrics();
         metrics.events_posted.inc();
         metrics.emit(|| ode_obs::TraceEvent::EventPosted {
@@ -455,6 +456,9 @@ impl Database {
         for firing in immediate {
             self.fire(txn, &firing, true)?;
         }
+        metrics
+            .post_micros
+            .record(post_started.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -689,6 +693,11 @@ impl Database {
             anchors: &firing.anchors,
             event_args: firing.event_args.as_deref(),
         };
-        (info.action)(&mut ctx)
+        let action_started = std::time::Instant::now();
+        let result = (info.action)(&mut ctx);
+        metrics
+            .action_micros
+            .record(action_started.elapsed().as_micros() as u64);
+        result
     }
 }

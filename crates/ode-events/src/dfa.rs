@@ -79,9 +79,14 @@ pub struct Dfa {
     /// Database-wide metrics registry counting run-time transitions and
     /// mask evaluations; `None` for machines compiled outside a database.
     pub(crate) metrics: Option<Arc<Metrics>>,
+    /// Trigger name, set by [`Dfa::compile_observed`] so run-time
+    /// advances can be attributed in the flight recorder; `None` for
+    /// machines compiled outside a database.
+    pub(crate) name: Option<Arc<str>>,
 }
 
-// Machine identity ignores the attached metrics registry.
+// Machine identity ignores the attached metrics registry and the
+// observability-only trigger name.
 impl PartialEq for Dfa {
     fn eq(&self, other: &Dfa) -> bool {
         self.start == other.start
@@ -152,7 +157,14 @@ impl Dfa {
             nanos,
         });
         dfa.metrics = Some(Arc::clone(metrics));
+        dfa.name = Some(Arc::from(name));
         dfa
+    }
+
+    /// Trigger name for trace attribution (`"?"` for machines compiled
+    /// without [`Dfa::compile_observed`]).
+    pub(crate) fn trace_name(&self) -> &str {
+        self.name.as_deref().unwrap_or("?")
     }
 
     /// Total Thompson-construction NFA states for the expression.
@@ -334,6 +346,7 @@ impl Dfa {
             masks: all_masks,
             anchored: left.anchored,
             metrics: None,
+            name: None,
         }
     }
 
@@ -382,6 +395,7 @@ impl Dfa {
             masks: nfa.masks().to_vec(),
             anchored: trigger.anchored,
             metrics: None,
+            name: None,
         }
     }
 

@@ -20,6 +20,7 @@
 
 use crate::dfa::Dfa;
 use crate::event::{EventId, MaskId, Symbol};
+use ode_obs::TraceEvent;
 
 /// Safety bound on mask-evaluation cascades. Pathological expressions
 /// (e.g. a starred nullable mask) could loop; hitting the bound kills the
@@ -82,6 +83,12 @@ impl Dfa {
         };
         if let Some(metrics) = &self.metrics {
             metrics.fsm_transitions.inc();
+            metrics.emit(|| TraceEvent::FsmAdvanced {
+                trigger: self.trace_name(),
+                from_state: from,
+                to_state: next,
+                pseudo: None,
+            });
         }
         let accepted = self.states()[next as usize].accept;
         self.quiesce(next, accepted, &mut eval)
@@ -136,6 +143,14 @@ impl Dfa {
                 };
                 match s.next(symbol) {
                     Some(next) if next != state => {
+                        if let Some(metrics) = &self.metrics {
+                            metrics.emit(|| TraceEvent::FsmAdvanced {
+                                trigger: self.trace_name(),
+                                from_state: state,
+                                to_state: next,
+                                pseudo: Some(truth),
+                            });
+                        }
                         state = next;
                         accepted |= self.states()[state as usize].accept;
                         continue 'rounds;

@@ -209,6 +209,9 @@ impl LockManager {
                 self.metrics.lock_deadlock_victims.inc();
                 self.metrics
                     .emit(|| TraceEvent::DeadlockVictim { txn: txn.0 });
+                self.metrics.dump_flight(format!(
+                    "deadlock victim txn={txn:?} key={key:?} mode={mode:?}"
+                ));
                 break Err(StorageError::Deadlock(txn));
             }
             let timed_out = self
@@ -225,24 +228,26 @@ impl LockManager {
                 break Ok(());
             }
             if timed_out && started.elapsed() >= self.timeout {
-                if std::env::var_os("ODE_LOCK_DEBUG").is_some() {
-                    let holders: Vec<_> = tables
-                        .locks
-                        .get(&key)
-                        .map(|s| s.holders.iter().map(|(t, m)| (*t, *m)).collect())
-                        .unwrap_or_default();
-                    let waiting: Vec<_> = tables.waiting.iter().map(|(t, w)| (*t, *w)).collect();
-                    eprintln!(
-                        "LOCKTIMEOUT txn={txn:?} key={key:?} mode={mode:?} holders={holders:?} waiting={waiting:?}"
-                    );
-                }
+                // Cold path: preserve a structured flight dump whose
+                // reason names every contending transaction (holders and
+                // waiters). ODE_LOCK_DEBUG now only toggles the stderr
+                // echo inside dump_flight.
+                let holders: Vec<_> = tables
+                    .locks
+                    .get(&key)
+                    .map(|s| s.holders.iter().map(|(t, m)| (*t, *m)).collect())
+                    .unwrap_or_default();
+                let waiting: Vec<_> = tables.waiting.iter().map(|(t, w)| (*t, *w)).collect();
+                self.metrics.dump_flight(format!(
+                    "lock timeout txn={txn:?} key={key:?} mode={mode:?} holders={holders:?} waiting={waiting:?}"
+                ));
                 break Err(StorageError::LockTimeout(txn));
             }
         };
         tables.waiting.remove(&txn);
         let waited = started.elapsed().as_micros() as u64;
         self.stats.lock().wait_micros += waited;
-        self.metrics.lock_wait_micros.add(waited);
+        self.metrics.lock_wait_micros.record(waited);
         result
     }
 
@@ -433,5 +438,68 @@ mod tests {
         lm.unlock_all(T1);
         handle.join().unwrap().unwrap();
         assert!(lm.stats().wait_micros >= 40_000);
+        // The wait also lands in the engine-wide latency histogram.
+        let h = lm.metrics.lock_wait_micros.snapshot();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 40_000);
+        assert!(h.p99() >= 40_000);
+    }
+
+    #[test]
+    fn lock_timeout_dumps_flight_log_with_both_txn_ids() {
+        let metrics = Arc::new(Metrics::new());
+        let lm = LockManager::with_metrics(Duration::from_millis(100), Arc::clone(&metrics));
+        lm.lock(T1, key(7), LockMode::Exclusive).unwrap();
+        let r = lm.lock(T2, key(7), LockMode::Shared);
+        assert!(matches!(r, Err(StorageError::LockTimeout(_))));
+        let dumps = metrics.flight_dumps();
+        assert_eq!(dumps.len(), 1, "timeout must preserve exactly one dump");
+        let dump = &dumps[0];
+        assert!(dump.reason.contains("lock timeout"), "{}", dump.reason);
+        // Both contending transactions are identified: the waiter in the
+        // reason header, the holder in the holders list.
+        assert!(
+            dump.reason.contains("TxnId(2)"),
+            "waiter missing: {}",
+            dump.reason
+        );
+        assert!(
+            dump.reason.contains("TxnId(1)"),
+            "holder missing: {}",
+            dump.reason
+        );
+        // The flight log itself carries the waiter's LockWait record.
+        assert!(dump
+            .records
+            .iter()
+            .any(|r| matches!(r.event, ode_obs::FlightEvent::LockWait { txn: 2, .. })));
+    }
+
+    #[test]
+    fn deadlock_victim_dumps_flight_log() {
+        let metrics = Arc::new(Metrics::new());
+        let lm = Arc::new(LockManager::with_metrics(
+            Duration::from_secs(30),
+            Arc::clone(&metrics),
+        ));
+        lm.lock(T1, key(1), LockMode::Exclusive).unwrap();
+        lm.lock(T2, key(2), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let handle = std::thread::spawn(move || {
+            let r = lm2.lock(T2, key(1), LockMode::Exclusive);
+            if r.is_ok() {
+                lm2.unlock_all(T2);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let r1 = lm.lock(T1, key(2), LockMode::Exclusive);
+        let r2 = handle.join().unwrap();
+        assert!(r1.is_err() || r2.is_err());
+        let dumps = metrics.flight_dumps();
+        assert!(!dumps.is_empty(), "victim selection must preserve a dump");
+        assert!(dumps[0].reason.contains("deadlock victim"));
+        lm.unlock_all(T1);
+        lm.unlock_all(T2);
     }
 }

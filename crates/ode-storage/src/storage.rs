@@ -221,6 +221,7 @@ impl Decode for RootsRecord {
 #[derive(Debug, Clone, Copy)]
 #[must_use = "a deferred commit is not durable until commit_wait succeeds"]
 pub struct CommitTicket {
+    txn: TxnId,
     lsn: Option<u64>,
     read_barrier: Option<u64>,
 }
@@ -229,6 +230,11 @@ impl CommitTicket {
     /// LSN of the Commit record, if one was written.
     pub fn lsn(&self) -> Option<u64> {
         self.lsn
+    }
+
+    /// The committing transaction.
+    pub fn txn(&self) -> TxnId {
+        self.txn
     }
 }
 
@@ -797,7 +803,11 @@ impl Storage {
         self.locks.unlock_all(txn);
         self.metrics.txn_commits.inc();
         self.metrics.emit(|| TraceEvent::TxnCommit { txn: txn.0 });
-        Ok(CommitTicket { lsn, read_barrier })
+        Ok(CommitTicket {
+            txn,
+            lsn,
+            read_barrier,
+        })
     }
 
     /// Second half of commit: block until the ticket's Commit record is
@@ -810,6 +820,10 @@ impl Storage {
         if let Some(wal) = &self.wal {
             if let Some(lsn) = ticket.lsn {
                 wal.commit_wait(lsn)?;
+                self.metrics.emit(|| TraceEvent::CommitDurable {
+                    txn: ticket.txn.0,
+                    lsn,
+                });
             } else if let Some(barrier) = ticket.read_barrier {
                 wal.commit_wait(barrier)?;
             }

@@ -374,7 +374,7 @@ impl Wal {
         let result = self.wait_durable(target);
         self.metrics
             .commit_flush_wait_micros
-            .add(t0.elapsed().as_micros() as u64);
+            .record(t0.elapsed().as_micros() as u64);
         result
     }
 
@@ -434,6 +434,8 @@ impl Wal {
                     let msg = e.to_string();
                     st.poisoned = Some(msg.clone());
                     self.durable.notify_all();
+                    self.metrics
+                        .dump_flight(format!("WAL poisoned at lsn<={end}: {msg}"));
                     return Err(StorageError::WalPoisoned(msg));
                 }
             }
@@ -447,7 +449,11 @@ impl Wal {
             file.write_all(batch)?;
         }
         if self.fsync {
+            let t0 = std::time::Instant::now();
             file.sync_data()?;
+            self.metrics
+                .fsync_micros
+                .record(t0.elapsed().as_micros() as u64);
             self.metrics.wal_fsyncs.inc();
             self.metrics.emit(|| TraceEvent::WalFsync {
                 bytes_flushed: batch.len() as u64,

@@ -213,6 +213,43 @@ fn main() -> ode::core::Result<()> {
         assert_eq!(h.marks, vec!["Over Limit"], "the black mark stuck");
         Ok(())
     })?;
+
+    // Explain the AutoRaiseLimit firing from the always-on flight
+    // recorder: the posted events, every FSM advance (including the
+    // True(MoreCred) mask pseudo-event) with Figure 1's state numbers,
+    // and the firing itself, in causal order.
+    println!("why did AutoRaiseLimit fire? — the flight recorder's answer:");
+    for r in db.flight_log() {
+        use ode::obs::FlightEvent::*;
+        match r.event {
+            EventPosted { event, anchor } => {
+                println!("  #{:<4} event {event} posted on object {anchor:#x}", r.seq)
+            }
+            FsmAdvanced {
+                trigger,
+                from_state,
+                to_state,
+                pseudo,
+            } => {
+                let via = match pseudo {
+                    None => "a real event".to_string(),
+                    Some(t) => format!(
+                        "the {}(mask) pseudo-event",
+                        if t { "True" } else { "False" }
+                    ),
+                };
+                println!(
+                    "  #{:<4} {trigger:?}: state {from_state} -> {to_state} via {via}",
+                    r.seq
+                )
+            }
+            TriggerFired { trigger, coupling } => {
+                println!("  #{:<4} {trigger:?} FIRED ({coupling:?} coupling)", r.seq)
+            }
+            _ => {}
+        }
+    }
+
     println!("done — all invariants hold");
     Ok(())
 }

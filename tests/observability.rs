@@ -39,7 +39,10 @@ impl OdeObject for CredCard {
 /// per remaining coupling mode, so the replay exercises the whole
 /// firings-by-mode family.
 fn cred_card_world() -> (Database, PersistentPtr<CredCard>) {
-    let db = Database::volatile();
+    cred_card_world_on(Database::volatile())
+}
+
+fn cred_card_world_on(db: Database) -> (Database, PersistentPtr<CredCard>) {
     let td = ClassBuilder::new("CredCard")
         .user_event("BigBuy")
         .after_event("PayBill")
@@ -238,6 +241,125 @@ fn stats_render_as_wellformed_prometheus_text() {
     assert_eq!(values["ode_firings_end"], 1);
     assert_eq!(values["ode_firings_dependent"], 1);
     assert_eq!(values["ode_firings_independent"], 1);
+    // The latency histograms render as histogram series, not counters.
+    assert!(text.contains("# TYPE ode_lock_wait_micros histogram"));
+    assert!(text.contains("# TYPE ode_commit_flush_wait_micros histogram"));
+    assert!(text.contains("ode_lock_wait_micros_bucket{le=\"+Inf\"}"));
+    assert!(values.contains_key("ode_commit_flush_wait_micros_count"));
+    // The billing cycle's postings landed in the post-latency histogram.
+    assert!(values["ode_post_micros_count"] > 0);
+    assert!(values["ode_action_micros_count"] > 0);
+}
+
+/// Acceptance: p50/p99 lock-wait and commit-flush-wait histograms carry
+/// real samples on a durable database and appear in the Prometheus
+/// exposition.
+#[test]
+fn latency_histograms_expose_percentiles() {
+    let dir = ode_testutil::TempDir::new("obs-histograms");
+    let opts = StorageOptions {
+        fsync: true, // so fsync_micros sees real syncs
+        ..StorageOptions::default()
+    };
+    let (db, card) = cred_card_world_on(Database::create(dir.path(), opts).unwrap());
+    let db = Arc::new(db);
+    billing_cycle(&db, card);
+    force_lock_wait(&db, card);
+
+    let snap = db.stats();
+    // The forced reader wait was at least a millisecond: the histogram
+    // saw it, and its percentiles reflect it.
+    let lw = snap.lock_wait_micros;
+    assert!(lw.count >= 1, "{lw:?}");
+    assert!(lw.max >= 1_000, "forced wait under 1ms? {lw:?}");
+    // Percentiles are bucket upper bounds; system transactions may add
+    // shorter waits, so only order them rather than pin p50 itself.
+    assert!(lw.p99() >= lw.p50());
+    assert!(lw.percentile(1.0) >= lw.max, "p100 bound covers the max");
+
+    // Durable commits waited on the WAL flush; fsyncs were timed.
+    let cf = snap.commit_flush_wait_micros;
+    assert!(cf.count >= 1, "durable commits must record flush waits");
+    assert!(cf.sum > 0);
+    assert!(snap.fsync_micros.count >= 1, "fsyncs must be timed");
+
+    // Post and action latency histograms saw the billing cycle.
+    assert!(snap.post_micros.count >= 2);
+    assert!(snap.action_micros.count >= 1);
+
+    let text = snap.render_prometheus();
+    assert!(text.contains("ode_lock_wait_micros_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("ode_commit_flush_wait_micros_sum "));
+    assert!(text.contains("# TYPE ode_fsync_micros histogram"));
+}
+
+/// Prometheus exposition conformance: every metric has HELP/TYPE
+/// headers, histogram bucket series are cumulative-monotone, and the
+/// `+Inf` bucket equals `_count`.
+#[test]
+fn prometheus_exposition_is_conformant() {
+    let (db, card) = cred_card_world();
+    billing_cycle(&db, card);
+    let text = db.stats().render_prometheus();
+
+    let mut helps = std::collections::HashSet::new();
+    let mut types = std::collections::HashSet::new();
+    for line in text.lines().filter(|l| l.starts_with('#')) {
+        let mut parts = line.split_whitespace();
+        let kind = parts.nth(1).unwrap();
+        let name = parts.next().unwrap().to_string();
+        match kind {
+            "HELP" => assert!(helps.insert(name), "duplicate HELP in {line}"),
+            "TYPE" => assert!(types.insert(name), "duplicate TYPE in {line}"),
+            other => panic!("unexpected comment kind {other}"),
+        }
+    }
+
+    let mut inf: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut last_bucket: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.split_once(' ').expect("name value");
+        let value: u64 = value.parse().expect("u64 value");
+        // Every sample's family must have HELP and TYPE headers. A name
+        // with its own headers is a plain counter (even if it happens to
+        // end in `_sum`, like `wal_group_size_sum`); otherwise it must be
+        // a histogram series sample.
+        let base = name.split('{').next().unwrap();
+        let family = if helps.contains(base) {
+            base.to_string()
+        } else if let Some(b) = base.strip_suffix("_bucket") {
+            b.to_string()
+        } else if let Some(b) = base.strip_suffix("_sum") {
+            b.to_string()
+        } else if let Some(b) = base.strip_suffix("_count") {
+            counts.insert(b.to_string(), value);
+            b.to_string()
+        } else {
+            name.to_string()
+        };
+        assert!(helps.contains(&family), "no HELP for {name} ({family})");
+        assert!(types.contains(&family), "no TYPE for {name} ({family})");
+        if name.contains("_bucket{") {
+            let prev = last_bucket.entry(family.clone()).or_insert(0);
+            assert!(
+                value >= *prev,
+                "bucket series for {family} not cumulative at {line}"
+            );
+            *prev = value;
+            if name.contains("le=\"+Inf\"") {
+                inf.insert(family, value);
+            }
+        }
+    }
+    assert!(!inf.is_empty(), "histogram series must be present");
+    for (family, inf_count) in inf {
+        assert_eq!(
+            counts.get(&family),
+            Some(&inf_count),
+            "+Inf bucket of {family} must equal its _count"
+        );
+    }
 }
 
 struct RecordingSink(Mutex<Vec<String>>);
