@@ -1,0 +1,254 @@
+//! E15 — scaling the concurrency core (striped locks, partitioned
+//! buffer pool, sharded allocator + page store, striped transaction
+//! table) under a *contended* mixed read/post workload.
+//!
+//! Threads are split into contention groups around shared trigger-armed
+//! anchors: two poster threads per group advance the same perpetual
+//! `relative(TickA, TickB)` trigger (the §6 read-becomes-write steady
+//! state — their S→X upgrades on the shared trigger descriptor conflict,
+//! wait, and occasionally deadlock, exactly the amplification the paper
+//! reports), while reader threads run short shared-read transactions
+//! against the group anchors. `sharded` runs the default stripe/shard
+//! counts; `single` forces `shards = 1` and `lock_stripes = 1`, which
+//! reproduces the previous process-wide-mutex engine.
+//!
+//! What separates the two modes is *wait-queue isolation*: with one
+//! stripe, every commit's release broadcast (`notify_all`) wakes every
+//! blocked transaction in the system — each frequent reader commit drags
+//! all parked posters through a futile wake/recheck/sleep cycle — and all
+//! lock, page, and allocator traffic funnels through single mutexes.
+//! Striping wakes only the stripe that actually freed a lock. Deadlock
+//! victims are retried by the harness (counted and printed), the same
+//! policy a real client would use.
+//!
+//! One measured iteration is one round of `threads × BATCH` *committed*
+//! transactions. Per-stripe/shard contention counters are printed after
+//! each config so a stripe-count regression is visible in CI logs without
+//! artifacts. The disk engine runs with `fsync: false` so the WAL write
+//! path does not mask the core (fsync amortization is E13's subject).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, EngineKind, OdeError, OdeObject,
+    Perpetual, PersistentPtr, StorageOptions,
+};
+use ode_storage::StorageError;
+use ode_testutil::TempDir;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Probe {
+    n: i64,
+}
+impl Encode for Probe {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.n.encode(buf);
+    }
+}
+impl Decode for Probe {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Probe {
+            n: i64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Probe {
+    const CLASS: &'static str = "Probe";
+}
+
+/// Committed transactions per thread per measured iteration.
+const BATCH: u64 = 32;
+
+/// Poster threads sharing one armed anchor (the contention unit).
+const POSTERS_PER_GROUP: usize = 2;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn options(engine: EngineKind, sharded: bool) -> StorageOptions {
+    let defaults = StorageOptions::default();
+    StorageOptions {
+        engine,
+        fsync: false,
+        shards: if sharded { defaults.shards } else { 1 },
+        lock_stripes: if sharded { defaults.lock_stripes } else { 1 },
+        ..defaults
+    }
+}
+
+fn is_deadlock(e: &OdeError) -> bool {
+    matches!(e, OdeError::Storage(StorageError::Deadlock(_)))
+}
+
+/// Worker threads parked on a start barrier: readers run `BATCH`
+/// shared-read transactions per round against their group's anchor,
+/// posters run `BATCH` posting transactions (TickA + TickB = one firing
+/// of the group's shared trigger), retrying deadlock victims.
+struct Rig {
+    _dir: Option<TempDir>,
+    db: Arc<Database>,
+    start: Arc<Barrier>,
+    done: Arc<Barrier>,
+    stop: Arc<AtomicBool>,
+    retries: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Rig {
+    fn new(engine: EngineKind, sharded: bool, threads: usize) -> Rig {
+        let (dir, db) = match engine {
+            EngineKind::Memory => (None, Database::volatile_with(options(engine, sharded))),
+            EngineKind::Disk => {
+                let dir = TempDir::new("bench-concurrency-core");
+                let db = Database::create(dir.path(), options(engine, sharded)).unwrap();
+                (Some(dir), db)
+            }
+        };
+        let db = Arc::new(db);
+        let td = ClassBuilder::new("Probe")
+            .user_event("TickA")
+            .user_event("TickB")
+            .trigger(
+                "Pulse",
+                "relative(TickA, TickB)",
+                CouplingMode::Immediate,
+                Perpetual::Yes,
+                |_| Ok(()),
+            )
+            .build(db.registry())
+            .unwrap();
+        db.register_class(&td).unwrap();
+
+        // One armed anchor per contention group, allocated in separate
+        // transactions so the sharded allocator spreads them over pages.
+        let readers = threads / 2;
+        let posters = threads - readers;
+        let groups = posters.div_ceil(POSTERS_PER_GROUP).max(1);
+        let anchors: Vec<PersistentPtr<Probe>> = (0..groups)
+            .map(|g| {
+                db.with_txn(|txn| {
+                    let p = db.pnew(txn, &Probe { n: g as i64 })?;
+                    db.activate(txn, p, "Pulse", &())?;
+                    Ok(p)
+                })
+                .unwrap()
+            })
+            .collect();
+
+        let start = Arc::new(Barrier::new(threads + 1));
+        let done = Arc::new(Barrier::new(threads + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let retries = Arc::new(AtomicU64::new(0));
+        let handles = (0..threads)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let start = Arc::clone(&start);
+                let done = Arc::clone(&done);
+                let stop = Arc::clone(&stop);
+                let retries = Arc::clone(&retries);
+                let is_reader = t < readers;
+                let anchor = anchors[t % anchors.len()];
+                std::thread::spawn(move || loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let mut committed = 0;
+                    while committed < BATCH {
+                        let result = db.with_txn(|txn| {
+                            if is_reader {
+                                db.read(txn, anchor).map(|_| ())
+                            } else {
+                                db.post_user_event(txn, anchor, "TickA")?;
+                                db.post_user_event(txn, anchor, "TickB")
+                            }
+                        });
+                        match result {
+                            Ok(()) => committed += 1,
+                            Err(e) if is_deadlock(&e) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("bench txn failed: {e:?}"),
+                        }
+                    }
+                    done.wait();
+                })
+            })
+            .collect();
+        Rig {
+            _dir: dir,
+            db,
+            start,
+            done,
+            stop,
+            retries,
+            handles,
+        }
+    }
+
+    /// Release one round and wait for every thread to finish it.
+    fn round(&self) {
+        self.start.wait();
+        self.done.wait();
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.start.wait();
+        for h in self.handles.drain(..) {
+            h.join().unwrap();
+        }
+    }
+}
+
+fn bench_concurrency_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency_core");
+    for (engine_name, engine) in [("mem", EngineKind::Memory), ("disk", EngineKind::Disk)] {
+        for (mode, sharded) in [("sharded", true), ("single", false)] {
+            for threads in [1usize, 4, 16] {
+                let rig = Rig::new(engine, sharded, threads);
+                group.throughput(Throughput::Elements(threads as u64 * BATCH));
+                group.bench_function(
+                    BenchmarkId::new(format!("{engine_name}/{mode}"), threads),
+                    |b| b.iter(|| rig.round()),
+                );
+                let snap = rig.db.metrics().snapshot();
+                println!(
+                    "  [{engine_name}/{mode}/{threads}] commits={} deadlock_retries={} \
+                     stripe_contention: lock={} buf={} alloc={} txn={} \
+                     acquire_p50={}ns p99={}ns lock_waits={} upgrades={} \
+                     wait_p99={}us",
+                    snap.txn_commits,
+                    rig.retries.load(Ordering::Relaxed),
+                    snap.lock_stripe_contention,
+                    snap.buf_shard_contention,
+                    snap.alloc_shard_contention,
+                    snap.txn_stripe_contention,
+                    snap.shard_acquire_nanos.p50(),
+                    snap.shard_acquire_nanos.p99(),
+                    snap.lock_shared_waits + snap.lock_exclusive_waits,
+                    snap.lock_upgrades,
+                    snap.lock_wait_micros.p99(),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_concurrency_core
+}
+criterion_main!(benches);

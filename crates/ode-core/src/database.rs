@@ -99,6 +99,31 @@ pub(crate) struct TxnLocal {
     pub scratch: Vec<Oid>,
 }
 
+/// Sharded map of per-transaction scratch state ([`TxnLocal`]). Keyed by
+/// transaction id so concurrent transactions land on different mutexes
+/// instead of one process-wide map lock (which every commit and every
+/// posting hot-path touch funnelled through). The shard count follows the
+/// storage `shards` knob; `1` reproduces the original single-mutex map.
+pub(crate) struct TxnLocalMap {
+    shards: Box<[Mutex<HashMap<TxnId, TxnLocal>>]>,
+    mask: usize,
+}
+
+impl TxnLocalMap {
+    fn new(shards: usize) -> TxnLocalMap {
+        let n = shards.max(1).next_power_of_two();
+        TxnLocalMap {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Lock the shard holding `txn`'s entry.
+    pub(crate) fn lock(&self, txn: TxnId) -> parking_lot::MutexGuard<'_, HashMap<TxnId, TxnLocal>> {
+        self.shards[txn.0 as usize & self.mask].lock()
+    }
+}
+
 /// An Ode database: object manager + trigger run-time over a storage
 /// engine.
 pub struct Database {
@@ -107,7 +132,7 @@ pub struct Database {
     schema: RwLock<Schema>,
     pub(crate) trigger_index: HashIndex,
     pub(crate) trigger_cluster: ClusterId,
-    pub(crate) txn_local: Mutex<HashMap<TxnId, TxnLocal>>,
+    pub(crate) txn_local: TxnLocalMap,
     /// Session-wide name interner backing every [`Sym`] in the trigger
     /// run-time.
     pub(crate) interner: Interner,
@@ -151,6 +176,15 @@ impl Database {
         Database::bootstrap(storage).expect("volatile bootstrap cannot fail")
     }
 
+    /// [`Database::volatile`] with explicit storage options (the engine is
+    /// forced to memory). The concurrency knobs (`shards`,
+    /// `lock_stripes`) are the usual reason to come here — e.g. the
+    /// `concurrency_core` bench's stripe-count-1 baseline.
+    pub fn volatile_with(options: StorageOptions) -> Database {
+        let storage = Arc::new(Storage::volatile_with(options));
+        Database::bootstrap(storage).expect("volatile bootstrap cannot fail")
+    }
+
     fn bootstrap(storage: Arc<Storage>) -> Result<Database> {
         let txn = storage.begin()?;
         let trigger_cluster = storage.create_cluster(txn)?;
@@ -167,13 +201,14 @@ impl Database {
         storage.set_root(txn, ROOT_TRIGGER_CLUSTER, Oid::new(trigger_cluster, 0))?;
         storage.commit(txn)?;
         let registry = Arc::new(EventRegistry::with_metrics(Arc::clone(storage.metrics())));
+        let txn_local = TxnLocalMap::new(storage.options().shards);
         Ok(Database {
             storage,
             registry,
             schema: RwLock::new(Schema::default()),
             trigger_index: HashIndex::open(index.oid()),
             trigger_cluster,
-            txn_local: Mutex::new(HashMap::new()),
+            txn_local,
             interner: Interner::default(),
             stats_baseline: Mutex::new(ode_obs::MetricsSnapshot::default()),
             live_local_rules: AtomicUsize::new(0),
@@ -188,13 +223,14 @@ impl Database {
         let trigger_cluster = storage.get_root(txn, ROOT_TRIGGER_CLUSTER)?.page();
         storage.commit(txn)?;
         let registry = Arc::new(EventRegistry::with_metrics(Arc::clone(storage.metrics())));
+        let txn_local = TxnLocalMap::new(storage.options().shards);
         Ok(Database {
             storage,
             registry,
             schema: RwLock::new(Schema::default()),
             trigger_index: HashIndex::open(index_oid),
             trigger_cluster,
-            txn_local: Mutex::new(HashMap::new()),
+            txn_local,
             interner: Interner::default(),
             stats_baseline: Mutex::new(ode_obs::MetricsSnapshot::default()),
             live_local_rules: AtomicUsize::new(0),
@@ -444,7 +480,7 @@ impl Database {
     /// live-local-rule count in step. Every commit/abort path funnels
     /// through here.
     pub(crate) fn drop_txn_local(&self, txn: TxnId) -> TxnLocal {
-        let local = self.txn_local.lock().remove(&txn).unwrap_or_default();
+        let local = self.txn_local.lock(txn).remove(&txn).unwrap_or_default();
         if !local.local_triggers.is_empty() {
             self.live_local_rules
                 .fetch_sub(local.local_triggers.len(), Ordering::Relaxed);
@@ -472,7 +508,7 @@ impl Database {
         if !td.wants_txn_events() {
             return;
         }
-        let mut locals = self.txn_local.lock();
+        let mut locals = self.txn_local.lock(txn);
         let local = locals.entry(txn).or_default();
         if !local.txn_event_objects.contains(&oid) {
             local.txn_event_objects.push(oid);

@@ -781,6 +781,12 @@ metrics! {
         lock_upgrades,
         /// Requests aborted as deadlock victims.
         lock_deadlock_victims,
+        /// Lock requests granted without waiting.
+        lock_immediate_grants,
+        /// Lock-table stripe mutex acquisitions that found the stripe held
+        /// by another thread (hot-path contention on the manager itself,
+        /// as opposed to contention on the locks it hands out).
+        lock_stripe_contention,
         // ---------------------------------------------------------------
         // ode-storage: WAL, buffer pool, B-tree, transactions
         // ---------------------------------------------------------------
@@ -803,6 +809,14 @@ metrics! {
         buf_misses,
         /// Buffer-pool frames evicted (clean frames only; no-steal).
         buf_evictions,
+        /// Buffer-pool shard mutex acquisitions that found the shard held.
+        buf_shard_contention,
+        /// Allocator shard (or global refill) mutex acquisitions that found
+        /// the shard held.
+        alloc_shard_contention,
+        /// Transaction-table stripe mutex acquisitions that found the
+        /// stripe held.
+        txn_stripe_contention,
         /// B-tree node splits (leaf, internal, and root).
         btree_splits,
         /// Transactions committed.
@@ -884,6 +898,11 @@ metrics! {
         post_micros,
         /// Microseconds per trigger action execution.
         action_micros,
+        /// Nanoseconds spent acquiring a *contended* concurrency-core
+        /// shard mutex (lock stripes, buffer shards, allocator shards,
+        /// txn-table stripes); uncontended acquisitions are not sampled,
+        /// so `_count` equals the sum of the `*_contention` counters.
+        shard_acquire_nanos,
     }
 }
 

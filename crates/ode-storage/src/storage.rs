@@ -110,6 +110,14 @@ pub struct StorageOptions {
     pub group_commit: bool,
     /// Fault injector routed through the WAL and data files (crash tests).
     pub fault: Option<Arc<FaultInjector>>,
+    /// Concurrency-core shard count for the buffer pool, allocator, and
+    /// transaction table (rounded to a power of two; the buffer pool also
+    /// clamps to `buffer_pages`). `1` reproduces the old single-mutex
+    /// behavior and is the bench baseline.
+    pub shards: usize,
+    /// Lock-table stripe count (rounded up to a power of two). `1`
+    /// reproduces the old single-table lock manager.
+    pub lock_stripes: usize,
 }
 
 impl Default for StorageOptions {
@@ -122,6 +130,8 @@ impl Default for StorageOptions {
             checkpoint_every: 0,
             group_commit: true,
             fault: None,
+            shards: crate::buffer::DEFAULT_POOL_SHARDS,
+            lock_stripes: crate::lock::DEFAULT_LOCK_STRIPES,
         }
     }
 }
@@ -178,14 +188,27 @@ impl Store {
     }
 }
 
-/// In-memory allocation directory, rebuilt from page tags at open.
+/// Pages pulled from the store in one batch when every allocator shard is
+/// out of reusable pages (the shards' "refill" from global growth).
+const ALLOC_REFILL_BATCH: usize = 4;
+
+/// Cold-path allocation directory shared by all shards, rebuilt from page
+/// tags at open. Only touched when a page changes cluster membership or a
+/// cluster is scanned.
 #[derive(Default)]
-struct AllocState {
+struct AllocGlobal {
     /// All pages belonging to each cluster.
     cluster_pages: HashMap<ClusterId, BTreeSet<PageId>>,
-    /// Pages per cluster believed to have usable space.
+}
+
+/// One shard of the allocation directory; a page's shard is fixed by its
+/// id, so `note_space` and the `pick_page` fast path touch one shard mutex
+/// instead of a process-wide one.
+#[derive(Default)]
+struct AllocShard {
+    /// Pages per cluster believed to have usable space (this shard only).
     with_space: HashMap<ClusterId, BTreeSet<PageId>>,
-    /// Pages not yet assigned to any cluster.
+    /// Pages not yet assigned to any cluster (this shard only).
     unassigned: BTreeSet<PageId>,
 }
 
@@ -244,7 +267,10 @@ pub struct Storage {
     wal: Option<Wal>,
     locks: LockManager,
     txns: TxnManager,
-    alloc: Mutex<AllocState>,
+    alloc_shards: Box<[Mutex<AllocShard>]>,
+    /// `alloc_shards.len() - 1`; shard count is always a power of two.
+    alloc_mask: usize,
+    alloc_global: Mutex<AllocGlobal>,
     options: StorageOptions,
     /// Directory holding data + log files; None for volatile stores.
     dir: Option<std::path::PathBuf>,
@@ -265,9 +291,13 @@ impl Storage {
         let store = match options.engine {
             EngineKind::Disk => {
                 let disk = DiskFile::create_with(&dir.join("data.odb"), options.fault.clone())?;
-                Store::Disk(BufferPool::new(disk, options.buffer_pages))
+                Store::Disk(BufferPool::with_shards(
+                    disk,
+                    options.buffer_pages,
+                    options.shards,
+                ))
             }
-            EngineKind::Memory => Store::Mem(MemStore::new()),
+            EngineKind::Memory => Store::Mem(MemStore::with_shards(options.shards)),
         };
         let wal = Wal::open_with(
             &dir.join("wal.log"),
@@ -288,14 +318,18 @@ impl Storage {
         let store = match options.engine {
             EngineKind::Disk => {
                 let disk = DiskFile::open(&dir.join("data.odb"))?;
-                Store::Disk(BufferPool::new(disk, options.buffer_pages))
+                Store::Disk(BufferPool::with_shards(
+                    disk,
+                    options.buffer_pages,
+                    options.shards,
+                ))
             }
             EngineKind::Memory => {
                 let ckpt = dir.join("mem.ckpt");
                 if ckpt.exists() {
-                    Store::Mem(MemStore::load_from(&ckpt)?)
+                    Store::Mem(MemStore::load_from(&ckpt, options.shards)?)
                 } else {
-                    Store::Mem(MemStore::new())
+                    Store::Mem(MemStore::with_shards(options.shards))
                 }
             }
         };
@@ -318,10 +352,22 @@ impl Storage {
     /// still works. The closest thing to "just give me a database" for
     /// tests and examples.
     pub fn volatile() -> Storage {
+        Storage::volatile_with(StorageOptions::memory())
+    }
+
+    /// [`Storage::volatile`] with explicit options (engine is forced to
+    /// memory; the concurrency knobs — `shards`, `lock_stripes`,
+    /// `lock_timeout` — are what callers usually come here for, e.g. the
+    /// stripe-count-1 bench baseline).
+    pub fn volatile_with(options: StorageOptions) -> Storage {
+        let options = StorageOptions {
+            engine: EngineKind::Memory,
+            ..options
+        };
         let storage = Storage::assemble(
-            Store::Mem(MemStore::new()),
+            Store::Mem(MemStore::with_shards(options.shards)),
             None,
-            StorageOptions::memory(),
+            options,
             None,
         );
         storage
@@ -351,12 +397,25 @@ impl Storage {
         if let Some(injector) = &options.fault {
             injector.attach_metrics(Arc::clone(&metrics));
         }
+        let alloc_shards = options.shards.max(1).next_power_of_two();
         Storage {
             store,
             wal,
-            locks: LockManager::with_metrics(options.lock_timeout, Arc::clone(&metrics)),
-            txns: TxnManager::new(options.lock_timeout),
-            alloc: Mutex::new(AllocState::default()),
+            locks: LockManager::with_config(
+                options.lock_timeout,
+                Arc::clone(&metrics),
+                options.lock_stripes,
+            ),
+            txns: TxnManager::with_config(
+                options.lock_timeout,
+                Arc::clone(&metrics),
+                options.shards,
+            ),
+            alloc_shards: (0..alloc_shards)
+                .map(|_| Mutex::new(AllocShard::default()))
+                .collect(),
+            alloc_mask: alloc_shards - 1,
+            alloc_global: Mutex::new(AllocGlobal::default()),
             options,
             dir,
             commits_since_checkpoint: AtomicU64::new(0),
@@ -368,6 +427,12 @@ impl Storage {
     /// The database-wide metrics registry shared by every layer.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The options this storage was assembled with (layers above use the
+    /// concurrency knobs to size their own sharded structures).
+    pub fn options(&self) -> &StorageOptions {
+        &self.options
     }
 
     fn bootstrap_roots(&self) -> Result<()> {
@@ -589,21 +654,28 @@ impl Storage {
 
     /// Rebuild the allocation directory by scanning page tags.
     fn rebuild_alloc(&self) -> Result<()> {
-        let mut alloc = AllocState::default();
+        let mut global = AllocGlobal::default();
+        let mut shards: Vec<AllocShard> = (0..self.alloc_shards.len())
+            .map(|_| AllocShard::default())
+            .collect();
         for id in 1..self.store.page_count() {
             let (cluster, free) = self
                 .store
                 .with_page(id, |p| (p.cluster(), p.usable_free()))?;
+            let shard = &mut shards[self.alloc_shard_of(id)];
             if cluster == UNASSIGNED_CLUSTER {
-                alloc.unassigned.insert(id);
+                shard.unassigned.insert(id);
             } else {
-                alloc.cluster_pages.entry(cluster).or_default().insert(id);
+                global.cluster_pages.entry(cluster).or_default().insert(id);
                 if free >= SPACE_THRESHOLD {
-                    alloc.with_space.entry(cluster).or_default().insert(id);
+                    shard.with_space.entry(cluster).or_default().insert(id);
                 }
             }
         }
-        *self.alloc.lock() = alloc;
+        *self.alloc_global.lock() = global;
+        for (slot, shard) in self.alloc_shards.iter().zip(shards) {
+            *slot.lock() = shard;
+        }
         Ok(())
     }
 
@@ -1018,6 +1090,63 @@ impl Storage {
         Ok(())
     }
 
+    /// Which allocator shard a page belongs to (fixed by its id).
+    fn alloc_shard_of(&self, page: PageId) -> usize {
+        (page as usize) & self.alloc_mask
+    }
+
+    /// Lock one allocator shard, counting contended acquisitions.
+    fn lock_alloc_shard(&self, idx: usize) -> parking_lot::MutexGuard<'_, AllocShard> {
+        match self.alloc_shards[idx].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.metrics.alloc_shard_contention.inc();
+                let started = std::time::Instant::now();
+                let guard = self.alloc_shards[idx].lock();
+                self.metrics
+                    .shard_acquire_nanos
+                    .record(started.elapsed().as_nanos() as u64);
+                guard
+            }
+        }
+    }
+
+    /// Lock the cold-path global allocation directory, counting contended
+    /// acquisitions (same family as the shards — it is part of the
+    /// allocator's serialization budget).
+    fn lock_alloc_global(&self) -> parking_lot::MutexGuard<'_, AllocGlobal> {
+        match self.alloc_global.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.metrics.alloc_shard_contention.inc();
+                let started = std::time::Instant::now();
+                let guard = self.alloc_global.lock();
+                self.metrics
+                    .shard_acquire_nanos
+                    .record(started.elapsed().as_nanos() as u64);
+                guard
+            }
+        }
+    }
+
+    /// Each thread starts its shard probes at its own offset so concurrent
+    /// allocators spread across shards (and thus across page latches)
+    /// instead of all fighting over the same "best" page.
+    fn preferred_alloc_shard(&self) -> usize {
+        use std::cell::Cell;
+        use std::sync::atomic::AtomicUsize;
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static PREFERRED: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        PREFERRED.with(|c| {
+            if c.get() == usize::MAX {
+                c.set(NEXT.fetch_add(1, Ordering::Relaxed));
+            }
+            c.get()
+        }) & self.alloc_mask
+    }
+
     /// Refresh a page's entry in the with-space directory.
     fn note_space(&self, page: PageId) -> Result<()> {
         let (cluster, free) = self
@@ -1026,8 +1155,8 @@ impl Storage {
         if cluster == UNASSIGNED_CLUSTER {
             return Ok(());
         }
-        let mut alloc = self.alloc.lock();
-        let set = alloc.with_space.entry(cluster).or_default();
+        let mut shard = self.lock_alloc_shard(self.alloc_shard_of(page));
+        let set = shard.with_space.entry(cluster).or_default();
         if free >= SPACE_THRESHOLD {
             set.insert(page);
         } else {
@@ -1045,10 +1174,15 @@ impl Storage {
     }
 
     /// Pick (or create) a page of `cluster` that can hold `len` bytes.
+    /// Probes allocator shards round-robin from a per-thread offset; only
+    /// falls through to the global growth path when no shard has a usable
+    /// page.
     fn pick_page(&self, txn: TxnId, cluster: ClusterId, len: usize) -> Result<PageId> {
-        {
-            let alloc = self.alloc.lock();
-            if let Some(set) = alloc.with_space.get(&cluster) {
+        let start = self.preferred_alloc_shard();
+        for i in 0..self.alloc_shards.len() {
+            let idx = (start + i) & self.alloc_mask;
+            let shard = self.lock_alloc_shard(idx);
+            if let Some(set) = shard.with_space.get(&cluster) {
                 // Newest pages first: they are most likely to fit.
                 for &candidate in set.iter().rev() {
                     let fits = self.store.with_page(candidate, |p| p.can_insert(len))?;
@@ -1058,14 +1192,30 @@ impl Storage {
                 }
             }
         }
-        // Assign an unassigned page or grow the store.
-        let page = {
-            let mut alloc = self.alloc.lock();
-            alloc.unassigned.pop_first()
-        };
+        // Reuse an unassigned page from any shard...
+        let mut page = None;
+        for i in 0..self.alloc_shards.len() {
+            let idx = (start + i) & self.alloc_mask;
+            if let Some(p) = self.lock_alloc_shard(idx).unassigned.pop_first() {
+                page = Some(p);
+                break;
+            }
+        }
+        // ...or grow the store by a small batch, keeping the first page
+        // and parking the rest as unassigned in their shards so the next
+        // few allocations skip the growth path (the shards' refill).
         let page = match page {
             Some(p) => p,
-            None => self.store.allocate_page()?,
+            None => {
+                let p = self.store.allocate_page()?;
+                for _ in 1..ALLOC_REFILL_BATCH {
+                    let extra = self.store.allocate_page()?;
+                    self.lock_alloc_shard(self.alloc_shard_of(extra))
+                        .unassigned
+                        .insert(extra);
+                }
+                p
+            }
         };
         self.store.with_page_mut(page, |p| p.set_cluster(cluster))?;
         self.wal_log(txn, || LogRecord::PageAlloc {
@@ -1073,9 +1223,16 @@ impl Storage {
             page,
             cluster,
         })?;
-        let mut alloc = self.alloc.lock();
-        alloc.cluster_pages.entry(cluster).or_default().insert(page);
-        alloc.with_space.entry(cluster).or_default().insert(page);
+        self.lock_alloc_global()
+            .cluster_pages
+            .entry(cluster)
+            .or_default()
+            .insert(page);
+        self.lock_alloc_shard(self.alloc_shard_of(page))
+            .with_space
+            .entry(cluster)
+            .or_default()
+            .insert(page);
         Ok(page)
     }
 
@@ -1439,8 +1596,8 @@ impl Storage {
         self.locks
             .lock(txn, LockKey::Cluster(cluster), LockMode::Shared)?;
         let pages: Vec<PageId> = {
-            let alloc = self.alloc.lock();
-            alloc
+            let global = self.lock_alloc_global();
+            global
                 .cluster_pages
                 .get(&cluster)
                 .map(|s| s.iter().copied().collect())

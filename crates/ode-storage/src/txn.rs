@@ -14,13 +14,25 @@
 //! style), so crash recovery can repeat history through aborts — a
 //! committed transaction's operations may physically depend on page
 //! layout an abort produced (e.g. a relocated cell).
+//!
+//! The transaction table is striped by transaction id: every storage
+//! operation consults it (`require_active`, `push_undo`, ...), so a single
+//! table mutex would serialize otherwise-independent transactions. Each
+//! stripe has its own condvar; [`TxnManager::finish`] notifies the
+//! finished transaction's stripe, which is exactly where
+//! [`TxnManager::await_dependencies`] waits for it.
 
 use crate::error::{Result, StorageError};
 use crate::oid::{Oid, PageId};
-use parking_lot::{Condvar, Mutex};
+use ode_obs::Metrics;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default number of transaction-table stripes (power of two).
+pub const DEFAULT_TXN_STRIPES: usize = 8;
 
 /// Transaction identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,12 +95,19 @@ struct TxnRecord {
     commit_lsn: Option<u64>,
 }
 
-/// Registry of transactions and their states.
-pub struct TxnManager {
-    next: AtomicU64,
+struct TxnStripe {
     txns: Mutex<HashMap<TxnId, TxnRecord>>,
     cv: Condvar,
+}
+
+/// Registry of transactions and their states, striped by transaction id.
+pub struct TxnManager {
+    next: AtomicU64,
+    stripes: Box<[TxnStripe]>,
+    /// `stripes.len() - 1`; stripe count is always a power of two.
+    mask: usize,
     dep_timeout: Duration,
+    metrics: Arc<Metrics>,
 }
 
 impl Default for TxnManager {
@@ -100,18 +119,52 @@ impl Default for TxnManager {
 impl TxnManager {
     /// Create a manager; `dep_timeout` bounds waits on commit dependencies.
     pub fn new(dep_timeout: Duration) -> TxnManager {
+        TxnManager::with_config(dep_timeout, Arc::new(Metrics::new()), DEFAULT_TXN_STRIPES)
+    }
+
+    /// Fully configured constructor. `stripes` is rounded up to a power of
+    /// two; `1` reproduces the pre-striping single-table manager.
+    pub fn with_config(dep_timeout: Duration, metrics: Arc<Metrics>, stripes: usize) -> TxnManager {
+        let n = stripes.max(1).next_power_of_two();
         TxnManager {
             next: AtomicU64::new(1),
-            txns: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
+            stripes: (0..n)
+                .map(|_| TxnStripe {
+                    txns: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            mask: n - 1,
             dep_timeout,
+            metrics,
+        }
+    }
+
+    fn stripe(&self, txn: TxnId) -> &TxnStripe {
+        &self.stripes[(txn.0 as usize) & self.mask]
+    }
+
+    /// Lock a transaction's stripe, counting contended acquisitions.
+    fn lock_stripe(&self, txn: TxnId) -> MutexGuard<'_, HashMap<TxnId, TxnRecord>> {
+        let stripe = self.stripe(txn);
+        match stripe.txns.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.metrics.txn_stripe_contention.inc();
+                let started = Instant::now();
+                let guard = stripe.txns.lock();
+                self.metrics
+                    .shard_acquire_nanos
+                    .record(started.elapsed().as_nanos() as u64);
+                guard
+            }
         }
     }
 
     /// Start a transaction. `system` marks trigger-processing transactions.
     pub fn begin(&self, system: bool) -> TxnId {
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
-        self.txns.lock().insert(
+        self.lock_stripe(id).insert(
             id,
             TxnRecord {
                 state: TxnState::Active,
@@ -128,12 +181,12 @@ impl TxnManager {
 
     /// Current state, if the transaction is known.
     pub fn state(&self, txn: TxnId) -> Option<TxnState> {
-        self.txns.lock().get(&txn).map(|r| r.state)
+        self.lock_stripe(txn).get(&txn).map(|r| r.state)
     }
 
     /// Whether the transaction was started as a system transaction.
     pub fn is_system(&self, txn: TxnId) -> bool {
-        self.txns.lock().get(&txn).is_some_and(|r| r.system)
+        self.lock_stripe(txn).get(&txn).is_some_and(|r| r.system)
     }
 
     /// Fail unless `txn` is active.
@@ -146,7 +199,7 @@ impl TxnManager {
 
     /// Record an undo action for `txn`.
     pub fn push_undo(&self, txn: TxnId, op: UndoOp) -> Result<()> {
-        let mut txns = self.txns.lock();
+        let mut txns = self.lock_stripe(txn);
         let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         if rec.state != TxnState::Active {
             return Err(StorageError::TxnNotActive(txn));
@@ -157,8 +210,7 @@ impl TxnManager {
 
     /// Take the undo list (newest last) for rollback.
     pub fn take_undo(&self, txn: TxnId) -> Vec<UndoOp> {
-        self.txns
-            .lock()
+        self.lock_stripe(txn)
             .get_mut(&txn)
             .map(|r| std::mem::take(&mut r.undo))
             .unwrap_or_default()
@@ -167,7 +219,7 @@ impl TxnManager {
     /// Record a cell tombstoned by `txn`, to be physically deleted at
     /// commit.
     pub fn note_pending_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
-        let mut txns = self.txns.lock();
+        let mut txns = self.lock_stripe(txn);
         let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         rec.pending_deletes.push(oid);
         Ok(())
@@ -175,8 +227,7 @@ impl TxnManager {
 
     /// Drain the cells awaiting physical deletion at `txn`'s commit.
     pub fn take_pending_deletes(&self, txn: TxnId) -> Vec<Oid> {
-        self.txns
-            .lock()
+        self.lock_stripe(txn)
             .get_mut(&txn)
             .map(|r| std::mem::take(&mut r.pending_deletes))
             .unwrap_or_default()
@@ -185,7 +236,7 @@ impl TxnManager {
     /// Mark that `txn` has written its WAL Begin record. Returns `true` the
     /// first time (the caller must log Begin then), `false` afterwards.
     pub fn mark_logged(&self, txn: TxnId) -> Result<bool> {
-        let mut txns = self.txns.lock();
+        let mut txns = self.lock_stripe(txn);
         let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         if rec.state != TxnState::Active {
             return Err(StorageError::TxnNotActive(txn));
@@ -195,41 +246,42 @@ impl TxnManager {
 
     /// Whether `txn` has written any WAL records (false ⇒ read-only so far).
     pub fn has_logged(&self, txn: TxnId) -> bool {
-        self.txns.lock().get(&txn).is_some_and(|r| r.logged)
+        self.lock_stripe(txn).get(&txn).is_some_and(|r| r.logged)
     }
 
     /// Record the LSN of `txn`'s Commit record.
     pub fn set_commit_lsn(&self, txn: TxnId, lsn: u64) {
-        if let Some(rec) = self.txns.lock().get_mut(&txn) {
+        if let Some(rec) = self.lock_stripe(txn).get_mut(&txn) {
             rec.commit_lsn = Some(lsn);
         }
     }
 
     /// LSN of `txn`'s Commit record, if it has been appended.
     pub fn commit_lsn(&self, txn: TxnId) -> Option<u64> {
-        self.txns.lock().get(&txn).and_then(|r| r.commit_lsn)
+        self.lock_stripe(txn).get(&txn).and_then(|r| r.commit_lsn)
     }
 
     /// Declare that `txn` may only commit if `on` commits.
     pub fn add_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
-        let mut txns = self.txns.lock();
+        let mut txns = self.lock_stripe(txn);
         let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         rec.depends_on.push(on);
         Ok(())
     }
 
     /// Block until every dependency of `txn` has resolved; error if any
-    /// aborted.
+    /// aborted. Each wait parks on the *dependency's* stripe — the one
+    /// [`TxnManager::finish`] notifies.
     pub fn await_dependencies(&self, txn: TxnId) -> Result<()> {
         let deps: Vec<TxnId> = self
-            .txns
-            .lock()
+            .lock_stripe(txn)
             .get(&txn)
             .map(|r| r.depends_on.clone())
             .unwrap_or_default();
-        let mut txns = self.txns.lock();
         for dep in deps {
-            let start = std::time::Instant::now();
+            let stripe = self.stripe(dep);
+            let mut txns = stripe.txns.lock();
+            let start = Instant::now();
             loop {
                 match txns.get(&dep).map(|r| r.state) {
                     Some(TxnState::Committed) => break,
@@ -237,7 +289,7 @@ impl TxnManager {
                         return Err(StorageError::DependencyAborted { txn, on: dep });
                     }
                     Some(TxnState::Active) => {
-                        if self
+                        if stripe
                             .cv
                             .wait_for(&mut txns, Duration::from_millis(20))
                             .timed_out()
@@ -257,7 +309,7 @@ impl TxnManager {
     pub fn finish(&self, txn: TxnId, state: TxnState) -> Result<()> {
         debug_assert_ne!(state, TxnState::Active);
         {
-            let mut txns = self.txns.lock();
+            let mut txns = self.lock_stripe(txn);
             let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
             if rec.state != TxnState::Active {
                 return Err(StorageError::TxnNotActive(txn));
@@ -266,36 +318,45 @@ impl TxnManager {
             rec.undo.clear();
             rec.pending_deletes.clear();
         }
-        self.cv.notify_all();
+        self.stripe(txn).cv.notify_all();
         Ok(())
     }
 
     /// Ids of all currently active transactions.
     pub fn active(&self) -> Vec<TxnId> {
-        self.txns
-            .lock()
-            .iter()
-            .filter(|(_, r)| r.state == TxnState::Active)
-            .map(|(&id, _)| id)
-            .collect()
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let txns = stripe.txns.lock();
+            out.extend(
+                txns.iter()
+                    .filter(|(_, r)| r.state == TxnState::Active)
+                    .map(|(&id, _)| id),
+            );
+        }
+        out
     }
 
     /// Drop finished-transaction records older than the newest `keep`
     /// (dependency checks only ever look back a short window).
     pub fn prune(&self, keep: usize) {
-        let mut txns = self.txns.lock();
-        if txns.len() <= keep {
+        let mut total = 0;
+        let mut finished: Vec<TxnId> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let txns = stripe.txns.lock();
+            total += txns.len();
+            finished.extend(
+                txns.iter()
+                    .filter(|(_, r)| r.state != TxnState::Active)
+                    .map(|(&id, _)| id),
+            );
+        }
+        if total <= keep {
             return;
         }
-        let mut finished: Vec<TxnId> = txns
-            .iter()
-            .filter(|(_, r)| r.state != TxnState::Active)
-            .map(|(&id, _)| id)
-            .collect();
         finished.sort_unstable();
-        let excess = txns.len().saturating_sub(keep);
+        let excess = total.saturating_sub(keep);
         for id in finished.into_iter().take(excess) {
-            txns.remove(&id);
+            self.stripe(id).txns.lock().remove(&id);
         }
     }
 }
@@ -383,6 +444,31 @@ mod tests {
         let tm = Arc::new(TxnManager::default());
         let a = tm.begin(false);
         let b = tm.begin(true);
+        tm.add_dependency(b, a).unwrap();
+        let tm2 = Arc::clone(&tm);
+        let handle = std::thread::spawn(move || tm2.await_dependencies(b));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished());
+        tm.finish(a, TxnState::Committed).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn dependency_waits_across_stripes() {
+        // Dependency resolution must work when txn and dependency live in
+        // different stripes (ids differ in the low bits).
+        let tm = Arc::new(TxnManager::with_config(
+            Duration::from_secs(10),
+            Arc::new(Metrics::new()),
+            8,
+        ));
+        let mut a = tm.begin(false);
+        let mut b = tm.begin(true);
+        // Burn ids until the two ids differ in stripe.
+        while (a.0 as usize & 7) == (b.0 as usize & 7) {
+            a = b;
+            b = tm.begin(true);
+        }
         tm.add_dependency(b, a).unwrap();
         let tm2 = Arc::clone(&tm);
         let handle = std::thread::spawn(move || tm2.await_dependencies(b));

@@ -75,8 +75,11 @@ fn run_concurrent_peeks(
         })
         .unwrap();
 
-    db.storage().reset_lock_stats();
+    // Registry first, then the LockStats view: the view is a baseline
+    // subtracted from the registry, so rebasing it must see the registry's
+    // post-reset (zero) counters.
     db.metrics().reset();
+    db.storage().reset_lock_stats();
     let aborts = Arc::new(AtomicU32::new(0));
     let barrier = Arc::new(Barrier::new(4));
     let threads: Vec<_> = (0..4)

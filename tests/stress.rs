@@ -32,12 +32,22 @@ impl OdeObject for Account {
     const CLASS: &'static str = "Account";
 }
 
-const THREADS: usize = 4;
 const ROUNDS: usize = 60;
 const ACCOUNTS: usize = 6;
 
+/// Thread count, overridable so CI can crank the contention up
+/// (`ODE_STRESS_THREADS=16`) without slowing the default local run.
+fn threads() -> usize {
+    std::env::var("ODE_STRESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
 #[test]
 fn concurrent_mixed_workload_stays_consistent() {
+    let threads = threads();
     let db = Arc::new(Database::volatile());
     let fired = Arc::new(AtomicU32::new(0));
     let f = Arc::clone(&fired);
@@ -67,8 +77,8 @@ fn concurrent_mixed_workload_stays_consistent() {
         .unwrap();
     let accounts = Arc::new(accounts);
 
-    let barrier = Arc::new(Barrier::new(THREADS));
-    let handles: Vec<_> = (0..THREADS)
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
         .map(|t| {
             let db = Arc::clone(&db);
             let accounts = Arc::clone(&accounts);
