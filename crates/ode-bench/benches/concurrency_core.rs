@@ -26,6 +26,10 @@
 //! each config so a stripe-count regression is visible in CI logs without
 //! artifacts. The disk engine runs with `fsync: false` so the WAL write
 //! path does not mask the core (fsync amortization is E13's subject).
+//!
+//! `read_heavy` (see [`bench_read_heavy`]) is the MVCC counterpart: 14
+//! snapshot readers and 2 posters, plus a pure-reader round that asserts
+//! snapshot readers produce zero lock-manager traffic.
 
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -104,6 +108,22 @@ struct Rig {
 
 impl Rig {
     fn new(engine: EngineKind, sharded: bool, threads: usize) -> Rig {
+        let readers = threads / 2;
+        Rig::with_mix(engine, sharded, readers, threads - readers, false)
+    }
+
+    /// Explicit reader/poster split. `snapshot_readers` switches the
+    /// reader threads from short 2PL shared-read transactions to MVCC
+    /// `with_read_txn` snapshots (which never enter the lock manager and
+    /// never deadlock, so they run unretried).
+    fn with_mix(
+        engine: EngineKind,
+        sharded: bool,
+        readers: usize,
+        posters: usize,
+        snapshot_readers: bool,
+    ) -> Rig {
+        let threads = readers + posters;
         let (dir, db) = match engine {
             EngineKind::Memory => (None, Database::volatile_with(options(engine, sharded))),
             EngineKind::Disk => {
@@ -129,8 +149,6 @@ impl Rig {
 
         // One armed anchor per contention group, allocated in separate
         // transactions so the sharded allocator spreads them over pages.
-        let readers = threads / 2;
-        let posters = threads - readers;
         let groups = posters.div_ceil(POSTERS_PER_GROUP).max(1);
         let anchors: Vec<PersistentPtr<Probe>> = (0..groups)
             .map(|g| {
@@ -163,14 +181,18 @@ impl Rig {
                     }
                     let mut committed = 0;
                     while committed < BATCH {
-                        let result = db.with_txn(|txn| {
-                            if is_reader {
-                                db.read(txn, anchor).map(|_| ())
-                            } else {
-                                db.post_user_event(txn, anchor, "TickA")?;
-                                db.post_user_event(txn, anchor, "TickB")
-                            }
-                        });
+                        let result = if is_reader && snapshot_readers {
+                            db.with_read_txn(|txn| db.read(txn, anchor).map(|_| ()))
+                        } else {
+                            db.with_txn(|txn| {
+                                if is_reader {
+                                    db.read(txn, anchor).map(|_| ())
+                                } else {
+                                    db.post_user_event(txn, anchor, "TickA")?;
+                                    db.post_user_event(txn, anchor, "TickB")
+                                }
+                            })
+                        };
                         match result {
                             Ok(()) => committed += 1,
                             Err(e) if is_deadlock(&e) => {
@@ -246,9 +268,64 @@ fn bench_concurrency_core(c: &mut Criterion) {
     group.finish();
 }
 
+/// E15 addendum — the reader-heavy contended smoke: 14 MVCC snapshot
+/// readers race 2 posters (one contention group) at 16 threads, the §6
+/// "read-mostly workload over armed triggers" shape. Snapshot readers
+/// never enter the lock manager, so reader throughput no longer rides
+/// the posters' S→X convoy. A pure-reader round afterwards *asserts*
+/// the zero-lock claim — CI fails if snapshot reads regress into lock
+/// traffic, no artifact inspection needed.
+fn bench_read_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency_core");
+    // Same 14/2 mix, 2PL readers vs snapshot readers: the pair isolates
+    // exactly what MVCC buys at a fixed workload shape.
+    for (mode, snapshot_readers) in [("read_heavy_2pl", false), ("read_heavy", true)] {
+        let rig = Rig::with_mix(EngineKind::Memory, true, 14, 2, snapshot_readers);
+        group.throughput(Throughput::Elements(16 * BATCH));
+        group.bench_function(BenchmarkId::new(format!("mem/{mode}"), 16), |b| {
+            b.iter(|| rig.round())
+        });
+        let snap = rig.db.metrics().snapshot();
+        println!(
+            "  [mem/{mode}/16] commits={} snapshot_reads={} deadlock_retries={} \
+             lock_waits={} upgrades={} wait_p99={}us",
+            snap.txn_commits,
+            snap.snapshot_reads,
+            rig.retries.load(Ordering::Relaxed),
+            snap.lock_shared_waits + snap.lock_exclusive_waits,
+            snap.lock_upgrades,
+            snap.lock_wait_micros.p99(),
+        );
+    }
+    group.finish();
+
+    // Pure-reader round, asserted: with the trigger still armed, 16
+    // snapshot readers generate zero lock-manager traffic of any kind.
+    let rig = Rig::with_mix(EngineKind::Memory, true, 16, 0, true);
+    rig.db.metrics().reset();
+    rig.db.storage().reset_lock_stats();
+    rig.round();
+    let stats = rig.db.storage().lock_stats();
+    let snap = rig.db.metrics().snapshot();
+    assert_eq!(
+        stats.immediate_grants, 0,
+        "snapshot readers entered the lock manager"
+    );
+    assert_eq!(stats.waits, 0, "snapshot readers waited on locks");
+    assert_eq!(stats.deadlocks, 0, "snapshot readers were deadlock victims");
+    assert_eq!(stats.upgrades, 0, "snapshot readers performed S→X upgrades");
+    assert_eq!(rig.retries.load(Ordering::Relaxed), 0);
+    assert!(snap.snapshot_reads >= 16 * BATCH);
+    println!(
+        "  [mem/pure_readers/16] snapshot_reads={} lock traffic: grants={} \
+         waits={} deadlocks={} upgrades={} (asserted zero)",
+        snap.snapshot_reads, stats.immediate_grants, stats.waits, stats.deadlocks, stats.upgrades,
+    );
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_concurrency_core
+    targets = bench_concurrency_core, bench_read_heavy
 }
 criterion_main!(benches);

@@ -55,6 +55,31 @@ impl Database {
         }
     }
 
+    /// Begin a read-only snapshot transaction: every read is served at one
+    /// consistent commit point with **no lock-manager locks**, so it can
+    /// neither block nor deadlock — the escape hatch from §6's "triggers
+    /// turn reads into writes" amplification for pure readers. Event
+    /// posting and all write operations fail on such a transaction.
+    pub fn begin_read_only(&self) -> Result<TxnId> {
+        Ok(self.storage.begin_read_only()?)
+    }
+
+    /// Run `f` inside a read-only snapshot transaction. No retry wrapper
+    /// is needed — snapshot readers cannot be picked as deadlock victims.
+    pub fn with_read_txn<R>(&self, f: impl FnOnce(TxnId) -> Result<R>) -> Result<R> {
+        let txn = self.begin_read_only()?;
+        match f(txn) {
+            Ok(value) => {
+                self.commit(txn)?;
+                Ok(value)
+            }
+            Err(e) => {
+                let _ = self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
     /// Like [`Database::with_txn`], but transparently retries when the
     /// transaction is chosen as a deadlock victim (or hits the lock
     /// timeout) — the §6 observation that triggers raise "the likelihood
@@ -96,6 +121,15 @@ impl Database {
     /// detecting transaction and its trigger firings durable together,
     /// instead of paying one fsync per system transaction.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        // Snapshot transactions posted no events and advanced no trigger
+        // state, so the whole commit ceremony collapses: drop the (empty)
+        // scratchpad, release the snapshot, and wait on the begin-time
+        // read barrier so the acknowledged reads are durable.
+        if self.storage.is_read_only(txn) {
+            let _ = self.drop_txn_local(txn);
+            let ticket = self.storage.commit_deferred(txn)?;
+            return self.storage.commit_wait(ticket).map_err(Into::into);
+        }
         if let Err(e) = self.pre_commit(txn) {
             // An end action or tcomplete trigger aborted the transaction
             // (e.g. tabort, or a constraint check). Take the full abort
@@ -144,7 +178,10 @@ impl Database {
             self.storage.txn_manager().state(txn),
             Some(TxnState::Active)
         );
-        if active {
+        // Snapshot transactions never accumulate txn-event objects, and
+        // posting events on one would fail anyway: skip straight to the
+        // storage abort (which releases the snapshot).
+        if active && !self.storage.is_read_only(txn) {
             // Best effort: the event postings and any immediate actions
             // they fire are about to be rolled back anyway; their only
             // durable consequence is scheduling !dependent firings.

@@ -508,6 +508,11 @@ impl Database {
         if !td.wants_txn_events() {
             return;
         }
+        // Snapshot readers never post tcomplete/tabort events — keeping
+        // the list empty keeps their commit path entirely event-free.
+        if self.storage.is_read_only(txn) {
+            return;
+        }
         let mut locals = self.txn_local.lock(txn);
         let local = locals.entry(txn).or_default();
         if !local.txn_event_objects.contains(&oid) {

@@ -35,6 +35,18 @@
 //! `Arc`s, accounting goes through the lock-free `ode-obs` counters, and
 //! the index lookup fills a reusable per-transaction scratch buffer — a
 //! steady-state post acquires no mutex and allocates no `String`.
+//!
+//! ## Snapshot readers
+//!
+//! The commit-time write-back goes through `storage.update`, which under
+//! MVCC seeds the state record's committed image and installs the new
+//! statenum as a fresh version at the commit sequence — in place of the
+//! old "upgrade the S lock to X in place" pattern as far as readers are
+//! concerned (writers still serialize under 2PL). A read-only snapshot
+//! transaction therefore observes every trigger statenum exactly as of
+//! its snapshot: never a half-flushed batch, never an uncommitted
+//! advance. Posting an event on a snapshot transaction is refused up
+//! front, since posting is always a write.
 
 use crate::context::TriggerCtx;
 use crate::database::{Database, TxnLocal};
@@ -398,6 +410,12 @@ impl Database {
         event: EventId,
         event_args: Option<&[u8]>,
     ) -> Result<()> {
+        // Posting advances persistent trigger FSMs — a write. Snapshot
+        // readers must fail fast here, not deep inside a trigger action's
+        // first storage mutation.
+        if self.storage.is_read_only(txn) {
+            return Err(OdeError::Storage(StorageError::ReadOnlyTxn(txn)));
+        }
         let post_started = std::time::Instant::now();
         let metrics = self.metrics();
         metrics.events_posted.inc();

@@ -30,6 +30,15 @@
 //!
 //! [`TriggerId`] is, as in the paper, simply the persistent pointer to the
 //! state record.
+//!
+//! Because the record lives in ordinary storage, its `statenum` advances
+//! participate in MVCC like any object write: the committing transaction
+//! installs the new statenum as a fresh version, so a read-only snapshot
+//! transaction (e.g. [`Database::trigger_statenum`] inside
+//! `with_read_txn`) sees a committed-prefix-consistent FSM position
+//! without taking the §6 read lock at all.
+//!
+//! [`Database::trigger_statenum`]: crate::database::Database::trigger_statenum
 
 use crate::intern::{Interner, Sym};
 use bytes::{BufMut, BytesMut};

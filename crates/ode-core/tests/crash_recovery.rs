@@ -10,6 +10,12 @@
 //! persistent trigger-FSM statenums, and the object→trigger hash index
 //! (via `verify_integrity`) all included.
 //!
+//! The workload is laced with MVCC snapshot readers (a long-lived
+//! rotated reader pinning the GC horizon plus a per-step consistency
+//! probe) and mid-script checkpoints, so crash points also land with a
+//! populated version store, mid-GC, and mid-checkpoint; recovery is then
+//! verified through both the locking and the snapshot read paths.
+//!
 //! Environment knobs (used by the CI crash matrix):
 //!
 //! * `ODE_CRASH_SEED`  — u64 seed for the crash-point PRNG (default 0).
@@ -21,7 +27,7 @@
 mod common;
 
 use common::{buy, cred_card_class, pay_bill, CredCard};
-use ode_core::{Database, EngineKind, PersistentPtr, StorageOptions, TriggerId};
+use ode_core::{Database, EngineKind, PersistentPtr, StorageOptions, TriggerId, TxnId};
 use ode_storage::FaultInjector;
 use ode_testutil::TempDir;
 use std::sync::Arc;
@@ -88,18 +94,38 @@ fn take_snapshot(
     cards: &[PersistentPtr<CredCard>],
     trigs: &[TriggerId],
 ) -> Snapshot {
-    db.with_txn(|txn| {
-        cards
-            .iter()
-            .zip(trigs)
-            .map(|(&card, &trig)| {
-                let payload = db.read(txn, card)?;
-                let statenum = db.trigger_statenum(txn, trig).ok();
-                Ok((payload, statenum))
-            })
-            .collect()
-    })
-    .unwrap()
+    db.with_txn(|txn| snapshot_in(db, txn, cards, trigs))
+        .unwrap()
+}
+
+/// The per-card state as seen from an already-open transaction — used
+/// both by the locking [`take_snapshot`] and by the MVCC read-only
+/// transactions the harness races against the crash.
+fn snapshot_in(
+    db: &Database,
+    txn: TxnId,
+    cards: &[PersistentPtr<CredCard>],
+    trigs: &[TriggerId],
+) -> ode_core::Result<Snapshot> {
+    cards
+        .iter()
+        .zip(trigs)
+        .map(|(&card, &trig)| {
+            let payload = db.read(txn, card)?;
+            let statenum = db.trigger_statenum(txn, trig).ok();
+            Ok((payload, statenum))
+        })
+        .collect()
+}
+
+/// [`take_snapshot`] through a lock-free MVCC snapshot transaction.
+fn take_snapshot_ro(
+    db: &Database,
+    cards: &[PersistentPtr<CredCard>],
+    trigs: &[TriggerId],
+) -> Snapshot {
+    db.with_read_txn(|txn| snapshot_in(db, txn, cards, trigs))
+        .unwrap()
 }
 
 /// Create the database, register the §4 class, mint `CARDS` cards and
@@ -137,14 +163,19 @@ fn apply_step(
     cards: &[PersistentPtr<CredCard>],
 ) -> ode_core::Result<()> {
     let card = cards[rng.below(cards.len() as u64) as usize];
-    match rng.below(5) {
+    match rng.below(6) {
         0 => db.with_txn(|txn| buy(db, txn, card, 850.0)),
         1 => db.with_txn(|txn| buy(db, txn, card, 120.0)),
         2 | 3 => db.with_txn(|txn| pay_bill(db, txn, card, 400.0)),
-        _ => db.with_txn(|txn| {
+        4 => db.with_txn(|txn| {
             buy(db, txn, card, 60.0)?;
             Err(ode_core::OdeError::tabort("crash-harness abort"))
         }),
+        // A checkpoint mid-script: when quiesced it vacuums the MVCC
+        // version store and rewrites the page image, so crash points can
+        // land mid-GC / mid-checkpoint, not just between commits. (While
+        // a snapshot reader is open it is a deliberate no-op.)
+        _ => db.storage().checkpoint().map_err(Into::into),
     }
 }
 
@@ -176,7 +207,36 @@ fn run_crash_point(seed: u64, point: usize, budget: u64, fsync: bool) {
 
     injector.arm_write_cap(budget);
     let mut rng = Lcg::new(seed);
-    for _ in 0..STEPS {
+    // A long-lived MVCC reader rotated through the script: open for the
+    // first half of each 6-step window, closed for the second (so the
+    // checkpoint steps in the closed half can actually quiesce and run
+    // the version-store GC). While open it pins the GC horizon, so the
+    // crash can land with a populated version store mid-trim.
+    let mut reader: Option<(TxnId, Snapshot)> = None;
+    for step in 0..STEPS {
+        if step % 6 == 0 {
+            if let Ok(txn) = db.begin_read_only() {
+                reader = Some((txn, committed.clone()));
+            }
+        }
+        if step % 6 == 3 {
+            if let Some((txn, expect)) = reader.take() {
+                match snapshot_in(&db, txn, &cards, &trigs) {
+                    Ok(observed) => assert_eq!(
+                        observed, expect,
+                        "crash point {point}: a snapshot transaction drifted \
+                         off the committed prefix it began at"
+                    ),
+                    // Reads fault the buffer pool, so the dying device can
+                    // kill the probe itself — that *is* the crash.
+                    Err(e) => assert!(
+                        injector.tripped(),
+                        "crash point {point}: long reader failed un-faulted: {e}"
+                    ),
+                }
+                let _ = db.commit(txn);
+            }
+        }
         let result = apply_step(&db, &mut rng, &cards);
         if injector.tripped() {
             // The device died somewhere inside this step: whatever the
@@ -187,10 +247,29 @@ fn run_crash_point(seed: u64, point: usize, budget: u64, fsync: bool) {
         if result.is_ok() {
             committed = take_snapshot(&db, &cards, &trigs);
         }
+        // A fresh lock-free snapshot always agrees with the locking view
+        // of the committed prefix, even with the long reader pinning
+        // older versions. Its read-barrier commit may flush the WAL tail
+        // and hit the byte cap — the device dying inside the probe is a
+        // crash like any other.
+        match db.with_read_txn(|txn| snapshot_in(&db, txn, &cards, &trigs)) {
+            Ok(ro) => assert_eq!(
+                ro, committed,
+                "crash point {point}: snapshot read diverged from the committed prefix"
+            ),
+            Err(e) => {
+                assert!(
+                    injector.tripped(),
+                    "crash point {point}: snapshot probe failed un-faulted: {e}"
+                );
+                break;
+            }
+        }
     }
 
     // Crash: the process holding the poisoned engine vanishes without
-    // checkpoint or clean close (dropping would try to flush).
+    // checkpoint or clean close (dropping would try to flush) — possibly
+    // with the rotated reader's snapshot still registered.
     std::mem::forget(db);
     injector.disarm();
 
@@ -202,6 +281,15 @@ fn run_crash_point(seed: u64, point: usize, budget: u64, fsync: bool) {
         recovered, committed,
         "crash point {point} (seed {seed}, budget {budget} bytes): \
          recovered state is not the acknowledged-commit prefix"
+    );
+    // The freshly recovered engine serves the same prefix through the
+    // MVCC read path (its version store restarts empty, so this
+    // exercises the page-fallback protocol over recovered pages).
+    assert_eq!(
+        take_snapshot_ro(&db, &cards, &trigs),
+        committed,
+        "crash point {point} (seed {seed}, budget {budget} bytes): \
+         post-recovery snapshot read diverged"
     );
     // The object→trigger hash index, TriggerState records, and header
     // flags must agree after replay, not just the payloads.

@@ -882,6 +882,11 @@ metrics! {
         /// Detached (dependent/!dependent) actions whose system transaction
         /// failed.
         detached_failures,
+        /// Object reads served from an MVCC snapshot (no lock-manager
+        /// locks taken).
+        snapshot_reads,
+        /// Superseded object versions reclaimed by version-chain GC.
+        versions_gced,
     }
     histograms {
         /// Microseconds a blocked lock request spent waiting, one sample
@@ -903,6 +908,10 @@ metrics! {
         /// txn-table stripes); uncontended acquisitions are not sampled,
         /// so `_count` equals the sum of the `*_contention` counters.
         shard_acquire_nanos,
+        /// Length of an object's version chain sampled each time a commit
+        /// installs a new version (long tails mean a snapshot is pinning
+        /// the GC horizon far in the past).
+        version_chain_len,
     }
 }
 

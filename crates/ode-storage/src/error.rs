@@ -43,6 +43,8 @@ pub enum StorageError {
     /// and no commit can be acknowledged until the log is reopened and
     /// recovered (fail-stop fsync semantics).
     WalPoisoned(String),
+    /// A read-only snapshot transaction attempted a write operation.
+    ReadOnlyTxn(TxnId),
 }
 
 impl std::fmt::Display for StorageError {
@@ -69,6 +71,9 @@ impl std::fmt::Display for StorageError {
             StorageError::UserAbort(m) => write!(f, "transaction aborted by application: {m}"),
             StorageError::WalPoisoned(m) => {
                 write!(f, "write-ahead log poisoned by an i/o failure: {m}")
+            }
+            StorageError::ReadOnlyTxn(t) => {
+                write!(f, "read-only snapshot transaction {t} attempted a write")
             }
         }
     }

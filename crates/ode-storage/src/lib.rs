@@ -18,6 +18,9 @@
 //!   writes" observation, §6).
 //! * [`txn`] — transactions, system transactions, and commit dependencies
 //!   (the substrate for the `dependent`/`!dependent` coupling modes, §5.5).
+//! * [`version`] — per-object version chains backing MVCC snapshot reads:
+//!   read-only transactions bypass the lock manager entirely, which
+//!   removes the §6 read-amplification ceiling for pure readers.
 //! * [`hashindex`] — the persistent object→triggers multimap of §5.1.3.
 //! * [`btree`] — a persistent B+-tree (disk-Ode's ordered index, §5.6).
 //! * [`codec`] — explicit, layout-stable binary encoding (§3, goal 5).
@@ -50,6 +53,7 @@ pub mod oid;
 pub mod page;
 pub mod storage;
 pub mod txn;
+pub mod version;
 pub mod wal;
 
 pub use error::{Result, StorageError};
@@ -57,3 +61,4 @@ pub use fault::{FaultFile, FaultInjector};
 pub use oid::{ClusterId, Oid, PageId};
 pub use storage::{CommitTicket, EngineKind, Storage, StorageOptions};
 pub use txn::{TxnId, TxnState};
+pub use version::{SnapshotLookup, VersionStats};

@@ -20,6 +20,14 @@
 //! `RwLock` where every page write excludes all other page access — which
 //! is the `shards = 1` baseline the `concurrency_core` bench measures
 //! against.
+//!
+//! ## MVCC readers
+//!
+//! Snapshot readers (see [`crate::version`]) that fall back to the pages
+//! for untracked objects synchronize on nothing but these per-page
+//! latches — no lock-manager locks, no transaction-table waits. The
+//! latches are held only for the duration of one cell copy, so a reader
+//! can delay a writer by at most one page access, never for a lock span.
 
 use crate::error::{Result, StorageError};
 use crate::oid::PageId;

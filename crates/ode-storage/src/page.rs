@@ -186,6 +186,13 @@ impl Page {
         self.live_slots().map(|(s, _, _)| s).collect()
     }
 
+    /// Iterator over `(slot, cell bytes)` of occupied slots — the scan
+    /// primitive shared by the 2PL and snapshot cluster scans.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        self.live_slots()
+            .map(move |(s, off, len)| (s, &self.data[off as usize..off as usize + len as usize]))
+    }
+
     /// Read the record in `slot`.
     pub fn read(&self, slot: u16) -> Option<&[u8]> {
         if slot >= self.slot_count() {

@@ -45,6 +45,7 @@ use crate::mem::MemStore;
 use crate::oid::{ClusterId, Oid, PageId, FIRST_USER_CLUSTER, SYSTEM_CLUSTER, UNASSIGNED_CLUSTER};
 use crate::page::{Page, PageOpError, MAX_RECORD};
 use crate::txn::{TxnId, TxnManager, TxnState, UndoOp};
+use crate::version::{SnapshotLookup, VersionStats, VersionStore};
 use crate::wal::{LogRecord, Wal};
 use bytes::{BufMut, BytesMut};
 use ode_obs::{Metrics, TraceEvent};
@@ -267,6 +268,10 @@ pub struct Storage {
     wal: Option<Wal>,
     locks: LockManager,
     txns: TxnManager,
+    /// Per-object committed version chains serving MVCC snapshot readers
+    /// (see [`crate::version`]): read-only transactions resolve every read
+    /// here or from quiescent pages, never through the lock manager.
+    versions: VersionStore,
     alloc_shards: Box<[Mutex<AllocShard>]>,
     /// `alloc_shards.len() - 1`; shard count is always a power of two.
     alloc_mask: usize,
@@ -411,6 +416,7 @@ impl Storage {
                 Arc::clone(&metrics),
                 options.shards,
             ),
+            versions: VersionStore::new(options.shards, Arc::clone(&metrics)),
             alloc_shards: (0..alloc_shards)
                 .map(|_| Mutex::new(AllocShard::default()))
                 .collect(),
@@ -685,6 +691,18 @@ impl Storage {
         if !self.txns.active().is_empty() {
             return Ok(());
         }
+        // Quiescence means no snapshot can be registered and no writer is
+        // pinning a chain, so this sweep empties the version store: the
+        // checkpoint image (pages only) must not be shadowed by superseded
+        // versions that would otherwise survive it in memory — the same
+        // "no stale state rides through a checkpoint" rule the tombstone
+        // purge enforces for deleted cells.
+        self.versions.vacuum();
+        debug_assert_eq!(
+            self.versions.stats().entries,
+            0,
+            "quiesced vacuum must empty the version store"
+        );
         match (&self.store, &self.wal) {
             (Store::Disk(pool), Some(wal)) => {
                 wal.flush()?;
@@ -738,6 +756,47 @@ impl Storage {
     /// Begin a system transaction (trigger processing, §5.5).
     pub fn begin_system(&self) -> Result<TxnId> {
         Ok(self.txns.begin(true))
+    }
+
+    /// Begin a read-only snapshot transaction. Every read it performs is
+    /// served at one consistent commit sequence — the MVCC snapshot — and
+    /// takes **no lock-manager locks**, so it can neither wait for nor
+    /// deadlock with writers (nor force them to wait). Write operations
+    /// fail with [`StorageError::ReadOnlyTxn`].
+    ///
+    /// Durability: the snapshot may include writers whose Commit records
+    /// are appended but not yet flushed, so the transaction's begin-time
+    /// log tail is remembered and [`Storage::commit_wait`] waits for it —
+    /// an acknowledged snapshot read never exposes state recovery could
+    /// discard (the same read-barrier rule PR 3 established for 2PL
+    /// readers, pinned at begin instead of commit).
+    pub fn begin_read_only(&self) -> Result<TxnId> {
+        let txn = self.txns.begin(false);
+        // Order matters: register the snapshot *first*, then capture the
+        // log tail. Any writer whose install is visible at this snapshot
+        // appended its Commit record before publishing the sequence, so
+        // `end_lsn` taken afterwards covers it.
+        let snap = self.versions.register_snapshot();
+        let barrier = self.wal.as_ref().and_then(|wal| {
+            let end = wal.end_lsn();
+            (end > wal.flushed_lsn()).then_some(end)
+        });
+        self.txns.set_snapshot(txn, snap, barrier);
+        Ok(txn)
+    }
+
+    /// Whether `txn` is a read-only snapshot transaction.
+    pub fn is_read_only(&self, txn: TxnId) -> bool {
+        self.txns.snapshot_of(txn).is_some()
+    }
+
+    /// Fail when `txn` is a read-only snapshot transaction: those may not
+    /// acquire exclusive locks or mutate pages.
+    fn require_writer(&self, txn: TxnId) -> Result<()> {
+        match self.txns.snapshot_of(txn) {
+            Some(_) => Err(StorageError::ReadOnlyTxn(txn)),
+            None => Ok(()),
+        }
     }
 
     /// Append a data record for `txn`, logging its Begin first if this is
@@ -797,6 +856,22 @@ impl Storage {
     /// same flush batch as their parent.
     pub fn commit_deferred(&self, txn: TxnId) -> Result<CommitTicket> {
         self.txns.require_active(txn)?;
+        // Snapshot transactions wrote nothing: no log, no locks, no purge.
+        // Their ticket carries the *begin-time* read barrier (every commit
+        // visible at the snapshot sits at or below that log tail), and
+        // releasing the snapshot unpins the GC horizon.
+        if let Some(snap) = self.txns.snapshot_of(txn) {
+            let read_barrier = self.txns.read_barrier_of(txn);
+            self.versions.release_snapshot(snap);
+            self.txns.finish(txn, TxnState::Committed)?;
+            self.metrics.txn_commits.inc();
+            self.metrics.emit(|| TraceEvent::TxnCommit { txn: txn.0 });
+            return Ok(CommitTicket {
+                txn,
+                lsn: None,
+                read_barrier,
+            });
+        }
         if let Err(e) = self.txns.await_dependencies(txn) {
             // Dependency failed: this transaction must abort instead.
             self.abort(txn)?;
@@ -847,6 +922,24 @@ impl Storage {
             }
             _ => None,
         };
+        // Install the committed values of this transaction's write set as
+        // one atomic version-store sequence step. Past the commit point
+        // (Commit record appended) but *before* the physical purge below:
+        // a tombstoned cell still resolves as NoSuchObject, which installs
+        // the delete marker snapshot readers need, while the purge itself
+        // must not run before the chains can answer for the purged slots.
+        let dirty = self.txns.take_dirty(txn);
+        if !dirty.is_empty() {
+            self.versions.install(&dirty, |o| {
+                let oid = Oid::from_u64(o);
+                let cluster = self.cluster_of(oid.page())?;
+                match self.resolve(oid) {
+                    Ok((_, cell)) => Ok((cluster, Some(self.assemble_data(&cell)?))),
+                    Err(StorageError::NoSuchObject(_)) => Ok((cluster, None)),
+                    Err(e) => Err(e),
+                }
+            })?;
+        }
         // Physically remove the tombstoned cells: past the commit point
         // (Commit record appended — the transaction can no longer abort)
         // their slots and bytes are permanently free. Must happen before
@@ -929,6 +1022,18 @@ impl Storage {
             if let Err(e) = self.apply_undo(txn, op) {
                 first_err.get_or_insert(e);
             }
+        }
+        // Unpin this transaction's version-chain entries: the rollback
+        // above restored the pages to the committed values the chains
+        // seeded, so the pins (not the seeds) are what must go. Entries
+        // themselves stay — a reader mid-fallback relies on their presence
+        // to detect that pages were mutated inside its read window.
+        let dirty = self.txns.take_dirty(txn);
+        if !dirty.is_empty() {
+            self.versions.clear_writer(txn, &dirty);
+        }
+        if let Some(snap) = self.txns.snapshot_of(txn) {
+            self.versions.release_snapshot(snap);
         }
         if let Some(wal) = &self.wal {
             // Informational only, so a read-only abort stays log-free.
@@ -1059,7 +1164,7 @@ impl Storage {
             }
         }
         let cluster = self.cluster_of(oid.page())?;
-        let target = self.raw_insert(txn, cluster, &relocated)?;
+        let target = self.raw_insert(txn, cluster, &relocated, false)?;
         let mut stub = Vec::with_capacity(7);
         stub.push(TAG_FORWARD);
         stub.extend_from_slice(&encode_to_vec(&target));
@@ -1236,7 +1341,13 @@ impl Storage {
         Ok(page)
     }
 
-    fn raw_insert(&self, txn: TxnId, cluster: ClusterId, cell: &[u8]) -> Result<Oid> {
+    /// `track` marks the insert of a *primary* cell: the new Oid is
+    /// registered in the version store from inside the page latch, before
+    /// any snapshot reader falling back to the pages could observe the
+    /// uncommitted cell. Secondary cells (overflow chunks, moved targets)
+    /// are unreachable until their primary publishes them, so they stay
+    /// untracked.
+    fn raw_insert(&self, txn: TxnId, cluster: ClusterId, cell: &[u8], track: bool) -> Result<Oid> {
         if cell.len() > MAX_RECORD {
             return Err(StorageError::RecordTooLarge(cell.len()));
         }
@@ -1255,6 +1366,10 @@ impl Storage {
                             slot,
                             data: cell.to_vec(),
                         });
+                    }
+                    if track {
+                        self.versions
+                            .note_insert(Oid::new(page, slot).to_u64(), cluster, txn);
                     }
                 }
                 r
@@ -1409,7 +1524,7 @@ impl Storage {
             let mut cell = Vec::with_capacity(1 + chunk.len());
             cell.push(TAG_OVF_CHUNK);
             cell.extend_from_slice(chunk);
-            chunk_oids.push(self.raw_insert(txn, cluster, &cell)?);
+            chunk_oids.push(self.raw_insert(txn, cluster, &cell, false)?);
         }
         let mut head = BytesMut::new();
         head.put_u8(if moved {
@@ -1507,26 +1622,69 @@ impl Storage {
     /// Allocate a new persistent object (`pnew`). Returns its stable Oid.
     pub fn allocate(&self, txn: TxnId, cluster: ClusterId, data: &[u8]) -> Result<Oid> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         let cell = self.build_cell(txn, cluster, data, false)?;
-        let oid = self.raw_insert(txn, cluster, &cell)?;
+        let oid = self.raw_insert(txn, cluster, &cell, true)?;
+        self.txns.track_dirty(txn, oid.to_u64())?;
         self.locks
             .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
         Ok(oid)
     }
 
-    /// Read an object's bytes (shared lock).
+    /// Read an object's bytes. Snapshot transactions are served at their
+    /// registered commit sequence without any lock-manager locks; 2PL
+    /// transactions take a shared lock as before.
     pub fn read(&self, txn: TxnId, oid: Oid) -> Result<Vec<u8>> {
         self.txns.require_active(txn)?;
+        if let Some(s) = self.txns.snapshot_of(txn) {
+            self.metrics.snapshot_reads.inc();
+            return self
+                .snapshot_lookup(s, oid)?
+                .ok_or(StorageError::NoSuchObject(oid));
+        }
         self.locks
             .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Shared)?;
         let (_, cell) = self.resolve(oid)?;
         self.assemble_data(&cell)
     }
 
+    /// Serve one object read at snapshot `s` (no lock-manager locks).
+    ///
+    /// The chain answers directly when the object is tracked. Untracked
+    /// objects are read from the pages (per-page latches only) and the
+    /// chain is *re-checked*: absence on both sides of the page read
+    /// proves no writer mutated the object inside the window — every
+    /// mutation path registers its chain entry before its first page
+    /// write, and entries are never reclaimed while any snapshot (ours
+    /// included) is registered. If an entry appeared, the page bytes may
+    /// be torn mid-mutation, so the result — errors included — is
+    /// discarded and the read retries through the chain.
+    fn snapshot_lookup(&self, s: u64, oid: Oid) -> Result<Option<Vec<u8>>> {
+        loop {
+            match self.versions.visible(oid.to_u64(), s) {
+                SnapshotLookup::Value(data) => return Ok(Some(data.to_vec())),
+                SnapshotLookup::Deleted => return Ok(None),
+                SnapshotLookup::Untracked => {}
+            }
+            let fallback = match self.resolve(oid) {
+                Ok((_, cell)) => self.assemble_data(&cell).map(Some),
+                Err(StorageError::NoSuchObject(_)) => Ok(None),
+                Err(e) => Err(e),
+            };
+            if matches!(
+                self.versions.visible(oid.to_u64(), s),
+                SnapshotLookup::Untracked
+            ) {
+                return fallback;
+            }
+        }
+    }
+
     /// Overwrite an object's bytes (exclusive lock). The Oid stays valid
     /// even when the record has to move to another page.
     pub fn update(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         self.locks
             .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
         self.update_unlocked(txn, oid, data)
@@ -1537,6 +1695,14 @@ impl Storage {
     fn update_unlocked(&self, txn: TxnId, oid: Oid, data: &[u8]) -> Result<()> {
         let (phys, old_cell) = self.resolve(oid)?;
         let cluster = self.cluster_of(oid.page())?;
+        // First touch of this object: seed its committed value into the
+        // version store before any page mutation. The X lock (or Roots
+        // lock) is already held, so the cell just resolved *is* the
+        // committed value — no other writer can be mid-flight on it.
+        if self.txns.track_dirty(txn, oid.to_u64())? {
+            self.versions
+                .seed(oid.to_u64(), cluster, txn, self.assemble_data(&old_cell)?);
+        }
         // Free old overflow chunks first so their space is reusable.
         self.free_secondary(txn, &old_cell)?;
         let moved = phys != oid;
@@ -1546,7 +1712,7 @@ impl Storage {
         }
         // Did not fit where it was: place elsewhere and (re)point the stub.
         let target_cell = self.build_cell(txn, cluster, data, true)?;
-        let target = self.raw_insert(txn, cluster, &target_cell)?;
+        let target = self.raw_insert(txn, cluster, &target_cell, false)?;
         let mut stub = Vec::with_capacity(7);
         stub.push(TAG_FORWARD);
         stub.extend_from_slice(&encode_to_vec(&target));
@@ -1566,9 +1732,16 @@ impl Storage {
     /// Delete an object (`pdelete`).
     pub fn free(&self, txn: TxnId, oid: Oid) -> Result<()> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         self.locks
             .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Exclusive)?;
         let (phys, cell) = self.resolve(oid)?;
+        // Seed the committed value before tombstoning (first touch only).
+        if self.txns.track_dirty(txn, oid.to_u64())? {
+            let cluster = self.cluster_of(oid.page())?;
+            self.versions
+                .seed(oid.to_u64(), cluster, txn, self.assemble_data(&cell)?);
+        }
         self.free_secondary(txn, &cell)?;
         self.raw_delete(txn, phys)?;
         if phys != oid {
@@ -1577,9 +1750,13 @@ impl Storage {
         Ok(())
     }
 
-    /// Does the object exist? (Takes a shared lock.)
+    /// Does the object exist? (Shared lock; lock-free for snapshots.)
     pub fn exists(&self, txn: TxnId, oid: Oid) -> Result<bool> {
         self.txns.require_active(txn)?;
+        if let Some(s) = self.txns.snapshot_of(txn) {
+            self.metrics.snapshot_reads.inc();
+            return Ok(self.snapshot_lookup(s, oid)?.is_some());
+        }
         self.locks
             .lock(txn, LockKey::Object(oid.to_u64()), LockMode::Shared)?;
         match self.resolve(oid) {
@@ -1593,30 +1770,68 @@ impl Storage {
     /// Objects are reported under their stable primary Oids.
     pub fn scan_cluster(&self, txn: TxnId, cluster: ClusterId) -> Result<Vec<Oid>> {
         self.txns.require_active(txn)?;
+        if let Some(s) = self.txns.snapshot_of(txn) {
+            return self.snapshot_scan(s, cluster);
+        }
         self.locks
             .lock(txn, LockKey::Cluster(cluster), LockMode::Shared)?;
-        let pages: Vec<PageId> = {
-            let global = self.lock_alloc_global();
-            global
-                .cluster_pages
-                .get(&cluster)
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default()
-        };
         let mut oids = Vec::new();
-        for page in pages {
+        for page in self.cluster_page_list(cluster) {
             self.store.with_page(page, |p| {
-                for slot in p.occupied_slots() {
-                    if let Some(cell) = p.read(slot) {
-                        match cell.first() {
-                            Some(&TAG_DATA) | Some(&TAG_FORWARD) | Some(&TAG_OVF_HEAD) => {
-                                oids.push(Oid::new(page, slot));
-                            }
-                            _ => {}
+                for (slot, cell) in p.occupied_cells() {
+                    match cell.first() {
+                        Some(&TAG_DATA) | Some(&TAG_FORWARD) | Some(&TAG_OVF_HEAD) => {
+                            oids.push(Oid::new(page, slot));
                         }
+                        _ => {}
                     }
                 }
             })?;
+        }
+        Ok(oids)
+    }
+
+    /// The pages currently assigned to `cluster` (allocator's view).
+    fn cluster_page_list(&self, cluster: ClusterId) -> Vec<PageId> {
+        let global = self.lock_alloc_global();
+        global
+            .cluster_pages
+            .get(&cluster)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Cluster scan at snapshot `s` — no cluster lock, no object locks.
+    ///
+    /// Candidates come from two sides: page enumeration of primary cells
+    /// (which may include uncommitted inserts and miss objects whose cells
+    /// were purged after the snapshot began) and the version chains'
+    /// member list (which covers the purged ones). Every candidate is then
+    /// filtered through [`Storage::snapshot_lookup`], whose fallback
+    /// protocol rejects anything not committed at the snapshot.
+    fn snapshot_scan(&self, s: u64, cluster: ClusterId) -> Result<Vec<Oid>> {
+        self.metrics.snapshot_reads.inc();
+        let mut candidates: BTreeSet<Oid> = BTreeSet::new();
+        for page in self.cluster_page_list(cluster) {
+            self.store.with_page(page, |p| {
+                for (slot, cell) in p.occupied_cells() {
+                    match cell.first() {
+                        Some(&TAG_DATA) | Some(&TAG_FORWARD) | Some(&TAG_OVF_HEAD) => {
+                            candidates.insert(Oid::new(page, slot));
+                        }
+                        _ => {}
+                    }
+                }
+            })?;
+        }
+        for oid in self.versions.cluster_members(cluster, s) {
+            candidates.insert(Oid::from_u64(oid));
+        }
+        let mut oids = Vec::with_capacity(candidates.len());
+        for oid in candidates {
+            if self.snapshot_lookup(s, oid)?.is_some() {
+                oids.push(oid);
+            }
         }
         Ok(oids)
     }
@@ -1637,6 +1852,7 @@ impl Storage {
     /// Allocate a fresh cluster id (persisted in the roots record).
     pub fn create_cluster(&self, txn: TxnId) -> Result<ClusterId> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
         let mut record = self.read_roots()?;
         let id = record.next_cluster;
@@ -1645,11 +1861,20 @@ impl Storage {
         Ok(id)
     }
 
-    /// Look up a named root.
+    /// Look up a named root. Snapshot transactions decode the roots record
+    /// via the version store — no Roots lock.
     pub fn get_root(&self, txn: TxnId, name: &str) -> Result<Oid> {
         self.txns.require_active(txn)?;
-        self.locks.lock(txn, LockKey::Roots, LockMode::Shared)?;
-        let record = self.read_roots()?;
+        let record = if let Some(s) = self.txns.snapshot_of(txn) {
+            self.metrics.snapshot_reads.inc();
+            let data = self
+                .snapshot_lookup(s, ROOTS_OID)?
+                .ok_or_else(|| StorageError::Corrupt("roots record missing".into()))?;
+            decode_all::<RootsRecord>(&data)?
+        } else {
+            self.locks.lock(txn, LockKey::Roots, LockMode::Shared)?;
+            self.read_roots()?
+        };
         record
             .roots
             .iter()
@@ -1661,6 +1886,7 @@ impl Storage {
     /// Create or replace a named root.
     pub fn set_root(&self, txn: TxnId, name: &str, oid: Oid) -> Result<()> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
         let mut record = self.read_roots()?;
         match record.roots.iter_mut().find(|(n, _)| n == name) {
@@ -1673,6 +1899,7 @@ impl Storage {
     /// Remove a named root (missing names are fine).
     pub fn del_root(&self, txn: TxnId, name: &str) -> Result<()> {
         self.txns.require_active(txn)?;
+        self.require_writer(txn)?;
         self.locks.lock(txn, LockKey::Roots, LockMode::Exclusive)?;
         let mut record = self.read_roots()?;
         record.roots.retain(|(n, _)| n != name);
@@ -1726,6 +1953,12 @@ impl Storage {
     /// whose ticket LSN is `<=` this value is durable.
     pub fn wal_flushed_lsn(&self) -> Option<u64> {
         self.wal.as_ref().map(|w| w.flushed_lsn())
+    }
+
+    /// Shape of the MVCC version store: live chain entries, retained
+    /// versions, the published commit sequence, and registered snapshots.
+    pub fn version_stats(&self) -> VersionStats {
+        self.versions.stats()
     }
 }
 
@@ -2384,5 +2617,203 @@ mod tests {
         }
         assert!(s.page_count() > 2, "objects must span multiple pages");
         s.commit(t).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC snapshot reads
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn snapshot_rejects_writes() {
+        let s = Storage::volatile();
+        let (cluster, oid) = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"x").unwrap();
+            s.commit(t).unwrap();
+            (c, o)
+        };
+        let r = s.begin_read_only().unwrap();
+        assert!(s.is_read_only(r));
+        assert!(matches!(
+            s.allocate(r, cluster, b"y"),
+            Err(StorageError::ReadOnlyTxn(_))
+        ));
+        assert!(matches!(
+            s.update(r, oid, b"y"),
+            Err(StorageError::ReadOnlyTxn(_))
+        ));
+        assert!(matches!(s.free(r, oid), Err(StorageError::ReadOnlyTxn(_))));
+        assert!(matches!(
+            s.create_cluster(r),
+            Err(StorageError::ReadOnlyTxn(_))
+        ));
+        assert!(matches!(
+            s.set_root(r, "r", oid),
+            Err(StorageError::ReadOnlyTxn(_))
+        ));
+        // Reads still work, and commit releases the snapshot.
+        assert_eq!(s.read(r, oid).unwrap(), b"x");
+        s.commit(r).unwrap();
+        assert_eq!(s.version_stats().active_snapshots, 0);
+    }
+
+    #[test]
+    fn snapshot_ignores_later_commits_and_uncommitted_writes() {
+        let s = Storage::volatile();
+        let (cluster, oid) = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"v1").unwrap();
+            s.commit(t).unwrap();
+            (c, o)
+        };
+        let r = s.begin_read_only().unwrap();
+        // An uncommitted overwrite is invisible...
+        let w = s.begin().unwrap();
+        s.update(w, oid, b"v2").unwrap();
+        let fresh = s.allocate(w, cluster, b"new").unwrap();
+        assert_eq!(s.read(r, oid).unwrap(), b"v1");
+        assert!(!s.exists(r, fresh).unwrap());
+        // ...and stays invisible to this snapshot after the commit.
+        s.commit(w).unwrap();
+        assert_eq!(s.read(r, oid).unwrap(), b"v1");
+        assert!(!s.exists(r, fresh).unwrap());
+        assert_eq!(s.scan_cluster(r, cluster).unwrap(), vec![oid]);
+        s.commit(r).unwrap();
+        // A snapshot begun after the commit sees everything.
+        let r2 = s.begin_read_only().unwrap();
+        assert_eq!(s.read(r2, oid).unwrap(), b"v2");
+        assert!(s.exists(r2, fresh).unwrap());
+        assert_eq!(s.scan_cluster(r2, cluster).unwrap(), vec![oid, fresh]);
+        s.commit(r2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_sees_objects_deleted_after_it_began() {
+        let s = Storage::volatile();
+        let (cluster, oid) = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"doomed").unwrap();
+            s.commit(t).unwrap();
+            (c, o)
+        };
+        let r = s.begin_read_only().unwrap();
+        let w = s.begin().unwrap();
+        s.free(w, oid).unwrap();
+        s.commit(w).unwrap();
+        // The cell is physically purged, but the chain still answers.
+        assert_eq!(s.read(r, oid).unwrap(), b"doomed");
+        assert_eq!(s.scan_cluster(r, cluster).unwrap(), vec![oid]);
+        s.commit(r).unwrap();
+        let r2 = s.begin_read_only().unwrap();
+        assert!(!s.exists(r2, oid).unwrap());
+        assert!(s.scan_cluster(r2, cluster).unwrap().is_empty());
+        s.commit(r2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_never_sees_aborted_writes() {
+        let s = Storage::volatile();
+        let (cluster, oid) = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"keep").unwrap();
+            s.commit(t).unwrap();
+            (c, o)
+        };
+        let r = s.begin_read_only().unwrap();
+        let w = s.begin().unwrap();
+        s.update(w, oid, b"discard").unwrap();
+        let ghost = s.allocate(w, cluster, b"ghost").unwrap();
+        s.abort(w).unwrap();
+        assert_eq!(s.read(r, oid).unwrap(), b"keep");
+        assert!(!s.exists(r, ghost).unwrap());
+        s.commit(r).unwrap();
+        let r2 = s.begin_read_only().unwrap();
+        assert_eq!(s.read(r2, oid).unwrap(), b"keep");
+        assert!(!s.exists(r2, ghost).unwrap());
+        s.commit(r2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_roots_are_versioned() {
+        let s = Storage::volatile();
+        let oid = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"a").unwrap();
+            s.set_root(t, "anchor", o).unwrap();
+            s.commit(t).unwrap();
+            o
+        };
+        let r = s.begin_read_only().unwrap();
+        let w = s.begin().unwrap();
+        s.del_root(w, "anchor").unwrap();
+        s.commit(w).unwrap();
+        // The old snapshot still resolves the root; a new one does not.
+        assert_eq!(s.get_root(r, "anchor").unwrap(), oid);
+        s.commit(r).unwrap();
+        let r2 = s.begin_read_only().unwrap();
+        assert!(matches!(
+            s.get_root(r2, "anchor"),
+            Err(StorageError::NoSuchRoot(_))
+        ));
+        s.commit(r2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_take_no_lock_manager_locks() {
+        let s = Storage::volatile();
+        let (cluster, oid) = {
+            let t = s.begin().unwrap();
+            let c = s.create_cluster(t).unwrap();
+            let o = s.allocate(t, c, b"data").unwrap();
+            s.commit(t).unwrap();
+            (c, o)
+        };
+        s.metrics().reset();
+        s.reset_lock_stats();
+        let r = s.begin_read_only().unwrap();
+        assert_eq!(s.read(r, oid).unwrap(), b"data");
+        assert!(s.exists(r, oid).unwrap());
+        assert_eq!(
+            s.get_root(r, "nope").err().map(|e| e.is_abort()),
+            Some(false)
+        );
+        assert_eq!(s.scan_cluster(r, cluster).unwrap(), vec![oid]);
+        s.commit(r).unwrap();
+        let stats = s.lock_stats();
+        let snap = s.metrics().snapshot();
+        assert_eq!(stats.immediate_grants, 0, "snapshot reads must not lock");
+        assert_eq!(stats.waits, 0);
+        assert_eq!(stats.upgrades, 0);
+        assert!(snap.snapshot_reads >= 4);
+    }
+
+    #[test]
+    fn version_store_drains_after_quiesced_checkpoint() {
+        let dir = TempDir::new("ckpt-vacuum");
+        let s = Storage::create(dir.path(), StorageOptions::memory()).unwrap();
+        let r = s.begin_read_only().unwrap();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        let o = s.allocate(t, c, b"v").unwrap();
+        s.update(t, o, b"w").unwrap();
+        s.commit(t).unwrap();
+        // The registered snapshot pins chain entries across the commit.
+        assert!(s.version_stats().entries > 0);
+        // Busy checkpoint: the reader is active, nothing changes.
+        s.checkpoint().unwrap();
+        assert!(s.version_stats().entries > 0);
+        s.commit(r).unwrap();
+        // Quiesced checkpoint: superseded versions must not survive it.
+        s.checkpoint().unwrap();
+        let stats = s.version_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.versions, 0);
+        assert_eq!(stats.active_snapshots, 0);
+        s.close().unwrap();
     }
 }

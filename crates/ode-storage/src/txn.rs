@@ -26,7 +26,7 @@ use crate::error::{Result, StorageError};
 use crate::oid::{Oid, PageId};
 use ode_obs::Metrics;
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +93,17 @@ struct TxnRecord {
     /// durability waits (`flushed_lsn >= commit_lsn`) can be ordered after
     /// dependency release.
     commit_lsn: Option<u64>,
+    /// Primary Oids (as `u64`) whose pages this transaction has mutated —
+    /// the write set whose committed values the version store installs at
+    /// commit (or unpins on abort).
+    dirty: HashSet<u64>,
+    /// For read-only transactions: the version-store snapshot sequence
+    /// every read is served at. `None` for ordinary (writer) transactions.
+    snapshot: Option<u64>,
+    /// For read-only transactions: the WAL read barrier captured at begin
+    /// time (commit pipeline durability watermark the snapshot may depend
+    /// on). `None` when the WAL was already flushed past it.
+    read_barrier: Option<u64>,
 }
 
 struct TxnStripe {
@@ -174,6 +185,9 @@ impl TxnManager {
                 depends_on: Vec::new(),
                 logged: false,
                 commit_lsn: None,
+                dirty: HashSet::new(),
+                snapshot: None,
+                read_barrier: None,
             },
         );
         id
@@ -261,6 +275,46 @@ impl TxnManager {
         self.lock_stripe(txn).get(&txn).and_then(|r| r.commit_lsn)
     }
 
+    /// Add `oid` to `txn`'s MVCC write set. Returns `true` on the first
+    /// insertion — the caller must seed the object's committed value into
+    /// the version store before mutating its pages.
+    pub fn track_dirty(&self, txn: TxnId, oid: u64) -> Result<bool> {
+        let mut txns = self.lock_stripe(txn);
+        let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        if rec.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        Ok(rec.dirty.insert(oid))
+    }
+
+    /// Drain `txn`'s MVCC write set (for install at commit, or unpinning
+    /// on abort).
+    pub fn take_dirty(&self, txn: TxnId) -> Vec<u64> {
+        self.lock_stripe(txn)
+            .get_mut(&txn)
+            .map(|r| r.dirty.drain().collect())
+            .unwrap_or_default()
+    }
+
+    /// Mark `txn` as a read-only snapshot transaction: `seq` is its
+    /// version-store snapshot, `barrier` the begin-time WAL read barrier.
+    pub fn set_snapshot(&self, txn: TxnId, seq: u64, barrier: Option<u64>) {
+        if let Some(rec) = self.lock_stripe(txn).get_mut(&txn) {
+            rec.snapshot = Some(seq);
+            rec.read_barrier = barrier;
+        }
+    }
+
+    /// The snapshot sequence of a read-only transaction, if `txn` is one.
+    pub fn snapshot_of(&self, txn: TxnId) -> Option<u64> {
+        self.lock_stripe(txn).get(&txn).and_then(|r| r.snapshot)
+    }
+
+    /// The begin-time WAL read barrier of a read-only transaction.
+    pub fn read_barrier_of(&self, txn: TxnId) -> Option<u64> {
+        self.lock_stripe(txn).get(&txn).and_then(|r| r.read_barrier)
+    }
+
     /// Declare that `txn` may only commit if `on` commits.
     pub fn add_dependency(&self, txn: TxnId, on: TxnId) -> Result<()> {
         let mut txns = self.lock_stripe(txn);
@@ -317,6 +371,7 @@ impl TxnManager {
             rec.state = state;
             rec.undo.clear();
             rec.pending_deletes.clear();
+            rec.dirty.clear();
         }
         self.stripe(txn).cv.notify_all();
         Ok(())
@@ -489,6 +544,31 @@ mod tests {
         assert_eq!(tm.commit_lsn(t), None);
         tm.set_commit_lsn(t, 42);
         assert_eq!(tm.commit_lsn(t), Some(42));
+    }
+
+    #[test]
+    fn dirty_set_dedupes_and_drains() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        assert!(tm.track_dirty(t, 7).unwrap());
+        assert!(!tm.track_dirty(t, 7).unwrap());
+        assert!(tm.track_dirty(t, 9).unwrap());
+        let mut dirty = tm.take_dirty(t);
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![7, 9]);
+        assert!(tm.take_dirty(t).is_empty());
+        tm.finish(t, TxnState::Committed).unwrap();
+        assert!(tm.track_dirty(t, 1).is_err());
+    }
+
+    #[test]
+    fn snapshot_fields_roundtrip() {
+        let tm = TxnManager::default();
+        let t = tm.begin(false);
+        assert_eq!(tm.snapshot_of(t), None);
+        tm.set_snapshot(t, 5, Some(99));
+        assert_eq!(tm.snapshot_of(t), Some(5));
+        assert_eq!(tm.read_barrier_of(t), Some(99));
     }
 
     #[test]

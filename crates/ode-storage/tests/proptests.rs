@@ -215,6 +215,156 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// MVCC snapshot isolation vs the committed-prefix history
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// `run_scripts` with concurrent snapshot readers racing the writer.
+///
+/// Every state a reader observes through `begin_read_only` must be
+/// *exactly* one of the committed prefixes — never a torn mid-transaction
+/// mixture, never an uncommitted write, never a state that was later
+/// aborted. The writer publishes each about-to-commit state into the
+/// shared history *before* its commit installs the versions, so at any
+/// instant every installed state is present in the vector (possibly
+/// alongside not-yet-visible future ones, which simply fail to match).
+fn snapshot_readers_see_committed_prefixes(
+    shards: usize,
+    scripts: &[(bool, Vec<TxnScriptOp>)],
+) -> Result<(), TestCaseError> {
+    let storage = Arc::new(Storage::volatile_with(StorageOptions {
+        shards,
+        ..StorageOptions::memory()
+    }));
+    let cluster = {
+        let t = storage.begin().unwrap();
+        let c = storage.create_cluster(t).unwrap();
+        storage.commit(t).unwrap();
+        c
+    };
+    type History = Arc<Mutex<Vec<HashMap<Oid, Vec<u8>>>>>;
+    let history: History = Arc::new(Mutex::new(vec![HashMap::new()]));
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let storage = Arc::clone(&storage);
+            let history = Arc::clone(&history);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut checks = 0usize;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let txn = storage.begin_read_only().map_err(|e| e.to_string())?;
+                    let mut observed: HashMap<Oid, Vec<u8>> = HashMap::new();
+                    // Scan and per-object reads share one snapshot, so
+                    // every scanned oid must still be readable.
+                    for oid in storage
+                        .scan_cluster(txn, cluster)
+                        .map_err(|e| e.to_string())?
+                    {
+                        let data = storage.read(txn, oid).map_err(|e| e.to_string())?;
+                        observed.insert(oid, data);
+                    }
+                    storage.commit(txn).map_err(|e| e.to_string())?;
+                    {
+                        let hist = history.lock().unwrap();
+                        if !hist.contains(&observed) {
+                            return Err(format!(
+                                "snapshot of {} objects matches none of the {} committed prefixes",
+                                observed.len(),
+                                hist.len()
+                            ));
+                        }
+                    }
+                    checks += 1;
+                    if finished {
+                        return Ok(checks);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    // The writer: `run_scripts` inlined, publishing each committed state.
+    let mut committed: HashMap<Oid, Vec<u8>> = HashMap::new();
+    for (commit, ops) in scripts {
+        let txn = storage.begin().unwrap();
+        let mut view = committed.clone();
+        for op in ops {
+            match op {
+                TxnScriptOp::Allocate(data) => {
+                    let oid = storage.allocate(txn, cluster, data).unwrap();
+                    view.insert(oid, data.clone());
+                }
+                TxnScriptOp::Update(i, data) => {
+                    let mut oids: Vec<&Oid> = view.keys().collect();
+                    oids.sort();
+                    if oids.is_empty() {
+                        continue;
+                    }
+                    let oid = *oids[*i as usize % oids.len()];
+                    storage.update(txn, oid, data).unwrap();
+                    view.insert(oid, data.clone());
+                }
+                TxnScriptOp::Free(i) => {
+                    let mut oids: Vec<&Oid> = view.keys().collect();
+                    oids.sort();
+                    if oids.is_empty() {
+                        continue;
+                    }
+                    let oid = *oids[*i as usize % oids.len()];
+                    storage.free(txn, oid).unwrap();
+                    view.remove(&oid);
+                }
+            }
+        }
+        if *commit {
+            history.lock().unwrap().push(view.clone());
+            storage.commit(txn).unwrap();
+            committed = view;
+        } else {
+            storage.abort(txn).unwrap();
+        }
+    }
+    done.store(true, Ordering::Release);
+    for r in readers {
+        let checks = r.join().unwrap().map_err(TestCaseError::fail)?;
+        prop_assert!(checks > 0);
+    }
+
+    // A snapshot taken after the writer finished sees the final state,
+    // exactly — no leaked versions, no resurrected deletes.
+    let txn = storage.begin_read_only().unwrap();
+    let mut last: HashMap<Oid, Vec<u8>> = HashMap::new();
+    for oid in storage.scan_cluster(txn, cluster).unwrap() {
+        last.insert(oid, storage.read(txn, oid).unwrap());
+    }
+    storage.commit(txn).unwrap();
+    prop_assert_eq!(&last, &committed);
+    // With no snapshot registered and no writer active, the version store
+    // must have drained back to empty (the GC horizon regression class).
+    prop_assert_eq!(storage.version_stats().entries, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn snapshot_isolation_holds_single_shard(scripts in txn_scripts()) {
+        snapshot_readers_see_committed_prefixes(1, &scripts)?;
+    }
+
+    #[test]
+    fn snapshot_isolation_holds_eight_shards(scripts in txn_scripts()) {
+        snapshot_readers_see_committed_prefixes(8, &scripts)?;
+    }
+}
+
+// ---------------------------------------------------------------------
 // Hash index and B-tree vs std collections
 // ---------------------------------------------------------------------
 
