@@ -1,0 +1,370 @@
+//! E10 — the first larger-than-RAM trigger workload: a YCSB-A-style
+//! read/update mix over padded rows, each carrying an armed per-object
+//! trigger, with the working set sized at a multiple of the buffer-pool
+//! capacity so the steal path (dirty eviction behind the WAL flush gate)
+//! and the fuzzy checkpointer both run under load.
+//!
+//! Hand-rolled harness (not criterion): the headline numbers are
+//! per-commit latency percentiles — p50/p99/max with a background fuzzy
+//! checkpointer versus periodic quiesced checkpoints — plus steady-state
+//! WAL size and the bounded-residency invariant, none of which criterion
+//! can report.
+//!
+//! Modes:
+//!
+//! * default — full sweep: throughput at working-set/pool ratios
+//!   0.5×/2×/8×, then the quiesced-vs-fuzzy stall comparison. Prints a
+//!   summary table; `BENCH_ycsb_triggers.json` records a run.
+//! * `ODE_YCSB_QUICK=1` — the CI `larger-than-ram-smoke` payload: one
+//!   small larger-than-RAM run with *assertions* (completion, resident
+//!   pages ≤ pool capacity, steals observed, WAL truncated under
+//!   traffic and bounded well below total bytes appended).
+
+use bytes::BytesMut;
+use ode_core::{
+    ClassBuilder, CouplingMode, Database, Decode, Encode, OdeObject, Perpetual, PersistentPtr,
+    StorageOptions,
+};
+use ode_testutil::TempDir;
+use std::time::{Duration, Instant};
+
+/// Payload padding per row: ~1 KiB so only a few rows share a 4 KiB page
+/// and a few thousand rows dwarf a ~100-page pool.
+const PAD: usize = 1024;
+/// Rows that fit a page, net of cell/slot overhead.
+const ROWS_PER_PAGE: usize = 3;
+
+#[derive(Debug, Clone)]
+struct Row {
+    pad: Vec<u8>,
+    version: u64,
+}
+
+impl Row {
+    fn new(seed: u8) -> Row {
+        Row {
+            pad: vec![seed; PAD],
+            version: 0,
+        }
+    }
+}
+
+impl Encode for Row {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.pad.encode(buf);
+        self.version.encode(buf);
+    }
+}
+impl Decode for Row {
+    fn decode(buf: &mut &[u8]) -> ode_storage::Result<Self> {
+        Ok(Row {
+            pad: Vec::<u8>::decode(buf)?,
+            version: u64::decode(buf)?,
+        })
+    }
+}
+impl OdeObject for Row {
+    const CLASS: &'static str = "YcsbRow";
+}
+
+/// Deterministic MMIX LCG so the key sequence needs no rand crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xBEEF))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 17
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+struct World {
+    _dir: TempDir,
+    db: Database,
+    rows: Vec<PersistentPtr<Row>>,
+}
+
+/// Create a disk database with the given pool size, register `YcsbRow`
+/// with an `after Update` trigger, and load `n_rows` rows each with the
+/// trigger armed.
+fn world(buffer_pages: usize, n_rows: usize, checkpoint_interval: Option<Duration>) -> World {
+    let dir = TempDir::new("ycsb-triggers");
+    let db = Database::create(
+        dir.path(),
+        StorageOptions {
+            buffer_pages,
+            checkpoint_interval,
+            ..StorageOptions::default()
+        },
+    )
+    .unwrap();
+    let td = ClassBuilder::new("YcsbRow")
+        .after_event("Update")
+        .trigger(
+            "OnUpdate",
+            "after Update",
+            CouplingMode::Immediate,
+            Perpetual::Yes,
+            |_| Ok(()),
+        )
+        .build(db.registry())
+        .unwrap();
+    db.register_class(&td).unwrap();
+    let mut rows = Vec::with_capacity(n_rows);
+    for chunk in 0..n_rows.div_ceil(64) {
+        db.with_txn(|txn| {
+            for i in 0..64.min(n_rows - chunk * 64) {
+                let row = db.pnew(txn, &Row::new((chunk * 64 + i) as u8))?;
+                db.activate(txn, row, "OnUpdate", &0u32)?;
+                rows.push(row);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    World {
+        _dir: dir,
+        db,
+        rows,
+    }
+}
+
+/// How the run checkpoints: never, the historical stop-the-world path
+/// every `n` commits, or the background fuzzy thread (already spawned by
+/// `checkpoint_interval` in `world`).
+enum Checkpointing {
+    None,
+    QuiescedEvery(usize),
+    Fuzzy,
+}
+
+struct RunStats {
+    elapsed: Duration,
+    ops: usize,
+    /// Per-*update-commit* latencies, sorted ascending.
+    latencies: Vec<Duration>,
+    /// Foreground stop-the-world pauses: the duration of each in-loop
+    /// quiesced checkpoint, during which no commit can run. Empty for
+    /// fuzzy runs — the background checkpointer never blocks the loop.
+    stalls: Vec<Duration>,
+    wal_max: u64,
+    wal_final: u64,
+    wal_appended: u64,
+}
+
+impl RunStats {
+    fn pct(&self, p: f64) -> Duration {
+        let idx = ((self.latencies.len() as f64 - 1.0) * p) as usize;
+        self.latencies[idx]
+    }
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `ops` operations of a 50/50 read/update mix over uniformly random
+/// rows (YCSB-A), each update committing its own transaction and firing
+/// the armed `OnUpdate` trigger.
+fn run_mix(w: &World, ops: usize, ckpt: Checkpointing, seed: u64) -> RunStats {
+    let mut rng = Lcg::new(seed);
+    let mut latencies = Vec::with_capacity(ops);
+    let mut stalls = Vec::new();
+    let storage = w.db.storage();
+    let wal_start = storage.wal_flushed_lsn().unwrap_or(0);
+    let mut wal_max = 0u64;
+    let started = Instant::now();
+    for op in 0..ops {
+        let row = w.rows[rng.below(w.rows.len() as u64) as usize];
+        let t0 = Instant::now();
+        if rng.below(2) == 0 {
+            w.db.with_txn(|txn| w.db.read(txn, row).map(|_| ()))
+                .unwrap();
+        } else {
+            w.db.with_txn(|txn| {
+                w.db.invoke(txn, row, "Update", |r: &mut Row| {
+                    r.version += 1;
+                    Ok(())
+                })
+            })
+            .unwrap();
+            latencies.push(t0.elapsed());
+        }
+        if let Checkpointing::QuiescedEvery(n) = ckpt {
+            if op % n == n - 1 {
+                let c0 = Instant::now();
+                storage.checkpoint().unwrap();
+                stalls.push(c0.elapsed());
+            }
+        }
+        if op % 64 == 0 {
+            wal_max = wal_max.max(storage.wal_file_len().unwrap_or(0));
+        }
+    }
+    let elapsed = started.elapsed();
+    wal_max = wal_max.max(storage.wal_file_len().unwrap_or(0));
+    latencies.sort_unstable();
+    stalls.sort_unstable();
+    RunStats {
+        elapsed,
+        ops,
+        latencies,
+        stalls,
+        wal_max,
+        wal_final: storage.wal_file_len().unwrap_or(0),
+        wal_appended: storage.wal_flushed_lsn().unwrap_or(0) - wal_start,
+    }
+}
+
+fn print_run(label: &str, w: &World, s: &RunStats) {
+    let pool = w.db.storage().pool_stats().unwrap();
+    let cap = w.db.storage().pool_capacity().unwrap();
+    println!(
+        "  {label}: {:.0} ops/s  commit p50={:?} p99={:?} max={:?}",
+        s.ops_per_sec(),
+        s.pct(0.50),
+        s.pct(0.99),
+        s.latencies.last().copied().unwrap_or_default(),
+    );
+    println!(
+        "    pool resident={}/{cap} steals={} evictions={}  wal max={}B final={}B appended={}B",
+        pool.resident, pool.steals, pool.evictions, s.wal_max, s.wal_final, s.wal_appended
+    );
+    if !s.stalls.is_empty() {
+        let idx = |p: f64| s.stalls[((s.stalls.len() as f64 - 1.0) * p) as usize];
+        println!(
+            "    stop-the-world stalls: {} pauses p50={:?} p99={:?} max={:?}",
+            s.stalls.len(),
+            idx(0.50),
+            idx(0.99),
+            s.stalls.last().copied().unwrap_or_default()
+        );
+    }
+}
+
+/// Throughput at working-set/pool-capacity ratios: below RAM, 2× RAM,
+/// 8× RAM. The pool is fixed; the row count scales.
+fn sweep_ratios() {
+    const POOL: usize = 96;
+    println!("working-set/pool-capacity sweep (pool = {POOL} pages, no checkpoints):");
+    for ratio in [0.5f64, 2.0, 8.0] {
+        let rows = ((POOL as f64 * ratio) as usize * ROWS_PER_PAGE).max(8);
+        let w = world(POOL, rows, None);
+        let stats = run_mix(&w, 4_000, Checkpointing::None, 42);
+        let cap = w.db.storage().pool_capacity().unwrap();
+        let pool = w.db.storage().pool_stats().unwrap();
+        assert!(
+            pool.resident <= cap,
+            "resident {} exceeds capacity {cap}",
+            pool.resident
+        );
+        print_run(&format!("ratio {ratio}x ({rows} rows)"), &w, &stats);
+        w.db.close().unwrap();
+    }
+}
+
+/// The headline: identical larger-than-RAM workload, checkpointed the
+/// old way (stop-the-world every 256 commits) versus the fuzzy
+/// background thread — commit p99 is the stall signal, WAL max is the
+/// bounded-log signal.
+fn stall_comparison() {
+    const POOL: usize = 96;
+    const RATIO: usize = 4;
+    const OPS: usize = 8_000;
+    let rows = POOL * RATIO * ROWS_PER_PAGE;
+    println!("checkpoint stall comparison ({rows} rows, {RATIO}x pool, {OPS} ops):");
+
+    let w = world(POOL, rows, None);
+    let quiesced = run_mix(&w, OPS, Checkpointing::QuiescedEvery(256), 7);
+    print_run("quiesced/256", &w, &quiesced);
+    w.db.close().unwrap();
+
+    let w = world(POOL, rows, Some(Duration::from_millis(50)));
+    let fuzzy = run_mix(&w, OPS, Checkpointing::Fuzzy, 7);
+    print_run("fuzzy/50ms", &w, &fuzzy);
+    let checkpoints = w.db.storage().metrics().snapshot().checkpoints;
+    println!("    fuzzy checkpoints taken: {checkpoints}");
+    w.db.close().unwrap();
+
+    let stall_p99 = quiesced.stalls[((quiesced.stalls.len() as f64 - 1.0) * 0.99) as usize];
+    println!(
+        "  headline: quiesced stop-the-world stall p99={stall_p99:?} vs fuzzy 0 \
+         (commit p99 quiesced={:?} fuzzy={:?}); wal-max quiesced={}B fuzzy={}B",
+        quiesced.pct(0.99),
+        fuzzy.pct(0.99),
+        quiesced.wal_max,
+        fuzzy.wal_max
+    );
+}
+
+/// CI smoke: a small larger-than-RAM run whose invariants are asserted,
+/// not eyeballed. Working set ≥ 4× pool capacity; the fuzzy checkpointer
+/// cycles throughout.
+fn quick_smoke() {
+    const POOL: usize = 32;
+    let w = world(
+        POOL,
+        POOL * 4 * ROWS_PER_PAGE,
+        Some(Duration::from_millis(20)),
+    );
+    let cap = w.db.storage().pool_capacity().unwrap();
+    assert!(
+        w.rows.len() >= 4 * cap * ROWS_PER_PAGE,
+        "working set must be >= 4x pool capacity"
+    );
+    let stats = run_mix(&w, 3_000, Checkpointing::Fuzzy, 1);
+    print_run("quick smoke (4x pool, fuzzy/20ms)", &w, &stats);
+
+    let pool = w.db.storage().pool_stats().unwrap();
+    assert!(
+        pool.resident <= cap,
+        "resident pages {} exceed pool capacity {cap}",
+        pool.resident
+    );
+    assert!(
+        pool.steals > 0,
+        "a 4x working set must overflow the pool through the steal path"
+    );
+    let snap = w.db.storage().metrics().snapshot();
+    assert!(
+        snap.checkpoints >= 2,
+        "the background checkpointer should have cycled, got {}",
+        snap.checkpoints
+    );
+    assert!(
+        snap.wal_truncated_bytes > 0,
+        "fuzzy checkpoints must truncate the WAL under traffic"
+    );
+    // Bounded log: the high-water mark stays well below total bytes
+    // appended — the log is being recycled, not accreted.
+    assert!(
+        stats.wal_max < stats.wal_appended / 2,
+        "wal high-water {}B not bounded vs {}B appended",
+        stats.wal_max,
+        stats.wal_appended
+    );
+    w.db.close().unwrap();
+    println!("quick smoke OK");
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`); ignore argv.
+    if std::env::var("ODE_YCSB_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        quick_smoke();
+        return;
+    }
+    sweep_ratios();
+    stall_comparison();
+}

@@ -12,8 +12,9 @@
 //!
 //! The workload is laced with MVCC snapshot readers (a long-lived
 //! rotated reader pinning the GC horizon plus a per-step consistency
-//! probe) and mid-script checkpoints, so crash points also land with a
-//! populated version store, mid-GC, and mid-checkpoint; recovery is then
+//! probe) and mid-script checkpoints — both quiesced and fuzzy — so
+//! crash points also land with a populated version store, mid-GC,
+//! mid-fuzzy-checkpoint, and mid-log-truncation; recovery is then
 //! verified through both the locking and the snapshot read paths.
 //!
 //! Environment knobs (used by the CI crash matrix):
@@ -163,7 +164,7 @@ fn apply_step(
     cards: &[PersistentPtr<CredCard>],
 ) -> ode_core::Result<()> {
     let card = cards[rng.below(cards.len() as u64) as usize];
-    match rng.below(6) {
+    match rng.below(8) {
         0 => db.with_txn(|txn| buy(db, txn, card, 850.0)),
         1 => db.with_txn(|txn| buy(db, txn, card, 120.0)),
         2 | 3 => db.with_txn(|txn| pay_bill(db, txn, card, 400.0)),
@@ -171,11 +172,24 @@ fn apply_step(
             buy(db, txn, card, 60.0)?;
             Err(ode_core::OdeError::tabort("crash-harness abort"))
         }),
-        // A checkpoint mid-script: when quiesced it vacuums the MVCC
-        // version store and rewrites the page image, so crash points can
-        // land mid-GC / mid-checkpoint, not just between commits. (While
-        // a snapshot reader is open it is a deliberate no-op.)
-        _ => db.storage().checkpoint().map_err(Into::into),
+        // A quiesced checkpoint mid-script: it vacuums the MVCC version
+        // store and rewrites the page image, so crash points can land
+        // mid-GC / mid-checkpoint, not just between commits. (While a
+        // snapshot reader is open it refuses with `NotQuiesced` — treat
+        // that like the historical no-op.)
+        5 => match db.storage().checkpoint() {
+            Ok(()) | Err(ode_storage::StorageError::NotQuiesced(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        },
+        // A fuzzy checkpoint mid-script: flushes sampled dirty pages,
+        // logs Begin/EndCheckpoint, and truncates the WAL prefix — so
+        // crash points also land mid-fuzzy-checkpoint and mid-truncation,
+        // and recovery must start from the checkpoint record.
+        _ => db
+            .storage()
+            .checkpoint_fuzzy()
+            .map(|_| ())
+            .map_err(Into::into),
     }
 }
 

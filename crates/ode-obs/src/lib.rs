@@ -88,6 +88,42 @@ impl std::fmt::Debug for Counter {
     }
 }
 
+/// A lock-free instantaneous-level metric (resident pages, dirty pages,
+/// dirty-page-table size): unlike a [`Counter`] it can go down, and it is
+/// rendered as a Prometheus `gauge`. Writers publish the current level
+/// with [`Gauge::set`].
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Publish the current level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (benchmarks between phases; the owner republishes on
+    /// its next change).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------
@@ -681,13 +717,15 @@ pub const MAX_FLIGHT_DUMPS: usize = 16;
 macro_rules! metrics {
     (
         counters { $( $(#[doc = $cdoc:expr])+ $cname:ident, )+ }
+        gauges { $( $(#[doc = $gdoc:expr])+ $gname:ident, )+ }
         histograms { $( $(#[doc = $hdoc:expr])+ $hname:ident, )+ }
     ) => {
         /// The engine-wide metrics registry. One instance per database,
-        /// shared by all layers; counters and histograms are relaxed
-        /// atomics, and the embedded flight recorder is lock-free.
+        /// shared by all layers; counters, gauges, and histograms are
+        /// relaxed atomics, and the embedded flight recorder is lock-free.
         pub struct Metrics {
             $( $(#[doc = $cdoc])+ pub $cname: Counter, )+
+            $( $(#[doc = $gdoc])+ pub $gname: Gauge, )+
             $( $(#[doc = $hdoc])+ pub $hname: Histogram, )+
             has_sink: AtomicBool,
             sink: RwLock<Option<Arc<dyn TraceSink>>>,
@@ -701,6 +739,7 @@ macro_rules! metrics {
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct MetricsSnapshot {
             $( $(#[doc = $cdoc])+ pub $cname: u64, )+
+            $( $(#[doc = $gdoc])+ pub $gname: u64, )+
             $( $(#[doc = $hdoc])+ pub $hname: HistogramSnapshot, )+
         }
 
@@ -710,6 +749,7 @@ macro_rules! metrics {
             pub fn new() -> Metrics {
                 Metrics {
                     $( $cname: Counter::new(), )+
+                    $( $gname: Gauge::new(), )+
                     $( $hname: Histogram::new(), )+
                     has_sink: AtomicBool::new(false),
                     sink: RwLock::new(None),
@@ -723,6 +763,7 @@ macro_rules! metrics {
             pub fn snapshot(&self) -> MetricsSnapshot {
                 MetricsSnapshot {
                     $( $cname: self.$cname.get(), )+
+                    $( $gname: self.$gname.get(), )+
                     $( $hname: self.$hname.snapshot(), )+
                 }
             }
@@ -732,6 +773,7 @@ macro_rules! metrics {
             /// log is preserved.
             pub fn reset(&self) {
                 $( self.$cname.reset(); )+
+                $( self.$gname.reset(); )+
                 $( self.$hname.reset(); )+
             }
         }
@@ -749,6 +791,12 @@ macro_rules! metrics {
                     let _ = writeln!(out, "# HELP ode_{} {}", stringify!($cname), help.trim());
                     let _ = writeln!(out, "# TYPE ode_{} counter", stringify!($cname));
                     let _ = writeln!(out, "ode_{} {}", stringify!($cname), self.$cname);
+                )+
+                $(
+                    let help: &str = concat!($($gdoc),+);
+                    let _ = writeln!(out, "# HELP ode_{} {}", stringify!($gname), help.trim());
+                    let _ = writeln!(out, "# TYPE ode_{} gauge", stringify!($gname));
+                    let _ = writeln!(out, "ode_{} {}", stringify!($gname), self.$gname);
                 )+
                 $(
                     let help: &str = concat!($($hdoc),+);
@@ -807,10 +855,17 @@ metrics! {
         buf_hits,
         /// Buffer-pool page requests that read the data file.
         buf_misses,
-        /// Buffer-pool frames evicted (clean frames only; no-steal).
+        /// Buffer-pool frames evicted (clean at eviction time).
         buf_evictions,
+        /// Dirty buffer-pool frames stolen: flushed (WAL-first) and
+        /// evicted to make room, bounding the pool at its capacity.
+        pages_stolen,
         /// Buffer-pool shard mutex acquisitions that found the shard held.
         buf_shard_contention,
+        /// Fuzzy and quiesced checkpoints completed.
+        checkpoints,
+        /// WAL bytes dropped by truncating behind the checkpoint horizon.
+        wal_truncated_bytes,
         /// Allocator shard (or global refill) mutex acquisitions that found
         /// the shard held.
         alloc_shard_contention,
@@ -888,6 +943,14 @@ metrics! {
         /// Superseded object versions reclaimed by version-chain GC.
         versions_gced,
     }
+    gauges {
+        /// Pages currently resident in the buffer pool (all shards).
+        buf_resident_pages,
+        /// Dirty pages currently resident in the buffer pool.
+        buf_dirty_pages,
+        /// Dirty-page-table size recorded by the latest checkpoint.
+        dpt_size,
+    }
     histograms {
         /// Microseconds a blocked lock request spent waiting, one sample
         /// per request that waited.
@@ -912,6 +975,10 @@ metrics! {
         /// installs a new version (long tails mean a snapshot is pinning
         /// the GC horizon far in the past).
         version_chain_len,
+        /// Microseconds spent flushing a dirty frame (WAL flush-through +
+        /// doublewrite + in-place write) to steal it under memory
+        /// pressure, one sample per stolen page.
+        evict_flush_micros,
     }
 }
 

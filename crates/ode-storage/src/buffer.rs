@@ -1,12 +1,33 @@
 //! Buffer pool for the disk engine.
 //!
-//! A clock-replacement cache of page frames over a [`DiskFile`]. The pool
-//! enforces a **no-steal** policy: dirty frames are only written back to the
-//! data file at checkpoint time (see [`crate::storage::Storage`]), never by
-//! eviction. This keeps recovery redo-only — the data file always reflects
-//! exactly the last checkpoint, and the write-ahead log replays everything
-//! after it. When every frame is dirty the pool grows past its configured
-//! capacity rather than violating no-steal.
+//! A GCLOCK-replacement cache of page frames over a [`DiskFile`]. The
+//! pool is **steal-with-WAL-rule**: a dirty frame may be written back and
+//! evicted at any time, provided the WAL is first flushed through the
+//! frame's page LSN (WAL-before-data). Every update and delete logs a
+//! full before-image, so undo of an in-flight transaction whose dirty
+//! page was stolen is replayed from the log like any other — which is
+//! what finally bounds the pool at its configured capacity under
+//! write-heavy trigger firing. A pool with no WAL attached (volatile
+//! engines, unit tests) falls back to the historical no-steal behaviour:
+//! dirty frames are never evicted and the shard grows instead.
+//!
+//! Each frame keeps a *recovery LSN* (`rec_lsn`): the WAL end sampled
+//! just before the frame's clean→dirty transition, i.e. a lower bound on
+//! the first log record that dirtied it. The table of `(page, rec_lsn)`
+//! pairs over all dirty frames is the dirty-page table a fuzzy
+//! checkpoint logs, and `min(rec_lsn)` is the horizon the log can be
+//! truncated behind.
+//!
+//! ## Eviction policy
+//!
+//! Replacement is GCLOCK — second-chance clock generalised to a
+//! saturating reference *counter* (0..=3) per frame, incremented on hit
+//! and decremented as the hand sweeps. A one-touch scan page peaks at
+//! counter 1 and is reclaimed after one sweep, while the trigger
+//!-descriptor working set (hit repeatedly, pinned near 3) survives a
+//! larger-than-RAM scan — the scan resistance plain second-chance lacks.
+//! Clean frames at counter zero are evicted first; a dirty frame at
+//! counter zero is remembered as the steal fallback.
 //!
 //! ## Partitioning
 //!
@@ -27,19 +48,29 @@ use crate::disk::DiskFile;
 use crate::error::Result;
 use crate::oid::PageId;
 use crate::page::Page;
+use crate::wal::Wal;
 use ode_obs::{Metrics, TraceEvent};
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Default number of buffer-pool shards (clamped to the frame capacity).
 pub const DEFAULT_POOL_SHARDS: usize = 8;
 
+/// Saturation point of a frame's GCLOCK reference counter.
+const MAX_REF: u8 = 3;
+
 struct Frame {
     page: Page,
     dirty: bool,
-    referenced: bool,
+    /// WAL end LSN sampled at this frame's clean→dirty transition: a
+    /// lower bound on the first record that dirtied it. Meaningless while
+    /// clean.
+    rec_lsn: u64,
+    /// GCLOCK reference counter (0..=[`MAX_REF`]).
+    refbits: u8,
 }
 
 struct PoolInner {
@@ -49,10 +80,14 @@ struct PoolInner {
     hand: usize,
     hits: u64,
     misses: u64,
+    /// Clean frames evicted from this shard.
+    evictions: u64,
+    /// Dirty frames stolen (flushed WAL-first, then evicted) from this shard.
+    steals: u64,
 }
 
-/// Clock-replacement buffer pool with a no-steal write-back policy,
-/// partitioned by page id.
+/// GCLOCK buffer pool with steal-with-WAL-rule write-back, partitioned by
+/// page id.
 pub struct BufferPool {
     disk: DiskFile,
     /// Soft frame limit per shard (see module docs).
@@ -60,6 +95,13 @@ pub struct BufferPool {
     shards: Box<[Mutex<PoolInner>]>,
     /// `shards.len() - 1`; shard count is always a power of two.
     mask: usize,
+    /// The log that must be flushed through a dirty frame's page LSN
+    /// before the frame can be written back. `None` ⇒ no-steal.
+    wal: Option<Arc<Wal>>,
+    /// Pool-wide resident/dirty frame counts, mirrored into the
+    /// `buf_resident_pages` / `buf_dirty_pages` gauges on every change.
+    resident: AtomicU64,
+    dirty: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
@@ -74,7 +116,14 @@ pub struct PoolStats {
     pub resident: usize,
     /// Resident frames that are dirty.
     pub dirty: usize,
+    /// Clean frames evicted across all shards.
+    pub evictions: u64,
+    /// Dirty frames stolen (WAL-first flush + evict) across all shards.
+    pub steals: u64,
 }
+
+/// Per-shard slice of [`PoolStats`] (same fields, one shard's share).
+pub type ShardStats = PoolStats;
 
 impl BufferPool {
     /// Wrap a disk file with a pool of at most `capacity` frames
@@ -104,10 +153,15 @@ impl BufferPool {
                         hand: 0,
                         hits: 0,
                         misses: 0,
+                        evictions: 0,
+                        steals: 0,
                     })
                 })
                 .collect(),
             mask: n - 1,
+            wal: None,
+            resident: AtomicU64::new(0),
+            dirty: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
         }
     }
@@ -118,6 +172,12 @@ impl BufferPool {
         self.metrics = metrics;
     }
 
+    /// Attach the WAL whose flush gate enables stealing dirty frames
+    /// (done once at storage assembly). Without this the pool is no-steal.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
+    }
+
     /// The underlying disk file.
     pub fn disk(&self) -> &DiskFile {
         &self.disk
@@ -126,6 +186,29 @@ impl BufferPool {
     /// Number of shards the frame table is split into.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total frame capacity (shards × per-shard share).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    fn note_resident(&self, delta: i64) {
+        let v = if delta >= 0 {
+            self.resident.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.resident.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        self.metrics.buf_resident_pages.set(v);
+    }
+
+    fn note_dirty(&self, delta: i64) {
+        let v = if delta >= 0 {
+            self.dirty.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.dirty.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        self.metrics.buf_dirty_pages.set(v);
     }
 
     /// Lock one shard, counting contended acquisitions into the registry.
@@ -146,7 +229,8 @@ impl BufferPool {
     }
 
     fn load_locked(&self, inner: &mut PoolInner, id: PageId) -> Result<()> {
-        if inner.frames.contains_key(&id) {
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            frame.refbits = (frame.refbits + 1).min(MAX_REF);
             inner.hits += 1;
             self.metrics.buf_hits.inc();
             return Ok(());
@@ -154,7 +238,7 @@ impl BufferPool {
         inner.misses += 1;
         self.metrics.buf_misses.inc();
         if inner.frames.len() >= self.shard_capacity {
-            self.evict_one(inner);
+            self.evict_one(inner)?;
         }
         let page = self.disk.read_page(id)?;
         inner.frames.insert(
@@ -162,23 +246,33 @@ impl BufferPool {
             Frame {
                 page,
                 dirty: false,
-                referenced: true,
+                rec_lsn: 0,
+                refbits: 1,
             },
         );
         inner.clock.push(id);
+        self.note_resident(1);
         Ok(())
     }
 
-    /// Evict one clean, unreferenced frame if possible. Dirty frames are
-    /// never evicted (no-steal); if only dirty frames remain, the shard grows.
-    fn evict_one(&self, inner: &mut PoolInner) {
-        let mut sweeps = 0;
-        // Two full sweeps: the first clears reference bits, the second can
-        // then find a victim. Dirty frames are skipped entirely.
-        let max_steps = inner.clock.len().saturating_mul(2).max(1);
-        while sweeps < max_steps {
+    /// Make room for one frame. Preference order: a clean frame at
+    /// reference count zero (plain eviction); failing that, with a WAL
+    /// attached, a dirty frame at reference count zero is *stolen* —
+    /// WAL flushed through its page LSN, image written back (journaled),
+    /// frame dropped. With no WAL the shard grows (no-steal).
+    fn evict_one(&self, inner: &mut PoolInner) -> Result<()> {
+        let mut steps = 0;
+        let mut dirty_victim: Option<PageId> = None;
+        // Enough sweeps for a saturated reference counter to decay to
+        // zero, plus the finding sweep.
+        let max_steps = inner
+            .clock
+            .len()
+            .saturating_mul(MAX_REF as usize + 1)
+            .max(1);
+        while steps < max_steps {
             if inner.clock.is_empty() {
-                return;
+                return Ok(());
             }
             let idx = inner.hand % inner.clock.len();
             let id = inner.clock[idx];
@@ -189,21 +283,57 @@ impl BufferPool {
                     continue;
                 }
                 Some(frame) => {
-                    if !frame.dirty && !frame.referenced {
-                        inner.frames.remove(&id);
-                        inner.clock.swap_remove(idx);
-                        self.metrics.buf_evictions.inc();
-                        self.metrics
-                            .emit(|| TraceEvent::BufferEviction { page: id });
-                        return;
+                    if frame.refbits == 0 {
+                        if !frame.dirty {
+                            inner.frames.remove(&id);
+                            inner.clock.swap_remove(idx);
+                            inner.evictions += 1;
+                            self.note_resident(-1);
+                            self.metrics.buf_evictions.inc();
+                            self.metrics
+                                .emit(|| TraceEvent::BufferEviction { page: id });
+                            return Ok(());
+                        }
+                        if dirty_victim.is_none() {
+                            dirty_victim = Some(id);
+                        }
+                    } else {
+                        frame.refbits -= 1;
                     }
-                    frame.referenced = false;
                     inner.hand = (idx + 1) % inner.clock.len().max(1);
-                    sweeps += 1;
+                    steps += 1;
                 }
             }
         }
-        // All frames dirty or hot: grow instead of stealing.
+        let (wal, victim) = match (&self.wal, dirty_victim) {
+            (Some(wal), Some(victim)) => (wal, victim),
+            // No WAL (volatile/test pool) or every frame hot: grow
+            // instead of stealing.
+            _ => return Ok(()),
+        };
+        let t0 = Instant::now();
+        let frame = inner.frames.get(&victim).expect("victim is resident");
+        // WAL-before-data: the log must cover the page's last change
+        // before the image may overwrite the on-disk copy.
+        wal.flush_through(frame.page.lsn())?;
+        self.disk.write_page(victim, &frame.page)?;
+        inner.frames.remove(&victim);
+        inner.clock.retain(|&p| p != victim);
+        inner.hand = if inner.clock.is_empty() {
+            0
+        } else {
+            inner.hand % inner.clock.len()
+        };
+        inner.steals += 1;
+        self.note_resident(-1);
+        self.note_dirty(-1);
+        self.metrics.pages_stolen.inc();
+        self.metrics
+            .evict_flush_micros
+            .record(t0.elapsed().as_micros() as u64);
+        self.metrics
+            .emit(|| TraceEvent::BufferEviction { page: victim });
+        Ok(())
     }
 
     /// Read access to a page.
@@ -211,17 +341,26 @@ impl BufferPool {
         let mut inner = self.lock_shard(id);
         self.load_locked(&mut inner, id)?;
         let frame = inner.frames.get_mut(&id).expect("just loaded");
-        frame.referenced = true;
         Ok(f(&frame.page))
     }
 
-    /// Write access to a page; marks the frame dirty.
+    /// Write access to a page; marks the frame dirty, recording the WAL
+    /// end as its recovery LSN on the clean→dirty transition (sampled
+    /// *before* the closure appends the change's log records, so it lower-
+    /// bounds them).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
         let mut inner = self.lock_shard(id);
         self.load_locked(&mut inner, id)?;
+        let rec_lsn = match &self.wal {
+            Some(wal) => wal.end_lsn(),
+            None => 0,
+        };
         let frame = inner.frames.get_mut(&id).expect("just loaded");
-        frame.referenced = true;
-        frame.dirty = true;
+        if !frame.dirty {
+            frame.dirty = true;
+            frame.rec_lsn = rec_lsn;
+            self.note_dirty(1);
+        }
         Ok(f(&mut frame.page))
     }
 
@@ -230,17 +369,19 @@ impl BufferPool {
         let id = self.disk.allocate_page()?;
         let mut inner = self.lock_shard(id);
         if inner.frames.len() >= self.shard_capacity {
-            self.evict_one(&mut inner);
+            self.evict_one(&mut inner)?;
         }
         inner.frames.insert(
             id,
             Frame {
                 page: Page::new(),
                 dirty: false,
-                referenced: true,
+                rec_lsn: 0,
+                refbits: 1,
             },
         );
         inner.clock.push(id);
+        self.note_resident(1);
         Ok(id)
     }
 
@@ -249,10 +390,55 @@ impl BufferPool {
         self.disk.page_count()
     }
 
-    /// Write every dirty frame back to the data file (checkpoint helper).
-    /// Returns the number of pages written. Pages are written in globally
-    /// sorted order; callers checkpoint from a quiesced state, so the
-    /// shard-at-a-time dirty scan sees every dirty frame.
+    /// The dirty-page table: `(page, rec_lsn)` for every dirty frame —
+    /// what a fuzzy checkpoint's BeginCheckpoint record carries.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, u64)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            out.extend(
+                inner
+                    .frames
+                    .iter()
+                    .filter(|(_, fr)| fr.dirty)
+                    .map(|(&id, fr)| (id, fr.rec_lsn)),
+            );
+        }
+        out
+    }
+
+    /// Minimum recovery LSN over all dirty frames (`None` when clean) —
+    /// the dirty-page component of the log-truncation horizon.
+    pub fn min_rec_lsn(&self) -> Option<u64> {
+        self.dirty_page_table()
+            .into_iter()
+            .map(|(_, lsn)| lsn)
+            .min()
+    }
+
+    /// Write one page back if (still) dirty, honouring WAL-before-data,
+    /// and mark it clean — the fuzzy checkpointer's per-page flush. The
+    /// shard stays locked across the WAL flush and the write so no
+    /// concurrent mutation or steal can interleave with the copy-out.
+    /// Returns whether a write happened.
+    pub fn flush_page(&self, id: PageId) -> Result<bool> {
+        let mut inner = self.lock_shard(id);
+        let frame = match inner.frames.get_mut(&id) {
+            Some(frame) if frame.dirty => frame,
+            _ => return Ok(false),
+        };
+        if let Some(wal) = &self.wal {
+            wal.flush_through(frame.page.lsn())?;
+        }
+        self.disk.write_page(id, &frame.page)?;
+        frame.dirty = false;
+        self.note_dirty(-1);
+        Ok(true)
+    }
+
+    /// Write every dirty frame back to the data file (quiesced-checkpoint
+    /// helper). Returns the number of pages written. Pages are written in
+    /// globally sorted order for sequential I/O.
     pub fn flush_all(&self) -> Result<usize> {
         let mut ids: Vec<PageId> = Vec::new();
         for shard in self.shards.iter() {
@@ -268,13 +454,8 @@ impl BufferPool {
         ids.sort_unstable();
         let mut written = 0;
         for id in ids {
-            let mut inner = self.lock_shard(id);
-            if let Some(frame) = inner.frames.get_mut(&id) {
-                if frame.dirty {
-                    self.disk.write_page(id, &frame.page)?;
-                    frame.dirty = false;
-                    written += 1;
-                }
+            if self.flush_page(id)? {
+                written += 1;
             }
         }
         Ok(written)
@@ -293,6 +474,8 @@ impl BufferPool {
             misses: 0,
             resident: 0,
             dirty: 0,
+            evictions: 0,
+            steals: 0,
         };
         for shard in self.shards.iter() {
             let inner = shard.lock();
@@ -300,8 +483,29 @@ impl BufferPool {
             stats.misses += inner.misses;
             stats.resident += inner.frames.len();
             stats.dirty += inner.frames.values().filter(|f| f.dirty).count();
+            stats.evictions += inner.evictions;
+            stats.steals += inner.steals;
         }
         stats
+    }
+
+    /// Per-shard statistics, in shard order — makes an eviction/steal
+    /// imbalance across shards visible.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.lock();
+                ShardStats {
+                    hits: inner.hits,
+                    misses: inner.misses,
+                    resident: inner.frames.len(),
+                    dirty: inner.frames.values().filter(|f| f.dirty).count(),
+                    evictions: inner.evictions,
+                    steals: inner.steals,
+                }
+            })
+            .collect()
     }
 }
 
@@ -314,6 +518,16 @@ mod tests {
         let dir = TempDir::new("pool");
         let disk = DiskFile::create(&dir.file("db")).unwrap();
         (dir, BufferPool::new(disk, capacity))
+    }
+
+    /// A pool with a (record-less) WAL attached, i.e. steal enabled.
+    fn steal_pool(capacity: usize) -> (TempDir, BufferPool) {
+        let dir = TempDir::new("pool");
+        let disk = DiskFile::create(&dir.file("db")).unwrap();
+        let wal = Arc::new(Wal::open(&dir.file("wal"), false).unwrap());
+        let mut pool = BufferPool::new(disk, capacity);
+        pool.attach_wal(wal);
+        (dir, pool)
     }
 
     #[test]
@@ -350,6 +564,8 @@ mod tests {
 
     #[test]
     fn dirty_pages_survive_eviction_pressure() {
+        // A pool with no WAL attached must keep the historical no-steal
+        // guarantee: dirty frames are never written back or dropped.
         let (_d, pool) = pool(2);
         let mut ids = Vec::new();
         for i in 0..10u8 {
@@ -373,6 +589,90 @@ mod tests {
         // Disk still has the pristine pages (never stolen).
         let on_disk = pool.disk().read_page(ids[0]).unwrap();
         assert!(on_disk.read(0).is_none());
+    }
+
+    #[test]
+    fn steal_bounds_residency_and_preserves_data() {
+        // Satellite: once steal lands, resident pages never exceed the
+        // configured capacity, even with every frame dirty.
+        let (_d, pool) = steal_pool(2);
+        let mut ids = Vec::new();
+        for i in 0..10u8 {
+            let id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| {
+                p.insert(&[i; 8]).unwrap();
+            })
+            .unwrap();
+            ids.push(id);
+            assert!(
+                pool.stats().resident <= pool.capacity(),
+                "resident={} capacity={}",
+                pool.stats().resident,
+                pool.capacity()
+            );
+        }
+        let s = pool.stats();
+        assert!(s.steals > 0, "dirty frames must have been stolen");
+        // Stolen pages read back their stolen images from disk.
+        for (i, id) in ids.iter().enumerate() {
+            let v = pool
+                .with_page(*id, |p| p.read(0).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(v, vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn gclock_keeps_hot_pages_through_a_scan() {
+        // Scan resistance: a page hit repeatedly (refbits saturated) must
+        // survive a one-touch scan several times the pool size.
+        let dir = TempDir::new("pool");
+        let disk = DiskFile::create(&dir.file("db")).unwrap();
+        let wal = Arc::new(Wal::open(&dir.file("wal"), false).unwrap());
+        let mut p = BufferPool::with_shards(disk, 8, 1);
+        p.attach_wal(wal);
+        let hot = p.allocate_page().unwrap();
+        let scan: Vec<PageId> = (0..32).map(|_| p.allocate_page().unwrap()).collect();
+        for &id in &scan {
+            // Touch the hot page between every scan step.
+            for _ in 0..2 {
+                p.with_page(hot, |_| ()).unwrap();
+            }
+            p.with_page(id, |_| ()).unwrap();
+        }
+        let before = p.stats();
+        // The hot page is still a cache hit after the whole scan.
+        p.with_page(hot, |_| ()).unwrap();
+        let after = p.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn dirty_page_table_tracks_rec_lsns() {
+        let (_d, pool) = steal_pool(8);
+        assert!(pool.min_rec_lsn().is_none());
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        pool.with_page_mut(a, |p| {
+            p.insert(b"a").unwrap();
+        })
+        .unwrap();
+        pool.with_page_mut(b, |p| {
+            p.insert(b"b").unwrap();
+        })
+        .unwrap();
+        let mut dpt = pool.dirty_page_table();
+        dpt.sort_unstable();
+        assert_eq!(
+            dpt.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert!(pool.min_rec_lsn().is_some());
+        // Flushing one page shrinks the table.
+        assert!(pool.flush_page(a).unwrap());
+        assert_eq!(pool.dirty_page_table().len(), 1);
+        assert!(!pool.flush_page(a).unwrap(), "already clean");
     }
 
     #[test]
@@ -475,6 +775,26 @@ mod tests {
             "resident={} shards={}",
             pool.stats().resident,
             shards
+        );
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_totals() {
+        let (_d, pool) = steal_pool(4);
+        for i in 0..16u8 {
+            let id = pool.allocate_page().unwrap();
+            pool.with_page_mut(id, |p| {
+                p.insert(&[i; 4]).unwrap();
+            })
+            .unwrap();
+        }
+        let total = pool.stats();
+        let shards = pool.shard_stats();
+        assert_eq!(shards.len(), pool.shard_count());
+        assert_eq!(shards.iter().map(|s| s.steals).sum::<u64>(), total.steals);
+        assert_eq!(
+            shards.iter().map(|s| s.resident).sum::<usize>(),
+            total.resident
         );
     }
 }

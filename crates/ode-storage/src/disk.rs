@@ -4,6 +4,17 @@
 //! database header (magic, format version, checkpoint counter); data pages
 //! start at 1. All access goes through the buffer pool; this module only
 //! knows how to read, write, and extend the file.
+//!
+//! ## Torn-page protection (doublewrite)
+//!
+//! Once the buffer pool steals dirty frames and the WAL is truncated
+//! behind the checkpoint horizon, replay can no longer rebuild an
+//! arbitrary page from log start — a page write torn mid-frame would be
+//! unrecoverable. Every in-place page write therefore first appends the
+//! full image to a sidecar doublewrite journal (`<db>.dw`): a torn
+//! journal frame is ignored (the in-place write never started), a torn
+//! in-place write is repaired at open from the journal's complete frame.
+//! The journal is truncated at each checkpoint.
 
 use crate::error::{Result, StorageError};
 use crate::fault::{FaultFile, FaultInjector};
@@ -12,7 +23,7 @@ use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::fs::OpenOptions;
 use std::io::SeekFrom;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"ODEDB\0\x01\x00";
@@ -51,11 +62,35 @@ impl DbHeader {
     }
 }
 
+/// Checksum over a doublewrite frame's page image (same FNV-1a the WAL
+/// uses for its frames).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Bytes per doublewrite journal frame: page id + checksum + image.
+const DW_FRAME: usize = 8 + PAGE_SIZE;
+
+fn dw_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".dw");
+    PathBuf::from(os)
+}
+
 /// A page file on disk.
 pub struct DiskFile {
     file: Mutex<FaultFile>,
     /// Cached page count (authoritative: kept in sync with the header).
     page_count: Mutex<u32>,
+    /// Doublewrite journal. Held across the journal append *and* the
+    /// in-place write so a checkpoint's journal truncation can never race
+    /// between the two halves of a steal's write-back.
+    dw: Mutex<FaultFile>,
 }
 
 impl DiskFile {
@@ -72,9 +107,16 @@ impl DiskFile {
             .create(true)
             .truncate(true)
             .open(path)?;
+        let dw = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dw_path(path))?;
         let disk = DiskFile {
-            file: Mutex::new(FaultFile::new(file, injector)),
+            file: Mutex::new(FaultFile::new(file, injector.clone())),
             page_count: Mutex::new(1),
+            dw: Mutex::new(FaultFile::new(dw, injector)),
         };
         disk.write_header(DbHeader {
             page_count: 1,
@@ -90,21 +132,59 @@ impl DiskFile {
     }
 
     /// Open, routing writes/fsyncs through an optional fault injector.
+    /// Repairs torn in-place page writes from the doublewrite journal and
+    /// truncates a torn tail page (a crash mid-extension) before any
+    /// validation.
     pub fn open_with(path: &Path, injector: Option<Arc<FaultInjector>>) -> Result<DiskFile> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut file = FaultFile::new(file, injector);
+        let mut file = FaultFile::new(file, injector.clone());
+        let dw = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Keep existing journal frames: they are replayed just below.
+            .truncate(false)
+            .open(dw_path(path))?;
+        let mut dw = FaultFile::new(dw, injector);
+        // Replay every complete doublewrite frame in order: page images
+        // are idempotent, so re-applying ones whose in-place write did
+        // succeed is harmless.
+        dw.seek(SeekFrom::Start(0))?;
+        let mut journal = Vec::new();
+        dw.read_to_end(&mut journal)?;
+        let mut cursor = &journal[..];
+        while cursor.len() >= DW_FRAME {
+            let id = u32::from_le_bytes(cursor[0..4].try_into().unwrap());
+            let sum = u32::from_le_bytes(cursor[4..8].try_into().unwrap());
+            let image = &cursor[8..DW_FRAME];
+            if fnv1a(image) != sum {
+                break; // torn journal tail: its in-place write never began
+            }
+            file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+            file.write_all(image)?;
+            cursor = &cursor[DW_FRAME..];
+        }
+        dw.set_len(0)?;
+        dw.seek(SeekFrom::Start(0))?;
+        // A crash while extending the file can leave a torn tail page;
+        // drop it (its contents were never acknowledged anywhere).
         let len = file.seek(SeekFrom::End(0))?;
-        if len < PAGE_SIZE as u64 || len % PAGE_SIZE as u64 != 0 {
+        let whole = len - len % PAGE_SIZE as u64;
+        if whole < len {
+            file.set_len(whole)?;
+        }
+        if whole < PAGE_SIZE as u64 {
             return Err(StorageError::Corrupt(format!(
-                "file length {len} is not a whole number of pages"
+                "file length {len} is shorter than the header page"
             )));
         }
         let disk = DiskFile {
             file: Mutex::new(file),
             page_count: Mutex::new(0),
+            dw: Mutex::new(dw),
         };
         let header = disk.read_header_raw()?;
-        let physical = (len / PAGE_SIZE as u64) as u32;
+        let physical = (whole / PAGE_SIZE as u64) as u32;
         // A crash can leave pages allocated after the last checkpoint, so
         // the file may legitimately be longer than the header records; the
         // physical length is the truth. Shorter than the header is real
@@ -151,11 +231,33 @@ impl DiskFile {
         self.read_page_internal(id)
     }
 
-    /// Write a page image at its position (extends the file if needed).
+    /// Write a page image at its position (extends the file if needed),
+    /// journaling the full image to the doublewrite file first so a torn
+    /// in-place write is repairable at the next open.
     pub fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let mut dw = self.dw.lock();
+        dw.seek(SeekFrom::End(0))?;
+        dw.write_all(&id.to_le_bytes())?;
+        dw.write_all(&fnv1a(page.as_bytes()).to_le_bytes())?;
+        dw.write_all(page.as_bytes())?;
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    /// Truncate the doublewrite journal — only safe when every journaled
+    /// in-place write has landed (checkpoint end, after the data fsync).
+    pub fn dw_reset(&self) -> Result<()> {
+        let mut dw = self.dw.lock();
+        dw.set_len(0)?;
+        dw.seek(SeekFrom::Start(0))?;
+        Ok(())
+    }
+
+    /// Flush the doublewrite journal to stable storage.
+    pub fn sync_dw(&self) -> Result<()> {
+        self.dw.lock().sync_data()?;
         Ok(())
     }
 
@@ -254,6 +356,71 @@ mod tests {
         let dir = TempDir::new("disk");
         let d = DiskFile::create(&dir.file("db")).unwrap();
         assert!(matches!(d.read_page(5), Err(StorageError::NoSuchPage(5))));
+    }
+
+    #[test]
+    fn torn_tail_page_is_dropped_at_open() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("db");
+        {
+            let d = DiskFile::create(&path).unwrap();
+            d.allocate_page().unwrap();
+        }
+        // Crash mid-extension: half a page of garbage past the last page.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&vec![0xCD; PAGE_SIZE / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let d = DiskFile::open(&path).unwrap();
+        assert_eq!(d.page_count(), 2);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            2 * PAGE_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn doublewrite_repairs_torn_page_write() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("db");
+        let mut good = Page::new();
+        good.insert(b"committed image").unwrap();
+        {
+            let d = DiskFile::create(&path).unwrap();
+            let p1 = d.allocate_page().unwrap();
+            d.write_page(p1, &good).unwrap();
+        }
+        // Tear the in-place copy of page 1 (its doublewrite frame is
+        // intact in the journal, as after a crash mid write-back).
+        let mut bytes = std::fs::read(&path).unwrap();
+        for b in &mut bytes[PAGE_SIZE..PAGE_SIZE + 64] {
+            *b = 0xEE;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let d = DiskFile::open(&path).unwrap();
+        assert_eq!(d.read_page(1).unwrap().as_bytes(), good.as_bytes());
+        // The journal was drained by the repair.
+        assert_eq!(std::fs::metadata(dw_path(&path)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn torn_doublewrite_frame_is_ignored() {
+        let dir = TempDir::new("disk");
+        let path = dir.file("db");
+        let mut good = Page::new();
+        good.insert(b"v1").unwrap();
+        {
+            let d = DiskFile::create(&path).unwrap();
+            let p1 = d.allocate_page().unwrap();
+            d.write_page(p1, &good).unwrap();
+            d.dw_reset().unwrap();
+        }
+        // A torn journal append (crash before the in-place write began):
+        // half a frame of garbage must not clobber the good page.
+        let mut frame = vec![1u8, 0, 0, 0, 9, 9, 9, 9];
+        frame.extend_from_slice(&vec![0xAB; PAGE_SIZE / 3]);
+        std::fs::write(dw_path(&path), &frame).unwrap();
+        let d = DiskFile::open(&path).unwrap();
+        assert_eq!(d.read_page(1).unwrap().as_bytes(), good.as_bytes());
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum StorageError {
     WalPoisoned(String),
     /// A read-only snapshot transaction attempted a write operation.
     ReadOnlyTxn(TxnId),
+    /// A quiesced checkpoint was requested while transactions were still
+    /// active (carries how many). Use the fuzzy checkpoint to checkpoint
+    /// under load.
+    NotQuiesced(usize),
 }
 
 impl std::fmt::Display for StorageError {
@@ -74,6 +78,12 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::ReadOnlyTxn(t) => {
                 write!(f, "read-only snapshot transaction {t} attempted a write")
+            }
+            StorageError::NotQuiesced(n) => {
+                write!(
+                    f,
+                    "quiesced checkpoint refused: {n} transaction(s) still active"
+                )
             }
         }
     }

@@ -49,9 +49,20 @@ impl Decode for Directory {
 
 type Bucket = Vec<(u64, Vec<Oid>)>;
 
-fn hash(key: u64) -> u64 {
-    // Fibonacci hashing; good avalanche for packed Oids.
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+fn hash(mut key: u64) -> u64 {
+    // SplitMix64 finalizer. Bucket selection takes `hash % len`, i.e. the
+    // LOW bits, so the hash needs full avalanche there. (A single
+    // Fibonacci multiply does not: its low k bits are a bijection of the
+    // key's low k bits, and packed Oids share their low slot bits — big
+    // records mean few slots per page, so every key fell into a handful
+    // of buckets, chains never shortened, and `grow` doubled the
+    // directory unboundedly.)
+    key ^= key >> 30;
+    key = key.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    key ^= key >> 27;
+    key = key.wrapping_mul(0x94D0_49BB_1331_11EB);
+    key ^= key >> 31;
+    key
 }
 
 /// Handle to a persistent hash index. Cheap to copy; all state is in the
@@ -340,6 +351,36 @@ mod tests {
         }
         let entries = idx.entries(&s, t).unwrap();
         assert_eq!(entries.len(), 200);
+    }
+
+    #[test]
+    fn packed_oid_keys_spread_across_buckets() {
+        // Regression: keys shaped like packed Oids of big records — many
+        // pages, slots only 0..3, so the keys' low 16 bits collide almost
+        // entirely. A hash without low-bit avalanche funnels them into a
+        // handful of buckets and the table doubles unboundedly (until the
+        // directory record itself overflows). The directory must stay
+        // proportional to the key count.
+        let (s, t, idx) = setup();
+        const KEYS: u64 = 600;
+        for page in 0..KEYS / 3 {
+            for slot in 0..3 {
+                idx.insert(
+                    &s,
+                    t,
+                    Oid::new(page as u32 + 10, slot).to_u64(),
+                    Oid::new(1, 1),
+                )
+                .unwrap();
+            }
+        }
+        assert_eq!(idx.key_count(&s, t).unwrap(), KEYS);
+        let dir = idx.load_dir(&s, t).unwrap();
+        assert!(
+            (dir.buckets.len() as u64) <= KEYS / SPLIT_THRESHOLD * 4,
+            "directory exploded: {} buckets for {KEYS} keys",
+            dir.buckets.len()
+        );
     }
 
     #[test]

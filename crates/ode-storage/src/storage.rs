@@ -15,8 +15,12 @@
 //!   for writes, with deadlock detection.
 //! * Rollback via in-memory undo (each step also logged, compensation
 //!   style); durability via the WAL with repeat-history recovery — redo
-//!   everything in log order, then roll back in-flight losers from
-//!   before-images (no-steal buffer pool, quiesced checkpoints).
+//!   in log order from the last complete checkpoint, gated on each page's
+//!   LSN so stolen pages never double-apply, then roll back in-flight
+//!   losers from before-images. The buffer pool steals dirty frames under
+//!   the WAL-before-data rule, and fuzzy incremental checkpoints (dirty-
+//!   page table + active-transaction table in the log) truncate the WAL
+//!   behind `min(rec_lsn)` without quiescing writers.
 //! * Named roots and a persistent cluster counter for bootstrapping.
 //! * Commit dependencies and system transactions for trigger coupling
 //!   modes (§5.5).
@@ -105,7 +109,14 @@ pub struct StorageOptions {
     /// Lock-wait safety-net timeout.
     pub lock_timeout: Duration,
     /// Auto-checkpoint after this many commits (0 = only at close).
+    /// On the disk engine the commit-path checkpoint is fuzzy (no
+    /// quiescence, log truncated incrementally); the memory engine still
+    /// checkpoints opportunistically when quiesced.
     pub checkpoint_every: u64,
+    /// Run a background thread that takes a fuzzy checkpoint every
+    /// interval (disk engine only). `None` disables the thread; commits
+    /// and trigger firings proceed concurrently with the checkpointer.
+    pub checkpoint_interval: Option<Duration>,
     /// Batch concurrent commits into one WAL write+fsync (leader/follower).
     /// Disable to get the per-commit-flush baseline for benchmarking.
     pub group_commit: bool,
@@ -129,6 +140,7 @@ impl Default for StorageOptions {
             fsync: false,
             lock_timeout: Duration::from_secs(10),
             checkpoint_every: 0,
+            checkpoint_interval: None,
             group_commit: true,
             fault: None,
             shards: crate::buffer::DEFAULT_POOL_SHARDS,
@@ -148,7 +160,7 @@ impl StorageOptions {
 }
 
 enum Store {
-    Disk(BufferPool),
+    Disk(Arc<BufferPool>),
     Mem(MemStore),
 }
 
@@ -265,9 +277,9 @@ impl CommitTicket {
 /// The transactional object heap. See module docs.
 pub struct Storage {
     store: Store,
-    wal: Option<Wal>,
+    wal: Option<Arc<Wal>>,
     locks: LockManager,
-    txns: TxnManager,
+    txns: Arc<TxnManager>,
     /// Per-object committed version chains serving MVCC snapshot readers
     /// (see [`crate::version`]): read-only transactions resolve every read
     /// here or from quiescent pages, never through the lock manager.
@@ -279,9 +291,111 @@ pub struct Storage {
     options: StorageOptions,
     /// Directory holding data + log files; None for volatile stores.
     dir: Option<std::path::PathBuf>,
-    commits_since_checkpoint: AtomicU64,
+    commits_since_checkpoint: Arc<AtomicU64>,
     next_lsn: AtomicU64,
+    /// Background fuzzy checkpointer, when `checkpoint_interval` is set.
+    checkpointer: Mutex<Option<Checkpointer>>,
     metrics: Arc<Metrics>,
+}
+
+/// Handle to the background checkpoint thread: a stop flag + condvar the
+/// thread waits its interval on, so shutdown interrupts a sleep instead
+/// of waiting it out.
+struct Checkpointer {
+    stop: Arc<(Mutex<bool>, parking_lot::Condvar)>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// Everything a fuzzy checkpoint needs, Arc'd so the background thread
+/// can run one without holding (and thus leaking) the whole [`Storage`].
+struct CheckpointShared {
+    pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
+    txns: Arc<TxnManager>,
+    metrics: Arc<Metrics>,
+    fsync: bool,
+    commits: Arc<AtomicU64>,
+}
+
+/// One fuzzy checkpoint cycle. Runs concurrently with commits, aborts,
+/// steals, and other page traffic; the only global synchronization is the
+/// WAL appends themselves.
+///
+/// Protocol (order is load-bearing):
+/// 1. Append the `BeginCheckpoint` marker, *then* sample the dirty-page
+///    table and the active-transaction table. Anything dirtied or begun
+///    too late to be sampled necessarily logs past the marker, so redo
+///    from `min(marker, sampled minima)` can miss nothing.
+/// 2. Flush every sampled dirty page (each under its shard latch, WAL
+///    flushed through the page LSN first — the same WAL-before-data rule
+///    a steal obeys).
+/// 3. Update the data-file header (page count, checkpoint seq). The file
+///    is *not* marked clean: log replay is still required after a crash.
+/// 4. Recycle the doublewrite journal — everything it protected is
+///    durable (after the data-file sync when fsync is on).
+/// 5. Append `EndCheckpoint` carrying the sampled tables and flush: the
+///    checkpoint is now complete and recovery may start from it.
+/// 6. Truncate the log behind `min(Begin start, current dirty rec_lsns,
+///    current active first_lsns)` — recomputed *now*, not at the sample,
+///    so pages dirtied or transactions begun mid-checkpoint hold the
+///    horizon back exactly as far as redo/undo still need the log.
+fn fuzzy_checkpoint(shared: &CheckpointShared) -> Result<u64> {
+    let CheckpointShared {
+        pool,
+        wal,
+        txns,
+        metrics,
+        fsync,
+        commits,
+    } = shared;
+    let (begin_start, begin_end) = wal.append_span(&LogRecord::BeginCheckpoint);
+    let dirty = pool.dirty_page_table();
+    let active = txns.active_logged_first_lsns();
+    let mut ids: Vec<PageId> = dirty.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    for id in ids {
+        pool.flush_page(id)?;
+    }
+    if *fsync {
+        pool.sync()?;
+    }
+    let mut header = pool.disk().read_header()?;
+    header.page_count = pool.page_count();
+    header.checkpoint_seq += 1;
+    header.clean_shutdown = false;
+    pool.disk().write_header(header)?;
+    if *fsync {
+        pool.sync()?;
+        pool.disk().sync_dw()?;
+    }
+    pool.disk().dw_reset()?;
+    wal.append(&LogRecord::EndCheckpoint {
+        begin_lsn: begin_end,
+        dirty,
+        active,
+    });
+    wal.flush()?;
+    let horizon = begin_start.min(pool.min_rec_lsn().unwrap_or(u64::MAX)).min(
+        txns.active_logged_first_lsns()
+            .iter()
+            .map(|&(_, first)| first)
+            .min()
+            .unwrap_or(u64::MAX),
+    );
+    let freed = wal.truncate_prefix(horizon)?;
+    metrics.checkpoints.inc();
+    metrics.dpt_size.set(pool.dirty_page_table().len() as u64);
+    commits.store(0, Ordering::Relaxed);
+    Ok(freed)
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        // `close` already stopped it; a bare drop (or a crash-simulating
+        // test that forgot the storage) must not leave the thread looping
+        // on Arcs that outlive the Storage.
+        self.stop_checkpointer();
+    }
 }
 
 impl Storage {
@@ -296,11 +410,11 @@ impl Storage {
         let store = match options.engine {
             EngineKind::Disk => {
                 let disk = DiskFile::create_with(&dir.join("data.odb"), options.fault.clone())?;
-                Store::Disk(BufferPool::with_shards(
+                Store::Disk(Arc::new(BufferPool::with_shards(
                     disk,
                     options.buffer_pages,
                     options.shards,
-                ))
+                )))
             }
             EngineKind::Memory => Store::Mem(MemStore::with_shards(options.shards)),
         };
@@ -314,6 +428,7 @@ impl Storage {
         let storage = Storage::assemble(store, Some(wal), options, Some(dir.to_path_buf()));
         storage.bootstrap_roots()?;
         storage.checkpoint()?;
+        storage.start_checkpointer();
         Ok(storage)
     }
 
@@ -323,11 +438,11 @@ impl Storage {
         let store = match options.engine {
             EngineKind::Disk => {
                 let disk = DiskFile::open(&dir.join("data.odb"))?;
-                Store::Disk(BufferPool::with_shards(
+                Store::Disk(Arc::new(BufferPool::with_shards(
                     disk,
                     options.buffer_pages,
                     options.shards,
-                ))
+                )))
             }
             EngineKind::Memory => {
                 let ckpt = dir.join("mem.ckpt");
@@ -350,6 +465,7 @@ impl Storage {
         storage.replay(&records)?;
         storage.rebuild_alloc()?;
         storage.checkpoint()?;
+        storage.start_checkpointer();
         Ok(storage)
     }
 
@@ -391,13 +507,20 @@ impl Storage {
         // all record into the same instance, which `Storage::metrics` then
         // exposes to the event and trigger layers above.
         let metrics = Arc::new(Metrics::new());
-        let mut store = store;
-        if let Store::Disk(pool) = &mut store {
-            pool.set_metrics(Arc::clone(&metrics));
-        }
         let mut wal = wal;
         if let Some(w) = &mut wal {
             w.set_metrics(Arc::clone(&metrics));
+        }
+        let wal = wal.map(Arc::new);
+        let mut store = store;
+        if let Store::Disk(pool) = &mut store {
+            let pool = Arc::get_mut(pool).expect("pool is unshared at assembly");
+            pool.set_metrics(Arc::clone(&metrics));
+            if let Some(w) = &wal {
+                // Enables steal: dirty frames may be written back once the
+                // WAL is flushed through their page LSN.
+                pool.attach_wal(Arc::clone(w));
+            }
         }
         if let Some(injector) = &options.fault {
             injector.attach_metrics(Arc::clone(&metrics));
@@ -411,11 +534,11 @@ impl Storage {
                 Arc::clone(&metrics),
                 options.lock_stripes,
             ),
-            txns: TxnManager::with_config(
+            txns: Arc::new(TxnManager::with_config(
                 options.lock_timeout,
                 Arc::clone(&metrics),
                 options.shards,
-            ),
+            )),
             versions: VersionStore::new(options.shards, Arc::clone(&metrics)),
             alloc_shards: (0..alloc_shards)
                 .map(|_| Mutex::new(AllocShard::default()))
@@ -424,9 +547,66 @@ impl Storage {
             alloc_global: Mutex::new(AllocGlobal::default()),
             options,
             dir,
-            commits_since_checkpoint: AtomicU64::new(0),
+            commits_since_checkpoint: Arc::new(AtomicU64::new(0)),
             next_lsn: AtomicU64::new(1),
+            checkpointer: Mutex::new(None),
             metrics,
+        }
+    }
+
+    /// Spawn the background fuzzy checkpointer when configured (disk
+    /// engine with a WAL and `checkpoint_interval` set). Called after the
+    /// initial quiesced checkpoint so the thread never overlaps create/
+    /// open-time log resets.
+    fn start_checkpointer(&self) {
+        let interval = match self.options.checkpoint_interval {
+            Some(interval) if !interval.is_zero() => interval,
+            _ => return,
+        };
+        let (pool, wal) = match (&self.store, &self.wal) {
+            (Store::Disk(pool), Some(wal)) => (Arc::clone(pool), Arc::clone(wal)),
+            _ => return,
+        };
+        let shared = CheckpointShared {
+            pool,
+            wal,
+            txns: Arc::clone(&self.txns),
+            metrics: Arc::clone(&self.metrics),
+            fsync: self.options.fsync,
+            commits: Arc::clone(&self.commits_since_checkpoint),
+        };
+        let stop = Arc::new((Mutex::new(false), parking_lot::Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ode-checkpointer".into())
+            .spawn(move || loop {
+                {
+                    let mut stopped = thread_stop.0.lock();
+                    if !*stopped {
+                        thread_stop.1.wait_for(&mut stopped, interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                // Checkpoint failures (e.g. a poisoned WAL under fault
+                // injection) must not kill the thread: the condition is
+                // surfaced to committers through their own WAL writes, and
+                // the next cycle retries.
+                let _ = fuzzy_checkpoint(&shared);
+            })
+            .expect("spawning the checkpointer thread cannot fail");
+        *self.checkpointer.lock() = Some(Checkpointer { stop, handle });
+    }
+
+    /// Signal and join the background checkpointer, if running.
+    /// Idempotent; called from `close` and `Drop`.
+    fn stop_checkpointer(&self) {
+        let ckpt = self.checkpointer.lock().take();
+        if let Some(ckpt) = ckpt {
+            *ckpt.stop.0.lock() = true;
+            ckpt.stop.1.notify_all();
+            let _ = ckpt.handle.join();
         }
     }
 
@@ -465,31 +645,80 @@ impl Storage {
     /// Transactions still in flight at the crash (neither Commit nor Abort
     /// in the log) are then rolled back from the records' before-images,
     /// newest first.
-    fn replay(&self, records: &[LogRecord]) -> Result<()> {
+    ///
+    /// Two refinements over blind reapply, both required once the buffer
+    /// pool steals dirty pages and checkpoints are fuzzy:
+    ///
+    /// * **Checkpoint-bounded redo.** The scan starts at the last complete
+    ///   checkpoint's `min(Begin-marker end, dirty-page rec_lsns, active
+    ///   first_lsns)` instead of the log start; records wholly before that
+    ///   are only consulted for the winner/loser verdicts.
+    /// * **LSN-gated apply.** Each record mutates its page only when the
+    ///   page's stamped LSN is older than the record's end LSN; a page
+    ///   stolen (written back) after the record was applied live carries a
+    ///   newer stamp, and re-applying would double-insert or double-delete.
+    ///   Loser undo is collected from the record either way — the effect
+    ///   is in the page whether redo or the steal put it there.
+    fn replay(&self, records: &[(u64, LogRecord)]) -> Result<()> {
         use std::collections::HashSet;
         let resolved: HashSet<u64> = records
             .iter()
-            .filter_map(|r| match r {
+            .filter_map(|(_, r)| match r {
                 LogRecord::Commit { txn } | LogRecord::Abort { txn } => Some(*txn),
                 _ => None,
             })
             .collect();
+        // Redo lower bound from the last complete fuzzy checkpoint (its
+        // End record carries the tables sampled just after its Begin
+        // marker; anything sampled too late to appear logs past the
+        // marker, so the min below can miss nothing).
+        let mut redo_start = 0u64;
+        for (_, record) in records.iter().rev() {
+            if let LogRecord::EndCheckpoint {
+                begin_lsn,
+                dirty,
+                active,
+            } = record
+            {
+                redo_start = dirty
+                    .iter()
+                    .map(|&(_, rec_lsn)| rec_lsn)
+                    .chain(active.iter().map(|&(_, first)| first))
+                    .min()
+                    .unwrap_or(*begin_lsn)
+                    .min(*begin_lsn);
+                break;
+            }
+        }
         // Phase 1: repeat history. Collect undo work for in-flight losers.
         let mut loser_undo: Vec<UndoOp> = Vec::new();
-        for record in records {
+        for (end, record) in records {
+            if *end <= redo_start {
+                continue;
+            }
+            let end = *end;
             let loser = !resolved.contains(&record.txn());
             match record {
                 LogRecord::PageAlloc { page, cluster, .. } => {
                     self.store.ensure_pages(page + 1)?;
-                    self.store
-                        .with_page_mut(*page, |p| p.set_cluster(*cluster))?;
+                    self.store.with_page_mut(*page, |p| {
+                        if p.lsn() < end {
+                            p.set_cluster(*cluster);
+                            p.set_lsn(end);
+                        }
+                    })?;
                 }
                 LogRecord::CellInsert {
                     page, slot, data, ..
                 } => {
                     self.store.ensure_pages(page + 1)?;
                     self.store
-                        .with_page_mut(*page, |p| p.insert_at(*slot, data))?
+                        .with_page_mut(*page, |p| {
+                            if p.lsn() >= end {
+                                return Ok(());
+                            }
+                            p.insert_at(*slot, data).map(|()| p.set_lsn(end))
+                        })?
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay insert failed: {e:?}"))
                         })?;
@@ -508,7 +737,12 @@ impl Storage {
                     ..
                 } => {
                     self.store
-                        .with_page_mut(*page, |p| p.update(*slot, data))?
+                        .with_page_mut(*page, |p| {
+                            if p.lsn() >= end {
+                                return Ok(());
+                            }
+                            p.update(*slot, data).map(|()| p.set_lsn(end))
+                        })?
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay update failed: {e:?}"))
                         })?;
@@ -524,7 +758,12 @@ impl Storage {
                     page, slot, before, ..
                 } => {
                     self.store
-                        .with_page_mut(*page, |p| p.delete(*slot))?
+                        .with_page_mut(*page, |p| {
+                            if p.lsn() >= end {
+                                return Ok(());
+                            }
+                            p.delete(*slot).map(|()| p.set_lsn(end))
+                        })?
                         .map_err(|e| {
                             StorageError::Corrupt(format!("replay delete failed: {e:?}"))
                         })?;
@@ -536,7 +775,11 @@ impl Storage {
                         });
                     }
                 }
-                LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {}
+                LogRecord::Begin { .. }
+                | LogRecord::Commit { .. }
+                | LogRecord::Abort { .. }
+                | LogRecord::BeginCheckpoint
+                | LogRecord::EndCheckpoint { .. } => {}
             }
         }
         // Phase 2: roll back the losers in reverse global log order, so
@@ -685,11 +928,13 @@ impl Storage {
         Ok(())
     }
 
-    /// Flush everything and truncate the log. Requires quiescence (no
-    /// active transactions); returns without effect when busy.
+    /// Flush everything and truncate the log. Requires quiescence: with
+    /// transactions active this fails with [`StorageError::NotQuiesced`]
+    /// (use [`Storage::checkpoint_fuzzy`] to checkpoint under load).
     pub fn checkpoint(&self) -> Result<()> {
-        if !self.txns.active().is_empty() {
-            return Ok(());
+        let active = self.txns.active().len();
+        if active != 0 {
+            return Err(StorageError::NotQuiesced(active));
         }
         // Quiescence means no snapshot can be registered and no writer is
         // pinning a chain, so this sweep empties the version store: the
@@ -720,7 +965,11 @@ impl Storage {
                 pool.disk().write_header(header)?;
                 if self.options.fsync {
                     pool.sync()?;
+                    pool.disk().sync_dw()?;
                 }
+                // Every in-place page write is now durable, so the
+                // doublewrite journal has nothing left to protect.
+                pool.disk().dw_reset()?;
                 wal.reset()?;
             }
             (Store::Mem(mem), Some(wal)) => {
@@ -732,13 +981,45 @@ impl Storage {
             }
             _ => {}
         }
+        self.metrics.checkpoints.inc();
         self.commits_since_checkpoint.store(0, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Take a fuzzy (non-quiescent) checkpoint: flush the sampled dirty-
+    /// page table under the WAL-before-data rule, log the checkpoint, and
+    /// truncate the WAL behind the recovery horizon — all while commits,
+    /// aborts, and trigger firings proceed concurrently. Returns the
+    /// number of log bytes freed.
+    ///
+    /// On the memory engine (whose checkpoint is a full image and needs
+    /// quiescence) this degrades to an opportunistic quiesced checkpoint:
+    /// busy means no-op, not an error.
+    pub fn checkpoint_fuzzy(&self) -> Result<u64> {
+        match (&self.store, &self.wal) {
+            (Store::Disk(pool), Some(wal)) => {
+                let shared = CheckpointShared {
+                    pool: Arc::clone(pool),
+                    wal: Arc::clone(wal),
+                    txns: Arc::clone(&self.txns),
+                    metrics: Arc::clone(&self.metrics),
+                    fsync: self.options.fsync,
+                    commits: Arc::clone(&self.commits_since_checkpoint),
+                };
+                fuzzy_checkpoint(&shared)
+            }
+            _ => match self.checkpoint() {
+                Ok(()) => Ok(0),
+                Err(StorageError::NotQuiesced(_)) => Ok(0),
+                Err(e) => Err(e),
+            },
+        }
     }
 
     /// Checkpoint and drop the handle. (Dropping without `close` is safe —
     /// recovery replays the log — just slower on next open.)
     pub fn close(self) -> Result<()> {
+        self.stop_checkpointer();
         self.checkpoint()
     }
 
@@ -799,18 +1080,6 @@ impl Storage {
         }
     }
 
-    /// Append a data record for `txn`, logging its Begin first if this is
-    /// the transaction's first write.
-    fn wal_log(&self, txn: TxnId, record: impl FnOnce() -> LogRecord) -> Result<()> {
-        if let Some(wal) = &self.wal {
-            if self.txns.mark_logged(txn)? {
-                wal.append(&LogRecord::Begin { txn: txn.0 });
-            }
-            wal.append(&record());
-        }
-        Ok(())
-    }
-
     /// Ensure `txn`'s Begin record is in the WAL. Called before taking a
     /// page latch whose closure will append a cell record: cell records
     /// are appended *under* the latch so WAL order is identical to
@@ -818,7 +1087,11 @@ impl Storage {
     /// depends on. (Begin order itself is immaterial.)
     fn wal_begin(&self, txn: TxnId) -> Result<()> {
         if let Some(wal) = &self.wal {
-            if self.txns.mark_logged(txn)? {
+            // Sample the log tail *before* appending: the recorded
+            // first-LSN must lower-bound every record of the transaction,
+            // and the checkpointer reads it concurrently.
+            let first = wal.end_lsn();
+            if self.txns.mark_logged(txn, first)? {
                 wal.append(&LogRecord::Begin { txn: txn.0 });
             }
         }
@@ -877,26 +1150,44 @@ impl Storage {
             self.abort(txn)?;
             return Err(e);
         }
-        // Log the physical removal of every cell this transaction
-        // tombstoned *ahead of* the Commit record, so recovery repeats the
-        // purge exactly when it replays the commit. The slots stay
-        // reserved (tombstoned) until the physical pass below, so reading
-        // them here is race-free.
+        // Physically remove every cell this transaction tombstoned, each
+        // logged and applied under ONE page latch (log order = mutation
+        // order, and the page LSN is stamped with the record's exact end
+        // so a stolen page never replays the delete twice). Ahead of the
+        // Commit record, so recovery repeats the purge exactly when it
+        // replays the commit; running it here is irrevocable-safe because
+        // dependencies are resolved and nothing past this point can abort
+        // the transaction. The slots stayed reserved (tombstoned) until
+        // now, so reading them inside the latch is race-free, and the
+        // locks are still held, so no reader can observe the purge early.
         let pending = self.txns.take_pending_deletes(txn);
-        if let (Some(wal), false) = (&self.wal, pending.is_empty()) {
-            debug_assert!(self.txns.has_logged(txn), "a delete implies a logged txn");
-            for oid in &pending {
-                let before = self
-                    .store
-                    .with_page(oid.page(), |p| p.read(oid.slot()).map(<[u8]>::to_vec))?
-                    .unwrap_or_default();
-                wal.append(&LogRecord::CellDelete {
-                    txn: txn.0,
-                    page: oid.page(),
-                    slot: oid.slot(),
-                    before,
-                });
-            }
+        debug_assert!(
+            pending.is_empty() || self.wal.is_none() || self.txns.has_logged(txn),
+            "a delete implies a logged txn"
+        );
+        for oid in &pending {
+            let removed = self.store.with_page_mut(oid.page(), |p| {
+                let before = p.read(oid.slot()).map(<[u8]>::to_vec).unwrap_or_default();
+                let ok = p.delete(oid.slot()).is_ok();
+                if ok {
+                    let lsn = match &self.wal {
+                        Some(wal) => wal.append(&LogRecord::CellDelete {
+                            txn: txn.0,
+                            page: oid.page(),
+                            slot: oid.slot(),
+                            before,
+                        }),
+                        None => self.bump_lsn(),
+                    };
+                    p.set_lsn(lsn);
+                }
+                ok
+            });
+            debug_assert!(
+                matches!(removed, Ok(true)),
+                "commit-time delete of a tombstoned cell cannot fail"
+            );
+            let _ = self.note_space(oid.page());
         }
         // Read-only transactions never logged anything: skip the Commit
         // record and the flush entirely.
@@ -924,10 +1215,9 @@ impl Storage {
         };
         // Install the committed values of this transaction's write set as
         // one atomic version-store sequence step. Past the commit point
-        // (Commit record appended) but *before* the physical purge below:
-        // a tombstoned cell still resolves as NoSuchObject, which installs
-        // the delete marker snapshot readers need, while the purge itself
-        // must not run before the chains can answer for the purged slots.
+        // (Commit record appended): a purged slot resolves as
+        // NoSuchObject, which installs the delete marker snapshot readers
+        // need.
         let dirty = self.txns.take_dirty(txn);
         if !dirty.is_empty() {
             self.versions.install(&dirty, |o| {
@@ -939,30 +1229,6 @@ impl Storage {
                     Err(e) => Err(e),
                 }
             })?;
-        }
-        // Physically remove the tombstoned cells: past the commit point
-        // (Commit record appended — the transaction can no longer abort)
-        // their slots and bytes are permanently free. Must happen before
-        // `finish` so an auto-checkpoint passing the quiescence test can
-        // never flush a page still holding a committed tombstone, and
-        // before the locks release so no reader can observe one.
-        // Best-effort by construction — the reservation guarantees the
-        // slot still holds our tombstone, and failing here must never
-        // skip the unlock below.
-        for oid in pending {
-            let lsn = self.bump_lsn();
-            let removed = self.store.with_page_mut(oid.page(), |p| {
-                let ok = p.delete(oid.slot()).is_ok();
-                if ok {
-                    p.set_lsn(lsn);
-                }
-                ok
-            });
-            debug_assert!(
-                matches!(removed, Ok(true)),
-                "commit-time delete of a tombstoned cell cannot fail"
-            );
-            let _ = self.note_space(oid.page());
         }
         self.txns.finish(txn, TxnState::Committed)?;
         self.locks.unlock_all(txn);
@@ -999,7 +1265,19 @@ impl Storage {
                 .fetch_add(1, Ordering::Relaxed)
                 + 1;
             if self.options.checkpoint_every > 0 && n >= self.options.checkpoint_every {
-                self.checkpoint()?;
+                match &self.store {
+                    // Disk: fuzzy — runs under load, truncates the log
+                    // incrementally, never stalls concurrent committers.
+                    Store::Disk(_) if self.wal.is_some() => {
+                        self.checkpoint_fuzzy()?;
+                    }
+                    // Memory: the full-image checkpoint needs quiescence;
+                    // stay opportunistic (busy commits just skip it).
+                    _ => match self.checkpoint() {
+                        Ok(()) | Err(StorageError::NotQuiesced(_)) => {}
+                        Err(e) => return Err(e),
+                    },
+                }
             }
         }
         Ok(())
@@ -1067,14 +1345,16 @@ impl Storage {
                     .with_page_mut(page, |p| {
                         let before = p.read(slot).map(<[u8]>::to_vec).unwrap_or_default();
                         p.delete(slot).map(|()| {
-                            if let Some(wal) = &self.wal {
-                                wal.append(&LogRecord::CellDelete {
+                            let lsn = match &self.wal {
+                                Some(wal) => wal.append(&LogRecord::CellDelete {
                                     txn: txn.0,
                                     page,
                                     slot,
                                     before,
-                                });
-                            }
+                                }),
+                                None => self.bump_lsn(),
+                            };
+                            p.set_lsn(lsn);
                         })
                     })?
                     .map_err(|e| StorageError::Corrupt(format!("undo insert failed: {e:?}")))?;
@@ -1084,15 +1364,17 @@ impl Storage {
                 let outcome = self.store.with_page_mut(page, |p| {
                     let prior = p.read(slot).map(<[u8]>::to_vec).unwrap_or_default();
                     p.update(slot, &before).map(|()| {
-                        if let Some(wal) = &self.wal {
-                            wal.append(&LogRecord::CellUpdate {
+                        let lsn = match &self.wal {
+                            Some(wal) => wal.append(&LogRecord::CellUpdate {
                                 txn: txn.0,
                                 page,
                                 slot,
                                 data: before.clone(),
                                 before: prior,
-                            });
-                        }
+                            }),
+                            None => self.bump_lsn(),
+                        };
+                        p.set_lsn(lsn);
                     })
                 })?;
                 match outcome {
@@ -1109,14 +1391,16 @@ impl Storage {
             UndoOp::UndoDelete { page, slot, before } => {
                 let outcome = self.store.with_page_mut(page, |p| {
                     p.insert_at(slot, &before).map(|()| {
-                        if let Some(wal) = &self.wal {
-                            wal.append(&LogRecord::CellInsert {
+                        let lsn = match &self.wal {
+                            Some(wal) => wal.append(&LogRecord::CellInsert {
                                 txn: txn.0,
                                 page,
                                 slot,
                                 data: before.clone(),
-                            });
-                        }
+                            }),
+                            None => self.bump_lsn(),
+                        };
+                        p.set_lsn(lsn);
                     })
                 })?;
                 match outcome {
@@ -1175,19 +1459,19 @@ impl Storage {
                 )));
             }
         } else {
-            let lsn = self.bump_lsn();
             self.store
                 .with_page_mut(oid.page(), |p| {
                     p.insert_at(oid.slot(), &stub).map(|()| {
-                        p.set_lsn(lsn);
-                        if let Some(wal) = &self.wal {
-                            wal.append(&LogRecord::CellInsert {
+                        let lsn = match &self.wal {
+                            Some(wal) => wal.append(&LogRecord::CellInsert {
                                 txn: txn.0,
                                 page: oid.page(),
                                 slot: oid.slot(),
                                 data: stub.clone(),
-                            });
-                        }
+                            }),
+                            None => self.bump_lsn(),
+                        };
+                        p.set_lsn(lsn);
                     })
                 })?
                 .map_err(|e| StorageError::Corrupt(format!("undo stub insert failed: {e:?}")))?;
@@ -1322,11 +1606,21 @@ impl Storage {
                 p
             }
         };
-        self.store.with_page_mut(page, |p| p.set_cluster(cluster))?;
-        self.wal_log(txn, || LogRecord::PageAlloc {
-            txn: txn.0,
-            page,
-            cluster,
+        // Begin must be logged before the latch; the PageAlloc record is
+        // appended *under* it so log order matches mutation order and the
+        // page LSN carries the record's exact end (steal/redo gating).
+        self.wal_begin(txn)?;
+        self.store.with_page_mut(page, |p| {
+            p.set_cluster(cluster);
+            let lsn = match &self.wal {
+                Some(wal) => wal.append(&LogRecord::PageAlloc {
+                    txn: txn.0,
+                    page,
+                    cluster,
+                }),
+                None => self.bump_lsn(),
+            };
+            p.set_lsn(lsn);
         })?;
         self.lock_alloc_global()
             .cluster_pages
@@ -1354,19 +1648,19 @@ impl Storage {
         loop {
             let page = self.pick_page(txn, cluster, cell.len())?;
             self.wal_begin(txn)?;
-            let lsn = self.bump_lsn();
             let outcome = self.store.with_page_mut(page, |p| {
                 let r = p.insert(cell);
                 if let Ok(slot) = r {
-                    p.set_lsn(lsn);
-                    if let Some(wal) = &self.wal {
-                        wal.append(&LogRecord::CellInsert {
+                    let lsn = match &self.wal {
+                        Some(wal) => wal.append(&LogRecord::CellInsert {
                             txn: txn.0,
                             page,
                             slot,
                             data: cell.to_vec(),
-                        });
-                    }
+                        }),
+                        None => self.bump_lsn(),
+                    };
+                    p.set_lsn(lsn);
                     if track {
                         self.versions
                             .note_insert(Oid::new(page, slot).to_u64(), cluster, txn);
@@ -1400,7 +1694,6 @@ impl Storage {
             return Err(StorageError::RecordTooLarge(cell.len()));
         }
         self.wal_begin(txn)?;
-        let lsn = self.bump_lsn();
         let outcome = self.store.with_page_mut(oid.page(), |p| {
             let before = p.read(oid.slot()).map(<[u8]>::to_vec);
             let Some(before) = before else {
@@ -1408,16 +1701,17 @@ impl Storage {
             };
             match p.update(oid.slot(), cell) {
                 Ok(()) => {
-                    p.set_lsn(lsn);
-                    if let Some(wal) = &self.wal {
-                        wal.append(&LogRecord::CellUpdate {
+                    let lsn = match &self.wal {
+                        Some(wal) => wal.append(&LogRecord::CellUpdate {
                             txn: txn.0,
                             page: oid.page(),
                             slot: oid.slot(),
                             data: cell.to_vec(),
                             before: before.clone(),
-                        });
-                    }
+                        }),
+                        None => self.bump_lsn(),
+                    };
+                    p.set_lsn(lsn);
                     Ok(Some(before))
                 }
                 Err(PageOpError::Full) => Ok(None),
@@ -1450,7 +1744,6 @@ impl Storage {
     /// Commit record.
     fn raw_delete(&self, txn: TxnId, oid: Oid) -> Result<()> {
         self.wal_begin(txn)?;
-        let lsn = self.bump_lsn();
         let before = self.store.with_page_mut(oid.page(), |p| {
             let before = p.read(oid.slot()).map(<[u8]>::to_vec);
             let Some(before) = before else {
@@ -1463,16 +1756,17 @@ impl Storage {
             tomb[0] = TAG_TOMBSTONE;
             p.update(oid.slot(), &tomb)
                 .map_err(|e| StorageError::Corrupt(format!("delete failed: {e:?}")))?;
-            p.set_lsn(lsn);
-            if let Some(wal) = &self.wal {
-                wal.append(&LogRecord::CellUpdate {
+            let lsn = match &self.wal {
+                Some(wal) => wal.append(&LogRecord::CellUpdate {
                     txn: txn.0,
                     page: oid.page(),
                     slot: oid.slot(),
                     data: tomb,
                     before: before.clone(),
-                });
-            }
+                }),
+                None => self.bump_lsn(),
+            };
+            p.set_lsn(lsn);
             Ok(before)
         })??;
         self.txns.push_undo(
@@ -1953,6 +2247,31 @@ impl Storage {
     /// whose ticket LSN is `<=` this value is durable.
     pub fn wal_flushed_lsn(&self) -> Option<u64> {
         self.wal.as_ref().map(|w| w.flushed_lsn())
+    }
+
+    /// Current on-disk size of the WAL file in bytes (None without a
+    /// WAL). Shrinks when a fuzzy checkpoint truncates the prefix — the
+    /// steady-state log-size signal the larger-than-RAM bench watches.
+    pub fn wal_file_len(&self) -> Option<u64> {
+        self.wal.as_ref().and_then(|w| w.file_len().ok())
+    }
+
+    /// Total buffer pool frame capacity (disk engine; None for memory).
+    /// Once steal is enabled (a WAL is attached) resident pages never
+    /// exceed this bound, whatever the working-set size.
+    pub fn pool_capacity(&self) -> Option<usize> {
+        match &self.store {
+            Store::Disk(pool) => Some(pool.capacity()),
+            Store::Mem(_) => None,
+        }
+    }
+
+    /// Per-shard buffer pool statistics (disk engine; None for memory).
+    pub fn pool_shard_stats(&self) -> Option<Vec<crate::buffer::ShardStats>> {
+        match &self.store {
+            Store::Disk(pool) => Some(pool.shard_stats()),
+            Store::Mem(_) => None,
+        }
     }
 
     /// Shape of the MVCC version store: live chain entries, retained
@@ -2453,7 +2772,7 @@ mod tests {
         let records = Wal::read_all(&dir.path().join("wal.log")).unwrap();
         let commits = records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Commit { .. }))
+            .filter(|(_, r)| matches!(r, LogRecord::Commit { .. }))
             .count();
         assert!(commits < 5, "log should have been truncated, got {commits}");
     }
@@ -2804,8 +3123,9 @@ mod tests {
         s.commit(t).unwrap();
         // The registered snapshot pins chain entries across the commit.
         assert!(s.version_stats().entries > 0);
-        // Busy checkpoint: the reader is active, nothing changes.
-        s.checkpoint().unwrap();
+        // Busy checkpoint: the reader is active, so the quiesced path
+        // refuses with a typed error and nothing changes.
+        assert!(matches!(s.checkpoint(), Err(StorageError::NotQuiesced(1))));
         assert!(s.version_stats().entries > 0);
         s.commit(r).unwrap();
         // Quiesced checkpoint: superseded versions must not survive it.
@@ -2814,6 +3134,160 @@ mod tests {
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.versions, 0);
         assert_eq!(stats.active_snapshots, 0);
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn quiesced_checkpoint_returns_not_quiesced_when_busy() {
+        // Satellite regression: the quiesced path must fail typed, not
+        // silently no-op, while transactions are active.
+        let dir = TempDir::new("store");
+        let s = disk_storage(&dir);
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        s.allocate(t, c, b"busy").unwrap();
+        assert!(matches!(s.checkpoint(), Err(StorageError::NotQuiesced(1))));
+        s.commit(t).unwrap();
+        s.checkpoint().unwrap();
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_truncates_log_under_active_transactions() {
+        let dir = TempDir::new("store");
+        let s = disk_storage(&dir);
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        s.commit(t).unwrap();
+        // Committed traffic first: these records sit below any later
+        // transaction's first LSN, so the horizon can free them.
+        for i in 0..20u8 {
+            let t = s.begin().unwrap();
+            s.allocate(t, c, &[i; 64]).unwrap();
+            s.commit(t).unwrap();
+        }
+        let before_len = s.wal_file_len().unwrap();
+        // An in-flight writer pins the horizon at its first LSN but must
+        // not block the checkpoint.
+        let active = s.begin().unwrap();
+        let pinned = s.allocate(active, c, b"in flight").unwrap();
+        let ckpts_before = s.metrics().snapshot().checkpoints;
+        let freed = s.checkpoint_fuzzy().unwrap();
+        assert!(freed > 0, "prefix below the active txn should be freed");
+        assert!(s.wal_file_len().unwrap() < before_len);
+        assert_eq!(s.metrics().snapshot().checkpoints, ckpts_before + 1);
+        s.commit(active).unwrap();
+        // Crash and recover from the fuzzy checkpoint (not the log start).
+        std::mem::forget(s);
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        assert_eq!(s.read(t, pinned).unwrap(), b"in flight");
+        assert_eq!(s.scan_cluster(t, c).unwrap().len(), 21);
+        s.commit(t).unwrap();
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn recovery_is_exact_with_stolen_pages_and_fuzzy_checkpoints() {
+        // A pool far smaller than the working set forces dirty-page
+        // steals; interleaved fuzzy checkpoints truncate the log. After a
+        // crash, redo must be page-LSN-gated (stolen pages already carry
+        // later state) and losers must roll back even when their dirty
+        // pages were stolen.
+        let dir = TempDir::new("store");
+        let opts = StorageOptions {
+            buffer_pages: 4,
+            ..StorageOptions::default()
+        };
+        let s = Storage::create(dir.path(), opts).unwrap();
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        s.commit(t).unwrap();
+        let mut committed = Vec::new();
+        for round in 0..8u8 {
+            let t = s.begin().unwrap();
+            for i in 0..16u8 {
+                committed.push((
+                    s.allocate(t, c, &[round * 16 + i; 100]).unwrap(),
+                    round * 16 + i,
+                ));
+            }
+            s.commit(t).unwrap();
+            if round % 3 == 2 {
+                s.checkpoint_fuzzy().unwrap();
+            }
+        }
+        assert!(
+            s.pool_stats().unwrap().steals > 0,
+            "working set must overflow the pool via steals"
+        );
+        // A loser whose dirty pages may have been stolen.
+        let loser = s.begin().unwrap();
+        let ghost = s.allocate(loser, c, &[0xEE; 100]).unwrap();
+        s.update(loser, committed[0].0, b"uncommitted overwrite")
+            .unwrap();
+        std::mem::forget(s); // crash
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        for (oid, fill) in &committed {
+            assert_eq!(s.read(t, *oid).unwrap(), vec![*fill; 100]);
+        }
+        assert!(matches!(
+            s.read(t, ghost),
+            Err(StorageError::NoSuchObject(_))
+        ));
+        s.commit(t).unwrap();
+        s.close().unwrap();
+    }
+
+    #[test]
+    fn background_checkpointer_cycles_without_stalling_commits() {
+        // Tentpole acceptance: continuous commits while the checkpointer
+        // cycles — no commit fails, the log shrinks under traffic, and no
+        // commit observes a stop-the-world stall.
+        let dir = TempDir::new("store");
+        let opts = StorageOptions {
+            checkpoint_interval: Some(Duration::from_millis(5)),
+            ..StorageOptions::default()
+        };
+        let s = Arc::new(Storage::create(dir.path(), opts).unwrap());
+        let t = s.begin().unwrap();
+        let c = s.create_cluster(t).unwrap();
+        s.commit(t).unwrap();
+        let mut latencies = Vec::new();
+        let stop_at = std::time::Instant::now() + Duration::from_millis(400);
+        let mut i = 0u64;
+        while std::time::Instant::now() < stop_at {
+            let started = std::time::Instant::now();
+            let t = s.begin().unwrap();
+            s.allocate(t, c, &i.to_le_bytes()).unwrap();
+            s.commit(t).unwrap();
+            latencies.push(started.elapsed());
+            i += 1;
+        }
+        let snap = s.metrics().snapshot();
+        assert!(
+            snap.checkpoints >= 2,
+            "checkpointer should have cycled, got {}",
+            snap.checkpoints
+        );
+        assert!(
+            snap.wal_truncated_bytes > 0,
+            "the log should have been truncated under traffic"
+        );
+        latencies.sort_unstable();
+        let p99 = latencies[latencies.len() * 99 / 100];
+        assert!(
+            p99 < Duration::from_millis(250),
+            "commit p99 {p99:?} suggests a stop-the-world stall"
+        );
+        let s = Arc::try_unwrap(s).ok().expect("sole owner");
+        s.close().unwrap();
+        // Clean reopen after a checkpointed run.
+        let s = Storage::open(dir.path(), StorageOptions::default()).unwrap();
+        let t = s.begin().unwrap();
+        assert_eq!(s.scan_cluster(t, c).unwrap().len(), i as usize);
+        s.commit(t).unwrap();
         s.close().unwrap();
     }
 }

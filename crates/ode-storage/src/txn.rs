@@ -89,6 +89,11 @@ struct TxnRecord {
     /// Stays false for read-only transactions, which therefore skip the
     /// Commit record and flush entirely.
     logged: bool,
+    /// Conservative lower bound on the LSN of this transaction's first WAL
+    /// record (its Begin), set with `logged` under the stripe lock. The
+    /// fuzzy checkpointer's truncation horizon must stay behind the
+    /// minimum of these across active transactions.
+    first_lsn: Option<u64>,
     /// LSN of this transaction's Commit record, recorded at commit time so
     /// durability waits (`flushed_lsn >= commit_lsn`) can be ordered after
     /// dependency release.
@@ -184,6 +189,7 @@ impl TxnManager {
                 pending_deletes: Vec::new(),
                 depends_on: Vec::new(),
                 logged: false,
+                first_lsn: None,
                 commit_lsn: None,
                 dirty: HashSet::new(),
                 snapshot: None,
@@ -249,13 +255,21 @@ impl TxnManager {
 
     /// Mark that `txn` has written its WAL Begin record. Returns `true` the
     /// first time (the caller must log Begin then), `false` afterwards.
-    pub fn mark_logged(&self, txn: TxnId) -> Result<bool> {
+    /// `first_lsn` is a lower bound on where that Begin will land (the WAL
+    /// end sampled *before* the append), recorded with the flag under the
+    /// stripe lock so the checkpointer never observes a logged transaction
+    /// without a first LSN.
+    pub fn mark_logged(&self, txn: TxnId, first_lsn: u64) -> Result<bool> {
         let mut txns = self.lock_stripe(txn);
         let rec = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
         if rec.state != TxnState::Active {
             return Err(StorageError::TxnNotActive(txn));
         }
-        Ok(!std::mem::replace(&mut rec.logged, true))
+        let first = !std::mem::replace(&mut rec.logged, true);
+        if first {
+            rec.first_lsn = Some(first_lsn);
+        }
+        Ok(first)
     }
 
     /// Whether `txn` has written any WAL records (false ⇒ read-only so far).
@@ -375,6 +389,22 @@ impl TxnManager {
         }
         self.stripe(txn).cv.notify_all();
         Ok(())
+    }
+
+    /// (txn id, first LSN) of every active transaction that has logged WAL
+    /// records — the active-transaction table a fuzzy checkpoint records,
+    /// and whose minimum first LSN bounds log truncation.
+    pub fn active_logged_first_lsns(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let txns = stripe.txns.lock();
+            out.extend(
+                txns.iter()
+                    .filter(|(_, r)| r.state == TxnState::Active && r.logged)
+                    .filter_map(|(&id, r)| r.first_lsn.map(|lsn| (id.0, lsn))),
+            );
+        }
+        out
     }
 
     /// Ids of all currently active transactions.
@@ -538,12 +568,27 @@ mod tests {
         let tm = TxnManager::default();
         let t = tm.begin(false);
         assert!(!tm.has_logged(t));
-        assert!(tm.mark_logged(t).unwrap());
-        assert!(!tm.mark_logged(t).unwrap());
+        assert!(tm.mark_logged(t, 17).unwrap());
+        assert!(!tm.mark_logged(t, 99).unwrap());
         assert!(tm.has_logged(t));
+        // The first LSN is pinned by the first call; later calls are no-ops.
+        assert_eq!(tm.active_logged_first_lsns(), vec![(t.0, 17)]);
         assert_eq!(tm.commit_lsn(t), None);
         tm.set_commit_lsn(t, 42);
         assert_eq!(tm.commit_lsn(t), Some(42));
+    }
+
+    #[test]
+    fn active_logged_first_lsns_skips_readers_and_finished() {
+        let tm = TxnManager::default();
+        let reader = tm.begin(false);
+        let writer = tm.begin(false);
+        let done = tm.begin(false);
+        tm.mark_logged(writer, 5).unwrap();
+        tm.mark_logged(done, 3).unwrap();
+        tm.finish(done, TxnState::Committed).unwrap();
+        let _ = reader; // never logged
+        assert_eq!(tm.active_logged_first_lsns(), vec![(writer.0, 5)]);
     }
 
     #[test]

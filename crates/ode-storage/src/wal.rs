@@ -3,28 +3,36 @@
 //! Logging is *physiological*: records describe cell-level operations
 //! (insert/update/delete of a slot on a page) tagged with the transaction
 //! that performed them; updates and deletes also carry the cell's
-//! before-image. Combined with the buffer pool's no-steal policy and
-//! quiesced checkpoints, recovery *repeats history* (ARIES-style): the
-//! data file is exactly the last checkpoint image, every logged cell
-//! operation — including abort-time rollback steps, which are logged as
-//! ordinary records in compensation-log style — is reapplied in log
-//! order, and transactions that were still in flight at the crash are
-//! then rolled back from the before-images. Aborted transactions need no
-//! extra work: their rollback is itself in the log, which is how "actions
-//! of aborted transactions are rolled back, \[and\] so are their
-//! associated events" (§5.5) — trigger state lives in ordinary records,
-//! so its rollback rides the same mechanism.
+//! before-image. The buffer pool *steals* (a dirty frame may be written
+//! back once the log is flushed through its page LSN) and checkpoints
+//! are *fuzzy* (`BeginCheckpoint`/`EndCheckpoint` bracket a concurrent
+//! flush of the sampled dirty page table), so recovery *repeats history*
+//! (ARIES-style) with per-page LSN gating: starting from the last
+//! checkpoint's redo point, every logged cell operation — including
+//! abort-time rollback steps, which are logged as ordinary records in
+//! compensation-log style — is reapplied in log order *iff* the page's
+//! stamped LSN shows it has not already absorbed the change, and
+//! transactions that were still in flight at the crash are then rolled
+//! back from the before-images. Aborted transactions need no extra work:
+//! their rollback is itself in the log, which is how "actions of aborted
+//! transactions are rolled back, \[and\] so are their associated events"
+//! (§5.5) — trigger state lives in ordinary records, so its rollback
+//! rides the same mechanism.
 //!
-//! Frame format: `[len u32][fnv1a-checksum u32][payload]`. A torn tail
-//! (short frame or bad checksum) ends replay; everything before it is used,
-//! and [`Wal::open`] *truncates* the tear so fresh appends can never land
-//! behind unreachable garbage.
+//! The file starts with a 16-byte header: an 8-byte magic plus the
+//! `base_lsn` — the LSN of the first byte stored after the header. Frame
+//! format after that: `[len u32][fnv1a-checksum u32][payload]`. A torn
+//! tail (short frame or bad checksum) ends replay; everything before it
+//! is used, and [`Wal::open`] *truncates* the tear so fresh appends can
+//! never land behind unreachable garbage.
 //!
 //! ## LSNs and group commit
 //!
 //! Every append is assigned a monotonically increasing LSN (the byte
 //! offset of the record's *end* in the logical log; the clock keeps
-//! running across [`Wal::reset`]). A record is durable once the
+//! running across [`Wal::reset`], [`Wal::truncate_prefix`], and — because
+//! `base_lsn` is persisted in the header — across reopens). A record is
+//! durable once the
 //! `flushed_lsn` watermark reaches its LSN. Committers call
 //! [`Wal::commit_wait`] with their Commit record's LSN: the first one in
 //! becomes the *leader*, takes the whole pending tail, and makes it
@@ -94,6 +102,24 @@ pub enum LogRecord {
     /// ordinary cell records before this, so recovery just repeats them;
     /// the Abort marks that no further rollback is needed for the txn.
     Abort { txn: u64 },
+    /// A fuzzy checkpoint started. A pure position marker: the dirty-page
+    /// and active-transaction tables are sampled *after* this record is
+    /// appended (and carried by the matching [`LogRecord::EndCheckpoint`]),
+    /// so any page dirtied or transaction begun too late to be sampled
+    /// necessarily logs at an LSN past this marker — which is why redo may
+    /// start at `min(marker, tables' minima)` without missing anything.
+    BeginCheckpoint,
+    /// The fuzzy checkpoint whose Begin marker *ends* at `begin_lsn`
+    /// completed: every page in `dirty` as sampled at begin has been
+    /// written back to the data file (WAL-before-data respected). `dirty`
+    /// holds (page id, recovery LSN) for pages dirty at the sample;
+    /// `active` holds (txn id, first LSN) for transactions that had logged
+    /// at the sample.
+    EndCheckpoint {
+        begin_lsn: u64,
+        dirty: Vec<(PageId, u64)>,
+        active: Vec<(u64, u64)>,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -103,9 +129,12 @@ const TAG_DELETE: u8 = 4;
 const TAG_PAGE_ALLOC: u8 = 5;
 const TAG_COMMIT: u8 = 6;
 const TAG_ABORT: u8 = 7;
+const TAG_BEGIN_CKPT: u8 = 8;
+const TAG_END_CKPT: u8 = 9;
 
 impl LogRecord {
-    /// The transaction the record belongs to.
+    /// The transaction the record belongs to. Checkpoint records belong
+    /// to no transaction and return 0 (never a real txn id).
     pub fn txn(&self) -> u64 {
         match self {
             LogRecord::Begin { txn }
@@ -115,6 +144,7 @@ impl LogRecord {
             | LogRecord::PageAlloc { txn, .. }
             | LogRecord::Commit { txn }
             | LogRecord::Abort { txn } => *txn,
+            LogRecord::BeginCheckpoint | LogRecord::EndCheckpoint { .. } => 0,
         }
     }
 }
@@ -178,6 +208,19 @@ impl Encode for LogRecord {
                 buf.put_u8(TAG_ABORT);
                 txn.encode(buf);
             }
+            LogRecord::BeginCheckpoint => {
+                buf.put_u8(TAG_BEGIN_CKPT);
+            }
+            LogRecord::EndCheckpoint {
+                begin_lsn,
+                dirty,
+                active,
+            } => {
+                buf.put_u8(TAG_END_CKPT);
+                begin_lsn.encode(buf);
+                dirty.encode(buf);
+                active.encode(buf);
+            }
         }
     }
 }
@@ -219,6 +262,12 @@ impl Decode for LogRecord {
             TAG_ABORT => LogRecord::Abort {
                 txn: u64::decode(buf)?,
             },
+            TAG_BEGIN_CKPT => LogRecord::BeginCheckpoint,
+            TAG_END_CKPT => LogRecord::EndCheckpoint {
+                begin_lsn: u64::decode(buf)?,
+                dirty: Vec::<(PageId, u64)>::decode(buf)?,
+                active: Vec::<(u64, u64)>::decode(buf)?,
+            },
             t => return Err(StorageError::Codec(format!("bad log record tag {t}"))),
         })
     }
@@ -231,6 +280,28 @@ fn fnv1a(bytes: &[u8]) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// Magic prefix of the 16-byte WAL file header.
+const WAL_MAGIC: &[u8; 8] = b"ODEWAL\0\x01";
+
+/// Bytes of file header before the first frame: magic + `base_lsn` (LE).
+const WAL_HEADER: u64 = 16;
+
+fn encode_header(base_lsn: u64) -> [u8; WAL_HEADER as usize] {
+    let mut h = [0u8; WAL_HEADER as usize];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..].copy_from_slice(&base_lsn.to_le_bytes());
+    h
+}
+
+/// Parse a WAL image's header: `Some(base_lsn)` if the magic matches, else
+/// `None` (an empty, torn-header, or pre-header file — treated as empty).
+fn decode_header(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < WAL_HEADER as usize || &bytes[..8] != WAL_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
 }
 
 /// In-memory tail of the log: bytes appended but not yet written out.
@@ -262,6 +333,13 @@ pub struct Wal {
     file: Mutex<FaultFile>,
     flush: Mutex<FlushState>,
     durable: Condvar,
+    /// LSN of the first byte stored after the file header (persisted
+    /// there). Changes only under the flush+tail+file lock triplet
+    /// ([`Wal::reset`] / [`Wal::truncate_prefix`]); reads are relaxed.
+    base_lsn: std::sync::atomic::AtomicU64,
+    /// Fault injector shared with the file handle, kept so
+    /// [`Wal::truncate_prefix`] can wrap its rewrite in the same faults.
+    injector: Option<Arc<FaultInjector>>,
     /// Whether commit flushes call fsync. Off by default for tests/benches;
     /// on for durability-critical deployments.
     fsync: bool,
@@ -293,32 +371,50 @@ impl Wal {
             // Existing log contents are the recovery source: never clobber.
             .truncate(false)
             .open(path)?;
-        let mut file = FaultFile::new(file, injector);
+        let mut file = FaultFile::new(file, injector.clone());
         file.seek(SeekFrom::Start(0))?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let valid = scan_valid_len(&bytes);
-        if valid < bytes.len() {
-            file.set_len(valid as u64)?;
-            if fsync {
-                file.sync_data()?;
+        let (base, valid) = match decode_header(&bytes) {
+            Some(base) => {
+                let valid = scan_valid_len(&bytes[WAL_HEADER as usize..]) as u64;
+                if WAL_HEADER + valid < bytes.len() as u64 {
+                    file.set_len(WAL_HEADER + valid)?;
+                    if fsync {
+                        file.sync_data()?;
+                    }
+                }
+                (base, valid)
             }
-        }
+            None => {
+                // Empty file, or a header torn mid-create: nothing after
+                // it can be a valid frame, so initialize a fresh log.
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&encode_header(0))?;
+                if fsync {
+                    file.sync_data()?;
+                }
+                (0, 0)
+            }
+        };
         file.seek(SeekFrom::End(0))?;
         Ok(Wal {
             path: path.to_path_buf(),
             tail: Mutex::new(WalTail {
                 pending: Vec::new(),
-                next_lsn: valid as u64,
+                next_lsn: base + valid,
                 pending_commits: 0,
             }),
             file: Mutex::new(file),
             flush: Mutex::new(FlushState {
-                flushed_lsn: valid as u64,
+                flushed_lsn: base + valid,
                 leader_active: false,
                 poisoned: None,
             }),
             durable: Condvar::new(),
+            base_lsn: std::sync::atomic::AtomicU64::new(base),
+            injector,
             fsync,
             group_commit,
             metrics: Arc::new(Metrics::new()),
@@ -335,9 +431,18 @@ impl Wal {
     /// record's *end*. The record is durable once [`Wal::flushed_lsn`]
     /// reaches that value — see [`Wal::commit_wait`].
     pub fn append(&self, record: &LogRecord) -> u64 {
+        self.append_span(record).1
+    }
+
+    /// [`Wal::append`] returning both the record's start LSN (where the
+    /// frame begins) and its end LSN. The checkpointer needs the start:
+    /// the log must never be truncated past where `BeginCheckpoint`
+    /// *starts*, or recovery could no longer find the checkpoint.
+    pub fn append_span(&self, record: &LogRecord) -> (u64, u64) {
         let mut payload = BytesMut::new();
         record.encode(&mut payload);
         let mut tail = self.tail.lock();
+        let start = tail.next_lsn;
         tail.pending
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         tail.pending
@@ -349,7 +454,7 @@ impl Wal {
         }
         self.metrics.wal_appends.inc();
         self.metrics.wal_bytes.add(8 + payload.len() as u64);
-        tail.next_lsn
+        (start, tail.next_lsn)
     }
 
     /// The durability watermark: every append whose returned LSN is `<=`
@@ -382,6 +487,16 @@ impl Wal {
     /// Equivalent to `commit_wait(end_lsn)` without the wait metric.
     pub fn flush(&self) -> Result<()> {
         let target = self.tail.lock().next_lsn;
+        self.wait_durable(target)
+    }
+
+    /// Make the log durable through `target` if it is not already — the
+    /// WAL-before-data rule's cheap path: a no-op when the watermark has
+    /// passed the page's LSN, a (group) flush otherwise.
+    pub fn flush_through(&self, target: u64) -> Result<()> {
+        if self.flush.lock().flushed_lsn >= target {
+            return Ok(());
+        }
         self.wait_durable(target)
     }
 
@@ -462,10 +577,11 @@ impl Wal {
         Ok(())
     }
 
-    /// Truncate the log file to empty (done right after a checkpoint, when
-    /// the data file already reflects everything). The LSN clock keeps
-    /// running and the now-empty log is durable by definition, so
-    /// durability tickets taken before the reset remain satisfied.
+    /// Truncate the log file to empty (done right after a quiesced
+    /// checkpoint, when the data file already reflects everything). The
+    /// LSN clock keeps running — the header's `base_lsn` is rewritten to
+    /// the current end — and the now-empty log is durable by definition,
+    /// so durability tickets taken before the reset remain satisfied.
     pub fn reset(&self) -> Result<()> {
         let mut st = self.flush.lock();
         while st.leader_active {
@@ -477,12 +593,86 @@ impl Wal {
         tail.pending_commits = 0;
         file.set_len(0)?;
         file.seek(SeekFrom::Start(0))?;
+        file.write_all(&encode_header(tail.next_lsn))?;
         if self.fsync {
             file.sync_data()?;
         }
+        self.base_lsn
+            .store(tail.next_lsn, std::sync::atomic::Ordering::Relaxed);
         st.flushed_lsn = tail.next_lsn;
         self.durable.notify_all();
         Ok(())
+    }
+
+    /// Drop every byte of the log before `horizon` (a frame boundary —
+    /// every LSN handed out by this module is one). The retained suffix is
+    /// rewritten to a temp file with `base_lsn = horizon` in its header
+    /// and atomically renamed over the log, so a crash at any point leaves
+    /// either the old complete log or the new complete log. Returns the
+    /// number of log bytes freed.
+    ///
+    /// The caller must only pass a horizon it can recover without: behind
+    /// the last complete checkpoint's `min(rec_lsn)` and every active
+    /// transaction's first LSN.
+    pub fn truncate_prefix(&self, horizon: u64) -> Result<u64> {
+        let mut st = self.flush.lock();
+        while st.leader_active {
+            let _ = self.durable.wait_for(&mut st, Duration::from_millis(50));
+        }
+        // Unflushed bytes are not in the file yet; never truncate past the
+        // durable watermark.
+        let horizon = horizon.min(st.flushed_lsn);
+        // Held (not read) so no appender can interleave with the rewrite.
+        let _tail = self.tail.lock();
+        let mut file = self.file.lock();
+        let base = self.base_lsn.load(std::sync::atomic::Ordering::Relaxed);
+        if horizon <= base {
+            return Ok(0);
+        }
+        // Read the retained suffix out of the current file.
+        file.seek(SeekFrom::Start(WAL_HEADER + (horizon - base)))?;
+        let mut suffix = Vec::new();
+        file.read_to_end(&mut suffix)?;
+        // Write the new image beside the log and rename it into place.
+        let tmp_path = self.path.with_extension("truncate");
+        {
+            let tmp = std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut tmp = FaultFile::new(tmp, self.injector.clone());
+            tmp.write_all(&encode_header(horizon))?;
+            tmp.write_all(&suffix)?;
+            if self.fsync {
+                tmp.sync_data()?;
+            }
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // The held handle still points at the old inode: reopen.
+        let reopened = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        let mut reopened = FaultFile::new(reopened, self.injector.clone());
+        reopened.seek(SeekFrom::End(0))?;
+        *file = reopened;
+        self.base_lsn
+            .store(horizon, std::sync::atomic::Ordering::Relaxed);
+        let freed = horizon - base;
+        self.metrics.wal_truncated_bytes.add(freed);
+        Ok(freed)
+    }
+
+    /// LSN of the first byte still present in the log file.
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Bytes currently occupied by the log file (header + retained
+    /// frames); the quantity the truncation horizon is meant to bound.
+    pub fn file_len(&self) -> Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
     }
 
     /// Path of the log file.
@@ -490,9 +680,12 @@ impl Wal {
         &self.path
     }
 
-    /// Read every valid record currently in the log file. A torn or corrupt
-    /// tail ends the scan silently (those records were never acknowledged).
-    pub fn read_all(path: &Path) -> Result<Vec<LogRecord>> {
+    /// Read every valid record currently in the log file, each paired with
+    /// the LSN of its *end* (the value [`Wal::append`] returned for it). A
+    /// torn or corrupt tail ends the scan silently (those records were
+    /// never acknowledged); a missing file or missing header is an empty
+    /// log.
+    pub fn read_all(path: &Path) -> Result<Vec<(u64, LogRecord)>> {
         let mut out = Vec::new();
         let mut file = match std::fs::File::open(path) {
             Ok(f) => f,
@@ -501,14 +694,21 @@ impl Wal {
         };
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let valid = scan_valid_len(&bytes);
-        let mut cursor = &bytes[..valid];
+        let base = match decode_header(&bytes) {
+            Some(base) => base,
+            None => return Ok(out),
+        };
+        let frames = &bytes[WAL_HEADER as usize..];
+        let valid = scan_valid_len(frames);
+        let mut cursor = &frames[..valid];
+        let mut lsn = base;
         while cursor.len() >= 8 {
             let len = u32::from_le_bytes(cursor[0..4].try_into().unwrap()) as usize;
             let payload = &cursor[8..8 + len];
             let mut p = payload;
+            lsn += 8 + len as u64;
             match LogRecord::decode(&mut p) {
-                Ok(rec) if p.is_empty() => out.push(rec),
+                Ok(rec) if p.is_empty() => out.push((lsn, rec)),
                 _ => break,
             }
             cursor = &cursor[8 + len..];
@@ -540,6 +740,16 @@ fn scan_valid_len(bytes: &[u8]) -> usize {
 mod tests {
     use super::*;
     use ode_testutil::TempDir;
+
+    /// The records of [`Wal::read_all`] with their LSNs stripped, for
+    /// tests that only care about contents.
+    fn records(path: &Path) -> Vec<LogRecord> {
+        Wal::read_all(path)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
 
     fn sample() -> Vec<LogRecord> {
         vec![
@@ -583,8 +793,7 @@ mod tests {
             wal.append(&r);
         }
         wal.flush().unwrap();
-        let back = Wal::read_all(&path).unwrap();
-        assert_eq!(back, sample());
+        assert_eq!(records(&path), sample());
     }
 
     #[test]
@@ -610,7 +819,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[200, 0, 0, 0, 1, 2, 3]);
         std::fs::write(&path, &bytes).unwrap();
-        assert_eq!(Wal::read_all(&path).unwrap(), sample());
+        assert_eq!(records(&path), sample());
     }
 
     #[test]
@@ -627,8 +836,7 @@ mod tests {
         let n = bytes.len();
         bytes[n - 1] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let back = Wal::read_all(&path).unwrap();
-        assert_eq!(back.len(), sample().len() - 1);
+        assert_eq!(records(&path).len(), sample().len() - 1);
     }
 
     #[test]
@@ -647,6 +855,64 @@ mod tests {
         assert!(after > before);
         // A ticket taken before the reset is immediately satisfiable.
         wal.commit_wait(before).unwrap();
+    }
+
+    #[test]
+    fn truncate_prefix_drops_records_and_persists_base_lsn() {
+        let dir = TempDir::new("wal");
+        let path = dir.file("log");
+        let wal = Wal::open(&path, false).unwrap();
+        let a = wal.append(&LogRecord::Begin { txn: 1 });
+        let b = wal.append(&LogRecord::Commit { txn: 1 });
+        let c = wal.append(&LogRecord::Begin { txn: 2 });
+        wal.flush().unwrap();
+        let len_before = wal.file_len().unwrap();
+        // Truncate behind txn 2's first record: txn 1 disappears, the
+        // file shrinks by exactly the freed bytes, LSNs are unchanged.
+        let freed = wal.truncate_prefix(b).unwrap();
+        assert!(freed > 0);
+        assert_eq!(wal.file_len().unwrap(), len_before - freed);
+        assert_eq!(wal.base_lsn(), b);
+        let kept = Wal::read_all(&path).unwrap();
+        assert_eq!(kept, vec![(c, LogRecord::Begin { txn: 2 })]);
+        // A horizon at or below the base is a no-op.
+        assert_eq!(wal.truncate_prefix(a).unwrap(), 0);
+        // Appends continue monotonically past the truncation...
+        let d = wal.append(&LogRecord::Commit { txn: 2 });
+        assert!(d > c);
+        wal.flush().unwrap();
+        drop(wal);
+        // ...and the base LSN survives reopen, so records keep their
+        // original LSNs even though the file's prefix is gone.
+        let wal = Wal::open(&path, false).unwrap();
+        assert_eq!(wal.base_lsn(), b);
+        assert_eq!(
+            Wal::read_all(&path).unwrap(),
+            vec![
+                (c, LogRecord::Begin { txn: 2 }),
+                (d, LogRecord::Commit { txn: 2 })
+            ]
+        );
+        assert_eq!(wal.end_lsn(), d);
+    }
+
+    #[test]
+    fn checkpoint_records_round_trip() {
+        let dir = TempDir::new("wal");
+        let path = dir.file("log");
+        let wal = Wal::open(&path, false).unwrap();
+        let (_, begin_end) = wal.append_span(&LogRecord::BeginCheckpoint);
+        let end = LogRecord::EndCheckpoint {
+            begin_lsn: begin_end,
+            dirty: vec![(3, 100), (7, 42)],
+            active: vec![(11, 90)],
+        };
+        let e = wal.append(&end);
+        wal.flush().unwrap();
+        assert_eq!(
+            Wal::read_all(&path).unwrap(),
+            vec![(begin_end, LogRecord::BeginCheckpoint), (e, end)]
+        );
     }
 
     #[test]
@@ -687,11 +953,10 @@ mod tests {
         wal.append(&LogRecord::Begin { txn: 9 });
         wal.append(&LogRecord::Commit { txn: 9 });
         wal.flush().unwrap();
-        let back = Wal::read_all(&path).unwrap();
         let mut expect = sample();
         expect.push(LogRecord::Begin { txn: 9 });
         expect.push(LogRecord::Commit { txn: 9 });
-        assert_eq!(back, expect);
+        assert_eq!(records(&path), expect);
     }
 
     #[test]
