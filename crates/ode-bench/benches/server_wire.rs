@@ -1,0 +1,140 @@
+//! E17 — what the wire costs: embedded posting vs `ode-server` round
+//! trips.
+//!
+//! The embedded baseline calls `Session::execute` directly (same
+//! statement path, no sockets); the wire series drives a real
+//! `ode-server` over loopback TCP with 1, 4, and 16 concurrent client
+//! connections, each running `CALL <card> Buy …` statements that post
+//! events through the Figure 1 machinery (DenyCredit armed but
+//! quiescent: every Buy advances an FSM).
+//!
+//! One measured iteration is one batch of `clients × BATCH` statements;
+//! the reported Kelem/s is statements per second. Expected shape: the
+//! wire costs a fixed per-statement round-trip (syscalls + framing) —
+//! large relative to an in-process post (~µs) — and concurrent
+//! connections claw throughput back by pipelining server work, until
+//! they saturate the machine's cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_core::Engine;
+use ode_server::Server;
+use ode_testutil::WireClient;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Statements per client per measured iteration.
+const BATCH: usize = 64;
+
+const TOKEN: &str = "bench";
+
+const SCHEMA: &[&str] = &[
+    "CREATE CLASS CredCard { \
+        FIELD cred_lim = 1000000; FIELD curr_bal = 0; FIELD good_hist = 1; \
+        EVENT AFTER Buy; EVENT AFTER PayBill; \
+        MASK OverLimit WHEN curr_bal > cred_lim; }",
+    "CREATE TRIGGER DenyCredit ON CredCard PERPETUAL \
+        WHEN after Buy & OverLimit() \
+        COUPLING immediate DO ABORT 'Over Limit'",
+];
+
+/// Set up `bank` with one card + armed trigger per client; returns the
+/// card oids.
+fn setup(session_exec: &mut dyn FnMut(&str) -> String, clients: usize) -> Vec<String> {
+    session_exec("CREATE DATABASE bank");
+    session_exec("USE bank");
+    for stmt in SCHEMA {
+        session_exec(stmt);
+    }
+    (0..clients)
+        .map(|_| {
+            let card = session_exec("NEW CredCard");
+            session_exec(&format!("ACTIVATE DenyCredit ON {card}"));
+            card
+        })
+        .collect()
+}
+
+fn bench_embedded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_wire");
+    let engine = Engine::volatile();
+    let mut session = engine.session();
+    let cards = setup(&mut |stmt| session.execute(stmt).expect(stmt), 1);
+    let stmt = format!("CALL {} Buy SET curr_bal = curr_bal + 1", cards[0]);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("embedded_post", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                session.execute(&stmt).expect("embedded call");
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_wire");
+    for clients in [1usize, 4, 16] {
+        let engine = Engine::volatile();
+        let server = Server::start(engine, "127.0.0.1:0", TOKEN).expect("bind");
+        let addr = server.addr().to_string();
+        let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
+        let cards = setup(&mut |stmt| admin.exec(stmt), clients);
+
+        // One long-lived connection per client, parked on barriers.
+        let start = Arc::new(Barrier::new(clients + 1));
+        let done = Arc::new(Barrier::new(clients + 1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = cards
+            .iter()
+            .map(|card| {
+                let addr = addr.clone();
+                let stmt = format!("CALL {card} Buy SET curr_bal = curr_bal + 1");
+                let (start, done, stop) = (start.clone(), done.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
+                    client.exec("USE bank");
+                    loop {
+                        start.wait();
+                        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                            return;
+                        }
+                        for _ in 0..BATCH {
+                            client.exec(&stmt);
+                        }
+                        done.wait();
+                    }
+                })
+            })
+            .collect();
+
+        group.throughput(Throughput::Elements((clients * BATCH) as u64));
+        group.bench_function(BenchmarkId::new("wire_post", clients), |b| {
+            b.iter(|| {
+                start.wait();
+                done.wait();
+            })
+        });
+
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        start.wait();
+        for w in workers {
+            w.join().unwrap();
+        }
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_embedded, bench_wire
+}
+criterion_main!(benches);

@@ -147,6 +147,9 @@ pub struct Database {
     pub(crate) live_local_rules: AtomicUsize,
     pub(crate) phoenix_handlers: RwLock<HashMap<String, crate::phoenix::PhoenixHandler>>,
     pub(crate) indexes: RwLock<crate::index::IndexRegistry>,
+    /// Classes defined through the DDL surface ([`crate::ddl`]); the mutex
+    /// serializes `CREATE CLASS`/`CREATE TRIGGER` descriptor rebuilds.
+    pub(crate) ddl: Mutex<crate::ddl::DdlCatalog>,
 }
 
 const ROOT_SCHEMA: &str = "ode.schema";
@@ -214,6 +217,7 @@ impl Database {
             live_local_rules: AtomicUsize::new(0),
             phoenix_handlers: RwLock::new(HashMap::new()),
             indexes: RwLock::new(crate::index::IndexRegistry::default()),
+            ddl: Mutex::new(crate::ddl::DdlCatalog::default()),
         })
     }
 
@@ -236,6 +240,7 @@ impl Database {
             live_local_rules: AtomicUsize::new(0),
             phoenix_handlers: RwLock::new(HashMap::new()),
             indexes: RwLock::new(crate::index::IndexRegistry::default()),
+            ddl: Mutex::new(crate::ddl::DdlCatalog::default()),
         })
     }
 
@@ -359,14 +364,18 @@ impl Database {
         for base in td.bases() {
             self.register_class(base)?;
         }
-        // Fast path: already registered this session.
-        if let Some(entry) = self.schema.read().by_name.get(td.name()) {
+        // Fast path: already registered this session. The read guard must
+        // be dropped before the replace path takes the write lock — an
+        // `if let` on the guard itself would hold it across the body and
+        // self-deadlock.
+        let existing = self.schema.read().by_name.get(td.name()).cloned();
+        if let Some(entry) = existing {
             if !Arc::ptr_eq(&entry.td, td) {
                 // Replace the descriptor (e.g. a rebuilt one); ids persist.
                 let mut schema = self.schema.write();
                 let entry = ClassEntry {
                     td: Arc::clone(td),
-                    ..entry.clone()
+                    ..entry
                 };
                 schema.by_sym.insert(entry.sym, entry.clone());
                 schema.by_name.insert(td.name().to_string(), entry);

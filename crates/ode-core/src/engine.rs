@@ -1,0 +1,287 @@
+//! The multi-database catalog: one [`Engine`] owns many named
+//! [`Database`] instances.
+//!
+//! The paper's Ode is a single-database system; the engine layer is the
+//! step from "embedded library" to "multi-tenant service": databases are
+//! created, opened, and dropped by name under one root directory
+//! (`<root>/<name>`), each with its own [`StorageOptions`], and the
+//! per-database `ode-obs` registries are exposed on one Prometheus page
+//! distinguished by a `db` label ([`Engine::render_prometheus`]).
+//!
+//! The embedded API is untouched: a [`Database`] handed out by
+//! [`Engine::database`] is exactly the type applications already use, and
+//! a standalone `Database::volatile()`/`Database::open()` keeps working
+//! without any engine at all. Sessions ([`crate::session::Session`])
+//! layer per-client state on top.
+
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::session::Session;
+use ode_storage::StorageOptions;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A catalog of named databases under one root directory (or fully in
+/// memory), sharing one metrics surface.
+pub struct Engine {
+    /// `None` for a volatile engine: every database is in-memory and
+    /// nothing touches the filesystem.
+    root: Option<PathBuf>,
+    /// Options applied to databases created/opened without explicit
+    /// options.
+    default_options: StorageOptions,
+    databases: RwLock<HashMap<String, Arc<Database>>>,
+}
+
+/// Database names double as directory names; reject anything that could
+/// escape the root or confuse the wire surface.
+fn validate_name(name: &str) -> Result<()> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if ok_first && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && name.len() <= 64 {
+        Ok(())
+    } else {
+        Err(OdeError::Schema(format!(
+            "invalid database name {name:?}: want [A-Za-z_][A-Za-z0-9_]*, at most 64 chars"
+        )))
+    }
+}
+
+impl Engine {
+    /// A fully in-memory engine: every database it creates is volatile.
+    pub fn volatile() -> Arc<Engine> {
+        Engine::volatile_with(StorageOptions::memory())
+    }
+
+    /// [`Engine::volatile`] with explicit default storage options (the
+    /// engine kind is forced to memory per database).
+    pub fn volatile_with(default_options: StorageOptions) -> Arc<Engine> {
+        Arc::new(Engine {
+            root: None,
+            default_options,
+            databases: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Open (creating if needed) an engine rooted at `root`. Databases
+    /// live in subdirectories named after them; existing subdirectories
+    /// are opened lazily on first [`Engine::database`].
+    pub fn open(root: impl Into<PathBuf>, default_options: StorageOptions) -> Result<Arc<Engine>> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| OdeError::Schema(format!("create engine root {root:?}: {e}")))?;
+        Ok(Arc::new(Engine {
+            root: Some(root),
+            default_options,
+            databases: RwLock::new(HashMap::new()),
+        }))
+    }
+
+    /// The default storage options given to databases created without
+    /// explicit options.
+    pub fn default_options(&self) -> &StorageOptions {
+        &self.default_options
+    }
+
+    /// Create a database with the engine's default options.
+    pub fn create_database(&self, name: &str) -> Result<Arc<Database>> {
+        self.create_database_with(name, self.default_options.clone())
+    }
+
+    /// Create a database with explicit per-database options. Errors if a
+    /// database of that name already exists (in the catalog or on disk).
+    pub fn create_database_with(
+        &self,
+        name: &str,
+        options: StorageOptions,
+    ) -> Result<Arc<Database>> {
+        validate_name(name)?;
+        let mut map = self.databases.write();
+        if map.contains_key(name) {
+            return Err(OdeError::Schema(format!(
+                "database {name:?} already exists"
+            )));
+        }
+        let db = match &self.root {
+            None => Arc::new(Database::volatile_with(options)),
+            Some(root) => {
+                let dir = root.join(name);
+                if dir.exists() {
+                    return Err(OdeError::Schema(format!(
+                        "database {name:?} already exists"
+                    )));
+                }
+                Arc::new(Database::create(&dir, options)?)
+            }
+        };
+        map.insert(name.to_string(), Arc::clone(&db));
+        Ok(db)
+    }
+
+    /// Look up a database by name, opening it from disk (with the default
+    /// options, running recovery when needed) on first touch.
+    pub fn database(&self, name: &str) -> Result<Arc<Database>> {
+        self.database_with(name, self.default_options.clone())
+    }
+
+    /// [`Engine::database`] with explicit options for the open-from-disk
+    /// case (ignored when the database is already attached).
+    pub fn database_with(&self, name: &str, options: StorageOptions) -> Result<Arc<Database>> {
+        validate_name(name)?;
+        if let Some(db) = self.databases.read().get(name) {
+            return Ok(Arc::clone(db));
+        }
+        let mut map = self.databases.write();
+        if let Some(db) = map.get(name) {
+            return Ok(Arc::clone(db));
+        }
+        let Some(root) = &self.root else {
+            return Err(OdeError::Schema(format!("unknown database {name:?}")));
+        };
+        let dir = root.join(name);
+        if !dir.is_dir() {
+            return Err(OdeError::Schema(format!("unknown database {name:?}")));
+        }
+        let db = Arc::new(Database::open(&dir, options)?);
+        map.insert(name.to_string(), Arc::clone(&db));
+        Ok(db)
+    }
+
+    /// Drop a database: detach it from the catalog and (for disk engines)
+    /// close it and delete its directory. Refuses while other handles —
+    /// sessions, servers — still hold the database.
+    pub fn drop_database(&self, name: &str) -> Result<()> {
+        validate_name(name)?;
+        let mut map = self.databases.write();
+        let attached = map.remove(name);
+        match (attached, &self.root) {
+            (Some(db), root) => match Arc::try_unwrap(db) {
+                Ok(db) => {
+                    db.close()?;
+                    if let Some(root) = root {
+                        std::fs::remove_dir_all(root.join(name)).map_err(|e| {
+                            OdeError::Schema(format!("remove database {name:?}: {e}"))
+                        })?;
+                    }
+                    Ok(())
+                }
+                Err(shared) => {
+                    // Put it back; dropping a database out from under a
+                    // live session would leave dangling storage handles.
+                    map.insert(name.to_string(), shared);
+                    Err(OdeError::Schema(format!(
+                        "database {name:?} is busy (open sessions hold it)"
+                    )))
+                }
+            },
+            (None, Some(root)) => {
+                let dir = root.join(name);
+                if dir.is_dir() {
+                    std::fs::remove_dir_all(&dir)
+                        .map_err(|e| OdeError::Schema(format!("remove database {name:?}: {e}")))?;
+                    Ok(())
+                } else {
+                    Err(OdeError::Schema(format!("unknown database {name:?}")))
+                }
+            }
+            (None, None) => Err(OdeError::Schema(format!("unknown database {name:?}"))),
+        }
+    }
+
+    /// Names of all databases: attached ones plus (for disk engines)
+    /// not-yet-opened subdirectories of the root. Sorted.
+    pub fn list_databases(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.databases.read().keys().cloned().collect();
+        if let Some(root) = &self.root {
+            if let Ok(entries) = std::fs::read_dir(root) {
+                for entry in entries.flatten() {
+                    if entry.path().is_dir() {
+                        if let Some(name) = entry.file_name().to_str() {
+                            if validate_name(name).is_ok() && !names.iter().any(|n| n == name) {
+                                names.push(name.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// One Prometheus page covering every attached database: each
+    /// database's full metrics snapshot rendered with a `db="<name>"`
+    /// label on every sample.
+    pub fn render_prometheus(&self) -> String {
+        let mut dbs: Vec<(String, Arc<Database>)> = self
+            .databases
+            .read()
+            .iter()
+            .map(|(n, d)| (n.clone(), Arc::clone(d)))
+            .collect();
+        dbs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, db) in dbs {
+            out.push_str(
+                &db.stats()
+                    .render_prometheus_labeled(&format!("db=\"{name}\"")),
+            );
+        }
+        out
+    }
+
+    /// Start a session: per-client state (current database, open
+    /// transaction, scratch buffers) layered over this engine.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatile_engine_creates_and_lists_databases() {
+        let engine = Engine::volatile();
+        engine.create_database("alpha").unwrap();
+        engine.create_database("beta").unwrap();
+        assert_eq!(engine.list_databases(), vec!["alpha", "beta"]);
+        assert!(engine.create_database("alpha").is_err(), "duplicate");
+        assert!(engine.database("gamma").is_err(), "unknown");
+        let db = engine.database("alpha").unwrap();
+        db.with_txn(|_| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn names_that_escape_the_root_are_rejected() {
+        let engine = Engine::volatile();
+        for bad in ["../evil", "a/b", "", ".hidden", "name with spaces", "7up"] {
+            assert!(engine.create_database(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn drop_refuses_while_handles_are_live() {
+        let engine = Engine::volatile();
+        let held = engine.create_database("held").unwrap();
+        assert!(engine.drop_database("held").is_err());
+        drop(held);
+        engine.drop_database("held").unwrap();
+        assert!(engine.list_databases().is_empty());
+    }
+
+    #[test]
+    fn prometheus_page_labels_every_database() {
+        let engine = Engine::volatile();
+        engine.create_database("bank").unwrap();
+        engine.create_database("shop").unwrap();
+        let page = engine.render_prometheus();
+        assert!(page.contains("ode_txn_commits{db=\"bank\"}"));
+        assert!(page.contains("ode_txn_commits{db=\"shop\"}"));
+    }
+}

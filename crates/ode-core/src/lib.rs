@@ -36,6 +36,8 @@ pub mod class;
 pub mod context;
 pub mod coupling;
 pub mod database;
+pub mod ddl;
+pub mod engine;
 pub mod error;
 pub mod index;
 mod intern;
@@ -46,6 +48,7 @@ pub mod monitored;
 pub mod object;
 pub mod phoenix;
 pub mod post;
+pub mod session;
 pub mod timed;
 pub mod trigger;
 
@@ -53,12 +56,15 @@ pub use admin::{IntegrityIssue, IntegrityReport};
 pub use class::{ClassBuilder, Perpetual};
 pub use context::{TriggerCtx, TriggerStats};
 pub use database::Database;
+pub use ddl::{DdlError, Statement};
+pub use engine::Engine;
 pub use error::{OdeError, Result};
 pub use interobject::InterClassBuilder;
 pub use metatype::{CouplingMode, TriggerInfo, TypeDescriptor};
 pub use monitored::{MonitoredClass, MonitoredClassBuilder, MonitoredPtr, MonitoredSpace};
 pub use object::{OdeObject, PersistentPtr};
 pub use phoenix::{PhoenixHandler, PhoenixReport};
+pub use session::Session;
 pub use trigger::TriggerId;
 
 // Re-exports so applications need only this crate (plus the codec traits

@@ -167,6 +167,16 @@ impl TypeDescriptor {
         })
     }
 
+    /// The id of `timer <name>`, if declared. Compares the name in place
+    /// so callers on per-tick paths ([`crate::database::Database::tick`])
+    /// never build a temporary [`BasicEvent`].
+    pub fn timer_event(&self, name: &str) -> Option<EventId> {
+        self.all_events.iter().find_map(|(e, id, _)| match e {
+            BasicEvent::Timer { name: n } if n == name => Some(*id),
+            _ => None,
+        })
+    }
+
     /// Triggers declared in this class.
     pub fn triggers(&self) -> &[TriggerInfo] {
         &self.triggers

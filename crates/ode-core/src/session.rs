@@ -1,0 +1,181 @@
+//! Per-client state: the [`Session`].
+//!
+//! Everything the embedded API threads through method arguments — which
+//! database, which transaction — gathered into one object. One session
+//! per client (the `ode-server` wire layer creates one per connection);
+//! sessions are not `Sync` and are driven from a single thread.
+//!
+//! A session owns at most one open transaction. Statements executed
+//! through [`Session::execute`](crate::ddl) run inside it when open, or
+//! in a per-statement autocommit transaction otherwise. Read-only
+//! sessionized transactions ([`Session::begin_read_only`]) get the MVCC
+//! snapshot path: reads take no locks and cannot deadlock.
+
+use crate::database::Database;
+use crate::engine::Engine;
+use crate::error::{OdeError, Result};
+use ode_storage::TxnId;
+use std::sync::Arc;
+
+/// A client's connection state: engine, current database, open
+/// transaction.
+pub struct Session {
+    engine: Arc<Engine>,
+    current: Option<(String, Arc<Database>)>,
+    txn: Option<TxnId>,
+}
+
+impl Session {
+    /// A fresh session with no current database and no open transaction.
+    pub fn new(engine: Arc<Engine>) -> Session {
+        Session {
+            engine,
+            current: None,
+            txn: None,
+        }
+    }
+
+    /// The engine this session talks to.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The current database name, if one was selected.
+    pub fn current_database(&self) -> Option<&str> {
+        self.current.as_ref().map(|(n, _)| n.as_str())
+    }
+
+    /// The current database handle; `USE <name>` (or
+    /// [`Session::use_database`]) selects one.
+    pub fn database(&self) -> Result<&Arc<Database>> {
+        self.current
+            .as_ref()
+            .map(|(_, db)| db)
+            .ok_or_else(|| OdeError::Schema("no database selected (USE <name> first)".into()))
+    }
+
+    /// Select the current database. Refused while a transaction is open
+    /// (it belongs to the previous database).
+    pub fn use_database(&mut self, name: &str) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(OdeError::Schema(
+                "cannot switch databases inside a transaction".into(),
+            ));
+        }
+        let db = self.engine.database(name)?;
+        self.current = Some((name.to_string(), db));
+        Ok(())
+    }
+
+    /// The open transaction, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    /// Begin a read-write transaction; at most one per session.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        if self.txn.is_some() {
+            return Err(OdeError::Schema("transaction already open".into()));
+        }
+        let txn = self.database()?.begin()?;
+        self.txn = Some(txn);
+        Ok(txn)
+    }
+
+    /// Begin a read-only MVCC snapshot transaction (PR 6 semantics: no
+    /// locks, no deadlocks, consistent commit point).
+    pub fn begin_read_only(&mut self) -> Result<TxnId> {
+        if self.txn.is_some() {
+            return Err(OdeError::Schema("transaction already open".into()));
+        }
+        let txn = self.database()?.begin_read_only()?;
+        self.txn = Some(txn);
+        Ok(txn)
+    }
+
+    /// Commit the open transaction (running its end/dependent/!dependent
+    /// firings per the coupling rules). The session transaction is closed
+    /// whether the commit succeeds or not.
+    pub fn commit(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| OdeError::Schema("no open transaction".into()))?;
+        self.database()?.commit(txn)
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| OdeError::Schema("no open transaction".into()))?;
+        self.database()?.abort(txn)
+    }
+
+    /// Run `f` in the session's transaction scope: inside the open
+    /// transaction when there is one (an error aborts it — `tabort`
+    /// semantics take the whole transaction down), or in a per-call
+    /// autocommit transaction otherwise.
+    pub fn with_session_txn<R>(
+        &mut self,
+        f: impl FnOnce(&Database, TxnId) -> Result<R>,
+    ) -> Result<R> {
+        let db = Arc::clone(self.database()?);
+        match self.txn {
+            Some(txn) => match f(&db, txn) {
+                Ok(value) => Ok(value),
+                Err(e) => {
+                    self.txn = None;
+                    let _ = db.abort(txn);
+                    Err(e)
+                }
+            },
+            None => db.with_txn(|txn| f(&db, txn)),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A dropped connection must not leak its locks.
+        if let (Some(txn), Some((_, db))) = (self.txn.take(), self.current.as_ref()) {
+            let _ = db.abort(txn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_txn_lifecycle() {
+        let engine = Engine::volatile();
+        engine.create_database("t").unwrap();
+        let mut s = engine.session();
+        assert!(s.database().is_err(), "no database selected yet");
+        s.use_database("t").unwrap();
+        s.begin().unwrap();
+        assert!(s.begin().is_err(), "one txn per session");
+        assert!(s.use_database("t").is_err(), "no USE inside a txn");
+        s.commit().unwrap();
+        assert!(s.commit().is_err(), "nothing open");
+        s.begin_read_only().unwrap();
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_session_aborts_its_transaction() {
+        let engine = Engine::volatile();
+        let db = engine.create_database("t").unwrap();
+        {
+            let mut s = engine.session();
+            s.use_database("t").unwrap();
+            s.begin().unwrap();
+        }
+        // The dropped session's transaction no longer holds anything: a
+        // fresh writer proceeds immediately.
+        db.with_txn(|_| Ok(())).unwrap();
+    }
+}

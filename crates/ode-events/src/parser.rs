@@ -209,6 +209,7 @@ impl<'a> Parser<'a> {
         let mut left = self.parse_unary()?;
         while self.peek() == Some(&Tok::Amp) {
             self.pos += 1;
+            let name_at = self.at();
             let name = match self.bump() {
                 Some(Tok::Ident(n)) => n,
                 _ => return Err(self.error("expected mask name after '&'".into())),
@@ -218,10 +219,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 self.expect(Tok::RParen, "')' after mask name".to_string().as_str())?;
             }
-            let mask = self
-                .alphabet
-                .mask_id(&name)
-                .ok_or_else(|| self.error(format!("unknown mask {name:?}")))?;
+            let mask = self.alphabet.mask_id(&name).ok_or(ParseError {
+                at: name_at,
+                message: format!("unknown mask {name:?}"),
+            })?;
             left = EventExpr::mask(left, mask);
         }
         Ok(left)
@@ -237,6 +238,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_primary(&mut self) -> Result<EventExpr, ParseError> {
+        // Name-resolution errors anchor at the offending token itself, not
+        // the position after it — callers (e.g. the DDL layer) rebase
+        // these offsets into larger statements.
+        let start = self.at();
         match self.bump() {
             Some(Tok::LParen) => {
                 let inner = self.parse_or(true)?;
@@ -264,13 +269,19 @@ impl<'a> Parser<'a> {
                     self.alphabet
                         .event_id(&full)
                         .map(EventExpr::Basic)
-                        .ok_or_else(|| self.error(format!("undeclared event {full:?}")))
+                        .ok_or(ParseError {
+                            at: start,
+                            message: format!("undeclared event {full:?}"),
+                        })
                 }
                 _ => self
                     .alphabet
                     .event_id(&name)
                     .map(EventExpr::Basic)
-                    .ok_or_else(|| self.error(format!("undeclared event {name:?}"))),
+                    .ok_or(ParseError {
+                        at: start,
+                        message: format!("undeclared event {name:?}"),
+                    }),
             },
             _ => Err(self.error("expected an event expression".into())),
         }

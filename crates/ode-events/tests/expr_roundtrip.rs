@@ -1,0 +1,105 @@
+//! Round-trip property: `display` output re-parses to the same AST.
+//!
+//! The DDL layer (`CREATE TRIGGER … WHEN <expr> COUPLING …`) stores and
+//! re-parses expression *text*, so the concrete syntax must be a fixed
+//! point: `parse(display(e)) == e` for every AST, and
+//! `display(parse(s))` must be stable for every expression the workspace
+//! examples actually use.
+
+use ode_events::ast::{Alphabet, EventExpr, TriggerEvent};
+use ode_events::event::{EventId, MaskId};
+use ode_events::parser::parse;
+use proptest::prelude::*;
+
+fn alphabet() -> Alphabet {
+    let mut al = Alphabet::new();
+    al.add_event(EventId(0), "BigBuy");
+    al.add_event(EventId(1), "after PayBill");
+    al.add_event(EventId(2), "after Buy");
+    al.add_event(EventId(3), "before Withdraw");
+    al.add_event(EventId(4), "timer month_end");
+    al.add_mask("MoreCred");
+    al.add_mask("OverLimit");
+    al
+}
+
+/// Conjunction-free expressions: the parser only accepts `&&` at the top
+/// level of a trigger expression, so `Both` cannot appear under any other
+/// combinator.
+fn arb_subexpr() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        (0..5u32).prop_map(|e| EventExpr::Basic(EventId(e))),
+        Just(EventExpr::Any),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::seq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| EventExpr::relative(a, b)),
+            inner.clone().prop_map(EventExpr::star),
+            (inner, 0..2u16).prop_map(|(a, m)| EventExpr::mask(a, MaskId(m))),
+        ]
+    })
+}
+
+/// Full trigger expressions: an optional top-level `&&` chain over
+/// conjunction-free operands.
+fn arb_expr() -> impl Strategy<Value = EventExpr> {
+    prop_oneof![
+        arb_subexpr(),
+        (arb_subexpr(), arb_subexpr()).prop_map(|(a, b)| EventExpr::both(a, b)),
+        (arb_subexpr(), arb_subexpr(), arb_subexpr())
+            .prop_map(|(a, b, c)| EventExpr::both(EventExpr::both(a, b), c)),
+    ]
+}
+
+proptest! {
+    /// Any AST survives display → parse unchanged (anchored and not).
+    #[test]
+    fn display_then_parse_is_identity(expr in arb_expr(), anchored in any::<bool>()) {
+        let al = alphabet();
+        let te = if anchored {
+            TriggerEvent::anchored(expr)
+        } else {
+            TriggerEvent::new(expr)
+        };
+        let text = te.display(&al);
+        let reparsed = parse(&text, &al).expect("display output must parse");
+        prop_assert_eq!(&reparsed, &te, "text was {}", text);
+        // And the rendering itself is a fixed point.
+        prop_assert_eq!(reparsed.display(&al), text);
+    }
+}
+
+/// Every event expression the workspace's examples and tests use, drawn
+/// from Figure 1, the §8 extensions, and the example programs.
+const EXAMPLE_EXPRESSIONS: &[&str] = &[
+    "relative((after Buy & MoreCred()), after PayBill)",
+    "after Buy & OverLimit()",
+    "after Buy",
+    "before Withdraw",
+    "BigBuy",
+    "any",
+    "timer month_end",
+    "after Buy, timer month_end",
+    "after Buy, after PayBill",
+    "after Buy || BigBuy",
+    "after Buy && after PayBill",
+    "*after Buy, BigBuy",
+    "^after Buy",
+    "(after Buy & MoreCred()) || (BigBuy & OverLimit())",
+    "relative(after Buy, relative(after PayBill, BigBuy))",
+];
+
+#[test]
+fn example_expressions_round_trip_stably() {
+    let al = alphabet();
+    for src in EXAMPLE_EXPRESSIONS {
+        let first = parse(src, &al).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let rendered = first.display(&al);
+        let second = parse(&rendered, &al)
+            .unwrap_or_else(|e| panic!("{src:?} rendered as {rendered:?}: {e}"));
+        assert_eq!(first, second, "{src:?} vs {rendered:?}");
+        assert_eq!(rendered, second.display(&al), "{src:?} not a fixed point");
+    }
+}

@@ -294,7 +294,22 @@ impl HistogramSnapshot {
     /// Render as a Prometheus histogram: cumulative `_bucket{le="..."}`
     /// series ending in `le="+Inf"`, then `_sum` and `_count`.
     pub fn render_prometheus_into(&self, out: &mut String, name: &str, help: &str) {
+        self.render_prometheus_into_labeled(out, name, help, "");
+    }
+
+    /// [`HistogramSnapshot::render_prometheus_into`] with an extra label
+    /// set (e.g. `db="bank"`, no braces) prepended to every sample's
+    /// labels. An empty `labels` reproduces the unlabeled exposition
+    /// byte-for-byte.
+    pub fn render_prometheus_into_labeled(
+        &self,
+        out: &mut String,
+        name: &str,
+        help: &str,
+        labels: &str,
+    ) {
         use std::fmt::Write as _;
+        let sep = if labels.is_empty() { "" } else { "," };
         let _ = writeln!(out, "# HELP ode_{name} {help}");
         let _ = writeln!(out, "# TYPE ode_{name} histogram");
         let mut cumulative = 0u64;
@@ -305,16 +320,27 @@ impl HistogramSnapshot {
                 // exposition small; cumulative counts are unaffected.
                 Some(bound) => {
                     if n != 0 || i >= 8 {
-                        let _ = writeln!(out, "ode_{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                        let _ = writeln!(
+                            out,
+                            "ode_{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+                        );
                     }
                 }
                 None => {
-                    let _ = writeln!(out, "ode_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(
+                        out,
+                        "ode_{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+                    );
                 }
             }
         }
-        let _ = writeln!(out, "ode_{name}_sum {}", self.sum);
-        let _ = writeln!(out, "ode_{name}_count {}", self.count);
+        if labels.is_empty() {
+            let _ = writeln!(out, "ode_{name}_sum {}", self.sum);
+            let _ = writeln!(out, "ode_{name}_count {}", self.count);
+        } else {
+            let _ = writeln!(out, "ode_{name}_sum{{{labels}}} {}", self.sum);
+            let _ = writeln!(out, "ode_{name}_count{{{labels}}} {}", self.count);
+        }
     }
 }
 
@@ -784,26 +810,42 @@ macro_rules! metrics {
             /// histograms as cumulative `_bucket`/`_sum`/`_count`
             /// series.
             pub fn render_prometheus(&self) -> String {
+                self.render_prometheus_labeled("")
+            }
+
+            /// [`MetricsSnapshot::render_prometheus`] with an extra label
+            /// set (e.g. `db="bank"`, no braces) attached to every sample
+            /// — the multi-database `Engine` renders one page per
+            /// database and distinguishes them by label. An empty
+            /// `labels` reproduces the unlabeled exposition
+            /// byte-for-byte.
+            pub fn render_prometheus_labeled(&self, labels: &str) -> String {
                 use std::fmt::Write as _;
                 let mut out = String::new();
+                let braced = if labels.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{labels}}}")
+                };
                 $(
                     let help: &str = concat!($($cdoc),+);
                     let _ = writeln!(out, "# HELP ode_{} {}", stringify!($cname), help.trim());
                     let _ = writeln!(out, "# TYPE ode_{} counter", stringify!($cname));
-                    let _ = writeln!(out, "ode_{} {}", stringify!($cname), self.$cname);
+                    let _ = writeln!(out, "ode_{}{} {}", stringify!($cname), braced, self.$cname);
                 )+
                 $(
                     let help: &str = concat!($($gdoc),+);
                     let _ = writeln!(out, "# HELP ode_{} {}", stringify!($gname), help.trim());
                     let _ = writeln!(out, "# TYPE ode_{} gauge", stringify!($gname));
-                    let _ = writeln!(out, "ode_{} {}", stringify!($gname), self.$gname);
+                    let _ = writeln!(out, "ode_{}{} {}", stringify!($gname), braced, self.$gname);
                 )+
                 $(
                     let help: &str = concat!($($hdoc),+);
-                    self.$hname.render_prometheus_into(
+                    self.$hname.render_prometheus_into_labeled(
                         &mut out,
                         stringify!($hname),
                         help.trim(),
+                        labels,
                     );
                 )+
                 out
@@ -940,6 +982,9 @@ metrics! {
         /// Object reads served from an MVCC snapshot (no lock-manager
         /// locks taken).
         snapshot_reads,
+        /// Armed objects skipped by a timer tick because their class does
+        /// not declare the ticked timer event.
+        tick_skips,
         /// Superseded object versions reclaimed by version-chain GC.
         versions_gced,
     }
@@ -1240,6 +1285,30 @@ mod tests {
             let (name, value) = line.split_once(' ').expect("name value");
             assert!(name.starts_with("ode_"));
             value.parse::<u64>().expect("metric value");
+        }
+    }
+
+    #[test]
+    fn labeled_rendering_carries_the_label_set_on_every_sample() {
+        let m = Metrics::new();
+        m.firings_immediate.add(4);
+        m.lock_wait_micros.record(321);
+        let snap = m.snapshot();
+        // Empty label set must reproduce the unlabeled exposition exactly
+        // (the engine's single-database path and every existing scrape).
+        assert_eq!(snap.render_prometheus(), snap.render_prometheus_labeled(""));
+        let text = snap.render_prometheus_labeled("db=\"bank\"");
+        assert!(text.contains("\node_firings_immediate{db=\"bank\"} 4\n"));
+        assert!(text.contains("ode_lock_wait_micros_sum{db=\"bank\"} 321"));
+        assert!(text.contains("ode_lock_wait_micros_count{db=\"bank\"} 1"));
+        // Histogram buckets keep `le` as the last label.
+        assert!(text.contains("ode_lock_wait_micros_bucket{db=\"bank\",le=\"+Inf\"} 1"));
+        // Every non-comment sample carries the label set.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.contains("{db=\"bank\""),
+                "unlabeled sample in labeled rendering: {line}"
+            );
         }
     }
 

@@ -1,0 +1,260 @@
+//! The wire layer: Ode as a standalone server.
+//!
+//! The paper's Ode is an embedded library (an O++ program links the
+//! object manager directly). This crate is the step to a served system:
+//! a thread-per-connection TCP front end where each connection owns one
+//! [`ode_core::Session`] — current database, at most one open transaction, DDL
+//! execution — over a shared [`Engine`]. Statement execution, trigger
+//! firing, and coupling semantics are entirely the embedded machinery;
+//! the server only moves text.
+//!
+//! ## Protocol
+//!
+//! Frames are length-prefixed UTF-8: a little-endian `u32` byte count
+//! followed by that many bytes. The client's first frame must be
+//! `AUTH <token>`; the server answers `OK` or `ERR bad token` (and
+//! closes on failure). After that, each client frame is one statement
+//! (see [`ode_core::ddl`]) and each reply frame is:
+//!
+//! * `OK` — statement succeeded, no payload
+//! * `OK <payload>` — single-line payload (an oid, a count, a field)
+//! * `OK\n<payload>` — multi-line payload (`SHOW DATABASES`, `METRICS`)
+//! * `ERR <message>` — statement failed; an open transaction has been
+//!   aborted (tabort semantics), the connection stays usable
+//!
+//! `QUIT` closes the connection. A dropped connection aborts its open
+//! transaction ([`ode_core::Session`]'s `Drop`), so a dying client never leaks
+//! locks.
+//!
+//! No async runtime: blocking std sockets and one OS thread per
+//! connection, which matches the engine's thread-per-transaction
+//! concurrency model (striped 2PL underneath).
+
+use ode_core::Engine;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Largest accepted frame (defensive bound; statements are small).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// A running Ode server: an accept thread plus one thread per live
+/// connection.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `engine`. Clients must authenticate with `token`.
+    pub fn start(engine: Arc<Engine>, addr: &str, token: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let token = token.to_string();
+        let accept_thread = std::thread::Builder::new()
+            .name("ode-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let engine = Arc::clone(&engine);
+                    let token = token.clone();
+                    // Detached: a connection thread ends when its client
+                    // disconnects (or sends QUIT), and Session::drop
+                    // aborts any transaction it left open.
+                    let _ = std::thread::Builder::new()
+                        .name("ode-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, engine, &token);
+                        });
+                }
+            })?;
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Live
+    /// connections finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Drive one connection: auth handshake, then statement frames until QUIT
+/// or EOF.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: Arc<Engine>,
+    token: &str,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    match read_frame(&mut stream)? {
+        Some(frame) if frame.strip_prefix("AUTH ") == Some(token) => {
+            write_frame(&mut stream, "OK")?;
+        }
+        Some(_) | None => {
+            let _ = write_frame(&mut stream, "ERR bad token");
+            return Ok(());
+        }
+    }
+    let mut session = engine.session();
+    while let Some(frame) = read_frame(&mut stream)? {
+        let stmt = frame.trim();
+        if stmt.eq_ignore_ascii_case("quit") {
+            write_frame(&mut stream, "OK")?;
+            break;
+        }
+        if stmt.is_empty() || stmt.starts_with("--") {
+            write_frame(&mut stream, "OK")?;
+            continue;
+        }
+        let reply = match session.execute(stmt) {
+            Ok(payload) if payload.is_empty() => "OK".to_string(),
+            Ok(payload) if payload.contains('\n') => format!("OK\n{payload}"),
+            Ok(payload) => format!("OK {payload}"),
+            Err(e) => format!("ERR {e}"),
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+    drop(session); // aborts any open transaction
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(server: &Server, token: &str) -> TcpStream {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut s, &format!("AUTH {token}")).unwrap();
+        assert_eq!(read_frame(&mut s).unwrap().unwrap(), "OK");
+        s
+    }
+
+    fn exec(s: &mut TcpStream, stmt: &str) -> String {
+        write_frame(s, stmt).unwrap();
+        read_frame(s).unwrap().unwrap()
+    }
+
+    #[test]
+    fn auth_handshake_gates_the_session() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "sesame").unwrap();
+        let mut bad = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut bad, "AUTH wrong").unwrap();
+        assert_eq!(read_frame(&mut bad).unwrap().unwrap(), "ERR bad token");
+        assert!(
+            read_frame(&mut bad).unwrap().is_none(),
+            "closed after bad auth"
+        );
+        let mut ok = connect(&server, "sesame");
+        assert_eq!(exec(&mut ok, "SHOW DATABASES"), "OK");
+        server.shutdown();
+    }
+
+    #[test]
+    fn statements_round_trip_and_errors_keep_the_connection() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = connect(&server, "t");
+        assert_eq!(exec(&mut c, "CREATE DATABASE bank"), "OK");
+        assert_eq!(exec(&mut c, "USE bank"), "OK");
+        let reply = exec(&mut c, "GARBAGE");
+        assert!(reply.starts_with("ERR at byte 0"), "{reply}");
+        assert_eq!(exec(&mut c, "CREATE CLASS A { FIELD x = 3; }"), "OK");
+        let oid = exec(&mut c, "NEW A");
+        let oid = oid.strip_prefix("OK ").expect("oid reply");
+        assert_eq!(exec(&mut c, &format!("GET {oid} x")), "OK 3");
+        assert_eq!(exec(&mut c, "QUIT"), "OK");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_connections_release_their_locks() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut a = connect(&server, "t");
+        assert_eq!(exec(&mut a, "CREATE DATABASE d"), "OK");
+        assert_eq!(exec(&mut a, "USE d"), "OK");
+        assert_eq!(exec(&mut a, "CREATE CLASS C { FIELD v; }"), "OK");
+        let oid = exec(&mut a, "NEW C");
+        let oid = oid.strip_prefix("OK ").unwrap().to_string();
+        assert_eq!(exec(&mut a, "BEGIN"), "OK");
+        assert_eq!(exec(&mut a, &format!("CALL {oid} Touch SET v = 1")), "OK");
+        drop(a); // connection dies with the write lock held
+        let mut b = connect(&server, "t");
+        assert_eq!(exec(&mut b, "USE d"), "OK");
+        // The abort-on-drop must release the lock; retry while the server
+        // notices the dead socket.
+        let mut last = String::new();
+        for _ in 0..50 {
+            last = exec(&mut b, &format!("GET {oid} v"));
+            if last == "OK 0" {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(last, "OK 0", "uncommitted write was rolled back");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,66 @@
+//! `ode-server` binary: serve an engine root over TCP.
+//!
+//! ```text
+//! ode-server --root /var/lib/ode --addr 127.0.0.1:7479 --token sesame
+//! ode-server --volatile --addr 127.0.0.1:0 --token dev
+//! ```
+//!
+//! With `--volatile` every database lives in memory and dies with the
+//! process. The bound address is printed on stdout as `LISTENING <addr>`
+//! (scripts can parse it when binding port 0).
+
+use ode_core::Engine;
+use ode_server::Server;
+use ode_storage::StorageOptions;
+
+fn main() {
+    let mut root: Option<String> = None;
+    let mut addr = "127.0.0.1:7479".to_string();
+    let mut token = "ode".to_string();
+    let mut volatile = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next(),
+            "--addr" => addr = args.next().unwrap_or(addr),
+            "--token" => token = args.next().unwrap_or(token),
+            "--volatile" => volatile = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ode-server [--root DIR | --volatile] [--addr HOST:PORT] [--token TOKEN]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let engine = match (volatile, root) {
+        (true, _) => Engine::volatile(),
+        (false, Some(root)) => match Engine::open(&root, StorageOptions::default()) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("open engine root: {e}");
+                std::process::exit(1);
+            }
+        },
+        (false, None) => {
+            eprintln!("need --root DIR or --volatile (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(engine, &addr, &token) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", server.addr());
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

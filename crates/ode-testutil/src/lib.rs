@@ -40,6 +40,117 @@ impl Drop for TempDir {
     }
 }
 
+/// A blocking client for the `ode-server` wire protocol: length-prefixed
+/// (`u32` little-endian) UTF-8 frames, `AUTH <token>` handshake, one
+/// statement per frame, `OK`/`ERR` replies.
+///
+/// Lives here (std-only, no dependency on the server crate) so tests,
+/// examples, and benches across the workspace can all drive a server.
+pub struct WireClient {
+    stream: std::net::TcpStream,
+}
+
+impl WireClient {
+    /// Connect and authenticate. Errors on refused connection or bad
+    /// token.
+    pub fn connect(addr: &str, token: &str) -> std::io::Result<WireClient> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = WireClient { stream };
+        let reply = client.send(&format!("AUTH {token}"))?;
+        if reply != "OK" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                reply,
+            ));
+        }
+        Ok(client)
+    }
+
+    /// Send one frame and read the reply frame.
+    pub fn send(&mut self, payload: &str) -> std::io::Result<String> {
+        use std::io::{Read, Write};
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.stream.write_all(payload.as_bytes())?;
+        self.stream.flush()?;
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.stream.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Execute a statement, panicking on an `ERR` reply; returns the
+    /// payload (empty for plain `OK`).
+    pub fn exec(&mut self, stmt: &str) -> String {
+        let reply = self.send(stmt).expect("wire I/O");
+        match reply.as_str() {
+            "OK" => String::new(),
+            _ => match reply
+                .strip_prefix("OK ")
+                .or_else(|| reply.strip_prefix("OK\n"))
+            {
+                Some(payload) => payload.to_string(),
+                None => panic!("statement {stmt:?} failed: {reply}"),
+            },
+        }
+    }
+
+    /// Execute a statement, returning `Err(message)` on an `ERR` reply.
+    pub fn try_exec(&mut self, stmt: &str) -> Result<String, String> {
+        let reply = self.send(stmt).expect("wire I/O");
+        match reply.as_str() {
+            "OK" => Ok(String::new()),
+            _ => match reply
+                .strip_prefix("OK ")
+                .or_else(|| reply.strip_prefix("OK\n"))
+            {
+                Some(payload) => Ok(payload.to_string()),
+                None => Err(reply
+                    .strip_prefix("ERR ")
+                    .unwrap_or(reply.as_str())
+                    .to_string()),
+            },
+        }
+    }
+
+    /// Run `body` as a transaction, retrying the whole block when it is
+    /// torn down by a deadlock or lock timeout — the client-side analogue
+    /// of `Database::with_txn_retry`. `body` returns `Ok(Some(value))` to
+    /// commit, `Ok(None)` to abort cleanly, `Err` to bubble a real error.
+    pub fn with_txn_retry<R>(
+        &mut self,
+        max_attempts: usize,
+        mut body: impl FnMut(&mut WireClient) -> Result<Option<R>, String>,
+    ) -> Result<Option<R>, String> {
+        for attempt in 0.. {
+            self.try_exec("BEGIN")?;
+            match body(self) {
+                Ok(Some(value)) => match self.try_exec("COMMIT") {
+                    Ok(_) => return Ok(Some(value)),
+                    Err(e) if retryable(&e) && attempt + 1 < max_attempts => continue,
+                    Err(e) => return Err(e),
+                },
+                Ok(None) => {
+                    self.try_exec("ABORT").ok();
+                    return Ok(None);
+                }
+                // A failed statement already aborted the transaction.
+                Err(e) if retryable(&e) && attempt + 1 < max_attempts => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!()
+    }
+}
+
+/// Whether a wire error message names a transient conflict worth
+/// retrying.
+fn retryable(message: &str) -> bool {
+    message.contains("deadlock") || message.contains("lock timeout")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,136 @@
+//! Figure 1 over the wire: N OS processes define and exercise the §4
+//! credit-card triggers through `ode-server`, entirely in DDL.
+//!
+//! Run with: `cargo run --release --example credit_card_server`
+//!
+//! The parent process starts an in-process server on an ephemeral port,
+//! issues the schema DDL once, then re-execs itself `CLIENTS` times as
+//! real OS client processes. Each client connects, re-issues the same
+//! DDL (idempotent — `CREATE CLASS`/`CREATE TRIGGER` with identical text
+//! is a no-op, so clients never race the schema), creates its own card,
+//! activates the Figure 1 triggers on it, and runs the §4 scenario:
+//!
+//! * `Buy 900` then `PayBill` fires `AutoRaiseLimit` with *immediate*
+//!   coupling — the client asserts the raised limit is visible **inside
+//!   the same transaction**, before COMMIT;
+//! * an over-limit `Buy` trips `DenyCredit`'s `tabort`, and the client
+//!   asserts the balance rolled back.
+//!
+//! Finally the parent scrapes the server's Prometheus surface (`METRICS`)
+//! and checks that exactly `2 × CLIENTS` immediate firings were counted —
+//! one AutoRaiseLimit and one DenyCredit per client process.
+
+use ode_core::Engine;
+use ode_server::Server;
+use ode_testutil::WireClient;
+use std::process::Command;
+
+const CLIENTS: usize = 4;
+const TOKEN: &str = "fig1";
+
+const SCHEMA: &[&str] = &[
+    "CREATE CLASS CredCard { \
+        FIELD cred_lim = 1000; FIELD curr_bal = 0; FIELD good_hist = 1; \
+        EVENT AFTER Buy; EVENT AFTER PayBill; \
+        MASK OverLimit WHEN curr_bal > cred_lim; \
+        MASK MoreCred WHEN curr_bal > 0.8 * cred_lim AND good_hist == 1; }",
+    "CREATE TRIGGER AutoRaiseLimit ON CredCard \
+        WHEN relative((after Buy & MoreCred()), after PayBill) \
+        COUPLING immediate DO SET cred_lim = cred_lim + PARAM",
+    "CREATE TRIGGER DenyCredit ON CredCard PERPETUAL \
+        WHEN after Buy & OverLimit() \
+        COUPLING immediate DO ABORT 'Over Limit'",
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(mode) = args.next() {
+        assert_eq!(mode, "client");
+        let addr = args.next().expect("client needs <addr>");
+        let idx: usize = args.next().expect("client needs <idx>").parse().unwrap();
+        client(&addr, idx);
+        return;
+    }
+
+    // Parent: serve a volatile engine and fan out real OS processes.
+    let engine = Engine::volatile();
+    let server = Server::start(engine, "127.0.0.1:0", TOKEN).expect("bind");
+    let addr = server.addr().to_string();
+    println!("server on {addr}, spawning {CLIENTS} client processes");
+
+    let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
+    admin.exec("CREATE DATABASE bank");
+    admin.exec("USE bank");
+    for stmt in SCHEMA {
+        admin.exec(stmt);
+    }
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let children: Vec<_> = (0..CLIENTS)
+        .map(|idx| {
+            Command::new(&exe)
+                .args(["client", &addr, &idx.to_string()])
+                .spawn()
+                .expect("spawn client")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("wait");
+        assert!(status.success(), "a client process failed");
+    }
+
+    // Every client fired AutoRaiseLimit once and DenyCredit once, all
+    // immediate-coupled; the shared metrics surface proves it.
+    let metrics = admin.exec("METRICS");
+    let immediate: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("ode_firings_immediate{db=\"bank\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("ode_firings_immediate sample");
+    assert_eq!(
+        immediate,
+        (2 * CLIENTS) as u64,
+        "expected one AutoRaiseLimit + one DenyCredit firing per client"
+    );
+    println!("all {CLIENTS} clients done; {immediate} immediate firings observed");
+    server.shutdown();
+}
+
+/// One client process: its own card, its own triggers, the §4 scenario.
+fn client(addr: &str, idx: usize) {
+    let mut c = WireClient::connect(addr, TOKEN).expect("connect");
+    c.exec("USE bank");
+    // Idempotent re-issue: identical definitions are accepted no-ops, so
+    // client processes need no startup coordination with the parent.
+    for stmt in SCHEMA {
+        c.exec(stmt);
+    }
+    let card = c.exec("NEW CredCard");
+    c.exec(&format!("ACTIVATE AutoRaiseLimit ON {card} WITH 1000"));
+    c.exec(&format!("ACTIVATE DenyCredit ON {card}"));
+
+    // Buy 900 arms the relative trigger; PayBill fires it immediately.
+    // Retry the block: concurrent clients can collide on storage latches.
+    c.with_txn_retry(16, |c| {
+        c.try_exec(&format!("CALL {card} Buy SET curr_bal = curr_bal + 900"))?;
+        c.try_exec(&format!(
+            "CALL {card} PayBill SET curr_bal = curr_bal - 100"
+        ))?;
+        // Immediate coupling: the raised limit is visible before COMMIT.
+        let lim = c.try_exec(&format!("GET {card} cred_lim"))?;
+        assert_eq!(lim, "2000", "client {idx}: immediate firing in-txn");
+        Ok(Some(()))
+    })
+    .expect("raise-limit transaction")
+    .expect("committed");
+
+    // Over-limit buy: DenyCredit taborts and the balance rolls back.
+    let err = c
+        .try_exec(&format!("CALL {card} Buy SET curr_bal = curr_bal + 1500"))
+        .expect_err("over-limit buy must be denied");
+    assert!(err.contains("Over Limit"), "client {idx}: {err}");
+    assert_eq!(c.exec(&format!("GET {card} curr_bal")), "800");
+    assert_eq!(c.exec(&format!("GET {card} cred_lim")), "2000");
+    println!("client {idx}: card {card} ok");
+}

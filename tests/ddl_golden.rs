@@ -1,0 +1,81 @@
+//! Golden test: malformed DDL produces stable, byte-accurate error
+//! offsets.
+//!
+//! Each statement below is executed against a fresh session holding the
+//! Figure 1 `CredCard` class; the error (offset plus message, with a
+//! caret line pointing into the statement) is rendered and compared to
+//! `tests/golden/ddl_errors.txt`. Regenerate with
+//! `BLESS=1 cargo test --test ddl_golden`.
+
+use ode_core::Engine;
+
+const MALFORMED: &[&str] = &[
+    // Statement-level syntax.
+    "CREATE TRIGGERS T ON CredCard WHEN after Buy COUPLING end DO ABORT",
+    "CREATE CLASS",
+    "MAKE ME A SANDWICH",
+    "CREATE CLASS Bad { FIELD x; FIELD x; }",
+    "CREATE CLASS Bad { KNOB x; }",
+    "GET 3:0:0",
+    "NEW CredCard SET curr_bal",
+    "BEGIN READ",
+    // Event-expression errors are rebased onto the statement text.
+    "CREATE TRIGGER T ON CredCard WHEN after Typo COUPLING end DO ABORT 'x'",
+    "CREATE TRIGGER T ON CredCard WHEN after Buy & NoMask() COUPLING end DO ABORT 'x'",
+    "CREATE TRIGGER T ON CredCard WHEN after Buy COUPLING sideways DO ABORT 'x'",
+    "CREATE TRIGGER T ON CredCard WHEN after Buy DO ABORT 'x'",
+    // Expression-language errors carry offsets too.
+    "CREATE CLASS Bad { FIELD a; MASK M WHEN missing > 1; }",
+    "CREATE CLASS Bad { FIELD a; MASK M WHEN a + 1; }",
+    "CREATE TRIGGER T ON CredCard WHEN after Buy COUPLING end DO SET nope = 1",
+    // Lexer errors.
+    "CREATE DATABASE \u{1F4A3}",
+    "POST 1:0 'unterminated",
+];
+
+fn render() -> String {
+    let engine = Engine::volatile();
+    let mut session = engine.session();
+    session.execute("CREATE DATABASE golden").unwrap();
+    session.execute("USE golden").unwrap();
+    session
+        .execute(
+            "CREATE CLASS CredCard { \
+             FIELD cred_lim = 1000; FIELD curr_bal; \
+             EVENT AFTER Buy; EVENT AFTER PayBill; \
+             MASK OverLimit WHEN curr_bal > cred_lim; }",
+        )
+        .unwrap();
+    let mut out = String::new();
+    for stmt in MALFORMED {
+        let err = session
+            .execute(stmt)
+            .expect_err("malformed statement accepted");
+        out.push_str(stmt);
+        out.push('\n');
+        if let Some(at) = err.at {
+            // Caret line pointing at the offending byte.
+            for _ in 0..at.min(stmt.len()) {
+                out.push(' ');
+            }
+            out.push_str("^\n");
+        }
+        out.push_str(&format!("error: {err}\n\n"));
+    }
+    out
+}
+
+#[test]
+fn malformed_ddl_errors_match_golden_file() {
+    let rendered = render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ddl_errors.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file (run with BLESS=1 to create)");
+    assert_eq!(
+        rendered, expected,
+        "DDL error rendering drifted; re-bless with BLESS=1 if intentional"
+    );
+}
