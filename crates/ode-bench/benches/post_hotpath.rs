@@ -130,6 +130,31 @@ fn bench_post_hotpath(c: &mut Criterion) {
         }
     }
 
+    // Span tracing (PR 9): the same steady state with an ambient trace
+    // context installed, so every post records Post/FsmAdvance spans
+    // into the session ring. The shipping default is tracing OFF — the
+    // recorder_on series above doubles as the tracing-off baseline
+    // (spans compiled in, ambient flag cold) — and E18 requires the
+    // traced series within reason and the OFF series within 5% of the
+    // pre-instrumentation numbers in BENCH_post_hotpath.json.
+    for n in [1usize, 16] {
+        group.throughput(Throughput::Elements(2));
+        let (db, probe, _) = setup(true, n);
+        group.bench_function(format!("perpetual/{n}/tracing_on"), |b| {
+            db.metrics().reset();
+            let buf = std::sync::Arc::new(ode_trace::TraceBuffer::new());
+            let _guard =
+                ode_trace::install(std::sync::Arc::clone(&buf), ode_trace::next_trace_id());
+            let txn = db.begin().unwrap();
+            b.iter(|| {
+                db.post_user_event(txn, probe, "TickA").unwrap();
+                db.post_user_event(txn, probe, "TickB").unwrap();
+            });
+            db.abort(txn).unwrap();
+            dump_stats(&format!("post_hotpath/perpetual/{n}/tracing_on"), &db);
+        });
+    }
+
     // Once-only chains: a fresh transaction per iteration posts 16 events
     // (the chain never completes) and aborts, rolling the advances back.
     for n in [1usize, 16] {

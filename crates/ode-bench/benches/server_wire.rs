@@ -75,6 +75,19 @@ fn bench_embedded(c: &mut Criterion) {
             }
         })
     });
+    // The same statements with session tracing on: every execute builds
+    // the full span tree (statement/parse/post/fsm_advance) in the
+    // session ring. The untraced series above is the tracing-off
+    // baseline for E18's ≤5% overhead bar.
+    session.execute("TRACE ON").expect("trace on");
+    group.bench_function("embedded_post_tracing_on", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                session.execute(&stmt).expect("embedded call");
+            }
+        })
+    });
+    session.execute("TRACE OFF").expect("trace off");
     group.finish();
 }
 

@@ -268,17 +268,20 @@ impl Database {
         if firings.is_empty() {
             return;
         }
+        let coupling = if depends_on.is_some() {
+            ode_obs::coupling_label::DEPENDENT
+        } else {
+            ode_obs::coupling_label::INDEPENDENT
+        };
         let run = || -> Result<()> {
             let stxn = self.storage.begin_system()?;
+            let mut span = ode_trace::span(ode_trace::SpanKind::SystemTxn, coupling);
+            span.payload(stxn.0, depends_on.map_or(0, |t| t.0));
             self.metrics()
                 .emit(|| ode_obs::TraceEvent::SystemTxnStarted {
                     txn: stxn.0,
                     parent: depends_on.map(|t| t.0),
-                    coupling: if depends_on.is_some() {
-                        ode_obs::coupling_label::DEPENDENT
-                    } else {
-                        ode_obs::coupling_label::INDEPENDENT
-                    },
+                    coupling,
                 });
             if let Some(on) = depends_on {
                 self.storage.add_commit_dependency(stxn, on)?;

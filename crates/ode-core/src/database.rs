@@ -421,6 +421,14 @@ impl Database {
         }
     }
 
+    /// Every registered class name, sorted — DDL-defined and
+    /// host-registered alike (`SHOW CLASSES` / `SHOW TRIGGERS`).
+    pub fn class_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.schema.read().by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Look up a registered class's descriptor.
     pub fn descriptor(&self, class: &str) -> Option<Arc<TypeDescriptor>> {
         self.schema

@@ -512,6 +512,18 @@ pub enum Statement {
     Abort,
     /// `METRICS` — the engine's labeled Prometheus page.
     Metrics,
+    /// `SHOW CLASSES` — DDL-defined classes of the current database.
+    ShowClasses,
+    /// `SHOW TRIGGERS` — trigger definitions with coupling mode and
+    /// live instance counts.
+    ShowTriggers,
+    /// `SHOW TRACE` — the span tree of the last traced statement.
+    ShowTrace,
+    /// `TRACE ON | OFF | SAMPLE <n>` — session trace sampling.
+    Trace(crate::session::TraceMode),
+    /// `EXPLAIN <stmt>` — execute the statement traced and return its
+    /// span tree in the same round trip.
+    Explain(Box<Statement>),
 }
 
 // ---------------------------------------------------------------------
@@ -768,8 +780,49 @@ fn parse_inner(c: &mut Cursor<'_>, src: &str) -> PResult<Statement> {
         return Ok(Statement::Use(c.ident("database name")?.0));
     }
     if c.eat_kw("show") {
-        c.expect_kw("databases")?;
-        return Ok(Statement::ShowDatabases);
+        if c.eat_kw("databases") {
+            return Ok(Statement::ShowDatabases);
+        }
+        if c.eat_kw("classes") {
+            return Ok(Statement::ShowClasses);
+        }
+        if c.eat_kw("triggers") {
+            return Ok(Statement::ShowTriggers);
+        }
+        if c.eat_kw("trace") {
+            return Ok(Statement::ShowTrace);
+        }
+        return Err(c.unexpected("expected DATABASES, CLASSES, TRIGGERS, or TRACE"));
+    }
+    if c.eat_kw("trace") {
+        if c.eat_kw("on") {
+            return Ok(Statement::Trace(crate::session::TraceMode::On));
+        }
+        if c.eat_kw("off") {
+            return Ok(Statement::Trace(crate::session::TraceMode::Off));
+        }
+        if c.eat_kw("sample") {
+            let at = c.at();
+            let n = c.number("sample interval")?;
+            if n < 1.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                return Err(DdlError::at(
+                    at,
+                    "TRACE SAMPLE wants a positive integer interval",
+                ));
+            }
+            return Ok(Statement::Trace(crate::session::TraceMode::Sample(
+                n as u64,
+            )));
+        }
+        return Err(c.unexpected("expected ON, OFF, or SAMPLE <n>"));
+    }
+    if c.eat_kw("explain") {
+        let at = c.at();
+        let inner = parse_inner(c, src)?;
+        if matches!(inner, Statement::Explain(_)) {
+            return Err(DdlError::at(at, "cannot EXPLAIN an EXPLAIN"));
+        }
+        return Ok(Statement::Explain(Box::new(inner)));
     }
     if c.eat_kw("activate") {
         let (trigger, _) = c.ident("trigger name")?;
@@ -1098,8 +1151,111 @@ impl Session {
     /// takes the transaction down, matching
     /// [`Database::with_txn`]'s Err-path behavior.
     pub fn execute(&mut self, src: &str) -> std::result::Result<String, DdlError> {
+        let started = std::time::Instant::now();
+        let verb = src
+            .trim_start()
+            .split(char::is_whitespace)
+            .next()
+            .unwrap_or("");
+        self.engine().stats().record_statement(verb);
+        // A configured slow-statement threshold forces tracing: the span
+        // tree has to exist by the time we learn the statement was slow.
+        let slow_micros = self
+            .database()
+            .ok()
+            .and_then(|db| db.storage.options().slow_statement_micros);
+        let sampled = match self.trace_mode {
+            crate::session::TraceMode::Off => false,
+            crate::session::TraceMode::On => true,
+            crate::session::TraceMode::Sample(n) => {
+                self.trace_countdown += 1;
+                if self.trace_countdown >= n.max(1) {
+                    self.trace_countdown = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if sampled || slow_micros.is_some() || verb.eq_ignore_ascii_case("explain") {
+            return self.execute_traced(src, verb, started, slow_micros);
+        }
         let stmt = parse_statement(src)?;
-        self.run(stmt)
+        let result = self.run(stmt);
+        self.observe_statement(started);
+        result
+    }
+
+    /// The traced statement path: this session's span ring installed as
+    /// the ambient trace context, a `statement` root span (named by the
+    /// leading verb) with a `parse` child — every layer below (locking,
+    /// posting, FSM advances, coupling-mode system transactions, the WAL
+    /// flush wait) contributes its spans through the thread-local.
+    fn execute_traced(
+        &mut self,
+        src: &str,
+        verb: &str,
+        started: std::time::Instant,
+        slow_micros: Option<u64>,
+    ) -> std::result::Result<String, DdlError> {
+        let trace_id = ode_trace::next_trace_id();
+        let buf = Arc::clone(&self.trace_buf);
+        let guard = ode_trace::install(Arc::clone(&buf), trace_id);
+        let root = ode_trace::span(ode_trace::SpanKind::Statement, verb);
+        let parsed = {
+            let _parse = ode_trace::span(ode_trace::SpanKind::Parse, "");
+            parse_statement(src)
+        };
+        let (stmt, explain) = match parsed {
+            Ok(Statement::Explain(inner)) => (*inner, true),
+            Ok(stmt) => (stmt, false),
+            // `root` and `guard` unwind here; the aborted trace is left in
+            // the ring and simply never rendered.
+            Err(e) => return Err(e),
+        };
+        // TRACE and SHOW TRACE manage the trace state — they must not
+        // replace the tree the user is about to look at.
+        let keep = !matches!(stmt, Statement::Trace(_) | Statement::ShowTrace);
+        let result = self.run(stmt);
+        drop(root);
+        drop(guard);
+        self.observe_statement(started);
+        let tree = ode_trace::render_tree(trace_id, &buf.trace(trace_id));
+        if let Some(threshold) = slow_micros {
+            let elapsed = started.elapsed().as_micros() as u64;
+            if elapsed > threshold {
+                if let Ok(db) = self.database() {
+                    db.metrics().slow_statements.inc();
+                }
+                let db = self.current_database().unwrap_or("-");
+                eprintln!(
+                    "[ode slow statement] db={db} {elapsed}\u{b5}s \
+                     (threshold {threshold}\u{b5}s) {src:?}\n{tree}"
+                );
+            }
+        }
+        if keep {
+            self.last_trace = Some(tree.clone());
+        }
+        match result {
+            Ok(payload) if explain => Ok(if payload.is_empty() {
+                tree
+            } else {
+                format!("result: {payload}\n{tree}")
+            }),
+            other => other,
+        }
+    }
+
+    /// Record the statement's latency into the current database's
+    /// histogram (the per-verb counters are engine-level and recorded in
+    /// [`Session::execute`] before dispatch).
+    fn observe_statement(&self, started: std::time::Instant) {
+        if let Ok(db) = self.database() {
+            db.metrics()
+                .statement_micros
+                .record(started.elapsed().as_micros() as u64);
+        }
     }
 
     fn run(&mut self, stmt: Statement) -> std::result::Result<String, DdlError> {
@@ -1137,6 +1293,21 @@ impl Session {
                 Ok(String::new())
             }
             Statement::Metrics => Ok(self.engine().render_prometheus()),
+            Statement::ShowClasses => self.show_classes(),
+            Statement::ShowTriggers => self.show_triggers(),
+            Statement::ShowTrace => Ok(self.last_trace.clone().unwrap_or_else(|| {
+                "no trace recorded (TRACE ON, TRACE SAMPLE <n>, or EXPLAIN first)".into()
+            })),
+            Statement::Trace(mode) => {
+                self.trace_mode = mode;
+                self.trace_countdown = 0;
+                Ok(String::new())
+            }
+            // EXPLAIN is peeled off in `execute` — tracing must be armed
+            // before the inner statement runs.
+            Statement::Explain(_) => Err(DdlError::new(
+                "EXPLAIN must be executed as a top-level statement",
+            )),
             Statement::CreateClass(def) => self.create_class(def),
             Statement::CreateTrigger { class, def } => self.create_trigger(&class, def),
             Statement::Activate {
@@ -1190,6 +1361,73 @@ impl Session {
                 .with_session_txn(|db, txn| Ok(db.tick(txn, &timer)?.to_string()))
                 .map_err(DdlError::from),
         }
+    }
+
+    /// `SHOW CLASSES`: one line per registered class (DDL-defined and
+    /// host-registered alike), with declared-surface counts.
+    fn show_classes(&mut self) -> std::result::Result<String, DdlError> {
+        let db = Arc::clone(self.database()?);
+        let mut lines = Vec::new();
+        for class in db.class_names() {
+            let Some(td) = db.descriptor(&class) else {
+                continue;
+            };
+            lines.push(format!(
+                "{class} events={} triggers={}",
+                td.events().len(),
+                td.triggers().len()
+            ));
+        }
+        Ok(lines.join("\n"))
+    }
+
+    /// `SHOW TRIGGERS`: every trigger definition with its coupling mode,
+    /// perpetual flag, and the number of live activated instances,
+    /// counted transactionally from the trigger-state index (so the
+    /// session sees its own uncommitted ACTIVATEs).
+    fn show_triggers(&mut self) -> std::result::Result<String, DdlError> {
+        let db = Arc::clone(self.database()?);
+        // Live instance counts keyed (class, trigger), deduplicated by
+        // state oid — an inter-object instance is indexed under every
+        // anchor it watches.
+        let counts = self.with_session_txn(|db, txn| {
+            let mut seen = std::collections::HashSet::new();
+            let mut counts: HashMap<(String, String), u64> = HashMap::new();
+            for (_, state_oids) in db.trigger_index.entries(&db.storage, txn)? {
+                for oid in state_oids {
+                    if !seen.insert(oid.to_u64()) {
+                        continue;
+                    }
+                    let raw = db.storage.read(txn, oid)?;
+                    let rec = crate::trigger::TriggerStateRec::decode_with(&raw, &db.interner)?;
+                    let class = db.interner.resolve(rec.class_sym);
+                    let trigger = db.interner.resolve(rec.trigger_sym);
+                    *counts
+                        .entry((class.to_string(), trigger.to_string()))
+                        .or_insert(0) += 1;
+                }
+            }
+            Ok(counts)
+        })?;
+        let mut lines = Vec::new();
+        for class in db.class_names() {
+            let Some(td) = db.descriptor(&class) else {
+                continue;
+            };
+            for info in td.triggers() {
+                let active = counts
+                    .get(&(class.clone(), info.name.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                lines.push(format!(
+                    "{} ON {class} {} COUPLING {} active={active}",
+                    info.name,
+                    if info.perpetual { "PERPETUAL" } else { "ONCE" },
+                    info.coupling
+                ));
+            }
+        }
+        Ok(lines.join("\n"))
     }
 
     fn create_class(&mut self, def: DdlClassDef) -> std::result::Result<String, DdlError> {

@@ -21,6 +21,7 @@ use ode_storage::StorageOptions;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A catalog of named databases under one root directory (or fully in
@@ -33,6 +34,135 @@ pub struct Engine {
     /// options.
     default_options: StorageOptions,
     databases: RwLock<HashMap<String, Arc<Database>>>,
+    stats: EngineStats,
+}
+
+/// Statement verbs the per-verb counter distinguishes; anything else
+/// lands in `other`. Ordered as rendered on the Prometheus page.
+const VERBS: &[&str] = &[
+    "begin",
+    "commit",
+    "abort",
+    "use",
+    "create",
+    "drop",
+    "show",
+    "new",
+    "call",
+    "get",
+    "activate",
+    "deactivate",
+    "metrics",
+    "checkpoint",
+    "trace",
+    "explain",
+    "other",
+];
+
+/// Engine-wide (cross-database) observability: session and transaction
+/// gauges, statements by verb, and wire-layer counters. Everything a
+/// scrape needs that is not attributable to a single database.
+pub struct EngineStats {
+    sessions_open: AtomicU64,
+    txns_open: AtomicU64,
+    /// Inbound wire frames rejected for exceeding the frame-size limit
+    /// (bumped by `ode-server`).
+    pub frames_oversized: AtomicU64,
+    verbs: [AtomicU64; VERBS.len()],
+}
+
+impl EngineStats {
+    fn new() -> EngineStats {
+        EngineStats {
+            sessions_open: AtomicU64::new(0),
+            txns_open: AtomicU64::new(0),
+            frames_oversized: AtomicU64::new(0),
+            verbs: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn session_opened(&self) {
+        self.sessions_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_closed(&self) {
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn txn_opened(&self) {
+        self.txns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn txn_closed(&self) {
+        self.txns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count one executed statement under its leading verb
+    /// (case-insensitive; unknown verbs count as `other`).
+    pub(crate) fn record_statement(&self, verb: &str) {
+        let idx = VERBS
+            .iter()
+            .position(|v| verb.eq_ignore_ascii_case(v))
+            .unwrap_or(VERBS.len() - 1);
+        self.verbs[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sessions currently open.
+    pub fn sessions_open(&self) -> u64 {
+        self.sessions_open.load(Ordering::Relaxed)
+    }
+
+    /// Session transactions currently open.
+    pub fn txns_open(&self) -> u64 {
+        self.txns_open.load(Ordering::Relaxed)
+    }
+
+    /// Statements executed under `verb` (see `record_statement`).
+    pub fn statements(&self, verb: &str) -> u64 {
+        let idx = VERBS
+            .iter()
+            .position(|v| verb.eq_ignore_ascii_case(v))
+            .unwrap_or(VERBS.len() - 1);
+        self.verbs[idx].load(Ordering::Relaxed)
+    }
+
+    fn render_prometheus_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "# HELP ode_sessions_open Sessions currently open on this engine."
+        );
+        let _ = writeln!(out, "# TYPE ode_sessions_open gauge");
+        let _ = writeln!(out, "ode_sessions_open {}", self.sessions_open());
+        let _ = writeln!(
+            out,
+            "# HELP ode_txns_open Session transactions currently open."
+        );
+        let _ = writeln!(out, "# TYPE ode_txns_open gauge");
+        let _ = writeln!(out, "ode_txns_open {}", self.txns_open());
+        let _ = writeln!(
+            out,
+            "# HELP ode_frames_oversized Inbound wire frames rejected for exceeding the frame-size limit."
+        );
+        let _ = writeln!(out, "# TYPE ode_frames_oversized counter");
+        let _ = writeln!(
+            out,
+            "ode_frames_oversized {}",
+            self.frames_oversized.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ode_statements_total Statements executed through sessions, by leading verb."
+        );
+        let _ = writeln!(out, "# TYPE ode_statements_total counter");
+        for (verb, count) in VERBS.iter().zip(&self.verbs) {
+            let _ = writeln!(
+                out,
+                "ode_statements_total{{verb=\"{verb}\"}} {}",
+                count.load(Ordering::Relaxed)
+            );
+        }
+    }
 }
 
 /// Database names double as directory names; reject anything that could
@@ -64,6 +194,7 @@ impl Engine {
             root: None,
             default_options,
             databases: RwLock::new(HashMap::new()),
+            stats: EngineStats::new(),
         })
     }
 
@@ -78,7 +209,14 @@ impl Engine {
             root: Some(root),
             default_options,
             databases: RwLock::new(HashMap::new()),
+            stats: EngineStats::new(),
         }))
+    }
+
+    /// Engine-wide session/statement/wire statistics (rendered on the
+    /// Prometheus page alongside the per-database families).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     /// The default storage options given to databases created without
@@ -213,9 +351,11 @@ impl Engine {
         names
     }
 
-    /// One Prometheus page covering every attached database: each
-    /// database's full metrics snapshot rendered with a `db="<name>"`
-    /// label on every sample.
+    /// One Prometheus page covering every attached database plus the
+    /// engine-wide families. Per-database samples carry a `db="<name>"`
+    /// label; samples of the same family are merged under a single
+    /// HELP/TYPE header, so the page stays exposition-conformant with
+    /// any number of databases.
     pub fn render_prometheus(&self) -> String {
         let mut dbs: Vec<(String, Arc<Database>)> = self
             .databases
@@ -224,13 +364,52 @@ impl Engine {
             .map(|(n, d)| (n.clone(), Arc::clone(d)))
             .collect();
         dbs.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut out = String::new();
+
+        // Every page comes out of the same `metrics!` renderer, so the
+        // family order is identical across databases; merge per family,
+        // keeping the first page's HELP/TYPE header and interleaving
+        // each later page's samples into its family block.
+        let mut order: Vec<String> = Vec::new();
+        let mut families: HashMap<String, (Vec<String>, Vec<String>)> = HashMap::new();
         for (name, db) in dbs {
-            out.push_str(
-                &db.stats()
-                    .render_prometheus_labeled(&format!("db=\"{name}\"")),
-            );
+            let page = db
+                .stats()
+                .render_prometheus_labeled(&format!("db=\"{name}\""));
+            let mut current: Option<String> = None;
+            for line in page.lines() {
+                if let Some(rest) = line.strip_prefix("# HELP ") {
+                    let fam = rest.split(' ').next().unwrap_or("").to_string();
+                    let entry = families.entry(fam.clone()).or_default();
+                    if entry.0.is_empty() {
+                        order.push(fam.clone());
+                        entry.0.push(line.to_string());
+                    }
+                    current = Some(fam);
+                } else if line.starts_with("# TYPE ") {
+                    if let Some(fam) = &current {
+                        let entry = families.entry(fam.clone()).or_default();
+                        if entry.0.len() == 1 {
+                            entry.0.push(line.to_string());
+                        }
+                    }
+                } else if let Some(fam) = &current {
+                    families
+                        .entry(fam.clone())
+                        .or_default()
+                        .1
+                        .push(line.to_string());
+                }
+            }
         }
+        let mut out = String::new();
+        for fam in order {
+            let (header, samples) = &families[&fam];
+            for line in header.iter().chain(samples) {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        self.stats.render_prometheus_into(&mut out);
         out
     }
 

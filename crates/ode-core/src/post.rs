@@ -417,6 +417,15 @@ impl Database {
             return Err(OdeError::Storage(StorageError::ReadOnlyTxn(txn)));
         }
         let post_started = std::time::Instant::now();
+        let mut post_span = ode_trace::span(ode_trace::SpanKind::Post, "");
+        if post_span.is_recording() {
+            // The prototype name costs an allocation to resolve; only
+            // traced statements pay it.
+            if let Some((_, basic)) = self.registry().describe(event) {
+                post_span.rename(&basic.to_string());
+            }
+            post_span.payload(anchor.to_u64(), txn.0);
+        }
         let metrics = self.metrics();
         metrics.events_posted.inc();
         metrics.emit(|| ode_obs::TraceEvent::EventPosted {
@@ -563,6 +572,12 @@ impl Database {
             self.qualify_event(event, anchor, &cached.rec.anchors)
         };
 
+        let from_state = cached.rec.statenum;
+        let mut fsm_span = ode_trace::span(ode_trace::SpanKind::FsmAdvance, "");
+        if fsm_span.is_recording() {
+            fsm_span.rename(&cached.trigger_name);
+            fsm_span.payload(from_state as u64, from_state as u64);
+        }
         let mut mask_err: Option<OdeError> = None;
         let mut mask_evals = 0u64;
         let outcome = info.fsm.post(cached.rec.statenum, fsm_event, |m| {
@@ -601,6 +616,7 @@ impl Database {
                 Ok(None)
             }
             Advance::Moved => {
+                fsm_span.payload(from_state as u64, outcome.state as u64);
                 let firing = outcome.accepted.then(|| Firing {
                     class_sym: cached.rec.class_sym,
                     triggernum,
@@ -711,6 +727,10 @@ impl Database {
             anchors: &firing.anchors,
             event_args: firing.event_args.as_deref(),
         };
+        let mut action_span = ode_trace::span(ode_trace::SpanKind::Action, "");
+        if action_span.is_recording() {
+            action_span.rename(&firing.trigger_name);
+        }
         let action_started = std::time::Instant::now();
         let result = (info.action)(&mut ctx);
         metrics

@@ -17,21 +17,48 @@ use crate::error::{OdeError, Result};
 use ode_storage::TxnId;
 use std::sync::Arc;
 
+/// How a session decides which statements to trace (set by the `TRACE`
+/// statement; `EXPLAIN` and a configured slow-statement log force
+/// tracing regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Trace nothing (the default; spans cost one dead flag read).
+    Off,
+    /// Trace every statement.
+    On,
+    /// Trace every n-th statement.
+    Sample(u64),
+}
+
 /// A client's connection state: engine, current database, open
-/// transaction.
+/// transaction, span tracing.
 pub struct Session {
     engine: Arc<Engine>,
     current: Option<(String, Arc<Database>)>,
     txn: Option<TxnId>,
+    /// This session's private span ring — sessions never contend on a
+    /// shared trace structure.
+    pub(crate) trace_buf: Arc<ode_trace::TraceBuffer>,
+    pub(crate) trace_mode: TraceMode,
+    /// Statements executed since the last sampled trace.
+    pub(crate) trace_countdown: u64,
+    /// Rendered span tree of the most recent traced statement
+    /// (`SHOW TRACE` returns it).
+    pub(crate) last_trace: Option<String>,
 }
 
 impl Session {
     /// A fresh session with no current database and no open transaction.
     pub fn new(engine: Arc<Engine>) -> Session {
+        engine.stats().session_opened();
         Session {
             engine,
             current: None,
             txn: None,
+            trace_buf: Arc::new(ode_trace::TraceBuffer::new()),
+            trace_mode: TraceMode::Off,
+            trace_countdown: 0,
+            last_trace: None,
         }
     }
 
@@ -79,6 +106,7 @@ impl Session {
         }
         let txn = self.database()?.begin()?;
         self.txn = Some(txn);
+        self.engine.stats().txn_opened();
         Ok(txn)
     }
 
@@ -90,6 +118,7 @@ impl Session {
         }
         let txn = self.database()?.begin_read_only()?;
         self.txn = Some(txn);
+        self.engine.stats().txn_opened();
         Ok(txn)
     }
 
@@ -101,6 +130,7 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| OdeError::Schema("no open transaction".into()))?;
+        self.engine.stats().txn_closed();
         self.database()?.commit(txn)
     }
 
@@ -110,6 +140,7 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| OdeError::Schema("no open transaction".into()))?;
+        self.engine.stats().txn_closed();
         self.database()?.abort(txn)
     }
 
@@ -127,6 +158,7 @@ impl Session {
                 Ok(value) => Ok(value),
                 Err(e) => {
                     self.txn = None;
+                    self.engine.stats().txn_closed();
                     let _ = db.abort(txn);
                     Err(e)
                 }
@@ -138,8 +170,10 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        self.engine.stats().session_closed();
         // A dropped connection must not leak its locks.
         if let (Some(txn), Some((_, db))) = (self.txn.take(), self.current.as_ref()) {
+            self.engine.stats().txn_closed();
             let _ = db.abort(txn);
         }
     }

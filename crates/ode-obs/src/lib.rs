@@ -581,14 +581,22 @@ impl From<&TraceEvent<'_>> for FlightEvent {
 }
 
 /// One entry in the flight recorder: a global sequence number, a
-/// monotonic timestamp (nanoseconds since the recorder was created), and
-/// the compact event.
+/// monotonic timestamp (nanoseconds since the recorder was created),
+/// the compact event, and — when the emitting thread was inside a
+/// traced statement — the ambient `ode-trace` identity, so the
+/// engine-global flight log can be joined against per-session span
+/// trees.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlightRecord {
     /// Global record sequence number (dense, starts at 0).
     pub seq: u64,
     /// Nanoseconds since the recorder's creation (monotonic clock).
     pub nanos: u64,
+    /// The traced statement this record occurred under (0 = untraced).
+    pub trace_id: u64,
+    /// The innermost open span at emission time (0 = untraced or at the
+    /// trace root).
+    pub span_id: u64,
     /// The recorded occurrence.
     pub event: FlightEvent,
 }
@@ -596,6 +604,8 @@ pub struct FlightRecord {
 const FLIGHT_INIT: FlightRecord = FlightRecord {
     seq: 0,
     nanos: 0,
+    trace_id: 0,
+    span_id: 0,
     event: FlightEvent::TxnCommit { txn: 0 },
 };
 
@@ -666,6 +676,7 @@ impl FlightRecorder {
     /// then a seqlock-guarded plain write.
     pub fn record(&self, event: FlightEvent) {
         let nanos = self.origin.elapsed().as_nanos() as u64;
+        let (trace_id, span_id) = ode_trace::current_ids();
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
         slot.version.store(2 * seq + 1, Ordering::Relaxed);
@@ -677,7 +688,13 @@ impl FlightRecorder {
         // validation and the slot is skipped — data loss bounded to the
         // colliding slot, never a torn read.
         unsafe {
-            *slot.data.get() = FlightRecord { seq, nanos, event };
+            *slot.data.get() = FlightRecord {
+                seq,
+                nanos,
+                trace_id,
+                span_id,
+                event,
+            };
         }
         slot.version.store(2 * seq + 2, Ordering::Release);
     }
@@ -987,6 +1004,10 @@ metrics! {
         tick_skips,
         /// Superseded object versions reclaimed by version-chain GC.
         versions_gced,
+        /// Statements whose end-to-end latency exceeded the configured
+        /// slow-statement threshold (their span trees went to the slow
+        /// log).
+        slow_statements,
     }
     gauges {
         /// Pages currently resident in the buffer pool (all shards).
@@ -1024,6 +1045,9 @@ metrics! {
         /// doublewrite + in-place write) to steal it under memory
         /// pressure, one sample per stolen page.
         evict_flush_micros,
+        /// Microseconds per session statement, end to end (parse, run,
+        /// firings, and — under autocommit — the commit flush wait).
+        statement_micros,
     }
 }
 
@@ -1340,6 +1364,26 @@ mod tests {
             );
         }
         assert!(text.contains("ode_commit_flush_wait_micros_sum 420"));
+    }
+
+    #[test]
+    fn flight_records_carry_the_ambient_trace_identity() {
+        let m = Metrics::new();
+        m.emit(|| TraceEvent::TxnCommit { txn: 1 });
+        let buf = Arc::new(ode_trace::TraceBuffer::new());
+        let trace = ode_trace::next_trace_id();
+        {
+            let _g = ode_trace::install(Arc::clone(&buf), trace);
+            let _root = ode_trace::span(ode_trace::SpanKind::Statement, "call");
+            m.emit(|| TraceEvent::TxnCommit { txn: 2 });
+        }
+        m.emit(|| TraceEvent::TxnCommit { txn: 3 });
+        let log = m.flight_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].trace_id, log[0].span_id), (0, 0), "untraced");
+        assert_eq!(log[1].trace_id, trace, "stamped with the ambient trace");
+        assert_eq!(log[1].span_id, 1, "statement span was innermost");
+        assert_eq!((log[2].trace_id, log[2].span_id), (0, 0), "guard dropped");
     }
 
     struct RecordingSink(Mutex<Vec<String>>);

@@ -40,27 +40,50 @@ use std::thread::JoinHandle;
 /// Largest accepted frame (defensive bound; statements are small).
 pub const MAX_FRAME: u32 = 1 << 20;
 
-/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
-/// boundary.
-pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
+/// One inbound frame, as the server's read loop sees it.
+enum Frame {
+    /// A complete frame.
+    Msg(String),
+    /// The length prefix exceeded [`MAX_FRAME`] — nothing was allocated
+    /// and the payload was not read, so the stream cannot be resynced.
+    Oversized(u32),
+    /// Clean EOF at a frame boundary.
+    Eof,
+}
+
+/// Read one length-prefixed frame without trusting the length prefix:
+/// an oversized claim is reported before any allocation happens, so a
+/// hostile 4 GiB prefix costs four bytes of reading, not an OOM.
+fn read_frame_bounded(stream: &mut impl Read) -> std::io::Result<Frame> {
     let mut len = [0u8; 4];
     match stream.read_exact(&mut len) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(Frame::Eof),
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte limit"),
-        ));
+        return Ok(Frame::Oversized(len));
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Frame::Msg(s)),
+        Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+    }
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
+    match read_frame_bounded(stream)? {
+        Frame::Msg(s) => Ok(Some(s)),
+        Frame::Eof => Ok(None),
+        Frame::Oversized(len) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte limit"),
+        )),
+    }
 }
 
 /// Write one length-prefixed frame.
@@ -151,17 +174,31 @@ fn serve_connection(
     token: &str,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
-    match read_frame(&mut stream)? {
-        Some(frame) if frame.strip_prefix("AUTH ") == Some(token) => {
+    match read_frame_bounded(&mut stream)? {
+        Frame::Msg(frame) if frame.strip_prefix("AUTH ") == Some(token) => {
             write_frame(&mut stream, "OK")?;
         }
-        Some(_) | None => {
+        Frame::Oversized(len) => {
+            reject_oversized(&mut stream, &engine, len);
+            return Ok(());
+        }
+        Frame::Msg(_) | Frame::Eof => {
             let _ = write_frame(&mut stream, "ERR bad token");
             return Ok(());
         }
     }
     let mut session = engine.session();
-    while let Some(frame) = read_frame(&mut stream)? {
+    loop {
+        let frame = match read_frame_bounded(&mut stream)? {
+            Frame::Msg(frame) => frame,
+            Frame::Eof => break,
+            Frame::Oversized(len) => {
+                // The payload was never read, so the framing cannot be
+                // resynced: report and close rather than allocate.
+                reject_oversized(&mut stream, &engine, len);
+                break;
+            }
+        };
         let stmt = frame.trim();
         if stmt.eq_ignore_ascii_case("quit") {
             write_frame(&mut stream, "OK")?;
@@ -181,6 +218,142 @@ fn serve_connection(
     }
     drop(session); // aborts any open transaction
     Ok(())
+}
+
+/// Count and report an oversized inbound frame, then let the caller
+/// close the connection.
+fn reject_oversized(stream: &mut TcpStream, engine: &Engine, len: u32) {
+    engine
+        .stats()
+        .frames_oversized
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = write_frame(
+        stream,
+        &format!("ERR frame of {len} bytes exceeds the {MAX_FRAME} byte limit"),
+    );
+}
+
+// ---------------------------------------------------------------------
+// HTTP metrics endpoint
+// ---------------------------------------------------------------------
+
+/// A minimal std-only HTTP/1.1 listener serving the engine's merged
+/// Prometheus page at `GET /metrics` and a liveness probe at
+/// `GET /healthz`. One short-lived connection per request
+/// (`Connection: close`), which is exactly how a scraper behaves; no
+/// async runtime, matching the wire layer's thread-per-connection
+/// model.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` and serve `engine`'s metrics until shutdown.
+    pub fn start(engine: Arc<Engine>, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("ode-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    // Scrapes are cheap (render + one write): serve them
+                    // on the accept thread rather than spawning.
+                    let _ = serve_http_request(&mut stream, &engine);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting scrapes and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one HTTP request on `stream` and close it.
+fn serve_http_request(stream: &mut TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    // Read the request head (bounded — a scraper's GET is tiny).
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8 * 1024 {
+            return Ok(()); // not a scraper; drop it
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                // The Prometheus text exposition format version.
+                "text/plain; version=0.0.4; charset=utf-8",
+                engine.render_prometheus(),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -228,6 +401,69 @@ mod tests {
         assert_eq!(exec(&mut c, &format!("GET {oid} x")), "OK 3");
         assert_eq!(exec(&mut c, "QUIT"), "OK");
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocation() {
+        let engine = Engine::volatile();
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", "t").unwrap();
+        let mut c = connect(&server, "t");
+        // A hostile length prefix claiming ~3.5 GiB: the server must
+        // answer ERR (having read only the prefix) and close, not
+        // allocate the claimed buffer.
+        c.write_all(&0xdead_beef_u32.to_le_bytes()).unwrap();
+        c.flush().unwrap();
+        let reply = read_frame(&mut c).unwrap().unwrap();
+        assert!(
+            reply.starts_with("ERR frame of 3735928559 bytes"),
+            "{reply}"
+        );
+        assert!(read_frame(&mut c).unwrap().is_none(), "connection closed");
+        assert_eq!(
+            engine
+                .stats()
+                .frames_oversized
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_and_healthz() {
+        let engine = Engine::volatile();
+        engine.create_database("bank").unwrap();
+        let metrics = MetricsServer::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+
+        let get = |path: &str| -> (String, String) {
+            let mut s = TcpStream::connect(metrics.addr()).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            s.read_to_string(&mut response).unwrap();
+            let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+            (head.to_string(), body.to_string())
+        };
+
+        let (head, body) = get("/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("ode_sessions_open"), "{body}");
+        assert!(body.contains("db=\"bank\""), "{body}");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(content_length, body.len());
+
+        let (head, body) = get("/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get("/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        metrics.shutdown();
     }
 
     #[test]

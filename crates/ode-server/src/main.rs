@@ -7,10 +7,14 @@
 //!
 //! With `--volatile` every database lives in memory and dies with the
 //! process. The bound address is printed on stdout as `LISTENING <addr>`
-//! (scripts can parse it when binding port 0).
+//! (scripts can parse it when binding port 0). `--metrics-addr` starts
+//! the HTTP scrape endpoint (`GET /metrics`, `GET /healthz`), printed
+//! as `METRICS <addr>`; `--slow-ms N` traces every statement and logs
+//! the span tree of any statement slower than N milliseconds to
+//! stderr.
 
 use ode_core::Engine;
-use ode_server::Server;
+use ode_server::{MetricsServer, Server};
 use ode_storage::StorageOptions;
 
 fn main() {
@@ -18,6 +22,8 @@ fn main() {
     let mut addr = "127.0.0.1:7479".to_string();
     let mut token = "ode".to_string();
     let mut volatile = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,9 +31,18 @@ fn main() {
             "--addr" => addr = args.next().unwrap_or(addr),
             "--token" => token = args.next().unwrap_or(token),
             "--volatile" => volatile = true,
+            "--metrics-addr" => metrics_addr = args.next(),
+            "--slow-ms" => match args.next().map(|v| v.parse()) {
+                Some(Ok(ms)) => slow_ms = Some(ms),
+                _ => {
+                    eprintln!("--slow-ms wants an integer millisecond threshold");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: ode-server [--root DIR | --volatile] [--addr HOST:PORT] [--token TOKEN]"
+                    "usage: ode-server [--root DIR | --volatile] [--addr HOST:PORT] \
+                     [--token TOKEN] [--metrics-addr HOST:PORT] [--slow-ms N]"
                 );
                 return;
             }
@@ -37,9 +52,17 @@ fn main() {
             }
         }
     }
+    let slow_micros = slow_ms.map(|ms| ms.saturating_mul(1000));
+    let options = StorageOptions {
+        slow_statement_micros: slow_micros,
+        ..StorageOptions::default()
+    };
     let engine = match (volatile, root) {
-        (true, _) => Engine::volatile(),
-        (false, Some(root)) => match Engine::open(&root, StorageOptions::default()) {
+        (true, _) => Engine::volatile_with(StorageOptions {
+            slow_statement_micros: slow_micros,
+            ..StorageOptions::memory()
+        }),
+        (false, Some(root)) => match Engine::open(&root, options) {
             Ok(engine) => engine,
             Err(e) => {
                 eprintln!("open engine root: {e}");
@@ -51,7 +74,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let server = match Server::start(engine, &addr, &token) {
+    let server = match Server::start(std::sync::Arc::clone(&engine), &addr, &token) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bind {addr}: {e}");
@@ -59,6 +82,16 @@ fn main() {
         }
     };
     println!("LISTENING {}", server.addr());
+    let _metrics = metrics_addr.map(|maddr| match MetricsServer::start(engine, &maddr) {
+        Ok(metrics) => {
+            println!("METRICS {}", metrics.addr());
+            metrics
+        }
+        Err(e) => {
+            eprintln!("bind metrics {maddr}: {e}");
+            std::process::exit(1);
+        }
+    });
     // Serve until killed.
     loop {
         std::thread::park();

@@ -301,6 +301,8 @@ impl LockManager {
         }
 
         let started = Instant::now();
+        let mut wait_span = ode_trace::span(ode_trace::SpanKind::LockWait, "");
+        wait_span.payload(txn.0, (mode == LockMode::Exclusive) as u64);
         let result = loop {
             // Consistent multi-stripe pass: grant if possible, otherwise
             // look for a waits-for cycle through us.
@@ -355,6 +357,7 @@ impl LockManager {
                 break Err(StorageError::LockTimeout(txn));
             }
         };
+        drop(wait_span);
         let waited = started.elapsed().as_micros() as u64;
         self.metrics.lock_wait_micros.record(waited);
         result

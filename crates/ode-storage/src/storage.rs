@@ -130,6 +130,12 @@ pub struct StorageOptions {
     /// Lock-table stripe count (rounded up to a power of two). `1`
     /// reproduces the old single-table lock manager.
     pub lock_stripes: usize,
+    /// Slow-statement threshold. When set, every session statement is
+    /// traced and any statement slower than this many microseconds has
+    /// its full span tree written to the slow log (stderr) and counted
+    /// in `ode_slow_statements`. `None` (the default) disables the slow
+    /// log and leaves tracing opt-in per session.
+    pub slow_statement_micros: Option<u64>,
 }
 
 impl Default for StorageOptions {
@@ -145,6 +151,7 @@ impl Default for StorageOptions {
             fault: None,
             shards: crate::buffer::DEFAULT_POOL_SHARDS,
             lock_stripes: crate::lock::DEFAULT_LOCK_STRIPES,
+            slow_statement_micros: None,
         }
     }
 }
@@ -1250,7 +1257,10 @@ impl Storage {
     pub fn commit_wait(&self, ticket: CommitTicket) -> Result<()> {
         if let Some(wal) = &self.wal {
             if let Some(lsn) = ticket.lsn {
+                let mut span = ode_trace::span(ode_trace::SpanKind::Commit, "");
+                span.payload(ticket.txn.0, lsn);
                 wal.commit_wait(lsn)?;
+                drop(span);
                 self.metrics.emit(|| TraceEvent::CommitDurable {
                     txn: ticket.txn.0,
                     lsn,

@@ -1,0 +1,769 @@
+//! Hierarchical statement spans for the Ode reproduction.
+//!
+//! The paper's central implementation claim (§5–§6) is that a trigger
+//! firing is a *causal cascade*: an event post advances trigger FSMs,
+//! advances fire actions, coupling modes spill work into system
+//! transactions, and a commit makes the whole thing durable. This crate
+//! records that cascade as a tree of **spans** — one per statement,
+//! parse, lock wait, event post, FSM advance, action, system
+//! transaction, and WAL flush wait — so `SHOW TRACE` / `EXPLAIN` can
+//! answer "why was this statement slow, and what did it set off?".
+//!
+//! ## Design
+//!
+//! * **Per-session [`TraceBuffer`]**: a bounded seqlock ring of `Copy`
+//!   [`SpanRecord`]s, the same lock-free discipline as `ode-obs`'s
+//!   flight recorder. Each session owns its ring, so concurrent
+//!   sessions never contend on a shared structure.
+//! * **Thread-local ambient context**: a session *installs* its buffer
+//!   and a trace id at statement start ([`install`]); every layer below
+//!   (storage locks, event posting, coupling-mode commits) opens spans
+//!   with [`span`] without any plumbing through call signatures. When
+//!   nothing is installed a span guard is a single thread-local flag
+//!   read and two dead stores — the tracing-off overhead budget is the
+//!   PR 4 flight-recorder bar (≤5% on the post hot path).
+//! * **Parent linkage by nesting**: opening a span makes it the current
+//!   parent; dropping it restores the previous parent. Coupling-mode
+//!   system transactions run on the posting thread between
+//!   `commit_deferred` and `commit_wait`, so their spans nest under the
+//!   statement span with no explicit propagation (see DESIGN.md).
+//!
+//! This crate is std-only and dependency-free: `ode-obs` links it to
+//! stamp the (trace_id, parent_span, span_id) triple onto flight
+//! records, so it must sit at the very bottom of the workspace graph.
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Span records
+// ---------------------------------------------------------------------
+
+/// What a span measures. The `a`/`b` payload fields of a [`SpanRecord`]
+/// are interpreted per kind (documented on each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// One `Session::execute` call. `name` = statement verb.
+    Statement,
+    /// Statement text → AST. No payload.
+    Parse,
+    /// A lock request that had to wait. `a` = waiting txn id,
+    /// `b` = 1 for exclusive mode.
+    LockWait,
+    /// One basic-event post, end to end. `name` = event prototype,
+    /// `a` = anchor oid, `b` = posting txn id.
+    Post,
+    /// One trigger-instance FSM advance. `name` = trigger,
+    /// `a` = from-state, `b` = to-state.
+    FsmAdvance,
+    /// One trigger action execution. `name` = trigger.
+    Action,
+    /// A detached (dependent / !dependent) firing's system transaction.
+    /// `name` = coupling label, `a` = system txn id, `b` = parent user
+    /// txn id (0 for `!dependent`).
+    SystemTxn,
+    /// The WAL flush wait: commit issued → commit record durable.
+    /// `a` = txn id, `b` = commit LSN.
+    Commit,
+}
+
+impl SpanKind {
+    /// Stable lower-snake label used by the span-tree renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Statement => "statement",
+            SpanKind::Parse => "parse",
+            SpanKind::LockWait => "lock_wait",
+            SpanKind::Post => "post",
+            SpanKind::FsmAdvance => "fsm_advance",
+            SpanKind::Action => "action",
+            SpanKind::SystemTxn => "system_txn",
+            SpanKind::Commit => "commit",
+        }
+    }
+}
+
+/// Maximum bytes of a span name stored inline (mirrors `ode-obs`'s
+/// `SmallStr`, which cannot be imported from below it in the graph).
+pub const SPAN_NAME_CAP: usize = 23;
+
+/// A fixed-capacity inline string so [`SpanRecord`]s stay `Copy` and
+/// recording never allocates. Longer names truncate at a char boundary.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SpanName {
+    len: u8,
+    bytes: [u8; SPAN_NAME_CAP],
+}
+
+impl SpanName {
+    /// Store `s`, truncating to [`SPAN_NAME_CAP`] bytes at a char
+    /// boundary.
+    pub fn new(s: &str) -> SpanName {
+        let mut n = s.len().min(SPAN_NAME_CAP);
+        while n > 0 && !s.is_char_boundary(n) {
+            n -= 1;
+        }
+        let mut bytes = [0u8; SPAN_NAME_CAP];
+        bytes[..n].copy_from_slice(&s.as_bytes()[..n]);
+        SpanName {
+            len: n as u8,
+            bytes,
+        }
+    }
+
+    /// The stored string.
+    pub fn as_str(&self) -> &str {
+        let n = (self.len as usize).min(SPAN_NAME_CAP);
+        std::str::from_utf8(&self.bytes[..n]).unwrap_or("")
+    }
+}
+
+impl std::fmt::Debug for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_str().fmt(f)
+    }
+}
+
+impl std::fmt::Display for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed span: identity triple, kind, name, kind-specific
+/// payload, and timing relative to the owning buffer's origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// The statement this span belongs to (session-unique, nonzero).
+    pub trace_id: u64,
+    /// This span's id, unique within its trace (statement span = 1).
+    pub span_id: u64,
+    /// The enclosing span's id; 0 marks the trace root.
+    pub parent: u64,
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Kind-specific name (verb, event, trigger, coupling label).
+    pub name: SpanName,
+    /// First kind-specific payload (see [`SpanKind`]).
+    pub a: u64,
+    /// Second kind-specific payload (see [`SpanKind`]).
+    pub b: u64,
+    /// Span open time, nanoseconds since the buffer's origin.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+const SPAN_INIT: SpanRecord = SpanRecord {
+    trace_id: 0,
+    span_id: 0,
+    parent: 0,
+    kind: SpanKind::Statement,
+    name: SpanName {
+        len: 0,
+        bytes: [0; SPAN_NAME_CAP],
+    },
+    a: 0,
+    b: 0,
+    start_nanos: 0,
+    dur_nanos: 0,
+};
+
+// ---------------------------------------------------------------------
+// The per-session span ring
+// ---------------------------------------------------------------------
+
+/// Default per-session ring capacity in spans. A Figure-1 cascade is
+/// ~10 spans; 512 holds even a statement that fires dozens of triggers
+/// through multi-step FSMs without wrapping.
+pub const DEFAULT_TRACE_CAPACITY: usize = 512;
+
+struct Slot {
+    /// Seqlock version: `2*seq + 1` while the record for `seq` is being
+    /// written, `2*seq + 2` once complete; the initial 0 matches no
+    /// completed version, so uninitialised slots are never surfaced.
+    version: AtomicU64,
+    data: std::cell::UnsafeCell<SpanRecord>,
+}
+
+// SAFETY: concurrent access to `data` is mediated by the per-slot
+// seqlock version — readers discard any record whose version is not the
+// exact completed value both before and after the volatile copy.
+unsafe impl Sync for Slot {}
+
+/// A bounded, lock-free ring of completed [`SpanRecord`]s — one per
+/// session, so recording never contends across sessions. Same seqlock
+/// discipline as the `ode-obs` flight recorder: writers claim a slot
+/// with one `fetch_add` and publish odd-while-writing / even-complete
+/// versions; [`TraceBuffer::snapshot`] skips torn slots.
+pub struct TraceBuffer {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    mask: u64,
+    origin: Instant,
+}
+
+impl TraceBuffer {
+    /// A buffer holding the last `capacity` spans (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                data: std::cell::UnsafeCell::new(SPAN_INIT),
+            })
+            .collect();
+        TraceBuffer {
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            origin: Instant::now(),
+        }
+    }
+
+    /// A buffer with [`DEFAULT_TRACE_CAPACITY`] slots.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nanoseconds since this buffer was created (monotonic clock) —
+    /// the time base of every [`SpanRecord`] it holds.
+    pub fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Append one completed span. Lock-free: one `fetch_add` to claim a
+    /// slot, then a seqlock-guarded plain write.
+    pub fn record(&self, rec: SpanRecord) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        slot.version.store(2 * seq + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // SAFETY: the slot is marked write-in-progress (odd version);
+        // readers validate the version on both sides of their copy and
+        // discard mismatches, so a torn record is never observed.
+        unsafe {
+            *slot.data.get() = rec;
+        }
+        slot.version.store(2 * seq + 2, Ordering::Release);
+    }
+
+    /// Copy out the surviving window in completion order (a child span
+    /// completes before its parent). Slots a lapping writer was mid-way
+    /// through are skipped rather than surfaced torn.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            let complete = 2 * seq + 2;
+            if slot.version.load(Ordering::Acquire) != complete {
+                continue;
+            }
+            // SAFETY: volatile copy plus version re-check rejects any
+            // read that raced a writer.
+            let rec = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            if slot.version.load(Ordering::Relaxed) != complete {
+                continue;
+            }
+            out.push(rec);
+        }
+        out
+    }
+
+    /// The surviving spans of one trace, sorted by start time (ties
+    /// broken by span id, which increases in open order).
+    pub fn trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        spans.sort_by_key(|s| (s.start_nanos, s.span_id));
+        spans
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> TraceBuffer {
+        TraceBuffer::new()
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.capacity())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Allocate a process-unique, nonzero trace id. Sessions call this once
+/// per traced statement; uniqueness across sessions keeps flight-record
+/// stamps unambiguous even when rings are shared with a dump reader.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Ambient thread-local context
+// ---------------------------------------------------------------------
+
+struct Ctx {
+    buf: Arc<TraceBuffer>,
+    trace_id: u64,
+    /// Innermost open span (0 = at the root).
+    parent: u64,
+    next_span: u64,
+}
+
+thread_local! {
+    /// Fast gate read by every `span()` call; true only between
+    /// `install` and the guard's drop. Kept separate from CTX so the
+    /// tracing-off path is a single Cell load.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls the ambient trace context on drop (end of statement).
+#[must_use = "dropping the guard ends the trace"]
+pub struct TraceGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Install `buf` as this thread's ambient trace context under
+/// `trace_id`. Every [`span`] opened on this thread until the returned
+/// guard drops records into `buf` as part of that trace. Installing
+/// over an existing context replaces it (the displaced trace simply
+/// stops recording — sessions are single-threaded, so this only happens
+/// if a caller leaks a guard).
+pub fn install(buf: Arc<TraceBuffer>, trace_id: u64) -> TraceGuard {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            buf,
+            trace_id,
+            parent: 0,
+            next_span: 1,
+        });
+    });
+    ACTIVE.with(|a| a.set(true));
+    TraceGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.set(false));
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// The identity of the current trace position: `(trace_id,
+/// innermost_open_span)`, or `(0, 0)` when no context is installed.
+/// `ode-obs` stamps this pair (plus its own record identity) onto every
+/// flight record so the engine-global flight log can be joined against
+/// per-session span trees.
+#[inline]
+pub fn current_ids() -> (u64, u64) {
+    if !ACTIVE.with(|a| a.get()) {
+        return (0, 0);
+    }
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (ctx.trace_id, ctx.parent))
+            .unwrap_or((0, 0))
+    })
+}
+
+struct OpenSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent: u64,
+    kind: SpanKind,
+    name: SpanName,
+    a: u64,
+    b: u64,
+    start_nanos: u64,
+}
+
+/// An RAII span guard: records a [`SpanRecord`] with its measured
+/// duration when dropped. Inert (a no-op with no allocation) when no
+/// ambient context is installed on this thread.
+pub struct Span {
+    open: Option<OpenSpan>,
+}
+
+/// Open a span of `kind` under the current trace, making it the parent
+/// of spans opened before it drops. Inert when tracing is not installed
+/// on this thread — the off path is one thread-local flag read.
+#[inline]
+pub fn span(kind: SpanKind, name: &str) -> Span {
+    if !ACTIVE.with(|a| a.get()) {
+        return Span { open: None };
+    }
+    span_slow(kind, name)
+}
+
+#[cold]
+fn span_slow(kind: SpanKind, name: &str) -> Span {
+    let open = CTX.with(|c| {
+        let mut guard = c.borrow_mut();
+        let ctx = guard.as_mut()?;
+        let span_id = ctx.next_span;
+        ctx.next_span += 1;
+        let parent = ctx.parent;
+        ctx.parent = span_id;
+        Some(OpenSpan {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent,
+            kind,
+            name: SpanName::new(name),
+            a: 0,
+            b: 0,
+            start_nanos: ctx.buf.now_nanos(),
+        })
+    });
+    Span { open }
+}
+
+impl Span {
+    /// Whether this guard is actually recording (ambient context was
+    /// installed when it was opened).
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Attach the kind-specific payload pair (see [`SpanKind`]). A no-op
+    /// on an inert span.
+    pub fn payload(&mut self, a: u64, b: u64) {
+        if let Some(open) = &mut self.open {
+            open.a = a;
+            open.b = b;
+        }
+    }
+
+    /// Replace the span's name. A no-op on an inert span — callers open
+    /// the span with an empty name and rename under
+    /// [`Span::is_recording`] when the name is expensive to compute
+    /// (e.g. requires resolving an interned id to a string).
+    pub fn rename(&mut self, name: &str) {
+        if let Some(open) = &mut self.open {
+            open.name = SpanName::new(name);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        CTX.with(|c| {
+            let mut guard = c.borrow_mut();
+            let Some(ctx) = guard.as_mut() else {
+                return; // context torn down before the span closed
+            };
+            if ctx.trace_id != open.trace_id {
+                return; // a new trace was installed over this span
+            }
+            ctx.parent = open.parent;
+            let now = ctx.buf.now_nanos();
+            ctx.buf.record(SpanRecord {
+                trace_id: open.trace_id,
+                span_id: open.span_id,
+                parent: open.parent,
+                kind: open.kind,
+                name: open.name,
+                a: open.a,
+                b: open.b,
+                start_nanos: open.start_nanos,
+                dur_nanos: now.saturating_sub(open.start_nanos),
+            });
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span-tree rendering
+// ---------------------------------------------------------------------
+
+/// Render a trace's spans (as returned by [`TraceBuffer::trace`]) as an
+/// indented tree, one line per span: kind label, name, kind-specific
+/// payload fields, and duration in microseconds. Returns an explanatory
+/// line when `spans` is empty.
+pub fn render_tree(trace_id: u64, spans: &[SpanRecord]) -> String {
+    use std::fmt::Write as _;
+    if spans.is_empty() {
+        return format!("trace {trace_id}: no spans recorded");
+    }
+    let mut out = String::new();
+    let total: u64 = spans
+        .iter()
+        .filter(|s| s.parent == 0)
+        .map(|s| s.dur_nanos)
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "trace {trace_id} total={}µs spans={}",
+        total / 1_000,
+        spans.len()
+    );
+    // Children of each parent, in start order (spans is already sorted).
+    let roots: Vec<usize> = (0..spans.len()).filter(|&i| spans[i].parent == 0).collect();
+    let mut stack: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+    let mut emitted = 0usize;
+    while let Some((i, depth)) = stack.pop() {
+        let s = &spans[i];
+        emitted += 1;
+        let _ = write!(out, "{:indent$}{}", "", s.kind.label(), indent = depth * 2);
+        if !s.name.as_str().is_empty() {
+            let _ = write!(out, " {}", s.name);
+        }
+        match s.kind {
+            SpanKind::Statement | SpanKind::Parse => {}
+            SpanKind::LockWait => {
+                let _ = write!(
+                    out,
+                    " txn={} mode={}",
+                    s.a,
+                    if s.b == 1 { "exclusive" } else { "shared" }
+                );
+            }
+            SpanKind::Post => {
+                let _ = write!(out, " anchor={} txn={}", s.a, s.b);
+            }
+            SpanKind::FsmAdvance => {
+                let _ = write!(out, " from={} to={}", s.a, s.b);
+            }
+            SpanKind::Action => {}
+            SpanKind::SystemTxn => {
+                let _ = write!(out, " txn={}", s.a);
+                if s.b != 0 {
+                    let _ = write!(out, " depends_on={}", s.b);
+                }
+            }
+            SpanKind::Commit => {
+                let _ = write!(out, " txn={} lsn={}", s.a, s.b);
+            }
+        }
+        let _ = writeln!(out, " {}µs", s.dur_nanos / 1_000);
+        for j in (0..spans.len()).rev() {
+            if spans[j].parent == s.span_id {
+                stack.push((j, depth + 1));
+            }
+        }
+    }
+    // Spans whose parent was overwritten in the ring never get visited;
+    // say so instead of silently dropping them.
+    if emitted < spans.len() {
+        let _ = writeln!(
+            out,
+            "({} spans orphaned by ring wrap)",
+            spans.len() - emitted
+        );
+    }
+    out.truncate(out.trim_end().len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_names_truncate_at_char_boundaries() {
+        let s = SpanName::new("abc");
+        assert_eq!(s.as_str(), "abc");
+        let long = "x".repeat(40);
+        assert_eq!(SpanName::new(&long).as_str().len(), SPAN_NAME_CAP);
+        let multi = "ééééééééééééé"; // 2 bytes each; 23 is mid-char
+        let t = SpanName::new(multi);
+        assert!(t.as_str().len() <= SPAN_NAME_CAP);
+        assert!(t.as_str().chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn spans_are_inert_without_an_installed_context() {
+        let mut s = span(SpanKind::Post, "Buy");
+        assert!(!s.is_recording());
+        s.payload(1, 2);
+        drop(s);
+        assert_eq!(current_ids(), (0, 0));
+    }
+
+    #[test]
+    fn nesting_builds_a_parent_chain_and_restores_on_drop() {
+        let buf = Arc::new(TraceBuffer::new());
+        let id = next_trace_id();
+        let guard = install(Arc::clone(&buf), id);
+        let root = span(SpanKind::Statement, "call");
+        assert!(root.is_recording());
+        assert_eq!(current_ids(), (id, 1));
+        {
+            let _post = span(SpanKind::Post, "Buy");
+            assert_eq!(current_ids(), (id, 2));
+            {
+                let mut fsm = span(SpanKind::FsmAdvance, "AutoRaiseLimit");
+                fsm.payload(0, 1);
+                assert_eq!(current_ids(), (id, 3));
+            }
+            assert_eq!(current_ids(), (id, 2));
+        }
+        assert_eq!(current_ids(), (id, 1));
+        drop(root);
+        drop(guard);
+        assert_eq!(current_ids(), (0, 0));
+
+        let spans = buf.trace(id);
+        assert_eq!(spans.len(), 3);
+        let root = &spans[0];
+        assert_eq!(
+            (root.kind, root.parent, root.span_id),
+            (SpanKind::Statement, 0, 1)
+        );
+        let post = &spans[1];
+        assert_eq!((post.kind, post.parent), (SpanKind::Post, 1));
+        let fsm = &spans[2];
+        assert_eq!(
+            (fsm.kind, fsm.parent, fsm.a, fsm.b),
+            (SpanKind::FsmAdvance, 2, 0, 1)
+        );
+        assert_eq!(fsm.name.as_str(), "AutoRaiseLimit");
+    }
+
+    #[test]
+    fn traces_are_isolated_by_id_in_one_buffer() {
+        let buf = Arc::new(TraceBuffer::new());
+        let (a, b) = (next_trace_id(), next_trace_id());
+        {
+            let _g = install(Arc::clone(&buf), a);
+            let _s = span(SpanKind::Statement, "new");
+        }
+        {
+            let _g = install(Arc::clone(&buf), b);
+            let _s = span(SpanKind::Statement, "call");
+            let _p = span(SpanKind::Post, "Buy");
+        }
+        assert_eq!(buf.trace(a).len(), 1);
+        assert_eq!(buf.trace(b).len(), 2);
+        assert_eq!(buf.trace(a)[0].name.as_str(), "new");
+    }
+
+    #[test]
+    fn ring_wrap_keeps_only_the_newest_spans() {
+        let buf = Arc::new(TraceBuffer::with_capacity(4));
+        let id = next_trace_id();
+        let _g = install(Arc::clone(&buf), id);
+        for i in 0..10u64 {
+            let mut s = span(SpanKind::Post, "E");
+            s.payload(i, 0);
+        }
+        let spans = buf.trace(id);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            spans.iter().map(|s| s.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_never_surface_torn_records() {
+        // Hammer one buffer from several threads while snapshotting; the
+        // seqlock must only ever surface internally-consistent records
+        // (payload pair a == !b by construction).
+        let buf = Arc::new(TraceBuffer::with_capacity(8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|t| {
+                let buf = Arc::clone(&buf);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = (t as u64) << 32 | i;
+                        buf.record(SpanRecord {
+                            trace_id: 1,
+                            span_id: v,
+                            parent: 0,
+                            kind: SpanKind::Post,
+                            name: SpanName::new("w"),
+                            a: v,
+                            b: !v,
+                            start_nanos: 0,
+                            dur_nanos: 0,
+                        });
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for rec in buf.snapshot() {
+                assert_eq!(rec.b, !rec.a, "torn record surfaced");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn render_tree_shows_the_cascade_with_payloads() {
+        let buf = Arc::new(TraceBuffer::new());
+        let id = next_trace_id();
+        {
+            let _g = install(Arc::clone(&buf), id);
+            let _root = span(SpanKind::Statement, "call");
+            {
+                let mut post = span(SpanKind::Post, "PayBill");
+                post.payload(42, 7);
+                let mut fsm = span(SpanKind::FsmAdvance, "AutoRaiseLimit");
+                fsm.payload(1, 2);
+            }
+            let mut commit = span(SpanKind::Commit, "");
+            commit.payload(7, 99);
+        }
+        let tree = render_tree(id, &buf.trace(id));
+        assert!(tree.contains("statement call"), "{tree}");
+        assert!(tree.contains("  post PayBill anchor=42 txn=7"), "{tree}");
+        assert!(
+            tree.contains("    fsm_advance AutoRaiseLimit from=1 to=2"),
+            "{tree}"
+        );
+        assert!(tree.contains("  commit txn=7 lsn=99"), "{tree}");
+    }
+
+    #[test]
+    fn render_tree_reports_an_empty_trace() {
+        assert!(render_tree(5, &[]).contains("no spans"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -54,8 +54,16 @@ fn main() {
 
     // Parent: serve a volatile engine and fan out real OS processes.
     let engine = Engine::volatile();
-    let server = Server::start(engine, "127.0.0.1:0", TOKEN).expect("bind");
+    let server = Server::start(std::sync::Arc::clone(&engine), "127.0.0.1:0", TOKEN).expect("bind");
     let addr = server.addr().to_string();
+    // CI sets ODE_METRICS_ADDR to also expose the HTTP scrape surface
+    // and curl it while the example holds the engine alive (see below).
+    let metrics_server = std::env::var("ODE_METRICS_ADDR").ok().map(|maddr| {
+        let m = ode_server::MetricsServer::start(std::sync::Arc::clone(&engine), &maddr)
+            .expect("bind metrics");
+        println!("METRICS_HTTP {}", m.addr());
+        m
+    });
     println!("server on {addr}, spawning {CLIENTS} client processes");
 
     let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
@@ -94,6 +102,14 @@ fn main() {
         "expected one AutoRaiseLimit + one DenyCredit firing per client"
     );
     println!("all {CLIENTS} clients done; {immediate} immediate firings observed");
+    if let Some(metrics) = metrics_server {
+        // Hold the scrape endpoint open until the driver (CI) says it is
+        // done curling: wait for one line on stdin, then exit cleanly.
+        println!("READY_FOR_SCRAPE");
+        let mut line = String::new();
+        let _ = std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut line);
+        metrics.shutdown();
+    }
     server.shutdown();
 }
 

@@ -31,6 +31,13 @@ const MALFORMED: &[&str] = &[
     // Lexer errors.
     "CREATE DATABASE \u{1F4A3}",
     "POST 1:0 'unterminated",
+    // Tracing/introspection statement surface.
+    "SHOW EVERYTHING",
+    "TRACE MAYBE",
+    "TRACE SAMPLE 0",
+    "TRACE SAMPLE 2.5",
+    "EXPLAIN EXPLAIN SHOW DATABASES",
+    "EXPLAIN",
 ];
 
 fn render() -> String {

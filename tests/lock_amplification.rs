@@ -193,21 +193,30 @@ fn snapshot_readers_take_no_locks_even_with_triggers_armed() {
 
 #[test]
 fn triggers_amplify_reads_into_write_conflicts() {
-    let (stats, snap, aborts) = run_concurrent_peeks(true);
-    // The trigger machinery forces writes on behalf of reads: waits and/or
-    // deadlock aborts appear. (Scheduling-dependent, so assert the
-    // disjunction; the benchmark quantifies it.)
-    assert!(
-        stats.waits > 0 || stats.deadlocks > 0 || aborts > 0,
-        "expected lock amplification, got {stats:?} aborts={aborts}"
-    );
-    // The §6 mechanism itself is deterministic: every posting advances the
-    // persistent FSM state, whose read-modify-write is an S→X upgrade.
-    assert!(stats.upgrades > 0, "expected S→X upgrades, got {stats:?}");
-    assert_eq!(
-        snap.lock_upgrades, stats.upgrades,
-        "metrics registry and LockStats count the same upgrade sites"
-    );
-    // Both counters were reset together, so victims agree too.
-    assert_eq!(snap.lock_deadlock_victims, stats.deadlocks);
+    // Observing a conflict needs two threads inside the same lock window,
+    // which a loaded single-core host can fail to schedule in any one
+    // round (every thread runs its whole timeslice uncontended), so retry
+    // a few rounds before declaring the amplification missing.
+    for round in 0.. {
+        let (stats, snap, aborts) = run_concurrent_peeks(true);
+        // The §6 mechanism itself is deterministic: every posting advances
+        // the persistent FSM state, whose read-modify-write is an S→X
+        // upgrade.
+        assert!(stats.upgrades > 0, "expected S→X upgrades, got {stats:?}");
+        assert_eq!(
+            snap.lock_upgrades, stats.upgrades,
+            "metrics registry and LockStats count the same upgrade sites"
+        );
+        // Both counters were reset together, so victims agree too.
+        assert_eq!(snap.lock_deadlock_victims, stats.deadlocks);
+        // The trigger machinery forces writes on behalf of reads: waits
+        // and/or deadlock aborts appear.
+        if stats.waits > 0 || stats.deadlocks > 0 || aborts > 0 {
+            return;
+        }
+        assert!(
+            round < 9,
+            "expected lock amplification in 10 rounds, got {stats:?} aborts={aborts}"
+        );
+    }
 }
