@@ -1,5 +1,6 @@
-//! E17 — what the wire costs: embedded posting vs `ode-server` round
-//! trips.
+//! E17/E19 — what the wire costs, and what batching buys back:
+//! embedded posting vs `ode-server` round trips vs protocol-v2
+//! pipelining.
 //!
 //! The embedded baseline calls `Session::execute` directly (same
 //! statement path, no sockets); the wire series drives a real
@@ -14,13 +15,76 @@
 //! large relative to an in-process post (~µs) — and concurrent
 //! connections claw throughput back by pipelining server work, until
 //! they saturate the machine's cores.
+//!
+//! The protocol-v2 series (E19) measure each amortization layer
+//! separately:
+//!
+//! * `wire_post_pipelined/{1,4,16}` — the same workload with all
+//!   `BATCH` statements of an iteration in ONE batch frame: one
+//!   round-trip per 64 statements instead of 64.
+//! * `wire_post_prepared` vs `wire_post_nocache` — per-round-trip v1
+//!   statements with the parse amortized away (`EXECUTE` of a
+//!   `PREPARE`d statement) vs the server's transparent statement cache
+//!   disabled (`--no-stmt-cache`): brackets what parsing costs on the
+//!   wire path.
+//! * `wire_post_fsync_{piggyback,solo}/{4,16}` — a durable (fsync-on)
+//!   engine, where commit latency dominates: with piggybacking,
+//!   concurrent sessions' durability waits ride one WAL group-commit
+//!   flush; `solo` is the paired `--no-piggyback` baseline. The
+//!   `ode_piggybacked_commits` / `ode_wal_group_commits` counters are
+//!   printed after each run.
+//!
+//! `ODE_E17_QUICK=1` skips criterion and runs the CI smoke payload
+//! instead: it *asserts* (not eyeballs) that a `WireClient`'s steady
+//! state allocates nothing on the client thread (scratch-buffer reuse,
+//! for both single-statement and batch frames), that batch replies are
+//! correct, and that concurrent fsync-on commits actually piggyback
+//! (`piggybacked_commits > 0`, fewer WAL group commits than statements
+//! committed).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use ode_core::Engine;
-use ode_server::Server;
-use ode_testutil::WireClient;
+use ode_server::{Server, ServerOptions};
+use ode_storage::StorageOptions;
+use ode_testutil::{TempDir, WireClient};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Thread-local allocation counting (quick-mode zero-alloc assertions)
+// ---------------------------------------------------------------------
+
+/// A `System` wrapper that counts allocations per thread, so the quick
+/// smoke can assert the *client* thread's steady state allocates
+/// nothing while the in-process server threads allocate freely.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
 
 fn config() -> Criterion {
     Criterion::default()
@@ -29,7 +93,8 @@ fn config() -> Criterion {
         .measurement_time(Duration::from_secs(2))
 }
 
-/// Statements per client per measured iteration.
+/// Statements per client per measured iteration (also the batch-frame
+/// size of the pipelined series).
 const BATCH: usize = 64;
 
 const TOKEN: &str = "bench";
@@ -91,63 +156,317 @@ fn bench_embedded(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_wire(c: &mut Criterion) {
+/// The shared worker harness: one long-lived connection per client,
+/// parked on barriers; each `start.wait()`/`done.wait()` pair brackets
+/// one iteration of `per_round` on every client concurrently.
+fn with_wire_workers(
+    c: &mut Criterion,
+    engine: Arc<Engine>,
+    options: ServerOptions,
+    clients: usize,
+    series: &str,
+    per_round: impl Fn(&mut WireClient, &str) + Send + Sync + Clone + 'static,
+) {
     let mut group = c.benchmark_group("server_wire");
-    for clients in [1usize, 4, 16] {
-        let engine = Engine::volatile();
-        let server = Server::start(engine, "127.0.0.1:0", TOKEN).expect("bind");
-        let addr = server.addr().to_string();
-        let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
-        let cards = setup(&mut |stmt| admin.exec(stmt), clients);
+    let server = Server::start_with(engine, "127.0.0.1:0", TOKEN, options).expect("bind");
+    let addr = server.addr().to_string();
+    let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
+    let cards = setup(&mut |stmt| admin.exec(stmt), clients);
 
-        // One long-lived connection per client, parked on barriers.
-        let start = Arc::new(Barrier::new(clients + 1));
-        let done = Arc::new(Barrier::new(clients + 1));
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let workers: Vec<_> = cards
-            .iter()
-            .map(|card| {
-                let addr = addr.clone();
-                let stmt = format!("CALL {card} Buy SET curr_bal = curr_bal + 1");
-                let (start, done, stop) = (start.clone(), done.clone(), stop.clone());
-                std::thread::spawn(move || {
-                    let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
-                    client.exec("USE bank");
-                    loop {
-                        start.wait();
-                        if stop.load(std::sync::atomic::Ordering::SeqCst) {
-                            return;
-                        }
-                        for _ in 0..BATCH {
-                            client.exec(&stmt);
-                        }
-                        done.wait();
+    let start = Arc::new(Barrier::new(clients + 1));
+    let done = Arc::new(Barrier::new(clients + 1));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = cards
+        .iter()
+        .map(|card| {
+            let addr = addr.clone();
+            let stmt = format!("CALL {card} Buy SET curr_bal = curr_bal + 1");
+            let (start, done, stop) = (start.clone(), done.clone(), stop.clone());
+            let per_round = per_round.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
+                client.exec("USE bank");
+                loop {
+                    start.wait();
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        return;
                     }
-                })
+                    per_round(&mut client, &stmt);
+                    done.wait();
+                }
             })
-            .collect();
+        })
+        .collect();
 
-        group.throughput(Throughput::Elements((clients * BATCH) as u64));
-        group.bench_function(BenchmarkId::new("wire_post", clients), |b| {
+    group.throughput(Throughput::Elements((clients * BATCH) as u64));
+    group.bench_function(BenchmarkId::new(series, clients), |b| {
+        b.iter(|| {
+            start.wait();
+            done.wait();
+        })
+    });
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    start.wait();
+    for w in workers {
+        w.join().unwrap();
+    }
+    server.shutdown();
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    for clients in [1usize, 4, 16] {
+        with_wire_workers(
+            c,
+            Engine::volatile(),
+            ServerOptions::default(),
+            clients,
+            "wire_post",
+            |client, stmt| {
+                for _ in 0..BATCH {
+                    client.exec(stmt);
+                }
+            },
+        );
+    }
+}
+
+fn bench_wire_pipelined(c: &mut Criterion) {
+    for clients in [1usize, 4, 16] {
+        with_wire_workers(
+            c,
+            Engine::volatile(),
+            ServerOptions::default(),
+            clients,
+            "wire_post_pipelined",
+            |client, stmt| {
+                let stmts: Vec<&str> = vec![stmt; BATCH];
+                let replies = client.exec_batch(&stmts, false).expect("batch");
+                assert!(replies.iter().all(|r| r == "OK"), "{replies:?}");
+            },
+        );
+    }
+}
+
+/// Bracket the wire cost of parsing: `EXECUTE` of a prepared statement
+/// (parse amortized to zero) vs the transparent statement cache turned
+/// off (every frame re-parses). Single connection — this isolates
+/// per-statement CPU, not concurrency.
+fn bench_wire_prepared(c: &mut Criterion) {
+    let run = |c: &mut Criterion, series: &str, options: ServerOptions, prepare: bool| {
+        let mut group = c.benchmark_group("server_wire");
+        let server =
+            Server::start_with(Engine::volatile(), "127.0.0.1:0", TOKEN, options).expect("bind");
+        let addr = server.addr().to_string();
+        let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
+        let cards = setup(&mut |stmt| client.exec(stmt), 1);
+        let stmt = if prepare {
+            client.exec(&format!(
+                "PREPARE buy AS CALL {} Buy SET curr_bal = curr_bal + $1",
+                cards[0]
+            ));
+            "EXECUTE buy WITH 1".to_string()
+        } else {
+            format!("CALL {} Buy SET curr_bal = curr_bal + 1", cards[0])
+        };
+        let mut out = String::new();
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_function(series, |b| {
             b.iter(|| {
-                start.wait();
-                done.wait();
+                for _ in 0..BATCH {
+                    client.exec_into(&stmt, &mut out).expect("wire call");
+                }
             })
         });
-
-        stop.store(true, std::sync::atomic::Ordering::SeqCst);
-        start.wait();
-        for w in workers {
-            w.join().unwrap();
-        }
         server.shutdown();
+        group.finish();
+    };
+    run(c, "wire_post_prepared", ServerOptions::default(), true);
+    run(
+        c,
+        "wire_post_nocache",
+        ServerOptions {
+            stmt_cache: false,
+            ..ServerOptions::default()
+        },
+        false,
+    );
+}
+
+/// A durable fsync-on engine rooted at `dir`.
+fn durable_engine(dir: &TempDir) -> Arc<Engine> {
+    Engine::open(
+        dir.path(),
+        StorageOptions {
+            fsync: true,
+            ..StorageOptions::default()
+        },
+    )
+    .expect("open durable engine")
+}
+
+/// Commit-bound wire throughput (fsync on): piggybacking vs the
+/// per-statement `--no-piggyback` baseline at 4 and 16 connections.
+fn bench_wire_piggyback(c: &mut Criterion) {
+    for clients in [4usize, 16] {
+        for (series, piggyback) in [
+            ("wire_post_fsync_piggyback", true),
+            ("wire_post_fsync_solo", false),
+        ] {
+            let dir = TempDir::new("e19");
+            let engine = durable_engine(&dir);
+            with_wire_workers(
+                c,
+                Arc::clone(&engine),
+                ServerOptions {
+                    piggyback,
+                    ..ServerOptions::default()
+                },
+                clients,
+                series,
+                |client, stmt| {
+                    for _ in 0..BATCH {
+                        client.exec(stmt);
+                    }
+                },
+            );
+            let db = engine.database("bank").expect("bank");
+            let snapshot = db.metrics().snapshot();
+            println!(
+                "{series}/{clients}: piggybacked_commits={} wal_group_commits={} \
+                 wal_group_size_sum={}",
+                db.metrics().piggybacked_commits.get(),
+                snapshot.wal_group_commits,
+                snapshot.wal_group_size_sum,
+            );
+        }
     }
-    group.finish();
+}
+
+// ---------------------------------------------------------------------
+// Quick smoke (CI): correctness + zero-alloc assertions, no criterion
+// ---------------------------------------------------------------------
+
+fn quick_smoke() {
+    // --- scratch-buffer reuse: v1 and batch steady state allocate
+    // nothing on the client thread ---
+    let server = Server::start(Engine::volatile(), "127.0.0.1:0", TOKEN).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
+    let cards = setup(&mut |stmt| client.exec(stmt), 1);
+    let stmt = format!("CALL {} Buy SET curr_bal = curr_bal + 1", cards[0]);
+    let mut out = String::new();
+
+    // Warm the scratch buffers (first frames grow them), then measure.
+    for _ in 0..8 {
+        client.exec_into(&stmt, &mut out).expect("warm-up call");
+    }
+    let before = thread_allocs();
+    for _ in 0..BATCH {
+        client
+            .exec_into(&stmt, &mut out)
+            .expect("steady-state call");
+    }
+    let v1_allocs = thread_allocs() - before;
+    assert_eq!(
+        v1_allocs, 0,
+        "steady-state exec_into must reuse the client scratch buffers"
+    );
+
+    let stmts: Vec<&str> = vec![stmt.as_str(); BATCH];
+    let mut replies = Vec::new();
+    for _ in 0..4 {
+        client.send_batch(&stmts, false).expect("warm-up batch");
+        client
+            .read_batch_reply_into(&mut replies)
+            .expect("warm-up batch reply");
+    }
+    let before = thread_allocs();
+    for _ in 0..4 {
+        client
+            .send_batch(&stmts, false)
+            .expect("steady-state batch");
+        client
+            .read_batch_reply_into(&mut replies)
+            .expect("steady-state batch reply");
+    }
+    let batch_allocs = thread_allocs() - before;
+    assert_eq!(
+        batch_allocs, 0,
+        "steady-state batch round trips must reuse scratch + reply buffers"
+    );
+    assert_eq!(replies.len(), BATCH);
+    assert!(replies.iter().all(|r| r == "OK"), "{replies:?}");
+    server.shutdown();
+
+    // --- cross-session piggybacking under fsync: concurrent commits
+    // share WAL flushes ---
+    let dir = TempDir::new("e17-quick");
+    let engine = durable_engine(&dir);
+    let server =
+        Server::start(Arc::clone(&engine), "127.0.0.1:0", TOKEN).expect("bind durable server");
+    let addr = server.addr().to_string();
+    let clients = 4usize;
+    let per_client = 64usize;
+    let mut admin = WireClient::connect(&addr, TOKEN).expect("connect");
+    let cards = setup(&mut |stmt| admin.exec(stmt), clients);
+    let go = Arc::new(Barrier::new(clients));
+    let workers: Vec<_> = cards
+        .iter()
+        .map(|card| {
+            let addr = addr.clone();
+            let stmt = format!("CALL {card} Buy SET curr_bal = curr_bal + 1");
+            let go = go.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(&addr, TOKEN).expect("connect");
+                client.exec("USE bank");
+                go.wait();
+                for _ in 0..per_client {
+                    client.exec(&stmt);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let db = engine.database("bank").expect("bank");
+    let piggybacked = db.metrics().piggybacked_commits.get();
+    let group_commits = db.metrics().snapshot().wal_group_commits;
+    let statements = (clients * per_client) as u64;
+    assert!(
+        piggybacked > 0,
+        "concurrent fsync-on commits must piggyback (got 0 of {statements})"
+    );
+    assert!(
+        group_commits < statements,
+        "piggybacked commits must share WAL flushes: \
+         {group_commits} group commits for {statements} statements"
+    );
+    println!(
+        "quick smoke OK: v1_allocs=0 batch_allocs=0 \
+         piggybacked_commits={piggybacked} wal_group_commits={group_commits} \
+         statements={statements}"
+    );
+    server.shutdown();
 }
 
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_embedded, bench_wire
+    targets = bench_embedded, bench_wire, bench_wire_pipelined,
+              bench_wire_prepared, bench_wire_piggyback
 }
-criterion_main!(benches);
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`); ignore argv.
+    if std::env::var("ODE_E17_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        quick_smoke();
+        return;
+    }
+    benches();
+}

@@ -26,7 +26,7 @@
 use crate::database::Database;
 use crate::error::Result;
 use crate::post::Firing;
-use ode_storage::{StorageError, TxnId, TxnState};
+use ode_storage::{CommitTicket, StorageError, TxnId, TxnState};
 
 /// Bound on end-trigger cascades (end actions scheduling more end
 /// triggers).
@@ -121,14 +121,26 @@ impl Database {
     /// detecting transaction and its trigger firings durable together,
     /// instead of paying one fsync per system transaction.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let ticket = self.commit_start(txn)?;
+        self.commit_wait(ticket)
+    }
+
+    /// The logical half of [`Database::commit`]: everything except the
+    /// final durability wait. On return the transaction is committed —
+    /// its Commit record is in the WAL buffer, its locks are released,
+    /// its versions installed, and its dependent/!dependent firings have
+    /// run — but the caller must not acknowledge it until
+    /// [`Database::commit_wait`] on the returned ticket succeeds. The
+    /// wire layer uses this split to let concurrent sessions' tickets
+    /// ride one shared group-commit flush.
+    pub fn commit_start(&self, txn: TxnId) -> Result<CommitTicket> {
         // Snapshot transactions posted no events and advanced no trigger
         // state, so the whole commit ceremony collapses: drop the (empty)
         // scratchpad, release the snapshot, and wait on the begin-time
         // read barrier so the acknowledged reads are durable.
         if self.storage.is_read_only(txn) {
             let _ = self.drop_txn_local(txn);
-            let ticket = self.storage.commit_deferred(txn)?;
-            return self.storage.commit_wait(ticket).map_err(Into::into);
+            return Ok(self.storage.commit_deferred(txn)?);
         }
         if let Err(e) = self.pre_commit(txn) {
             // An end action or tcomplete trigger aborted the transaction
@@ -158,7 +170,7 @@ impl Database {
                 // transaction's own commit rides the shared flush batch.
                 self.run_detached(local.dep_list, Some(txn));
                 self.run_detached(local.indep_list, None);
-                self.storage.commit_wait(ticket).map_err(Into::into)
+                Ok(ticket)
             }
             Err(e) => {
                 // storage.commit_deferred aborts the transaction itself on
@@ -169,6 +181,12 @@ impl Database {
                 Err(e.into())
             }
         }
+    }
+
+    /// Block until the ticket's commit is durable (the deferred half of
+    /// [`Database::commit_start`]).
+    pub fn commit_wait(&self, ticket: CommitTicket) -> Result<()> {
+        self.storage.commit_wait(ticket).map_err(Into::into)
     }
 
     /// Abort: post `before tabort`, roll back, then run the `!dependent`

@@ -133,7 +133,7 @@ impl Tok {
 
 const PUNCTS: &[&str] = &[
     "<=", ">=", "==", "!=", "&&", "||", "{", "}", "(", ")", ";", ",", "=", "+", "-", "*", "/", "<",
-    ">", ":", "&", "|", "^", "!",
+    ">", ":", "&", "|", "^", "!", "$",
 ];
 
 fn lex(src: &str) -> std::result::Result<Vec<(Tok, usize)>, DdlError> {
@@ -235,6 +235,14 @@ pub enum NumExpr {
         /// Byte offset of the keyword.
         at: usize,
     },
+    /// A `$n` placeholder (1-based), bound by `EXECUTE … WITH <args>`.
+    /// Reaching evaluation unbound is an error.
+    Arg {
+        /// 1-based argument index.
+        index: usize,
+        /// Byte offset of the `$`.
+        at: usize,
+    },
     /// `lhs op rhs`.
     Binary {
         /// One of `+ - * /`.
@@ -311,6 +319,12 @@ impl NumExpr {
     fn validate(&self, shape: &Shape) -> std::result::Result<(), DdlError> {
         match self {
             NumExpr::Const(_) | NumExpr::Param { .. } => Ok(()),
+            // Persistent definitions (masks, trigger actions) outlive any
+            // one EXECUTE, so a placeholder in one can never be bound.
+            NumExpr::Arg { index, at } => Err(DdlError::at(
+                *at,
+                format!("placeholder ${index} is not allowed in a persistent definition"),
+            )),
             NumExpr::Field { name, at } => shape
                 .get(name)
                 .map(|_| ())
@@ -337,6 +351,9 @@ impl NumExpr {
                     "PARAM used but the trigger was activated without a parameter".into(),
                 )
             }),
+            NumExpr::Arg { index, .. } => Err(OdeError::Action(format!(
+                "unbound placeholder ${index} (run via EXECUTE … WITH <args>)"
+            ))),
             NumExpr::Binary { op, lhs, rhs } => {
                 let l = lhs.eval(shape, vals, param)?;
                 let r = rhs.eval(shape, vals, param)?;
@@ -348,6 +365,35 @@ impl NumExpr {
                 })
             }
             NumExpr::Neg(inner) => Ok(-inner.eval(shape, vals, param)?),
+        }
+    }
+
+    /// Replace every `$n` placeholder with `args[n-1]`, in place
+    /// (`EXECUTE … WITH <args>`).
+    fn bind_args(&mut self, args: &[f64]) -> std::result::Result<(), DdlError> {
+        match self {
+            NumExpr::Arg { index, at } => {
+                let (index, at) = (*index, *at);
+                match args.get(index.wrapping_sub(1)) {
+                    Some(v) => {
+                        *self = NumExpr::Const(*v);
+                        Ok(())
+                    }
+                    None => Err(DdlError::at(
+                        at,
+                        format!(
+                            "placeholder ${index} has no argument (EXECUTE supplied {})",
+                            args.len()
+                        ),
+                    )),
+                }
+            }
+            NumExpr::Binary { lhs, rhs, .. } => {
+                lhs.bind_args(args)?;
+                rhs.bind_args(args)
+            }
+            NumExpr::Neg(inner) => inner.bind_args(args),
+            NumExpr::Const(_) | NumExpr::Field { .. } | NumExpr::Param { .. } => Ok(()),
         }
     }
 }
@@ -524,6 +570,38 @@ pub enum Statement {
     /// `EXPLAIN <stmt>` — execute the statement traced and return its
     /// span tree in the same round trip.
     Explain(Box<Statement>),
+    /// `PREPARE <name> AS <stmt>` — parse once, store on the session.
+    Prepare {
+        /// Prepared-statement name (session-scoped).
+        name: String,
+        /// The parsed body; may contain `$n` placeholders.
+        stmt: Box<Statement>,
+    },
+    /// `EXECUTE <name> [WITH <n>, …]` — run a prepared statement with
+    /// its placeholders bound to the given arguments.
+    ExecutePrepared {
+        /// Prepared-statement name.
+        name: String,
+        /// Placeholder arguments, 1-based (`$1` is `args[0]`).
+        args: Vec<f64>,
+    },
+}
+
+impl Statement {
+    /// Bind `$n` placeholders throughout the statement, in place. Only
+    /// expression positions (`SET` right-hand sides) can carry them;
+    /// everything else is untouched.
+    fn bind_args(&mut self, args: &[f64]) -> std::result::Result<(), DdlError> {
+        match self {
+            Statement::New { sets, .. } | Statement::Call { sets, .. } => {
+                for (_, expr) in sets {
+                    expr.bind_args(args)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -682,6 +760,18 @@ impl<'a> Cursor<'a> {
             self.expect_punct(")")?;
             return Ok(e);
         }
+        if let Some(Tok::Punct("$")) = self.peek() {
+            let at = self.at();
+            self.pos += 1;
+            return match self.toks.get(self.pos) {
+                Some((Tok::Number(n), _)) if n.fract() == 0.0 && *n >= 1.0 && *n <= 65535.0 => {
+                    let index = *n as usize;
+                    self.pos += 1;
+                    Ok(NumExpr::Arg { index, at })
+                }
+                _ => Err(self.unexpected("expected placeholder index after $ (e.g. $1)")),
+            };
+        }
         match self.toks.get(self.pos) {
             Some((Tok::Number(n), _)) => {
                 self.pos += 1;
@@ -696,7 +786,7 @@ impl<'a> Cursor<'a> {
                     Ok(NumExpr::Field { name: s, at })
                 }
             }
-            _ => Err(self.unexpected("expected number, field, PARAM, or (")),
+            _ => Err(self.unexpected("expected number, field, PARAM, $n, or (")),
         }
     }
 
@@ -819,10 +909,39 @@ fn parse_inner(c: &mut Cursor<'_>, src: &str) -> PResult<Statement> {
     if c.eat_kw("explain") {
         let at = c.at();
         let inner = parse_inner(c, src)?;
-        if matches!(inner, Statement::Explain(_)) {
-            return Err(DdlError::at(at, "cannot EXPLAIN an EXPLAIN"));
+        if matches!(inner, Statement::Explain(_) | Statement::Prepare { .. }) {
+            return Err(DdlError::at(at, "cannot EXPLAIN that statement"));
         }
         return Ok(Statement::Explain(Box::new(inner)));
+    }
+    if c.eat_kw("prepare") {
+        let (name, _) = c.ident("prepared statement name")?;
+        c.expect_kw("as")?;
+        let at = c.at();
+        let inner = parse_inner(c, src)?;
+        if matches!(
+            inner,
+            Statement::Prepare { .. } | Statement::ExecutePrepared { .. } | Statement::Explain(_)
+        ) {
+            return Err(DdlError::at(at, "cannot PREPARE that statement"));
+        }
+        return Ok(Statement::Prepare {
+            name,
+            stmt: Box::new(inner),
+        });
+    }
+    if c.eat_kw("execute") {
+        let (name, _) = c.ident("prepared statement name")?;
+        let mut args = Vec::new();
+        if c.eat_kw("with") {
+            loop {
+                args.push(c.number("argument")?);
+                if !c.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        return Ok(Statement::ExecutePrepared { name, args });
     }
     if c.eat_kw("activate") {
         let (trigger, _) = c.ident("trigger name")?;
@@ -1180,10 +1299,43 @@ impl Session {
         if sampled || slow_micros.is_some() || verb.eq_ignore_ascii_case("explain") {
             return self.execute_traced(src, verb, started, slow_micros);
         }
-        let stmt = parse_statement(src)?;
+        let stmt = match self.parse_cached(src) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                // A parse error is still a failed statement: tabort
+                // semantics take the open transaction down with it.
+                self.abort_open_txn();
+                return Err(e);
+            }
+        };
         let result = self.run(stmt);
         self.observe_statement(started);
         result
+    }
+
+    /// Parse through the session's transparent text-keyed cache: a hit
+    /// skips the lexer and parser entirely (the `PREPARE`-less half of
+    /// the prepared-statement surface). The cache is bounded and cleared
+    /// wholesale when full — statement texts either repeat heavily
+    /// (placeholdered workloads re-send identical bytes) or not at all.
+    fn parse_cached(&mut self, src: &str) -> std::result::Result<Statement, DdlError> {
+        if !self.stmt_cache_enabled {
+            let stmt = parse_statement(src)?;
+            self.engine().stats().prepared_miss();
+            return Ok(stmt);
+        }
+        if let Some(stmt) = self.stmt_cache.get(src) {
+            let stmt = stmt.clone();
+            self.engine().stats().prepared_hit();
+            return Ok(stmt);
+        }
+        let stmt = parse_statement(src)?;
+        self.engine().stats().prepared_miss();
+        if self.stmt_cache.len() >= crate::session::STMT_CACHE_CAP {
+            self.stmt_cache.clear();
+        }
+        self.stmt_cache.insert(src.to_string(), stmt.clone());
+        Ok(stmt)
     }
 
     /// The traced statement path: this session's span ring installed as
@@ -1211,12 +1363,24 @@ impl Session {
             Ok(stmt) => (stmt, false),
             // `root` and `guard` unwind here; the aborted trace is left in
             // the ring and simply never rendered.
-            Err(e) => return Err(e),
+            Err(e) => {
+                self.abort_open_txn();
+                return Err(e);
+            }
         };
         // TRACE and SHOW TRACE manage the trace state — they must not
         // replace the tree the user is about to look at.
         let keep = !matches!(stmt, Statement::Trace(_) | Statement::ShowTrace);
-        let result = self.run(stmt);
+        let mut result = self.run(stmt);
+        // A traced statement resolves its deferred commit here, inside
+        // the statement span: the `commit` span (and its WAL LSN) belongs
+        // in the tree the user asked for, so it skips the wire layer's
+        // cross-session flush scheduler.
+        if let Err(e) = self.commit_wait_pending() {
+            if result.is_ok() {
+                result = Err(DdlError::new(format!("commit durability failed: {e}")));
+            }
+        }
         drop(root);
         drop(guard);
         self.observe_statement(started);
@@ -1308,6 +1472,20 @@ impl Session {
             Statement::Explain(_) => Err(DdlError::new(
                 "EXPLAIN must be executed as a top-level statement",
             )),
+            Statement::Prepare { name, stmt } => {
+                self.prepared.insert(name, *stmt);
+                Ok(String::new())
+            }
+            Statement::ExecutePrepared { name, args } => {
+                let mut stmt = self.prepared.get(&name).cloned().ok_or_else(|| {
+                    DdlError::new(format!(
+                        "unknown prepared statement {name:?} (PREPARE it first)"
+                    ))
+                })?;
+                self.engine().stats().prepared_hit();
+                stmt.bind_args(&args)?;
+                self.run(stmt)
+            }
             Statement::CreateClass(def) => self.create_class(def),
             Statement::CreateTrigger { class, def } => self.create_trigger(&class, def),
             Statement::Activate {
@@ -1783,6 +1961,79 @@ mod tests {
         // aborts it, per the session's tabort semantics).
         assert!(s.execute(&format!("CALL {cell} Nope SET v = 1")).is_err());
         assert!(s.txn().is_none(), "failed statement closed the txn");
+    }
+
+    #[test]
+    fn prepared_statements_bind_placeholders() {
+        let mut s = session();
+        s.execute("CREATE CLASS Cell { FIELD v; }").unwrap();
+        let cell = s.execute("NEW Cell").unwrap();
+        s.execute(&format!("PREPARE add AS CALL {cell} Touch SET v = v + $1"))
+            .unwrap();
+        s.execute("EXECUTE add WITH 3").unwrap();
+        s.execute("EXECUTE add WITH 4").unwrap();
+        assert_eq!(s.execute(&format!("GET {cell} v")).unwrap(), "7");
+        // Args beyond the highest placeholder index are fine; missing
+        // ones are not.
+        s.execute("EXECUTE add WITH 1, 99").unwrap();
+        let err = s.execute("EXECUTE add").unwrap_err();
+        assert!(err.message.contains("has no argument"), "{err}");
+        let err = s.execute("EXECUTE missing WITH 1").unwrap_err();
+        assert!(err.message.contains("unknown prepared statement"), "{err}");
+        // PREPARE of PREPARE (or of EXPLAIN) is refused.
+        let err = s.execute("PREPARE p AS PREPARE q AS BEGIN").unwrap_err();
+        assert!(err.message.contains("cannot PREPARE"), "{err}");
+    }
+
+    #[test]
+    fn placeholders_are_rejected_in_persistent_definitions() {
+        let mut s = session();
+        let err = s
+            .execute("CREATE CLASS Bad { FIELD a; MASK M WHEN a > $1; }")
+            .unwrap_err();
+        assert!(err.message.contains("not allowed in a persistent"), "{err}");
+        s.execute("CREATE CLASS C { FIELD a; EVENT AFTER Poke; }")
+            .unwrap();
+        let err = s
+            .execute(
+                "CREATE TRIGGER T ON C WHEN after Poke \
+                 COUPLING immediate DO SET a = $1",
+            )
+            .unwrap_err();
+        assert!(err.message.contains("not allowed in a persistent"), "{err}");
+        // Unbound placeholders in a direct statement fail at eval time.
+        s.execute("CREATE CLASS D { FIELD x; }").unwrap();
+        let err = s.execute("NEW D SET x = $1").unwrap_err();
+        assert!(err.message.contains("unbound placeholder"), "{err}");
+    }
+
+    #[test]
+    fn transparent_stmt_cache_counts_hits_and_misses() {
+        let mut s = session();
+        s.execute("CREATE CLASS Cell { FIELD v; }").unwrap();
+        let cell = s.execute("NEW Cell").unwrap();
+        let engine = Arc::clone(s.engine());
+        let (h0, m0) = (
+            engine.stats().prepared_hits(),
+            engine.stats().prepared_misses(),
+        );
+        let stmt = format!("CALL {cell} Touch SET v = v + 1");
+        s.execute(&stmt).unwrap();
+        assert_eq!(engine.stats().prepared_misses() - m0, 1, "first run parses");
+        s.execute(&stmt).unwrap();
+        s.execute(&stmt).unwrap();
+        assert_eq!(
+            engine.stats().prepared_hits() - h0,
+            2,
+            "repeats hit the cache"
+        );
+        assert_eq!(s.execute(&format!("GET {cell} v")).unwrap(), "3");
+        // Disabling the cache clears it and every run parses again.
+        s.set_stmt_cache(false);
+        let m1 = engine.stats().prepared_misses();
+        s.execute(&stmt).unwrap();
+        s.execute(&stmt).unwrap();
+        assert_eq!(engine.stats().prepared_misses() - m1, 2);
     }
 
     #[test]

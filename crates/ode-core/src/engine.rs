@@ -56,6 +56,8 @@ const VERBS: &[&str] = &[
     "checkpoint",
     "trace",
     "explain",
+    "prepare",
+    "execute",
     "other",
 ];
 
@@ -68,6 +70,14 @@ pub struct EngineStats {
     /// Inbound wire frames rejected for exceeding the frame-size limit
     /// (bumped by `ode-server`).
     pub frames_oversized: AtomicU64,
+    /// Inbound protocol-v2 batch frames accepted (bumped by
+    /// `ode-server`); v1 single-statement frames are not counted here.
+    pub frames_batched: AtomicU64,
+    /// Statements carried per accepted batch frame (bumped by
+    /// `ode-server`).
+    pub stmts_per_frame: ode_obs::Histogram,
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
     verbs: [AtomicU64; VERBS.len()],
 }
 
@@ -77,8 +87,33 @@ impl EngineStats {
             sessions_open: AtomicU64::new(0),
             txns_open: AtomicU64::new(0),
             frames_oversized: AtomicU64::new(0),
+            frames_batched: AtomicU64::new(0),
+            stmts_per_frame: ode_obs::Histogram::new(),
+            prepared_hits: AtomicU64::new(0),
+            prepared_misses: AtomicU64::new(0),
             verbs: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Count one statement served from a parse cache (the session's
+    /// transparent text-keyed cache or a named `PREPARE`d statement).
+    pub(crate) fn prepared_hit(&self) {
+        self.prepared_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one statement that had to run the DDL parser.
+    pub(crate) fn prepared_miss(&self) {
+        self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Statements served without re-parsing (see `prepared_hit`).
+    pub fn prepared_hits(&self) -> u64 {
+        self.prepared_hits.load(Ordering::Relaxed)
+    }
+
+    /// Statements that ran the DDL parser (see `prepared_miss`).
+    pub fn prepared_misses(&self) -> u64 {
+        self.prepared_misses.load(Ordering::Relaxed)
     }
 
     pub(crate) fn session_opened(&self) {
@@ -149,6 +184,33 @@ impl EngineStats {
             out,
             "ode_frames_oversized {}",
             self.frames_oversized.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ode_frames_batched Inbound protocol-v2 batch frames accepted by the wire layer."
+        );
+        let _ = writeln!(out, "# TYPE ode_frames_batched counter");
+        let _ = writeln!(
+            out,
+            "ode_frames_batched {}",
+            self.frames_batched.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ode_prepared_hits Statements served from a session parse cache (transparent or PREPAREd)."
+        );
+        let _ = writeln!(out, "# TYPE ode_prepared_hits counter");
+        let _ = writeln!(out, "ode_prepared_hits {}", self.prepared_hits());
+        let _ = writeln!(
+            out,
+            "# HELP ode_prepared_misses Statements that ran the DDL parser."
+        );
+        let _ = writeln!(out, "# TYPE ode_prepared_misses counter");
+        let _ = writeln!(out, "ode_prepared_misses {}", self.prepared_misses());
+        self.stmts_per_frame.snapshot().render_prometheus_into(
+            out,
+            "stmts_per_frame",
+            "Statements carried per accepted protocol-v2 batch frame.",
         );
         let _ = writeln!(
             out,

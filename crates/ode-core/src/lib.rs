@@ -64,7 +64,7 @@ pub use metatype::{CouplingMode, TriggerInfo, TypeDescriptor};
 pub use monitored::{MonitoredClass, MonitoredClassBuilder, MonitoredPtr, MonitoredSpace};
 pub use object::{OdeObject, PersistentPtr};
 pub use phoenix::{PhoenixHandler, PhoenixReport};
-pub use session::Session;
+pub use session::{PendingCommit, Session};
 pub use trigger::TriggerId;
 
 // Re-exports so applications need only this crate (plus the codec traits

@@ -14,8 +14,26 @@
 use crate::database::Database;
 use crate::engine::Engine;
 use crate::error::{OdeError, Result};
-use ode_storage::TxnId;
+use ode_storage::{CommitTicket, TxnId};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Bound on the transparent text-keyed statement cache; when full it is
+/// cleared wholesale (statement texts repeat heavily or not at all, so
+/// an LRU buys nothing over this).
+pub(crate) const STMT_CACHE_CAP: usize = 512;
+
+/// A commit whose durability wait was deferred
+/// ([`Session::set_defer_commits`]): logically committed, locks
+/// released, but not yet acknowledged-durable. The holder must call
+/// [`Database::commit_wait`] (directly or via [`Session::commit_wait_pending`])
+/// before acknowledging the statement to the client.
+pub struct PendingCommit {
+    /// The database the transaction committed against.
+    pub db: Arc<Database>,
+    /// The durability ticket from [`Database::commit_start`].
+    pub ticket: CommitTicket,
+}
 
 /// How a session decides which statements to trace (set by the `TRACE`
 /// statement; `EXPLAIN` and a configured slow-statement log force
@@ -45,6 +63,21 @@ pub struct Session {
     /// Rendered span tree of the most recent traced statement
     /// (`SHOW TRACE` returns it).
     pub(crate) last_trace: Option<String>,
+    /// When true, autocommit statements and explicit `COMMIT`s stop at
+    /// [`Database::commit_start`] and stash the ticket in
+    /// `pending_commit` instead of blocking on durability.
+    defer_commits: bool,
+    /// The deferred commit of the last statement, if any (at most one:
+    /// the wire layer takes it after every statement).
+    pending_commit: Option<PendingCommit>,
+    /// Named statements (`PREPARE <name> AS …`).
+    pub(crate) prepared: HashMap<String, crate::ddl::Statement>,
+    /// Transparent text-keyed parse cache ([`Session::execute`] consults
+    /// it before running the DDL parser).
+    pub(crate) stmt_cache: HashMap<String, crate::ddl::Statement>,
+    /// `false` disables the transparent cache (named `PREPARE`/`EXECUTE`
+    /// keeps working).
+    pub(crate) stmt_cache_enabled: bool,
 }
 
 impl Session {
@@ -59,7 +92,53 @@ impl Session {
             trace_mode: TraceMode::Off,
             trace_countdown: 0,
             last_trace: None,
+            defer_commits: false,
+            pending_commit: None,
+            prepared: HashMap::new(),
+            stmt_cache: HashMap::new(),
+            stmt_cache_enabled: true,
         }
+    }
+
+    /// Defer durability waits: with this set, a statement that commits
+    /// (autocommit or explicit `COMMIT`) returns as soon as the commit
+    /// is *logical* and parks its [`PendingCommit`] on the session. The
+    /// caller must resolve it (see [`Session::take_pending_commit`])
+    /// before acknowledging the statement — the wire layer batches many
+    /// sessions' tickets onto one group-commit flush this way.
+    pub fn set_defer_commits(&mut self, defer: bool) {
+        self.defer_commits = defer;
+    }
+
+    /// Enable/disable the transparent text-keyed statement cache.
+    pub fn set_stmt_cache(&mut self, enabled: bool) {
+        self.stmt_cache_enabled = enabled;
+        if !enabled {
+            self.stmt_cache.clear();
+        }
+    }
+
+    /// Take the deferred commit of the last statement, if it produced
+    /// one. The caller owns the durability wait from here.
+    pub fn take_pending_commit(&mut self) -> Option<PendingCommit> {
+        self.pending_commit.take()
+    }
+
+    /// Resolve any deferred commit inline (used on paths that cannot
+    /// hand the ticket to a scheduler, and before stashing a new one).
+    pub fn commit_wait_pending(&mut self) -> Result<()> {
+        match self.pending_commit.take() {
+            Some(pending) => pending.db.commit_wait(pending.ticket),
+            None => Ok(()),
+        }
+    }
+
+    /// Stash a deferred commit, resolving any previous one first so at
+    /// most one ticket is ever parked on the session.
+    fn stash_pending(&mut self, db: Arc<Database>, ticket: CommitTicket) -> Result<()> {
+        self.commit_wait_pending()?;
+        self.pending_commit = Some(PendingCommit { db, ticket });
+        Ok(())
     }
 
     /// The engine this session talks to.
@@ -131,7 +210,25 @@ impl Session {
             .take()
             .ok_or_else(|| OdeError::Schema("no open transaction".into()))?;
         self.engine.stats().txn_closed();
-        self.database()?.commit(txn)
+        let db = Arc::clone(self.database()?);
+        if self.defer_commits {
+            let ticket = db.commit_start(txn)?;
+            return self.stash_pending(db, ticket);
+        }
+        db.commit(txn)
+    }
+
+    /// Abort the open transaction if there is one — the tabort rule for
+    /// errors that happen before a statement ever reaches the executor
+    /// (parse errors): a failed statement takes the whole transaction
+    /// down, whatever stage it failed at.
+    pub(crate) fn abort_open_txn(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.engine.stats().txn_closed();
+            if let Ok(db) = self.database() {
+                let _ = db.abort(txn);
+            }
+        }
     }
 
     /// Abort the open transaction.
@@ -163,6 +260,22 @@ impl Session {
                     Err(e)
                 }
             },
+            None if self.defer_commits => {
+                // The autocommit analogue of `Database::with_txn`, but
+                // stopping at the logical commit and parking the ticket.
+                let txn = db.begin()?;
+                match f(&db, txn) {
+                    Ok(value) => {
+                        let ticket = db.commit_start(txn)?;
+                        self.stash_pending(db, ticket)?;
+                        Ok(value)
+                    }
+                    Err(e) => {
+                        let _ = db.abort(txn);
+                        Err(e)
+                    }
+                }
+            }
             None => db.with_txn(|txn| f(&db, txn)),
         }
     }

@@ -1008,6 +1008,10 @@ metrics! {
         /// slow-statement threshold (their span trees went to the slow
         /// log).
         slow_statements,
+        /// Commit tickets whose durability wait rode another session's
+        /// WAL flush batch instead of triggering its own (the wire
+        /// layer's cross-session group-commit piggybacking).
+        piggybacked_commits,
     }
     gauges {
         /// Pages currently resident in the buffer pool (all shards).

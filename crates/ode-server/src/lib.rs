@@ -8,7 +8,7 @@
 //! firing, and coupling semantics are entirely the embedded machinery;
 //! the server only moves text.
 //!
-//! ## Protocol
+//! ## Protocol v1 (single statement per frame)
 //!
 //! Frames are length-prefixed UTF-8: a little-endian `u32` byte count
 //! followed by that many bytes. The client's first frame must be
@@ -26,24 +26,71 @@
 //! transaction ([`ode_core::Session`]'s `Drop`), so a dying client never leaks
 //! locks.
 //!
+//! ## Protocol v2 (pipelined batch frames)
+//!
+//! A frame whose payload starts with the [`BATCH_MAGIC`] byte (`0x02`,
+//! ASCII STX — no v1 statement can begin with a control byte) is a
+//! *batch frame* carrying N statements:
+//!
+//! ```text
+//! request  = 0x02, mode u8, count u32-LE, count × (len u32-LE, stmt UTF-8)
+//! response = 0x02,          count u32-LE, count × (len u32-LE, reply UTF-8)
+//! ```
+//!
+//! The N replies are in statement order and use the v1 reply grammar.
+//! `mode` selects the first-error semantics: [`BATCH_CONTINUE`] keeps
+//! executing after a failed statement, [`BATCH_ABORT`] fails every
+//! remaining statement with `ERR batch aborted`. Either way, an error
+//! *inside an explicitly opened transaction* has already taken that
+//! transaction down (the session's tabort rule), so the remaining batch
+//! statements — written assuming that transaction — are always failed.
+//! The two protocols interleave freely on one connection; v1 clients
+//! never see a v2 frame.
+//!
+//! Under load the reply path defers each statement's commit durability
+//! wait and resolves the accumulated [`ode_core::PendingCommit`] tickets of
+//! *all* connections on one shared group-commit flush before writing any
+//! reply — N connections × 1 fsync becomes 1 fsync per scheduler round
+//! (see `DESIGN.md`, "Wire batching & commit piggybacking").
+//!
 //! No async runtime: blocking std sockets and one OS thread per
 //! connection, which matches the engine's thread-per-transaction
 //! concurrency model (striped 2PL underneath).
 
-use ode_core::Engine;
+use ode_core::{Engine, PendingCommit, Session};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Largest accepted frame (defensive bound; statements are small).
 pub const MAX_FRAME: u32 = 1 << 20;
 
+/// First payload byte of a protocol-v2 batch frame, both directions
+/// (ASCII STX; no v1 statement starts with a control byte).
+pub const BATCH_MAGIC: u8 = 0x02;
+
+/// Batch error mode: keep executing the remaining statements after one
+/// fails (outside an explicit transaction).
+pub const BATCH_CONTINUE: u8 = 0;
+
+/// Batch error mode: fail every statement after the first error with
+/// `ERR batch aborted`.
+pub const BATCH_ABORT: u8 = 1;
+
 /// One inbound frame, as the server's read loop sees it.
 enum Frame {
-    /// A complete frame.
+    /// A complete v1 single-statement frame.
     Msg(String),
+    /// A complete v2 batch frame.
+    Batch {
+        /// [`BATCH_ABORT`] was requested.
+        abort_on_error: bool,
+        /// The statements, in execution order.
+        stmts: Vec<String>,
+    },
     /// The length prefix exceeded [`MAX_FRAME`] — nothing was allocated
     /// and the payload was not read, so the stream cannot be resynced.
     Oversized(u32),
@@ -67,10 +114,81 @@ fn read_frame_bounded(stream: &mut impl Read) -> std::io::Result<Frame> {
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
+    if buf.first() == Some(&BATCH_MAGIC) {
+        return decode_batch(&buf);
+    }
     match String::from_utf8(buf) {
         Ok(s) => Ok(Frame::Msg(s)),
         Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
     }
+}
+
+/// Decode a v2 batch payload (`buf[0]` is already known to be
+/// [`BATCH_MAGIC`]). Every length inside the frame is re-checked against
+/// the actual byte count — the outer [`MAX_FRAME`] bound caps total
+/// allocation, and a hostile inner count cannot over-allocate past it.
+fn decode_batch(buf: &[u8]) -> std::io::Result<Frame> {
+    let bad = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed batch frame: {what}"),
+        )
+    };
+    let mode = *buf.get(1).ok_or_else(|| bad("missing mode byte"))?;
+    let abort_on_error = match mode {
+        BATCH_CONTINUE => false,
+        BATCH_ABORT => true,
+        _ => return Err(bad("unknown error mode")),
+    };
+    let count_bytes: [u8; 4] = buf
+        .get(2..6)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| bad("missing statement count"))?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    let mut rest = &buf[6..];
+    // Each statement costs at least its 4-byte length prefix.
+    if count > rest.len() / 4 {
+        return Err(bad("statement count exceeds frame size"));
+    }
+    let mut stmts = Vec::with_capacity(count);
+    for _ in 0..count {
+        if rest.len() < 4 {
+            return Err(bad("truncated statement length"));
+        }
+        let n = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        rest = &rest[4..];
+        if rest.len() < n {
+            return Err(bad("truncated statement"));
+        }
+        let stmt = std::str::from_utf8(&rest[..n]).map_err(|_| bad("statement is not UTF-8"))?;
+        stmts.push(stmt.to_string());
+        rest = &rest[n..];
+    }
+    if !rest.is_empty() {
+        return Err(bad("trailing bytes after last statement"));
+    }
+    Ok(Frame::Batch {
+        abort_on_error,
+        stmts,
+    })
+}
+
+/// Encode a v2 batch *reply* payload into `out` (cleared first).
+fn encode_batch_reply(replies: &[String], out: &mut Vec<u8>) {
+    out.clear();
+    out.push(BATCH_MAGIC);
+    out.extend_from_slice(&(replies.len() as u32).to_le_bytes());
+    for reply in replies {
+        out.extend_from_slice(&(reply.len() as u32).to_le_bytes());
+        out.extend_from_slice(reply.as_bytes());
+    }
+}
+
+/// Write one length-prefixed frame with an arbitrary byte payload.
+fn write_frame_bytes(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
 }
 
 /// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
@@ -83,6 +201,10 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
             std::io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds the {MAX_FRAME} byte limit"),
         )),
+        Frame::Batch { .. } => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "unexpected protocol-v2 batch frame on a text-frame reader",
+        )),
     }
 }
 
@@ -91,6 +213,182 @@ pub fn write_frame(stream: &mut impl Write, payload: &str) -> std::io::Result<()
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
     stream.write_all(payload.as_bytes())?;
     stream.flush()
+}
+
+/// Compare a presented auth token against the expected one in time
+/// independent of *where* they differ: the loop always walks the full
+/// expected token, folding each byte difference (and the length
+/// difference) into one accumulator, so a byte-at-a-time guesser learns
+/// nothing from response timing.
+fn token_eq(presented: &str, expected: &str) -> bool {
+    let a = presented.as_bytes();
+    let b = expected.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for (i, &eb) in b.iter().enumerate() {
+        diff |= usize::from(a.get(i).copied().unwrap_or(0) ^ eb);
+    }
+    diff == 0
+}
+
+/// Wire-layer feature toggles (all default on; the `ode-server` binary
+/// exposes `--no-*` flags for paired benchmarking).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Accept protocol-v2 batch frames. Off: batch frames get one
+    /// `ERR pipelining is disabled` reply.
+    pub pipeline: bool,
+    /// Sessions cache parsed statements by text (and serve
+    /// `PREPARE`/`EXECUTE`, which is independent of this toggle).
+    pub stmt_cache: bool,
+    /// Defer commit durability waits and resolve them on the shared
+    /// cross-session scheduler. Off: every statement's `commit_wait`
+    /// runs inline before its reply, as protocol v1 always did.
+    pub piggyback: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            pipeline: true,
+            stmt_cache: true,
+            piggyback: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-session commit piggybacking
+// ---------------------------------------------------------------------
+
+/// A waiter's completion slot: filled by whichever thread resolves the
+/// ticket.
+struct Slot {
+    result: Mutex<Option<Result<(), String>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, r: Result<(), String>) {
+        *self.result.lock().unwrap() = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), String> {
+        let mut guard = self.result.lock().unwrap();
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+struct PiggybackEntry {
+    pending: PendingCommit,
+    slot: Arc<Slot>,
+}
+
+/// The shared reply scheduler: connection threads enqueue the
+/// [`PendingCommit`] tickets their statements deferred, and the first
+/// enqueuer becomes the *flusher* — it drains the queue in rounds,
+/// waiting each round's highest-LSN ticket first so the WAL group-commit
+/// leader makes the whole round durable with one write+fsync; every
+/// other ticket's wait is then a satisfied-watermark check. Tickets that
+/// resolve on a round they share with another ticket of the same
+/// database count as `piggybacked_commits`. Tickets with no WAL
+/// position (memory engine) never enter the scheduler — there is no
+/// flush to share, so they resolve inline on their connection thread.
+struct Piggyback {
+    state: Mutex<Vec<PiggybackEntry>>,
+    flusher: Mutex<bool>,
+}
+
+impl Piggyback {
+    fn new() -> Piggyback {
+        Piggyback {
+            state: Mutex::new(Vec::new()),
+            flusher: Mutex::new(false),
+        }
+    }
+
+    /// Resolve one deferred commit (v1 single-statement path).
+    fn resolve(&self, pending: PendingCommit) -> Result<(), String> {
+        // A ticket with no WAL position has no flush to share — wait it
+        // inline (a watermark check) instead of taking the scheduler hop.
+        if pending.ticket.lsn().is_none() {
+            return pending
+                .db
+                .commit_wait(pending.ticket)
+                .map_err(|e| e.to_string());
+        }
+        self.resolve_all(vec![pending])
+            .pop()
+            .expect("one result per ticket")
+    }
+
+    /// Resolve a batch of deferred commits; results are in input order.
+    fn resolve_all(&self, batch: Vec<PendingCommit>) -> Vec<Result<(), String>> {
+        let slots: Vec<Arc<Slot>> = (0..batch.len()).map(|_| Arc::new(Slot::new())).collect();
+        let i_flush = {
+            let mut queue = self.state.lock().unwrap();
+            for (pending, slot) in batch.into_iter().zip(&slots) {
+                queue.push(PiggybackEntry {
+                    pending,
+                    slot: Arc::clone(slot),
+                });
+            }
+            // Become the flusher unless one is already draining (it will
+            // pick our entries up).
+            let mut flusher = self.flusher.lock().unwrap();
+            !std::mem::replace(&mut *flusher, true)
+        };
+        if i_flush {
+            loop {
+                let round = {
+                    let mut queue = self.state.lock().unwrap();
+                    if queue.is_empty() {
+                        *self.flusher.lock().unwrap() = false;
+                        break;
+                    }
+                    std::mem::take(&mut *queue)
+                };
+                flush_round(round);
+            }
+        }
+        slots.iter().map(|slot| slot.wait()).collect()
+    }
+}
+
+/// Make one round of tickets durable together and wake their waiters.
+fn flush_round(mut round: Vec<PiggybackEntry>) {
+    // Highest LSN first: that wait runs (or joins) the WAL group-commit
+    // flush covering every lower LSN in the round.
+    round.sort_by_key(|e| std::cmp::Reverse(e.pending.ticket.lsn()));
+    let mut seen_dbs: Vec<*const ode_core::Database> = Vec::new();
+    for entry in &round {
+        let db = Arc::as_ptr(&entry.pending.db);
+        if seen_dbs.contains(&db) {
+            entry.pending.db.metrics().piggybacked_commits.inc();
+        } else {
+            seen_dbs.push(db);
+        }
+    }
+    for entry in round {
+        let result = entry
+            .pending
+            .db
+            .commit_wait(entry.pending.ticket)
+            .map_err(|e| e.to_string());
+        entry.slot.fill(result);
+    }
 }
 
 /// A running Ode server: an accept thread plus one thread per live
@@ -103,13 +401,25 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving `engine`. Clients must authenticate with `token`.
+    /// serving `engine` with default [`ServerOptions`]. Clients must
+    /// authenticate with `token`.
     pub fn start(engine: Arc<Engine>, addr: &str, token: &str) -> std::io::Result<Server> {
+        Server::start_with(engine, addr, token, ServerOptions::default())
+    }
+
+    /// [`Server::start`] with explicit feature toggles.
+    pub fn start_with(
+        engine: Arc<Engine>,
+        addr: &str,
+        token: &str,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
         let token = token.to_string();
+        let piggyback = Arc::new(Piggyback::new());
         let accept_thread = std::thread::Builder::new()
             .name("ode-accept".into())
             .spawn(move || {
@@ -120,13 +430,14 @@ impl Server {
                     let Ok(stream) = stream else { continue };
                     let engine = Arc::clone(&engine);
                     let token = token.clone();
+                    let piggyback = Arc::clone(&piggyback);
                     // Detached: a connection thread ends when its client
                     // disconnects (or sends QUIT), and Session::drop
                     // aborts any transaction it left open.
                     let _ = std::thread::Builder::new()
                         .name("ode-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, engine, &token);
+                            let _ = serve_connection(stream, engine, &token, options, piggyback);
                         });
                 }
             })?;
@@ -172,25 +483,62 @@ fn serve_connection(
     mut stream: TcpStream,
     engine: Arc<Engine>,
     token: &str,
+    options: ServerOptions,
+    piggyback: Arc<Piggyback>,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     match read_frame_bounded(&mut stream)? {
-        Frame::Msg(frame) if frame.strip_prefix("AUTH ") == Some(token) => {
+        Frame::Msg(frame)
+            if frame
+                .strip_prefix("AUTH ")
+                .is_some_and(|t| token_eq(t, token)) =>
+        {
             write_frame(&mut stream, "OK")?;
         }
         Frame::Oversized(len) => {
             reject_oversized(&mut stream, &engine, len);
             return Ok(());
         }
-        Frame::Msg(_) | Frame::Eof => {
+        Frame::Msg(_) | Frame::Batch { .. } | Frame::Eof => {
             let _ = write_frame(&mut stream, "ERR bad token");
             return Ok(());
         }
     }
     let mut session = engine.session();
+    session.set_stmt_cache(options.stmt_cache);
+    session.set_defer_commits(options.piggyback);
+    let mut reply_buf = Vec::new();
     loop {
-        let frame = match read_frame_bounded(&mut stream)? {
-            Frame::Msg(frame) => frame,
+        match read_frame_bounded(&mut stream)? {
+            Frame::Msg(frame) => {
+                let stmt = frame.trim();
+                if stmt.eq_ignore_ascii_case("quit") {
+                    write_frame(&mut stream, "OK")?;
+                    break;
+                }
+                if stmt.is_empty() || stmt.starts_with("--") {
+                    write_frame(&mut stream, "OK")?;
+                    continue;
+                }
+                let mut reply = run_statement(&mut session, stmt);
+                if let Some(pending) = session.take_pending_commit() {
+                    if let Err(e) = piggyback.resolve(pending) {
+                        reply = format!("ERR commit durability failed: {e}");
+                    }
+                }
+                write_frame(&mut stream, &reply)?;
+            }
+            Frame::Batch { .. } if !options.pipeline => {
+                write_frame(&mut stream, "ERR pipelining is disabled on this server")?;
+            }
+            Frame::Batch {
+                abort_on_error,
+                stmts,
+            } => {
+                let replies = run_batch(&mut session, &engine, &piggyback, abort_on_error, &stmts);
+                encode_batch_reply(&replies, &mut reply_buf);
+                write_frame_bytes(&mut stream, &reply_buf)?;
+            }
             Frame::Eof => break,
             Frame::Oversized(len) => {
                 // The payload was never read, so the framing cannot be
@@ -198,26 +546,94 @@ fn serve_connection(
                 reject_oversized(&mut stream, &engine, len);
                 break;
             }
-        };
-        let stmt = frame.trim();
-        if stmt.eq_ignore_ascii_case("quit") {
-            write_frame(&mut stream, "OK")?;
-            break;
         }
-        if stmt.is_empty() || stmt.starts_with("--") {
-            write_frame(&mut stream, "OK")?;
-            continue;
-        }
-        let reply = match session.execute(stmt) {
-            Ok(payload) if payload.is_empty() => "OK".to_string(),
-            Ok(payload) if payload.contains('\n') => format!("OK\n{payload}"),
-            Ok(payload) => format!("OK {payload}"),
-            Err(e) => format!("ERR {e}"),
-        };
-        write_frame(&mut stream, &reply)?;
     }
     drop(session); // aborts any open transaction
     Ok(())
+}
+
+/// Execute one statement and format its v1-grammar reply.
+fn run_statement(session: &mut Session, stmt: &str) -> String {
+    match session.execute(stmt) {
+        Ok(payload) if payload.is_empty() => "OK".to_string(),
+        Ok(payload) if payload.contains('\n') => format!("OK\n{payload}"),
+        Ok(payload) => format!("OK {payload}"),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Execute a batch frame: per-statement replies in order, first-error
+/// semantics per `abort_on_error`, and all deferred commit tickets
+/// resolved on one scheduler round before any reply is released. Every
+/// statement runs through [`Session::execute`], so tracing, per-verb
+/// counters, and the statement-latency histogram see batched statements
+/// exactly like single-frame ones.
+fn run_batch(
+    session: &mut Session,
+    engine: &Engine,
+    piggyback: &Piggyback,
+    abort_on_error: bool,
+    stmts: &[String],
+) -> Vec<String> {
+    engine
+        .stats()
+        .frames_batched
+        .fetch_add(1, Ordering::Relaxed);
+    engine.stats().stmts_per_frame.record(stmts.len() as u64);
+    let mut replies = Vec::with_capacity(stmts.len());
+    let mut deferred: Vec<(usize, PendingCommit)> = Vec::new();
+    let mut failed = false;
+    for (i, raw) in stmts.iter().enumerate() {
+        if failed {
+            replies.push("ERR batch aborted".to_string());
+            continue;
+        }
+        let stmt = raw.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            replies.push("OK".to_string());
+            continue;
+        }
+        let reply = if stmt.eq_ignore_ascii_case("quit") {
+            // Mid-batch QUIT would strand the remaining statements the
+            // client already sent; make it an ordinary statement error.
+            "ERR QUIT is not allowed inside a batch".to_string()
+        } else {
+            let was_in_txn = session.txn().is_some();
+            let mut reply = run_statement(session, stmt);
+            if let Some(pending) = session.take_pending_commit() {
+                if pending.ticket.lsn().is_none() {
+                    // Nothing durable to share: wait inline rather than
+                    // paying a scheduler round per no-WAL ticket.
+                    if let Err(e) = pending.db.commit_wait(pending.ticket) {
+                        reply = format!("ERR commit durability failed: {e}");
+                    }
+                } else {
+                    deferred.push((i, pending));
+                }
+            }
+            // An error while an explicit transaction was open has taken
+            // it down (tabort); the rest of the batch was written for
+            // that transaction, so it always fails — CONTINUE only
+            // applies outside transactions.
+            if reply.starts_with("ERR") && was_in_txn {
+                failed = true;
+            }
+            reply
+        };
+        if reply.starts_with("ERR") && abort_on_error {
+            failed = true;
+        }
+        replies.push(reply);
+    }
+    if !deferred.is_empty() {
+        let (indices, tickets): (Vec<usize>, Vec<PendingCommit>) = deferred.into_iter().unzip();
+        for (i, result) in indices.into_iter().zip(piggyback.resolve_all(tickets)) {
+            if let Err(e) = result {
+                replies[i] = format!("ERR commit durability failed: {e}");
+            }
+        }
+    }
+    replies
 }
 
 /// Count and report an oversized inbound frame, then let the caller
@@ -464,6 +880,269 @@ mod tests {
         let (head, _) = get("/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
         metrics.shutdown();
+    }
+
+    #[test]
+    fn token_comparison_rejects_wrong_length_and_wrong_byte() {
+        assert!(token_eq("sesame", "sesame"));
+        assert!(!token_eq("sesamE", "sesame"), "wrong byte");
+        assert!(!token_eq("sesam", "sesame"), "too short");
+        assert!(!token_eq("sesame!", "sesame"), "too long");
+        assert!(!token_eq("", "sesame"), "empty presented");
+        assert!(token_eq("", ""));
+        assert!(!token_eq("x", ""), "empty expected rejects non-empty");
+    }
+
+    /// Authenticate a [`WireClient`] against `server` (protocol-v2 tests
+    /// drive the real client rather than raw frames).
+    fn client(server: &Server, token: &str) -> ode_testutil::WireClient {
+        ode_testutil::WireClient::connect(&server.addr().to_string(), token).unwrap()
+    }
+
+    #[test]
+    fn batch_frames_round_trip_and_interleave_with_v1() {
+        let engine = Engine::volatile();
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        // v1 single-statement frames first…
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        // …then a v2 batch on the same connection…
+        let replies = c
+            .exec_batch(
+                &["CREATE CLASS A { FIELD x = 2; }", "NEW A", "", "-- note"],
+                false,
+            )
+            .unwrap();
+        assert_eq!(replies.len(), 4);
+        assert_eq!(replies[0], "OK");
+        let oid = replies[1].strip_prefix("OK ").expect("oid reply");
+        assert_eq!(replies[2], "OK");
+        assert_eq!(replies[3], "OK");
+        // …then v1 again, reading state the batch created.
+        assert_eq!(c.exec(&format!("GET {oid} x")), "2");
+        assert_eq!(engine.stats().frames_batched.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().stmts_per_frame.snapshot().count, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_parse_error_inside_txn_aborts_it_and_fails_the_rest() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        c.exec("CREATE CLASS C { FIELD v; }");
+        let oid = c.exec("NEW C");
+        let replies = c
+            .exec_batch(
+                &[
+                    "BEGIN",
+                    &format!("CALL {oid} Touch SET v = 7"),
+                    "THIS IS NOT A STATEMENT",
+                    &format!("CALL {oid} Touch SET v = 9"),
+                    "COMMIT",
+                ],
+                false, // CONTINUE mode — the open txn must still doom the rest
+            )
+            .unwrap();
+        assert_eq!(replies[0], "OK");
+        assert_eq!(replies[1], "OK");
+        assert!(replies[2].starts_with("ERR"), "{}", replies[2]);
+        assert_eq!(replies[3], "ERR batch aborted");
+        assert_eq!(replies[4], "ERR batch aborted");
+        // The parse error tore the transaction down: the write rolled
+        // back and the session has nothing open.
+        assert_eq!(c.exec(&format!("GET {oid} v")), "0");
+        let err = c.try_exec("COMMIT").unwrap_err();
+        assert!(
+            err.contains("no open transaction"),
+            "tabort closed the session transaction: {err}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_continue_mode_outside_a_txn_executes_the_rest() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        let replies = c
+            .exec_batch(
+                &["GARBAGE", "CREATE CLASS A { FIELD x = 5; }", "NEW A"],
+                false,
+            )
+            .unwrap();
+        assert!(replies[0].starts_with("ERR"), "{}", replies[0]);
+        assert_eq!(
+            replies[1], "OK",
+            "autocommit statements after the error ran"
+        );
+        assert!(replies[2].starts_with("OK "), "{}", replies[2]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_abort_mode_fails_everything_after_the_first_error() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        let replies = c
+            .exec_batch(&["GARBAGE", "CREATE CLASS A { FIELD x; }", "QUIT"], true)
+            .unwrap();
+        assert!(replies[0].starts_with("ERR"), "{}", replies[0]);
+        assert_eq!(replies[1], "ERR batch aborted");
+        assert_eq!(replies[2], "ERR batch aborted");
+        // ABORT_BATCH only fails the remainder of the frame; the
+        // connection (and session) live on.
+        assert_eq!(c.exec("SHOW DATABASES"), "d");
+        server.shutdown();
+    }
+
+    #[test]
+    fn quit_mid_batch_is_a_statement_error_not_a_disconnect() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        let replies = c.exec_batch(&["QUIT", "SHOW DATABASES"], false).unwrap();
+        assert_eq!(replies[0], "ERR QUIT is not allowed inside a batch");
+        assert_eq!(replies[1], "OK");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelining_disabled_rejects_batch_frames_with_a_text_reply() {
+        let options = ServerOptions {
+            pipeline: false,
+            ..ServerOptions::default()
+        };
+        let server = Server::start_with(Engine::volatile(), "127.0.0.1:0", "t", options).unwrap();
+        let mut c = client(&server, "t");
+        let err = c.exec_batch(&["SHOW DATABASES"], false).unwrap_err();
+        assert!(err.to_string().contains("pipelining is disabled"), "{err}");
+        // The text reply consumed the batch frame; v1 still works.
+        assert_eq!(c.exec("CREATE DATABASE d"), "");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_connection_mid_batch_releases_all_locks() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut a = client(&server, "t");
+        a.exec("CREATE DATABASE d");
+        a.exec("USE d");
+        a.exec("CREATE CLASS C { FIELD v; }");
+        let oid = a.exec("NEW C");
+        // A batch that leaves an explicit transaction open (write lock
+        // held), whose reply the client never reads: drop the socket.
+        a.send_batch(&["BEGIN", &format!("CALL {oid} Touch SET v = 1")], false)
+            .unwrap();
+        drop(a);
+        let mut b = client(&server, "t");
+        b.exec("USE d");
+        let mut last = String::new();
+        for _ in 0..50 {
+            last = b.exec(&format!("GET {oid} v"));
+            if last == "0" {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(last, "0", "uncommitted batch write was rolled back");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_autocommits_share_one_flush_round() {
+        // A WAL-backed engine: only tickets with a WAL position go
+        // through the shared scheduler (no-WAL tickets resolve inline).
+        let dir = ode_testutil::TempDir::new("piggyback");
+        let engine = Engine::open(dir.path(), Default::default()).unwrap();
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        c.exec("CREATE CLASS C { FIELD v; }");
+        let oid = c.exec("NEW C");
+        let db = engine.database("d").unwrap();
+        let before = db.metrics().piggybacked_commits.get();
+        // Four autocommitting writes in one frame: their tickets resolve
+        // on one scheduler round, so three of them piggyback. (Each must
+        // actually change state — a no-op write commits without a WAL
+        // record and resolves inline, never entering the scheduler.)
+        let set = format!("CALL {oid} Touch SET v = v + 1");
+        let replies = c.exec_batch(&[&set, &set, &set, &set], false).unwrap();
+        assert!(replies.iter().all(|r| r == "OK"), "{replies:?}");
+        assert_eq!(db.metrics().piggybacked_commits.get() - before, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn prepared_statements_round_trip_over_the_wire() {
+        let engine = Engine::volatile();
+        let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        c.exec("CREATE CLASS C { FIELD v; }");
+        let oid = c.exec("NEW C");
+        c.exec(&format!("PREPARE bump AS CALL {oid} Touch SET v = v + $1"));
+        c.exec("EXECUTE bump WITH 5");
+        c.exec("EXECUTE bump WITH 2.5");
+        assert_eq!(c.exec(&format!("GET {oid} v")), "7.5");
+        let err = c.try_exec("EXECUTE bump").unwrap_err();
+        assert!(err.contains("has no argument"), "{err}");
+        let err = c.try_exec("EXECUTE nope WITH 1").unwrap_err();
+        assert!(err.contains("unknown prepared statement"), "{err}");
+        // Prepared statements are per-session: a second connection
+        // doesn't see them.
+        let mut other = client(&server, "t");
+        other.exec("USE d");
+        assert!(other.try_exec("EXECUTE bump WITH 1").is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn explain_traces_statements_inside_a_batch() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        c.exec("CREATE CLASS A { FIELD x = 1; }");
+        let replies = c
+            .exec_batch(&["EXPLAIN NEW A", "SHOW TRACE"], false)
+            .unwrap();
+        // Both the inline EXPLAIN tree and the retained SHOW TRACE tree
+        // are per-statement span trees, batched or not.
+        for reply in &replies {
+            let tree = reply.strip_prefix("OK\n").unwrap_or(reply);
+            assert!(tree.contains("statement"), "{reply}");
+            assert!(tree.contains("parse"), "{reply}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_send_ahead_keeps_frames_in_flight() {
+        let server = Server::start(Engine::volatile(), "127.0.0.1:0", "t").unwrap();
+        let mut c = client(&server, "t");
+        c.exec("CREATE DATABASE d");
+        c.exec("USE d");
+        c.exec("CREATE CLASS C { FIELD v; }");
+        let oid = c.exec("NEW C");
+        let set = format!("CALL {oid} Touch SET v = v + 1");
+        let frame: Vec<&str> = vec![&set; 8];
+        let frames: Vec<&[&str]> = vec![frame.as_slice(); 5];
+        let mut seen = 0usize;
+        c.pipeline_batches(frames.iter().copied(), 4, false, |replies| {
+            assert!(replies.iter().all(|r| r == "OK"), "{replies:?}");
+            seen += replies.len();
+        })
+        .unwrap();
+        assert_eq!(seen, 40);
+        assert_eq!(c.exec(&format!("GET {oid} v")), "40");
+        server.shutdown();
     }
 
     #[test]

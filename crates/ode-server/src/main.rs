@@ -12,9 +12,15 @@
 //! as `METRICS <addr>`; `--slow-ms N` traces every statement and logs
 //! the span tree of any statement slower than N milliseconds to
 //! stderr.
+//!
+//! Protocol-v2 amortization layers are on by default and individually
+//! switchable: `--no-pipeline` rejects batch frames, `--no-stmt-cache`
+//! disables the transparent per-session parse cache, `--no-piggyback`
+//! makes each commit wait on its own WAL flush instead of riding a
+//! shared one.
 
 use ode_core::Engine;
-use ode_server::{MetricsServer, Server};
+use ode_server::{MetricsServer, Server, ServerOptions};
 use ode_storage::StorageOptions;
 
 fn main() {
@@ -24,6 +30,7 @@ fn main() {
     let mut volatile = false;
     let mut metrics_addr: Option<String> = None;
     let mut slow_ms: Option<u64> = None;
+    let mut server_options = ServerOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,6 +39,9 @@ fn main() {
             "--token" => token = args.next().unwrap_or(token),
             "--volatile" => volatile = true,
             "--metrics-addr" => metrics_addr = args.next(),
+            "--no-pipeline" => server_options.pipeline = false,
+            "--no-stmt-cache" => server_options.stmt_cache = false,
+            "--no-piggyback" => server_options.piggyback = false,
             "--slow-ms" => match args.next().map(|v| v.parse()) {
                 Some(Ok(ms)) => slow_ms = Some(ms),
                 _ => {
@@ -42,7 +52,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: ode-server [--root DIR | --volatile] [--addr HOST:PORT] \
-                     [--token TOKEN] [--metrics-addr HOST:PORT] [--slow-ms N]"
+                     [--token TOKEN] [--metrics-addr HOST:PORT] [--slow-ms N] \
+                     [--no-pipeline] [--no-stmt-cache] [--no-piggyback]"
                 );
                 return;
             }
@@ -74,7 +85,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let server = match Server::start(std::sync::Arc::clone(&engine), &addr, &token) {
+    let server = match Server::start_with(
+        std::sync::Arc::clone(&engine),
+        &addr,
+        &token,
+        server_options,
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bind {addr}: {e}");

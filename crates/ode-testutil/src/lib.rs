@@ -40,14 +40,27 @@ impl Drop for TempDir {
     }
 }
 
+/// First payload byte of an `ode-server` protocol-v2 batch frame
+/// (mirrored here because this crate is intentionally dependency-free).
+pub const BATCH_MAGIC: u8 = 0x02;
+
 /// A blocking client for the `ode-server` wire protocol: length-prefixed
-/// (`u32` little-endian) UTF-8 frames, `AUTH <token>` handshake, one
-/// statement per frame, `OK`/`ERR` replies.
+/// (`u32` little-endian) frames, `AUTH <token>` handshake, `OK`/`ERR`
+/// replies. Protocol v1 sends one statement per frame
+/// ([`WireClient::exec`]); protocol v2 sends N statements per frame
+/// ([`WireClient::exec_batch`]) and can keep several frames in flight
+/// ([`WireClient::pipeline_batches`]).
 ///
 /// Lives here (std-only, no dependency on the server crate) so tests,
 /// examples, and benches across the workspace can all drive a server.
+/// Frame encode and decode go through per-client scratch buffers, so
+/// steady-state round trips allocate nothing inside the client.
 pub struct WireClient {
     stream: std::net::TcpStream,
+    /// Outbound frame scratch: length prefix + payload, one `write_all`.
+    wbuf: Vec<u8>,
+    /// Inbound payload scratch.
+    rbuf: Vec<u8>,
 }
 
 impl WireClient {
@@ -56,7 +69,11 @@ impl WireClient {
     pub fn connect(addr: &str, token: &str) -> std::io::Result<WireClient> {
         let stream = std::net::TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let mut client = WireClient { stream };
+        let mut client = WireClient {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        };
         let reply = client.send(&format!("AUTH {token}"))?;
         if reply != "OK" {
             return Err(std::io::Error::new(
@@ -67,18 +84,39 @@ impl WireClient {
         Ok(client)
     }
 
-    /// Send one frame and read the reply frame.
-    pub fn send(&mut self, payload: &str) -> std::io::Result<String> {
-        use std::io::{Read, Write};
-        self.stream
-            .write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.stream.write_all(payload.as_bytes())?;
-        self.stream.flush()?;
+    /// Write one length-prefixed text frame from the encode scratch.
+    fn write_text_frame(&mut self, payload: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        self.wbuf.clear();
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload.as_bytes());
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()
+    }
+
+    /// Read one length-prefixed frame payload into the decode scratch.
+    fn read_frame_into_scratch(&mut self) -> std::io::Result<()> {
+        use std::io::Read;
         let mut len = [0u8; 4];
         self.stream.read_exact(&mut len)?;
-        let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
-        self.stream.read_exact(&mut buf)?;
-        String::from_utf8(buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        self.rbuf.resize(u32::from_le_bytes(len) as usize, 0);
+        self.stream.read_exact(&mut self.rbuf)?;
+        Ok(())
+    }
+
+    /// The decode scratch as UTF-8 (replies are text in both protocols'
+    /// per-statement grammar).
+    fn scratch_str(&self) -> std::io::Result<&str> {
+        std::str::from_utf8(&self.rbuf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Send one frame and read the reply frame.
+    pub fn send(&mut self, payload: &str) -> std::io::Result<String> {
+        self.write_text_frame(payload)?;
+        self.read_frame_into_scratch()?;
+        self.scratch_str().map(str::to_string)
     }
 
     /// Execute a statement, panicking on an `ERR` reply; returns the
@@ -113,6 +151,144 @@ impl WireClient {
                     .to_string()),
             },
         }
+    }
+
+    /// [`WireClient::exec`] without the per-call allocations: the reply
+    /// payload is written into `out` (cleared first), so steady-state
+    /// round trips reuse the client scratch buffers and `out`'s capacity.
+    pub fn exec_into(&mut self, stmt: &str, out: &mut String) -> Result<(), String> {
+        out.clear();
+        self.write_text_frame(stmt).map_err(|e| e.to_string())?;
+        self.read_frame_into_scratch().map_err(|e| e.to_string())?;
+        let reply = self.scratch_str().map_err(|e| e.to_string())?;
+        if reply == "OK" {
+            return Ok(());
+        }
+        match reply
+            .strip_prefix("OK ")
+            .or_else(|| reply.strip_prefix("OK\n"))
+        {
+            Some(payload) => {
+                out.push_str(payload);
+                Ok(())
+            }
+            None => Err(reply.strip_prefix("ERR ").unwrap_or(reply).to_string()),
+        }
+    }
+
+    /// Send `stmts` as one protocol-v2 batch frame without reading the
+    /// reply — the send half of pipelining. Pair each call with one
+    /// [`WireClient::read_batch_reply_into`].
+    pub fn send_batch(&mut self, stmts: &[&str], abort_on_error: bool) -> std::io::Result<()> {
+        use std::io::Write;
+        self.wbuf.clear();
+        self.wbuf.extend_from_slice(&[0, 0, 0, 0]); // frame length, patched below
+        self.wbuf.push(BATCH_MAGIC);
+        self.wbuf.push(u8::from(abort_on_error));
+        self.wbuf
+            .extend_from_slice(&(stmts.len() as u32).to_le_bytes());
+        for stmt in stmts {
+            self.wbuf
+                .extend_from_slice(&(stmt.len() as u32).to_le_bytes());
+            self.wbuf.extend_from_slice(stmt.as_bytes());
+        }
+        let payload_len = (self.wbuf.len() - 4) as u32;
+        self.wbuf[..4].copy_from_slice(&payload_len.to_le_bytes());
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()
+    }
+
+    /// Read one batch reply frame, decoding the per-statement replies
+    /// into `replies` (reusing its `String`s' capacity). Returns the
+    /// number of replies.
+    pub fn read_batch_reply_into(&mut self, replies: &mut Vec<String>) -> std::io::Result<usize> {
+        fn bad(msg: String) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+        }
+        self.read_frame_into_scratch()?;
+        let buf = &self.rbuf;
+        if buf.first() != Some(&BATCH_MAGIC) {
+            // A plain-text reply to a batch frame: an old server, or one
+            // with pipelining disabled. Surface the message.
+            return Err(bad(format!(
+                "expected batch reply, got: {}",
+                String::from_utf8_lossy(buf)
+            )));
+        }
+        if buf.len() < 5 {
+            return Err(bad("batch reply header truncated".into()));
+        }
+        let count = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        while replies.len() < count {
+            replies.push(String::new());
+        }
+        replies.truncate(count);
+        let mut rest = &buf[5..];
+        for reply in replies.iter_mut() {
+            if rest.len() < 4 {
+                return Err(bad("batch reply entry truncated".into()));
+            }
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
+                return Err(bad("batch reply entry truncated".into()));
+            }
+            let text = std::str::from_utf8(&rest[..len]).map_err(|e| bad(e.to_string()))?;
+            reply.clear();
+            reply.push_str(text);
+            rest = &rest[len..];
+        }
+        if !rest.is_empty() {
+            return Err(bad("trailing bytes after batch reply".into()));
+        }
+        Ok(count)
+    }
+
+    /// Send `stmts` in one batch frame and return the per-statement
+    /// replies (raw `OK …`/`ERR …` lines, in statement order).
+    pub fn exec_batch(
+        &mut self,
+        stmts: &[&str],
+        abort_on_error: bool,
+    ) -> std::io::Result<Vec<String>> {
+        let mut replies = Vec::new();
+        self.send_batch(stmts, abort_on_error)?;
+        self.read_batch_reply_into(&mut replies)?;
+        Ok(replies)
+    }
+
+    /// Pipelined send-ahead: stream `frames` keeping up to `window`
+    /// batch frames in flight, invoking `on_replies` with each frame's
+    /// replies in order. `window == 1` degenerates to [`Self::exec_batch`]
+    /// in a loop.
+    pub fn pipeline_batches<'a, I>(
+        &mut self,
+        frames: I,
+        window: usize,
+        abort_on_error: bool,
+        mut on_replies: impl FnMut(&[String]),
+    ) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = &'a [&'a str]>,
+    {
+        let window = window.max(1);
+        let mut in_flight = 0usize;
+        let mut replies = Vec::new();
+        for frame in frames {
+            self.send_batch(frame, abort_on_error)?;
+            in_flight += 1;
+            if in_flight == window {
+                self.read_batch_reply_into(&mut replies)?;
+                on_replies(&replies);
+                in_flight -= 1;
+            }
+        }
+        while in_flight > 0 {
+            self.read_batch_reply_into(&mut replies)?;
+            on_replies(&replies);
+            in_flight -= 1;
+        }
+        Ok(())
     }
 
     /// Run `body` as a transaction, retrying the whole block when it is

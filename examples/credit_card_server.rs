@@ -19,6 +19,12 @@
 //! Finally the parent scrapes the server's Prometheus surface (`METRICS`)
 //! and checks that exactly `2 × CLIENTS` immediate firings were counted —
 //! one AutoRaiseLimit and one DenyCredit per client process.
+//!
+//! With `ODE_WIRE_PIPELINE=1` every client runs the same scenario over
+//! protocol-v2 batch frames instead of one statement per round trip:
+//! schema setup in one frame, the whole §4 transaction (including the
+//! in-txn `GET`) in another, and the over-limit denial in a third. The
+//! assertions are identical — CI runs the example both ways.
 
 use ode_core::Engine;
 use ode_server::Server;
@@ -114,13 +120,28 @@ fn main() {
 }
 
 /// One client process: its own card, its own triggers, the §4 scenario.
+/// `ODE_WIRE_PIPELINE=1` (inherited from the parent) switches it to
+/// protocol-v2 batch frames.
 fn client(addr: &str, idx: usize) {
+    let pipelined = std::env::var("ODE_WIRE_PIPELINE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let mut c = WireClient::connect(addr, TOKEN).expect("connect");
-    c.exec("USE bank");
     // Idempotent re-issue: identical definitions are accepted no-ops, so
     // client processes need no startup coordination with the parent.
-    for stmt in SCHEMA {
-        c.exec(stmt);
+    if pipelined {
+        let mut setup: Vec<&str> = vec!["USE bank"];
+        setup.extend_from_slice(SCHEMA);
+        let replies = c.exec_batch(&setup, true).expect("setup batch");
+        assert!(
+            replies.iter().all(|r| r == "OK"),
+            "client {idx}: {replies:?}"
+        );
+    } else {
+        c.exec("USE bank");
+        for stmt in SCHEMA {
+            c.exec(stmt);
+        }
     }
     let card = c.exec("NEW CredCard");
     c.exec(&format!("ACTIVATE AutoRaiseLimit ON {card} WITH 1000"));
@@ -128,25 +149,66 @@ fn client(addr: &str, idx: usize) {
 
     // Buy 900 arms the relative trigger; PayBill fires it immediately.
     // Retry the block: concurrent clients can collide on storage latches.
-    c.with_txn_retry(16, |c| {
-        c.try_exec(&format!("CALL {card} Buy SET curr_bal = curr_bal + 900"))?;
-        c.try_exec(&format!(
-            "CALL {card} PayBill SET curr_bal = curr_bal - 100"
-        ))?;
-        // Immediate coupling: the raised limit is visible before COMMIT.
-        let lim = c.try_exec(&format!("GET {card} cred_lim"))?;
-        assert_eq!(lim, "2000", "client {idx}: immediate firing in-txn");
-        Ok(Some(()))
-    })
-    .expect("raise-limit transaction")
-    .expect("committed");
+    let buy = format!("CALL {card} Buy SET curr_bal = curr_bal + 900");
+    let pay = format!("CALL {card} PayBill SET curr_bal = curr_bal - 100");
+    let get_lim = format!("GET {card} cred_lim");
+    if pipelined {
+        // The whole transaction in one frame; a mid-batch conflict
+        // aborts it (tabort fails the rest of the frame) and we retry.
+        let mut committed = false;
+        for _ in 0..16 {
+            let replies = c
+                .exec_batch(&["BEGIN", &buy, &pay, &get_lim, "COMMIT"], false)
+                .expect("txn batch");
+            if replies.iter().all(|r| !r.starts_with("ERR")) {
+                // Immediate coupling: the raised limit was visible
+                // before the COMMIT later in the same frame.
+                assert_eq!(replies[3], "OK 2000", "client {idx}: in-txn firing");
+                committed = true;
+                break;
+            }
+            let err = replies.iter().find(|r| r.starts_with("ERR")).unwrap();
+            assert!(
+                err.contains("deadlock") || err.contains("lock timeout"),
+                "client {idx}: {err}"
+            );
+        }
+        assert!(committed, "client {idx}: transaction batch never committed");
+    } else {
+        c.with_txn_retry(16, |c| {
+            c.try_exec(&buy)?;
+            c.try_exec(&pay)?;
+            // Immediate coupling: the raised limit is visible before COMMIT.
+            let lim = c.try_exec(&get_lim)?;
+            assert_eq!(lim, "2000", "client {idx}: immediate firing in-txn");
+            Ok(Some(()))
+        })
+        .expect("raise-limit transaction")
+        .expect("committed");
+    }
 
     // Over-limit buy: DenyCredit taborts and the balance rolls back.
-    let err = c
-        .try_exec(&format!("CALL {card} Buy SET curr_bal = curr_bal + 1500"))
-        .expect_err("over-limit buy must be denied");
-    assert!(err.contains("Over Limit"), "client {idx}: {err}");
-    assert_eq!(c.exec(&format!("GET {card} curr_bal")), "800");
-    assert_eq!(c.exec(&format!("GET {card} cred_lim")), "2000");
+    let deny = format!("CALL {card} Buy SET curr_bal = curr_bal + 1500");
+    if pipelined {
+        let replies = c
+            .exec_batch(
+                &[&deny, &format!("GET {card} curr_bal"), &get_lim],
+                false, // CONTINUE: the autocommit error doesn't doom the GETs
+            )
+            .expect("deny batch");
+        assert!(
+            replies[0].contains("Over Limit"),
+            "client {idx}: {replies:?}"
+        );
+        assert_eq!(replies[1], "OK 800", "client {idx}: balance rolled back");
+        assert_eq!(replies[2], "OK 2000");
+    } else {
+        let err = c
+            .try_exec(&deny)
+            .expect_err("over-limit buy must be denied");
+        assert!(err.contains("Over Limit"), "client {idx}: {err}");
+        assert_eq!(c.exec(&format!("GET {card} curr_bal")), "800");
+        assert_eq!(c.exec(&get_lim), "2000");
+    }
     println!("client {idx}: card {card} ok");
 }

@@ -38,6 +38,14 @@ const MALFORMED: &[&str] = &[
     "TRACE SAMPLE 2.5",
     "EXPLAIN EXPLAIN SHOW DATABASES",
     "EXPLAIN",
+    // Prepared-statement surface (protocol v2).
+    "PREPARE",
+    "PREPARE p",
+    "PREPARE p AS PREPARE q AS BEGIN",
+    "PREPARE p AS EXPLAIN BEGIN",
+    "EXECUTE p WITH",
+    "CREATE CLASS Bad { FIELD a; MASK M WHEN a > $1; }",
+    "NEW CredCard SET curr_bal = $1",
 ];
 
 fn render() -> String {
